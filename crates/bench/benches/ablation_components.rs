@@ -1,0 +1,59 @@
+//! Ablation: which predicted parameter block carries the value — the
+//! moved query point (Δ), the learned weights (W), or both?
+//!
+//! The paper's two feedback strategies (§2, Figure 2) are stored jointly
+//! as OQPs; this bench replays the Figure 10 stream applying only one
+//! block at prediction time.
+//!
+//! Run: `cargo bench --bench ablation_components`.
+
+use fbp_bench::{bench_dataset, bench_queries, emit};
+use fbp_eval::report::Figure;
+use fbp_eval::stream::BypassComponents;
+use fbp_eval::{metrics, run_stream, Series, StreamOptions};
+use fbp_vecdb::LinearScan;
+
+fn main() {
+    let ds = bench_dataset();
+    let n = bench_queries();
+
+    let mut rows = Vec::new();
+    for (components, name) in [
+        (BypassComponents::Full, "delta + weights (paper)"),
+        (BypassComponents::WeightsOnly, "weights only"),
+        (BypassComponents::MovementOnly, "delta only"),
+    ] {
+        let engine = LinearScan::new(&ds.collection);
+        let opts = StreamOptions {
+            n_queries: n,
+            k: 50,
+            components,
+            ..Default::default()
+        };
+        let res = run_stream(&ds, &engine, &opts);
+        let b: Vec<f64> = res.records.iter().map(|r| r.bypass.precision).collect();
+        let d: Vec<f64> = res.records.iter().map(|r| r.default.precision).collect();
+        let bm = metrics::tail_mean(&b, n / 2);
+        let dm = metrics::tail_mean(&d, n / 2);
+        println!(
+            "{name:<26}: bypass {bm:.4} (default {dm:.4}, gain {:+.1}%)",
+            metrics::precision_gain(bm, dm)
+        );
+        rows.push((name, bm));
+    }
+    emit(
+        "ablation_components",
+        &Figure::new(
+            "Ablation — predicted parameter blocks (tail-mean bypass precision)",
+            "variant (0 = full, 1 = weights, 2 = delta)",
+            "precision",
+            vec![Series::new(
+                "FeedbackBypass",
+                rows.iter()
+                    .enumerate()
+                    .map(|(i, r)| (i as f64, r.1))
+                    .collect::<Vec<_>>(),
+            )],
+        ),
+    );
+}

@@ -1,0 +1,66 @@
+//! Ablation: the lookup descent rule (DESIGN.md §4.1) — most-interior
+//! child vs the naive first-containing child of the paper's pseudo-code.
+//!
+//! Both must deliver identical results for clearly-interior points; the
+//! interesting question is behavior and cost near simplex boundaries.
+//!
+//! Run: `cargo bench --bench ablation_descent`.
+
+use fbp_bench::{bench_dataset, bench_queries, emit};
+use fbp_eval::report::Figure;
+use fbp_eval::{metrics, run_stream, Series, StreamOptions};
+use fbp_simplex_tree::DescentRule;
+use fbp_vecdb::LinearScan;
+use feedbackbypass::BypassConfig;
+use std::time::Instant;
+
+fn main() {
+    let ds = bench_dataset();
+    let n = bench_queries();
+
+    let mut series = Vec::new();
+    for (rule, name) in [
+        (DescentRule::MostInterior, "most-interior (default)"),
+        (DescentRule::FirstContaining, "first-containing (Fig. 8)"),
+    ] {
+        let mut bypass = BypassConfig::default();
+        bypass.tree.descent = rule;
+        let engine = LinearScan::new(&ds.collection);
+        let opts = StreamOptions {
+            n_queries: n,
+            k: 50,
+            bypass,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let res = run_stream(&ds, &engine, &opts);
+        let elapsed = t0.elapsed();
+        let prec: Vec<f64> = res.records.iter().map(|r| r.bypass.precision).collect();
+        let visited: Vec<f64> = res
+            .records
+            .iter()
+            .map(|r| r.nodes_visited as f64)
+            .collect();
+        println!(
+            "{name:<28}: bypass precision {:.4}, mean nodes visited {:.2}, stream took {elapsed:.2?}",
+            metrics::mean(&prec),
+            metrics::mean(&visited)
+        );
+        series.push(Series::new(
+            name,
+            vec![
+                (0.0, metrics::mean(&prec)),
+                (1.0, metrics::mean(&visited)),
+            ],
+        ));
+    }
+    emit(
+        "ablation_descent",
+        &Figure::new(
+            "Ablation — descent rule (x=0: bypass precision, x=1: mean nodes visited)",
+            "metric",
+            "value",
+            series,
+        ),
+    );
+}

@@ -1,0 +1,74 @@
+//! Ablation: the insert threshold ε (paper §4.2).
+//!
+//! "The particular choice of the threshold ε determines the quality of
+//! the approximation: for low thresholds the approximation is more
+//! accurate whereas high thresholds cause more slack" — and storage
+//! shrinks. This bench sweeps ε and reports stored points, tree nodes and
+//! FeedbackBypass precision, regenerating the storage/accuracy trade-off.
+//!
+//! Run: `cargo bench --bench ablation_epsilon`.
+
+use fbp_bench::{bench_dataset, bench_queries, emit};
+use fbp_eval::report::Figure;
+use fbp_eval::{metrics, run_stream, Series, StreamOptions};
+use fbp_vecdb::LinearScan;
+use feedbackbypass::BypassConfig;
+
+fn main() {
+    let ds = bench_dataset();
+    let n = bench_queries();
+    let epsilons = [1e-4, 1e-2, 0.1, 0.3, 1.0, 3.0];
+
+    let mut stored_pts = Vec::new();
+    let mut nodes = Vec::new();
+    let mut precisions = Vec::new();
+    for &eps in &epsilons {
+        let mut bypass = BypassConfig::default();
+        bypass.tree.delta_eps = eps;
+        bypass.tree.weight_eps = eps;
+        let engine = LinearScan::new(&ds.collection);
+        let opts = StreamOptions {
+            n_queries: n,
+            k: 50,
+            bypass,
+            ..Default::default()
+        };
+        let res = run_stream(&ds, &engine, &opts);
+        let shape = res.bypass.tree().shape();
+        stored_pts.push((eps, shape.stored_points as f64));
+        nodes.push((eps, shape.node_count as f64));
+        let tail: Vec<f64> = res
+            .records
+            .iter()
+            .map(|r| r.bypass.precision)
+            .collect();
+        precisions.push((eps, metrics::tail_mean(&tail, n / 2)));
+        println!(
+            "eps {eps:>8.4}: stored {} / nodes {} / bypass precision {:.4}",
+            shape.stored_points,
+            shape.node_count,
+            precisions.last().unwrap().1
+        );
+    }
+    emit(
+        "ablation_epsilon_storage",
+        &Figure::new(
+            "Ablation — insert threshold ε vs storage",
+            "epsilon",
+            "count",
+            vec![
+                Series::new("stored points", stored_pts),
+                Series::new("tree nodes", nodes),
+            ],
+        ),
+    );
+    emit(
+        "ablation_epsilon_precision",
+        &Figure::new(
+            "Ablation — insert threshold ε vs bypass precision (tail mean)",
+            "epsilon",
+            "precision",
+            vec![Series::new("FeedbackBypass", precisions)],
+        ),
+    );
+}

@@ -1,0 +1,138 @@
+//! Ablation: PCA-reduced query domains (the paper's §3 follow-up).
+//!
+//! Runs the Figure 10 protocol with the Simplex Tree over the full
+//! 31-dimensional simplex domain vs PCA-reduced `[0,1]^r` domains, and
+//! reports bypass precision, lookup cost and tree size.
+//!
+//! Run: `cargo bench --bench ablation_reduction`.
+
+use fbp_bench::{bench_dataset, bench_queries, emit};
+use fbp_eval::report::Figure;
+use fbp_eval::scenario::evaluate_params;
+use fbp_eval::stream::query_order;
+use fbp_eval::{metrics, Series};
+use fbp_feedback::{CategoryOracle, FeedbackConfig, FeedbackLoop};
+use fbp_simplex_tree::TreeConfig;
+use fbp_vecdb::LinearScan;
+use feedbackbypass::{BypassConfig, FeedbackBypass, ReducedBypass};
+
+const K: usize = 50;
+
+/// Minimal predictor interface over both module kinds.
+enum Module {
+    Full(FeedbackBypass),
+    Reduced(ReducedBypass),
+}
+
+impl Module {
+    fn predict(&self, q: &[f64]) -> feedbackbypass::PredictedParams {
+        match self {
+            Module::Full(m) => m.predict(q).unwrap(),
+            Module::Reduced(m) => m.predict(q).unwrap(),
+        }
+    }
+
+    fn insert(&mut self, q: &[f64], qopt: &[f64], w: &[f64]) {
+        match self {
+            Module::Full(m) => {
+                m.insert(q, qopt, w).unwrap();
+            }
+            Module::Reduced(m) => {
+                m.insert(q, qopt, w).unwrap();
+            }
+        }
+    }
+
+    fn tree(&self) -> &fbp_simplex_tree::SimplexTree {
+        match self {
+            Module::Full(m) => m.tree(),
+            Module::Reduced(m) => m.tree(),
+        }
+    }
+}
+
+fn main() {
+    let ds = bench_dataset();
+    let coll = &ds.collection;
+    let engine = LinearScan::new(coll);
+    let n = bench_queries();
+    let order = query_order(&ds, 0xBEEF);
+    let fb_loop = FeedbackLoop::new(
+        &engine,
+        coll,
+        FeedbackConfig {
+            k: K,
+            ..Default::default()
+        },
+    );
+
+    // PCA sample: every labelled image.
+    let sample: Vec<&[f64]> = ds.labelled.iter().map(|&i| coll.vector(i)).collect();
+
+    let mut precision_pts = Vec::new();
+    let mut visited_pts = Vec::new();
+    let mut labels = Vec::new();
+    for (variant, label) in [
+        (None, "full 31-d".to_string()),
+        (Some(4usize), "PCA r = 4".to_string()),
+        (Some(8), "PCA r = 8".to_string()),
+        (Some(16), "PCA r = 16".to_string()),
+    ] {
+        let mut module = match variant {
+            None => Module::Full(
+                FeedbackBypass::for_histograms(coll.dim(), BypassConfig::default())
+                    .unwrap(),
+            ),
+            Some(r) => {
+                let rb = ReducedBypass::fit(&sample, r, TreeConfig::default()).unwrap();
+                eprintln!(
+                    "[bench] r = {r}: explained variance {:.3}",
+                    rb.reducer().explained_variance
+                );
+                Module::Reduced(rb)
+            }
+        };
+        let mut gains = Vec::with_capacity(n);
+        let mut visited = Vec::with_capacity(n);
+        for &qidx in order.iter().take(n) {
+            let q: Vec<f64> = coll.vector(qidx).to_vec();
+            let oracle = CategoryOracle::new(coll, coll.label(qidx));
+            let pred = module.predict(&q);
+            visited.push(pred.nodes_visited as f64);
+            let prre = evaluate_params(&engine, &pred.point, &pred.weights, K, &oracle);
+            gains.push(prre.precision);
+            let run = fb_loop.run(&q, &oracle).unwrap();
+            if run.cycles > 0 {
+                module.insert(&q, &run.point, &run.weights);
+            }
+        }
+        let shape = module.tree().shape();
+        let tail_p = metrics::tail_mean(&gains, n / 2);
+        println!(
+            "{label:<12}: bypass precision {tail_p:.4}, mean nodes visited {:.2}, \
+             tree {} nodes / depth {}",
+            metrics::mean(&visited),
+            shape.node_count,
+            shape.depth
+        );
+        let idx = labels.len() as f64;
+        precision_pts.push((idx, tail_p));
+        visited_pts.push((idx, metrics::mean(&visited)));
+        labels.push(label);
+    }
+    emit(
+        "ablation_reduction",
+        &Figure::new(
+            format!(
+                "Ablation — PCA-reduced query domain [variants: {}]",
+                labels.join(", ")
+            ),
+            "variant",
+            "value",
+            vec![
+                Series::new("bypass precision (tail mean)", precision_pts),
+                Series::new("mean nodes visited", visited_pts),
+            ],
+        ),
+    );
+}

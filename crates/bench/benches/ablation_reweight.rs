@@ -1,0 +1,75 @@
+//! Ablation: the re-weighting rule — MARS `1/σ` vs the ISF98-optimal
+//! `1/σ²` (paper §2 recounts exactly this historical refinement).
+//!
+//! Run: `cargo bench --bench ablation_reweight`.
+
+use fbp_bench::{bench_dataset, bench_queries, emit};
+use fbp_eval::report::Figure;
+use fbp_eval::{metrics, run_stream, Series, StreamOptions};
+use fbp_feedback::reweight::{ReweightOptions, ReweightRule};
+use fbp_feedback::FeedbackConfig;
+use fbp_vecdb::LinearScan;
+
+fn main() {
+    let ds = bench_dataset();
+    let n = bench_queries();
+
+    let mut rows = Vec::new();
+    for (rule, name) in [
+        (ReweightRule::InverseSigma, "MARS 1/sigma"),
+        (ReweightRule::InverseVariance, "ISF98 1/sigma^2"),
+    ] {
+        let feedback = FeedbackConfig {
+            reweight: Some(ReweightOptions {
+                rule,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let engine = LinearScan::new(&ds.collection);
+        let opts = StreamOptions {
+            n_queries: n,
+            k: 50,
+            feedback,
+            ..Default::default()
+        };
+        let res = run_stream(&ds, &engine, &opts);
+        let seen: Vec<f64> = res.records.iter().map(|r| r.seen.precision).collect();
+        let bypass: Vec<f64> = res.records.iter().map(|r| r.bypass.precision).collect();
+        let default: Vec<f64> = res.records.iter().map(|r| r.default.precision).collect();
+        rows.push((
+            name,
+            metrics::mean(&default),
+            metrics::mean(&bypass),
+            metrics::mean(&seen),
+        ));
+        println!(
+            "{name:<16}: default {:.4}  bypass {:.4}  already-seen {:.4}",
+            rows.last().unwrap().1,
+            rows.last().unwrap().2,
+            rows.last().unwrap().3
+        );
+    }
+    emit(
+        "ablation_reweight",
+        &Figure::new(
+            "Ablation — re-weighting rule (mean precision over the stream)",
+            "rule (0 = MARS, 1 = ISF98)",
+            "precision",
+            vec![
+                Series::new(
+                    "AlreadySeen",
+                    rows.iter().enumerate().map(|(i, r)| (i as f64, r.3)),
+                ),
+                Series::new(
+                    "FeedbackBypass",
+                    rows.iter().enumerate().map(|(i, r)| (i as f64, r.2)),
+                ),
+                Series::new(
+                    "Default",
+                    rows.iter().enumerate().map(|(i, r)| (i as f64, r.1)),
+                ),
+            ],
+        ),
+    );
+}

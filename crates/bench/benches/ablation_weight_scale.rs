@@ -1,0 +1,51 @@
+//! Ablation: raw vs log-scale weight interpolation (DESIGN.md §4.5).
+//!
+//! The paper interpolates raw parameter values; learned weights span
+//! orders of magnitude, so interpolating their logarithms is the obvious
+//! alternative. This bench runs the same stream under both scales.
+//!
+//! Run: `cargo bench --bench ablation_weight_scale`.
+
+use fbp_bench::{bench_dataset, bench_queries, emit};
+use fbp_eval::efficiency::checkpoints;
+use fbp_eval::report::Figure;
+use fbp_eval::{metrics, run_stream, Series, StreamOptions};
+use fbp_simplex_tree::WeightScale;
+use fbp_vecdb::LinearScan;
+use feedbackbypass::BypassConfig;
+
+fn main() {
+    let ds = bench_dataset();
+    let n = bench_queries();
+    let cps = checkpoints(n, (n / 8).max(1));
+
+    let mut series = Vec::new();
+    for (scale, name) in [(WeightScale::Raw, "raw (paper)"), (WeightScale::Log, "log")] {
+        let mut bypass = BypassConfig::default();
+        bypass.tree.weight_scale = scale;
+        let engine = LinearScan::new(&ds.collection);
+        let opts = StreamOptions {
+            n_queries: n,
+            k: 50,
+            bypass,
+            ..Default::default()
+        };
+        let res = run_stream(&ds, &engine, &opts);
+        let prec: Vec<f64> = res.records.iter().map(|r| r.bypass.precision).collect();
+        let cum = metrics::cumulative_avg(&prec);
+        series.push(Series::new(
+            name,
+            cps.iter().map(|&c| (c as f64, cum[c - 1])).collect::<Vec<_>>(),
+        ));
+        println!("{name}: final bypass precision {:.4}", cum[n - 1]);
+    }
+    emit(
+        "ablation_weight_scale",
+        &Figure::new(
+            "Ablation — weight interpolation scale (bypass precision)",
+            "no. of queries",
+            "precision",
+            series,
+        ),
+    );
+}

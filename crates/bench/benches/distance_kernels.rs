@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks for the distance-function classes of §2:
+//! per-evaluation cost of L2, weighted L2, quadratic (Mahalanobis) and
+//! the Rui-Huang hierarchical model at the paper's dimensionality.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fbp_linalg::Matrix;
+use fbp_vecdb::{
+    Distance, Euclidean, HierarchicalDistance, Manhattan, QuadraticDistance,
+    WeightedEuclidean,
+};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+const DIM: usize = 32;
+
+fn vectors(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..DIM).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect()
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_eval_32d");
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(50);
+    let pts = vectors(64, 3);
+    let mut rng = StdRng::seed_from_u64(5);
+    let weights: Vec<f64> = (0..DIM).map(|_| rng.gen_range(0.1..10.0)).collect();
+
+    let run = |group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+               name: &str,
+               dist: &dyn Distance| {
+        let pts = &pts;
+        group.bench_function(name, |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let a = &pts[i % pts.len()];
+                let bb = &pts[(i * 7 + 1) % pts.len()];
+                i += 1;
+                black_box(dist.eval(black_box(a), black_box(bb)))
+            });
+        });
+    };
+
+    run(&mut group, "euclidean", &Euclidean);
+    run(&mut group, "manhattan", &Manhattan);
+    run(
+        &mut group,
+        "weighted_euclidean",
+        &WeightedEuclidean::new(weights.clone()).unwrap(),
+    );
+    // SPD matrix: diag + small symmetric off-diagonal noise.
+    let mut m = Matrix::from_diag(&weights);
+    for i in 0..DIM {
+        for j in (i + 1)..DIM {
+            let v = 0.01 * ((i * j) % 5) as f64;
+            m[(i, j)] = v;
+            m[(j, i)] = v;
+        }
+    }
+    run(
+        &mut group,
+        "quadratic",
+        &QuadraticDistance::new(&m).unwrap(),
+    );
+    run(
+        &mut group,
+        "hierarchical_4_features",
+        &HierarchicalDistance::uniform(DIM, 4).unwrap(),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_distances);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks for the feedback kernels: one re-weighting
+//! pass, one optimal-point computation, and one full loop cycle against a
+//! 10k collection (what each saved cycle of Figure 15 is worth).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fbp_feedback::{
+    optimal_point, reweight, CategoryOracle, FeedbackConfig, FeedbackLoop, ScoredPoint,
+};
+use fbp_feedback::reweight::ReweightOptions;
+use fbp_vecdb::{CollectionBuilder, LinearScan};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+const DIM: usize = 32;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feedback_kernels");
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(50);
+    let mut rng = StdRng::seed_from_u64(3);
+    let rows: Vec<Vec<f64>> = (0..50)
+        .map(|_| (0..DIM).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let scored: Vec<ScoredPoint> = rows.iter().map(|r| ScoredPoint::new(r, 1.0)).collect();
+    group.bench_function("reweight_50_good_32d", |b| {
+        let opts = ReweightOptions::default();
+        b.iter(|| black_box(reweight(black_box(&scored), &opts).unwrap()[0]));
+    });
+    group.bench_function("optimal_point_50_good_32d", |b| {
+        b.iter(|| black_box(optimal_point(black_box(&scored)).unwrap()[0]));
+    });
+    group.finish();
+}
+
+fn bench_full_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feedback_loop");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    // Labelled synthetic collection: one coherent category + noise.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut b = CollectionBuilder::new();
+    let cat = b.category("target");
+    for _ in 0..300 {
+        let mut v: Vec<f64> = (0..DIM).map(|_| rng.gen_range(0.0..0.05)).collect();
+        v[3] += 0.6 + rng.gen_range(-0.05..0.05);
+        v[17] += 0.3 + rng.gen_range(-0.05..0.05);
+        let s: f64 = v.iter().sum();
+        v.iter_mut().for_each(|x| *x /= s);
+        b.push(&v, cat).unwrap();
+    }
+    for _ in 0..9_700 {
+        let mut v: Vec<f64> = (0..DIM).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let s: f64 = v.iter().sum();
+        v.iter_mut().for_each(|x| *x /= s);
+        b.push_unlabelled(&v).unwrap();
+    }
+    let coll = b.build();
+    let scan = LinearScan::new(&coll);
+    let oracle = CategoryOracle::new(&coll, cat);
+    let cfg = FeedbackConfig {
+        k: 50,
+        ..Default::default()
+    };
+    let fb = FeedbackLoop::new(&scan, &coll, cfg);
+    let q: Vec<f64> = coll.vector(0).to_vec();
+    group.bench_function("run_to_convergence_10k_collection", |b| {
+        b.iter(|| black_box(fb.run(black_box(&q), &oracle).unwrap().cycles));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_full_loop);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Figure 1, quantified: how often does FeedbackBypass improve the top-5
+//! for a never-seen query, and by how much?
+//!
+//! The paper's Figure 1 is a single qualitative example (default top-5
+//! with 0 relevant results vs 4 with predicted parameters). This bench
+//! measures the population that example is drawn from: top-5 relevant
+//! counts under both parameter sets over a pool of held-out queries.
+//!
+//! Run: `cargo bench --bench fig01_qualitative`.
+
+use fbp_bench::{bench_dataset, bench_queries, by_scale, emit};
+use fbp_eval::report::Figure;
+use fbp_eval::stream::query_order;
+use fbp_eval::{run_stream, Series, StreamOptions};
+use fbp_vecdb::{KnnEngine, LinearScan, WeightedEuclidean};
+
+fn main() {
+    let ds = bench_dataset();
+    let engine = LinearScan::new(&ds.collection);
+    let opts = StreamOptions {
+        n_queries: bench_queries(),
+        k: 50,
+        ..Default::default()
+    };
+    let trained = run_stream(&ds, &engine, &opts).bypass;
+
+    let coll = &ds.collection;
+    let order = query_order(&ds, opts.seed);
+    let pool: Vec<usize> = order
+        .into_iter()
+        .skip(opts.n_queries)
+        .take(by_scale(150, 500))
+        .collect();
+
+    let top5_hits = |point: &[f64], weights: &[f64], cat: u32| -> usize {
+        let dist = WeightedEuclidean::new(weights.to_vec()).unwrap();
+        engine
+            .knn(point, 5, &dist)
+            .iter()
+            .filter(|n| coll.label(n.index as usize) == cat)
+            .count()
+    };
+
+    // Histogram of top-5 relevant counts (0..=5) under both scenarios.
+    let mut default_hist = [0usize; 6];
+    let mut bypass_hist = [0usize; 6];
+    let mut improved = 0usize;
+    let mut worsened = 0usize;
+    for &qidx in &pool {
+        let q = coll.vector(qidx);
+        let cat = coll.label(qidx);
+        let d = top5_hits(q, &vec![1.0; q.len()], cat);
+        let p = trained.predict(q).unwrap();
+        let b = top5_hits(&p.point, &p.weights, cat);
+        default_hist[d] += 1;
+        bypass_hist[b] += 1;
+        if b > d {
+            improved += 1;
+        }
+        if b < d {
+            worsened += 1;
+        }
+    }
+
+    emit(
+        "fig01_top5_distribution",
+        &Figure::new(
+            "Figure 1 (population view) — distribution of relevant results in the top 5",
+            "relevant in top-5",
+            "queries",
+            vec![
+                Series::new(
+                    "FeedbackBypass",
+                    (0..=5).map(|i| (i as f64, bypass_hist[i] as f64)),
+                ),
+                Series::new(
+                    "Default",
+                    (0..=5).map(|i| (i as f64, default_hist[i] as f64)),
+                ),
+            ],
+        ),
+    );
+    println!(
+        "of {} never-seen queries: {} improved, {} unchanged, {} worsened",
+        pool.len(),
+        improved,
+        pool.len() - improved - worsened,
+        worsened
+    );
+}

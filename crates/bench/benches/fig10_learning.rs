@@ -1,0 +1,67 @@
+//! Figure 10: average precision (a) and precision gain (b) of the three
+//! scenarios as a function of the number of processed queries, k = 50.
+//!
+//! Run: `cargo bench --bench fig10_learning` (`FBP_FULL=1` for the
+//! paper-scale 1000-query stream).
+
+use fbp_bench::{bench_dataset, bench_queries, emit};
+use fbp_eval::efficiency::checkpoints;
+use fbp_eval::report::Figure;
+use fbp_eval::{metrics, run_stream, Series, StreamOptions};
+use fbp_vecdb::LinearScan;
+
+fn main() {
+    let ds = bench_dataset();
+    let engine = LinearScan::new(&ds.collection);
+    let n = bench_queries();
+    let opts = StreamOptions {
+        n_queries: n,
+        k: 50,
+        ..Default::default()
+    };
+    let res = run_stream(&ds, &engine, &opts);
+
+    let d: Vec<f64> = res.records.iter().map(|r| r.default.precision).collect();
+    let b: Vec<f64> = res.records.iter().map(|r| r.bypass.precision).collect();
+    let s: Vec<f64> = res.records.iter().map(|r| r.seen.precision).collect();
+    let (cd, cb, cs) = (
+        metrics::cumulative_avg(&d),
+        metrics::cumulative_avg(&b),
+        metrics::cumulative_avg(&s),
+    );
+    let cps = checkpoints(n, (n / 10).max(1));
+    let pick = |v: &[f64]| -> Vec<(f64, f64)> {
+        cps.iter().map(|&c| (c as f64, v[c - 1])).collect()
+    };
+
+    emit(
+        "fig10a_precision",
+        &Figure::new(
+            "Figure 10a — precision vs no. of queries (k = 50)",
+            "no. of queries",
+            "precision",
+            vec![
+                Series::new("AlreadySeen", pick(&cs)),
+                Series::new("FeedbackBypass", pick(&cb)),
+                Series::new("Default", pick(&cd)),
+            ],
+        ),
+    );
+    let gain = |v: &[f64]| -> Vec<(f64, f64)> {
+        cps.iter()
+            .map(|&c| (c as f64, metrics::precision_gain(v[c - 1], cd[c - 1])))
+            .collect()
+    };
+    emit(
+        "fig10b_gain",
+        &Figure::new(
+            "Figure 10b — precision gain (%) vs no. of queries",
+            "no. of queries",
+            "gain %",
+            vec![
+                Series::new("AlreadySeen", gain(&cs)),
+                Series::new("FeedbackBypass", gain(&cb)),
+            ],
+        ),
+    );
+}

@@ -1,0 +1,22 @@
+//! Figure 11: precision (a), recall (b), and precision-vs-recall (c)
+//! after the full training stream, for k between 10 and 80.
+//!
+//! Run: `cargo bench --bench fig11_k_sweep` (`FBP_FULL=1` for paper
+//! scale; sweeps train one tree per k, in parallel).
+
+use fbp_bench::{bench_dataset, bench_queries, by_scale, emit};
+use fbp_eval::ksweep::run_ksweep;
+use fbp_eval::StreamOptions;
+
+fn main() {
+    let ds = bench_dataset();
+    let ks: Vec<usize> = by_scale(vec![10, 20, 40, 60, 80], vec![10, 20, 30, 40, 50, 60, 70, 80]);
+    let base = StreamOptions {
+        n_queries: bench_queries(),
+        ..Default::default()
+    };
+    let res = run_ksweep(&ds, &ks, &base);
+    emit("fig11a_precision_vs_k", &res.precision_figure());
+    emit("fig11b_recall_vs_k", &res.recall_figure());
+    emit("fig11c_pr_curve", &res.pr_curve_figure());
+}

@@ -1,0 +1,25 @@
+//! Figure 13: is training with a larger k worthwhile even when fewer
+//! objects are retrieved at query time?
+//!
+//! Trains one module per k_train ∈ {20, 50, 80}, evaluates all of them on
+//! a common pool of never-seen queries at k_eval ∈ {10..80}.
+//!
+//! Run: `cargo bench --bench fig13_training_k`.
+
+use fbp_bench::{bench_dataset, bench_queries, by_scale, emit};
+use fbp_eval::cross_k::run_cross_k;
+use fbp_eval::StreamOptions;
+
+fn main() {
+    let ds = bench_dataset();
+    let base = StreamOptions {
+        n_queries: bench_queries(),
+        ..Default::default()
+    };
+    let k_train = [20usize, 50, 80];
+    let k_eval: Vec<usize> = by_scale(vec![10, 20, 40, 60, 80], vec![10, 20, 30, 40, 50, 60, 70, 80]);
+    let eval_queries = by_scale(120, 400);
+    let res = run_cross_k(&ds, &k_train, &k_eval, eval_queries, &base);
+    emit("fig13a_precision", &res.precision_figure());
+    emit("fig13b_recall", &res.recall_figure());
+}

@@ -1,0 +1,30 @@
+//! Figure 14: per-category precision (a) and recall (b) of the three
+//! scenarios — robustness across query types.
+//!
+//! Run: `cargo bench --bench fig14_categories`.
+
+use fbp_bench::{bench_dataset, bench_queries, emit};
+use fbp_eval::per_category::breakdown;
+use fbp_eval::{run_stream, StreamOptions};
+use fbp_vecdb::LinearScan;
+
+fn main() {
+    let ds = bench_dataset();
+    let engine = LinearScan::new(&ds.collection);
+    let opts = StreamOptions {
+        n_queries: bench_queries(),
+        k: 50,
+        ..Default::default()
+    };
+    let res = run_stream(&ds, &engine, &opts);
+    let bd = breakdown(&ds.collection, &res.records);
+
+    emit("fig14a_precision", &bd.precision_figure());
+    emit("fig14b_recall", &bd.recall_figure());
+
+    // Per-category query counts for context (small categories are noisy).
+    println!("queries per category:");
+    for (name, count) in bd.names.iter().zip(bd.query_counts.iter()) {
+        println!("  {name:<10} {count}");
+    }
+}

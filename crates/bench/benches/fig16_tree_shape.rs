@@ -1,0 +1,33 @@
+//! Figure 16: average number of simplices traversed per lookup and the
+//! depth of the Simplex Tree, as functions of the number of queries.
+//!
+//! Run: `cargo bench --bench fig16_tree_shape`.
+
+use fbp_bench::{bench_dataset, bench_queries, emit};
+use fbp_eval::efficiency::{checkpoints, tree_shape_figure};
+use fbp_eval::{run_stream, StreamOptions};
+use fbp_vecdb::LinearScan;
+
+fn main() {
+    let ds = bench_dataset();
+    let engine = LinearScan::new(&ds.collection);
+    let n = bench_queries();
+    let opts = StreamOptions {
+        n_queries: n,
+        k: 50,
+        ..Default::default()
+    };
+    let res = run_stream(&ds, &engine, &opts);
+    let cps = checkpoints(n, (n / 14).max(1));
+    emit("fig16_tree_shape", &tree_shape_figure(&res.records, &cps));
+
+    let shape = res.bypass.tree().shape();
+    println!(
+        "final tree: {} stored points, {} nodes ({} leaves), depth {}, mean leaf depth {:.2}",
+        shape.stored_points,
+        shape.node_count,
+        shape.leaf_count,
+        shape.depth,
+        shape.mean_leaf_depth
+    );
+}

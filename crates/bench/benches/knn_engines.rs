@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks for the k-NN engines: linear scan vs
+//! VP-tree vs M-tree, under the default Euclidean metric and under a
+//! re-weighted query metric (the feedback-loop case the distortion
+//! bounds exist for).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fbp_vecdb::{
+    CollectionBuilder, Euclidean, KnnEngine, LinearScan, MTree, VpTree, WeightedEuclidean,
+};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+const DIM: usize = 32;
+const N: usize = 10_000;
+const K: usize = 50;
+
+fn collection(seed: u64) -> fbp_vecdb::Collection {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CollectionBuilder::new();
+    for _ in 0..N {
+        // Clustered data (mixture of 20 centers) — realistic for image
+        // histograms, and gives the metric trees something to prune.
+        let center = rng.gen_range(0..20);
+        let v: Vec<f64> = (0..DIM)
+            .map(|d| {
+                let base = (((center * 31 + d * 7) % 97) as f64) / 97.0;
+                (base + rng.gen_range(-0.08..0.08)).clamp(0.0, 1.0)
+            })
+            .collect();
+        b.push_unlabelled(&v).unwrap();
+    }
+    b.build()
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let coll = collection(41);
+    let scan = LinearScan::new(&coll);
+    let vp = VpTree::build(&coll);
+    let mt = MTree::with_defaults(&coll);
+    let mut rng = StdRng::seed_from_u64(43);
+    let queries: Vec<Vec<f64>> = (0..32)
+        .map(|_| (0..DIM).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let weights: Vec<f64> = (0..DIM).map(|_| rng.gen_range(0.3..3.0)).collect();
+    let weighted = WeightedEuclidean::new(weights).unwrap();
+
+    let mut group = c.benchmark_group("knn_10k_32d_k50");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(20);
+    let engines: [(&str, &dyn KnnEngine); 3] =
+        [("scan", &scan), ("vptree", &vp), ("mtree", &mt)];
+    for (name, engine) in engines {
+        group.bench_with_input(
+            BenchmarkId::new("euclidean", name),
+            &engine,
+            |b, engine| {
+                let mut i = 0;
+                b.iter(|| {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    black_box(engine.knn(black_box(q), K, &Euclidean).len())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reweighted", name),
+            &engine,
+            |b, engine| {
+                let mut i = 0;
+                b.iter(|| {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    black_box(engine.knn(black_box(q), K, &weighted).len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn);
+criterion_main!(benches);

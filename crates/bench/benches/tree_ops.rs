@@ -1,0 +1,130 @@
+//! Criterion micro-benchmarks for Simplex Tree operations: lookup,
+//! predict and insert cost as functions of stored points and
+//! dimensionality. Underpins the paper's claim of fast predictions
+//! (Figure 16 shows logarithmic traversal growth).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fbp_geometry::RootSimplex;
+use fbp_simplex_tree::{Oqp, OqpLayout, SimplexTree, TreeConfig};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Random interior point of the standard simplex in `dim` dims.
+fn simplex_point(dim: usize, rng: &mut StdRng) -> Vec<f64> {
+    let raw: Vec<f64> = (0..dim + 1).map(|_| -rng.gen::<f64>().max(1e-12).ln()).collect();
+    let s: f64 = raw.iter().sum();
+    raw[..dim].iter().map(|x| x / s).collect()
+}
+
+fn tree_with(dim: usize, points: usize, seed: u64) -> SimplexTree {
+    let mut tree = SimplexTree::new(
+        RootSimplex::standard(dim),
+        OqpLayout::new(dim, dim),
+        TreeConfig::default(),
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..points {
+        let q = simplex_point(dim, &mut rng);
+        let oqp = Oqp {
+            delta: (0..dim).map(|_| rng.gen_range(-0.05..0.05)).collect(),
+            weights: (0..dim).map(|_| rng.gen_range(0.2..5.0)).collect(),
+        };
+        tree.insert(&q, &oqp).unwrap();
+    }
+    tree
+}
+
+fn bench_lookup_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_lookup_by_points");
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(30);
+    let dim = 31; // the paper's query-domain dimensionality
+    for &n in &[100usize, 400, 1600] {
+        let tree = tree_with(dim, n, 7);
+        let mut rng = StdRng::seed_from_u64(11);
+        let probes: Vec<Vec<f64>> = (0..64).map(|_| simplex_point(dim, &mut rng)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let hit = tree.lookup(black_box(&probes[i % probes.len()])).unwrap();
+                i += 1;
+                black_box(hit.nodes_visited)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_predict_by_dim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_predict_by_dim");
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(30);
+    for &dim in &[7usize, 15, 31, 63] {
+        let tree = tree_with(dim, 300, 13);
+        let mut rng = StdRng::seed_from_u64(17);
+        let probes: Vec<Vec<f64>> = (0..64).map(|_| simplex_point(dim, &mut rng)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let p = tree.predict(black_box(&probes[i % probes.len()])).unwrap();
+                i += 1;
+                black_box(p.oqp.weights[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_insert");
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(20);
+    let dim = 31;
+    group.bench_function("into_500_point_tree", |b| {
+        b.iter_batched(
+            || {
+                let tree = tree_with(dim, 500, 23);
+                let mut rng = StdRng::seed_from_u64(29);
+                let q = simplex_point(dim, &mut rng);
+                let oqp = Oqp {
+                    delta: vec![0.01; dim],
+                    weights: (0..dim).map(|i| 1.0 + i as f64 * 0.1).collect(),
+                };
+                (tree, q, oqp)
+            },
+            |(mut tree, q, oqp)| black_box(tree.insert(&q, &oqp).unwrap()),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_persistence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_persistence");
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(20);
+    let tree = tree_with(31, 500, 31);
+    let image = tree.to_bytes();
+    group.bench_function("serialize_500_points", |b| {
+        b.iter(|| black_box(tree.to_bytes().len()));
+    });
+    group.bench_function("deserialize_500_points", |b| {
+        b.iter(|| black_box(SimplexTree::from_bytes(&image).unwrap().node_count()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lookup_scaling,
+    bench_predict_by_dim,
+    bench_insert,
+    bench_persistence
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks for the wavelet substrate: ordered Haar vs
+//! lifting, and the unbalanced transform on irregular partitions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fbp_wavelet::{dwt, idwt, lift_forward, Normalization, UnbalancedHaar};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn signal(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect()
+}
+
+fn bench_haar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("haar_dwt");
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(30);
+    for &n in &[256usize, 4096] {
+        let base = signal(n, 3);
+        group.bench_with_input(BenchmarkId::new("ordered", n), &n, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut d| {
+                    dwt(&mut d, Normalization::Orthonormal).unwrap();
+                    black_box(d[0])
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("lifting", n), &n, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut d| {
+                    lift_forward(&mut d).unwrap();
+                    black_box(d[0])
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("roundtrip", n), &n, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut d| {
+                    dwt(&mut d, Normalization::Orthonormal).unwrap();
+                    idwt(&mut d, Normalization::Orthonormal).unwrap();
+                    black_box(d[0])
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_unbalanced(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unbalanced_haar");
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(30);
+    let mut rng = StdRng::seed_from_u64(9);
+    for &n in &[64usize, 1024] {
+        let mut breaks = vec![0.0];
+        for _ in 0..n {
+            breaks.push(breaks.last().unwrap() + rng.gen_range(0.01..2.0));
+        }
+        let uh = UnbalancedHaar::new(breaks).unwrap();
+        let vals = signal(n, 11);
+        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter(|| black_box(uh.forward(black_box(&vals)).smooth));
+        });
+        let coeffs = uh.forward(&vals);
+        group.bench_with_input(BenchmarkId::new("inverse", n), &n, |b, _| {
+            b.iter(|| black_box(uh.inverse(black_box(&coeffs))[0]));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_haar, bench_unbalanced);
+criterion_main!(benches);

@@ -1,0 +1,189 @@
+//! The enriched retrieval system (Figures 4–5 of the paper).
+//!
+//! [`BypassSystem`] wires a k-NN engine, a relevance-feedback loop and a
+//! [`FeedbackBypass`] module together and exposes one call per user
+//! query, implementing the pseudo-code of Figure 5:
+//!
+//! ```text
+//! v      = FeedbackBypass::Mopt(q)        // predicted OQPs
+//! loop   { results; scores; newValues }   // the usual feedback loop
+//! if v changed: FeedbackBypass::Insert(q, v)
+//! ```
+
+use crate::bypass::{FeedbackBypass, PredictedParams};
+use crate::Result;
+use fbp_feedback::{FeedbackConfig, FeedbackLoop, LoopResult, RelevanceOracle};
+use fbp_simplex_tree::InsertOutcome;
+use fbp_vecdb::{Collection, KnnEngine};
+
+/// Everything that happened while serving one user query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// What FeedbackBypass predicted before the loop ran.
+    pub predicted: PredictedParams,
+    /// The feedback loop's trajectory (started from the prediction).
+    pub loop_result: LoopResult,
+    /// What the tree did with the converged parameters.
+    pub inserted: InsertOutcome,
+}
+
+/// A retrieval system enriched with FeedbackBypass.
+pub struct BypassSystem<'a, E: KnnEngine + ?Sized> {
+    engine: &'a E,
+    coll: &'a Collection,
+    feedback: FeedbackConfig,
+    bypass: FeedbackBypass,
+}
+
+impl<'a, E: KnnEngine + ?Sized> BypassSystem<'a, E> {
+    /// Assemble the enriched system.
+    pub fn new(
+        engine: &'a E,
+        coll: &'a Collection,
+        feedback: FeedbackConfig,
+        bypass: FeedbackBypass,
+    ) -> Self {
+        BypassSystem {
+            engine,
+            coll,
+            feedback,
+            bypass,
+        }
+    }
+
+    /// The FeedbackBypass module (for stats or persistence).
+    pub fn bypass(&self) -> &FeedbackBypass {
+        &self.bypass
+    }
+
+    /// Consume the system, returning the (possibly updated) module.
+    pub fn into_bypass(self) -> FeedbackBypass {
+        self.bypass
+    }
+
+    /// Serve one user query end-to-end per Figure 5: predict, run the
+    /// feedback loop from the prediction, store the converged parameters.
+    pub fn serve_query(
+        &mut self,
+        q: &[f64],
+        oracle: &dyn RelevanceOracle,
+    ) -> Result<QueryOutcome> {
+        let predicted = self.bypass.predict(q)?;
+        let fb = FeedbackLoop::new(self.engine, self.coll, self.feedback.clone());
+        let loop_result = fb.run_from(&predicted.point, &predicted.weights, oracle)?;
+        // Figure 5: "if (vPred != v) Insert(q, v)" — only store when the
+        // loop actually produced feedback information.
+        let inserted = if loop_result.cycles > 0 {
+            self.bypass
+                .insert(q, &loop_result.point, &loop_result.weights)?
+        } else {
+            InsertOutcome::Skipped {
+                delta_diff: 0.0,
+                weight_diff: 0.0,
+            }
+        };
+        Ok(QueryOutcome {
+            predicted,
+            loop_result,
+            inserted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BypassConfig;
+    use fbp_feedback::CategoryOracle;
+    use fbp_vecdb::{CollectionBuilder, LinearScan};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    /// A tiny labelled histogram collection with two color-coherent
+    /// categories.
+    fn mini_dataset() -> (Collection, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut b = CollectionBuilder::new();
+        let reds = b.category("reds");
+        let blues = b.category("blues");
+        let mut queries = Vec::new();
+        let push = |b: &mut CollectionBuilder,
+                        rng: &mut StdRng,
+                        heavy: usize,
+                        label: u32|
+         -> usize {
+            // Histogram concentrated on `heavy` with noise elsewhere.
+            let mut v = [0.0f64; 4];
+            for x in v.iter_mut() {
+                *x = rng.gen_range(0.0..0.2);
+            }
+            v[heavy] += 1.0;
+            let s: f64 = v.iter().sum();
+            for x in v.iter_mut() {
+                *x /= s;
+            }
+            b.push(&v, label).unwrap()
+        };
+        for i in 0..25 {
+            let idx = push(&mut b, &mut rng, 0, reds);
+            if i < 5 {
+                queries.push(idx);
+            }
+        }
+        for _ in 0..25 {
+            push(&mut b, &mut rng, 2, blues);
+        }
+        (b.build(), queries)
+    }
+
+    #[test]
+    fn serve_query_learns_and_reuses() {
+        let (coll, queries) = mini_dataset();
+        let scan = LinearScan::new(&coll);
+        let fbm = FeedbackBypass::for_histograms(4, BypassConfig::default()).unwrap();
+        let cfg = FeedbackConfig {
+            k: 10,
+            ..Default::default()
+        };
+        let mut sys = BypassSystem::new(&scan, &coll, cfg, fbm);
+        let red_cat = 0;
+        let oracle = CategoryOracle::new(&coll, red_cat);
+
+        let q0: Vec<f64> = coll.vector(queries[0]).to_vec();
+        let first = sys.serve_query(&q0, &oracle).unwrap();
+        // Second time around, the module should already know the answer:
+        // the loop starting from the prediction needs no more cycles than
+        // the first run.
+        let second = sys.serve_query(&q0, &oracle).unwrap();
+        assert!(
+            second.loop_result.cycles <= first.loop_result.cycles,
+            "{} vs {}",
+            second.loop_result.cycles,
+            first.loop_result.cycles
+        );
+        // And its starting precision is at least the first run's final.
+        assert!(
+            second.loop_result.precision_trace[0]
+                >= *first.loop_result.precision_trace.last().unwrap() - 1e-9
+        );
+    }
+
+    #[test]
+    fn no_feedback_means_no_insert() {
+        let (coll, queries) = mini_dataset();
+        let scan = LinearScan::new(&coll);
+        let fbm = FeedbackBypass::for_histograms(4, BypassConfig::default()).unwrap();
+        let cfg = FeedbackConfig {
+            k: 10,
+            ..Default::default()
+        };
+        let mut sys = BypassSystem::new(&scan, &coll, cfg, fbm);
+        // Oracle that likes nothing: the loop gets no feedback, so nothing
+        // may be stored (Figure 5's vPred == v branch).
+        let oracle = fbp_feedback::oracle::SetOracle::default();
+        let q0: Vec<f64> = coll.vector(queries[0]).to_vec();
+        let out = sys.serve_query(&q0, &oracle).unwrap();
+        assert_eq!(out.loop_result.cycles, 0);
+        assert!(matches!(out.inserted, InsertOutcome::Skipped { .. }));
+        assert_eq!(sys.bypass().tree().stored_points(), 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Thread-safe sharing of one FeedbackBypass module.
+//!
+//! A retrieval service handles many user sessions concurrently, all of
+//! which should benefit from (and contribute to) the same learned
+//! mapping. Predictions are read-mostly and cheap; inserts are rare (one
+//! per finished feedback loop). An `RwLock` around the module matches
+//! that profile: concurrent predictions, exclusive inserts.
+
+use crate::bypass::{FeedbackBypass, PredictedParams};
+use crate::Result;
+use fbp_simplex_tree::InsertOutcome;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Cloneable, thread-safe handle to a shared [`FeedbackBypass`] module.
+#[derive(Clone)]
+pub struct SharedBypass {
+    inner: Arc<RwLock<FeedbackBypass>>,
+}
+
+impl SharedBypass {
+    /// Wrap a module for sharing.
+    pub fn new(bypass: FeedbackBypass) -> Self {
+        SharedBypass {
+            inner: Arc::new(RwLock::new(bypass)),
+        }
+    }
+
+    /// Predict under a read lock (concurrent with other predictions).
+    pub fn predict(&self, q: &[f64]) -> Result<PredictedParams> {
+        self.inner.read().predict(q)
+    }
+
+    /// Insert under a write lock.
+    pub fn insert(&self, q: &[f64], qopt: &[f64], weights: &[f64]) -> Result<InsertOutcome> {
+        self.inner.write().insert(q, qopt, weights)
+    }
+
+    /// Snapshot statistics: `(stored points, tree nodes, tree depth)`.
+    pub fn stats(&self) -> (u64, usize, usize) {
+        let guard = self.inner.read();
+        let shape = guard.tree().shape();
+        (shape.stored_points, shape.node_count, shape.depth)
+    }
+
+    /// Serialize the current state (read lock held for the duration).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.inner.read().to_bytes()
+    }
+
+    /// Run `f` with read access to the module.
+    pub fn with_read<T>(&self, f: impl FnOnce(&FeedbackBypass) -> T) -> T {
+        f(&self.inner.read())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BypassConfig;
+
+    fn hist(vals: &[f64]) -> Vec<f64> {
+        let s: f64 = vals.iter().sum();
+        vals.iter().map(|v| v / s).collect()
+    }
+
+    #[test]
+    fn concurrent_predict_and_insert() {
+        let fb = FeedbackBypass::for_histograms(4, BypassConfig::default()).unwrap();
+        let shared = SharedBypass::new(fb);
+        let mut handles = Vec::new();
+        // Writers insert distinct points; readers predict continuously.
+        for t in 0..4 {
+            let s = shared.clone();
+            handles.push(std::thread::spawn(move || {
+                let base = 0.1 + 0.15 * t as f64;
+                let q = hist(&[base, 0.3, 0.3, 0.4 - base / 2.0]);
+                let qopt = hist(&[base + 0.05, 0.25, 0.3, 0.4 - base / 2.0]);
+                for _ in 0..50 {
+                    s.insert(&q, &qopt, &[2.0, 1.0, 1.0, 0.5]).unwrap();
+                    s.predict(&q).unwrap();
+                }
+            }));
+        }
+        for t in 0..4 {
+            let s = shared.clone();
+            handles.push(std::thread::spawn(move || {
+                let q = hist(&[0.2 + 0.01 * t as f64, 0.3, 0.25, 0.25]);
+                for _ in 0..200 {
+                    let p = s.predict(&q).unwrap();
+                    assert!(p.weights.iter().all(|&w| w > 0.0));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (stored, nodes, depth) = shared.stats();
+        assert!(stored >= 1);
+        assert!(nodes >= 1);
+        assert!(depth >= 1);
+        // State survives serialization after concurrent mutation.
+        let img = shared.to_bytes();
+        let back = FeedbackBypass::from_bytes(&img).unwrap();
+        assert_eq!(back.tree().stored_points(), stored);
+    }
+
+    #[test]
+    fn with_read_exposes_module() {
+        let fb = FeedbackBypass::for_histograms(3, BypassConfig::default()).unwrap();
+        let shared = SharedBypass::new(fb);
+        let dim = shared.with_read(|m| m.feature_dim());
+        assert_eq!(dim, 3);
+    }
+}

@@ -1,0 +1,174 @@
+//! Figure 13: does training with larger `k` help even when fewer objects
+//! are retrieved at query time?
+//!
+//! Protocol: train one module per `k_train` ∈ {20, 50, 80}; then evaluate
+//! every trained module's *predictions* on a common pool of never-seen
+//! queries at each `k_eval` ∈ {10, …, 80}. The paper's conclusion —
+//! "using larger k values is worthwhile, even if less objects are
+//! retrieved" — shows up as the k_train = 80 curve dominating.
+
+use crate::metrics;
+use crate::report::{Figure, Series};
+use crate::scenario::evaluate_params;
+use crate::stream::{query_order, run_stream, StreamOptions};
+use feedbackbypass::FeedbackBypass;
+use fbp_feedback::CategoryOracle;
+use fbp_imagegen::SyntheticDataset;
+use fbp_vecdb::LinearScan;
+
+/// Results of the cross-k experiment.
+#[derive(Debug, Clone)]
+pub struct CrossKResult {
+    /// Training k per row.
+    pub k_train: Vec<usize>,
+    /// Evaluation k per column.
+    pub k_eval: Vec<usize>,
+    /// `precision[row][col]` of bypass predictions.
+    pub precision: Vec<Vec<f64>>,
+    /// `recall[row][col]` of bypass predictions.
+    pub recall: Vec<Vec<f64>>,
+}
+
+/// Run the experiment. `eval_queries` fresh queries are drawn from the
+/// tail of the training order (never seen by any module).
+pub fn run_cross_k(
+    ds: &SyntheticDataset,
+    k_train: &[usize],
+    k_eval: &[usize],
+    eval_queries: usize,
+    base: &StreamOptions,
+) -> CrossKResult {
+    // Train one module per k_train, in parallel.
+    let mut modules: Vec<Option<FeedbackBypass>> = Vec::with_capacity(k_train.len());
+    modules.resize_with(k_train.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        for (slot, &k) in modules.iter_mut().zip(k_train.iter()) {
+            let opts = StreamOptions { k, ..base.clone() };
+            scope.spawn(move |_| {
+                let scan = LinearScan::new(&ds.collection);
+                *slot = Some(run_stream(ds, &scan, &opts).bypass);
+            });
+        }
+    })
+    .expect("training threads");
+
+    // Shared never-seen evaluation pool: the tail of the query order.
+    let order = query_order(ds, base.seed);
+    let pool: Vec<usize> = order
+        .into_iter()
+        .skip(base.n_queries)
+        .take(eval_queries)
+        .collect();
+    assert!(
+        !pool.is_empty(),
+        "no fresh queries left: shrink n_queries or the eval set"
+    );
+
+    let coll = &ds.collection;
+    let scan = LinearScan::new(coll);
+    let mut precision = Vec::with_capacity(k_train.len());
+    let mut recall = Vec::with_capacity(k_train.len());
+    for module in modules.iter().map(|m| m.as_ref().expect("trained")) {
+        let mut row_p = Vec::with_capacity(k_eval.len());
+        let mut row_r = Vec::with_capacity(k_eval.len());
+        for &ke in k_eval {
+            let mut ps = Vec::with_capacity(pool.len());
+            let mut rs = Vec::with_capacity(pool.len());
+            for &qidx in &pool {
+                let q = coll.vector(qidx);
+                let oracle = CategoryOracle::new(coll, coll.label(qidx));
+                let pred = module.predict(q).expect("collection query");
+                let prre = evaluate_params(&scan, &pred.point, &pred.weights, ke, &oracle);
+                ps.push(prre.precision);
+                rs.push(prre.recall);
+            }
+            row_p.push(metrics::mean(&ps));
+            row_r.push(metrics::mean(&rs));
+        }
+        precision.push(row_p);
+        recall.push(row_r);
+    }
+    CrossKResult {
+        k_train: k_train.to_vec(),
+        k_eval: k_eval.to_vec(),
+        precision,
+        recall,
+    }
+}
+
+impl CrossKResult {
+    /// Figure 13a: precision vs retrieved objects, one curve per k_train.
+    pub fn precision_figure(&self) -> Figure {
+        self.figure(
+            "Figure 13a — precision vs retrieved objects by training k",
+            "precision",
+            &self.precision,
+        )
+    }
+
+    /// Figure 13b: recall version.
+    pub fn recall_figure(&self) -> Figure {
+        self.figure(
+            "Figure 13b — recall vs retrieved objects by training k",
+            "recall",
+            &self.recall,
+        )
+    }
+
+    fn figure(&self, title: &str, y_label: &str, data: &[Vec<f64>]) -> Figure {
+        let series = self
+            .k_train
+            .iter()
+            .zip(data.iter())
+            .map(|(&kt, row)| {
+                Series::new(
+                    format!("k = {kt}"),
+                    self.k_eval
+                        .iter()
+                        .map(|&ke| ke as f64)
+                        .zip(row.iter().cloned())
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        Figure::new(title, "no. of retrieved objects", y_label, series)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbp_imagegen::DatasetConfig;
+
+    #[test]
+    fn cross_k_runs_and_reports() {
+        let ds = SyntheticDataset::generate(DatasetConfig::small());
+        let base = StreamOptions {
+            n_queries: 30,
+            ..Default::default()
+        };
+        let res = run_cross_k(&ds, &[5, 15], &[5, 10], 20, &base);
+        assert_eq!(res.precision.len(), 2);
+        assert_eq!(res.precision[0].len(), 2);
+        for row in &res.precision {
+            for &p in row {
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+        let fig = res.precision_figure();
+        assert_eq!(fig.series.len(), 2);
+        assert!(fig.series[0].name.contains("k = 5"));
+        assert!(!res.recall_figure().to_table().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no fresh queries")]
+    fn exhausted_pool_panics() {
+        let ds = SyntheticDataset::generate(DatasetConfig::small());
+        let base = StreamOptions {
+            n_queries: ds.labelled.len(), // leaves no tail
+            ..Default::default()
+        };
+        run_cross_k(&ds, &[5], &[5], 10, &base);
+    }
+}

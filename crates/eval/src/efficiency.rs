@@ -1,0 +1,175 @@
+//! Figure 15: efficiency — saved feedback cycles and saved retrieved
+//! objects, and Figure 16: Simplex Tree shape over the stream.
+//!
+//! *Saved-Cycles* (paper §5.3): for each query, run the feedback loop
+//! once from the default parameters and once from FeedbackBypass's
+//! prediction; the difference in cycles is the number of database
+//! searches the module saved. *Saved-Objects* = Saved-Cycles × k.
+
+use crate::metrics;
+use crate::report::{Figure, Series};
+use crate::stream::QueryRecord;
+
+/// Rolling savings series computed from a savings-enabled stream.
+#[derive(Debug, Clone)]
+pub struct SavingsSeries {
+    /// Query-count checkpoints.
+    pub at: Vec<usize>,
+    /// Cumulative-average saved cycles at each checkpoint.
+    pub saved_cycles: Vec<f64>,
+    /// Cumulative-average saved objects (cycles × k).
+    pub saved_objects: Vec<f64>,
+}
+
+/// Compute savings at `checkpoints` (query counts) from stream records.
+///
+/// # Panics
+/// Panics if the stream was run without `measure_savings`.
+pub fn savings(records: &[QueryRecord], k: usize, checkpoints: &[usize]) -> SavingsSeries {
+    let per_query: Vec<f64> = records
+        .iter()
+        .map(|r| {
+            let pred = r
+                .cycles_from_predicted
+                .expect("stream must be run with measure_savings");
+            r.cycles_from_default as f64 - pred as f64
+        })
+        .collect();
+    let cum = metrics::cumulative_avg(&per_query);
+    let mut at = Vec::new();
+    let mut saved_cycles = Vec::new();
+    for &cp in checkpoints {
+        if cp == 0 || cp > cum.len() {
+            continue;
+        }
+        at.push(cp);
+        saved_cycles.push(cum[cp - 1]);
+    }
+    let saved_objects = saved_cycles.iter().map(|c| c * k as f64).collect();
+    SavingsSeries {
+        at,
+        saved_cycles,
+        saved_objects,
+    }
+}
+
+impl SavingsSeries {
+    /// Series for Figure 15a (to be combined across k values).
+    pub fn cycles_series(&self, name: impl Into<String>) -> Series {
+        Series::new(
+            name,
+            self.at
+                .iter()
+                .map(|&a| a as f64)
+                .zip(self.saved_cycles.iter().cloned())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Series for Figure 15b.
+    pub fn objects_series(&self, name: impl Into<String>) -> Series {
+        Series::new(
+            name,
+            self.at
+                .iter()
+                .map(|&a| a as f64)
+                .zip(self.saved_objects.iter().cloned())
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+/// Figure 16 series: average simplices traversed and tree depth vs
+/// number of processed queries.
+pub fn tree_shape_figure(records: &[QueryRecord], checkpoints: &[usize]) -> Figure {
+    let visited: Vec<f64> = records.iter().map(|r| r.nodes_visited as f64).collect();
+    let cum_visited = metrics::cumulative_avg(&visited);
+    let mut traversed_pts = Vec::new();
+    let mut depth_pts = Vec::new();
+    for &cp in checkpoints {
+        if cp == 0 || cp > records.len() {
+            continue;
+        }
+        traversed_pts.push((cp as f64, cum_visited[cp - 1]));
+        depth_pts.push((cp as f64, records[cp - 1].tree_depth as f64));
+    }
+    Figure::new(
+        "Figure 16 — simplices traversed per query and tree depth",
+        "no. of queries",
+        "simplices",
+        vec![
+            Series::new("no. of simplices traversed", traversed_pts),
+            Series::new("Depth of Simplex Tree", depth_pts),
+        ],
+    )
+}
+
+/// Evenly spaced checkpoints `step, 2·step, …, n`.
+pub fn checkpoints(n: usize, step: usize) -> Vec<usize> {
+    assert!(step > 0);
+    let mut out: Vec<usize> = (step..=n).step_by(step).collect();
+    if out.last() != Some(&n) && n > 0 {
+        out.push(n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::PrRe;
+
+    fn record(default_cycles: usize, predicted_cycles: Option<usize>) -> QueryRecord {
+        QueryRecord {
+            category: 0,
+            default: PrRe::default(),
+            bypass: PrRe::default(),
+            seen: PrRe::default(),
+            cycles_from_default: default_cycles,
+            cycles_from_predicted: predicted_cycles,
+            nodes_visited: 3,
+            tree_depth: 4,
+            stored_points: 1,
+        }
+    }
+
+    #[test]
+    fn savings_cumulative_average() {
+        let records = vec![
+            record(3, Some(1)), // saved 2
+            record(2, Some(2)), // saved 0
+            record(4, Some(1)), // saved 3
+            record(3, Some(2)), // saved 1
+        ];
+        let s = savings(&records, 20, &[2, 4]);
+        assert_eq!(s.at, vec![2, 4]);
+        assert!((s.saved_cycles[0] - 1.0).abs() < 1e-12); // (2+0)/2
+        assert!((s.saved_cycles[1] - 1.5).abs() < 1e-12); // (2+0+3+1)/4
+        assert_eq!(s.saved_objects[1], 30.0); // 1.5 × 20
+        let series = s.cycles_series("k = 20");
+        assert_eq!(series.len(), 2);
+        assert_eq!(s.objects_series("k = 20").y, vec![20.0, 30.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "measure_savings")]
+    fn savings_requires_measurement() {
+        savings(&[record(1, None)], 10, &[1]);
+    }
+
+    #[test]
+    fn checkpoints_cover_the_end() {
+        assert_eq!(checkpoints(10, 3), vec![3, 6, 9, 10]);
+        assert_eq!(checkpoints(9, 3), vec![3, 6, 9]);
+        assert_eq!(checkpoints(0, 5), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn tree_shape_series() {
+        let records: Vec<QueryRecord> = (0..10).map(|_| record(1, None)).collect();
+        let fig = tree_shape_figure(&records, &checkpoints(10, 5));
+        assert_eq!(fig.series.len(), 2);
+        assert_eq!(fig.series[0].y, vec![3.0, 3.0]);
+        assert_eq!(fig.series[1].y, vec![4.0, 4.0]);
+    }
+}

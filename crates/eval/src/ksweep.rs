@@ -1,0 +1,176 @@
+//! Figure 11: precision, recall and the precision-recall curve as
+//! functions of `k` after N training queries.
+//!
+//! The paper trains and evaluates with the same `k` ("In the previous
+//! experiments we have considered a same value of k both to train the
+//! system and to evaluate it", §5.1), so each sweep point gets its own
+//! trained tree. Points are independent → evaluated in parallel with
+//! scoped threads.
+
+use crate::metrics;
+use crate::report::{Figure, Series};
+use crate::stream::{run_stream, StreamOptions, StreamResult};
+use fbp_imagegen::SyntheticDataset;
+use fbp_vecdb::{KnnEngine, LinearScan};
+
+/// Results of the Figure 11 sweep.
+#[derive(Debug, Clone)]
+pub struct KSweepResult {
+    /// Swept k values.
+    pub ks: Vec<usize>,
+    /// Tail-mean precision per k: `(default, bypass, already_seen)`.
+    pub precision: Vec<(f64, f64, f64)>,
+    /// Tail-mean recall per k.
+    pub recall: Vec<(f64, f64, f64)>,
+}
+
+/// Fraction of the stream used for the steady-state tail average.
+const TAIL_FRACTION: f64 = 0.5;
+
+/// Run the sweep: one independent stream per `k`.
+pub fn run_ksweep(ds: &SyntheticDataset, ks: &[usize], base: &StreamOptions) -> KSweepResult {
+    let mut outcomes: Vec<Option<StreamResult>> = Vec::with_capacity(ks.len());
+    outcomes.resize_with(ks.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        for (slot, &k) in outcomes.iter_mut().zip(ks.iter()) {
+            let opts = StreamOptions {
+                k,
+                ..base.clone()
+            };
+            scope.spawn(move |_| {
+                // Each thread builds its own engine view; LinearScan is a
+                // cheap borrow of the shared collection.
+                let scan = LinearScan::new(&ds.collection);
+                *slot = Some(run_stream(ds, &scan, &opts));
+            });
+        }
+    })
+    .expect("sweep threads");
+
+    let mut precision = Vec::with_capacity(ks.len());
+    let mut recall = Vec::with_capacity(ks.len());
+    for outcome in outcomes {
+        let res = outcome.expect("thread filled its slot");
+        let tail = ((res.records.len() as f64 * TAIL_FRACTION) as usize).max(1);
+        let col = |f: &dyn Fn(&crate::stream::QueryRecord) -> f64| {
+            let v: Vec<f64> = res.records.iter().map(f).collect();
+            metrics::tail_mean(&v, tail)
+        };
+        precision.push((
+            col(&|r| r.default.precision),
+            col(&|r| r.bypass.precision),
+            col(&|r| r.seen.precision),
+        ));
+        recall.push((
+            col(&|r| r.default.recall),
+            col(&|r| r.bypass.recall),
+            col(&|r| r.seen.recall),
+        ));
+    }
+    KSweepResult {
+        ks: ks.to_vec(),
+        precision,
+        recall,
+    }
+}
+
+impl KSweepResult {
+    /// Figure 11a: precision vs k.
+    pub fn precision_figure(&self) -> Figure {
+        self.make_figure("Figure 11a — precision vs k", "k", "precision", &self.precision)
+    }
+
+    /// Figure 11b: recall vs k.
+    pub fn recall_figure(&self) -> Figure {
+        self.make_figure("Figure 11b — recall vs k", "k", "recall", &self.recall)
+    }
+
+    /// Figure 11c: precision vs recall (parameterized by k).
+    pub fn pr_curve_figure(&self) -> Figure {
+        let curve = |pick: &dyn Fn(&(f64, f64, f64)) -> f64, name: &str| {
+            Series::new(
+                name,
+                self.recall
+                    .iter()
+                    .zip(self.precision.iter())
+                    .map(|(re, pr)| (pick(re), pick(pr)))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        Figure::new(
+            "Figure 11c — precision vs recall",
+            "recall",
+            "precision",
+            vec![
+                curve(&|t| t.2, "AlreadySeen"),
+                curve(&|t| t.1, "FeedbackBypass"),
+                curve(&|t| t.0, "Default"),
+            ],
+        )
+    }
+
+    fn make_figure(
+        &self,
+        title: &str,
+        x_label: &str,
+        y_label: &str,
+        data: &[(f64, f64, f64)],
+    ) -> Figure {
+        let xs: Vec<f64> = self.ks.iter().map(|&k| k as f64).collect();
+        let series = |pick: &dyn Fn(&(f64, f64, f64)) -> f64, name: &str| {
+            Series::new(
+                name,
+                xs.iter().cloned().zip(data.iter().map(pick)).collect::<Vec<_>>(),
+            )
+        };
+        Figure::new(
+            title,
+            x_label,
+            y_label,
+            vec![
+                series(&|t| t.2, "AlreadySeen"),
+                series(&|t| t.1, "FeedbackBypass"),
+                series(&|t| t.0, "Default"),
+            ],
+        )
+    }
+}
+
+/// Convenience: sweep with an externally supplied engine per k is not
+/// needed — the scan engine borrows the collection. Exposed for tests.
+pub fn run_ksweep_with_engine(
+    ds: &SyntheticDataset,
+    _engine: &dyn KnnEngine,
+    ks: &[usize],
+    base: &StreamOptions,
+) -> KSweepResult {
+    run_ksweep(ds, ks, base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbp_imagegen::DatasetConfig;
+
+    #[test]
+    fn sweep_produces_ordered_scenarios() {
+        let ds = SyntheticDataset::generate(DatasetConfig::small());
+        let base = StreamOptions {
+            n_queries: 40,
+            ..Default::default()
+        };
+        let res = run_ksweep(&ds, &[5, 15], &base);
+        assert_eq!(res.ks, vec![5, 15]);
+        assert_eq!(res.precision.len(), 2);
+        for (d, _b, s) in &res.precision {
+            assert!(*s >= *d - 0.05, "seen {s} should be >= default {d}");
+        }
+        // Recall grows with k for the default scenario.
+        assert!(res.recall[1].0 >= res.recall[0].0 - 0.02);
+        // Figures render.
+        let fig = res.precision_figure();
+        assert_eq!(fig.series.len(), 3);
+        assert!(!res.pr_curve_figure().to_table().is_empty());
+        assert!(!res.recall_figure().to_json().is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! # fbp-eval
+//!
+//! Evaluation harness reproducing the paper's experimental protocol (§5).
+//!
+//! The paper's setup: ~10,000 color images, 7 labelled categories, 32-bin
+//! HSV histograms, weighted Euclidean distances with the unweighted
+//! Euclidean as default, query point movement + re-weighting feedback,
+//! automated category-oracle judgments, and three measurement scenarios:
+//!
+//! * **Default** — search with the user's query point and the default
+//!   distance;
+//! * **FeedbackBypass** — search with the parameters predicted by the
+//!   module for *never-seen* queries;
+//! * **AlreadySeen** — search with the parameters a feedback loop
+//!   converged to for this exact query (the module's upper bound).
+//!
+//! Modules map one-to-one onto the paper's figures:
+//!
+//! | module | figures |
+//! |---|---|
+//! | [`stream`] | 10, 12, 16 (sequential learning curve) |
+//! | [`ksweep`] | 11 (per-k trained trees after N queries) |
+//! | [`cross_k`] | 13 (train-k vs evaluate-k) |
+//! | [`per_category`] | 14 (the 7 categories) |
+//! | [`efficiency`] | 15 (saved cycles / saved objects) |
+//! | [`report`] | series containers + text/JSON rendering |
+
+#![warn(missing_docs)]
+
+pub mod cross_k;
+pub mod efficiency;
+pub mod ksweep;
+pub mod metrics;
+pub mod per_category;
+pub mod report;
+pub mod scenario;
+pub mod stream;
+
+pub use metrics::{cumulative_avg, moving_avg, precision_gain};
+pub use report::Series;
+pub use scenario::evaluate_params;
+pub use stream::{run_stream, QueryRecord, StreamOptions};

@@ -1,0 +1,135 @@
+//! Retrieval-effectiveness metrics (paper §5).
+
+/// Precision: relevant results over retrieved results `k`.
+///
+/// The paper fixes the denominator at `k` ("precision (Pr) is the number
+/// of retrieved relevant objects over k").
+pub fn precision(relevant_retrieved: usize, k: usize) -> f64 {
+    if k == 0 {
+        0.0
+    } else {
+        relevant_retrieved as f64 / k as f64
+    }
+}
+
+/// Recall: relevant results over the total number of relevant objects
+/// (the query category's size).
+pub fn recall(relevant_retrieved: usize, total_relevant: usize) -> f64 {
+    if total_relevant == 0 {
+        0.0
+    } else {
+        relevant_retrieved as f64 / total_relevant as f64
+    }
+}
+
+/// The paper's precision-gain metric (Figure 10b):
+/// `(Pr(method) / Pr(default) − 1) × 100` percent.
+pub fn precision_gain(method: f64, default: f64) -> f64 {
+    if default <= 0.0 {
+        0.0
+    } else {
+        (method / default - 1.0) * 100.0
+    }
+}
+
+/// Cumulative running average: `out[t] = mean(values[..=t])`.
+///
+/// The learning-curve figures plot average effectiveness as a function of
+/// the number of processed queries; the cumulative average is the
+/// smoothest faithful rendering of that.
+pub fn cumulative_avg(values: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(values.len());
+    let mut sum = 0.0;
+    for (i, &v) in values.iter().enumerate() {
+        sum += v;
+        out.push(sum / (i + 1) as f64);
+    }
+    out
+}
+
+/// Trailing moving average with the given window (cumulative while the
+/// prefix is shorter than the window).
+pub fn moving_avg(values: &[f64], window: usize) -> Vec<f64> {
+    assert!(window > 0, "moving_avg: zero window");
+    let mut out = Vec::with_capacity(values.len());
+    let mut sum = 0.0;
+    for i in 0..values.len() {
+        sum += values[i];
+        if i >= window {
+            sum -= values[i - window];
+            out.push(sum / window as f64);
+        } else {
+            out.push(sum / (i + 1) as f64);
+        }
+    }
+    out
+}
+
+/// Mean of a slice (0.0 when empty).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Mean of the last `n` values (all of them when fewer).
+pub fn tail_mean(values: &[f64], n: usize) -> f64 {
+    let start = values.len().saturating_sub(n);
+    mean(&values[start..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_recall_basics() {
+        assert_eq!(precision(10, 50), 0.2);
+        assert_eq!(precision(0, 50), 0.0);
+        assert_eq!(precision(5, 0), 0.0);
+        assert_eq!(recall(10, 100), 0.1);
+        assert_eq!(recall(10, 0), 0.0);
+    }
+
+    #[test]
+    fn gain_matches_paper_formula() {
+        // Doubling precision = +100% gain (the paper's AlreadySeen
+        // headline).
+        assert_eq!(precision_gain(0.5, 0.25), 100.0);
+        assert!((precision_gain(0.4, 0.25) - 60.0).abs() < 1e-12);
+        assert_eq!(precision_gain(0.25, 0.25), 0.0);
+        assert_eq!(precision_gain(0.5, 0.0), 0.0);
+    }
+
+    #[test]
+    fn cumulative_avg_works() {
+        let v = [1.0, 3.0, 5.0];
+        assert_eq!(cumulative_avg(&v), vec![1.0, 2.0, 3.0]);
+        assert!(cumulative_avg(&[]).is_empty());
+    }
+
+    #[test]
+    fn moving_avg_works() {
+        let v = [1.0, 3.0, 5.0, 7.0];
+        let m = moving_avg(&v, 2);
+        assert_eq!(m, vec![1.0, 2.0, 4.0, 6.0]);
+        // Window larger than data = cumulative.
+        assert_eq!(moving_avg(&v, 10), cumulative_avg(&v));
+    }
+
+    #[test]
+    #[should_panic]
+    fn moving_avg_zero_window_panics() {
+        moving_avg(&[1.0], 0);
+    }
+
+    #[test]
+    fn means() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(tail_mean(&[1.0, 2.0, 3.0, 4.0], 2), 3.5);
+        assert_eq!(tail_mean(&[1.0], 5), 1.0);
+    }
+}

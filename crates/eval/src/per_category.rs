@@ -1,0 +1,152 @@
+//! Figure 14: per-category effectiveness of the three scenarios.
+//!
+//! The paper's reading: FeedbackBypass helps exactly where the gap
+//! between Default and AlreadySeen is large (feedback genuinely improves
+//! results, e.g. Mammal); where feedback barely helps (TreeLeaf) the
+//! predictions can't help either; small categories (Fish, 129 images)
+//! may not accumulate enough samples to shape the mapping.
+
+use crate::metrics;
+use crate::report::{Figure, Series};
+use crate::stream::QueryRecord;
+use fbp_vecdb::{CategoryId, Collection};
+
+/// Per-category scenario averages.
+#[derive(Debug, Clone)]
+pub struct CategoryBreakdown {
+    /// Category names in paper order.
+    pub names: Vec<String>,
+    /// `(default, bypass, seen)` mean precision per category.
+    pub precision: Vec<(f64, f64, f64)>,
+    /// `(default, bypass, seen)` mean recall per category.
+    pub recall: Vec<(f64, f64, f64)>,
+    /// Queries that fell into each category.
+    pub query_counts: Vec<usize>,
+}
+
+/// Group a stream's records by query category.
+pub fn breakdown(coll: &Collection, records: &[QueryRecord]) -> CategoryBreakdown {
+    let n_cats = coll.category_count();
+    let mut names = Vec::with_capacity(n_cats);
+    let mut precision = Vec::with_capacity(n_cats);
+    let mut recall = Vec::with_capacity(n_cats);
+    let mut query_counts = Vec::with_capacity(n_cats);
+    for c in 0..n_cats as CategoryId {
+        let rs: Vec<&QueryRecord> = records.iter().filter(|r| r.category == c).collect();
+        let col = |f: &dyn Fn(&QueryRecord) -> f64| {
+            let v: Vec<f64> = rs.iter().map(|r| f(r)).collect();
+            metrics::mean(&v)
+        };
+        names.push(
+            coll.category_name(c)
+                .unwrap_or("<unknown>")
+                .to_string(),
+        );
+        precision.push((
+            col(&|r| r.default.precision),
+            col(&|r| r.bypass.precision),
+            col(&|r| r.seen.precision),
+        ));
+        recall.push((
+            col(&|r| r.default.recall),
+            col(&|r| r.bypass.recall),
+            col(&|r| r.seen.recall),
+        ));
+        query_counts.push(rs.len());
+    }
+    CategoryBreakdown {
+        names,
+        precision,
+        recall,
+        query_counts,
+    }
+}
+
+impl CategoryBreakdown {
+    /// Figure 14a: per-category precision bars (x = category index).
+    pub fn precision_figure(&self) -> Figure {
+        self.figure("Figure 14a — per-category precision", "precision", &self.precision)
+    }
+
+    /// Figure 14b: per-category recall bars.
+    pub fn recall_figure(&self) -> Figure {
+        self.figure("Figure 14b — per-category recall", "recall", &self.recall)
+    }
+
+    fn figure(&self, title: &str, y_label: &str, data: &[(f64, f64, f64)]) -> Figure {
+        let xs: Vec<f64> = (0..self.names.len()).map(|i| i as f64).collect();
+        let series = |pick: &dyn Fn(&(f64, f64, f64)) -> f64, name: &str| {
+            Series::new(
+                name,
+                xs.iter().cloned().zip(data.iter().map(pick)).collect::<Vec<_>>(),
+            )
+        };
+        Figure::new(
+            format!("{title} [categories: {}]", self.names.join(", ")),
+            "category",
+            y_label,
+            vec![
+                series(&|t| t.2, "AlreadySeen"),
+                series(&|t| t.1, "FeedbackBypass"),
+                series(&|t| t.0, "Default"),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::PrRe;
+
+    fn record(cat: CategoryId, d: f64, b: f64, s: f64) -> QueryRecord {
+        QueryRecord {
+            category: cat,
+            default: PrRe {
+                precision: d,
+                recall: d / 2.0,
+            },
+            bypass: PrRe {
+                precision: b,
+                recall: b / 2.0,
+            },
+            seen: PrRe {
+                precision: s,
+                recall: s / 2.0,
+            },
+            cycles_from_default: 1,
+            cycles_from_predicted: None,
+            nodes_visited: 1,
+            tree_depth: 1,
+            stored_points: 0,
+        }
+    }
+
+    #[test]
+    fn groups_by_category() {
+        let mut b = fbp_vecdb::CollectionBuilder::new();
+        let c0 = b.category("A");
+        let c1 = b.category("B");
+        b.push(&[0.0], c0).unwrap();
+        b.push(&[1.0], c1).unwrap();
+        let coll = b.build();
+        let records = vec![
+            record(c0, 0.2, 0.3, 0.5),
+            record(c0, 0.4, 0.5, 0.7),
+            record(c1, 0.1, 0.1, 0.2),
+        ];
+        let bd = breakdown(&coll, &records);
+        assert_eq!(bd.names, vec!["A", "B"]);
+        assert_eq!(bd.query_counts, vec![2, 1]);
+        let (d, by, s) = bd.precision[0];
+        assert!((d - 0.3).abs() < 1e-12);
+        assert!((by - 0.4).abs() < 1e-12);
+        assert!((s - 0.6).abs() < 1e-12);
+        // Empty categories yield zero means, not NaN.
+        let bd2 = breakdown(&coll, &records[2..]);
+        assert_eq!(bd2.precision[0], (0.0, 0.0, 0.0));
+        // Figures render.
+        assert!(bd.precision_figure().to_table().contains('A'));
+        assert!(!bd.recall_figure().to_json().is_empty());
+    }
+}

@@ -1,0 +1,324 @@
+//! The sequential query-stream experiment (Figures 10, 12, 16).
+//!
+//! Protocol (paper §5): queries are sampled from the 7 categories
+//! (without replacement, so the FeedbackBypass scenario always measures
+//! *never-seen* queries). For each query:
+//!
+//! 1. measure the **Default** scenario (query point + Euclidean);
+//! 2. ask the module for predicted parameters and measure the
+//!    **FeedbackBypass** scenario;
+//! 3. run the feedback loop to convergence from the default parameters;
+//!    its final parameters define the **AlreadySeen** scenario;
+//! 4. optionally re-run the loop from the predicted parameters (the
+//!    Figure 15 savings measurement);
+//! 5. insert the converged parameters into the module.
+
+use crate::scenario::{evaluate_default, evaluate_params, PrRe};
+use feedbackbypass::{BypassConfig, FeedbackBypass};
+use fbp_feedback::{CategoryOracle, FeedbackConfig, FeedbackLoop};
+use fbp_imagegen::SyntheticDataset;
+use fbp_vecdb::{CategoryId, KnnEngine};
+use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Which blocks of the predicted OQPs the FeedbackBypass scenario uses —
+/// the component ablation (query point movement vs re-weighting are the
+/// paper's two separate feedback strategies, §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BypassComponents {
+    /// Predicted query point and predicted weights (the paper's system).
+    #[default]
+    Full,
+    /// Only the predicted weights; query point left untouched.
+    WeightsOnly,
+    /// Only the predicted query point; default (uniform) weights.
+    MovementOnly,
+}
+
+/// Options for one stream run.
+#[derive(Debug, Clone)]
+pub struct StreamOptions {
+    /// Number of queries to process (paper: 1000).
+    pub n_queries: usize,
+    /// Results per search (paper: k ∈ {20, 50, 80}, 50 typical).
+    pub k: usize,
+    /// Feedback loop configuration template (its `k` is overridden).
+    pub feedback: FeedbackConfig,
+    /// FeedbackBypass module configuration.
+    pub bypass: BypassConfig,
+    /// Which predicted blocks the bypass scenario applies.
+    pub components: BypassComponents,
+    /// Also run the loop from predicted parameters to measure
+    /// Saved-Cycles (doubles the loop work).
+    pub measure_savings: bool,
+    /// Query-sampling seed.
+    pub seed: u64,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            n_queries: 1000,
+            k: 50,
+            feedback: FeedbackConfig::default(),
+            bypass: BypassConfig::default(),
+            components: BypassComponents::Full,
+            measure_savings: false,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+/// Everything measured for one processed query.
+#[derive(Debug, Clone)]
+pub struct QueryRecord {
+    /// Query image's category.
+    pub category: CategoryId,
+    /// Default scenario.
+    pub default: PrRe,
+    /// FeedbackBypass scenario (prediction for a never-seen query).
+    pub bypass: PrRe,
+    /// AlreadySeen scenario (converged parameters).
+    pub seen: PrRe,
+    /// Feedback cycles when starting from default parameters.
+    pub cycles_from_default: usize,
+    /// Feedback cycles when starting from the prediction (only when
+    /// `measure_savings`).
+    pub cycles_from_predicted: Option<usize>,
+    /// Simplices traversed by this query's prediction lookup (Fig 16).
+    pub nodes_visited: usize,
+    /// Tree depth after processing this query (Fig 16).
+    pub tree_depth: usize,
+    /// Stored points after processing this query.
+    pub stored_points: u64,
+}
+
+/// Outcome of a stream run: per-query records plus the trained module.
+pub struct StreamResult {
+    /// One record per processed query, in order.
+    pub records: Vec<QueryRecord>,
+    /// The module after all inserts (reusable for k-sweeps).
+    pub bypass: FeedbackBypass,
+}
+
+/// The canonical shuffled query order for a given seed. `run_stream`
+/// trains on the first `n_queries` entries; sweep experiments use the
+/// *tail* as their pool of genuinely never-seen evaluation queries.
+pub fn query_order(ds: &SyntheticDataset, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = ds.labelled.clone();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    order
+}
+
+/// Run the full protocol. The engine must index `ds.collection`.
+pub fn run_stream(
+    ds: &SyntheticDataset,
+    engine: &dyn KnnEngine,
+    opts: &StreamOptions,
+) -> StreamResult {
+    let coll = &ds.collection;
+    let dim = coll.dim();
+    let mut bypass = FeedbackBypass::for_histograms(dim, opts.bypass.clone())
+        .expect("histogram features");
+    let mut feedback = opts.feedback.clone();
+    feedback.k = opts.k;
+
+    // Without-replacement query order over the labelled pool.
+    let mut order = query_order(ds, opts.seed);
+    order.truncate(opts.n_queries);
+
+    let mut records = Vec::with_capacity(order.len());
+    let fb_loop = FeedbackLoop::new(engine, coll, feedback);
+    for &qidx in &order {
+        let q: Vec<f64> = coll.vector(qidx).to_vec();
+        let category = coll.label(qidx);
+        let oracle = CategoryOracle::new(coll, category);
+
+        // 1. Default scenario.
+        let default = evaluate_default(engine, &q, opts.k, &oracle);
+
+        // 2. FeedbackBypass scenario: prediction for a never-seen query.
+        let predicted = bypass.predict(&q).expect("query from the collection");
+        let (bp_point, bp_weights): (&[f64], Vec<f64>) = match opts.components {
+            BypassComponents::Full => (&predicted.point, predicted.weights.clone()),
+            BypassComponents::WeightsOnly => (&q, predicted.weights.clone()),
+            BypassComponents::MovementOnly => (&predicted.point, vec![1.0; dim]),
+        };
+        let bypass_prre = evaluate_params(engine, bp_point, &bp_weights, opts.k, &oracle);
+
+        // 3. Feedback loop from defaults → AlreadySeen parameters.
+        let loop_default = fb_loop.run(&q, &oracle).expect("loop from defaults");
+        let seen = evaluate_params(
+            engine,
+            &loop_default.point,
+            &loop_default.weights,
+            opts.k,
+            &oracle,
+        );
+
+        // 4. Optional savings measurement.
+        let cycles_from_predicted = if opts.measure_savings {
+            let loop_pred = fb_loop
+                .run_from(&predicted.point, &predicted.weights, &oracle)
+                .expect("loop from prediction");
+            Some(loop_pred.cycles)
+        } else {
+            None
+        };
+
+        // 5. Insert the converged parameters (only if the loop learned
+        // something; Figure 5's guard).
+        if loop_default.cycles > 0 {
+            bypass
+                .insert(&q, &loop_default.point, &loop_default.weights)
+                .expect("insert converged parameters");
+        }
+
+        let shape = bypass.tree().shape();
+        records.push(QueryRecord {
+            category,
+            default,
+            bypass: bypass_prre,
+            seen,
+            cycles_from_default: loop_default.cycles,
+            cycles_from_predicted,
+            nodes_visited: predicted.nodes_visited,
+            tree_depth: shape.depth,
+            stored_points: shape.stored_points,
+        });
+    }
+    StreamResult { records, bypass }
+}
+
+/// Column extractors used by the figure benches.
+impl QueryRecord {
+    /// `(default, bypass, seen)` precision triple.
+    pub fn precisions(&self) -> (f64, f64, f64) {
+        (
+            self.default.precision,
+            self.bypass.precision,
+            self.seen.precision,
+        )
+    }
+
+    /// `(default, bypass, seen)` recall triple.
+    pub fn recalls(&self) -> (f64, f64, f64) {
+        (self.default.recall, self.bypass.recall, self.seen.recall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use fbp_imagegen::DatasetConfig;
+    use fbp_vecdb::LinearScan;
+
+    fn tiny_stream(n: usize, k: usize, savings: bool) -> StreamResult {
+        let ds = SyntheticDataset::generate(DatasetConfig::small());
+        let scan = LinearScan::new(&ds.collection);
+        let opts = StreamOptions {
+            n_queries: n,
+            k,
+            measure_savings: savings,
+            ..Default::default()
+        };
+        run_stream(&ds, &scan, &opts)
+    }
+
+    #[test]
+    fn stream_produces_records_and_learns() {
+        let res = tiny_stream(60, 10, false);
+        assert_eq!(res.records.len(), 60);
+        // The tree must have stored something.
+        let last = res.records.last().unwrap();
+        assert!(last.stored_points > 0, "nothing stored");
+        assert!(last.tree_depth >= 2);
+        // AlreadySeen must dominate Default on average (it is the loop's
+        // converged result for the very same queries).
+        let d: Vec<f64> = res.records.iter().map(|r| r.default.precision).collect();
+        let s: Vec<f64> = res.records.iter().map(|r| r.seen.precision).collect();
+        assert!(
+            metrics::mean(&s) > metrics::mean(&d),
+            "seen {} <= default {}",
+            metrics::mean(&s),
+            metrics::mean(&d)
+        );
+    }
+
+    #[test]
+    fn bypass_improves_over_time() {
+        let res = tiny_stream(80, 10, false);
+        // Late-stream bypass predictions should beat early ones relative
+        // to default (the learning effect). Compare gains, not raw
+        // precision, to control for query difficulty.
+        let gains: Vec<f64> = res
+            .records
+            .iter()
+            .map(|r| r.bypass.precision - r.default.precision)
+            .collect();
+        let early = metrics::mean(&gains[..20]);
+        let late = metrics::tail_mean(&gains, 20);
+        assert!(
+            late >= early - 0.02,
+            "bypass gain should not degrade: early {early}, late {late}"
+        );
+    }
+
+    #[test]
+    fn savings_measured_when_requested() {
+        let res = tiny_stream(20, 10, true);
+        assert!(res
+            .records
+            .iter()
+            .all(|r| r.cycles_from_predicted.is_some()));
+        let res2 = tiny_stream(5, 10, false);
+        assert!(res2
+            .records
+            .iter()
+            .all(|r| r.cycles_from_predicted.is_none()));
+    }
+
+    #[test]
+    fn queries_are_never_seen_before() {
+        // Sampling is without replacement: stored points ≤ distinct
+        // queries, and records count = requested.
+        let res = tiny_stream(50, 10, false);
+        let last = res.records.last().unwrap();
+        assert!(last.stored_points <= 50);
+    }
+
+    #[test]
+    fn component_variants_behave() {
+        let ds = SyntheticDataset::generate(DatasetConfig::small());
+        let scan = LinearScan::new(&ds.collection);
+        let run_with = |components: BypassComponents| {
+            let opts = StreamOptions {
+                n_queries: 40,
+                k: 10,
+                components,
+                ..Default::default()
+            };
+            run_stream(&ds, &scan, &opts)
+        };
+        let full = run_with(BypassComponents::Full);
+        let weights = run_with(BypassComponents::WeightsOnly);
+        let movement = run_with(BypassComponents::MovementOnly);
+        // The three variants share Default and AlreadySeen measurements
+        // exactly (only the bypass evaluation differs).
+        for ((f, w), m) in full
+            .records
+            .iter()
+            .zip(weights.records.iter())
+            .zip(movement.records.iter())
+        {
+            assert_eq!(f.default.precision, w.default.precision);
+            assert_eq!(f.seen.precision, m.seen.precision);
+        }
+        // MovementOnly with a fresh tree equals default precision on the
+        // very first query (nothing learned yet → Δ = 0, weights = 1).
+        let first = &movement.records[0];
+        assert_eq!(first.bypass.precision, first.default.precision);
+    }
+}

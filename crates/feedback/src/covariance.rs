@@ -1,0 +1,151 @@
+//! Full-covariance (Mahalanobis) re-weighting — the ISF98 quadratic-form
+//! extension the paper describes in §2 but excludes from its experiments
+//! (with k ≤ 80 good matches, the 496 parameters of a 32-dim quadratic
+//! form cannot be estimated — §5). Provided as the documented extension.
+
+use crate::score::ScoredPoint;
+use crate::{FeedbackError, Result};
+use fbp_linalg::Matrix;
+use fbp_vecdb::QuadraticDistance;
+
+/// Score-weighted covariance matrix of the good examples.
+pub fn weighted_covariance(good: &[ScoredPoint<'_>]) -> Result<Matrix> {
+    let Some(first) = good.first() else {
+        return Err(FeedbackError::NoPositiveExamples);
+    };
+    let dim = first.point.len();
+    let mut total = 0.0;
+    let mut mean = vec![0.0; dim];
+    for sp in good {
+        if sp.point.len() != dim {
+            return Err(FeedbackError::DimMismatch {
+                expected: dim,
+                got: sp.point.len(),
+            });
+        }
+        total += sp.score;
+        for (m, &x) in mean.iter_mut().zip(sp.point.iter()) {
+            *m += sp.score * x;
+        }
+    }
+    if total <= 0.0 {
+        return Err(FeedbackError::NoPositiveExamples);
+    }
+    for m in mean.iter_mut() {
+        *m /= total;
+    }
+    let mut cov = Matrix::zeros(dim, dim);
+    let mut centered = vec![0.0; dim];
+    for sp in good {
+        if sp.score <= 0.0 {
+            continue;
+        }
+        for i in 0..dim {
+            centered[i] = sp.point[i] - mean[i];
+        }
+        for i in 0..dim {
+            let ci = sp.score * centered[i];
+            if ci == 0.0 {
+                continue;
+            }
+            let row = cov.row_mut(i);
+            for j in 0..dim {
+                row[j] += ci * centered[j];
+            }
+        }
+    }
+    for i in 0..dim {
+        for j in 0..dim {
+            cov[(i, j)] /= total;
+        }
+    }
+    Ok(cov)
+}
+
+/// ISF98 optimal quadratic distance: `W ∝ Σ⁻¹` of the good examples'
+/// covariance, ridge-regularized (`ridge·I`) because the number of good
+/// matches is routinely smaller than the dimensionality.
+pub fn mahalanobis_reweight(
+    good: &[ScoredPoint<'_>],
+    ridge: f64,
+) -> Result<QuadraticDistance> {
+    let cov = weighted_covariance(good)?;
+    QuadraticDistance::mahalanobis(&cov, ridge)
+        .map_err(|e| FeedbackError::BadConfig(format!("covariance inversion failed: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbp_vecdb::Distance;
+
+    #[test]
+    fn covariance_matches_unweighted_formula() {
+        let rows = [vec![1.0, 2.0], vec![3.0, 6.0], vec![5.0, 10.0]];
+        let pts: Vec<ScoredPoint> = rows.iter().map(|r| ScoredPoint::new(r, 1.0)).collect();
+        let cov = weighted_covariance(&pts).unwrap();
+        let v = 8.0 / 3.0;
+        assert!((cov[(0, 0)] - v).abs() < 1e-12);
+        assert!((cov[(1, 1)] - 4.0 * v).abs() < 1e-12);
+        assert!((cov[(0, 1)] - 2.0 * v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scores_reweight_covariance() {
+        // Down-weighting the outlier shrinks the variance.
+        let a = vec![0.0];
+        let b = vec![0.0];
+        let c = vec![10.0];
+        let full: Vec<ScoredPoint> = vec![
+            ScoredPoint::new(&a, 1.0),
+            ScoredPoint::new(&b, 1.0),
+            ScoredPoint::new(&c, 1.0),
+        ];
+        let damped: Vec<ScoredPoint> = vec![
+            ScoredPoint::new(&a, 1.0),
+            ScoredPoint::new(&b, 1.0),
+            ScoredPoint::new(&c, 0.01),
+        ];
+        let v_full = weighted_covariance(&full).unwrap()[(0, 0)];
+        let v_damped = weighted_covariance(&damped).unwrap()[(0, 0)];
+        assert!(v_damped < v_full);
+    }
+
+    #[test]
+    fn mahalanobis_reweight_whitens() {
+        // Good examples spread 10× more along dim 0 than dim 1: the learned
+        // metric must charge dim-1 displacements more.
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let t = (i as f64 - 9.5) / 9.5;
+                vec![10.0 * t, t]
+            })
+            .collect();
+        let pts: Vec<ScoredPoint> = rows.iter().map(|r| ScoredPoint::new(r, 1.0)).collect();
+        let dist = mahalanobis_reweight(&pts, 1e-6).unwrap();
+        let o = [0.0, 0.0];
+        let along = dist.eval(&o, &[1.0, 0.0]);
+        let across = dist.eval(&o, &[0.0, 1.0]);
+        assert!(
+            across > 5.0 * along,
+            "across {across} should cost much more than along {along}"
+        );
+    }
+
+    #[test]
+    fn degenerate_needs_ridge() {
+        // Two identical points: covariance 0, inversion impossible bare.
+        let a = vec![0.5, 0.5];
+        let pts = vec![ScoredPoint::new(&a, 1.0), ScoredPoint::new(&a, 1.0)];
+        assert!(mahalanobis_reweight(&pts, 0.0).is_err());
+        assert!(mahalanobis_reweight(&pts, 1e-6).is_ok());
+    }
+
+    #[test]
+    fn empty_errors() {
+        assert!(matches!(
+            weighted_covariance(&[]),
+            Err(FeedbackError::NoPositiveExamples)
+        ));
+    }
+}

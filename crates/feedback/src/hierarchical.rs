@@ -1,0 +1,144 @@
+//! Rui-Huang hierarchical re-weighting \[RH00\] (paper §2, last paragraph).
+//!
+//! Two levels: *within* each feature, component weights follow the σ-based
+//! rule; *across* features, each feature `e` gets a weight `uₑ` inversely
+//! proportional to the total distance of the good matches from the query
+//! under that feature alone — features that already rank the good matches
+//! close get trusted more.
+
+use crate::reweight::{normalize_geomean, ReweightOptions};
+use crate::score::ScoredPoint;
+use crate::{FeedbackError, Result};
+use fbp_vecdb::distance::FeatureSpan;
+use fbp_vecdb::HierarchicalDistance;
+
+/// Learn a full hierarchical distance from good feedback examples.
+///
+/// * component weights: [`crate::reweight::reweight`] applied per span;
+/// * feature weights: `uₑ ∝ 1 / Σⱼ scoreⱼ·dₑ(q, pⱼ)` (floored), normalized
+///   to geometric mean 1.
+pub fn hierarchical_reweight(
+    query: &[f64],
+    good: &[ScoredPoint<'_>],
+    spans: &[FeatureSpan],
+    opts: &ReweightOptions,
+) -> Result<HierarchicalDistance> {
+    let Some(first) = good.first() else {
+        return Err(FeedbackError::NoPositiveExamples);
+    };
+    let dim = first.point.len();
+    if query.len() != dim {
+        return Err(FeedbackError::DimMismatch {
+            expected: dim,
+            got: query.len(),
+        });
+    }
+    if spans.is_empty() || spans.last().map(|s| s.end) != Some(dim) {
+        return Err(FeedbackError::BadConfig(
+            "feature spans must tile the feature vector".into(),
+        ));
+    }
+
+    // Component weights: the σ rule applied to each span's sub-vectors.
+    let mut component_weights = vec![0.0; dim];
+    for span in spans {
+        let sub: Vec<Vec<f64>> = good
+            .iter()
+            .filter(|sp| sp.score > 0.0)
+            .map(|sp| sp.point[span.start..span.end].to_vec())
+            .collect();
+        let scored: Vec<ScoredPoint> = sub
+            .iter()
+            .zip(good.iter().filter(|sp| sp.score > 0.0))
+            .map(|(v, orig)| ScoredPoint::new(v, orig.score))
+            .collect();
+        let w = crate::reweight::reweight(&scored, opts)?;
+        component_weights[span.start..span.end].copy_from_slice(&w);
+    }
+
+    // Feature weights: inverse total per-feature distance of good matches.
+    let provisional = HierarchicalDistance::new(
+        spans.to_vec(),
+        vec![1.0; spans.len()],
+        component_weights.clone(),
+    )
+    .map_err(|e| FeedbackError::BadConfig(format!("bad spans: {e}")))?;
+    let mut feature_weights = Vec::with_capacity(spans.len());
+    for (e, _) in spans.iter().enumerate() {
+        let mut total = 0.0;
+        for sp in good {
+            if sp.score <= 0.0 {
+                continue;
+            }
+            total += sp.score * provisional.feature_dist_sq(e, query, sp.point).sqrt();
+        }
+        feature_weights.push(1.0 / total.max(opts.sigma_floor));
+    }
+    normalize_geomean(&mut feature_weights);
+
+    HierarchicalDistance::new(spans.to_vec(), feature_weights, component_weights)
+        .map_err(|e| FeedbackError::BadConfig(format!("assembly failed: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbp_vecdb::Distance;
+
+    #[test]
+    fn trusted_feature_gets_higher_weight() {
+        // Feature A (dims 0-1): good matches sit on the query. Feature B
+        // (dims 2-3): good matches are far away. A must outweigh B.
+        let query = [0.5, 0.5, 0.5, 0.5];
+        let rows = [
+            vec![0.5, 0.5, 0.9, 0.1],
+            vec![0.5, 0.5, 0.1, 0.9],
+            vec![0.5, 0.5, 0.9, 0.9],
+        ];
+        let pts: Vec<ScoredPoint> = rows.iter().map(|r| ScoredPoint::new(r, 1.0)).collect();
+        let spans = vec![FeatureSpan::new(0, 2), FeatureSpan::new(2, 4)];
+        let h = hierarchical_reweight(&query, &pts, &spans, &ReweightOptions::default())
+            .unwrap();
+        let fw = h.feature_weights();
+        assert!(fw[0] > fw[1], "feature weights {fw:?}");
+    }
+
+    #[test]
+    fn distance_usable_for_ranking() {
+        let query = [0.5, 0.5, 0.5, 0.5];
+        let rows = [vec![0.5, 0.5, 0.4, 0.6], vec![0.5, 0.5, 0.6, 0.4]];
+        let pts: Vec<ScoredPoint> = rows.iter().map(|r| ScoredPoint::new(r, 1.0)).collect();
+        let spans = vec![FeatureSpan::new(0, 2), FeatureSpan::new(2, 4)];
+        let h = hierarchical_reweight(&query, &pts, &spans, &ReweightOptions::default())
+            .unwrap();
+        // A point matching on the trusted feature ranks closer than one
+        // matching on the untrusted feature by the same Euclidean margin.
+        let match_trusted = [0.5, 0.5, 0.9, 0.9];
+        let match_untrusted = [0.9, 0.9, 0.5, 0.5];
+        assert!(h.eval(&query, &match_trusted) < h.eval(&query, &match_untrusted));
+    }
+
+    #[test]
+    fn errors() {
+        let q = [0.5, 0.5];
+        let spans = vec![FeatureSpan::new(0, 2)];
+        assert!(matches!(
+            hierarchical_reweight(&q, &[], &spans, &ReweightOptions::default()),
+            Err(FeedbackError::NoPositiveExamples)
+        ));
+        let row = vec![0.5, 0.5];
+        let pts = vec![ScoredPoint::new(&row, 1.0)];
+        // Spans not tiling the vector.
+        let short = vec![FeatureSpan::new(0, 1)];
+        assert!(matches!(
+            hierarchical_reweight(&q, &pts, &short, &ReweightOptions::default()),
+            Err(FeedbackError::BadConfig(_))
+        ));
+        // Query dim mismatch.
+        let q3 = [0.5, 0.5, 0.5];
+        assert!(matches!(
+            hierarchical_reweight(&q3, &pts, &spans, &ReweightOptions::default()),
+            Err(FeedbackError::DimMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,383 @@
+//! The feedback loop driver (paper §2 protocol, §5 automation).
+//!
+//! One *cycle* = compute new parameters from the current judgments, then
+//! re-execute the query. The loop ends when the result list stops
+//! changing ("until it converges to a stable situation, i.e. when no
+//! changes are observed anymore in the result list", §5) or when a safety
+//! cap is hit. The cycle count is exactly the quantity behind the paper's
+//! *Saved-Cycles* metric (Figure 15): starting the loop from
+//! FeedbackBypass's predicted parameters instead of the defaults saves
+//! `cycles(default) − cycles(predicted)` database searches of `k` objects
+//! each.
+
+use crate::movement::{optimal_point, rocchio};
+use crate::oracle::RelevanceOracle;
+use crate::reweight::{reweight, ReweightOptions};
+use crate::score::ScoredPoint;
+use crate::Result;
+use fbp_vecdb::{Collection, KnnEngine, ResultList, WeightedEuclidean};
+
+/// Query-point-movement strategy for the loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MovementStrategy {
+    /// Keep the query point fixed (re-weighting only).
+    None,
+    /// MindReader/ISF98 optimal point (Equation 2): score-weighted centroid
+    /// of the good matches.
+    Optimal,
+    /// Rocchio's formula over the *current* query point.
+    Rocchio {
+        /// Weight of the current query point.
+        alpha: f64,
+        /// Weight of the good centroid.
+        beta: f64,
+        /// Weight of the bad centroid (subtracted).
+        gamma: f64,
+    },
+}
+
+/// Loop configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedbackConfig {
+    /// Results per round (the paper's `k`).
+    pub k: usize,
+    /// Safety cap on feedback cycles (the paper's loops converge in a
+    /// handful; the cap only guards against oscillation).
+    pub max_cycles: usize,
+    /// Movement strategy.
+    pub movement: MovementStrategy,
+    /// Re-weighting options; `None` disables re-weighting.
+    pub reweight: Option<ReweightOptions>,
+}
+
+impl Default for FeedbackConfig {
+    fn default() -> Self {
+        FeedbackConfig {
+            k: 50,
+            max_cycles: 20,
+            movement: MovementStrategy::Optimal,
+            reweight: Some(ReweightOptions::default()),
+        }
+    }
+}
+
+/// Outcome of one full feedback session.
+#[derive(Debug, Clone)]
+pub struct LoopResult {
+    /// Converged query point (full feature space).
+    pub point: Vec<f64>,
+    /// Converged distance weights (geometric mean 1).
+    pub weights: Vec<f64>,
+    /// Feedback cycles executed (0 = the starting parameters were already
+    /// stable or nothing could be learned).
+    pub cycles: usize,
+    /// Precision@k after each search round (index 0 = starting params).
+    pub precision_trace: Vec<f64>,
+    /// True when the loop ended because the result list stabilized.
+    pub converged: bool,
+    /// Final ranked results.
+    pub final_results: ResultList,
+}
+
+/// Reusable loop driver bound to an engine and a collection.
+pub struct FeedbackLoop<'a, E: KnnEngine + ?Sized> {
+    engine: &'a E,
+    coll: &'a Collection,
+    cfg: FeedbackConfig,
+}
+
+impl<'a, E: KnnEngine + ?Sized> FeedbackLoop<'a, E> {
+    /// New driver. `coll` must be the collection `engine` indexes (needed
+    /// to fetch result vectors for the feedback formulas).
+    pub fn new(engine: &'a E, coll: &'a Collection, cfg: FeedbackConfig) -> Self {
+        FeedbackLoop { engine, coll, cfg }
+    }
+
+    /// Configuration in effect.
+    pub fn config(&self) -> &FeedbackConfig {
+        &self.cfg
+    }
+
+    /// Run from the default parameters (the paper's baseline protocol):
+    /// query point = `q0`, uniform weights.
+    pub fn run(&self, q0: &[f64], oracle: &dyn RelevanceOracle) -> Result<LoopResult> {
+        self.run_from(q0, &vec![1.0; q0.len()], oracle)
+    }
+
+    /// Run from explicit starting parameters (the FeedbackBypass /
+    /// AlreadySeen protocol: start from predicted `(qopt, W)`). The caller
+    /// computes `Δ = point − q0` against its own anchor afterwards.
+    pub fn run_from(
+        &self,
+        start_point: &[f64],
+        start_weights: &[f64],
+        oracle: &dyn RelevanceOracle,
+    ) -> Result<LoopResult> {
+        let mut point = start_point.to_vec();
+        let mut weights = start_weights.to_vec();
+        let mut results = self.search(&point, &weights);
+        let mut trace = vec![self.precision(&results, oracle)];
+        let mut cycles = 0usize;
+        let mut converged = false;
+
+        while cycles < self.cfg.max_cycles {
+            // Judge the current round.
+            let (good_idx, bad_idx) = self.partition(&results, oracle);
+            if good_idx.is_empty() {
+                // Nothing to learn from; the loop cannot move.
+                converged = true;
+                break;
+            }
+            let good: Vec<ScoredPoint> = good_idx
+                .iter()
+                .map(|&i| ScoredPoint::new(self.coll.vector(i as usize), 1.0))
+                .collect();
+
+            // Compute the new parameters.
+            let new_point = match &self.cfg.movement {
+                MovementStrategy::None => point.clone(),
+                MovementStrategy::Optimal => optimal_point(&good)?,
+                MovementStrategy::Rocchio { alpha, beta, gamma } => {
+                    let bad: Vec<ScoredPoint> = bad_idx
+                        .iter()
+                        .map(|&i| ScoredPoint::new(self.coll.vector(i as usize), 1.0))
+                        .collect();
+                    rocchio(&point, &good, &bad, *alpha, *beta, *gamma)?
+                }
+            };
+            let new_weights = match &self.cfg.reweight {
+                Some(opts) => reweight(&good, opts)?,
+                None => weights.clone(),
+            };
+
+            // Parameter fixpoint: nothing changed, no need to search again.
+            if params_equal(&point, &new_point) && params_equal(&weights, &new_weights) {
+                converged = true;
+                break;
+            }
+            point = new_point;
+            weights = new_weights;
+            let new_results = self.search(&point, &weights);
+            cycles += 1;
+            trace.push(self.precision(&new_results, oracle));
+            let stable = new_results.same_ranking(&results);
+            results = new_results;
+            if stable {
+                converged = true;
+                break;
+            }
+        }
+        Ok(LoopResult {
+            point,
+            weights,
+            cycles,
+            precision_trace: trace,
+            converged,
+            final_results: results,
+        })
+    }
+
+    fn search(&self, point: &[f64], weights: &[f64]) -> ResultList {
+        let dist = WeightedEuclidean::new(weights.to_vec())
+            .unwrap_or_else(|_| WeightedEuclidean::uniform(weights.len()));
+        ResultList::new(self.engine.knn(point, self.cfg.k, &dist))
+    }
+
+    fn precision(&self, results: &ResultList, oracle: &dyn RelevanceOracle) -> f64 {
+        if self.cfg.k == 0 {
+            return 0.0;
+        }
+        let good = results.count_relevant(|id| oracle.judge(id).is_good());
+        good as f64 / self.cfg.k as f64
+    }
+
+    fn partition(
+        &self,
+        results: &ResultList,
+        oracle: &dyn RelevanceOracle,
+    ) -> (Vec<u32>, Vec<u32>) {
+        let mut good = Vec::new();
+        let mut bad = Vec::new();
+        for id in results.ids() {
+            if oracle.judge(id).is_good() {
+                good.push(id);
+            } else {
+                bad.push(id);
+            }
+        }
+        (good, bad)
+    }
+}
+
+fn params_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| (x - y).abs() < 1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::SetOracle;
+    use fbp_vecdb::{CollectionBuilder, LinearScan};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    /// Two clusters: the "relevant" one around (0.8, 0.2) tight on dim 0,
+    /// and a decoy cloud. The loop should move the query into the relevant
+    /// cluster and up-weight dim 0.
+    fn clustered() -> (fbp_vecdb::Collection, Vec<u32>) {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut b = CollectionBuilder::new();
+        let mut relevant = Vec::new();
+        for i in 0..30 {
+            let v = [
+                0.8 + rng.gen_range(-0.02..0.02),
+                rng.gen_range(0.0..1.0), // dim 1 irrelevant for the concept
+            ];
+            b.push_unlabelled(&v).unwrap();
+            relevant.push(i as u32);
+        }
+        for _ in 0..300 {
+            let v = [rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)];
+            b.push_unlabelled(&v).unwrap();
+        }
+        (b.build(), relevant)
+    }
+
+    #[test]
+    fn loop_improves_precision() {
+        let (coll, relevant) = clustered();
+        let oracle = SetOracle::new(relevant);
+        let scan = LinearScan::new(&coll);
+        let cfg = FeedbackConfig {
+            k: 20,
+            ..Default::default()
+        };
+        let fb = FeedbackLoop::new(&scan, &coll, cfg);
+        // Query from an unfavorable spot.
+        let res = fb.run(&[0.72, 0.5], &oracle).unwrap();
+        assert!(res.converged, "loop should stabilize");
+        let first = res.precision_trace[0];
+        let last = *res.precision_trace.last().unwrap();
+        assert!(
+            last > first,
+            "precision should improve: {:?}",
+            res.precision_trace
+        );
+        // Learned weights favor the concept dimension 0.
+        assert!(
+            res.weights[0] > res.weights[1],
+            "weights {:?}",
+            res.weights
+        );
+        // Query point moved toward the cluster.
+        assert!((res.point[0] - 0.8).abs() < 0.1, "point {:?}", res.point);
+    }
+
+    #[test]
+    fn starting_from_converged_params_takes_fewer_cycles() {
+        let (coll, relevant) = clustered();
+        let oracle = SetOracle::new(relevant);
+        let scan = LinearScan::new(&coll);
+        let cfg = FeedbackConfig {
+            k: 20,
+            ..Default::default()
+        };
+        let fb = FeedbackLoop::new(&scan, &coll, cfg);
+        let q0 = [0.72, 0.5];
+        let from_default = fb.run(&q0, &oracle).unwrap();
+        let from_learned = fb
+            .run_from(&from_default.point, &from_default.weights, &oracle)
+            .unwrap();
+        assert!(
+            from_learned.cycles <= from_default.cycles,
+            "bypass start should not need more cycles: {} vs {}",
+            from_learned.cycles,
+            from_default.cycles
+        );
+        // And its first-round precision matches the default run's final.
+        assert!(
+            from_learned.precision_trace[0]
+                >= *from_default.precision_trace.last().unwrap() - 1e-9
+        );
+    }
+
+    #[test]
+    fn no_good_matches_ends_immediately() {
+        let (coll, _) = clustered();
+        let oracle = SetOracle::default(); // nothing is relevant
+        let scan = LinearScan::new(&coll);
+        let fb = FeedbackLoop::new(&scan, &coll, FeedbackConfig::default());
+        let res = fb.run(&[0.5, 0.5], &oracle).unwrap();
+        assert_eq!(res.cycles, 0);
+        assert!(res.converged);
+        assert_eq!(res.precision_trace, vec![0.0]);
+        // Parameters unchanged.
+        assert_eq!(res.point, vec![0.5, 0.5]);
+        assert_eq!(res.weights, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn movement_none_keeps_point() {
+        let (coll, relevant) = clustered();
+        let oracle = SetOracle::new(relevant);
+        let scan = LinearScan::new(&coll);
+        let cfg = FeedbackConfig {
+            k: 20,
+            movement: MovementStrategy::None,
+            ..Default::default()
+        };
+        let fb = FeedbackLoop::new(&scan, &coll, cfg);
+        let q0 = [0.75, 0.3];
+        let res = fb.run(&q0, &oracle).unwrap();
+        assert_eq!(res.point, q0.to_vec());
+    }
+
+    #[test]
+    fn reweight_none_keeps_uniform_weights() {
+        let (coll, relevant) = clustered();
+        let oracle = SetOracle::new(relevant);
+        let scan = LinearScan::new(&coll);
+        let cfg = FeedbackConfig {
+            k: 20,
+            reweight: None,
+            ..Default::default()
+        };
+        let fb = FeedbackLoop::new(&scan, &coll, cfg);
+        let res = fb.run(&[0.6, 0.4], &oracle).unwrap();
+        assert_eq!(res.weights, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn rocchio_strategy_runs() {
+        let (coll, relevant) = clustered();
+        let oracle = SetOracle::new(relevant);
+        let scan = LinearScan::new(&coll);
+        let cfg = FeedbackConfig {
+            k: 20,
+            movement: MovementStrategy::Rocchio {
+                alpha: 1.0,
+                beta: 0.75,
+                gamma: 0.15,
+            },
+            ..Default::default()
+        };
+        let fb = FeedbackLoop::new(&scan, &coll, cfg);
+        let res = fb.run(&[0.72, 0.5], &oracle).unwrap();
+        assert!(res.cycles >= 1);
+        assert!(res.precision_trace.len() >= 2);
+    }
+
+    #[test]
+    fn cycle_cap_respected() {
+        let (coll, relevant) = clustered();
+        let oracle = SetOracle::new(relevant);
+        let scan = LinearScan::new(&coll);
+        let cfg = FeedbackConfig {
+            k: 20,
+            max_cycles: 1,
+            ..Default::default()
+        };
+        let fb = FeedbackLoop::new(&scan, &coll, cfg);
+        let res = fb.run(&[0.72, 0.5], &oracle).unwrap();
+        assert!(res.cycles <= 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! Query point movement (paper §2, Figure 2a).
+
+use crate::score::ScoredPoint;
+use crate::{FeedbackError, Result};
+
+/// The MindReader/ISF98 *optimal* query point — Equation 2 of the paper:
+///
+/// ```text
+/// q' = Σⱼ Score(pⱼ)·pⱼ / Σⱼ Score(pⱼ)
+/// ```
+///
+/// the score-weighted centroid of the good results. Ishikawa et al. proved
+/// this point optimal for positive scores under (weighted) quadratic
+/// distances.
+///
+/// Errors with [`FeedbackError::NoPositiveExamples`] when every score is 0.
+pub fn optimal_point(good: &[ScoredPoint<'_>]) -> Result<Vec<f64>> {
+    let Some(first) = good.first() else {
+        return Err(FeedbackError::NoPositiveExamples);
+    };
+    let dim = first.point.len();
+    let mut acc = vec![0.0; dim];
+    let mut total = 0.0;
+    for sp in good {
+        if sp.point.len() != dim {
+            return Err(FeedbackError::DimMismatch {
+                expected: dim,
+                got: sp.point.len(),
+            });
+        }
+        if sp.score <= 0.0 {
+            continue;
+        }
+        total += sp.score;
+        for (a, &x) in acc.iter_mut().zip(sp.point.iter()) {
+            *a += sp.score * x;
+        }
+    }
+    if total <= 0.0 {
+        return Err(FeedbackError::NoPositiveExamples);
+    }
+    for a in acc.iter_mut() {
+        *a /= total;
+    }
+    Ok(acc)
+}
+
+/// Rocchio's formula (Salton '88), the classic document-retrieval rule the
+/// paper cites as the origin of query point movement:
+///
+/// ```text
+/// q' = α·q + β·centroid(good) − γ·centroid(bad)
+/// ```
+///
+/// `good`/`bad` may be empty (their term drops out); at least one of the
+/// three terms must be active. Scores weight the centroids.
+pub fn rocchio(
+    q: &[f64],
+    good: &[ScoredPoint<'_>],
+    bad: &[ScoredPoint<'_>],
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+) -> Result<Vec<f64>> {
+    let dim = q.len();
+    let mut out: Vec<f64> = q.iter().map(|&x| alpha * x).collect();
+    let centroid = |pts: &[ScoredPoint<'_>]| -> Result<Option<Vec<f64>>> {
+        let mut acc = vec![0.0; dim];
+        let mut total = 0.0;
+        for sp in pts {
+            if sp.point.len() != dim {
+                return Err(FeedbackError::DimMismatch {
+                    expected: dim,
+                    got: sp.point.len(),
+                });
+            }
+            total += sp.score;
+            for (a, &x) in acc.iter_mut().zip(sp.point.iter()) {
+                *a += sp.score * x;
+            }
+        }
+        if total <= 0.0 {
+            return Ok(None);
+        }
+        for a in acc.iter_mut() {
+            *a /= total;
+        }
+        Ok(Some(acc))
+    };
+    if let Some(g) = centroid(good)? {
+        for (o, x) in out.iter_mut().zip(g.iter()) {
+            *o += beta * x;
+        }
+    }
+    if let Some(b) = centroid(bad)? {
+        for (o, x) in out.iter_mut().zip(b.iter()) {
+            *o -= gamma * x;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_point_is_weighted_centroid() {
+        let a = [0.0, 0.0];
+        let b = [1.0, 1.0];
+        let pts = [ScoredPoint::new(&a, 1.0), ScoredPoint::new(&b, 3.0)];
+        let q = optimal_point(&pts).unwrap();
+        assert!((q[0] - 0.75).abs() < 1e-12);
+        assert!((q[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_point_single_good_is_that_point() {
+        let a = [0.3, 0.7];
+        let q = optimal_point(&[ScoredPoint::new(&a, 2.0)]).unwrap();
+        assert_eq!(q, vec![0.3, 0.7]);
+    }
+
+    #[test]
+    fn optimal_point_rejects_empty_or_zero_scores() {
+        assert_eq!(
+            optimal_point(&[]),
+            Err(FeedbackError::NoPositiveExamples)
+        );
+        let a = [1.0];
+        assert_eq!(
+            optimal_point(&[ScoredPoint::new(&a, 0.0)]),
+            Err(FeedbackError::NoPositiveExamples)
+        );
+    }
+
+    #[test]
+    fn optimal_point_dim_mismatch() {
+        let a = [1.0, 2.0];
+        let b = [1.0];
+        assert!(matches!(
+            optimal_point(&[ScoredPoint::new(&a, 1.0), ScoredPoint::new(&b, 1.0)]),
+            Err(FeedbackError::DimMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rocchio_moves_toward_good_away_from_bad() {
+        let q = [0.5, 0.5];
+        let g = [1.0, 0.5];
+        let b = [0.0, 0.5];
+        let q2 = rocchio(
+            &q,
+            &[ScoredPoint::new(&g, 1.0)],
+            &[ScoredPoint::new(&b, 1.0)],
+            1.0,
+            0.5,
+            0.25,
+        )
+        .unwrap();
+        // x: 0.5 + 0.5·1.0 − 0.25·0.0 = 1.0; y: 0.5 + 0.25 − 0.125 = 0.625.
+        assert!((q2[0] - 1.0).abs() < 1e-12);
+        assert!((q2[1] - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rocchio_with_no_feedback_scales_query() {
+        let q = [2.0, 4.0];
+        let q2 = rocchio(&q, &[], &[], 1.0, 0.75, 0.25).unwrap();
+        assert_eq!(q2, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn rocchio_pure_good_reduces_to_centroid() {
+        let q = [0.0, 0.0];
+        let g1 = [1.0, 0.0];
+        let g2 = [0.0, 1.0];
+        let q2 = rocchio(
+            &q,
+            &[ScoredPoint::new(&g1, 1.0), ScoredPoint::new(&g2, 1.0)],
+            &[],
+            0.0,
+            1.0,
+            0.0,
+        )
+        .unwrap();
+        assert!((q2[0] - 0.5).abs() < 1e-12 && (q2[1] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,112 @@
+//! Relevance oracles.
+//!
+//! The paper's evaluation (§5) automates the feedback loop: "For each
+//! query image, any image in the same category was considered a good
+//! match whereas all other images were considered bad matches, regardless
+//! of their color similarity." [`CategoryOracle`] implements exactly that
+//! protocol; the trait keeps the loop driver testable with synthetic
+//! oracles.
+
+use crate::score::Relevance;
+use fbp_vecdb::{CategoryId, Collection};
+
+/// Judges the relevance of result objects for one query.
+pub trait RelevanceOracle {
+    /// Judge collection object `index`.
+    fn judge(&self, index: u32) -> Relevance;
+}
+
+/// The paper's category oracle: good iff the object shares the query's
+/// category.
+#[derive(Debug, Clone, Copy)]
+pub struct CategoryOracle<'a> {
+    coll: &'a Collection,
+    query_category: CategoryId,
+}
+
+impl<'a> CategoryOracle<'a> {
+    /// Oracle for a query belonging to `query_category`.
+    pub fn new(coll: &'a Collection, query_category: CategoryId) -> Self {
+        CategoryOracle {
+            coll,
+            query_category,
+        }
+    }
+
+    /// The category this oracle considers relevant.
+    pub fn category(&self) -> CategoryId {
+        self.query_category
+    }
+
+    /// Total relevant objects in the collection (recall denominator).
+    pub fn relevant_count(&self) -> usize {
+        self.coll.category_size(self.query_category)
+    }
+}
+
+impl RelevanceOracle for CategoryOracle<'_> {
+    fn judge(&self, index: u32) -> Relevance {
+        if self.coll.label(index as usize) == self.query_category {
+            Relevance::Good
+        } else {
+            Relevance::Bad
+        }
+    }
+}
+
+/// Oracle driven by an explicit good-set (tests and custom protocols).
+#[derive(Debug, Clone, Default)]
+pub struct SetOracle {
+    good: std::collections::HashSet<u32>,
+}
+
+impl SetOracle {
+    /// Oracle marking exactly `good` as relevant.
+    pub fn new(good: impl IntoIterator<Item = u32>) -> Self {
+        SetOracle {
+            good: good.into_iter().collect(),
+        }
+    }
+}
+
+impl RelevanceOracle for SetOracle {
+    fn judge(&self, index: u32) -> Relevance {
+        if self.good.contains(&index) {
+            Relevance::Good
+        } else {
+            Relevance::Bad
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbp_vecdb::CollectionBuilder;
+
+    #[test]
+    fn category_oracle_follows_labels() {
+        let mut b = CollectionBuilder::new();
+        let birds = b.category("Bird");
+        let fish = b.category("Fish");
+        b.push(&[0.0], birds).unwrap();
+        b.push(&[1.0], fish).unwrap();
+        b.push_unlabelled(&[2.0]).unwrap();
+        let c = b.build();
+        let oracle = CategoryOracle::new(&c, birds);
+        assert_eq!(oracle.judge(0), Relevance::Good);
+        assert_eq!(oracle.judge(1), Relevance::Bad);
+        assert_eq!(oracle.judge(2), Relevance::Bad);
+        assert_eq!(oracle.relevant_count(), 1);
+        assert_eq!(oracle.category(), birds);
+    }
+
+    #[test]
+    fn set_oracle() {
+        let o = SetOracle::new([3, 5]);
+        assert_eq!(o.judge(3), Relevance::Good);
+        assert_eq!(o.judge(4), Relevance::Bad);
+        let empty = SetOracle::default();
+        assert_eq!(empty.judge(0), Relevance::Bad);
+    }
+}

@@ -1,0 +1,286 @@
+//! Re-weighting (paper §2, Figure 2b): derive per-component weights from
+//! the spread of the good results along each feature dimension.
+
+use crate::score::ScoredPoint;
+use crate::{FeedbackError, Result};
+use fbp_linalg::RunningStats;
+
+/// Which σ-based rule to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReweightRule {
+    /// MARS (Rui et al. '98): `wᵢ = 1/σᵢ`.
+    InverseSigma,
+    /// ISF98 optimum (Ishikawa et al., MindReader): `wᵢ ∝ 1/σᵢ²` — proved
+    /// optimal for weighted Euclidean; the default here as in the paper's
+    /// lineage.
+    #[default]
+    InverseVariance,
+}
+
+/// Options for [`reweight`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReweightOptions {
+    /// Rule choice.
+    pub rule: ReweightRule,
+    /// Floor applied to every σᵢ before inversion. A dimension along which
+    /// all good matches agree exactly (σ = 0, routine when fewer good
+    /// matches than dimensions — cf. \[RH00\]) would otherwise produce an
+    /// infinite weight.
+    pub sigma_floor: f64,
+    /// Cap on the ratio `max(w)/min(w)` after normalization; keeps the
+    /// learned parameter surface bounded so interpolation in the Simplex
+    /// Tree stays well-behaved. `f64::INFINITY` disables the cap.
+    pub max_ratio: f64,
+}
+
+impl Default for ReweightOptions {
+    fn default() -> Self {
+        ReweightOptions {
+            rule: ReweightRule::InverseVariance,
+            sigma_floor: 1e-3,
+            max_ratio: 1e4,
+        }
+    }
+}
+
+/// Compute weights from the good results (score-weighted statistics),
+/// normalized to geometric mean 1.
+///
+/// The ratio cap takes precedence over exact normalization: when the raw
+/// weight spread exceeds `max_ratio`, clamping can leave the geometric
+/// mean off 1 (rankings are invariant under global weight scale, so this
+/// costs nothing).
+///
+/// Errors when no example has a positive score.
+pub fn reweight(good: &[ScoredPoint<'_>], opts: &ReweightOptions) -> Result<Vec<f64>> {
+    let Some(first) = good.first() else {
+        return Err(FeedbackError::NoPositiveExamples);
+    };
+    if opts.sigma_floor <= 0.0 {
+        return Err(FeedbackError::BadConfig(
+            "sigma_floor must be positive".into(),
+        ));
+    }
+    // `!(x >= 1.0)` deliberately catches NaN as well as x < 1.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(opts.max_ratio >= 1.0) {
+        return Err(FeedbackError::BadConfig("max_ratio must be >= 1".into()));
+    }
+    let dim = first.point.len();
+    let mut stats = vec![RunningStats::new(); dim];
+    let mut wsums = vec![0.0; dim];
+    let mut any = false;
+    for sp in good {
+        if sp.point.len() != dim {
+            return Err(FeedbackError::DimMismatch {
+                expected: dim,
+                got: sp.point.len(),
+            });
+        }
+        if sp.score <= 0.0 {
+            continue;
+        }
+        any = true;
+        for i in 0..dim {
+            stats[i].push_weighted(sp.point[i], sp.score, &mut wsums[i]);
+        }
+    }
+    if !any {
+        return Err(FeedbackError::NoPositiveExamples);
+    }
+    let mut weights: Vec<f64> = stats
+        .iter()
+        .map(|s| {
+            let sigma = s.std_dev().max(opts.sigma_floor);
+            match opts.rule {
+                ReweightRule::InverseSigma => 1.0 / sigma,
+                ReweightRule::InverseVariance => 1.0 / (sigma * sigma),
+            }
+        })
+        .collect();
+    normalize_geomean(&mut weights);
+    apply_ratio_cap(&mut weights, opts.max_ratio);
+    Ok(weights)
+}
+
+/// Normalize to geometric mean 1 (ranking-invariant scale fix; see
+/// DESIGN.md §4.6).
+pub fn normalize_geomean(weights: &mut [f64]) {
+    if weights.is_empty() {
+        return;
+    }
+    let log_mean =
+        weights.iter().map(|w| w.max(1e-300).ln()).sum::<f64>() / weights.len() as f64;
+    let scale = (-log_mean).exp();
+    for w in weights.iter_mut() {
+        *w *= scale;
+    }
+}
+
+/// Clamp the weight spread to `max_ratio`, then re-normalize.
+fn apply_ratio_cap(weights: &mut [f64], max_ratio: f64) {
+    if !max_ratio.is_finite() || weights.is_empty() {
+        return;
+    }
+    // Clamp symmetrically around the geometric mean (which is 1 after
+    // normalization): allowed band [1/√r, √r].
+    let hi = max_ratio.sqrt();
+    let lo = 1.0 / hi;
+    let mut clamped = false;
+    for w in weights.iter_mut() {
+        if *w > hi {
+            *w = hi;
+            clamped = true;
+        } else if *w < lo {
+            *w = lo;
+            clamped = true;
+        }
+    }
+    if clamped {
+        normalize_geomean(weights);
+        // One clamp round can push values slightly outside after
+        // re-normalization; a second pass settles within the band for all
+        // practical inputs (band is multiplicative, normalization is a
+        // uniform scale).
+        for w in weights.iter_mut() {
+            *w = w.clamp(lo, hi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts<'a>(rows: &'a [Vec<f64>]) -> Vec<ScoredPoint<'a>> {
+        rows.iter().map(|r| ScoredPoint::new(r, 1.0)).collect()
+    }
+
+    #[test]
+    fn tight_dimension_gets_higher_weight() {
+        // Dim 0 is tight (σ small), dim 1 is spread out.
+        let rows = vec![
+            vec![0.50, 0.1],
+            vec![0.51, 0.9],
+            vec![0.49, 0.5],
+            vec![0.50, 0.2],
+        ];
+        let w = reweight(&pts(&rows), &ReweightOptions::default()).unwrap();
+        assert!(
+            w[0] > w[1],
+            "tight dim should outweigh loose dim: {w:?}"
+        );
+        // Geometric mean 1.
+        let gm: f64 = w.iter().map(|x| x.ln()).sum::<f64>() / w.len() as f64;
+        assert!(gm.abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_variance_sharper_than_inverse_sigma() {
+        let rows = vec![
+            vec![0.5, 0.1],
+            vec![0.5, 0.9],
+            vec![0.5, 0.4],
+        ];
+        let sig = reweight(
+            &pts(&rows),
+            &ReweightOptions {
+                rule: ReweightRule::InverseSigma,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let var = reweight(
+            &pts(&rows),
+            &ReweightOptions {
+                rule: ReweightRule::InverseVariance,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Both favor dim 0; the variance rule favors it more strongly.
+        assert!(sig[0] > sig[1]);
+        assert!(var[0] / var[1] > sig[0] / sig[1]);
+    }
+
+    #[test]
+    fn sigma_floor_handles_degenerate_dims() {
+        // Single good match: all σ = 0.
+        let rows = vec![vec![0.2, 0.8, 0.5]];
+        let w = reweight(&pts(&rows), &ReweightOptions::default()).unwrap();
+        // All dims identical ⇒ uniform weights 1 after normalization.
+        for &x in &w {
+            assert!((x - 1.0).abs() < 1e-9, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn scores_weight_the_statistics() {
+        // A high-score pair agreeing on dim 0 dominates a low-score outlier.
+        let a = vec![0.5, 0.5];
+        let b = vec![0.5, 0.9];
+        let c = vec![0.9, 0.5]; // outlier on dim 0
+        let weighted = vec![
+            ScoredPoint::new(&a, 10.0),
+            ScoredPoint::new(&b, 10.0),
+            ScoredPoint::new(&c, 0.1),
+        ];
+        let w = reweight(&weighted, &ReweightOptions::default()).unwrap();
+        assert!(w[0] > w[1], "{w:?}");
+    }
+
+    #[test]
+    fn ratio_cap_bounds_spread() {
+        let rows = vec![
+            vec![0.500, 0.0],
+            vec![0.5001, 1.0],
+            vec![0.4999, 0.5],
+        ];
+        let opts = ReweightOptions {
+            max_ratio: 16.0,
+            ..Default::default()
+        };
+        let w = reweight(&pts(&rows), &opts).unwrap();
+        let ratio = w.iter().cloned().fold(0.0_f64, f64::max)
+            / w.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(ratio <= 16.0 + 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            reweight(&[], &ReweightOptions::default()),
+            Err(FeedbackError::NoPositiveExamples)
+        );
+        let a = vec![1.0];
+        let zero = vec![ScoredPoint::new(&a, 0.0)];
+        assert_eq!(
+            reweight(&zero, &ReweightOptions::default()),
+            Err(FeedbackError::NoPositiveExamples)
+        );
+        let bad_floor = ReweightOptions {
+            sigma_floor: 0.0,
+            ..Default::default()
+        };
+        let one = vec![ScoredPoint::new(&a, 1.0)];
+        assert!(matches!(
+            reweight(&one, &bad_floor),
+            Err(FeedbackError::BadConfig(_))
+        ));
+        let bad_ratio = ReweightOptions {
+            max_ratio: 0.5,
+            ..Default::default()
+        };
+        assert!(matches!(
+            reweight(&one, &bad_ratio),
+            Err(FeedbackError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn normalize_geomean_empty_ok() {
+        let mut e: Vec<f64> = vec![];
+        normalize_geomean(&mut e);
+        assert!(e.is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! Relevance scores.
+//!
+//! The paper (§2) discusses binary scores ("good" / "bad", with unmarked
+//! results implicitly neutral) and graded scores for finer preference
+//! tuning. [`Relevance`] covers the binary-with-neutral model;
+//! [`ScoredPoint`] attaches a non-negative numeric score so the same
+//! formulas serve both models (binary good = score 1).
+
+/// A user's judgment of one result object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relevance {
+    /// Marked relevant.
+    Good,
+    /// Marked irrelevant.
+    Bad,
+    /// Unmarked (the implicit "no-opinion" of §2).
+    Neutral,
+}
+
+impl Relevance {
+    /// Numeric score used by the movement/re-weighting formulas: good = 1,
+    /// everything else contributes 0 to positive-feedback statistics.
+    pub fn positive_score(self) -> f64 {
+        match self {
+            Relevance::Good => 1.0,
+            _ => 0.0,
+        }
+    }
+
+    /// True iff marked good.
+    pub fn is_good(self) -> bool {
+        matches!(self, Relevance::Good)
+    }
+
+    /// True iff marked bad.
+    pub fn is_bad(self) -> bool {
+        matches!(self, Relevance::Bad)
+    }
+}
+
+/// A feature vector with a non-negative relevance score.
+///
+/// Borrowed view: the feedback formulas never need ownership, they fold
+/// over collection slices.
+#[derive(Debug, Clone, Copy)]
+pub struct ScoredPoint<'a> {
+    /// The feature vector.
+    pub point: &'a [f64],
+    /// Non-negative score (graded relevance; binary good = 1.0).
+    pub score: f64,
+}
+
+impl<'a> ScoredPoint<'a> {
+    /// Construct, clamping negative scores to 0.
+    pub fn new(point: &'a [f64], score: f64) -> Self {
+        ScoredPoint {
+            point,
+            score: score.max(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relevance_scores() {
+        assert_eq!(Relevance::Good.positive_score(), 1.0);
+        assert_eq!(Relevance::Bad.positive_score(), 0.0);
+        assert_eq!(Relevance::Neutral.positive_score(), 0.0);
+        assert!(Relevance::Good.is_good());
+        assert!(!Relevance::Neutral.is_good());
+        assert!(Relevance::Bad.is_bad());
+        assert!(!Relevance::Good.is_bad());
+    }
+
+    #[test]
+    fn scored_point_clamps_negative() {
+        let v = [1.0, 2.0];
+        let s = ScoredPoint::new(&v, -3.0);
+        assert_eq!(s.score, 0.0);
+        let t = ScoredPoint::new(&v, 2.5);
+        assert_eq!(t.score, 2.5);
+    }
+}

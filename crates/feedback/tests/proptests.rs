@@ -1,0 +1,164 @@
+//! Property-based tests for the feedback engines.
+
+use fbp_feedback::reweight::{normalize_geomean, ReweightOptions, ReweightRule};
+use fbp_feedback::{optimal_point, reweight, rocchio, ScoredPoint};
+use proptest::prelude::*;
+
+const DIM: usize = 6;
+
+fn rows_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.0..1.0f64, DIM), 1..30)
+}
+
+fn scores_strategy(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.1..5.0f64, n)
+}
+
+proptest! {
+    #[test]
+    fn optimal_point_inside_convex_hull(rows in rows_strategy()) {
+        let pts: Vec<ScoredPoint> = rows.iter().map(|r| ScoredPoint::new(r, 1.0)).collect();
+        let q = optimal_point(&pts).unwrap();
+        // Componentwise within [min, max] of the inputs (convexity).
+        for i in 0..DIM {
+            let lo = rows.iter().map(|r| r[i]).fold(f64::INFINITY, f64::min);
+            let hi = rows.iter().map(|r| r[i]).fold(0.0, f64::max);
+            prop_assert!(q[i] >= lo - 1e-12 && q[i] <= hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn optimal_point_scale_invariant_in_scores(
+        rows in rows_strategy(),
+        alpha in 0.1..10.0f64,
+    ) {
+        // Multiplying every score by a constant must not move the point.
+        let a: Vec<ScoredPoint> = rows.iter().map(|r| ScoredPoint::new(r, 1.0)).collect();
+        let b: Vec<ScoredPoint> =
+            rows.iter().map(|r| ScoredPoint::new(r, alpha)).collect();
+        let qa = optimal_point(&a).unwrap();
+        let qb = optimal_point(&b).unwrap();
+        for i in 0..DIM {
+            prop_assert!((qa[i] - qb[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn reweight_output_contract(rows in rows_strategy()) {
+        let pts: Vec<ScoredPoint> = rows.iter().map(|r| ScoredPoint::new(r, 1.0)).collect();
+        let opts = ReweightOptions::default();
+        let w = reweight(&pts, &opts).unwrap();
+        prop_assert_eq!(w.len(), DIM);
+        // Positive, finite, ratio within the cap; geometric mean close to
+        // 1 (exactly 1 unless the ratio cap had to clamp both band edges —
+        // the cap takes precedence, see reweight docs).
+        prop_assert!(w.iter().all(|&x| x > 0.0 && x.is_finite()));
+        let gm: f64 = w.iter().map(|x| x.ln()).sum::<f64>() / DIM as f64;
+        prop_assert!(gm.abs() < opts.max_ratio.ln() / 2.0 + 1e-9, "geomean ln {gm}");
+        let ratio = w.iter().cloned().fold(0.0_f64, f64::max)
+            / w.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!(ratio <= opts.max_ratio * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn reweight_orders_by_dispersion(
+        spread_small in 0.001..0.02f64,
+        spread_large in 0.2..0.45f64,
+        n in 4usize..20,
+    ) {
+        // Dim 0 tightly clustered, dim 1 widely spread: w0 > w1 under both
+        // rules.
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let t = (i as f64 / (n - 1).max(1) as f64) * 2.0 - 1.0;
+                let mut v = vec![0.5; DIM];
+                v[0] = 0.5 + t * spread_small;
+                v[1] = 0.5 + t * spread_large;
+                v
+            })
+            .collect();
+        let pts: Vec<ScoredPoint> = rows.iter().map(|r| ScoredPoint::new(r, 1.0)).collect();
+        for rule in [ReweightRule::InverseSigma, ReweightRule::InverseVariance] {
+            let w = reweight(
+                &pts,
+                &ReweightOptions {
+                    rule,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            prop_assert!(w[0] > w[1], "{rule:?}: {w:?}");
+        }
+    }
+
+    #[test]
+    fn reweight_invariant_under_permutation_of_examples(
+        rows in rows_strategy(),
+        seed in 0u64..1000,
+    ) {
+        // Statistics are symmetric in the example order.
+        let pts: Vec<ScoredPoint> = rows.iter().map(|r| ScoredPoint::new(r, 1.0)).collect();
+        let w1 = reweight(&pts, &ReweightOptions::default()).unwrap();
+        let mut shuffled = rows.clone();
+        // Simple deterministic shuffle.
+        let n = shuffled.len();
+        for i in 0..n {
+            let j = ((seed as usize).wrapping_mul(31).wrapping_add(i * 17)) % n;
+            shuffled.swap(i, j);
+        }
+        let pts2: Vec<ScoredPoint> =
+            shuffled.iter().map(|r| ScoredPoint::new(r, 1.0)).collect();
+        let w2 = reweight(&pts2, &ReweightOptions::default()).unwrap();
+        for (a, b) in w1.iter().zip(w2.iter()) {
+            prop_assert!((a - b).abs() < 1e-7, "{w1:?} vs {w2:?}");
+        }
+    }
+
+    #[test]
+    fn rocchio_linear_in_query(
+        rows in rows_strategy(),
+        q in prop::collection::vec(0.0..1.0f64, DIM),
+        alpha in 0.1..2.0f64,
+    ) {
+        // With beta = gamma = 0, Rocchio is exactly alpha·q.
+        let empty: Vec<ScoredPoint> = Vec::new();
+        let out = rocchio(&q, &empty, &empty, alpha, 0.5, 0.5).unwrap();
+        for i in 0..DIM {
+            prop_assert!((out[i] - alpha * q[i]).abs() < 1e-12);
+        }
+        // Full Rocchio with weights reduces to the good centroid when
+        // alpha = gamma = 0, beta = 1.
+        let pts: Vec<ScoredPoint> = rows.iter().map(|r| ScoredPoint::new(r, 1.0)).collect();
+        let out2 = rocchio(&q, &pts, &empty, 0.0, 1.0, 0.0).unwrap();
+        let centroid = optimal_point(&pts).unwrap();
+        for i in 0..DIM {
+            prop_assert!((out2[i] - centroid[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn normalize_geomean_idempotent(mut w in prop::collection::vec(0.01..100.0f64, 1..16)) {
+        normalize_geomean(&mut w);
+        let once = w.clone();
+        normalize_geomean(&mut w);
+        for (a, b) in once.iter().zip(w.iter()) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn graded_scores_interpolate_binary(
+        rows in rows_strategy(),
+        scores in scores_strategy(30),
+    ) {
+        // Graded scoring must produce a valid weight vector too (the
+        // paper's §2 mentions graded levels as a refinement).
+        let pts: Vec<ScoredPoint> = rows
+            .iter()
+            .zip(scores.iter())
+            .map(|(r, &s)| ScoredPoint::new(r, s))
+            .collect();
+        let w = reweight(&pts, &ReweightOptions::default()).unwrap();
+        prop_assert!(w.iter().all(|&x| x > 0.0 && x.is_finite()));
+    }
+}

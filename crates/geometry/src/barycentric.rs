@@ -1,0 +1,309 @@
+//! Barycentric coordinates: direct solve, incremental descent, interpolation.
+
+use crate::{GeometryError, Result};
+use fbp_linalg::{lu::Lu, Matrix};
+
+/// Compute barycentric coordinates of `q` w.r.t. the simplex spanned by
+/// `vertices` (exactly `D + 1` vertices of dimension `D`), by solving the
+/// edge system `T·λ' = q − v_D` where `T`'s columns are `vᵢ − v_D`.
+///
+/// Returns `λ` of length `D + 1` with `Σλᵢ = 1`. Coordinates may be
+/// negative when `q` lies outside the simplex — callers use the sign for
+/// containment tests.
+pub fn direct(vertices: &[&[f64]], q: &[f64]) -> Result<Vec<f64>> {
+    let d = q.len();
+    if vertices.len() != d + 1 {
+        return Err(GeometryError::DimensionMismatch {
+            expected: d + 1,
+            got: vertices.len(),
+        });
+    }
+    for v in vertices {
+        if v.len() != d {
+            return Err(GeometryError::DimensionMismatch {
+                expected: d,
+                got: v.len(),
+            });
+        }
+    }
+    if d == 0 {
+        // A 0-simplex is a single point; the only coordinate is 1.
+        return Ok(vec![1.0]);
+    }
+    let last = vertices[d];
+    // T[(r, c)] = vertices[c][r] - last[r]  (edge vectors as columns).
+    let mut t = Matrix::zeros(d, d);
+    for c in 0..d {
+        let vc = vertices[c];
+        for r in 0..d {
+            t[(r, c)] = vc[r] - last[r];
+        }
+    }
+    let rhs: Vec<f64> = (0..d).map(|r| q[r] - last[r]).collect();
+    let lu = Lu::factor(&t).map_err(|_| GeometryError::DegenerateSimplex)?;
+    let head = lu.solve(&rhs).map_err(|_| GeometryError::DegenerateSimplex)?;
+    let mut lambda = Vec::with_capacity(d + 1);
+    let mut sum = 0.0;
+    for &l in &head {
+        lambda.push(l);
+        sum += l;
+    }
+    lambda.push(1.0 - sum);
+    Ok(lambda)
+}
+
+/// Incremental coordinate update for a tree descent step.
+///
+/// Setting: a parent simplex with vertices `v₀..v_D` was split at point `p`
+/// whose barycentric coordinates w.r.t. the parent are `μ`. Child `h`
+/// replaces vertex `v_h` with `p` (keeping position `h` for `p`).
+///
+/// Given the coordinates `λ` of a query point w.r.t. the *parent*, the
+/// coordinates `λ'` w.r.t. *child h* are (derivation: substitute
+/// `v_h = (p − Σ_{j≠h} μⱼvⱼ)/μ_h` into `q = Σ λⱼvⱼ`):
+///
+/// ```text
+/// λ'_h = λ_h / μ_h                 (coefficient of p)
+/// λ'_j = λ_j − μ_j · λ_h / μ_h     (j ≠ h)
+/// ```
+///
+/// O(D) per child instead of an O(D³) fresh solve.
+///
+/// # Panics
+/// Debug-asserts that `λ` and `μ` have equal length and `μ_h ≠ 0`
+/// (callers never descend into a child whose `μ_h` is ~0: such children are
+/// degenerate and are not created by [`crate::split_children`]).
+pub fn child_coords(lambda: &[f64], mu: &[f64], h: usize) -> Vec<f64> {
+    let mut out = vec![0.0; lambda.len()];
+    child_coords_into(lambda, mu, h, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`child_coords`]; writes into `out`.
+#[inline]
+pub fn child_coords_into(lambda: &[f64], mu: &[f64], h: usize, out: &mut [f64]) {
+    debug_assert_eq!(lambda.len(), mu.len());
+    debug_assert_eq!(lambda.len(), out.len());
+    debug_assert!(h < lambda.len());
+    debug_assert!(mu[h] != 0.0, "descending into a degenerate child");
+    let t = lambda[h] / mu[h];
+    for j in 0..lambda.len() {
+        out[j] = lambda[j] - mu[j] * t;
+    }
+    out[h] = t;
+}
+
+/// Minimum coordinate of a child's barycentric vector, computed without
+/// materializing it. Used to pick the most-interior child during descent.
+#[inline]
+pub fn child_min_coord(lambda: &[f64], mu: &[f64], h: usize) -> f64 {
+    debug_assert!(mu[h] != 0.0);
+    let t = lambda[h] / mu[h];
+    let mut min = t;
+    for j in 0..lambda.len() {
+        if j == h {
+            continue;
+        }
+        let v = lambda[j] - mu[j] * t;
+        if v < min {
+            min = v;
+        }
+    }
+    min
+}
+
+/// Linear interpolation of per-vertex values: `v̂ = Σ λᵢ·valuesᵢ`.
+///
+/// This is the unbalanced-Haar-wavelet evaluation of the paper (§4.2,
+/// "Interpolation"): on each simplex the approximation of `Mopt` is the
+/// unique affine function agreeing with the stored values at the vertices;
+/// evaluating it at `q` is exactly this weighted sum. Each of the `N`
+/// output components is interpolated independently.
+///
+/// `values[i]` is the N-dimensional value stored at vertex `i`; `out` has
+/// length N.
+pub fn interpolate(values: &[&[f64]], lambda: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(values.len(), lambda.len());
+    out.fill(0.0);
+    for (vi, &li) in values.iter().zip(lambda.iter()) {
+        if li == 0.0 {
+            continue;
+        }
+        debug_assert_eq!(vi.len(), out.len());
+        for (o, &x) in out.iter_mut().zip(vi.iter()) {
+            *o += li * x;
+        }
+    }
+}
+
+/// Index and value of the minimum barycentric coordinate.
+pub fn min_coord(lambda: &[f64]) -> (usize, f64) {
+    let mut idx = 0;
+    let mut val = f64::INFINITY;
+    for (i, &l) in lambda.iter().enumerate() {
+        if l < val {
+            val = l;
+            idx = i;
+        }
+    }
+    (idx, val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRI: [&[f64]; 3] = [&[0.0, 0.0], &[1.0, 0.0], &[0.0, 1.0]];
+
+    #[test]
+    fn vertices_have_indicator_coords() {
+        for (i, v) in TRI.iter().enumerate() {
+            let l = direct(&TRI, v).unwrap();
+            for (j, &lj) in l.iter().enumerate() {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((lj - expected).abs() < 1e-12, "vertex {i}, coord {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn centroid_has_uniform_coords() {
+        let c = [1.0 / 3.0, 1.0 / 3.0];
+        let l = direct(&TRI, &c).unwrap();
+        for &li in &l {
+            assert!((li - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn coords_sum_to_one_even_outside() {
+        let outside = [2.0, 3.0];
+        let l = direct(&TRI, &outside).unwrap();
+        assert!((l.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(l.iter().any(|&x| x < 0.0));
+    }
+
+    #[test]
+    fn reconstruction_identity() {
+        let q = [0.3, 0.25];
+        let l = direct(&TRI, &q).unwrap();
+        let mut rec = [0.0; 2];
+        for (v, &li) in TRI.iter().zip(l.iter()) {
+            rec[0] += li * v[0];
+            rec[1] += li * v[1];
+        }
+        assert!((rec[0] - q[0]).abs() < 1e-12);
+        assert!((rec[1] - q[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_dim_simplex() {
+        let verts: [&[f64]; 1] = [&[]];
+        let l = direct(&verts, &[]).unwrap();
+        assert_eq!(l, vec![1.0]);
+    }
+
+    #[test]
+    fn degenerate_simplex_rejected() {
+        // Three collinear points.
+        let verts: [&[f64]; 3] = [&[0.0, 0.0], &[1.0, 1.0], &[2.0, 2.0]];
+        assert_eq!(
+            direct(&verts, &[0.5, 0.5]),
+            Err(GeometryError::DegenerateSimplex)
+        );
+    }
+
+    #[test]
+    fn wrong_vertex_count_rejected() {
+        let verts: [&[f64]; 2] = [&[0.0, 0.0], &[1.0, 0.0]];
+        assert!(matches!(
+            direct(&verts, &[0.5, 0.5]),
+            Err(GeometryError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn child_coords_match_direct_solve() {
+        // Split TRI at p; child 1 replaces vertex 1 with p.
+        let p = [0.4, 0.3];
+        let mu = direct(&TRI, &p).unwrap();
+        let q = [0.35, 0.2];
+        let lambda = direct(&TRI, &q).unwrap();
+        for h in 0..3 {
+            let fast = child_coords(&lambda, &mu, h);
+            // Build the child vertex set explicitly.
+            let mut child: Vec<&[f64]> = TRI.to_vec();
+            child[h] = &p;
+            let slow = direct(&child, &q).unwrap();
+            for (a, b) in fast.iter().zip(slow.iter()) {
+                assert!((a - b).abs() < 1e-12, "h={h}: {fast:?} vs {slow:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn child_coords_sum_to_one() {
+        let p = [0.25, 0.5];
+        let mu = direct(&TRI, &p).unwrap();
+        let lambda = direct(&TRI, &[0.1, 0.1]).unwrap();
+        for h in 0..3 {
+            let c = child_coords(&lambda, &mu, h);
+            assert!((c.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn child_min_coord_agrees_with_full_vector() {
+        let p = [0.2, 0.6];
+        let mu = direct(&TRI, &p).unwrap();
+        let lambda = direct(&TRI, &[0.5, 0.2]).unwrap();
+        for h in 0..3 {
+            let full = child_coords(&lambda, &mu, h);
+            let (_, m) = min_coord(&full);
+            assert!((child_min_coord(&lambda, &mu, h) - m).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exactly_one_child_contains_interior_point() {
+        let p = [0.3, 0.3];
+        let mu = direct(&TRI, &p).unwrap();
+        // Strictly interior query point not equal to p.
+        let lambda = direct(&TRI, &[0.2, 0.15]).unwrap();
+        let containing: Vec<usize> = (0..3)
+            .filter(|&h| child_min_coord(&lambda, &mu, h) >= -1e-12)
+            .collect();
+        assert_eq!(containing.len(), 1, "containing children: {containing:?}");
+    }
+
+    #[test]
+    fn interpolate_affine_function_is_exact() {
+        // f(x, y) = 3x − 2y + 1 is affine, so simplex interpolation must
+        // reproduce it exactly anywhere in the plane.
+        let f = |x: f64, y: f64| 3.0 * x - 2.0 * y + 1.0;
+        let vals: Vec<Vec<f64>> = TRI.iter().map(|v| vec![f(v[0], v[1])]).collect();
+        let val_refs: Vec<&[f64]> = vals.iter().map(|v| v.as_slice()).collect();
+        for q in [[0.2, 0.3], [0.0, 0.0], [0.9, 0.05], [1.5, -0.2]] {
+            let l = direct(&TRI, &q).unwrap();
+            let mut out = [0.0];
+            interpolate(&val_refs, &l, &mut out);
+            assert!((out[0] - f(q[0], q[1])).abs() < 1e-12, "q={q:?}");
+        }
+    }
+
+    #[test]
+    fn interpolate_multiple_outputs() {
+        let vals: [&[f64]; 3] = [&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0]];
+        let l = [0.5, 0.25, 0.25];
+        let mut out = [0.0; 2];
+        interpolate(&vals, &l, &mut out);
+        assert!((out[0] - 1.75).abs() < 1e-12);
+        assert!((out[1] - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_coord_finds_minimum() {
+        assert_eq!(min_coord(&[0.5, -0.1, 0.6]), (1, -0.1));
+        assert_eq!(min_coord(&[0.1]), (0, 0.1));
+    }
+}

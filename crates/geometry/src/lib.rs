@@ -1,0 +1,73 @@
+//! # fbp-geometry
+//!
+//! Simplex geometry substrate for the Simplex Tree (paper §4).
+//!
+//! A *simplex* in `R^D` is the convex hull of `D + 1` affinely independent
+//! vertices. The Simplex Tree partitions the query domain into simplices;
+//! every lookup must decide which child simplex contains a query point, and
+//! every prediction interpolates stored values at the vertices. Both
+//! operations reduce to **barycentric coordinates**: the unique weights
+//! `λ₀..λ_D` with `Σλᵢ = 1` and `Σλᵢ·vᵢ = q`. The point lies inside the
+//! simplex iff all coordinates are non-negative.
+//!
+//! Two evaluation paths are provided:
+//!
+//! * [`barycentric::direct`] — solve the D×D edge system with LU; the
+//!   ground truth, O(D³);
+//! * [`barycentric::child_coords`] — given coordinates w.r.t. a parent
+//!   simplex and the stored coordinates `μ` of the split point, derive the
+//!   coordinates w.r.t. any child in O(D). This turns a tree descent from
+//!   O(depth·D⁴) into O(depth·D²) and is the workhorse of the Simplex
+//!   Tree. The two paths are property-tested against each other.
+//!
+//! [`root`] builds the initial simplex `S0` covering the whole query domain
+//! exactly as the paper prescribes for `[0,1]^D` and for normalized
+//! histogram domains.
+
+#![warn(missing_docs)]
+
+pub mod barycentric;
+pub mod root;
+pub mod simplex;
+pub mod split;
+
+pub use barycentric::{child_coords, child_coords_into, direct, interpolate, min_coord};
+pub use root::RootSimplex;
+pub use simplex::{contains, volume};
+pub use split::{split_children, SplitOutcome};
+
+/// Default tolerance for containment / degeneracy decisions.
+///
+/// Barycentric coordinates are dimensionless (they sum to 1), so a single
+/// absolute tolerance is meaningful regardless of the domain scale.
+pub const BARY_TOL: f64 = 1e-9;
+
+/// Errors from geometric predicates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeometryError {
+    /// The vertex set does not span a proper simplex (degenerate edges).
+    DegenerateSimplex,
+    /// Vertex / point dimensionalities are inconsistent.
+    DimensionMismatch {
+        /// Dimensionality the operation required.
+        expected: usize,
+        /// Dimensionality actually supplied.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GeometryError::DegenerateSimplex => write!(f, "degenerate simplex"),
+            GeometryError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+/// Result alias for geometry operations.
+pub type Result<T> = std::result::Result<T, GeometryError>;

@@ -1,0 +1,224 @@
+//! Initial (root) simplices covering the whole query domain (paper §4.1).
+//!
+//! The Simplex Tree needs a root simplex `S0` with `Q ⊆ S0`. The paper
+//! gives two recipes:
+//!
+//! * `Q = [0,1]^D` — take `S0 = {0, D·e₁, …, D·e_D}` (a corner simplex
+//!   scaled by `D` so the far corner `(1,…,1)` is still inside);
+//! * normalized histograms with one bin dropped — the domain *is* the
+//!   standard simplex `S0 = {0, e₁, …, e_D}`.
+//!
+//! Both are "scaled standard corner simplices", for which barycentric
+//! coordinates have a closed form (`λᵢ = qᵢ/s`, `λ₀ = 1 − Σ`), avoiding
+//! the LU solve at the root on every lookup. Arbitrary vertex sets are
+//! supported through [`RootSimplex::Custom`].
+
+use crate::{barycentric, GeometryError, Result};
+
+/// The root simplex `S0` of a Simplex Tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RootSimplex {
+    /// `{0, s·e₁, …, s·e_D}` for scale `s`.
+    ///
+    /// * `s = 1` covers the normalized-histogram domain
+    ///   `{x : xᵢ ≥ 0, Σxᵢ ≤ 1}` exactly;
+    /// * `s = D` covers `[0,1]^D` (the paper's unit-cube recipe).
+    Corner {
+        /// Domain dimensionality `D`.
+        dim: usize,
+        /// Edge scale `s` of the corner simplex.
+        scale: f64,
+    },
+    /// Arbitrary `D + 1` explicit vertices.
+    Custom(Vec<Vec<f64>>),
+}
+
+impl RootSimplex {
+    /// Root for the normalized-histogram domain (scale 1).
+    pub fn standard(dim: usize) -> Self {
+        RootSimplex::Corner { dim, scale: 1.0 }
+    }
+
+    /// Root covering the unit cube `[0,1]^D` (scale `D`, per the paper).
+    pub fn unit_cube(dim: usize) -> Self {
+        RootSimplex::Corner {
+            dim,
+            scale: dim as f64,
+        }
+    }
+
+    /// Root from explicit vertices (validated lazily by coordinate solves).
+    pub fn custom(vertices: Vec<Vec<f64>>) -> Result<Self> {
+        let Some(first) = vertices.first() else {
+            return Err(GeometryError::DimensionMismatch { expected: 1, got: 0 });
+        };
+        let d = first.len();
+        if vertices.len() != d + 1 {
+            return Err(GeometryError::DimensionMismatch {
+                expected: d + 1,
+                got: vertices.len(),
+            });
+        }
+        if vertices.iter().any(|v| v.len() != d) {
+            return Err(GeometryError::DimensionMismatch {
+                expected: d,
+                got: vertices.iter().map(|v| v.len()).find(|&l| l != d).unwrap(),
+            });
+        }
+        Ok(RootSimplex::Custom(vertices))
+    }
+
+    /// Dimensionality `D` of the domain.
+    pub fn dim(&self) -> usize {
+        match self {
+            RootSimplex::Corner { dim, .. } => *dim,
+            RootSimplex::Custom(v) => v.len() - 1,
+        }
+    }
+
+    /// Materialize the `D + 1` vertices (vertex 0 is the origin corner for
+    /// [`RootSimplex::Corner`]).
+    pub fn vertices(&self) -> Vec<Vec<f64>> {
+        match self {
+            RootSimplex::Corner { dim, scale } => {
+                let mut out = Vec::with_capacity(dim + 1);
+                out.push(vec![0.0; *dim]);
+                for i in 0..*dim {
+                    let mut v = vec![0.0; *dim];
+                    v[i] = *scale;
+                    out.push(v);
+                }
+                out
+            }
+            RootSimplex::Custom(v) => v.clone(),
+        }
+    }
+
+    /// Barycentric coordinates of `q` w.r.t. the root.
+    ///
+    /// Closed form for [`RootSimplex::Corner`] (O(D)); LU solve for
+    /// [`RootSimplex::Custom`] (O(D³)).
+    ///
+    /// Coordinate order matches [`Self::vertices`]: index 0 is the origin
+    /// corner.
+    pub fn coords(&self, q: &[f64]) -> Result<Vec<f64>> {
+        match self {
+            RootSimplex::Corner { dim, scale } => {
+                if q.len() != *dim {
+                    return Err(GeometryError::DimensionMismatch {
+                        expected: *dim,
+                        got: q.len(),
+                    });
+                }
+                let mut lambda = Vec::with_capacity(dim + 1);
+                lambda.push(0.0); // placeholder for λ₀
+                let mut sum = 0.0;
+                for &x in q {
+                    let l = x / *scale;
+                    lambda.push(l);
+                    sum += l;
+                }
+                lambda[0] = 1.0 - sum;
+                Ok(lambda)
+            }
+            RootSimplex::Custom(verts) => {
+                let refs: Vec<&[f64]> = verts.iter().map(|v| v.as_slice()).collect();
+                barycentric::direct(&refs, q)
+            }
+        }
+    }
+
+    /// Does the root contain `q` (within `tol` on the coordinates)?
+    pub fn contains(&self, q: &[f64], tol: f64) -> Result<bool> {
+        Ok(self.coords(q)?.iter().all(|&l| l >= -tol))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::barycentric::direct;
+
+    #[test]
+    fn standard_simplex_covers_histograms() {
+        let root = RootSimplex::standard(3);
+        // Normalized histogram with last bin dropped: components sum ≤ 1.
+        assert!(root.contains(&[0.2, 0.3, 0.4], 1e-12).unwrap());
+        assert!(root.contains(&[0.0, 0.0, 0.0], 1e-12).unwrap());
+        assert!(root.contains(&[1.0, 0.0, 0.0], 1e-12).unwrap());
+        assert!(!root.contains(&[0.5, 0.4, 0.2], 1e-12).unwrap()); // sums to 1.1
+        assert!(!root.contains(&[-0.1, 0.3, 0.3], 1e-12).unwrap());
+    }
+
+    #[test]
+    fn unit_cube_root_covers_cube_corners() {
+        let d = 5;
+        let root = RootSimplex::unit_cube(d);
+        // All 2^5 cube corners must be inside.
+        for mask in 0u32..(1 << d) {
+            let q: Vec<f64> = (0..d)
+                .map(|i| if mask & (1 << i) != 0 { 1.0 } else { 0.0 })
+                .collect();
+            assert!(root.contains(&q, 1e-12).unwrap(), "corner {q:?}");
+        }
+        // Just beyond the diagonal face is outside.
+        let out = vec![1.01; d];
+        assert!(!root.contains(&out, 1e-12).unwrap());
+    }
+
+    #[test]
+    fn corner_coords_match_direct_solve() {
+        let root = RootSimplex::unit_cube(4);
+        let verts = root.vertices();
+        let refs: Vec<&[f64]> = verts.iter().map(|v| v.as_slice()).collect();
+        let q = [0.3, 0.7, 0.1, 0.9];
+        let fast = root.coords(&q).unwrap();
+        let slow = direct(&refs, &q).unwrap();
+        // direct() puts λ for the *last* vertex at the end; root order is
+        // origin-first, so compare component-wise against the vertex list.
+        // Reconstruction is the order-independent check:
+        let mut rec = [0.0; 4];
+        for (l, v) in fast.iter().zip(verts.iter()) {
+            for i in 0..4 {
+                rec[i] += l * v[i];
+            }
+        }
+        for i in 0..4 {
+            assert!((rec[i] - q[i]).abs() < 1e-12);
+        }
+        assert!((fast.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((slow.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_root_roundtrip() {
+        let verts = vec![vec![-1.0, -1.0], vec![3.0, -1.0], vec![-1.0, 3.0]];
+        let root = RootSimplex::custom(verts).unwrap();
+        assert_eq!(root.dim(), 2);
+        assert!(root.contains(&[0.0, 0.0], 1e-12).unwrap());
+        assert!(root.contains(&[0.9, 0.9], 1e-12).unwrap());
+        assert!(!root.contains(&[3.0, 3.0], 1e-12).unwrap());
+        let l = root.coords(&[0.5, 0.5]).unwrap();
+        assert!((l.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_root_validation() {
+        assert!(RootSimplex::custom(vec![]).is_err());
+        // 2 vertices for a 2-D point set: not a simplex.
+        assert!(RootSimplex::custom(vec![vec![0.0, 0.0], vec![1.0, 1.0]]).is_err());
+        // Ragged vertices.
+        assert!(RootSimplex::custom(vec![
+            vec![0.0, 0.0],
+            vec![1.0],
+            vec![0.0, 1.0]
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn dim_mismatch_on_query() {
+        let root = RootSimplex::standard(3);
+        assert!(root.coords(&[0.1, 0.2]).is_err());
+    }
+}

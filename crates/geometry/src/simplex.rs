@@ -1,0 +1,102 @@
+//! Whole-simplex predicates: volume, containment, degeneracy.
+
+use crate::{barycentric, Result, BARY_TOL};
+use fbp_linalg::{lu, Matrix};
+
+/// Volume of the simplex spanned by `vertices` (`D+1` points in `R^D`):
+/// `|det(edge matrix)| / D!`.
+///
+/// Returns 0.0 for degenerate vertex sets. Note `D!` overflows f64 fast;
+/// for the dimensions used here (≤ ~40) it is fine.
+pub fn volume(vertices: &[&[f64]]) -> f64 {
+    let d = vertices.len().saturating_sub(1);
+    if d == 0 {
+        return 0.0;
+    }
+    let det = edge_det(vertices);
+    let mut fact = 1.0;
+    for k in 2..=d {
+        fact *= k as f64;
+    }
+    det.abs() / fact
+}
+
+/// Signed determinant of the edge matrix (columns `vᵢ − v_D`).
+///
+/// The sign encodes orientation; 0.0 means degenerate. Two simplices that
+/// partition a common parent have consistent orientation signs, which the
+/// split tests rely on.
+pub fn edge_det(vertices: &[&[f64]]) -> f64 {
+    let d = vertices.len().saturating_sub(1);
+    if d == 0 {
+        return 0.0;
+    }
+    let last = vertices[d];
+    let mut t = Matrix::zeros(d, d);
+    for c in 0..d {
+        for r in 0..d {
+            t[(r, c)] = vertices[c][r] - last[r];
+        }
+    }
+    lu::det(&t)
+}
+
+/// Containment test: is `q` inside (or on the boundary of) the simplex,
+/// within tolerance `tol` on the barycentric coordinates?
+pub fn contains(vertices: &[&[f64]], q: &[f64], tol: f64) -> Result<bool> {
+    let lambda = barycentric::direct(vertices, q)?;
+    Ok(lambda.iter().all(|&l| l >= -tol))
+}
+
+/// Containment with the crate-default tolerance.
+pub fn contains_default(vertices: &[&[f64]], q: &[f64]) -> Result<bool> {
+    contains(vertices, q, BARY_TOL)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRI: [&[f64]; 3] = [&[0.0, 0.0], &[1.0, 0.0], &[0.0, 1.0]];
+
+    #[test]
+    fn unit_triangle_area() {
+        assert!((volume(&TRI) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_tetrahedron_volume() {
+        let tet: [&[f64]; 4] = [
+            &[0.0, 0.0, 0.0],
+            &[1.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0],
+            &[0.0, 0.0, 1.0],
+        ];
+        assert!((volume(&tet) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_has_zero_volume() {
+        let flat: [&[f64]; 3] = [&[0.0, 0.0], &[1.0, 1.0], &[2.0, 2.0]];
+        assert_eq!(volume(&flat), 0.0);
+    }
+
+    #[test]
+    fn containment_interior_boundary_exterior() {
+        assert!(contains(&TRI, &[0.25, 0.25], 0.0).unwrap());
+        // Vertex and edge midpoints are boundary: inside with tolerance.
+        assert!(contains(&TRI, &[0.0, 0.0], BARY_TOL).unwrap());
+        assert!(contains(&TRI, &[0.5, 0.5], BARY_TOL).unwrap());
+        assert!(!contains(&TRI, &[0.6, 0.6], BARY_TOL).unwrap());
+        assert!(!contains(&TRI, &[-0.1, 0.5], BARY_TOL).unwrap());
+    }
+
+    #[test]
+    fn orientation_flips_with_vertex_swap() {
+        let a = edge_det(&TRI);
+        let swapped: [&[f64]; 3] = [TRI[1], TRI[0], TRI[2]];
+        let b = edge_det(&swapped);
+        assert!((a + b).abs() < 1e-12, "{a} vs {b}");
+        assert!(a != 0.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Simplex splitting (paper §4.1).
+//!
+//! Inserting a point `q` with barycentric coordinates `μ` into a simplex
+//! `S = {s₀, …, s_D}` decomposes `S` into up to `D + 1` children
+//! `S_h = (S \ {s_h}) ∪ {q}`. A child is *proper* only when `μ_h > 0`:
+//! `μ_h = 0` means `q` lies on the facet spanned by the other vertices, so
+//! replacing `s_h` with `q` yields a zero-volume child. Degenerate children
+//! are omitted; the remaining proper children still partition `S` (their
+//! volumes sum to the parent's — see the tests).
+
+use crate::BARY_TOL;
+
+/// Classification of an insert position relative to its enclosing simplex.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SplitOutcome {
+    /// `q` coincides (within tolerance) with vertex `h` of the simplex:
+    /// no split; the caller should update the stored value at that vertex.
+    AtVertex(usize),
+    /// Proper split: create one child per listed vertex index `h`
+    /// (replacing `s_h` with `q`). Contains every `h` with `μ_h > tol`.
+    Split(Vec<usize>),
+}
+
+/// Decide how to split given the barycentric coordinates `mu` of the new
+/// point w.r.t. its enclosing simplex.
+///
+/// `vertex_snap_tol` controls the "already a vertex" detection: if some
+/// `μ_h ≥ 1 − vertex_snap_tol`, the point is considered identical to
+/// vertex `h` (the paper's *already-seen query* case).
+pub fn split_children(mu: &[f64], vertex_snap_tol: f64) -> SplitOutcome {
+    // Already-seen query point: coordinates concentrated on one vertex.
+    for (h, &m) in mu.iter().enumerate() {
+        if m >= 1.0 - vertex_snap_tol {
+            return SplitOutcome::AtVertex(h);
+        }
+    }
+    let proper: Vec<usize> = mu
+        .iter()
+        .enumerate()
+        .filter(|(_, &m)| m > BARY_TOL)
+        .map(|(h, _)| h)
+        .collect();
+    SplitOutcome::Split(proper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::barycentric::direct;
+    use crate::simplex::volume;
+
+    const TRI: [&[f64]; 3] = [&[0.0, 0.0], &[1.0, 0.0], &[0.0, 1.0]];
+
+    #[test]
+    fn interior_point_splits_into_all_children() {
+        let mu = direct(&TRI, &[0.25, 0.25]).unwrap();
+        match split_children(&mu, 1e-9) {
+            SplitOutcome::Split(hs) => assert_eq!(hs, vec![0, 1, 2]),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn point_on_edge_gets_two_children() {
+        // Midpoint of the edge between vertices 1 and 2: μ₀ = 0.
+        let mu = direct(&TRI, &[0.5, 0.5]).unwrap();
+        match split_children(&mu, 1e-9) {
+            SplitOutcome::Split(hs) => assert_eq!(hs, vec![1, 2]),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn point_at_vertex_is_detected() {
+        let mu = direct(&TRI, &[1.0, 0.0]).unwrap();
+        assert_eq!(split_children(&mu, 1e-9), SplitOutcome::AtVertex(1));
+        // Slightly perturbed still snaps with a loose tolerance.
+        let mu2 = direct(&TRI, &[1.0 - 1e-12, 1e-13]).unwrap();
+        assert_eq!(split_children(&mu2, 1e-9), SplitOutcome::AtVertex(1));
+    }
+
+    #[test]
+    fn children_volumes_sum_to_parent() {
+        let p = [0.2, 0.3];
+        let mu = direct(&TRI, &p).unwrap();
+        let SplitOutcome::Split(hs) = split_children(&mu, 1e-9) else {
+            panic!("expected split");
+        };
+        let parent_vol = volume(&TRI);
+        let mut sum = 0.0;
+        for &h in &hs {
+            let mut child: Vec<&[f64]> = TRI.to_vec();
+            child[h] = &p;
+            sum += volume(&child);
+        }
+        assert!((sum - parent_vol).abs() < 1e-12, "{sum} vs {parent_vol}");
+    }
+
+    #[test]
+    fn children_volumes_sum_even_for_face_point() {
+        // Point on an edge: only 2 children, but they still tile the parent.
+        let p = [0.5, 0.5];
+        let mu = direct(&TRI, &p).unwrap();
+        let SplitOutcome::Split(hs) = split_children(&mu, 1e-9) else {
+            panic!("expected split");
+        };
+        assert_eq!(hs.len(), 2);
+        let mut sum = 0.0;
+        for &h in &hs {
+            let mut child: Vec<&[f64]> = TRI.to_vec();
+            child[h] = &p;
+            sum += volume(&child);
+        }
+        assert!((sum - volume(&TRI)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests for simplex geometry.
+//!
+//! The central invariant chain the Simplex Tree depends on:
+//! direct coordinates reconstruct the point; incremental child coordinates
+//! agree with direct coordinates; a split's children tile the parent.
+
+use fbp_geometry::{barycentric, simplex, split, RootSimplex};
+use proptest::prelude::*;
+
+/// Strategy: barycentric weights strictly inside a (d+1)-simplex.
+fn interior_weights(d: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.05..1.0f64, d + 1).prop_map(|raw| {
+        let s: f64 = raw.iter().sum();
+        raw.into_iter().map(|x| x / s).collect()
+    })
+}
+
+/// Strategy: a well-spread random d-simplex (unit corner simplex jittered).
+fn random_simplex(d: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(-0.15..0.15f64, (d + 1) * d).prop_map(move |jit| {
+        let mut verts = Vec::with_capacity(d + 1);
+        // Base: scaled corner simplex, then jitter each coordinate a little;
+        // the jitter is too small to make the simplex degenerate.
+        verts.push(vec![0.0; d]);
+        for i in 0..d {
+            let mut v = vec![0.0; d];
+            v[i] = 2.0;
+            verts.push(v);
+        }
+        for (vi, v) in verts.iter_mut().enumerate() {
+            for (ci, c) in v.iter_mut().enumerate() {
+                *c += jit[vi * d + ci];
+            }
+        }
+        verts
+    })
+}
+
+fn weighted_point(verts: &[Vec<f64>], w: &[f64]) -> Vec<f64> {
+    let d = verts[0].len();
+    let mut p = vec![0.0; d];
+    for (v, &wi) in verts.iter().zip(w.iter()) {
+        for i in 0..d {
+            p[i] += wi * v[i];
+        }
+    }
+    p
+}
+
+proptest! {
+    #[test]
+    fn direct_reconstructs_point(
+        verts in random_simplex(4),
+        w in interior_weights(4),
+    ) {
+        let q = weighted_point(&verts, &w);
+        let refs: Vec<&[f64]> = verts.iter().map(|v| v.as_slice()).collect();
+        let lambda = barycentric::direct(&refs, &q).unwrap();
+        prop_assert!((lambda.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let rec = weighted_point(&verts, &lambda);
+        for i in 0..4 {
+            prop_assert!((rec[i] - q[i]).abs() < 1e-8);
+        }
+        // Coordinates recover the generating weights (uniqueness).
+        for i in 0..5 {
+            prop_assert!((lambda[i] - w[i]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn incremental_matches_direct_for_all_children(
+        verts in random_simplex(3),
+        wp in interior_weights(3),
+        wq in interior_weights(3),
+    ) {
+        let refs: Vec<&[f64]> = verts.iter().map(|v| v.as_slice()).collect();
+        let p = weighted_point(&verts, &wp);
+        let q = weighted_point(&verts, &wq);
+        let mu = barycentric::direct(&refs, &p).unwrap();
+        let lambda = barycentric::direct(&refs, &q).unwrap();
+        for h in 0..4 {
+            let fast = barycentric::child_coords(&lambda, &mu, h);
+            let mut child: Vec<&[f64]> = refs.clone();
+            child[h] = &p;
+            let slow = barycentric::direct(&child, &q).unwrap();
+            for i in 0..4 {
+                prop_assert!((fast[i] - slow[i]).abs() < 1e-6,
+                    "h={h} i={i}: {fast:?} vs {slow:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_one_child_claims_an_interior_point(
+        verts in random_simplex(3),
+        wp in interior_weights(3),
+        wq in interior_weights(3),
+    ) {
+        let refs: Vec<&[f64]> = verts.iter().map(|v| v.as_slice()).collect();
+        let p = weighted_point(&verts, &wp);
+        let q = weighted_point(&verts, &wq);
+        let mu = barycentric::direct(&refs, &p).unwrap();
+        let lambda = barycentric::direct(&refs, &q).unwrap();
+        // Count children whose min barycentric coordinate is clearly
+        // positive; at most one can claim q strictly.
+        let strictly_inside = (0..4)
+            .filter(|&h| barycentric::child_min_coord(&lambda, &mu, h) > 1e-9)
+            .count();
+        prop_assert!(strictly_inside <= 1);
+        // And with boundary tolerance, at least one claims it.
+        let with_boundary = (0..4)
+            .filter(|&h| barycentric::child_min_coord(&lambda, &mu, h) >= -1e-9)
+            .count();
+        prop_assert!(with_boundary >= 1);
+    }
+
+    #[test]
+    fn split_children_tile_parent_volume(
+        verts in random_simplex(3),
+        wp in interior_weights(3),
+    ) {
+        let refs: Vec<&[f64]> = verts.iter().map(|v| v.as_slice()).collect();
+        let p = weighted_point(&verts, &wp);
+        let mu = barycentric::direct(&refs, &p).unwrap();
+        let outcome = split::split_children(&mu, 1e-9);
+        let split::SplitOutcome::Split(hs) = outcome else {
+            // Interior weights ≥ 0.05 ⇒ never snaps to a vertex.
+            return Err(TestCaseError::fail("unexpected AtVertex"));
+        };
+        prop_assert_eq!(hs.len(), 4);
+        let parent = simplex::volume(&refs);
+        let mut sum = 0.0;
+        for &h in &hs {
+            let mut child: Vec<&[f64]> = refs.clone();
+            child[h] = &p;
+            sum += simplex::volume(&child);
+        }
+        prop_assert!((sum - parent).abs() < 1e-9 * parent.max(1.0));
+    }
+
+    #[test]
+    fn affine_interpolation_is_exact(
+        verts in random_simplex(3),
+        wq in interior_weights(3),
+        coef in prop::collection::vec(-2.0..2.0f64, 4),
+    ) {
+        // f(x) = coef·x + coef[3] is affine ⇒ interpolation must be exact.
+        let f = |x: &[f64]| coef[0] * x[0] + coef[1] * x[1] + coef[2] * x[2] + coef[3];
+        let refs: Vec<&[f64]> = verts.iter().map(|v| v.as_slice()).collect();
+        let q = weighted_point(&verts, &wq);
+        let lambda = barycentric::direct(&refs, &q).unwrap();
+        let vals: Vec<Vec<f64>> = verts.iter().map(|v| vec![f(v)]).collect();
+        let val_refs: Vec<&[f64]> = vals.iter().map(|v| v.as_slice()).collect();
+        let mut out = [0.0];
+        barycentric::interpolate(&val_refs, &lambda, &mut out);
+        prop_assert!((out[0] - f(&q)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn corner_root_contains_unit_cube_samples(
+        q in prop::collection::vec(0.0..1.0f64, 6),
+    ) {
+        let root = RootSimplex::unit_cube(6);
+        prop_assert!(root.contains(&q, 1e-9).unwrap());
+        let lambda = root.coords(&q).unwrap();
+        prop_assert!((lambda.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn standard_root_contains_normalized_histograms(
+        raw in prop::collection::vec(0.0..1.0f64, 8),
+    ) {
+        // Normalize to sum 1, then drop the last bin (paper's Example 1).
+        let s: f64 = raw.iter().sum::<f64>().max(1e-9);
+        let hist: Vec<f64> = raw.iter().map(|x| x / s).collect();
+        let dropped = &hist[..7];
+        let root = RootSimplex::standard(7);
+        prop_assert!(root.contains(dropped, 1e-9).unwrap());
+    }
+}

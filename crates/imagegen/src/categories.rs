@@ -1,0 +1,430 @@
+//! The seven paper categories with color-coherent sub-themes.
+//!
+//! Hue reference: red 0°, orange 30°, yellow 60°, green 120°, cyan 180°,
+//! blue 220°, purple 280°, pink 320°.
+//!
+//! Design constraints (see crate docs): categories deliberately *share*
+//! color regions (blue skies behind birds, bridges and monuments; green
+//! backdrops behind blossoms, leaves and forest mammals) so that plain
+//! color search confuses them — the paper's "hard conceptual queries" —
+//! while each sub-theme's object colors give the re-weighting loop
+//! something to latch onto.
+
+use crate::painter::{ColorDist, SceneSpec};
+
+/// One color-coherent sub-theme of a category (e.g. Fish → "shark").
+#[derive(Debug, Clone)]
+pub struct SubTheme {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Scene template painted for images of this sub-theme.
+    pub scene: SceneSpec,
+}
+
+/// A labelled image category.
+#[derive(Debug, Clone)]
+pub struct CategorySpec {
+    /// Category name (matches the paper's Figure 14 labels).
+    pub name: &'static str,
+    /// Number of images at paper scale (§5).
+    pub paper_count: usize,
+    /// Sub-themes; images sample one uniformly.
+    pub subthemes: Vec<SubTheme>,
+}
+
+fn dist(hue: f64, hue_jitter: f64, sat: (f64, f64), val: (f64, f64)) -> ColorDist {
+    ColorDist {
+        hue,
+        hue_jitter,
+        sat,
+        val,
+    }
+}
+
+fn scene(background: ColorDist, objects: Vec<ColorDist>, blob_scale: f64) -> SceneSpec {
+    SceneSpec {
+        background,
+        objects,
+        blob_scale,
+    }
+}
+
+/// The seven categories with the paper's exact member counts.
+pub fn paper_categories() -> Vec<CategorySpec> {
+    let sky = || dist(215.0, 12.0, (0.35, 0.65), (0.65, 0.95));
+    let grass = || dist(115.0, 12.0, (0.45, 0.75), (0.35, 0.7));
+    let gray = |v: (f64, f64)| dist(0.0, 180.0, (0.0, 0.08), v);
+
+    vec![
+        CategorySpec {
+            name: "Bird",
+            paper_count: 318,
+            subthemes: vec![
+                SubTheme {
+                    name: "sky-soarer",
+                    scene: scene(sky(), vec![gray((0.1, 0.35)), gray((0.75, 0.95))], 0.16),
+                },
+                SubTheme {
+                    name: "forest-songbird",
+                    scene: scene(
+                        grass(),
+                        vec![
+                            dist(25.0, 8.0, (0.5, 0.8), (0.3, 0.55)),
+                            dist(0.0, 6.0, (0.7, 1.0), (0.5, 0.8)),
+                        ],
+                        0.18,
+                    ),
+                },
+                SubTheme {
+                    name: "waterfowl",
+                    scene: scene(
+                        dist(195.0, 10.0, (0.3, 0.55), (0.5, 0.8)),
+                        vec![gray((0.8, 1.0)), dist(35.0, 8.0, (0.6, 0.9), (0.6, 0.85))],
+                        0.2,
+                    ),
+                },
+                SubTheme {
+                    name: "parrot",
+                    scene: scene(
+                        dist(120.0, 12.0, (0.45, 0.75), (0.3, 0.6)),
+                        vec![
+                            dist(0.0, 6.0, (0.8, 1.0), (0.6, 0.9)),
+                            dist(60.0, 6.0, (0.8, 1.0), (0.7, 0.95)),
+                        ],
+                        0.18,
+                    ),
+                },
+                SubTheme {
+                    name: "sunset-flock",
+                    scene: scene(
+                        dist(28.0, 10.0, (0.55, 0.85), (0.55, 0.85)),
+                        vec![gray((0.05, 0.25)), gray((0.05, 0.25))],
+                        0.14,
+                    ),
+                },
+            ],
+        },
+        CategorySpec {
+            name: "Fish",
+            paper_count: 129,
+            subthemes: vec![
+                SubTheme {
+                    name: "shark",
+                    scene: scene(
+                        dist(225.0, 8.0, (0.6, 0.9), (0.35, 0.6)),
+                        vec![gray((0.45, 0.7))],
+                        0.28,
+                    ),
+                },
+                SubTheme {
+                    name: "tropical-yellow",
+                    scene: scene(
+                        dist(210.0, 10.0, (0.5, 0.8), (0.45, 0.7)),
+                        vec![
+                            dist(55.0, 8.0, (0.8, 1.0), (0.7, 0.95)),
+                            dist(55.0, 8.0, (0.8, 1.0), (0.7, 0.95)),
+                        ],
+                        0.2,
+                    ),
+                },
+                SubTheme {
+                    name: "reef-gray",
+                    scene: scene(
+                        dist(180.0, 12.0, (0.3, 0.55), (0.4, 0.65)),
+                        vec![gray((0.5, 0.75)), gray((0.3, 0.5))],
+                        0.22,
+                    ),
+                },
+                SubTheme {
+                    name: "clownfish-orange",
+                    scene: scene(
+                        dist(195.0, 10.0, (0.45, 0.7), (0.4, 0.65)),
+                        vec![
+                            dist(25.0, 6.0, (0.85, 1.0), (0.7, 0.95)),
+                            dist(25.0, 6.0, (0.85, 1.0), (0.7, 0.95)),
+                        ],
+                        0.18,
+                    ),
+                },
+            ],
+        },
+        CategorySpec {
+            name: "Mammal",
+            paper_count: 834,
+            subthemes: vec![
+                SubTheme {
+                    name: "savanna",
+                    scene: scene(
+                        dist(48.0, 10.0, (0.35, 0.6), (0.55, 0.85)),
+                        vec![dist(28.0, 8.0, (0.5, 0.8), (0.35, 0.6))],
+                        0.26,
+                    ),
+                },
+                SubTheme {
+                    name: "forest-brown",
+                    scene: scene(
+                        dist(110.0, 12.0, (0.4, 0.7), (0.3, 0.6)),
+                        vec![dist(22.0, 8.0, (0.45, 0.75), (0.3, 0.55))],
+                        0.26,
+                    ),
+                },
+                SubTheme {
+                    name: "arctic",
+                    scene: scene(
+                        gray((0.8, 1.0)),
+                        vec![gray((0.55, 0.8)), gray((0.15, 0.4))],
+                        0.24,
+                    ),
+                },
+                SubTheme {
+                    name: "plains-tan",
+                    scene: scene(
+                        dist(40.0, 8.0, (0.3, 0.55), (0.6, 0.9)),
+                        vec![dist(32.0, 8.0, (0.45, 0.7), (0.45, 0.7))],
+                        0.3,
+                    ),
+                },
+                SubTheme {
+                    name: "jungle-dark",
+                    scene: scene(
+                        dist(125.0, 10.0, (0.5, 0.8), (0.15, 0.4)),
+                        vec![dist(18.0, 8.0, (0.4, 0.7), (0.2, 0.45))],
+                        0.28,
+                    ),
+                },
+                SubTheme {
+                    name: "desert-red",
+                    scene: scene(
+                        dist(15.0, 8.0, (0.45, 0.7), (0.55, 0.85)),
+                        vec![dist(35.0, 8.0, (0.35, 0.6), (0.5, 0.75))],
+                        0.26,
+                    ),
+                },
+                SubTheme {
+                    name: "twilight",
+                    scene: scene(
+                        dist(260.0, 12.0, (0.35, 0.6), (0.25, 0.5)),
+                        vec![dist(0.0, 180.0, (0.0, 0.1), (0.1, 0.3))],
+                        0.26,
+                    ),
+                },
+                SubTheme {
+                    name: "riverbank",
+                    scene: scene(
+                        dist(170.0, 10.0, (0.35, 0.6), (0.4, 0.7)),
+                        vec![dist(24.0, 8.0, (0.5, 0.75), (0.35, 0.6))],
+                        0.24,
+                    ),
+                },
+            ],
+        },
+        CategorySpec {
+            name: "Blossom",
+            paper_count: 189,
+            subthemes: vec![
+                SubTheme {
+                    name: "red-bloom",
+                    scene: scene(
+                        grass(),
+                        vec![
+                            dist(355.0, 8.0, (0.75, 1.0), (0.55, 0.9)),
+                            dist(355.0, 8.0, (0.75, 1.0), (0.55, 0.9)),
+                        ],
+                        0.2,
+                    ),
+                },
+                SubTheme {
+                    name: "yellow-bloom",
+                    scene: scene(
+                        grass(),
+                        vec![dist(58.0, 8.0, (0.8, 1.0), (0.7, 0.95))],
+                        0.24,
+                    ),
+                },
+                SubTheme {
+                    name: "pink-bloom",
+                    scene: scene(
+                        grass(),
+                        vec![
+                            dist(320.0, 10.0, (0.55, 0.85), (0.65, 0.95)),
+                            dist(320.0, 10.0, (0.55, 0.85), (0.65, 0.95)),
+                        ],
+                        0.2,
+                    ),
+                },
+                SubTheme {
+                    name: "white-bloom",
+                    scene: scene(grass(), vec![gray((0.85, 1.0))], 0.22),
+                },
+            ],
+        },
+        CategorySpec {
+            name: "TreeLeaf",
+            paper_count: 575,
+            subthemes: vec![
+                SubTheme {
+                    name: "summer-green",
+                    scene: scene(
+                        dist(118.0, 10.0, (0.6, 0.9), (0.4, 0.75)),
+                        vec![dist(95.0, 8.0, (0.5, 0.8), (0.5, 0.8))],
+                        0.24,
+                    ),
+                },
+                SubTheme {
+                    name: "autumn",
+                    scene: scene(
+                        dist(32.0, 10.0, (0.6, 0.9), (0.5, 0.8)),
+                        vec![
+                            dist(8.0, 8.0, (0.7, 1.0), (0.45, 0.75)),
+                            dist(55.0, 8.0, (0.7, 1.0), (0.6, 0.9)),
+                        ],
+                        0.2,
+                    ),
+                },
+                SubTheme {
+                    name: "dark-foliage",
+                    scene: scene(
+                        dist(135.0, 10.0, (0.55, 0.85), (0.2, 0.45)),
+                        vec![dist(120.0, 8.0, (0.5, 0.8), (0.3, 0.55))],
+                        0.26,
+                    ),
+                },
+                SubTheme {
+                    name: "spring-lime",
+                    scene: scene(
+                        dist(90.0, 10.0, (0.55, 0.85), (0.55, 0.85)),
+                        vec![dist(70.0, 8.0, (0.6, 0.9), (0.6, 0.9))],
+                        0.24,
+                    ),
+                },
+                SubTheme {
+                    name: "wet-leaf",
+                    scene: scene(
+                        dist(152.0, 10.0, (0.45, 0.75), (0.3, 0.6)),
+                        vec![dist(130.0, 8.0, (0.5, 0.8), (0.35, 0.6))],
+                        0.26,
+                    ),
+                },
+                SubTheme {
+                    name: "backlit",
+                    scene: scene(
+                        dist(75.0, 10.0, (0.5, 0.8), (0.65, 0.95)),
+                        vec![dist(100.0, 8.0, (0.4, 0.7), (0.5, 0.8))],
+                        0.22,
+                    ),
+                },
+            ],
+        },
+        CategorySpec {
+            name: "Bridge",
+            paper_count: 148,
+            subthemes: vec![
+                SubTheme {
+                    name: "steel-sky",
+                    scene: scene(
+                        sky(),
+                        vec![gray((0.35, 0.6)), gray((0.35, 0.6))],
+                        0.22,
+                    ),
+                },
+                SubTheme {
+                    name: "brick",
+                    scene: scene(
+                        dist(210.0, 10.0, (0.3, 0.55), (0.7, 0.95)),
+                        vec![
+                            dist(12.0, 6.0, (0.55, 0.85), (0.35, 0.6)),
+                            dist(12.0, 6.0, (0.55, 0.85), (0.35, 0.6)),
+                        ],
+                        0.22,
+                    ),
+                },
+                SubTheme {
+                    name: "sunset-silhouette",
+                    scene: scene(
+                        dist(25.0, 10.0, (0.6, 0.9), (0.6, 0.9)),
+                        vec![gray((0.05, 0.25)), gray((0.05, 0.25))],
+                        0.2,
+                    ),
+                },
+            ],
+        },
+        CategorySpec {
+            name: "Monument",
+            paper_count: 298,
+            subthemes: vec![
+                SubTheme {
+                    name: "stone-sky",
+                    scene: scene(sky(), vec![gray((0.45, 0.7))], 0.3),
+                },
+                SubTheme {
+                    name: "sandstone",
+                    scene: scene(
+                        dist(205.0, 10.0, (0.3, 0.55), (0.7, 0.95)),
+                        vec![dist(42.0, 8.0, (0.4, 0.65), (0.55, 0.85))],
+                        0.3,
+                    ),
+                },
+                SubTheme {
+                    name: "marble",
+                    scene: scene(sky(), vec![gray((0.85, 1.0))], 0.28),
+                },
+                SubTheme {
+                    name: "floodlit-night",
+                    scene: scene(
+                        dist(235.0, 12.0, (0.4, 0.7), (0.1, 0.3)),
+                        vec![dist(45.0, 8.0, (0.5, 0.8), (0.6, 0.9))],
+                        0.26,
+                    ),
+                },
+            ],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_counts_match() {
+        let cats = paper_categories();
+        assert_eq!(cats.len(), 7);
+        let by_name: std::collections::HashMap<_, _> =
+            cats.iter().map(|c| (c.name, c.paper_count)).collect();
+        assert_eq!(by_name["Bird"], 318);
+        assert_eq!(by_name["Fish"], 129);
+        assert_eq!(by_name["Mammal"], 834);
+        assert_eq!(by_name["Blossom"], 189);
+        assert_eq!(by_name["TreeLeaf"], 575);
+        assert_eq!(by_name["Bridge"], 148);
+        assert_eq!(by_name["Monument"], 298);
+        let total: usize = cats.iter().map(|c| c.paper_count).sum();
+        assert_eq!(total, 2491, "paper: 2,491 labelled images");
+    }
+
+    #[test]
+    fn every_category_has_multiple_subthemes() {
+        // Intra-category color variance is a load-bearing property.
+        for c in paper_categories() {
+            assert!(
+                c.subthemes.len() >= 3,
+                "{} has only {} sub-themes",
+                c.name,
+                c.subthemes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn fish_matches_figure_9_description() {
+        // "only the 2nd image (shark) has a dominant blue color, whereas
+        // others have strong components of yellow, gray, and orange".
+        let cats = paper_categories();
+        let fish = cats.iter().find(|c| c.name == "Fish").unwrap();
+        let names: Vec<&str> = fish.subthemes.iter().map(|s| s.name).collect();
+        assert!(names.iter().any(|n| n.contains("shark")));
+        assert!(names.iter().any(|n| n.contains("yellow")));
+        assert!(names.iter().any(|n| n.contains("gray")));
+        assert!(names.iter().any(|n| n.contains("orange")));
+    }
+}

@@ -1,0 +1,164 @@
+//! RGB ↔ HSV color types and conversions.
+//!
+//! The paper extracts histograms in HSV space ("from each image,
+//! represented in the HSV color space, we extracted a 32-bins color
+//! histogram"), so the pipeline needs real conversions, not just abstract
+//! bins.
+
+/// An RGB color with components in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rgb {
+    /// Red.
+    pub r: f64,
+    /// Green.
+    pub g: f64,
+    /// Blue.
+    pub b: f64,
+}
+
+/// An HSV color: hue in degrees `[0, 360)`, saturation and value in
+/// `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hsv {
+    /// Hue angle in degrees.
+    pub h: f64,
+    /// Saturation.
+    pub s: f64,
+    /// Value (brightness).
+    pub v: f64,
+}
+
+impl Rgb {
+    /// Construct, clamping components into `[0, 1]`.
+    pub fn new(r: f64, g: f64, b: f64) -> Self {
+        Rgb {
+            r: r.clamp(0.0, 1.0),
+            g: g.clamp(0.0, 1.0),
+            b: b.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Convert to HSV (standard hexcone model).
+    pub fn to_hsv(self) -> Hsv {
+        let max = self.r.max(self.g).max(self.b);
+        let min = self.r.min(self.g).min(self.b);
+        let delta = max - min;
+        let h = if delta == 0.0 {
+            0.0
+        } else if max == self.r {
+            60.0 * (((self.g - self.b) / delta).rem_euclid(6.0))
+        } else if max == self.g {
+            60.0 * ((self.b - self.r) / delta + 2.0)
+        } else {
+            60.0 * ((self.r - self.g) / delta + 4.0)
+        };
+        let s = if max == 0.0 { 0.0 } else { delta / max };
+        Hsv {
+            h: h.rem_euclid(360.0),
+            s,
+            v: max,
+        }
+    }
+}
+
+impl Hsv {
+    /// Construct, wrapping hue into `[0, 360)` and clamping s, v.
+    pub fn new(h: f64, s: f64, v: f64) -> Self {
+        Hsv {
+            h: h.rem_euclid(360.0),
+            s: s.clamp(0.0, 1.0),
+            v: v.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Convert to RGB (inverse hexcone).
+    pub fn to_rgb(self) -> Rgb {
+        let c = self.v * self.s;
+        let hp = self.h / 60.0;
+        let x = c * (1.0 - (hp.rem_euclid(2.0) - 1.0).abs());
+        let (r1, g1, b1) = match hp as u32 {
+            0 => (c, x, 0.0),
+            1 => (x, c, 0.0),
+            2 => (0.0, c, x),
+            3 => (0.0, x, c),
+            4 => (x, 0.0, c),
+            _ => (c, 0.0, x),
+        };
+        let m = self.v - c;
+        Rgb::new(r1 + m, g1 + m, b1 + m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_hsv(rgb: Rgb, h: f64, s: f64, v: f64) {
+        let hsv = rgb.to_hsv();
+        assert!((hsv.h - h).abs() < 1e-9, "hue {} vs {h}", hsv.h);
+        assert!((hsv.s - s).abs() < 1e-9, "sat {} vs {s}", hsv.s);
+        assert!((hsv.v - v).abs() < 1e-9, "val {} vs {v}", hsv.v);
+    }
+
+    #[test]
+    fn primary_colors() {
+        assert_hsv(Rgb::new(1.0, 0.0, 0.0), 0.0, 1.0, 1.0);
+        assert_hsv(Rgb::new(0.0, 1.0, 0.0), 120.0, 1.0, 1.0);
+        assert_hsv(Rgb::new(0.0, 0.0, 1.0), 240.0, 1.0, 1.0);
+        assert_hsv(Rgb::new(1.0, 1.0, 0.0), 60.0, 1.0, 1.0);
+        assert_hsv(Rgb::new(0.0, 1.0, 1.0), 180.0, 1.0, 1.0);
+        assert_hsv(Rgb::new(1.0, 0.0, 1.0), 300.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn grays_have_zero_saturation() {
+        for g in [0.0, 0.25, 0.5, 1.0] {
+            let hsv = Rgb::new(g, g, g).to_hsv();
+            assert_eq!(hsv.s, 0.0);
+            assert_eq!(hsv.v, g);
+            assert_eq!(hsv.h, 0.0);
+        }
+    }
+
+    #[test]
+    fn roundtrip_grid() {
+        // RGB → HSV → RGB must be identity over a coarse grid.
+        for ri in 0..6 {
+            for gi in 0..6 {
+                for bi in 0..6 {
+                    let rgb = Rgb::new(ri as f64 / 5.0, gi as f64 / 5.0, bi as f64 / 5.0);
+                    let back = rgb.to_hsv().to_rgb();
+                    assert!(
+                        (rgb.r - back.r).abs() < 1e-9
+                            && (rgb.g - back.g).abs() < 1e-9
+                            && (rgb.b - back.b).abs() < 1e-9,
+                        "{rgb:?} -> {back:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hsv_roundtrip_saturated() {
+        for hi in 0..12 {
+            let hsv = Hsv::new(hi as f64 * 30.0, 0.8, 0.9);
+            let back = hsv.to_rgb().to_hsv();
+            assert!((hsv.h - back.h).abs() < 1e-9, "{} vs {}", hsv.h, back.h);
+            assert!((hsv.s - back.s).abs() < 1e-9);
+            assert!((hsv.v - back.v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constructors_clamp_and_wrap() {
+        let rgb = Rgb::new(-0.5, 2.0, 0.5);
+        assert_eq!((rgb.r, rgb.g, rgb.b), (0.0, 1.0, 0.5));
+        let hsv = Hsv::new(-30.0, 1.5, -0.1);
+        assert_eq!(hsv.h, 330.0);
+        assert_eq!(hsv.s, 1.0);
+        assert_eq!(hsv.v, 0.0);
+        let wrap = Hsv::new(725.0, 0.5, 0.5);
+        assert!((wrap.h - 5.0).abs() < 1e-9);
+    }
+}

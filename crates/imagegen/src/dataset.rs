@@ -1,0 +1,356 @@
+//! Full synthetic dataset builder (the IMSI substitute).
+
+use crate::categories::{paper_categories, CategorySpec};
+use crate::histogram::{extract_histogram, HistogramConfig};
+use crate::painter::{ColorDist, SceneSpec};
+use fbp_vecdb::{CategoryId, Collection, CollectionBuilder};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Dataset construction parameters.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Scale factor on the paper's member counts (1.0 = 2,491 labelled
+    /// images; tests use small fractions).
+    pub scale: f64,
+    /// Unlabelled noise images ("images in other classes were just used to
+    /// add further noise to the retrieval process", §5). 7,509 at paper
+    /// scale for the ~10,000 total.
+    pub noise_images: usize,
+    /// Square image edge length in pixels.
+    pub image_size: usize,
+    /// Histogram binning (paper: 8 × 4).
+    pub histogram: HistogramConfig,
+    /// RNG seed; everything downstream is deterministic in it.
+    pub seed: u64,
+}
+
+impl DatasetConfig {
+    /// Paper-scale configuration (~10,000 images).
+    pub fn paper() -> Self {
+        DatasetConfig {
+            scale: 1.0,
+            noise_images: 7509,
+            image_size: 24,
+            histogram: HistogramConfig::default(),
+            seed: 0xF00D,
+        }
+    }
+
+    /// Small configuration for unit/integration tests (~300 images).
+    pub fn small() -> Self {
+        DatasetConfig {
+            scale: 0.08,
+            noise_images: 220,
+            image_size: 16,
+            histogram: HistogramConfig::default(),
+            seed: 0xF00D,
+        }
+    }
+}
+
+/// The generated dataset: a labelled collection of histograms plus the
+/// bookkeeping needed to sample queries the way the paper does.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// Histogram collection (dim = `histogram.bins()`).
+    pub collection: Collection,
+    /// Ids of the 7 categories, in paper order.
+    pub category_ids: Vec<CategoryId>,
+    /// Indices of all labelled images (the query pool: the paper samples
+    /// queries from the 7 categories only).
+    pub labelled: Vec<usize>,
+    config: DatasetConfig,
+}
+
+impl SyntheticDataset {
+    /// Generate the dataset.
+    pub fn generate(config: DatasetConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut builder = CollectionBuilder::new();
+        let cats = paper_categories();
+        let mut category_ids = Vec::with_capacity(cats.len());
+        let mut labelled = Vec::new();
+        for cat in &cats {
+            let id = builder.category(cat.name);
+            category_ids.push(id);
+            let count = scaled_count(cat, config.scale);
+            for _ in 0..count {
+                let hist = paint_one(cat, &config, &mut rng);
+                let idx = builder.push(&hist, id).expect("dims are uniform");
+                labelled.push(idx);
+            }
+        }
+        // Noise images: category-background mimics plus random palettes.
+        for _ in 0..config.noise_images {
+            let spec = random_scene(&mut rng, &cats);
+            let img = spec.paint(config.image_size, config.image_size, &mut rng);
+            let hist = extract_histogram(&img, &config.histogram);
+            builder.push_unlabelled(&hist).expect("dims are uniform");
+        }
+        SyntheticDataset {
+            collection: builder.build(),
+            category_ids,
+            labelled,
+            config,
+        }
+    }
+
+    /// Generation parameters.
+    pub fn config(&self) -> &DatasetConfig {
+        &self.config
+    }
+
+    /// Sample a random labelled image index to use as a query (the paper's
+    /// protocol: queries are randomly sampled from the 7 categories).
+    pub fn sample_query<R: Rng>(&self, rng: &mut R) -> usize {
+        self.labelled[rng.gen_range(0..self.labelled.len())]
+    }
+
+    /// Sample a query from one specific category (Figure 14 needs
+    /// per-category streams).
+    pub fn sample_query_in<R: Rng>(&self, category: CategoryId, rng: &mut R) -> usize {
+        let members = self.collection.category_members(category);
+        members[rng.gen_range(0..members.len())]
+    }
+}
+
+fn scaled_count(cat: &CategorySpec, scale: f64) -> usize {
+    ((cat.paper_count as f64 * scale).round() as usize).max(cat.subthemes.len())
+}
+
+fn paint_one(cat: &CategorySpec, config: &DatasetConfig, rng: &mut StdRng) -> Vec<f64> {
+    let theme = &cat.subthemes[rng.gen_range(0..cat.subthemes.len())];
+    let scene = perturb_scene(&theme.scene, rng);
+    let img = scene.paint(config.image_size, config.image_size, rng);
+    extract_histogram(&img, &config.histogram)
+}
+
+/// Image-level exposure / white-balance / framing wobble.
+///
+/// Real photos of one motif differ in lighting and composition; this is
+/// what makes the paper's categories "largely differ as to color content"
+/// even within a coherent sub-theme. A global saturation/value shift
+/// routinely moves the dominant background mass across histogram bins, so
+/// plain Euclidean search reaches only the similarly-exposed fraction of
+/// a category — feedback then re-weights toward the bins the reachable
+/// fraction agrees on.
+fn perturb_scene(s: &SceneSpec, rng: &mut StdRng) -> SceneSpec {
+    let hue_shift = rng.gen_range(-10.0..10.0);
+    let sat_shift = rng.gen_range(-0.38..0.38);
+    let val_shift = rng.gen_range(-0.3..0.3);
+    let adjust = |d: &ColorDist| ColorDist {
+        hue: d.hue + hue_shift,
+        hue_jitter: d.hue_jitter,
+        sat: (
+            (d.sat.0 + sat_shift).clamp(0.02, 0.98),
+            (d.sat.1 + sat_shift).clamp(0.04, 1.0),
+        ),
+        val: (
+            (d.val.0 + val_shift).clamp(0.08, 0.96),
+            (d.val.1 + val_shift).clamp(0.1, 1.0),
+        ),
+    };
+    // Framing: objects may be cropped out or appear twice.
+    let mut objects: Vec<ColorDist> = s
+        .objects
+        .iter()
+        .filter(|_| rng.gen_bool(0.85))
+        .map(&adjust)
+        .collect();
+    if objects.is_empty() && !s.objects.is_empty() {
+        objects.push(adjust(&s.objects[0]));
+    }
+    if !s.objects.is_empty() && rng.gen_bool(0.3) {
+        let extra = adjust(&s.objects[rng.gen_range(0..s.objects.len())]);
+        objects.push(extra);
+    }
+    SceneSpec {
+        background: adjust(&s.background),
+        objects,
+        blob_scale: (s.blob_scale * rng.gen_range(0.55..1.5)).min(0.45),
+    }
+}
+
+fn rand_dist(rng: &mut StdRng) -> ColorDist {
+    ColorDist {
+        hue: rng.gen_range(0.0..360.0),
+        hue_jitter: rng.gen_range(4.0..20.0),
+        sat: {
+            let lo: f64 = rng.gen_range(0.0..0.7);
+            (lo, (lo + rng.gen_range(0.1..0.3)).min(1.0))
+        },
+        val: {
+            let lo: f64 = rng.gen_range(0.1..0.7);
+            (lo, (lo + rng.gen_range(0.1..0.3)).min(1.0))
+        },
+    }
+}
+
+/// Noise scene generator.
+///
+/// Real photo collections share color statistics with any hand-picked
+/// category subset — skies, foliage, stone — which is exactly why the
+/// paper's default-parameter precision is low: the top-k fills up with
+/// off-category images whose *backgrounds* match. Most noise images here
+/// therefore reuse a (jittered) category background while carrying
+/// different or no object colors: close to category members under the
+/// default Euclidean distance, separable once re-weighting focuses on the
+/// object-color bins.
+fn random_scene(rng: &mut StdRng, cats: &[CategorySpec]) -> SceneSpec {
+    if rng.gen_bool(0.92) {
+        // Background borrowed from a random category sub-theme, with the
+        // same exposure wobble category images get, but with random (or
+        // no) object colors — close under the default metric, separable
+        // after re-weighting.
+        let cat = &cats[rng.gen_range(0..cats.len())];
+        let theme = &cat.subthemes[rng.gen_range(0..cat.subthemes.len())];
+        let perturbed = perturb_scene(&theme.scene, rng);
+        // Objects mimic the theme's blob structure but in shifted hue
+        // bins: histograms with the same background + object *shape* yet
+        // the wrong signature colors — nearly indistinguishable under the
+        // default metric, cleanly rejected once the signature bins carry
+        // the weight.
+        let objects = perturbed
+            .objects
+            .iter()
+            .map(|o| {
+                let mut shifted = *o;
+                let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                shifted.hue += sign * rng.gen_range(50.0..140.0);
+                shifted
+            })
+            .collect();
+        SceneSpec {
+            background: perturbed.background,
+            objects,
+            blob_scale: perturbed.blob_scale,
+        }
+    } else {
+        let n_objects = rng.gen_range(0..=3);
+        SceneSpec {
+            background: rand_dist(rng),
+            objects: (0..n_objects).map(|_| rand_dist(rng)).collect(),
+            blob_scale: rng.gen_range(0.12..0.3),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_dataset_shape() {
+        let cfg = DatasetConfig::small();
+        let ds = SyntheticDataset::generate(cfg.clone());
+        let c = &ds.collection;
+        assert_eq!(c.dim(), 32);
+        assert_eq!(ds.category_ids.len(), 7);
+        // Labelled + noise = total.
+        assert_eq!(c.len(), ds.labelled.len() + cfg.noise_images);
+        // Histograms are normalized.
+        for i in 0..c.len().min(50) {
+            let s: f64 = c.vector(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "image {i} sums to {s}");
+            assert!(c.vector(i).iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn category_proportions_tracked() {
+        let ds = SyntheticDataset::generate(DatasetConfig::small());
+        let c = &ds.collection;
+        // Mammal is the biggest category, Fish the smallest — the ordering
+        // must survive scaling (these drive the Figure 14 shape).
+        let size =
+            |name: &str| c.category_size(ds.category_ids[paper_index(name)]);
+        assert!(size("Mammal") > size("Bird"));
+        assert!(size("TreeLeaf") > size("Monument"));
+        assert!(size("Fish") <= size("Bridge"));
+    }
+
+    fn paper_index(name: &str) -> usize {
+        ["Bird", "Fish", "Mammal", "Blossom", "TreeLeaf", "Bridge", "Monument"]
+            .iter()
+            .position(|&n| n == name)
+            .unwrap()
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = SyntheticDataset::generate(DatasetConfig::small());
+        let b = SyntheticDataset::generate(DatasetConfig::small());
+        assert_eq!(a.collection.len(), b.collection.len());
+        for i in (0..a.collection.len()).step_by(37) {
+            assert_eq!(a.collection.vector(i), b.collection.vector(i));
+        }
+        let mut cfg2 = DatasetConfig::small();
+        cfg2.seed = 999;
+        let c = SyntheticDataset::generate(cfg2);
+        assert_ne!(a.collection.vector(0), c.collection.vector(0));
+    }
+
+    #[test]
+    fn query_sampling() {
+        let ds = SyntheticDataset::generate(DatasetConfig::small());
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let q = ds.sample_query(&mut rng);
+            assert_ne!(ds.collection.label(q), fbp_vecdb::collection::NO_CATEGORY);
+        }
+        let fish = ds.category_ids[1];
+        for _ in 0..10 {
+            let q = ds.sample_query_in(fish, &mut rng);
+            assert_eq!(ds.collection.label(q), fish);
+        }
+    }
+
+    #[test]
+    fn color_search_beats_category_prior() {
+        // The load-bearing dataset property: plain Euclidean color search
+        // must retrieve same-category images well above the category's
+        // base rate (otherwise feedback would have nothing to amplify),
+        // while staying far from perfect (otherwise feedback would have
+        // nothing to add). Statistical, but deterministic via the seed.
+        let ds = SyntheticDataset::generate(DatasetConfig::small());
+        let c = &ds.collection;
+        let k = 20;
+        let mut precision_sum = 0.0;
+        let mut prior_sum = 0.0;
+        let queries: Vec<usize> = ds.labelled.iter().step_by(17).cloned().collect();
+        for &qi in &queries {
+            let cat = c.label(qi);
+            let q = c.vector(qi);
+            // Brute-force top-k.
+            let mut dists: Vec<(f64, usize)> = (0..c.len())
+                .map(|i| (dist(q, c.vector(i)), i))
+                .collect();
+            dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let hits = dists
+                .iter()
+                .take(k)
+                .filter(|&&(_, i)| c.label(i) == cat)
+                .count();
+            precision_sum += hits as f64 / k as f64;
+            prior_sum += c.category_size(cat) as f64 / c.len() as f64;
+        }
+        let precision = precision_sum / queries.len() as f64;
+        let prior = prior_sum / queries.len() as f64;
+        assert!(
+            precision > 2.0 * prior,
+            "color signal too weak: precision {precision:.3} vs prior {prior:.3}"
+        );
+        assert!(
+            precision < 0.9,
+            "dataset too easy: precision {precision:.3}"
+        );
+    }
+
+    fn dist(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+}

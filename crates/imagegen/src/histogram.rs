@@ -1,0 +1,140 @@
+//! HSV color-histogram extraction — the paper's exact feature pipeline:
+//! "we extracted a 32-bins color histogram, by dividing the hue channel H
+//! into 8 ranges and the saturation channel S into 4 ranges" (§5).
+
+use crate::color::Rgb;
+use crate::painter::Image;
+
+/// Histogram binning configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramConfig {
+    /// Number of hue ranges (paper: 8).
+    pub hue_bins: usize,
+    /// Number of saturation ranges (paper: 4).
+    pub sat_bins: usize,
+}
+
+impl Default for HistogramConfig {
+    fn default() -> Self {
+        HistogramConfig {
+            hue_bins: 8,
+            sat_bins: 4,
+        }
+    }
+}
+
+impl HistogramConfig {
+    /// Total bins (`hue_bins × sat_bins`; 32 with the paper's defaults).
+    pub fn bins(&self) -> usize {
+        self.hue_bins * self.sat_bins
+    }
+
+    /// Bin index of one pixel.
+    #[inline]
+    pub fn bin_of(&self, px: Rgb) -> usize {
+        let hsv = px.to_hsv();
+        let h_idx = ((hsv.h / 360.0) * self.hue_bins as f64) as usize;
+        let h_idx = h_idx.min(self.hue_bins - 1);
+        let s_idx = (hsv.s * self.sat_bins as f64) as usize;
+        let s_idx = s_idx.min(self.sat_bins - 1);
+        h_idx * self.sat_bins + s_idx
+    }
+}
+
+/// Extract the L1-normalized histogram of an image.
+///
+/// The sum over bins equals 1 ("the sum of the color bins is constant" —
+/// Example 1 of the paper; this is what lets FeedbackBypass drop one bin
+/// and work in a 31-dimensional simplex domain).
+pub fn extract_histogram(img: &Image, cfg: &HistogramConfig) -> Vec<f64> {
+    let mut hist = vec![0.0; cfg.bins()];
+    for &px in img.pixels() {
+        hist[cfg.bin_of(px)] += 1.0;
+    }
+    let n = img.pixels().len() as f64;
+    if n > 0.0 {
+        for h in hist.iter_mut() {
+            *h /= n;
+        }
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Hsv;
+
+    #[test]
+    fn default_is_paper_config() {
+        let cfg = HistogramConfig::default();
+        assert_eq!(cfg.bins(), 32);
+    }
+
+    #[test]
+    fn bin_layout_hue_major() {
+        let cfg = HistogramConfig::default();
+        // Fully saturated red: hue bin 0, sat bin 3 → bin 3.
+        assert_eq!(cfg.bin_of(Rgb::new(1.0, 0.0, 0.0)), 3);
+        // Gray: sat 0 → hue bin 0, sat bin 0 → bin 0.
+        assert_eq!(cfg.bin_of(Rgb::new(0.5, 0.5, 0.5)), 0);
+        // Saturated green (hue 120° → bin 2 of 8): 2*4 + 3 = 11.
+        assert_eq!(cfg.bin_of(Rgb::new(0.0, 1.0, 0.0)), 11);
+        // Saturated blue (hue 240° → bin 5): 5*4 + 3 = 23.
+        assert_eq!(cfg.bin_of(Rgb::new(0.0, 0.0, 1.0)), 23);
+    }
+
+    #[test]
+    fn hue_wraparound_stays_in_range() {
+        let cfg = HistogramConfig::default();
+        // Hue 359.9 must land in the last hue bin, not overflow.
+        let px = Hsv::new(359.9, 1.0, 1.0).to_rgb();
+        let bin = cfg.bin_of(px);
+        assert!(bin < 32);
+        assert_eq!(bin / 4, 7);
+    }
+
+    #[test]
+    fn histogram_normalized_and_concentrated() {
+        let cfg = HistogramConfig::default();
+        // Solid red image: all mass in one bin.
+        let img = Image::solid(8, 8, Rgb::new(1.0, 0.0, 0.0));
+        let h = extract_histogram(&img, &cfg);
+        assert_eq!(h.len(), 32);
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((h[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_color_image_splits_mass() {
+        let cfg = HistogramConfig::default();
+        let mut img = Image::solid(2, 2, Rgb::new(1.0, 0.0, 0.0));
+        img.set(0, 0, Rgb::new(0.0, 1.0, 0.0));
+        img.set(1, 0, Rgb::new(0.0, 1.0, 0.0));
+        let h = extract_histogram(&img, &cfg);
+        assert!((h[3] - 0.5).abs() < 1e-12);
+        assert!((h[11] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_binning() {
+        let cfg = HistogramConfig {
+            hue_bins: 4,
+            sat_bins: 2,
+        };
+        assert_eq!(cfg.bins(), 8);
+        let img = Image::solid(4, 4, Rgb::new(0.0, 0.0, 1.0));
+        let h = extract_histogram(&img, &cfg);
+        assert_eq!(h.len(), 8);
+        // Blue: hue 240 → bin 2 of 4; sat 1.0 → bin 1 of 2 → index 5.
+        assert!((h[5] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_image_gives_zero_histogram() {
+        let cfg = HistogramConfig::default();
+        let img = Image::solid(0, 0, Rgb::new(0.0, 0.0, 0.0));
+        let h = extract_histogram(&img, &cfg);
+        assert_eq!(h.iter().sum::<f64>(), 0.0);
+    }
+}

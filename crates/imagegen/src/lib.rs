@@ -1,0 +1,42 @@
+//! # fbp-imagegen
+//!
+//! Synthetic image substrate replacing the proprietary IMSI MasterPhotos
+//! data set used by the paper (§5).
+//!
+//! The paper's evaluation needs ~10,000 color images in 7 labelled
+//! categories (Bird 318, Fish 129, Mammal 834, Blossom 189, TreeLeaf 575,
+//! Bridge 148, Monument 298) plus unlabelled noise, each reduced to a
+//! 32-bin HSV color histogram (hue 8 ranges × saturation 4 ranges). Two
+//! dataset properties drive every result in the paper:
+//!
+//! 1. **Conceptual categories.** "Within each category images largely
+//!    differ as to color content" — e.g. only one of the four Fish images
+//!    in Figure 9 is dominated by blue. A pure color query can therefore
+//!    find only a *fraction* of a category, which is why default-parameter
+//!    precision is low and feedback has room to help.
+//! 2. **Sub-theme structure.** Feedback *does* help, and FeedbackBypass's
+//!    interpolation works, because categories decompose into color-coherent
+//!    sub-themes (sharks are blue, tropical fish are yellow...). Queries in
+//!    the same sub-theme have similar optimal parameters, making the
+//!    optimal query mapping `Mopt` piecewise smooth — learnable by the
+//!    Simplex Tree.
+//!
+//! The generator reproduces both properties with procedural "images":
+//! every category is a mixture of sub-themes; a sub-theme paints a small
+//! RGB raster (background wash + elliptical blobs + pixel noise); the
+//! histogram extractor then runs the paper's exact binning over the real
+//! pixels. Everything is seeded and deterministic.
+
+#![warn(missing_docs)]
+
+pub mod categories;
+pub mod color;
+pub mod dataset;
+pub mod histogram;
+pub mod painter;
+
+pub use categories::{paper_categories, CategorySpec, SubTheme};
+pub use color::{Hsv, Rgb};
+pub use dataset::{DatasetConfig, SyntheticDataset};
+pub use histogram::{extract_histogram, HistogramConfig};
+pub use painter::{Image, SceneSpec};

@@ -1,0 +1,192 @@
+//! Cholesky decomposition of symmetric positive-definite matrices.
+//!
+//! Mahalanobis-style quadratic distance functions (paper §2) are
+//! parameterized by a symmetric positive-(semi)definite weight matrix `W`
+//! learned from the covariance of the "good" feedback examples. The
+//! Cholesky factor both certifies positive definiteness and evaluates the
+//! quadratic form as `‖Lᵀ·x‖²`, which is cheaper and numerically safer than
+//! the explicit double sum.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Lower-triangular Cholesky factor `A = L·Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorize a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the upper
+    /// triangle is the caller's contract (feedback covariance construction
+    /// guarantees it).
+    pub fn factor(a: &Matrix) -> Result<Cholesky> {
+        if !a.is_square() {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (a.rows(), a.rows()),
+                got: (a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite { step: i });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    #[inline]
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Order of the factored matrix.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Evaluate the quadratic form `xᵀ·A·x = ‖Lᵀ·x‖²` without forming `A`.
+    pub fn quadratic_form(&self, x: &[f64]) -> Result<f64> {
+        let n = self.order();
+        if x.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (n, 1),
+                got: (x.len(), 1),
+            });
+        }
+        // y = Lᵀ x; accumulate ‖y‖² on the fly.
+        let mut acc = 0.0;
+        for j in 0..n {
+            let mut y = 0.0;
+            for i in j..n {
+                y += self.l[(i, j)] * x[i];
+            }
+            acc += y * y;
+        }
+        Ok(acc)
+    }
+
+    /// Solve `A·x = b` via the two triangular systems.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.order();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (n, 1),
+                got: (b.len(), 1),
+            });
+        }
+        // Forward: L·y = b.
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let mut acc = y[i];
+            for k in 0..i {
+                acc -= self.l[(i, k)] * y[k];
+            }
+            y[i] = acc / self.l[(i, i)];
+        }
+        // Backward: Lᵀ·x = y.
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for k in (i + 1)..n {
+                acc -= self.l[(k, i)] * y[k];
+            }
+            y[i] = acc / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Determinant of the original matrix (product of squared diagonals).
+    pub fn det(&self) -> f64 {
+        let mut d = 1.0;
+        for i in 0..self.order() {
+            let v = self.l[(i, i)];
+            d *= v * v;
+        }
+        d
+    }
+
+    /// Reconstruct `A = L·Lᵀ` (mainly for tests and persistence checks).
+    pub fn reconstruct(&self) -> Matrix {
+        self.l.matmul(&self.l.transpose()).expect("square factors")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_known_spd() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!(ch.reconstruct().max_abs_diff(&a) < 1e-12);
+        assert!((ch.det() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_semidefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]); // rank 1
+        assert!(Cholesky::factor(&a).is_err());
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(Cholesky::factor(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn quadratic_form_matches_explicit() {
+        let a = Matrix::from_rows(&[&[2.0, 0.5, 0.0], &[0.5, 1.0, 0.2], &[0.0, 0.2, 3.0]]);
+        let ch = Cholesky::factor(&a).unwrap();
+        let x = [1.0, -2.0, 0.5];
+        let explicit = a.quadratic_form(&x, &x).unwrap();
+        let via_chol = ch.quadratic_form(&x).unwrap();
+        assert!((explicit - via_chol).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_roundtrip() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = [1.0, 2.0];
+        let x = ch.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        assert!((ax[0] - b[0]).abs() < 1e-12 && (ax[1] - b[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_case_is_weighted_euclidean() {
+        // Cholesky of diag(w) gives the weighted Euclidean quadratic form —
+        // exactly the bridge the distance module relies on.
+        let w = [2.0, 5.0, 0.5];
+        let ch = Cholesky::factor(&Matrix::from_diag(&w)).unwrap();
+        let x = [1.0, 1.0, 2.0];
+        let expected: f64 = w.iter().zip(x.iter()).map(|(wi, xi)| wi * xi * xi).sum();
+        assert!((ch.quadratic_form(&x).unwrap() - expected).abs() < 1e-12);
+    }
+}

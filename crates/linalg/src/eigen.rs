@@ -1,0 +1,235 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! Needed by the PCA dimensionality-reduction extension (the paper's §3
+//! names reduction of the query domain as follow-up work): PCA is the
+//! eigendecomposition of a covariance matrix — real, symmetric, positive
+//! semi-definite, and small (feature dimensionality ≤ a few dozen), which
+//! is exactly the regime where Jacobi rotation sweeps are simple, robust
+//! and accurate.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Eigendecomposition `A = V·diag(λ)·Vᵀ` of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, sorted descending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors as matrix *rows*, aligned with `values`
+    /// (row `i` is the eigenvector for `values[i]`).
+    pub vectors: Matrix,
+}
+
+/// Convergence threshold on the off-diagonal Frobenius norm.
+const OFF_EPS: f64 = 1e-12;
+/// Safety cap on Jacobi sweeps (typical convergence: < 10 sweeps).
+const MAX_SWEEPS: usize = 64;
+
+/// Decompose a symmetric matrix (symmetry checked to `1e-9`).
+pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen> {
+    if !a.is_square() {
+        return Err(LinalgError::ShapeMismatch {
+            expected: (a.rows(), a.rows()),
+            got: (a.rows(), a.cols()),
+        });
+    }
+    if !a.is_symmetric(1e-9) {
+        return Err(LinalgError::ShapeMismatch {
+            expected: (a.rows(), a.cols()),
+            got: (a.cols(), a.rows()),
+        });
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    for _sweep in 0..MAX_SWEEPS {
+        // Off-diagonal magnitude; stop when numerically diagonal.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= OFF_EPS {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= OFF_EPS / (n as f64) {
+                    continue;
+                }
+                // Classic Jacobi rotation annihilating m[(p, q)].
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Update rows/columns p and q of m.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate the rotation into the eigenvector basis
+                // (rows of v are the current basis vectors).
+                for k in 0..n {
+                    let vpk = v[(p, k)];
+                    let vqk = v[(q, k)];
+                    v[(p, k)] = c * vpk - s * vqk;
+                    v[(q, k)] = s * vpk + c * vqk;
+                }
+            }
+        }
+    }
+
+    // Collect and sort descending by eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("finite eigenvalues"));
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (row, &src) in order.iter().enumerate() {
+        for k in 0..n {
+            vectors[(row, k)] = v[(src, k)];
+        }
+    }
+    Ok(SymmetricEigen { values, vectors })
+}
+
+impl SymmetricEigen {
+    /// Reconstruct `V·diag(λ)·Vᵀ` (test/diagnostic helper).
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.values.len();
+        let mut out = Matrix::zeros(n, n);
+        for r in 0..n {
+            for c in 0..n {
+                let mut acc = 0.0;
+                for (k, &l) in self.values.iter().enumerate() {
+                    acc += l * self.vectors[(k, r)] * self.vectors[(k, c)];
+                }
+                out[(r, c)] = acc;
+            }
+        }
+        out
+    }
+
+    /// Fraction of total variance captured by the top `r` eigenvalues
+    /// (eigenvalues clamped at 0: covariance inputs are PSD up to noise).
+    pub fn explained_variance(&self, r: usize) -> f64 {
+        let total: f64 = self.values.iter().map(|&l| l.max(0.0)).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.values
+            .iter()
+            .take(r)
+            .map(|&l| l.max(0.0))
+            .sum::<f64>()
+            / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert_eq!(e.values.len(), 3);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 2.0).abs() < 1e-10);
+        assert!((e.values[2] - 1.0).abs() < 1e-10);
+        assert!(e.reconstruct().max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for λ=3 is (1,1)/√2 up to sign.
+        let v0 = e.vectors.row(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
+        assert!((v0[0] - v0[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5],
+            &[1.0, 3.0, -0.2],
+            &[0.5, -0.2, 2.0],
+        ]);
+        let e = symmetric_eigen(&a).unwrap();
+        let vt = e.vectors.transpose();
+        let gram = e.vectors.matmul(&vt).unwrap();
+        assert!(gram.max_abs_diff(&Matrix::identity(3)) < 1e-9);
+        assert!(e.reconstruct().max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn eigenvalue_equation_holds() {
+        let a = Matrix::from_rows(&[&[5.0, 2.0], &[2.0, 1.0]]);
+        let e = symmetric_eigen(&a).unwrap();
+        for (i, &l) in e.values.iter().enumerate() {
+            let v: Vec<f64> = e.vectors.row(i).to_vec();
+            let av = a.matvec(&v).unwrap();
+            for k in 0..2 {
+                assert!((av[k] - l * v[k]).abs() < 1e-9, "λ={l}, k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_asymmetric_and_non_square() {
+        let asym = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        assert!(symmetric_eigen(&asym).is_err());
+        assert!(symmetric_eigen(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn explained_variance_fractions() {
+        let a = Matrix::from_diag(&[8.0, 1.5, 0.5]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.explained_variance(1) - 0.8).abs() < 1e-10);
+        assert!((e.explained_variance(3) - 1.0).abs() < 1e-10);
+        assert_eq!(e.explained_variance(0), 0.0);
+        // Degenerate all-zero matrix.
+        let z = symmetric_eigen(&Matrix::zeros(2, 2)).unwrap();
+        assert_eq!(z.explained_variance(1), 0.0);
+    }
+
+    #[test]
+    fn handles_larger_random_symmetric() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        let n = 16;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let x = rng.gen_range(-1.0..1.0);
+                a[(i, j)] = x;
+                a[(j, i)] = x;
+            }
+        }
+        let e = symmetric_eigen(&a).unwrap();
+        assert!(e.reconstruct().max_abs_diff(&a) < 1e-8);
+        // Sorted descending.
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+}

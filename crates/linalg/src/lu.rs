@@ -1,0 +1,266 @@
+//! LU decomposition with partial pivoting.
+//!
+//! The Simplex Tree's direct barycentric solver builds the D×D edge matrix
+//! of a simplex and solves one right-hand side per lookup; the incremental
+//! descent path (see `fbp-geometry`) avoids most of these solves, but LU
+//! remains the ground truth the fast path is verified against, and it also
+//! provides determinants for simplex volume / degeneracy tests.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// LU decomposition `P·A = L·U` of a square matrix, with partial pivoting.
+///
+/// `L` has an implicit unit diagonal; both factors are packed into a single
+/// matrix. `perm` records row exchanges; `sign` is the permutation parity
+/// (needed for signed determinants, which simplex orientation tests use).
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: Matrix,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+/// Pivot magnitudes below this are treated as exact singularity.
+pub const SINGULARITY_EPS: f64 = 1e-13;
+
+impl Lu {
+    /// Factorize `a`. Returns an error if a pivot underflows
+    /// [`SINGULARITY_EPS`] relative to the largest row entry.
+    pub fn factor(a: &Matrix) -> Result<Lu> {
+        if !a.is_square() {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (a.rows(), a.rows()),
+                got: (a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        // Row scales for scaled partial pivoting: keeps the factorization
+        // stable when simplex edges have wildly different lengths (deep
+        // splits produce exactly that).
+        let mut scale = vec![0.0; n];
+        for r in 0..n {
+            let s = lu.row(r).iter().fold(0.0_f64, |m, x| m.max(x.abs()));
+            if s == 0.0 {
+                return Err(LinalgError::Singular { step: r });
+            }
+            scale[r] = 1.0 / s;
+        }
+
+        for k in 0..n {
+            // Select pivot row by scaled magnitude.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs() * scale[k];
+            for r in (k + 1)..n {
+                let v = lu[(r, k)].abs() * scale[r];
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < SINGULARITY_EPS {
+                return Err(LinalgError::Singular { step: k });
+            }
+            if pivot_row != k {
+                // Swap rows k and pivot_row.
+                for c in 0..n {
+                    let tmp = lu[(k, c)];
+                    lu[(k, c)] = lu[(pivot_row, c)];
+                    lu[(pivot_row, c)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                scale.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for r in (k + 1)..n {
+                let factor = lu[(r, k)] / pivot;
+                lu[(r, k)] = factor;
+                if factor != 0.0 {
+                    for c in (k + 1)..n {
+                        let sub = factor * lu[(k, c)];
+                        lu[(r, c)] -= sub;
+                    }
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Order of the factored matrix.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solve `A·x = b` for one right-hand side.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.order();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (n, 1),
+                got: (b.len(), 1),
+            });
+        }
+        // Apply the permutation, then forward/backward substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for r in 1..n {
+            let mut acc = x[r];
+            for c in 0..r {
+                acc -= self.lu[(r, c)] * x[c];
+            }
+            x[r] = acc;
+        }
+        for r in (0..n).rev() {
+            let mut acc = x[r];
+            for c in (r + 1)..n {
+                acc -= self.lu[(r, c)] * x[c];
+            }
+            x[r] = acc / self.lu[(r, r)];
+        }
+        Ok(x)
+    }
+
+    /// Signed determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.order() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Inverse of the original matrix (column-by-column solve).
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.order();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for c in 0..n {
+            e[c] = 1.0;
+            let col = self.solve(&e)?;
+            e[c] = 0.0;
+            for r in 0..n {
+                inv[(r, c)] = col[r];
+            }
+        }
+        Ok(inv)
+    }
+}
+
+/// Convenience: factor and solve in one call.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Lu::factor(a)?.solve(b)
+}
+
+/// Convenience: determinant of `a` (0.0 for singular input).
+pub fn det(a: &Matrix) -> f64 {
+    match Lu::factor(a) {
+        Ok(lu) => lu.det(),
+        Err(_) => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+        let ax = a.matvec(x).unwrap();
+        ax.iter()
+            .zip(b.iter())
+            .fold(0.0_f64, |m, (p, q)| m.max((p - q).abs()))
+    }
+
+    #[test]
+    fn solve_known_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let b = [5.0, 10.0];
+        let x = solve(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row exchange.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            Lu::factor(&a),
+            Err(LinalgError::Singular { .. })
+        ));
+        assert_eq!(det(&a), 0.0);
+        let z = Matrix::zeros(3, 3);
+        assert!(Lu::factor(&z).is_err());
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Lu::factor(&a),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn det_matches_cofactor_expansion_3x3() {
+        let a = Matrix::from_rows(&[&[6.0, 1.0, 1.0], &[4.0, -2.0, 5.0], &[2.0, 8.0, 7.0]]);
+        // Known determinant: -306.
+        assert!((det(&a) - (-306.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn det_sign_tracks_row_swaps() {
+        let i = Matrix::identity(3);
+        assert!((det(&i) - 1.0).abs() < 1e-15);
+        let swapped = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0]]);
+        assert!((det(&swapped) + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]);
+        let inv = Lu::factor(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(2)) < 1e-12);
+    }
+
+    #[test]
+    fn random_systems_small_residual() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 3, 5, 8, 13, 21, 31] {
+            let mut data = vec![0.0; n * n];
+            for v in data.iter_mut() {
+                *v = rng.gen_range(-1.0..1.0);
+            }
+            // Diagonal boost keeps the random matrix comfortably regular.
+            let mut a = Matrix::from_vec(n, n, data);
+            for i in 0..n {
+                a[(i, i)] += 2.0 * n as f64;
+            }
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let x = solve(&a, &b).unwrap();
+            assert!(residual(&a, &x, &b) < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn ill_conditioned_but_regular_still_solves() {
+        // Wildly different row scales: scaled pivoting should cope.
+        let a = Matrix::from_rows(&[&[1e-8, 2e-8], &[3.0, 4.0]]);
+        let b = [3e-8, 7.0];
+        let x = solve(&a, &b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-9);
+    }
+}

@@ -1,0 +1,235 @@
+//! Vector arithmetic over plain `f64` slices.
+//!
+//! These kernels are deliberately slice-based: the Simplex Tree, the vector
+//! database, and the feedback engines all keep their points in flat arenas
+//! and borrow sub-slices into these functions, avoiding per-call
+//! allocations on the hot paths (lookup, distance evaluation).
+
+/// Dot product `a · b`.
+///
+/// # Panics
+/// Panics in debug builds if the slices differ in length.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Euclidean (L2) norm of `a`.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// L1 norm of `a`.
+#[inline]
+pub fn norm1(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+/// L∞ norm of `a`.
+#[inline]
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0_f64, |m, x| m.max(x.abs()))
+}
+
+/// Element-wise `out = a + b`.
+#[inline]
+pub fn add(a: &[f64], b: &[f64], out: &mut [f64]) {
+    debug_assert!(a.len() == b.len() && a.len() == out.len());
+    for i in 0..a.len() {
+        out[i] = a[i] + b[i];
+    }
+}
+
+/// Element-wise `out = a - b`.
+#[inline]
+pub fn sub(a: &[f64], b: &[f64], out: &mut [f64]) {
+    debug_assert!(a.len() == b.len() && a.len() == out.len());
+    for i in 0..a.len() {
+        out[i] = a[i] - b[i];
+    }
+}
+
+/// In-place `a += alpha * b` (BLAS `axpy`).
+#[inline]
+pub fn axpy(alpha: f64, b: &[f64], a: &mut [f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    for i in 0..a.len() {
+        a[i] += alpha * b[i];
+    }
+}
+
+/// In-place `a *= alpha`.
+#[inline]
+pub fn scale(alpha: f64, a: &mut [f64]) {
+    for x in a.iter_mut() {
+        *x *= alpha;
+    }
+}
+
+/// Squared Euclidean distance `‖a - b‖²`.
+#[inline]
+pub fn dist2_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Euclidean distance `‖a - b‖`.
+#[inline]
+pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    dist2_sq(a, b).sqrt()
+}
+
+/// Maximum absolute component difference `‖a - b‖∞`.
+#[inline]
+pub fn dist_inf(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b.iter())
+        .fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()))
+}
+
+/// Kahan-compensated sum of a slice.
+///
+/// Used where histograms are normalized and re-normalized repeatedly; plain
+/// summation of 32 bins is already fine, but the compensated version keeps
+/// the normalization drift below one ULP across thousands of feedback
+/// iterations.
+#[inline]
+pub fn kahan_sum(a: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    let mut c = 0.0;
+    for &x in a {
+        let y = x - c;
+        let t = sum + y;
+        c = (t - sum) - y;
+        sum = t;
+    }
+    sum
+}
+
+/// Normalize `a` so its components sum to 1.
+///
+/// Returns `false` (leaving `a` untouched) when the sum is not positive,
+/// which callers treat as a degenerate histogram.
+#[inline]
+pub fn normalize_l1(a: &mut [f64]) -> bool {
+    let s = kahan_sum(a);
+    if s <= 0.0 || !s.is_finite() {
+        return false;
+    }
+    scale(1.0 / s, a);
+    true
+}
+
+/// Linear interpolation `out = (1 - t) * a + t * b`.
+#[inline]
+pub fn lerp(a: &[f64], b: &[f64], t: f64, out: &mut [f64]) {
+    debug_assert!(a.len() == b.len() && a.len() == out.len());
+    for i in 0..a.len() {
+        out[i] = (1.0 - t) * a[i] + t * b[i];
+    }
+}
+
+/// True if every pair of components differs by at most `tol`.
+#[inline]
+pub fn approx_eq(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| (x - y).abs() <= tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm1(&[-3.0, 4.0]), 7.0);
+        assert_eq!(norm_inf(&[-3.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    fn add_sub_axpy() {
+        let a = [1.0, 2.0];
+        let b = [10.0, 20.0];
+        let mut out = [0.0; 2];
+        add(&a, &b, &mut out);
+        assert_eq!(out, [11.0, 22.0]);
+        sub(&b, &a, &mut out);
+        assert_eq!(out, [9.0, 18.0]);
+        let mut acc = [1.0, 1.0];
+        axpy(2.0, &a, &mut acc);
+        assert_eq!(acc, [3.0, 5.0]);
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(dist2_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(dist2(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(dist_inf(&[0.0, 0.0], &[3.0, -4.0]), 4.0);
+    }
+
+    #[test]
+    fn kahan_beats_naive_on_adversarial_input() {
+        // 1 + 2^-53 repeated: naive summation loses the tiny terms.
+        let tiny = (2.0_f64).powi(-53);
+        let mut v = vec![1.0];
+        v.extend(std::iter::repeat_n(tiny, 1 << 12));
+        let k = kahan_sum(&v);
+        let expected = 1.0 + tiny * ((1 << 12) as f64);
+        assert!((k - expected).abs() < 1e-15, "kahan {k} vs {expected}");
+    }
+
+    #[test]
+    fn normalize_l1_sums_to_one() {
+        let mut v = [2.0, 3.0, 5.0];
+        assert!(normalize_l1(&mut v));
+        assert!((kahan_sum(&v) - 1.0).abs() < 1e-15);
+        assert!((v[2] - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalize_l1_rejects_degenerate() {
+        let mut z = [0.0, 0.0];
+        assert!(!normalize_l1(&mut z));
+        assert_eq!(z, [0.0, 0.0]);
+        let mut n = [f64::NAN, 1.0];
+        assert!(!normalize_l1(&mut n));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = [0.0, 10.0];
+        let b = [1.0, 20.0];
+        let mut out = [0.0; 2];
+        lerp(&a, &b, 0.0, &mut out);
+        assert_eq!(out, a);
+        lerp(&a, &b, 1.0, &mut out);
+        assert_eq!(out, b);
+        lerp(&a, &b, 0.5, &mut out);
+        assert_eq!(out, [0.5, 15.0]);
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        assert!(approx_eq(&[1.0], &[1.0 + 1e-12], 1e-9));
+        assert!(!approx_eq(&[1.0], &[1.1], 1e-9));
+        assert!(!approx_eq(&[1.0], &[1.0, 2.0], 1.0));
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the linear algebra kernels.
+
+use fbp_linalg::{covariance_matrix, lu, vector, Cholesky, Lu, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a well-conditioned n×n matrix (random entries + diagonal boost).
+fn regular_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0..1.0f64, n * n).prop_map(move |data| {
+        let mut m = Matrix::from_vec(n, n, data);
+        for i in 0..n {
+            m[(i, i)] += 2.0 * n as f64;
+        }
+        m
+    })
+}
+
+/// Strategy: a symmetric positive-definite matrix via AᵀA + εI.
+fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0..1.0f64, n * n).prop_map(move |data| {
+        let a = Matrix::from_vec(n, n, data);
+        let mut s = a.transpose().matmul(&a).unwrap();
+        for i in 0..n {
+            s[(i, i)] += 0.5;
+        }
+        s
+    })
+}
+
+proptest! {
+    #[test]
+    fn lu_solve_residual_small(
+        a in regular_matrix(6),
+        b in prop::collection::vec(-10.0..10.0f64, 6),
+    ) {
+        let x = lu::solve(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for i in 0..6 {
+            prop_assert!((ax[i] - b[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn lu_inverse_roundtrip(a in regular_matrix(5)) {
+        let inv = Lu::factor(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        prop_assert!(prod.max_abs_diff(&Matrix::identity(5)) < 1e-8);
+    }
+
+    #[test]
+    fn det_of_product_is_product_of_dets(
+        a in regular_matrix(4),
+        b in regular_matrix(4),
+    ) {
+        let ab = a.matmul(&b).unwrap();
+        let lhs = lu::det(&ab);
+        let rhs = lu::det(&a) * lu::det(&b);
+        prop_assert!((lhs - rhs).abs() <= 1e-6 * rhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn cholesky_reconstructs(a in spd_matrix(5)) {
+        let ch = Cholesky::factor(&a).unwrap();
+        prop_assert!(ch.reconstruct().max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn cholesky_quadratic_form_nonnegative(
+        a in spd_matrix(4),
+        x in prop::collection::vec(-5.0..5.0f64, 4),
+    ) {
+        let ch = Cholesky::factor(&a).unwrap();
+        let q = ch.quadratic_form(&x).unwrap();
+        prop_assert!(q >= 0.0);
+        let explicit = a.quadratic_form(&x, &x).unwrap();
+        prop_assert!((q - explicit).abs() < 1e-8 * explicit.abs().max(1.0));
+    }
+
+    #[test]
+    fn cholesky_solve_agrees_with_lu(
+        a in spd_matrix(4),
+        b in prop::collection::vec(-5.0..5.0f64, 4),
+    ) {
+        let via_chol = Cholesky::factor(&a).unwrap().solve(&b).unwrap();
+        let via_lu = lu::solve(&a, &b).unwrap();
+        for i in 0..4 {
+            prop_assert!((via_chol[i] - via_lu[i]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn dot_is_bilinear(
+        a in prop::collection::vec(-10.0..10.0f64, 8),
+        b in prop::collection::vec(-10.0..10.0f64, 8),
+        alpha in -3.0..3.0f64,
+    ) {
+        let mut scaled = a.clone();
+        vector::scale(alpha, &mut scaled);
+        let lhs = vector::dot(&scaled, &b);
+        let rhs = alpha * vector::dot(&a, &b);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * rhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn norm_triangle_inequality(
+        a in prop::collection::vec(-10.0..10.0f64, 8),
+        b in prop::collection::vec(-10.0..10.0f64, 8),
+    ) {
+        let mut sum = vec![0.0; 8];
+        vector::add(&a, &b, &mut sum);
+        prop_assert!(vector::norm2(&sum) <= vector::norm2(&a) + vector::norm2(&b) + 1e-9);
+    }
+
+    #[test]
+    fn covariance_diagonal_matches_dimstats(
+        rows in prop::collection::vec(prop::collection::vec(-5.0..5.0f64, 3), 1..20),
+    ) {
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let cov = covariance_matrix(3, &refs);
+        let stats = fbp_linalg::DimStats::from_vectors(3, refs.iter().copied());
+        let vars = stats.variances();
+        for i in 0..3 {
+            prop_assert!((cov[(i, i)] - vars[i]).abs() < 1e-9);
+        }
+        prop_assert!(cov.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn covariance_is_psd(
+        rows in prop::collection::vec(prop::collection::vec(-5.0..5.0f64, 3), 4..20),
+    ) {
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let mut cov = covariance_matrix(3, &refs);
+        // Tiny ridge: population covariance is PSD, Cholesky wants PD.
+        for i in 0..3 {
+            cov[(i, i)] += 1e-9;
+        }
+        prop_assert!(Cholesky::factor(&cov).is_ok());
+    }
+
+    #[test]
+    fn normalize_l1_is_idempotent(mut v in prop::collection::vec(0.001..10.0f64, 1..32)) {
+        prop_assert!(vector::normalize_l1(&mut v));
+        let first: Vec<f64> = v.clone();
+        prop_assert!(vector::normalize_l1(&mut v));
+        for (a, b) in first.iter().zip(v.iter()) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+        prop_assert!((vector::kahan_sum(&v) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,254 @@
+//! Optimal query parameters (OQPs) and their flat encoding.
+//!
+//! The paper's mapping `Mopt : Q → R^D × W` assigns every query point an
+//! *optimal offset* `Δopt = qopt − q` and an *optimal parameter vector*
+//! `Wopt` of the distance-function class (§3, Equation 3). The Simplex
+//! Tree stores these per vertex as one flat `N = D + P` dimensional value
+//! vector and interpolates each component independently (§4.2).
+
+/// Shape of an OQP vector: `delta_dim` offset components followed by
+/// `weight_dim` distance parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OqpLayout {
+    /// Offset dimensionality (the query-domain dimensionality `D`).
+    pub delta_dim: usize,
+    /// Distance-parameter dimensionality `P` (e.g. one weight per feature
+    /// component for weighted Euclidean).
+    pub weight_dim: usize,
+}
+
+impl OqpLayout {
+    /// New layout with `delta_dim + weight_dim` total components.
+    pub fn new(delta_dim: usize, weight_dim: usize) -> Self {
+        OqpLayout {
+            delta_dim,
+            weight_dim,
+        }
+    }
+
+    /// Total flat length `N = D + P`.
+    pub fn flat_len(&self) -> usize {
+        self.delta_dim + self.weight_dim
+    }
+}
+
+/// How weight components are stored in the interpolated representation.
+///
+/// Learned weights (`wᵢ ∝ 1/σᵢ²`) span orders of magnitude; interpolating
+/// their *logarithms* keeps predictions positive and scale-balanced. The
+/// paper interpolates raw values, so `Raw` is the default; `Log` is the
+/// ablation knob (`ablation_weight_scale`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WeightScale {
+    /// Store and interpolate weights as-is (paper behavior).
+    #[default]
+    Raw,
+    /// Store `ln(w)`; decode with `exp` after interpolation.
+    Log,
+}
+
+/// Floor applied to weights when encoding/decoding so `Log` never sees 0
+/// and predictions stay strictly positive.
+pub const WEIGHT_FLOOR: f64 = 1e-9;
+
+impl WeightScale {
+    /// Encode one weight for storage.
+    #[inline]
+    pub fn encode(&self, w: f64) -> f64 {
+        let w = w.max(WEIGHT_FLOOR);
+        match self {
+            WeightScale::Raw => w,
+            WeightScale::Log => w.ln(),
+        }
+    }
+
+    /// Decode one stored value back into a weight.
+    #[inline]
+    pub fn decode(&self, v: f64) -> f64 {
+        match self {
+            WeightScale::Raw => v.max(WEIGHT_FLOOR),
+            WeightScale::Log => v.exp(),
+        }
+    }
+}
+
+/// An optimal-query-parameter vector: offset + distance weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Oqp {
+    /// Optimal query-point offset `Δopt = qopt − q`.
+    pub delta: Vec<f64>,
+    /// Distance-function parameters `Wopt` (positive).
+    pub weights: Vec<f64>,
+}
+
+impl Oqp {
+    /// The default parameters: zero offset, unit weights — i.e. "run the
+    /// query as given with the default distance function".
+    pub fn default_for(layout: &OqpLayout) -> Self {
+        Oqp {
+            delta: vec![0.0; layout.delta_dim],
+            weights: vec![1.0; layout.weight_dim],
+        }
+    }
+
+    /// Layout of this OQP.
+    pub fn layout(&self) -> OqpLayout {
+        OqpLayout::new(self.delta.len(), self.weights.len())
+    }
+
+    /// Flatten into the tree's storage encoding.
+    pub fn encode(&self, scale: WeightScale) -> Vec<f64> {
+        let mut flat = Vec::with_capacity(self.delta.len() + self.weights.len());
+        flat.extend_from_slice(&self.delta);
+        flat.extend(self.weights.iter().map(|&w| scale.encode(w)));
+        flat
+    }
+
+    /// Rebuild from the flat storage encoding.
+    pub fn decode(flat: &[f64], layout: &OqpLayout, scale: WeightScale) -> Self {
+        assert_eq!(flat.len(), layout.flat_len(), "Oqp::decode: bad length");
+        Oqp {
+            delta: flat[..layout.delta_dim].to_vec(),
+            weights: flat[layout.delta_dim..]
+                .iter()
+                .map(|&v| scale.decode(v))
+                .collect(),
+        }
+    }
+
+    /// Largest absolute difference over the offset block.
+    pub fn max_delta_diff(&self, other: &Oqp) -> f64 {
+        debug_assert_eq!(self.delta.len(), other.delta.len());
+        self.delta
+            .iter()
+            .zip(other.delta.iter())
+            .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+    }
+
+    /// Largest absolute difference over the weight block.
+    pub fn max_weight_diff(&self, other: &Oqp) -> f64 {
+        debug_assert_eq!(self.weights.len(), other.weights.len());
+        self.weights
+            .iter()
+            .zip(other.weights.iter())
+            .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+    }
+
+    /// The paper's single-ε criterion: `max_i |mᵢ(q) − v̂ᵢ|` over all `N`
+    /// components (offsets and weights mixed).
+    pub fn max_component_diff(&self, other: &Oqp) -> f64 {
+        self.max_delta_diff(other).max(self.max_weight_diff(other))
+    }
+
+    /// Normalize the weight block to geometric mean 1 (in place).
+    ///
+    /// Rankings are invariant under `W → c·W`, so the representation is
+    /// only unique up to scale; the paper pins one weight to 1 (Example 1),
+    /// we pin the geometric mean, which never divides by a vanishing
+    /// weight. No-op on an empty weight block.
+    pub fn normalize_weights(&mut self) {
+        if self.weights.is_empty() {
+            return;
+        }
+        let log_mean = self
+            .weights
+            .iter()
+            .map(|&w| w.max(WEIGHT_FLOOR).ln())
+            .sum::<f64>()
+            / self.weights.len() as f64;
+        let scale = (-log_mean).exp();
+        for w in self.weights.iter_mut() {
+            *w = (*w).max(WEIGHT_FLOOR) * scale;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_identity_parameters() {
+        let layout = OqpLayout::new(3, 4);
+        let d = Oqp::default_for(&layout);
+        assert_eq!(d.delta, vec![0.0; 3]);
+        assert_eq!(d.weights, vec![1.0; 4]);
+        assert_eq!(d.layout(), layout);
+        assert_eq!(layout.flat_len(), 7);
+    }
+
+    #[test]
+    fn encode_decode_raw_roundtrip() {
+        let o = Oqp {
+            delta: vec![0.1, -0.2],
+            weights: vec![2.0, 0.5, 1.0],
+        };
+        let layout = o.layout();
+        let flat = o.encode(WeightScale::Raw);
+        assert_eq!(flat.len(), 5);
+        let back = Oqp::decode(&flat, &layout, WeightScale::Raw);
+        assert_eq!(back, o);
+    }
+
+    #[test]
+    fn encode_decode_log_roundtrip() {
+        let o = Oqp {
+            delta: vec![0.0],
+            weights: vec![10.0, 0.01],
+        };
+        let layout = o.layout();
+        let flat = o.encode(WeightScale::Log);
+        let back = Oqp::decode(&flat, &layout, WeightScale::Log);
+        for (a, b) in o.weights.iter().zip(back.weights.iter()) {
+            assert!((a - b).abs() < 1e-12 * a);
+        }
+    }
+
+    #[test]
+    fn weight_floor_applied() {
+        let o = Oqp {
+            delta: vec![],
+            weights: vec![0.0, -5.0],
+        };
+        let flat = o.encode(WeightScale::Raw);
+        assert!(flat.iter().all(|&w| w >= WEIGHT_FLOOR));
+        let back = Oqp::decode(&flat, &OqpLayout::new(0, 2), WeightScale::Raw);
+        assert!(back.weights.iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn diffs() {
+        let a = Oqp {
+            delta: vec![0.0, 1.0],
+            weights: vec![1.0],
+        };
+        let b = Oqp {
+            delta: vec![0.5, 1.0],
+            weights: vec![4.0],
+        };
+        assert_eq!(a.max_delta_diff(&b), 0.5);
+        assert_eq!(a.max_weight_diff(&b), 3.0);
+        assert_eq!(a.max_component_diff(&b), 3.0);
+        assert_eq!(a.max_component_diff(&a), 0.0);
+    }
+
+    #[test]
+    fn normalize_weights_geometric_mean_one() {
+        let mut o = Oqp {
+            delta: vec![],
+            weights: vec![4.0, 1.0, 0.25],
+        };
+        o.normalize_weights();
+        let gm: f64 = o.weights.iter().map(|w| w.ln()).sum::<f64>() / 3.0;
+        assert!(gm.abs() < 1e-12);
+        // Ratios preserved.
+        assert!((o.weights[0] / o.weights[1] - 4.0).abs() < 1e-12);
+        // Empty block is a no-op.
+        let mut e = Oqp {
+            delta: vec![1.0],
+            weights: vec![],
+        };
+        e.normalize_weights();
+        assert!(e.weights.is_empty());
+    }
+}

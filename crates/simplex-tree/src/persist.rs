@@ -1,0 +1,417 @@
+//! Binary persistence of Simplex Trees.
+//!
+//! FeedbackBypass is useful precisely because learned parameters survive
+//! *across sessions*; the tree must therefore round-trip through disk.
+//! The format is a little-endian, versioned memory image:
+//!
+//! ```text
+//! magic "FBST" | version | root shape | OQP layout | config |
+//! counters | vertex pool | node arena | FNV-1a-64 checksum
+//! ```
+//!
+//! Reading validates the magic, version, checksum, then structural
+//! invariants ([`crate::SimplexTree::verify_invariants`]) before handing
+//! the tree back, so a corrupt or truncated image can never produce a
+//! silently-wrong index.
+
+use crate::oqp::{OqpLayout, WeightScale};
+use crate::tree::{DescentRule, Node, SimplexTree, Vertex};
+use crate::{Result, TreeConfig, TreeError};
+use bytes::{BufMut, BytesMut};
+use fbp_geometry::RootSimplex;
+
+const MAGIC: u32 = 0x4642_5354; // "FBST"
+const VERSION: u32 = 1;
+
+/// FNV-1a 64-bit checksum.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Checked little-endian reader over a byte slice.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.data.len() {
+            return Err(TreeError::Corrupt(format!(
+                "truncated image: wanted {n} bytes at offset {}",
+                self.pos
+            )));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64s(&mut self, n: usize) -> Result<Vec<f64>> {
+        let raw = self.take(8 * n)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+impl SimplexTree {
+    /// Serialize to a self-contained byte image.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(4096);
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(VERSION);
+        match self.root_shape() {
+            RootSimplex::Corner { dim, scale } => {
+                buf.put_u8(0);
+                buf.put_u32_le(*dim as u32);
+                buf.put_f64_le(*scale);
+            }
+            RootSimplex::Custom(verts) => {
+                buf.put_u8(1);
+                let dim = verts.len() - 1;
+                buf.put_u32_le(dim as u32);
+                for v in verts {
+                    for &x in v {
+                        buf.put_f64_le(x);
+                    }
+                }
+            }
+        }
+        buf.put_u32_le(self.layout().delta_dim as u32);
+        buf.put_u32_le(self.layout().weight_dim as u32);
+        let cfg = self.config();
+        buf.put_f64_le(cfg.delta_eps);
+        buf.put_f64_le(cfg.weight_eps);
+        buf.put_f64_le(cfg.vertex_snap_tol);
+        buf.put_f64_le(cfg.domain_tol);
+        buf.put_u8(match cfg.weight_scale {
+            WeightScale::Raw => 0,
+            WeightScale::Log => 1,
+        });
+        buf.put_u8(match cfg.descent {
+            DescentRule::MostInterior => 0,
+            DescentRule::FirstContaining => 1,
+        });
+        buf.put_u64_le(self.stored_points());
+        buf.put_u64_le(self.update_count());
+        buf.put_u64_le(self.skip_count());
+
+        buf.put_u32_le(self.vertices.len() as u32);
+        for v in &self.vertices {
+            buf.put_u8(v.synthetic as u8);
+            for &x in v.point.iter() {
+                buf.put_f64_le(x);
+            }
+            for &x in v.value.iter() {
+                buf.put_f64_le(x);
+            }
+        }
+        buf.put_u32_le(self.nodes.len() as u32);
+        for n in &self.nodes {
+            for &v in n.verts.iter() {
+                buf.put_u32_le(v);
+            }
+            buf.put_u16_le(n.children.len() as u16);
+            for &(h, id) in &n.children {
+                buf.put_u16_le(h);
+                buf.put_u32_le(id);
+            }
+            match (&n.split_mu, n.split_vertex) {
+                (Some(mu), Some(sv)) => {
+                    buf.put_u8(1);
+                    for &x in mu.iter() {
+                        buf.put_f64_le(x);
+                    }
+                    buf.put_u32_le(sv);
+                }
+                _ => buf.put_u8(0),
+            }
+        }
+        let checksum = fnv1a(&buf);
+        buf.put_u64_le(checksum);
+        buf.to_vec()
+    }
+
+    /// Deserialize a byte image produced by [`Self::to_bytes`].
+    ///
+    /// Fails on magic/version mismatch, checksum mismatch, truncation, or
+    /// any structural-invariant violation.
+    pub fn from_bytes(data: &[u8]) -> Result<SimplexTree> {
+        if data.len() < 16 {
+            return Err(TreeError::Corrupt("image shorter than header".into()));
+        }
+        let (body, tail) = data.split_at(data.len() - 8);
+        let expected = u64::from_le_bytes(tail.try_into().unwrap());
+        let actual = fnv1a(body);
+        if expected != actual {
+            return Err(TreeError::Corrupt(format!(
+                "checksum mismatch: stored {expected:#x}, computed {actual:#x}"
+            )));
+        }
+        let mut r = Reader::new(body);
+        if r.u32()? != MAGIC {
+            return Err(TreeError::Corrupt("bad magic".into()));
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(TreeError::Corrupt(format!(
+                "unsupported version {version}"
+            )));
+        }
+        let root_shape = match r.u8()? {
+            0 => {
+                let dim = r.u32()? as usize;
+                let scale = r.f64()?;
+                RootSimplex::Corner { dim, scale }
+            }
+            1 => {
+                let dim = r.u32()? as usize;
+                let mut verts = Vec::with_capacity(dim + 1);
+                for _ in 0..=dim {
+                    verts.push(r.f64s(dim)?);
+                }
+                RootSimplex::Custom(verts)
+            }
+            t => return Err(TreeError::Corrupt(format!("unknown root tag {t}"))),
+        };
+        let dim = root_shape.dim();
+        let layout = OqpLayout::new(r.u32()? as usize, r.u32()? as usize);
+        let config = TreeConfig {
+            delta_eps: r.f64()?,
+            weight_eps: r.f64()?,
+            vertex_snap_tol: r.f64()?,
+            domain_tol: r.f64()?,
+            weight_scale: match r.u8()? {
+                0 => WeightScale::Raw,
+                1 => WeightScale::Log,
+                t => {
+                    return Err(TreeError::Corrupt(format!("unknown weight scale {t}")))
+                }
+            },
+            descent: match r.u8()? {
+                0 => DescentRule::MostInterior,
+                1 => DescentRule::FirstContaining,
+                t => return Err(TreeError::Corrupt(format!("unknown descent rule {t}"))),
+            },
+        };
+        let stored_points = r.u64()?;
+        let updates = r.u64()?;
+        let skips = r.u64()?;
+
+        let vcount = r.u32()? as usize;
+        let mut vertices = Vec::with_capacity(vcount);
+        for _ in 0..vcount {
+            let synthetic = r.u8()? != 0;
+            let point = r.f64s(dim)?.into_boxed_slice();
+            let value = r.f64s(layout.flat_len())?.into_boxed_slice();
+            vertices.push(Vertex {
+                point,
+                value,
+                synthetic,
+            });
+        }
+        let ncount = r.u32()? as usize;
+        let mut nodes = Vec::with_capacity(ncount);
+        for _ in 0..ncount {
+            let mut verts = Vec::with_capacity(dim + 1);
+            for _ in 0..=dim {
+                verts.push(r.u32()?);
+            }
+            let ccount = r.u16()? as usize;
+            let mut children = Vec::with_capacity(ccount);
+            for _ in 0..ccount {
+                let h = r.u16()?;
+                let id = r.u32()?;
+                children.push((h, id));
+            }
+            let (split_mu, split_vertex) = if r.u8()? != 0 {
+                let mu = r.f64s(dim + 1)?.into_boxed_slice();
+                let sv = r.u32()?;
+                (Some(mu), Some(sv))
+            } else {
+                (None, None)
+            };
+            nodes.push(Node {
+                verts: verts.into_boxed_slice(),
+                children,
+                split_mu,
+                split_vertex,
+            });
+        }
+        if r.pos != body.len() {
+            return Err(TreeError::Corrupt(format!(
+                "{} trailing bytes",
+                body.len() - r.pos
+            )));
+        }
+        SimplexTree::from_raw_parts(
+            root_shape,
+            layout,
+            config,
+            nodes,
+            vertices,
+            stored_points,
+            updates,
+            skips,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Oqp;
+
+    fn sample_tree() -> SimplexTree {
+        let mut tree = SimplexTree::new(
+            RootSimplex::standard(3),
+            OqpLayout::new(3, 4),
+            TreeConfig::default(),
+        )
+        .unwrap();
+        let points = [
+            [0.2, 0.2, 0.2],
+            [0.1, 0.3, 0.15],
+            [0.22, 0.18, 0.21],
+            [0.05, 0.05, 0.6],
+        ];
+        for (i, q) in points.iter().enumerate() {
+            let oqp = Oqp {
+                delta: vec![0.01 * i as f64, -0.02, 0.0],
+                weights: vec![1.0 + i as f64, 0.5, 2.0, 1.0],
+            };
+            tree.insert(q, &oqp).unwrap();
+        }
+        tree
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let tree = sample_tree();
+        let bytes = tree.to_bytes();
+        let back = SimplexTree::from_bytes(&bytes).unwrap();
+        assert_eq!(back.dim(), tree.dim());
+        assert_eq!(back.layout(), tree.layout());
+        assert_eq!(back.config(), tree.config());
+        assert_eq!(back.stored_points(), tree.stored_points());
+        assert_eq!(back.node_count(), tree.node_count());
+        assert_eq!(back.vertex_count(), tree.vertex_count());
+        // Predictions agree everywhere we probe.
+        for q in [[0.2, 0.2, 0.2], [0.1, 0.1, 0.1], [0.3, 0.05, 0.2]] {
+            let a = tree.predict(&q).unwrap();
+            let b = back.predict(&q).unwrap();
+            assert!(a.oqp.max_component_diff(&b.oqp) < 1e-15);
+            assert_eq!(a.nodes_visited, b.nodes_visited);
+        }
+    }
+
+    #[test]
+    fn empty_tree_roundtrips() {
+        let tree = SimplexTree::new(
+            RootSimplex::unit_cube(5),
+            OqpLayout::new(5, 5),
+            TreeConfig::default(),
+        )
+        .unwrap();
+        let back = SimplexTree::from_bytes(&tree.to_bytes()).unwrap();
+        assert_eq!(back.node_count(), 1);
+        assert_eq!(back.root_shape(), tree.root_shape());
+    }
+
+    #[test]
+    fn custom_root_roundtrips() {
+        let root = RootSimplex::custom(vec![
+            vec![-1.0, -1.0],
+            vec![4.0, -1.0],
+            vec![-1.0, 4.0],
+        ])
+        .unwrap();
+        let mut tree =
+            SimplexTree::new(root, OqpLayout::new(2, 2), TreeConfig::default()).unwrap();
+        tree.insert(
+            &[1.0, 1.0],
+            &Oqp {
+                delta: vec![0.5, 0.5],
+                weights: vec![3.0, 0.3],
+            },
+        )
+        .unwrap();
+        let back = SimplexTree::from_bytes(&tree.to_bytes()).unwrap();
+        let p = back.predict(&[1.0, 1.0]).unwrap();
+        assert!((p.oqp.weights[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let tree = sample_tree();
+        let good = tree.to_bytes();
+        // Flip one byte in the middle.
+        let mut bad = good.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xff;
+        assert!(matches!(
+            SimplexTree::from_bytes(&bad),
+            Err(TreeError::Corrupt(_))
+        ));
+        // Truncation.
+        assert!(matches!(
+            SimplexTree::from_bytes(&good[..good.len() - 3]),
+            Err(TreeError::Corrupt(_))
+        ));
+        // Empty / tiny input.
+        assert!(SimplexTree::from_bytes(&[]).is_err());
+        assert!(SimplexTree::from_bytes(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let tree = sample_tree();
+        let mut img = tree.to_bytes();
+        // Corrupt the magic but fix up the checksum so only the magic check
+        // can catch it.
+        img[0] ^= 0x01;
+        let body_len = img.len() - 8;
+        let sum = fnv1a(&img[..body_len]);
+        img[body_len..].copy_from_slice(&sum.to_le_bytes());
+        let err = SimplexTree::from_bytes(&img).unwrap_err();
+        assert!(matches!(err, TreeError::Corrupt(msg) if msg.contains("magic")));
+    }
+
+    #[test]
+    fn checksum_is_stable() {
+        // Serialization must be deterministic (same tree → same bytes).
+        let tree = sample_tree();
+        assert_eq!(tree.to_bytes(), tree.to_bytes());
+    }
+}

@@ -1,0 +1,213 @@
+//! Flat storage of labelled feature vectors.
+//!
+//! Vectors live in one contiguous row-major buffer (`len × dim`), so a
+//! k-NN scan touches memory sequentially; labels are category ids used by
+//! the evaluation harness as its relevance oracle (paper §5: "any image in
+//! the same category was considered a good match").
+
+use crate::{Result, VecdbError};
+
+/// Category identifier (index into the collection's category name table).
+pub type CategoryId = u32;
+
+/// Sentinel category for unlabelled ("noise") objects.
+pub const NO_CATEGORY: CategoryId = u32::MAX;
+
+/// An immutable collection of labelled feature vectors.
+#[derive(Debug, Clone)]
+pub struct Collection {
+    dim: usize,
+    data: Vec<f64>,
+    labels: Vec<CategoryId>,
+    category_names: Vec<String>,
+}
+
+impl Collection {
+    /// Dimensionality of every vector.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of vectors.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Borrow vector `i`.
+    #[inline]
+    pub fn vector(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Category of vector `i` ([`NO_CATEGORY`] when unlabelled).
+    #[inline]
+    pub fn label(&self, i: usize) -> CategoryId {
+        self.labels[i]
+    }
+
+    /// Name of a category id.
+    pub fn category_name(&self, c: CategoryId) -> Option<&str> {
+        self.category_names.get(c as usize).map(|s| s.as_str())
+    }
+
+    /// All category names, indexed by id.
+    pub fn category_names(&self) -> &[String] {
+        &self.category_names
+    }
+
+    /// Number of distinct registered categories.
+    pub fn category_count(&self) -> usize {
+        self.category_names.len()
+    }
+
+    /// Number of members of a category (the evaluation's recall
+    /// denominator).
+    pub fn category_size(&self, c: CategoryId) -> usize {
+        self.labels.iter().filter(|&&l| l == c).count()
+    }
+
+    /// Indices of all members of a category.
+    pub fn category_members(&self, c: CategoryId) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Iterate `(index, vector, label)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[f64], CategoryId)> + '_ {
+        (0..self.len()).map(move |i| (i, self.vector(i), self.labels[i]))
+    }
+}
+
+/// Builder for [`Collection`].
+#[derive(Debug, Default)]
+pub struct CollectionBuilder {
+    dim: Option<usize>,
+    data: Vec<f64>,
+    labels: Vec<CategoryId>,
+    category_names: Vec<String>,
+}
+
+impl CollectionBuilder {
+    /// Fresh builder; the dimensionality is fixed by the first vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a category name, returning its id. Registering the same
+    /// name again returns the existing id.
+    pub fn category(&mut self, name: &str) -> CategoryId {
+        if let Some(pos) = self.category_names.iter().position(|n| n == name) {
+            return pos as CategoryId;
+        }
+        self.category_names.push(name.to_string());
+        (self.category_names.len() - 1) as CategoryId
+    }
+
+    /// Append a labelled vector.
+    pub fn push(&mut self, vector: &[f64], label: CategoryId) -> Result<usize> {
+        match self.dim {
+            None => self.dim = Some(vector.len()),
+            Some(d) if d != vector.len() => {
+                return Err(VecdbError::DimMismatch {
+                    expected: d,
+                    got: vector.len(),
+                })
+            }
+            _ => {}
+        }
+        if label != NO_CATEGORY && label as usize >= self.category_names.len() {
+            return Err(VecdbError::BadParameters(format!(
+                "label {label} not registered"
+            )));
+        }
+        self.data.extend_from_slice(vector);
+        self.labels.push(label);
+        Ok(self.labels.len() - 1)
+    }
+
+    /// Append an unlabelled (noise) vector.
+    pub fn push_unlabelled(&mut self, vector: &[f64]) -> Result<usize> {
+        self.push(vector, NO_CATEGORY)
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Collection {
+        Collection {
+            dim: self.dim.unwrap_or(0),
+            data: self.data,
+            labels: self.labels,
+            category_names: self.category_names,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_access() {
+        let mut b = CollectionBuilder::new();
+        let birds = b.category("Bird");
+        let fish = b.category("Fish");
+        assert_eq!(b.category("Bird"), birds, "re-registration is idempotent");
+        b.push(&[1.0, 2.0], birds).unwrap();
+        b.push(&[3.0, 4.0], fish).unwrap();
+        b.push_unlabelled(&[5.0, 6.0]).unwrap();
+        let c = b.build();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.dim(), 2);
+        assert_eq!(c.vector(1), &[3.0, 4.0]);
+        assert_eq!(c.label(0), birds);
+        assert_eq!(c.label(2), NO_CATEGORY);
+        assert_eq!(c.category_name(fish), Some("Fish"));
+        assert_eq!(c.category_name(99), None);
+        assert_eq!(c.category_count(), 2);
+    }
+
+    #[test]
+    fn category_sizes_and_members() {
+        let mut b = CollectionBuilder::new();
+        let cat = b.category("X");
+        b.push(&[0.0], cat).unwrap();
+        b.push_unlabelled(&[1.0]).unwrap();
+        b.push(&[2.0], cat).unwrap();
+        let c = b.build();
+        assert_eq!(c.category_size(cat), 2);
+        assert_eq!(c.category_members(cat), vec![0, 2]);
+        assert_eq!(c.category_size(7), 0);
+    }
+
+    #[test]
+    fn dim_mismatch_rejected() {
+        let mut b = CollectionBuilder::new();
+        b.push_unlabelled(&[1.0, 2.0]).unwrap();
+        assert!(matches!(
+            b.push_unlabelled(&[1.0]),
+            Err(VecdbError::DimMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unregistered_label_rejected() {
+        let mut b = CollectionBuilder::new();
+        assert!(b.push(&[1.0], 0).is_err());
+    }
+
+    #[test]
+    fn empty_collection() {
+        let c = CollectionBuilder::new().build();
+        assert!(c.is_empty());
+        assert_eq!(c.dim(), 0);
+        assert_eq!(c.iter().count(), 0);
+    }
+}

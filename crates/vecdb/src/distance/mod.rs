@@ -1,0 +1,107 @@
+//! Distance-function classes (paper §2).
+//!
+//! All retrieval in FeedbackBypass happens under a *parameterized class*
+//! of distance functions; the feedback loop adjusts the parameters, and
+//! the Simplex Tree stores them. The classes implemented here are the
+//! ones the paper discusses:
+//!
+//! * [`Lp`] norms — `L1` Manhattan, `L2` Euclidean (the default distance
+//!   in the paper's experiments), general `p`;
+//! * [`WeightedEuclidean`] — Equation 1, the class learned in the paper's
+//!   evaluation;
+//! * [`QuadraticDistance`] — Mahalanobis-style forms
+//!   `√((p−q)ᵀ·W·(p−q))` with SPD `W` (paper §2);
+//! * [`HierarchicalDistance`] — the Rui-Huang model \[RH00\]: a weighted
+//!   combination of per-feature quadratic distances.
+
+mod hierarchical;
+mod lp;
+mod quadratic;
+mod weighted;
+
+pub use hierarchical::{FeatureSpan, HierarchicalDistance};
+pub use lp::{Chebyshev, Euclidean, Lp, Manhattan};
+pub use quadratic::QuadraticDistance;
+pub use weighted::WeightedEuclidean;
+
+/// A distance function over equal-length `f64` vectors.
+///
+/// Implementations must be symmetric and satisfy `d(x, x) = 0`; the
+/// metric ones (all of the above with positive parameters) also satisfy
+/// the triangle inequality, which the metric-tree engines rely on.
+pub trait Distance: Send + Sync {
+    /// Evaluate `d(a, b)`.
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &str;
+
+    /// Distortion bounds relative to the *unweighted Euclidean* metric:
+    /// factors `(lo, hi)` with `lo·d₂(a,b) ≤ d(a,b) ≤ hi·d₂(a,b)` for all
+    /// `a, b`, when such global factors exist.
+    ///
+    /// Metric trees built under plain Euclidean use `lo` to prune exactly
+    /// for re-weighted queries: any candidate with
+    /// `lo · d₂(q, x) > r` certainly has `d(q, x) > r`.
+    fn euclidean_distortion(&self) -> Option<(f64, f64)> {
+        None
+    }
+}
+
+/// Squared Euclidean distance helper shared by implementations.
+#[inline]
+pub(crate) fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::Distance;
+
+    /// Generic metric-axiom probe used by the per-class test modules.
+    pub fn check_metric_axioms<D: Distance>(d: &D, pts: &[Vec<f64>], tol: f64) {
+        for a in pts {
+            assert!(
+                d.eval(a, a).abs() <= tol,
+                "{}: d(x,x) = {}",
+                d.name(),
+                d.eval(a, a)
+            );
+            for b in pts {
+                let ab = d.eval(a, b);
+                let ba = d.eval(b, a);
+                assert!((ab - ba).abs() <= tol, "{}: asymmetric", d.name());
+                assert!(ab >= 0.0, "{}: negative distance", d.name());
+                for c in pts {
+                    let ac = d.eval(a, c);
+                    let cb = d.eval(c, b);
+                    assert!(
+                        ab <= ac + cb + tol,
+                        "{}: triangle violated: d(a,b)={ab} > d(a,c)+d(c,b)={}",
+                        d.name(),
+                        ac + cb
+                    );
+                }
+            }
+        }
+    }
+
+    pub fn sample_points(dim: usize) -> Vec<Vec<f64>> {
+        // Deterministic scattered points exercising negatives and zeros.
+        let mut pts = Vec::new();
+        for s in 0..6 {
+            let v: Vec<f64> = (0..dim)
+                .map(|i| ((s * 7 + i * 3) % 11) as f64 * 0.25 - 1.0)
+                .collect();
+            pts.push(v);
+        }
+        pts.push(vec![0.0; dim]);
+        pts
+    }
+}

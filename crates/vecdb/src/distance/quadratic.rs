@@ -1,0 +1,227 @@
+//! Quadratic (Mahalanobis-style) distance — paper §2:
+//!
+//! ```text
+//! d²(p, q; W) = Σᵢ Σⱼ wᵢⱼ·(pᵢ − qᵢ)·(pⱼ − qⱼ) = (p−q)ᵀ·W·(p−q)
+//! ```
+//!
+//! with symmetric positive-definite `W`, yielding arbitrarily-oriented
+//! ellipsoidal iso-distance surfaces ("a rotated weighted Euclidean
+//! norm"). Positive definiteness is certified at construction by a
+//! Cholesky factorization, which also evaluates the form as `‖Lᵀ·x‖²`.
+
+use super::Distance;
+use crate::{Result, VecdbError};
+use fbp_linalg::{Cholesky, Matrix};
+
+/// Quadratic-form distance with SPD parameter matrix.
+#[derive(Debug, Clone)]
+pub struct QuadraticDistance {
+    chol: Cholesky,
+    dim: usize,
+    /// Extremal eigenvalue bounds estimated from the Cholesky factor (via
+    /// Gershgorin on `W`); used for Euclidean distortion pruning.
+    eig_lo: f64,
+    eig_hi: f64,
+}
+
+impl QuadraticDistance {
+    /// Construct from a symmetric positive-definite matrix.
+    pub fn new(w: &Matrix) -> Result<Self> {
+        if !w.is_square() {
+            return Err(VecdbError::BadParameters("matrix must be square".into()));
+        }
+        if !w.is_symmetric(1e-9) {
+            return Err(VecdbError::BadParameters("matrix must be symmetric".into()));
+        }
+        let chol = Cholesky::factor(w).map_err(|e| {
+            VecdbError::BadParameters(format!("matrix must be positive definite: {e}"))
+        })?;
+        // Gershgorin bounds on the spectrum of W: every eigenvalue lies in
+        // ∪ᵢ [wᵢᵢ − Rᵢ, wᵢᵢ + Rᵢ] with Rᵢ the off-diagonal row sum.
+        let n = w.rows();
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0_f64;
+        for i in 0..n {
+            let mut radius = 0.0;
+            for j in 0..n {
+                if i != j {
+                    radius += w[(i, j)].abs();
+                }
+            }
+            lo = lo.min(w[(i, i)] - radius);
+            hi = hi.max(w[(i, i)] + radius);
+        }
+        Ok(QuadraticDistance {
+            chol,
+            dim: n,
+            eig_lo: lo.max(0.0),
+            eig_hi: hi,
+        })
+    }
+
+    /// Mahalanobis distance: quadratic form with `W = Σ⁻¹` for a given
+    /// covariance matrix `Σ` (ridge-regularized by `ridge·I` so nearly
+    /// singular covariances — few feedback examples — stay usable).
+    pub fn mahalanobis(covariance: &Matrix, ridge: f64) -> Result<Self> {
+        if !covariance.is_square() {
+            return Err(VecdbError::BadParameters("covariance must be square".into()));
+        }
+        let n = covariance.rows();
+        let mut reg = covariance.clone();
+        for i in 0..n {
+            reg[(i, i)] += ridge;
+        }
+        let chol = Cholesky::factor(&reg).map_err(|e| {
+            VecdbError::BadParameters(format!("covariance not PSD: {e}"))
+        })?;
+        // W = Σ⁻¹ column by column.
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for c in 0..n {
+            e[c] = 1.0;
+            let col = chol
+                .solve(&e)
+                .map_err(|e| VecdbError::BadParameters(format!("solve failed: {e}")))?;
+            e[c] = 0.0;
+            for r in 0..n {
+                inv[(r, c)] = col[r];
+            }
+        }
+        // Symmetrize against round-off before factoring.
+        for r in 0..n {
+            for c in (r + 1)..n {
+                let m = 0.5 * (inv[(r, c)] + inv[(c, r)]);
+                inv[(r, c)] = m;
+                inv[(c, r)] = m;
+            }
+        }
+        QuadraticDistance::new(&inv)
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Squared distance `(a−b)ᵀ·W·(a−b)`.
+    #[inline]
+    pub fn eval_sq(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), self.dim);
+        debug_assert_eq!(b.len(), self.dim);
+        let diff: Vec<f64> = a.iter().zip(b.iter()).map(|(x, y)| x - y).collect();
+        self.chol
+            .quadratic_form(&diff)
+            .expect("dimension checked at construction")
+    }
+}
+
+impl Distance for QuadraticDistance {
+    #[inline]
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.eval_sq(a, b).sqrt()
+    }
+
+    fn name(&self) -> &str {
+        "quadratic"
+    }
+
+    fn euclidean_distortion(&self) -> Option<(f64, f64)> {
+        if self.eig_lo > 0.0 {
+            Some((self.eig_lo.sqrt(), self.eig_hi.sqrt()))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::test_support::{check_metric_axioms, sample_points};
+    use crate::distance::{Euclidean, WeightedEuclidean};
+
+    #[test]
+    fn identity_matrix_is_euclidean() {
+        let q = QuadraticDistance::new(&Matrix::identity(3)).unwrap();
+        let e = Euclidean;
+        let a = [1.0, 2.0, 3.0];
+        let b = [0.0, -1.0, 0.5];
+        assert!((q.eval(&a, &b) - e.eval(&a, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_matrix_is_weighted_euclidean() {
+        let w = vec![2.0, 5.0];
+        let q = QuadraticDistance::new(&Matrix::from_diag(&w)).unwrap();
+        let we = WeightedEuclidean::new(w).unwrap();
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert!((q.eval(&a, &b) - we.eval(&a, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotated_form_captures_correlation() {
+        // W with positive off-diagonal: moving along (1,-1) costs more than
+        // along (1,1).
+        let w = Matrix::from_rows(&[&[1.0, 0.8], &[0.8, 1.0]]);
+        let q = QuadraticDistance::new(&w).unwrap();
+        let o = [0.0, 0.0];
+        let diag = q.eval(&o, &[1.0, 1.0]);
+        let anti = q.eval(&o, &[1.0, -1.0]);
+        assert!(diag > anti, "correlated direction should cost more: {diag} vs {anti}");
+    }
+
+    #[test]
+    fn rejects_bad_matrices() {
+        assert!(QuadraticDistance::new(&Matrix::zeros(2, 3)).is_err());
+        let asym = Matrix::from_rows(&[&[1.0, 0.5], &[0.0, 1.0]]);
+        assert!(QuadraticDistance::new(&asym).is_err());
+        let indef = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(QuadraticDistance::new(&indef).is_err());
+    }
+
+    #[test]
+    fn mahalanobis_whitens_covariance() {
+        // Covariance with variance 4 in x, 1 in y: Mahalanobis distance of
+        // (2,0) and (0,1) from the origin should both be 1.
+        let cov = Matrix::from_diag(&[4.0, 1.0]);
+        let m = QuadraticDistance::mahalanobis(&cov, 0.0).unwrap();
+        let o = [0.0, 0.0];
+        assert!((m.eval(&o, &[2.0, 0.0]) - 1.0).abs() < 1e-9);
+        assert!((m.eval(&o, &[0.0, 1.0]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mahalanobis_ridge_rescues_singular_covariance() {
+        // Rank-deficient covariance (constant second dim) fails without a
+        // ridge, succeeds with one.
+        let cov = Matrix::from_diag(&[1.0, 0.0]);
+        assert!(QuadraticDistance::mahalanobis(&cov, 0.0).is_err());
+        assert!(QuadraticDistance::mahalanobis(&cov, 1e-6).is_ok());
+    }
+
+    #[test]
+    fn metric_axioms_hold() {
+        let w = Matrix::from_rows(&[
+            &[2.0, 0.3, 0.0],
+            &[0.3, 1.0, -0.2],
+            &[0.0, -0.2, 1.5],
+        ]);
+        let q = QuadraticDistance::new(&w).unwrap();
+        check_metric_axioms(&q, &sample_points(3), 1e-9);
+    }
+
+    #[test]
+    fn distortion_bounds_hold() {
+        let w = Matrix::from_rows(&[&[2.0, 0.3], &[0.3, 1.0]]);
+        let q = QuadraticDistance::new(&w).unwrap();
+        let (lo, hi) = q.euclidean_distortion().unwrap();
+        let e = Euclidean;
+        for pts in sample_points(2).windows(2) {
+            let dq = q.eval(&pts[0], &pts[1]);
+            let d2 = e.eval(&pts[0], &pts[1]);
+            assert!(dq >= lo * d2 - 1e-9);
+            assert!(dq <= hi * d2 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Weighted Euclidean distance — Equation 1 of the paper, the class of
+//! distance functions learned in its experiments:
+//!
+//! ```text
+//! L2W(p, q; W) = ( Σᵢ wᵢ·(pᵢ − qᵢ)² )^½ ,   wᵢ > 0
+//! ```
+
+use super::Distance;
+use crate::{Result, VecdbError};
+
+/// Weighted Euclidean distance with strictly positive per-component
+/// weights.
+#[derive(Debug, Clone)]
+pub struct WeightedEuclidean {
+    weights: Vec<f64>,
+    min_w: f64,
+    max_w: f64,
+}
+
+impl WeightedEuclidean {
+    /// Construct from weights (all must be finite and > 0).
+    pub fn new(weights: Vec<f64>) -> Result<Self> {
+        if weights.is_empty() {
+            return Err(VecdbError::BadParameters("empty weight vector".into()));
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w <= 0.0) {
+            return Err(VecdbError::BadParameters(
+                "weights must be finite and positive".into(),
+            ));
+        }
+        let min_w = weights.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max_w = weights.iter().cloned().fold(0.0, f64::max);
+        Ok(WeightedEuclidean {
+            weights,
+            min_w,
+            max_w,
+        })
+    }
+
+    /// The unweighted special case (`wᵢ = 1`), dimension `dim`.
+    pub fn uniform(dim: usize) -> Self {
+        WeightedEuclidean {
+            weights: vec![1.0; dim],
+            min_w: 1.0,
+            max_w: 1.0,
+        }
+    }
+
+    /// Component weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Smallest weight (drives the Euclidean-index pruning bound).
+    pub fn min_weight(&self) -> f64 {
+        self.min_w
+    }
+
+    /// Largest weight.
+    pub fn max_weight(&self) -> f64 {
+        self.max_w
+    }
+
+    /// Squared distance (saves the `sqrt` in rank-only comparisons).
+    #[inline]
+    pub fn eval_sq(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        debug_assert_eq!(a.len(), self.weights.len());
+        let mut acc = 0.0;
+        for i in 0..a.len() {
+            let d = a[i] - b[i];
+            acc += self.weights[i] * d * d;
+        }
+        acc
+    }
+}
+
+impl Distance for WeightedEuclidean {
+    #[inline]
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.eval_sq(a, b).sqrt()
+    }
+
+    fn name(&self) -> &str {
+        "weighted-euclidean"
+    }
+
+    fn euclidean_distortion(&self) -> Option<(f64, f64)> {
+        // √w_min·d₂ ≤ d_W ≤ √w_max·d₂, componentwise bound.
+        Some((self.min_w.sqrt(), self.max_w.sqrt()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::test_support::{check_metric_axioms, sample_points};
+    use crate::distance::Euclidean;
+
+    #[test]
+    fn uniform_equals_euclidean() {
+        let w = WeightedEuclidean::uniform(3);
+        let e = Euclidean;
+        let a = [1.0, -2.0, 0.5];
+        let b = [0.0, 1.0, 2.0];
+        assert!((w.eval(&a, &b) - e.eval(&a, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_scale_components() {
+        let w = WeightedEuclidean::new(vec![4.0, 1.0]).unwrap();
+        // Distance along the first axis doubles.
+        assert!((w.eval(&[0.0, 0.0], &[1.0, 0.0]) - 2.0).abs() < 1e-12);
+        assert!((w.eval(&[0.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distortion_bounds_hold() {
+        let w = WeightedEuclidean::new(vec![0.25, 4.0, 1.0]).unwrap();
+        let (lo, hi) = w.euclidean_distortion().unwrap();
+        assert_eq!(lo, 0.5);
+        assert_eq!(hi, 2.0);
+        let e = Euclidean;
+        for pts in sample_points(3).windows(2) {
+            let dw = w.eval(&pts[0], &pts[1]);
+            let d2 = e.eval(&pts[0], &pts[1]);
+            assert!(dw >= lo * d2 - 1e-12, "lower bound violated");
+            assert!(dw <= hi * d2 + 1e-12, "upper bound violated");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert!(WeightedEuclidean::new(vec![]).is_err());
+        assert!(WeightedEuclidean::new(vec![1.0, 0.0]).is_err());
+        assert!(WeightedEuclidean::new(vec![1.0, -2.0]).is_err());
+        assert!(WeightedEuclidean::new(vec![f64::NAN]).is_err());
+        assert!(WeightedEuclidean::new(vec![f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn metric_axioms_hold() {
+        let w = WeightedEuclidean::new(vec![0.5, 2.0, 1.0, 3.0]).unwrap();
+        check_metric_axioms(&w, &sample_points(4), 1e-9);
+    }
+
+    #[test]
+    fn eval_sq_consistent() {
+        let w = WeightedEuclidean::new(vec![2.0, 3.0]).unwrap();
+        let a = [1.0, 2.0];
+        let b = [-1.0, 0.5];
+        assert!((w.eval(&a, &b).powi(2) - w.eval_sq(&a, &b)).abs() < 1e-12);
+    }
+}

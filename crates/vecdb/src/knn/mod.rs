@@ -1,0 +1,197 @@
+//! k-nearest-neighbor engines.
+//!
+//! The paper's query-processing step "typically exploits index structures
+//! for high-dimensional data, such as X-trees and M-trees" (§2). Three
+//! interchangeable engines are provided:
+//!
+//! * [`LinearScan`] — exhaustive, works with any distance, the correctness
+//!   baseline;
+//! * [`VpTree`] — vantage-point tree built under Euclidean;
+//! * [`MTree`] — the M-tree of Ciaccia/Patella/Zezula (the paper's cited
+//!   access method), also built under Euclidean.
+//!
+//! The feedback loop re-weights the metric *between* iterations, which
+//! would invalidate a naively built index. The metric trees stay exact by
+//! pruning with a **distortion bound**: for any query distance `d` with
+//! `lo·d₂(a,b) ≤ d(a,b)` ([`crate::Distance::euclidean_distortion`]), a
+//! subtree whose Euclidean lower bound `B` satisfies `lo·B > τ` cannot
+//! contain a result within `τ`. Distances without a bound degrade to
+//! `lo = 0`, disabling pruning but never correctness.
+
+mod mtree;
+mod scan;
+mod vptree;
+
+pub use mtree::{MTree, MTreeConfig};
+pub use scan::LinearScan;
+pub use vptree::VpTree;
+
+use crate::distance::Distance;
+
+/// One query answer: collection index + distance under the query metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index into the collection.
+    pub index: u32,
+    /// Distance to the query under the query's distance function.
+    pub dist: f64,
+}
+
+/// Statistics of one engine call (for the efficiency experiments).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SearchStats {
+    /// Distance evaluations under the query metric.
+    pub distance_evals: u64,
+    /// Tree nodes visited (0 for scans).
+    pub nodes_visited: u64,
+}
+
+/// A k-NN engine over a fixed collection.
+pub trait KnnEngine {
+    /// The `k` nearest neighbors of `query` under `dist`, sorted by
+    /// ascending `(dist, index)`. Returns fewer than `k` when the
+    /// collection is smaller.
+    fn knn(&self, query: &[f64], k: usize, dist: &dyn Distance) -> Vec<Neighbor>;
+
+    /// Like [`Self::knn`] but also reports work counters.
+    fn knn_with_stats(
+        &self,
+        query: &[f64],
+        k: usize,
+        dist: &dyn Distance,
+    ) -> (Vec<Neighbor>, SearchStats);
+
+    /// All neighbors within `radius` (inclusive), sorted ascending.
+    fn range(&self, query: &[f64], radius: f64, dist: &dyn Distance) -> Vec<Neighbor>;
+
+    /// Engine name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Bounded max-heap keeping the `k` smallest distances seen.
+pub(crate) struct KBest {
+    k: usize,
+    heap: std::collections::BinaryHeap<HeapEntry>,
+}
+
+#[derive(PartialEq)]
+pub(crate) struct HeapEntry {
+    dist: f64,
+    index: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap by distance, ties broken by index so results are
+        // deterministic; distances are finite by construction.
+        self.dist
+            .partial_cmp(&other.dist)
+            .expect("non-finite distance")
+            .then(self.index.cmp(&other.index))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl KBest {
+    pub(crate) fn new(k: usize) -> Self {
+        KBest {
+            k,
+            heap: std::collections::BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Current pruning threshold: the k-th best distance, or ∞ while the
+    /// heap is not full.
+    #[inline]
+    pub(crate) fn threshold(&self) -> f64 {
+        if self.heap.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.heap.peek().map_or(f64::INFINITY, |e| e.dist)
+        }
+    }
+
+    /// Offer a candidate.
+    #[inline]
+    pub(crate) fn push(&mut self, index: u32, dist: f64) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(HeapEntry { dist, index });
+        } else if let Some(top) = self.heap.peek() {
+            if dist < top.dist || (dist == top.dist && index < top.index) {
+                self.heap.pop();
+                self.heap.push(HeapEntry { dist, index });
+            }
+        }
+    }
+
+    /// Extract results sorted ascending by `(dist, index)`.
+    pub(crate) fn into_sorted(self) -> Vec<Neighbor> {
+        let mut v: Vec<Neighbor> = self
+            .heap
+            .into_iter()
+            .map(|e| Neighbor {
+                index: e.index,
+                dist: e.dist,
+            })
+            .collect();
+        v.sort_by(|a, b| {
+            a.dist
+                .partial_cmp(&b.dist)
+                .expect("non-finite distance")
+                .then(a.index.cmp(&b.index))
+        });
+        v
+    }
+}
+
+/// Lower distortion factor of a query metric vs Euclidean (0 ⇒ no pruning).
+#[inline]
+pub(crate) fn lower_factor(dist: &dyn Distance) -> f64 {
+    dist.euclidean_distortion().map_or(0.0, |(lo, _)| lo.max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kbest_keeps_smallest() {
+        let mut kb = KBest::new(3);
+        assert_eq!(kb.threshold(), f64::INFINITY);
+        for (i, d) in [5.0, 1.0, 4.0, 2.0, 3.0].iter().enumerate() {
+            kb.push(i as u32, *d);
+        }
+        assert_eq!(kb.threshold(), 3.0);
+        let out = kb.into_sorted();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].dist, 1.0);
+        assert_eq!(out[2].dist, 3.0);
+    }
+
+    #[test]
+    fn kbest_tie_break_is_deterministic() {
+        let mut kb = KBest::new(2);
+        kb.push(5, 1.0);
+        kb.push(3, 1.0);
+        kb.push(1, 1.0);
+        let out = kb.into_sorted();
+        assert_eq!(out.iter().map(|n| n.index).collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn kbest_zero_k() {
+        let mut kb = KBest::new(0);
+        kb.push(0, 1.0);
+        assert!(kb.into_sorted().is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! Exhaustive linear scan: the correctness baseline, and the engine of
+//! choice when the query metric changes every iteration (no index to
+//! invalidate, perfectly sequential memory traffic).
+
+use super::{KBest, KnnEngine, Neighbor, SearchStats};
+use crate::collection::Collection;
+use crate::distance::Distance;
+
+/// Linear-scan engine borrowing a collection.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearScan<'a> {
+    coll: &'a Collection,
+}
+
+impl<'a> LinearScan<'a> {
+    /// New scan engine over `coll`.
+    pub fn new(coll: &'a Collection) -> Self {
+        LinearScan { coll }
+    }
+
+    /// The underlying collection.
+    pub fn collection(&self) -> &'a Collection {
+        self.coll
+    }
+}
+
+impl KnnEngine for LinearScan<'_> {
+    fn knn(&self, query: &[f64], k: usize, dist: &dyn Distance) -> Vec<Neighbor> {
+        self.knn_with_stats(query, k, dist).0
+    }
+
+    fn knn_with_stats(
+        &self,
+        query: &[f64],
+        k: usize,
+        dist: &dyn Distance,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let mut kb = KBest::new(k);
+        for i in 0..self.coll.len() {
+            kb.push(i as u32, dist.eval(query, self.coll.vector(i)));
+        }
+        (
+            kb.into_sorted(),
+            SearchStats {
+                distance_evals: self.coll.len() as u64,
+                nodes_visited: 0,
+            },
+        )
+    }
+
+    fn range(&self, query: &[f64], radius: f64, dist: &dyn Distance) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        for i in 0..self.coll.len() {
+            let d = dist.eval(query, self.coll.vector(i));
+            if d <= radius {
+                out.push(Neighbor {
+                    index: i as u32,
+                    dist: d,
+                });
+            }
+        }
+        out.sort_by(|a, b| {
+            a.dist
+                .partial_cmp(&b.dist)
+                .expect("non-finite distance")
+                .then(a.index.cmp(&b.index))
+        });
+        out
+    }
+
+    fn name(&self) -> &str {
+        "linear-scan"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::CollectionBuilder;
+    use crate::distance::{Euclidean, WeightedEuclidean};
+
+    fn grid_collection() -> Collection {
+        let mut b = CollectionBuilder::new();
+        for x in 0..5 {
+            for y in 0..5 {
+                b.push_unlabelled(&[x as f64, y as f64]).unwrap();
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn knn_finds_nearest_grid_points() {
+        let c = grid_collection();
+        let scan = LinearScan::new(&c);
+        let res = scan.knn(&[0.1, 0.1], 3, &Euclidean);
+        assert_eq!(res.len(), 3);
+        // Closest is (0,0), then (1,0) and (0,1) (tie).
+        assert_eq!(res[0].index, 0);
+        assert!((res[0].dist - (0.02f64).sqrt()).abs() < 1e-12);
+        let next: Vec<u32> = res[1..].iter().map(|n| n.index).collect();
+        assert!(next.contains(&1) || next.contains(&5));
+    }
+
+    #[test]
+    fn k_larger_than_collection() {
+        let c = grid_collection();
+        let scan = LinearScan::new(&c);
+        let res = scan.knn(&[0.0, 0.0], 100, &Euclidean);
+        assert_eq!(res.len(), 25);
+        // Sorted ascending.
+        for w in res.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let c = grid_collection();
+        let scan = LinearScan::new(&c);
+        assert!(scan.knn(&[0.0, 0.0], 0, &Euclidean).is_empty());
+    }
+
+    #[test]
+    fn weighted_metric_changes_ranking() {
+        let mut b = CollectionBuilder::new();
+        b.push_unlabelled(&[1.0, 0.0]).unwrap(); // index 0
+        b.push_unlabelled(&[0.0, 1.1]).unwrap(); // index 1
+        let c = b.build();
+        let scan = LinearScan::new(&c);
+        // Euclidean: point 0 is closer to origin.
+        let r1 = scan.knn(&[0.0, 0.0], 1, &Euclidean);
+        assert_eq!(r1[0].index, 0);
+        // Heavy weight on x flips the ranking.
+        let w = WeightedEuclidean::new(vec![100.0, 1.0]).unwrap();
+        let r2 = scan.knn(&[0.0, 0.0], 1, &w);
+        assert_eq!(r2[0].index, 1);
+    }
+
+    #[test]
+    fn range_query_inclusive() {
+        let c = grid_collection();
+        let scan = LinearScan::new(&c);
+        let res = scan.range(&[0.0, 0.0], 1.0, &Euclidean);
+        // (0,0), (1,0), (0,1) at distances 0, 1, 1.
+        assert_eq!(res.len(), 3);
+        assert_eq!(res[0].dist, 0.0);
+        assert_eq!(res[1].dist, 1.0);
+    }
+
+    #[test]
+    fn stats_count_all_evals() {
+        let c = grid_collection();
+        let scan = LinearScan::new(&c);
+        let (_, stats) = scan.knn_with_stats(&[0.0, 0.0], 2, &Euclidean);
+        assert_eq!(stats.distance_evals, 25);
+        assert_eq!(stats.nodes_visited, 0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Vantage-point tree over the Euclidean metric.
+//!
+//! Classic VP-tree: each node picks a vantage point, computes the median
+//! Euclidean distance of its subset to it, and splits into an inside ball
+//! and an outside shell. Queries under any distance `d` with a Euclidean
+//! distortion lower bound `lo` prune a branch when `lo · B > τ`, where `B`
+//! is the branch's Euclidean lower bound and `τ` the current pruning
+//! threshold — exact for re-weighted feedback queries.
+
+use super::{lower_factor, KBest, KnnEngine, Neighbor, SearchStats};
+use crate::collection::Collection;
+use crate::distance::{Distance, Euclidean};
+
+#[derive(Debug, Clone)]
+struct VpNode {
+    /// Vantage point (collection index).
+    pivot: u32,
+    /// Median Euclidean distance from `pivot` to the node's subset.
+    radius: f64,
+    /// Inside subtree (points with d₂ ≤ radius), `u32::MAX` = none.
+    inside: u32,
+    /// Outside subtree, `u32::MAX` = none.
+    outside: u32,
+}
+
+const NIL: u32 = u32::MAX;
+
+/// VP-tree engine borrowing a collection.
+#[derive(Debug, Clone)]
+pub struct VpTree<'a> {
+    coll: &'a Collection,
+    nodes: Vec<VpNode>,
+    root: u32,
+}
+
+impl<'a> VpTree<'a> {
+    /// Build over `coll` (O(n log n) expected distance computations).
+    ///
+    /// Vantage points are chosen deterministically (first element of each
+    /// subset) so builds are reproducible.
+    pub fn build(coll: &'a Collection) -> Self {
+        let mut nodes = Vec::with_capacity(coll.len());
+        let mut items: Vec<u32> = (0..coll.len() as u32).collect();
+        let root = Self::build_rec(coll, &mut items, &mut nodes);
+        VpTree { coll, nodes, root }
+    }
+
+    fn build_rec(coll: &Collection, items: &mut [u32], nodes: &mut Vec<VpNode>) -> u32 {
+        if items.is_empty() {
+            return NIL;
+        }
+        let pivot = items[0];
+        let rest = &mut items[1..];
+        if rest.is_empty() {
+            let id = nodes.len() as u32;
+            nodes.push(VpNode {
+                pivot,
+                radius: 0.0,
+                inside: NIL,
+                outside: NIL,
+            });
+            return id;
+        }
+        let e = Euclidean;
+        let pv = coll.vector(pivot as usize).to_vec();
+        // Median split by distance to the vantage point.
+        let mid = rest.len() / 2;
+        rest.select_nth_unstable_by(mid, |&a, &b| {
+            let da = e.eval(&pv, coll.vector(a as usize));
+            let db = e.eval(&pv, coll.vector(b as usize));
+            da.partial_cmp(&db)
+                .expect("non-finite distance")
+                .then(a.cmp(&b))
+        });
+        let radius = e.eval(&pv, coll.vector(rest[mid] as usize));
+        let id = nodes.len() as u32;
+        nodes.push(VpNode {
+            pivot,
+            radius,
+            inside: NIL,
+            outside: NIL,
+        });
+        // `mid` goes inside (d ≤ radius by construction).
+        let (ins, outs) = rest.split_at_mut(mid + 1);
+        let inside = Self::build_rec(coll, ins, nodes);
+        let outside = Self::build_rec(coll, outs, nodes);
+        nodes[id as usize].inside = inside;
+        nodes[id as usize].outside = outside;
+        id
+    }
+
+    /// Number of tree nodes (== collection size).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn search(
+        &self,
+        node: u32,
+        query: &[f64],
+        dist: &dyn Distance,
+        lo: f64,
+        kb: &mut KBest,
+        stats: &mut SearchStats,
+    ) {
+        if node == NIL {
+            return;
+        }
+        let n = &self.nodes[node as usize];
+        stats.nodes_visited += 1;
+        let pv = self.coll.vector(n.pivot as usize);
+        let d_query = dist.eval(query, pv);
+        stats.distance_evals += 1;
+        kb.push(n.pivot, d_query);
+        if n.inside == NIL && n.outside == NIL {
+            return;
+        }
+        let d2 = Euclidean.eval(query, pv);
+        // Euclidean lower bounds for each side.
+        let inside_bound = (d2 - n.radius).max(0.0);
+        let outside_bound = (n.radius - d2).max(0.0);
+        // Visit the nearer side first for a tight threshold early.
+        let sides = if d2 <= n.radius {
+            [(n.inside, inside_bound), (n.outside, outside_bound)]
+        } else {
+            [(n.outside, outside_bound), (n.inside, inside_bound)]
+        };
+        for (child, bound) in sides {
+            if child == NIL {
+                continue;
+            }
+            if lo > 0.0 && lo * bound > kb.threshold() {
+                continue; // certified: nothing in there can beat the k-th
+            }
+            self.search(child, query, dist, lo, kb, stats);
+        }
+    }
+
+    fn search_range(
+        &self,
+        node: u32,
+        query: &[f64],
+        radius: f64,
+        dist: &dyn Distance,
+        lo: f64,
+        out: &mut Vec<Neighbor>,
+    ) {
+        if node == NIL {
+            return;
+        }
+        let n = &self.nodes[node as usize];
+        let pv = self.coll.vector(n.pivot as usize);
+        let d_query = dist.eval(query, pv);
+        if d_query <= radius {
+            out.push(Neighbor {
+                index: n.pivot,
+                dist: d_query,
+            });
+        }
+        if n.inside == NIL && n.outside == NIL {
+            return;
+        }
+        let d2 = Euclidean.eval(query, pv);
+        let inside_bound = (d2 - n.radius).max(0.0);
+        let outside_bound = (n.radius - d2).max(0.0);
+        if !(lo > 0.0 && lo * inside_bound > radius) {
+            self.search_range(n.inside, query, radius, dist, lo, out);
+        }
+        if !(lo > 0.0 && lo * outside_bound > radius) {
+            self.search_range(n.outside, query, radius, dist, lo, out);
+        }
+    }
+}
+
+impl KnnEngine for VpTree<'_> {
+    fn knn(&self, query: &[f64], k: usize, dist: &dyn Distance) -> Vec<Neighbor> {
+        self.knn_with_stats(query, k, dist).0
+    }
+
+    fn knn_with_stats(
+        &self,
+        query: &[f64],
+        k: usize,
+        dist: &dyn Distance,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let mut kb = KBest::new(k);
+        let mut stats = SearchStats::default();
+        if k > 0 {
+            let lo = lower_factor(dist);
+            self.search(self.root, query, dist, lo, &mut kb, &mut stats);
+        }
+        (kb.into_sorted(), stats)
+    }
+
+    fn range(&self, query: &[f64], radius: f64, dist: &dyn Distance) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        let lo = lower_factor(dist);
+        self.search_range(self.root, query, radius, dist, lo, &mut out);
+        out.sort_by(|a, b| {
+            a.dist
+                .partial_cmp(&b.dist)
+                .expect("non-finite distance")
+                .then(a.index.cmp(&b.index))
+        });
+        out
+    }
+
+    fn name(&self) -> &str {
+        "vp-tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::CollectionBuilder;
+    use crate::knn::LinearScan;
+    use crate::distance::WeightedEuclidean;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_collection(n: usize, dim: usize, seed: u64) -> Collection {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = CollectionBuilder::new();
+        for _ in 0..n {
+            let v: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect();
+            b.push_unlabelled(&v).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn agrees_with_scan_euclidean() {
+        let c = random_collection(300, 8, 42);
+        let tree = VpTree::build(&c);
+        let scan = LinearScan::new(&c);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let q: Vec<f64> = (0..8).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let a = tree.knn(&q, 10, &Euclidean);
+            let b = scan.knn(&q, 10, &Euclidean);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn agrees_with_scan_weighted() {
+        let c = random_collection(200, 6, 7);
+        let tree = VpTree::build(&c);
+        let scan = LinearScan::new(&c);
+        let w = WeightedEuclidean::new(vec![5.0, 0.2, 1.0, 3.0, 0.5, 2.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let q: Vec<f64> = (0..6).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let a = tree.knn(&q, 5, &w);
+            let b = scan.knn(&q, 5, &w);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn pruning_actually_prunes() {
+        let c = random_collection(2000, 4, 11);
+        let tree = VpTree::build(&c);
+        let (_, stats) = tree.knn_with_stats(&[0.5, 0.5, 0.5, 0.5], 5, &Euclidean);
+        assert!(
+            stats.distance_evals < 2000,
+            "no pruning happened: {} evals",
+            stats.distance_evals
+        );
+    }
+
+    #[test]
+    fn range_agrees_with_scan() {
+        let c = random_collection(300, 4, 3);
+        let tree = VpTree::build(&c);
+        let scan = LinearScan::new(&c);
+        let q = [0.5, 0.5, 0.5, 0.5];
+        let a = tree.range(&q, 0.3, &Euclidean);
+        let b = scan.range(&q, 0.3, &Euclidean);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn empty_and_tiny_collections() {
+        let empty = CollectionBuilder::new().build();
+        let t = VpTree::build(&empty);
+        assert!(t.knn(&[], 3, &Euclidean).is_empty());
+
+        let mut b = CollectionBuilder::new();
+        b.push_unlabelled(&[1.0]).unwrap();
+        let one = b.build();
+        let t1 = VpTree::build(&one);
+        let r = t1.knn(&[0.0], 3, &Euclidean);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].index, 0);
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let mut b = CollectionBuilder::new();
+        for _ in 0..50 {
+            b.push_unlabelled(&[1.0, 1.0]).unwrap();
+        }
+        let c = b.build();
+        let tree = VpTree::build(&c);
+        let r = tree.knn(&[1.0, 1.0], 10, &Euclidean);
+        assert_eq!(r.len(), 10);
+        assert!(r.iter().all(|n| n.dist == 0.0));
+    }
+}

@@ -1,0 +1,73 @@
+//! # fbp-vecdb
+//!
+//! Vector-space similarity database substrate (paper §2).
+//!
+//! FeedbackBypass sits on top of a retrieval system that represents
+//! multimedia objects as points in `R^D` and answers k-nearest-neighbor
+//! queries under a parameterized class of distance functions. This crate
+//! is that system:
+//!
+//! * [`collection`] — flat, cache-friendly storage of feature vectors with
+//!   category labels (the evaluation needs the labels as its relevance
+//!   oracle);
+//! * [`distance`] — the distance-function classes the paper discusses:
+//!   `Lp` norms, **weighted Euclidean** (Equation 1, the class used in the
+//!   paper's experiments), **Mahalanobis / quadratic forms**, and the
+//!   **Rui-Huang hierarchical** model;
+//! * [`knn`] — three interchangeable k-NN engines: exhaustive
+//!   [`knn::LinearScan`], a [`knn::VpTree`], and an [`knn::MTree`] (the
+//!   paper cites the M-tree \[CPZ97\] as its access method). The metric
+//!   trees are built once under the *default* metric and can still answer
+//!   queries under any *re-weighted* metric exactly, via distortion
+//!   bounds (`d_W ≥ √w_min · d_2` pruning);
+//! * [`result`] — ranked result lists and the stable-comparison helper the
+//!   feedback loop uses as its convergence test.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod distance;
+pub mod knn;
+pub mod result;
+
+pub use collection::{CategoryId, Collection, CollectionBuilder};
+pub use distance::{
+    Distance, Euclidean, HierarchicalDistance, Lp, Manhattan, QuadraticDistance,
+    WeightedEuclidean,
+};
+pub use knn::{KnnEngine, LinearScan, MTree, Neighbor, VpTree};
+pub use result::ResultList;
+
+/// Errors from the vector database.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VecdbError {
+    /// Vector dimensionality doesn't match the collection/distance.
+    DimMismatch {
+        /// Dimensionality the collection/distance expected.
+        expected: usize,
+        /// Dimensionality actually supplied.
+        got: usize,
+    },
+    /// Invalid distance parameterization (non-positive weights, non-SPD
+    /// matrix, bad feature partition...).
+    BadParameters(String),
+    /// Operation requires a non-empty collection.
+    EmptyCollection,
+}
+
+impl std::fmt::Display for VecdbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VecdbError::DimMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            VecdbError::BadParameters(msg) => write!(f, "bad parameters: {msg}"),
+            VecdbError::EmptyCollection => write!(f, "operation on empty collection"),
+        }
+    }
+}
+
+impl std::error::Error for VecdbError {}
+
+/// Result alias for vecdb operations.
+pub type Result<T> = std::result::Result<T, VecdbError>;

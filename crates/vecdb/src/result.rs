@@ -1,0 +1,158 @@
+//! Ranked result lists.
+//!
+//! The feedback loop's termination test (paper §5: iterate "until no
+//! changes are observed anymore in the result list") needs a stable
+//! equality notion for ranked results; the evaluation harness needs set
+//! operations against category oracles.
+
+use crate::knn::Neighbor;
+
+/// A ranked list of query results.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResultList {
+    neighbors: Vec<Neighbor>,
+}
+
+impl ResultList {
+    /// Wrap a sorted neighbor list (as produced by the k-NN engines).
+    pub fn new(neighbors: Vec<Neighbor>) -> Self {
+        debug_assert!(
+            neighbors.windows(2).all(|w| w[0].dist <= w[1].dist),
+            "ResultList expects ascending distances"
+        );
+        ResultList { neighbors }
+    }
+
+    /// Number of results.
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+
+    /// The ranked neighbors.
+    pub fn neighbors(&self) -> &[Neighbor] {
+        &self.neighbors
+    }
+
+    /// Collection indices in rank order.
+    pub fn ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.neighbors.iter().map(|n| n.index)
+    }
+
+    /// Rank of an object (0-based), if present.
+    pub fn rank_of(&self, index: u32) -> Option<usize> {
+        self.neighbors.iter().position(|n| n.index == index)
+    }
+
+    /// Containment test.
+    pub fn contains(&self, index: u32) -> bool {
+        self.rank_of(index).is_some()
+    }
+
+    /// Same *objects in the same order* — the loop-convergence test.
+    /// Distances are ignored: re-weighting rescales them even when the
+    /// ranking is stable.
+    pub fn same_ranking(&self, other: &ResultList) -> bool {
+        self.len() == other.len() && self.ids().eq(other.ids())
+    }
+
+    /// Same *set* of objects, order ignored.
+    pub fn same_set(&self, other: &ResultList) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        let mut a: Vec<u32> = self.ids().collect();
+        let mut b: Vec<u32> = other.ids().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        a == b
+    }
+
+    /// Truncate to the first `k` results.
+    pub fn top_k(&self, k: usize) -> ResultList {
+        ResultList {
+            neighbors: self.neighbors.iter().take(k).cloned().collect(),
+        }
+    }
+
+    /// Count results satisfying a relevance predicate (precision
+    /// numerator).
+    pub fn count_relevant(&self, mut is_relevant: impl FnMut(u32) -> bool) -> usize {
+        self.neighbors
+            .iter()
+            .filter(|n| is_relevant(n.index))
+            .count()
+    }
+}
+
+impl From<Vec<Neighbor>> for ResultList {
+    fn from(neighbors: Vec<Neighbor>) -> Self {
+        ResultList::new(neighbors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rl(ids: &[u32]) -> ResultList {
+        ResultList::new(
+            ids.iter()
+                .enumerate()
+                .map(|(i, &index)| Neighbor {
+                    index,
+                    dist: i as f64,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let r = rl(&[5, 3, 9]);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert_eq!(r.ids().collect::<Vec<_>>(), vec![5, 3, 9]);
+        assert_eq!(r.rank_of(3), Some(1));
+        assert_eq!(r.rank_of(42), None);
+        assert!(r.contains(9));
+    }
+
+    #[test]
+    fn ranking_vs_set_equality() {
+        let a = rl(&[1, 2, 3]);
+        let b = rl(&[1, 2, 3]);
+        let c = rl(&[3, 2, 1]);
+        let d = rl(&[1, 2]);
+        assert!(a.same_ranking(&b));
+        assert!(!a.same_ranking(&c));
+        assert!(a.same_set(&c));
+        assert!(!a.same_set(&d));
+    }
+
+    #[test]
+    fn ranking_ignores_distances() {
+        let mut x = rl(&[1, 2]);
+        let y = ResultList::new(vec![
+            Neighbor { index: 1, dist: 10.0 },
+            Neighbor { index: 2, dist: 20.0 },
+        ]);
+        assert!(x.same_ranking(&y));
+        x = rl(&[2, 1]);
+        assert!(!x.same_ranking(&y));
+    }
+
+    #[test]
+    fn top_k_and_relevance() {
+        let r = rl(&[1, 2, 3, 4, 5]);
+        let t = r.top_k(2);
+        assert_eq!(t.ids().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(r.top_k(99).len(), 5);
+        let evens = r.count_relevant(|id| id % 2 == 0);
+        assert_eq!(evens, 2);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests: all k-NN engines must agree with the exhaustive
+//! scan under every distance class, and distances must obey their
+//! distortion contracts.
+
+use fbp_vecdb::{
+    Collection, CollectionBuilder, Distance, Euclidean, HierarchicalDistance, KnnEngine,
+    LinearScan, MTree, Manhattan, QuadraticDistance, VpTree, WeightedEuclidean,
+};
+use fbp_linalg::Matrix;
+use proptest::prelude::*;
+
+const DIM: usize = 4;
+
+fn build_collection(points: &[Vec<f64>]) -> Collection {
+    let mut b = CollectionBuilder::new();
+    for p in points {
+        b.push_unlabelled(p).unwrap();
+    }
+    b.build()
+}
+
+fn points_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.0..1.0f64, DIM), 2..120)
+}
+
+fn weights_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.1..10.0f64, DIM)
+}
+
+fn assert_same_answers(
+    a: &[fbp_vecdb::Neighbor],
+    b: &[fbp_vecdb::Neighbor],
+) -> std::result::Result<(), TestCaseError> {
+    prop_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        // Ranks must agree up to distance ties; distances must agree.
+        prop_assert!((x.dist - y.dist).abs() < 1e-9,
+            "distance mismatch: {} vs {}", x.dist, y.dist);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engines_agree_euclidean(
+        points in points_strategy(),
+        q in prop::collection::vec(0.0..1.0f64, DIM),
+        k in 1usize..20,
+    ) {
+        let coll = build_collection(&points);
+        let scan = LinearScan::new(&coll).knn(&q, k, &Euclidean);
+        let vp = VpTree::build(&coll).knn(&q, k, &Euclidean);
+        let mt = MTree::with_defaults(&coll).knn(&q, k, &Euclidean);
+        assert_same_answers(&scan, &vp)?;
+        assert_same_answers(&scan, &mt)?;
+    }
+
+    #[test]
+    fn engines_agree_weighted(
+        points in points_strategy(),
+        q in prop::collection::vec(0.0..1.0f64, DIM),
+        w in weights_strategy(),
+        k in 1usize..15,
+    ) {
+        let coll = build_collection(&points);
+        let dist = WeightedEuclidean::new(w).unwrap();
+        let scan = LinearScan::new(&coll).knn(&q, k, &dist);
+        let vp = VpTree::build(&coll).knn(&q, k, &dist);
+        let mt = MTree::with_defaults(&coll).knn(&q, k, &dist);
+        assert_same_answers(&scan, &vp)?;
+        assert_same_answers(&scan, &mt)?;
+    }
+
+    #[test]
+    fn engines_agree_manhattan(
+        points in points_strategy(),
+        q in prop::collection::vec(0.0..1.0f64, DIM),
+        k in 1usize..10,
+    ) {
+        // Manhattan has lower distortion factor 1 vs Euclidean: pruning is
+        // legal and must stay exact.
+        let coll = build_collection(&points);
+        let scan = LinearScan::new(&coll).knn(&q, k, &Manhattan);
+        let vp = VpTree::build(&coll).knn(&q, k, &Manhattan);
+        let mt = MTree::with_defaults(&coll).knn(&q, k, &Manhattan);
+        assert_same_answers(&scan, &vp)?;
+        assert_same_answers(&scan, &mt)?;
+    }
+
+    #[test]
+    fn range_queries_agree(
+        points in points_strategy(),
+        q in prop::collection::vec(0.0..1.0f64, DIM),
+        w in weights_strategy(),
+        radius in 0.05..1.0f64,
+    ) {
+        let coll = build_collection(&points);
+        let dist = WeightedEuclidean::new(w).unwrap();
+        let scan = LinearScan::new(&coll).range(&q, radius, &dist);
+        let vp = VpTree::build(&coll).range(&q, radius, &dist);
+        let mt = MTree::with_defaults(&coll).range(&q, radius, &dist);
+        prop_assert_eq!(&scan, &vp);
+        prop_assert_eq!(&scan, &mt);
+    }
+
+    #[test]
+    fn mtree_invariants_hold(points in points_strategy()) {
+        let coll = build_collection(&points);
+        let mt = MTree::with_defaults(&coll);
+        mt.verify_invariants().map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn weighted_distortion_contract(
+        a in prop::collection::vec(-2.0..2.0f64, DIM),
+        b in prop::collection::vec(-2.0..2.0f64, DIM),
+        w in weights_strategy(),
+    ) {
+        let dist = WeightedEuclidean::new(w).unwrap();
+        let (lo, hi) = dist.euclidean_distortion().unwrap();
+        let dw = dist.eval(&a, &b);
+        let d2 = Euclidean.eval(&a, &b);
+        prop_assert!(dw >= lo * d2 - 1e-9);
+        prop_assert!(dw <= hi * d2 + 1e-9);
+    }
+
+    #[test]
+    fn quadratic_distortion_contract(
+        a in prop::collection::vec(-2.0..2.0f64, 3),
+        b in prop::collection::vec(-2.0..2.0f64, 3),
+        diag in prop::collection::vec(0.5..4.0f64, 3),
+        off in -0.2..0.2f64,
+    ) {
+        // Diagonally dominant ⇒ SPD with positive Gershgorin lower bound.
+        let mut m = Matrix::from_diag(&diag);
+        m[(0, 1)] = off;
+        m[(1, 0)] = off;
+        let q = QuadraticDistance::new(&m).unwrap();
+        if let Some((lo, hi)) = q.euclidean_distortion() {
+            let dq = q.eval(&a, &b);
+            let d2 = Euclidean.eval(&a, &b);
+            prop_assert!(dq >= lo * d2 - 1e-9);
+            prop_assert!(dq <= hi * d2 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn hierarchical_reduces_to_weighted(
+        a in prop::collection::vec(-2.0..2.0f64, DIM),
+        b in prop::collection::vec(-2.0..2.0f64, DIM),
+        w in weights_strategy(),
+    ) {
+        // One feature spanning everything with unit feature weight must
+        // equal plain weighted Euclidean.
+        let h = HierarchicalDistance::new(
+            vec![fbp_vecdb::distance::FeatureSpan::new(0, DIM)],
+            vec![1.0],
+            w.clone(),
+        )
+        .unwrap();
+        let we = WeightedEuclidean::new(w).unwrap();
+        prop_assert!((h.eval(&a, &b) - we.eval(&a, &b)).abs() < 1e-9);
+    }
+}

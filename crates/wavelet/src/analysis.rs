@@ -1,0 +1,96 @@
+//! Reconstruction-error and energy diagnostics.
+
+/// Total squared magnitude `Σ xᵢ²`.
+pub fn energy(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum()
+}
+
+/// Root-mean-square error between two equal-length signals.
+///
+/// # Panics
+/// Panics if lengths differ or both are empty.
+pub fn rms_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rms_error: length mismatch");
+    assert!(!a.is_empty(), "rms_error: empty input");
+    let sq: f64 = a
+        .iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum();
+    (sq / a.len() as f64).sqrt()
+}
+
+/// Maximum absolute error between two equal-length signals.
+pub fn max_abs_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_error: length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()))
+}
+
+/// Histogram of coefficient magnitudes across `buckets` log-spaced bins
+/// between `min_mag` and the observed max; useful for picking thresholds.
+/// Coefficients below `min_mag` land in bucket 0.
+pub fn magnitude_profile(coeffs: &[f64], buckets: usize, min_mag: f64) -> Vec<usize> {
+    assert!(buckets >= 1);
+    assert!(min_mag > 0.0);
+    let mut counts = vec![0usize; buckets];
+    let max = coeffs.iter().fold(0.0_f64, |m, c| m.max(c.abs()));
+    if max <= min_mag {
+        counts[0] = coeffs.len();
+        return counts;
+    }
+    let log_min = min_mag.ln();
+    let log_max = max.ln();
+    let span = log_max - log_min;
+    for &c in coeffs {
+        let a = c.abs();
+        let b = if a <= min_mag {
+            0
+        } else {
+            let f = (a.ln() - log_min) / span;
+            ((f * buckets as f64) as usize).min(buckets - 1)
+        };
+        counts[b] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_basic() {
+        assert_eq!(energy(&[3.0, 4.0]), 25.0);
+        assert_eq!(energy(&[]), 0.0);
+    }
+
+    #[test]
+    fn rms_and_max_error() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 4.0, 3.0];
+        assert!((rms_error(&a, &b) - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(max_abs_error(&a, &b), 2.0);
+        assert_eq!(rms_error(&a, &a), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rms_error_length_mismatch_panics() {
+        rms_error(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn magnitude_profile_buckets() {
+        let coeffs = [0.0, 1e-6, 0.1, 1.0, 10.0];
+        let prof = magnitude_profile(&coeffs, 4, 1e-3);
+        assert_eq!(prof.iter().sum::<usize>(), 5);
+        assert_eq!(prof[0], 2); // 0.0 and 1e-6 underflow the floor
+        assert_eq!(prof[3], 1); // 10.0 in the top bucket
+        // All-small input collapses into bucket 0.
+        let small = [1e-9, 1e-10];
+        let p2 = magnitude_profile(&small, 3, 1e-3);
+        assert_eq!(p2, vec![2, 0, 0]);
+    }
+}

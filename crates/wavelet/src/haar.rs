@@ -1,0 +1,295 @@
+//! Ordered 1-D and 2-D Haar discrete wavelet transform.
+
+use crate::{Result, WaveletError};
+
+/// Normalization convention for the Haar filter pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Normalization {
+    /// Orthonormal: average/difference scaled by `1/√2`; preserves energy
+    /// (Parseval), so coefficient magnitudes are comparable across levels —
+    /// the right choice for thresholding.
+    Orthonormal,
+    /// Plain averages `(a+b)/2` and semi-differences `(a−b)/2`; matches the
+    /// textbook "average & detail" presentation.
+    Average,
+}
+
+fn check_pow2(len: usize) -> Result<()> {
+    if len == 0 || !len.is_power_of_two() {
+        return Err(WaveletError::NotPowerOfTwo { len });
+    }
+    Ok(())
+}
+
+/// One analysis sweep on `data[..n]`: writes `n/2` smooth coefficients then
+/// `n/2` detail coefficients back into `data[..n]` using `scratch`.
+fn analyze_step(data: &mut [f64], n: usize, norm: Normalization, scratch: &mut Vec<f64>) {
+    let half = n / 2;
+    scratch.clear();
+    scratch.extend_from_slice(&data[..n]);
+    let (s, d) = match norm {
+        Normalization::Orthonormal => {
+            let r = std::f64::consts::FRAC_1_SQRT_2;
+            (r, r)
+        }
+        Normalization::Average => (0.5, 0.5),
+    };
+    for i in 0..half {
+        let a = scratch[2 * i];
+        let b = scratch[2 * i + 1];
+        data[i] = s * (a + b);
+        data[half + i] = d * (a - b);
+    }
+}
+
+/// One synthesis sweep inverting [`analyze_step`].
+fn synthesize_step(data: &mut [f64], n: usize, norm: Normalization, scratch: &mut Vec<f64>) {
+    let half = n / 2;
+    scratch.clear();
+    scratch.extend_from_slice(&data[..n]);
+    match norm {
+        Normalization::Orthonormal => {
+            let r = std::f64::consts::FRAC_1_SQRT_2;
+            for i in 0..half {
+                let s = scratch[i];
+                let d = scratch[half + i];
+                data[2 * i] = r * (s + d);
+                data[2 * i + 1] = r * (s - d);
+            }
+        }
+        Normalization::Average => {
+            for i in 0..half {
+                let s = scratch[i];
+                let d = scratch[half + i];
+                data[2 * i] = s + d;
+                data[2 * i + 1] = s - d;
+            }
+        }
+    }
+}
+
+/// Full multi-level forward Haar DWT, in place.
+///
+/// After the call, `data[0]` holds the coarsest smooth coefficient and the
+/// remaining positions hold detail coefficients from coarse to fine.
+pub fn dwt(data: &mut [f64], norm: Normalization) -> Result<()> {
+    check_pow2(data.len())?;
+    let mut scratch = Vec::with_capacity(data.len());
+    let mut n = data.len();
+    while n >= 2 {
+        analyze_step(data, n, norm, &mut scratch);
+        n /= 2;
+    }
+    Ok(())
+}
+
+/// Partial forward transform: run only `levels` analysis sweeps.
+pub fn dwt_levels(data: &mut [f64], levels: usize, norm: Normalization) -> Result<()> {
+    check_pow2(data.len())?;
+    let max = data.len().trailing_zeros() as usize;
+    if levels > max {
+        return Err(WaveletError::TooManyLevels {
+            len: data.len(),
+            levels,
+        });
+    }
+    let mut scratch = Vec::with_capacity(data.len());
+    let mut n = data.len();
+    for _ in 0..levels {
+        analyze_step(data, n, norm, &mut scratch);
+        n /= 2;
+    }
+    Ok(())
+}
+
+/// Full multi-level inverse Haar DWT, in place.
+pub fn idwt(data: &mut [f64], norm: Normalization) -> Result<()> {
+    check_pow2(data.len())?;
+    let mut scratch = Vec::with_capacity(data.len());
+    let mut n = 2;
+    while n <= data.len() {
+        synthesize_step(data, n, norm, &mut scratch);
+        n *= 2;
+    }
+    Ok(())
+}
+
+/// Partial inverse transform matching [`dwt_levels`].
+pub fn idwt_levels(data: &mut [f64], levels: usize, norm: Normalization) -> Result<()> {
+    check_pow2(data.len())?;
+    let max = data.len().trailing_zeros() as usize;
+    if levels > max {
+        return Err(WaveletError::TooManyLevels {
+            len: data.len(),
+            levels,
+        });
+    }
+    if levels == 0 {
+        return Ok(());
+    }
+    let mut scratch = Vec::with_capacity(data.len());
+    let mut n = data.len() >> (levels - 1);
+    while n <= data.len() {
+        synthesize_step(data, n, norm, &mut scratch);
+        n *= 2;
+    }
+    Ok(())
+}
+
+/// 2-D Haar DWT (standard decomposition: full 1-D transform of every row,
+/// then of every column). `data` is row-major `rows × cols`.
+pub fn dwt2(data: &mut [f64], rows: usize, cols: usize, norm: Normalization) -> Result<()> {
+    assert_eq!(data.len(), rows * cols, "dwt2: bad buffer size");
+    check_pow2(rows)?;
+    check_pow2(cols)?;
+    for r in 0..rows {
+        dwt(&mut data[r * cols..(r + 1) * cols], norm)?;
+    }
+    let mut col = vec![0.0; rows];
+    for c in 0..cols {
+        for r in 0..rows {
+            col[r] = data[r * cols + c];
+        }
+        dwt(&mut col, norm)?;
+        for r in 0..rows {
+            data[r * cols + c] = col[r];
+        }
+    }
+    Ok(())
+}
+
+/// Inverse of [`dwt2`].
+pub fn idwt2(data: &mut [f64], rows: usize, cols: usize, norm: Normalization) -> Result<()> {
+    assert_eq!(data.len(), rows * cols, "idwt2: bad buffer size");
+    check_pow2(rows)?;
+    check_pow2(cols)?;
+    let mut col = vec![0.0; rows];
+    for c in 0..cols {
+        for r in 0..rows {
+            col[r] = data[r * cols + c];
+        }
+        idwt(&mut col, norm)?;
+        for r in 0..rows {
+            data[r * cols + c] = col[r];
+        }
+    }
+    for r in 0..rows {
+        idwt(&mut data[r * cols..(r + 1) * cols], norm)?;
+    }
+    Ok(())
+}
+
+/// Pad `data` with its last value (or zero when empty) to the next power of
+/// two. The DWT requires dyadic lengths; callers with arbitrary-length
+/// signals pad first and ignore the padded tail on reconstruction.
+pub fn pad_to_pow2(data: &[f64]) -> Vec<f64> {
+    let target = data.len().max(1).next_power_of_two();
+    let mut out = Vec::with_capacity(target);
+    out.extend_from_slice(data);
+    let fill = data.last().copied().unwrap_or(0.0);
+    out.resize(target, fill);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_norm_known_values() {
+        // Textbook example: [9, 7, 3, 5] → smooth [8, 4] detail [1, -1]
+        // → final [6, 2, 1, -1].
+        let mut d = [9.0, 7.0, 3.0, 5.0];
+        dwt(&mut d, Normalization::Average).unwrap();
+        assert_eq!(d, [6.0, 2.0, 1.0, -1.0]);
+        idwt(&mut d, Normalization::Average).unwrap();
+        assert_eq!(d, [9.0, 7.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn orthonormal_preserves_energy() {
+        let orig = [1.0, -2.0, 3.5, 0.25, -1.5, 4.0, 0.0, 2.0];
+        let mut d = orig;
+        dwt(&mut d, Normalization::Orthonormal).unwrap();
+        let e_orig: f64 = orig.iter().map(|x| x * x).sum();
+        let e_coef: f64 = d.iter().map(|x| x * x).sum();
+        assert!((e_orig - e_coef).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_orthonormal() {
+        let orig: Vec<f64> = (0..64).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        let mut d = orig.clone();
+        dwt(&mut d, Normalization::Orthonormal).unwrap();
+        idwt(&mut d, Normalization::Orthonormal).unwrap();
+        for (a, b) in orig.iter().zip(d.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_signal_has_single_coefficient() {
+        let mut d = vec![5.0; 16];
+        dwt(&mut d, Normalization::Average).unwrap();
+        assert!((d[0] - 5.0).abs() < 1e-12);
+        for &x in &d[1..] {
+            assert!(x.abs() < 1e-12, "details of a constant must vanish");
+        }
+    }
+
+    #[test]
+    fn rejects_non_pow2() {
+        let mut d = vec![1.0; 6];
+        assert_eq!(
+            dwt(&mut d, Normalization::Average),
+            Err(WaveletError::NotPowerOfTwo { len: 6 })
+        );
+        let mut e = vec![];
+        assert!(dwt(&mut e, Normalization::Average).is_err());
+    }
+
+    #[test]
+    fn partial_levels_roundtrip() {
+        let orig: Vec<f64> = (0..16).map(|i| (i as f64).sin()).collect();
+        let mut d = orig.clone();
+        dwt_levels(&mut d, 2, Normalization::Orthonormal).unwrap();
+        idwt_levels(&mut d, 2, Normalization::Orthonormal).unwrap();
+        for (a, b) in orig.iter().zip(d.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        let mut t = vec![0.0; 8];
+        assert!(matches!(
+            dwt_levels(&mut t, 4, Normalization::Average),
+            Err(WaveletError::TooManyLevels { .. })
+        ));
+    }
+
+    #[test]
+    fn dwt2_roundtrip() {
+        let rows = 8;
+        let cols = 4;
+        let orig: Vec<f64> = (0..rows * cols).map(|i| (i as f64 * 0.7).cos()).collect();
+        let mut d = orig.clone();
+        dwt2(&mut d, rows, cols, Normalization::Orthonormal).unwrap();
+        idwt2(&mut d, rows, cols, Normalization::Orthonormal).unwrap();
+        for (a, b) in orig.iter().zip(d.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dwt2_constant_image_single_coefficient() {
+        let mut d = vec![3.0; 16 * 16];
+        dwt2(&mut d, 16, 16, Normalization::Average).unwrap();
+        assert!((d[0] - 3.0).abs() < 1e-12);
+        assert!(d[1..].iter().all(|x| x.abs() < 1e-12));
+    }
+
+    #[test]
+    fn pad_to_pow2_behavior() {
+        assert_eq!(pad_to_pow2(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0, 3.0]);
+        assert_eq!(pad_to_pow2(&[1.0]), vec![1.0]);
+        assert_eq!(pad_to_pow2(&[]), vec![0.0]);
+        assert_eq!(pad_to_pow2(&[1.0, 2.0, 3.0, 4.0]).len(), 4);
+    }
+}

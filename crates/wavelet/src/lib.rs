@@ -1,0 +1,76 @@
+//! # fbp-wavelet
+//!
+//! Wavelet substrate for the FeedbackBypass reproduction.
+//!
+//! The paper (§4) represents the learned query mapping as a
+//! *wavelet-based* approximation: on the Simplex Tree's partition the
+//! approximation is an **unbalanced Haar** construction — basis functions
+//! with support limited to one simplex, so updates only recompute locally.
+//! This crate supplies the general wavelet machinery behind that view:
+//!
+//! * [`haar`] — classic 1-D/2-D Haar DWT (ordered, orthonormal or
+//!   unnormalized), multi-level;
+//! * [`lifting`] — the in-place lifting-scheme formulation (Sweldens '96,
+//!   cited by the paper), equivalent to the ordered transform;
+//! * [`unbalanced`] — unbalanced Haar transform on *irregular* 1-D
+//!   partitions: intervals of unequal length get basis functions weighted
+//!   by their measure, which is the 1-D analogue of the simplex-tree
+//!   construction;
+//! * [`threshold`] — coefficient thresholding (hard/soft/top-k) to trade
+//!   storage for accuracy, the knob the paper alludes to with "storage
+//!   requirements can be easily traded off for the accuracy of the
+//!   prediction";
+//! * [`analysis`] — reconstruction-error and energy diagnostics (Parseval
+//!   checks).
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod haar;
+pub mod lifting;
+pub mod threshold;
+pub mod unbalanced;
+
+pub use analysis::{energy, max_abs_error, rms_error};
+pub use haar::{dwt, dwt2, idwt, idwt2, Normalization};
+pub use lifting::{lift_forward, lift_inverse};
+pub use threshold::{hard_threshold, keep_top_k, soft_threshold};
+pub use unbalanced::UnbalancedHaar;
+
+/// Errors from wavelet transforms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaveletError {
+    /// Input length is not a power of two (required by the dyadic DWT).
+    NotPowerOfTwo {
+        /// Offending input length.
+        len: usize,
+    },
+    /// Requested more levels than the dyadic length supports.
+    TooManyLevels {
+        /// Input length.
+        len: usize,
+        /// Levels requested.
+        levels: usize,
+    },
+    /// Irregular-partition inputs are inconsistent.
+    BadPartition(&'static str),
+}
+
+impl std::fmt::Display for WaveletError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaveletError::NotPowerOfTwo { len } => {
+                write!(f, "input length {len} is not a power of two")
+            }
+            WaveletError::TooManyLevels { len, levels } => {
+                write!(f, "cannot run {levels} levels on length {len}")
+            }
+            WaveletError::BadPartition(msg) => write!(f, "bad partition: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WaveletError {}
+
+/// Result alias for wavelet operations.
+pub type Result<T> = std::result::Result<T, WaveletError>;

@@ -1,0 +1,149 @@
+//! Lifting-scheme formulation of the Haar transform (Sweldens '96).
+//!
+//! The paper cites the lifting scheme as the construction behind its
+//! locally-updatable wavelet representation. For Haar, one lifting step is
+//!
+//! ```text
+//! split:    even/odd interleave
+//! predict:  d ← odd − even          (detail)
+//! update:   s ← even + d/2          (smooth, preserves the mean)
+//! ```
+//!
+//! which is computed **in place** with no scratch buffer — the property
+//! that makes lifting attractive for updating stored representations
+//! locally. The result is the `Average`-normalized Haar transform up to
+//! the detail scaling (here details are raw differences, smooths are
+//! pairwise means).
+
+use crate::{Result, WaveletError};
+
+fn check_pow2(len: usize) -> Result<()> {
+    if len == 0 || !len.is_power_of_two() {
+        return Err(WaveletError::NotPowerOfTwo { len });
+    }
+    Ok(())
+}
+
+/// One forward lifting sweep over `data[..n]` (stride-aware, in place):
+/// afterwards positions `0..n/2` hold smooths and `n/2..n` hold details.
+fn lift_step(data: &mut [f64], n: usize, scratch: &mut Vec<f64>) {
+    let half = n / 2;
+    // Predict + update on interleaved pairs.
+    for i in 0..half {
+        let even = data[2 * i];
+        let odd = data[2 * i + 1];
+        let d = odd - even; // predict
+        let s = even + 0.5 * d; // update (= pairwise mean)
+        data[2 * i] = s;
+        data[2 * i + 1] = d;
+    }
+    // De-interleave so smooths are contiguous (ordered layout).
+    scratch.clear();
+    scratch.extend_from_slice(&data[..n]);
+    for i in 0..half {
+        data[i] = scratch[2 * i];
+        data[half + i] = scratch[2 * i + 1];
+    }
+}
+
+/// One inverse lifting sweep.
+fn unlift_step(data: &mut [f64], n: usize, scratch: &mut Vec<f64>) {
+    let half = n / 2;
+    // Re-interleave.
+    scratch.clear();
+    scratch.extend_from_slice(&data[..n]);
+    for i in 0..half {
+        data[2 * i] = scratch[i];
+        data[2 * i + 1] = scratch[half + i];
+    }
+    // Undo update, then predict.
+    for i in 0..half {
+        let s = data[2 * i];
+        let d = data[2 * i + 1];
+        let even = s - 0.5 * d;
+        let odd = even + d;
+        data[2 * i] = even;
+        data[2 * i + 1] = odd;
+    }
+}
+
+/// Full multi-level forward Haar transform via lifting, in place.
+pub fn lift_forward(data: &mut [f64]) -> Result<()> {
+    check_pow2(data.len())?;
+    let mut scratch = Vec::with_capacity(data.len());
+    let mut n = data.len();
+    while n >= 2 {
+        lift_step(data, n, &mut scratch);
+        n /= 2;
+    }
+    Ok(())
+}
+
+/// Full multi-level inverse of [`lift_forward`].
+pub fn lift_inverse(data: &mut [f64]) -> Result<()> {
+    check_pow2(data.len())?;
+    let mut scratch = Vec::with_capacity(data.len());
+    let mut n = 2;
+    while n <= data.len() {
+        unlift_step(data, n, &mut scratch);
+        n *= 2;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::haar::{dwt, Normalization};
+
+    #[test]
+    fn roundtrip() {
+        let orig: Vec<f64> = (0..32).map(|i| ((i * 13) % 7) as f64 * 0.5 - 1.0).collect();
+        let mut d = orig.clone();
+        lift_forward(&mut d).unwrap();
+        lift_inverse(&mut d).unwrap();
+        for (a, b) in orig.iter().zip(d.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn smooth_coefficient_is_global_mean() {
+        let orig = [3.0, 5.0, 7.0, 9.0, 1.0, 1.0, 2.0, 4.0];
+        let mut d = orig;
+        lift_forward(&mut d).unwrap();
+        let mean: f64 = orig.iter().sum::<f64>() / orig.len() as f64;
+        assert!((d[0] - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smooths_match_average_normalized_dwt() {
+        // Lifting computes the same smooth coefficients as the Average
+        // transform; details differ only by the factor 2 (raw difference vs
+        // semi-difference).
+        let orig = [9.0, 7.0, 3.0, 5.0];
+        let mut l = orig;
+        lift_forward(&mut l).unwrap();
+        let mut h = orig;
+        dwt(&mut h, Normalization::Average).unwrap();
+        assert!((l[0] - h[0]).abs() < 1e-12);
+        for i in 1..4 {
+            assert!((l[i] - (-2.0) * h[i]).abs() < 1e-12, "i={i}: {l:?} vs {h:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_pow2() {
+        let mut d = vec![1.0, 2.0, 3.0];
+        assert!(lift_forward(&mut d).is_err());
+        assert!(lift_inverse(&mut d).is_err());
+    }
+
+    #[test]
+    fn constant_signal_zero_details() {
+        let mut d = vec![4.25; 64];
+        lift_forward(&mut d).unwrap();
+        assert!((d[0] - 4.25).abs() < 1e-12);
+        assert!(d[1..].iter().all(|x| x.abs() < 1e-12));
+    }
+}

@@ -1,0 +1,146 @@
+//! Coefficient thresholding: the storage-for-accuracy knob.
+//!
+//! The paper (§4.2) notes that the Simplex Tree's insert threshold ε trades
+//! storage for prediction accuracy. The same trade-off in classical wavelet
+//! terms is coefficient thresholding: zeroed coefficients need not be
+//! stored. These helpers operate on any coefficient slice (balanced or
+//! unbalanced transforms alike) and report how many coefficients survive.
+
+/// Zero all coefficients with magnitude `< t`. Returns the surviving count.
+pub fn hard_threshold(coeffs: &mut [f64], t: f64) -> usize {
+    let mut kept = 0;
+    for c in coeffs.iter_mut() {
+        if c.abs() < t {
+            *c = 0.0;
+        } else {
+            kept += 1;
+        }
+    }
+    kept
+}
+
+/// Soft thresholding: shrink magnitudes toward zero by `t`, zeroing those
+/// below. Returns the surviving count.
+pub fn soft_threshold(coeffs: &mut [f64], t: f64) -> usize {
+    let mut kept = 0;
+    for c in coeffs.iter_mut() {
+        let a = c.abs();
+        if a <= t {
+            *c = 0.0;
+        } else {
+            *c = c.signum() * (a - t);
+            kept += 1;
+        }
+    }
+    kept
+}
+
+/// Keep only the `k` largest-magnitude coefficients, zeroing the rest.
+/// Ties are broken toward earlier (coarser) coefficients. Returns the
+/// number actually kept (`min(k, len)`).
+pub fn keep_top_k(coeffs: &mut [f64], k: usize) -> usize {
+    if k >= coeffs.len() {
+        return coeffs.len();
+    }
+    let mut idx: Vec<usize> = (0..coeffs.len()).collect();
+    // Sort by descending magnitude, then ascending index for determinism.
+    idx.sort_by(|&a, &b| {
+        coeffs[b]
+            .abs()
+            .partial_cmp(&coeffs[a].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut keep = vec![false; coeffs.len()];
+    for &i in idx.iter().take(k) {
+        keep[i] = true;
+    }
+    for (i, c) in coeffs.iter_mut().enumerate() {
+        if !keep[i] {
+            *c = 0.0;
+        }
+    }
+    k
+}
+
+/// Fraction of total squared magnitude retained by the non-zero
+/// coefficients of `thresholded` relative to `original` (1.0 = lossless).
+pub fn retained_energy(original: &[f64], thresholded: &[f64]) -> f64 {
+    let total: f64 = original.iter().map(|c| c * c).sum();
+    if total == 0.0 {
+        return 1.0;
+    }
+    let kept: f64 = thresholded.iter().map(|c| c * c).sum();
+    kept / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::haar::{dwt, idwt, Normalization};
+
+    #[test]
+    fn hard_threshold_counts() {
+        let mut c = [3.0, -0.1, 0.5, -2.0, 0.0];
+        let kept = hard_threshold(&mut c, 0.5);
+        assert_eq!(kept, 3); // 3.0, 0.5, -2.0 survive (|0.5| is not < 0.5)
+        assert_eq!(c, [3.0, 0.0, 0.5, -2.0, 0.0]);
+    }
+
+    #[test]
+    fn soft_threshold_shrinks() {
+        let mut c = [3.0, -1.0, 0.2];
+        let kept = soft_threshold(&mut c, 1.0);
+        assert_eq!(kept, 1);
+        assert_eq!(c, [2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn top_k_keeps_largest() {
+        let mut c = [0.5, -3.0, 1.0, 2.0];
+        keep_top_k(&mut c, 2);
+        assert_eq!(c, [0.0, -3.0, 0.0, 2.0]);
+        // k larger than len keeps everything.
+        let mut d = [1.0, 2.0];
+        assert_eq!(keep_top_k(&mut d, 10), 2);
+        assert_eq!(d, [1.0, 2.0]);
+        // k = 0 zeroes everything.
+        let mut e = [1.0, 2.0];
+        keep_top_k(&mut e, 0);
+        assert_eq!(e, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn retained_energy_bounds() {
+        let orig = [1.0, 2.0, 2.0];
+        let mut th = orig;
+        hard_threshold(&mut th, 1.5);
+        let r = retained_energy(&orig, &th);
+        assert!((r - 8.0 / 9.0).abs() < 1e-12);
+        assert_eq!(retained_energy(&[0.0, 0.0], &[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn thresholded_reconstruction_error_bounded_by_dropped_energy() {
+        // With the orthonormal transform, L2 reconstruction error equals
+        // the L2 norm of the dropped coefficients (Parseval).
+        let orig: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).sin() * 2.0).collect();
+        let mut coeffs = orig.clone();
+        dwt(&mut coeffs, Normalization::Orthonormal).unwrap();
+        let full = coeffs.clone();
+        hard_threshold(&mut coeffs, 0.25);
+        let dropped_sq: f64 = full
+            .iter()
+            .zip(coeffs.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        let mut rec = coeffs.clone();
+        idwt(&mut rec, Normalization::Orthonormal).unwrap();
+        let err_sq: f64 = orig
+            .iter()
+            .zip(rec.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        assert!((err_sq - dropped_sq).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,279 @@
+//! Unbalanced Haar transform on irregular 1-D partitions.
+//!
+//! The classic Haar transform assumes cells of equal measure. The Simplex
+//! Tree's partition is *irregular*: every split produces simplices of
+//! different volumes. The unbalanced Haar construction fixes the basis so
+//! it stays orthonormal w.r.t. the measure: merging two cells of lengths
+//! `lL`, `lR` with means `mL`, `mR` produces
+//!
+//! ```text
+//! parent mean   m = (lL·mL + lR·mR) / (lL + lR)
+//! detail        d = (mL − mR) · √(lL·lR / (lL + lR))
+//! ```
+//!
+//! preserving the weighted energy `Σ lᵢ·mᵢ²` exactly (Parseval). This
+//! module implements the transform for piecewise-constant functions on an
+//! interval partition — the 1-D analogue of the paper's simplex
+//! construction — with a deterministic adjacent-pair merge tree so the
+//! inverse can rebuild the structure from the cell lengths alone.
+
+use crate::{Result, WaveletError};
+
+/// Unbalanced Haar analysis/synthesis operator over a fixed partition.
+#[derive(Debug, Clone)]
+pub struct UnbalancedHaar {
+    /// Breakpoints `x₀ < x₁ < … < x_n` delimiting the `n` cells.
+    breaks: Vec<f64>,
+    /// Cell lengths (derived, cached).
+    lengths: Vec<f64>,
+}
+
+/// Coefficients of an unbalanced Haar analysis: the global smooth
+/// coefficient plus per-merge details (coarse-to-fine reversed order is an
+/// implementation detail; use [`UnbalancedHaar::inverse`] to reconstruct).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UhCoeffs {
+    /// `m_total · √L_total` — carries the weighted mean.
+    pub smooth: f64,
+    /// Detail coefficients in merge order (fine to coarse).
+    pub details: Vec<f64>,
+}
+
+impl UnbalancedHaar {
+    /// Build from strictly increasing breakpoints (≥ 2 required).
+    pub fn new(breaks: Vec<f64>) -> Result<Self> {
+        if breaks.len() < 2 {
+            return Err(WaveletError::BadPartition("need at least two breakpoints"));
+        }
+        if breaks.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(WaveletError::BadPartition(
+                "breakpoints must be strictly increasing",
+            ));
+        }
+        let lengths = breaks.windows(2).map(|w| w[1] - w[0]).collect();
+        Ok(UnbalancedHaar { breaks, lengths })
+    }
+
+    /// Uniform partition of `[a, b]` into `n` cells (degenerates to the
+    /// classic balanced Haar).
+    pub fn uniform(a: f64, b: f64, n: usize) -> Result<Self> {
+        if n == 0 || b <= a {
+            return Err(WaveletError::BadPartition("empty uniform partition"));
+        }
+        let step = (b - a) / n as f64;
+        let breaks = (0..=n).map(|i| a + step * i as f64).collect();
+        UnbalancedHaar::new(breaks)
+    }
+
+    /// Number of cells.
+    pub fn cells(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Cell lengths.
+    pub fn lengths(&self) -> &[f64] {
+        &self.lengths
+    }
+
+    /// Weighted energy `Σ lᵢ·vᵢ²` of piecewise-constant values.
+    pub fn energy(&self, values: &[f64]) -> f64 {
+        assert_eq!(values.len(), self.cells());
+        self.lengths
+            .iter()
+            .zip(values.iter())
+            .map(|(l, v)| l * v * v)
+            .sum()
+    }
+
+    /// Forward transform of per-cell values.
+    pub fn forward(&self, values: &[f64]) -> UhCoeffs {
+        assert_eq!(values.len(), self.cells(), "forward: value count mismatch");
+        let mut means: Vec<f64> = values.to_vec();
+        let mut lens: Vec<f64> = self.lengths.clone();
+        let mut details = Vec::with_capacity(values.len().saturating_sub(1));
+        while means.len() > 1 {
+            let mut next_m = Vec::with_capacity(means.len() / 2 + 1);
+            let mut next_l = Vec::with_capacity(lens.len() / 2 + 1);
+            let mut i = 0;
+            while i + 1 < means.len() {
+                let (ll, lr) = (lens[i], lens[i + 1]);
+                let (ml, mr) = (means[i], means[i + 1]);
+                let lsum = ll + lr;
+                next_m.push((ll * ml + lr * mr) / lsum);
+                next_l.push(lsum);
+                details.push((ml - mr) * (ll * lr / lsum).sqrt());
+                i += 2;
+            }
+            if i < means.len() {
+                // Odd cell rides up unchanged.
+                next_m.push(means[i]);
+                next_l.push(lens[i]);
+            }
+            means = next_m;
+            lens = next_l;
+        }
+        UhCoeffs {
+            smooth: means[0] * lens[0].sqrt(),
+            details,
+        }
+    }
+
+    /// Inverse transform: reconstruct per-cell values from coefficients.
+    pub fn inverse(&self, coeffs: &UhCoeffs) -> Vec<f64> {
+        let n = self.cells();
+        assert_eq!(
+            coeffs.details.len(),
+            n.saturating_sub(1),
+            "inverse: coefficient count mismatch"
+        );
+        // Rebuild the level structure of cell lengths (must match forward).
+        let mut levels: Vec<Vec<f64>> = vec![self.lengths.clone()];
+        while levels.last().unwrap().len() > 1 {
+            let cur = levels.last().unwrap();
+            let mut next = Vec::with_capacity(cur.len() / 2 + 1);
+            let mut i = 0;
+            while i + 1 < cur.len() {
+                next.push(cur[i] + cur[i + 1]);
+                i += 2;
+            }
+            if i < cur.len() {
+                next.push(cur[i]);
+            }
+            levels.push(next);
+        }
+        // Detail consumption order: forward pushed details level by level;
+        // replay levels in the same order, popping from the front.
+        let total_len: f64 = self.lengths.iter().sum();
+        let mut means = vec![coeffs.smooth / total_len.sqrt()];
+        // Walk levels from coarsest back to finest.
+        let mut detail_idx = coeffs.details.len();
+        for lvl in (0..levels.len() - 1).rev() {
+            let fine = &levels[lvl];
+            let mut fine_means = vec![0.0; fine.len()];
+            // Number of merges done at this level going forward:
+            let merges = fine.len() / 2;
+            detail_idx -= merges;
+            let mut di = detail_idx;
+            let mut i = 0;
+            let mut parent = 0;
+            while i + 1 < fine.len() {
+                let (ll, lr) = (fine[i], fine[i + 1]);
+                let lsum = ll + lr;
+                let m = means[parent];
+                let d = coeffs.details[di];
+                let diff = d / (ll * lr / lsum).sqrt();
+                // Solve mL − mR = diff, (ll·mL + lr·mR)/lsum = m.
+                let mr = m - diff * ll / lsum;
+                let ml = mr + diff;
+                fine_means[i] = ml;
+                fine_means[i + 1] = mr;
+                di += 1;
+                i += 2;
+                parent += 1;
+            }
+            if i < fine.len() {
+                fine_means[i] = means[parent];
+            }
+            means = fine_means;
+        }
+        debug_assert_eq!(detail_idx, 0);
+        means
+    }
+
+    /// Evaluate the piecewise-constant function at `x` (cells are
+    /// half-open `[xᵢ, xᵢ₊₁)`; the last cell is closed).
+    pub fn evaluate(&self, values: &[f64], x: f64) -> Option<f64> {
+        assert_eq!(values.len(), self.cells());
+        if x < self.breaks[0] || x > *self.breaks.last().unwrap() {
+            return None;
+        }
+        // partition_point: first break > x, minus one (clamped for x = max).
+        let idx = self
+            .breaks
+            .partition_point(|&b| b <= x)
+            .saturating_sub(1)
+            .min(self.cells() - 1);
+        Some(values[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_irregular() {
+        let uh = UnbalancedHaar::new(vec![0.0, 0.5, 0.7, 1.5, 4.0, 4.1]).unwrap();
+        let vals = [2.0, -1.0, 0.5, 3.0, 7.0];
+        let c = uh.forward(&vals);
+        assert_eq!(c.details.len(), 4);
+        let rec = uh.inverse(&c);
+        for (a, b) in vals.iter().zip(rec.iter()) {
+            assert!((a - b).abs() < 1e-12, "{vals:?} vs {rec:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_odd_cell_count() {
+        let uh = UnbalancedHaar::new(vec![0.0, 1.0, 3.0, 6.0]).unwrap();
+        let vals = [1.0, 2.0, 3.0];
+        let rec = uh.inverse(&uh.forward(&vals));
+        for (a, b) in vals.iter().zip(rec.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn energy_preserved() {
+        let uh = UnbalancedHaar::new(vec![0.0, 0.1, 1.0, 2.5, 2.6, 5.0]).unwrap();
+        let vals = [1.0, -2.0, 0.25, 4.0, -1.5];
+        let c = uh.forward(&vals);
+        let coeff_energy =
+            c.smooth * c.smooth + c.details.iter().map(|d| d * d).sum::<f64>();
+        assert!((uh.energy(&vals) - coeff_energy).abs() < 1e-10);
+    }
+
+    #[test]
+    fn constant_function_zero_details() {
+        let uh = UnbalancedHaar::new(vec![0.0, 0.3, 0.35, 2.0, 9.0]).unwrap();
+        let vals = [5.0; 4];
+        let c = uh.forward(&vals);
+        assert!(c.details.iter().all(|d| d.abs() < 1e-12));
+        // Smooth carries the weighted mean.
+        let total: f64 = uh.lengths().iter().sum();
+        assert!((c.smooth - 5.0 * total.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_matches_balanced_intuition() {
+        let uh = UnbalancedHaar::uniform(0.0, 1.0, 4).unwrap();
+        assert_eq!(uh.cells(), 4);
+        let vals = [9.0, 7.0, 3.0, 5.0];
+        let c = uh.forward(&vals);
+        let rec = uh.inverse(&c);
+        for (a, b) in vals.iter().zip(rec.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn evaluate_cells() {
+        let uh = UnbalancedHaar::new(vec![0.0, 1.0, 3.0]).unwrap();
+        let vals = [10.0, 20.0];
+        assert_eq!(uh.evaluate(&vals, 0.0), Some(10.0));
+        assert_eq!(uh.evaluate(&vals, 0.99), Some(10.0));
+        assert_eq!(uh.evaluate(&vals, 1.0), Some(20.0));
+        assert_eq!(uh.evaluate(&vals, 3.0), Some(20.0));
+        assert_eq!(uh.evaluate(&vals, -0.1), None);
+        assert_eq!(uh.evaluate(&vals, 3.1), None);
+    }
+
+    #[test]
+    fn bad_partitions_rejected() {
+        assert!(UnbalancedHaar::new(vec![0.0]).is_err());
+        assert!(UnbalancedHaar::new(vec![0.0, 0.0]).is_err());
+        assert!(UnbalancedHaar::new(vec![1.0, 0.5]).is_err());
+        assert!(UnbalancedHaar::uniform(0.0, 0.0, 3).is_err());
+        assert!(UnbalancedHaar::uniform(0.0, 1.0, 0).is_err());
+    }
+}

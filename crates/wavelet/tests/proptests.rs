@@ -1,0 +1,154 @@
+//! Property-based tests for the wavelet transforms.
+
+use fbp_wavelet::{
+    analysis, dwt, haar, idwt, lift_forward, lift_inverse, threshold, Normalization,
+    UnbalancedHaar,
+};
+use proptest::prelude::*;
+
+/// Strategy: dyadic-length signal.
+fn dyadic_signal() -> impl Strategy<Value = Vec<f64>> {
+    (1usize..=6).prop_flat_map(|log| {
+        prop::collection::vec(-100.0..100.0f64, 1usize << log)
+    })
+}
+
+/// Strategy: irregular partition + matching values.
+fn partitioned_signal() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (2usize..40).prop_flat_map(|n| {
+        (
+            prop::collection::vec(0.01..2.0f64, n),
+            prop::collection::vec(-50.0..50.0f64, n),
+        )
+            .prop_map(|(gaps, vals)| {
+                let mut breaks = Vec::with_capacity(gaps.len() + 1);
+                let mut x = 0.0;
+                breaks.push(x);
+                for g in gaps {
+                    x += g;
+                    breaks.push(x);
+                }
+                (breaks, vals)
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn dwt_roundtrips(mut data in dyadic_signal()) {
+        let orig = data.clone();
+        dwt(&mut data, Normalization::Orthonormal).unwrap();
+        idwt(&mut data, Normalization::Orthonormal).unwrap();
+        for (a, b) in orig.iter().zip(data.iter()) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn dwt_average_roundtrips(mut data in dyadic_signal()) {
+        let orig = data.clone();
+        dwt(&mut data, Normalization::Average).unwrap();
+        idwt(&mut data, Normalization::Average).unwrap();
+        for (a, b) in orig.iter().zip(data.iter()) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn orthonormal_parseval(mut data in dyadic_signal()) {
+        let before = analysis::energy(&data);
+        dwt(&mut data, Normalization::Orthonormal).unwrap();
+        let after = analysis::energy(&data);
+        prop_assert!((before - after).abs() < 1e-7 * before.max(1.0));
+    }
+
+    #[test]
+    fn lifting_equals_its_inverse(mut data in dyadic_signal()) {
+        let orig = data.clone();
+        lift_forward(&mut data).unwrap();
+        lift_inverse(&mut data).unwrap();
+        for (a, b) in orig.iter().zip(data.iter()) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn lifting_smooths_match_ordered_transform(data in dyadic_signal()) {
+        // Same smooth coefficient (global mean) for both formulations.
+        let mut l = data.clone();
+        lift_forward(&mut l).unwrap();
+        let mut h = data.clone();
+        dwt(&mut h, Normalization::Average).unwrap();
+        prop_assert!((l[0] - h[0]).abs() < 1e-8);
+        // Details agree up to the fixed factor −2.
+        for i in 1..data.len() {
+            prop_assert!((l[i] + 2.0 * h[i]).abs() < 1e-7,
+                "i={i}: lift={} dwt={}", l[i], h[i]);
+        }
+    }
+
+    #[test]
+    fn unbalanced_roundtrips((breaks, vals) in partitioned_signal()) {
+        let uh = UnbalancedHaar::new(breaks).unwrap();
+        let coeffs = uh.forward(&vals);
+        let rec = uh.inverse(&coeffs);
+        for (a, b) in vals.iter().zip(rec.iter()) {
+            prop_assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn unbalanced_parseval((breaks, vals) in partitioned_signal()) {
+        let uh = UnbalancedHaar::new(breaks).unwrap();
+        let coeffs = uh.forward(&vals);
+        let coeff_energy = coeffs.smooth * coeffs.smooth
+            + coeffs.details.iter().map(|d| d * d).sum::<f64>();
+        let sig_energy = uh.energy(&vals);
+        prop_assert!((coeff_energy - sig_energy).abs() < 1e-6 * sig_energy.max(1.0));
+    }
+
+    #[test]
+    fn threshold_zero_is_lossless(mut data in dyadic_signal()) {
+        let orig = data.clone();
+        dwt(&mut data, Normalization::Orthonormal).unwrap();
+        let kept = threshold::hard_threshold(&mut data, 0.0);
+        prop_assert_eq!(kept, data.len());
+        idwt(&mut data, Normalization::Orthonormal).unwrap();
+        prop_assert!(analysis::max_abs_error(&orig, &data) < 1e-8);
+    }
+
+    #[test]
+    fn top_k_error_monotone_in_k(data in dyadic_signal()) {
+        // Keeping more coefficients can never increase L2 error.
+        let mut coeffs = data.clone();
+        dwt(&mut coeffs, Normalization::Orthonormal).unwrap();
+        let n = coeffs.len();
+        let mut prev_err = f64::INFINITY;
+        for k in [n / 4, n / 2, n] {
+            let mut c = coeffs.clone();
+            threshold::keep_top_k(&mut c, k.max(1));
+            let mut rec = c;
+            idwt(&mut rec, Normalization::Orthonormal).unwrap();
+            let err = analysis::energy(
+                &data
+                    .iter()
+                    .zip(rec.iter())
+                    .map(|(a, b)| a - b)
+                    .collect::<Vec<_>>(),
+            );
+            prop_assert!(err <= prev_err + 1e-8);
+            prev_err = err;
+        }
+    }
+
+    #[test]
+    fn pad_to_pow2_always_dyadic(data in prop::collection::vec(-5.0..5.0f64, 0..70)) {
+        let padded = haar::pad_to_pow2(&data);
+        prop_assert!(padded.len().is_power_of_two());
+        prop_assert!(padded.len() >= data.len());
+        prop_assert!(padded.len() < 2 * data.len().max(1));
+        for (a, b) in data.iter().zip(padded.iter()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Learning curve: the Figure 10 experiment at a configurable scale.
+//!
+//! Streams queries through a retrieval system enriched with
+//! FeedbackBypass and prints average precision of the three scenarios
+//! (Default / FeedbackBypass / AlreadySeen) as the number of processed
+//! queries grows, plus the precision gains of Figure 10b.
+//!
+//! Run with: `cargo run --release --example learning_curve [n_queries] [k] [scale]`
+
+use fbp_eval::{
+    efficiency::checkpoints, metrics, run_stream, Series, StreamOptions,
+};
+use fbp_eval::report::Figure;
+use fbp_imagegen::{DatasetConfig, SyntheticDataset};
+use fbp_vecdb::LinearScan;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n_queries: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let k: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(50);
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.5);
+
+    let mut cfg = DatasetConfig::paper();
+    cfg.scale = scale;
+    cfg.noise_images = (7509.0 * scale) as usize;
+    eprintln!("generating dataset (scale {scale})...");
+    let ds = SyntheticDataset::generate(cfg);
+    eprintln!(
+        "dataset ready: {} images ({} labelled); streaming {} queries at k = {k}",
+        ds.collection.len(),
+        ds.labelled.len(),
+        n_queries
+    );
+
+    let engine = LinearScan::new(&ds.collection);
+    let opts = StreamOptions {
+        n_queries,
+        k,
+        ..Default::default()
+    };
+    let res = run_stream(&ds, &engine, &opts);
+
+    let d: Vec<f64> = res.records.iter().map(|r| r.default.precision).collect();
+    let b: Vec<f64> = res.records.iter().map(|r| r.bypass.precision).collect();
+    let s: Vec<f64> = res.records.iter().map(|r| r.seen.precision).collect();
+    let cd = metrics::cumulative_avg(&d);
+    let cb = metrics::cumulative_avg(&b);
+    let cs = metrics::cumulative_avg(&s);
+
+    let cps = checkpoints(n_queries, (n_queries / 10).max(1));
+    let pick = |v: &[f64]| -> Vec<(f64, f64)> {
+        cps.iter().map(|&c| (c as f64, v[c - 1])).collect()
+    };
+    let fig = Figure::new(
+        format!("Figure 10a — average precision vs no. of queries (k = {k})"),
+        "no. of queries",
+        "precision",
+        vec![
+            Series::new("AlreadySeen", pick(&cs)),
+            Series::new("FeedbackBypass", pick(&cb)),
+            Series::new("Default", pick(&cd)),
+        ],
+    );
+    println!("{}", fig.to_table());
+
+    let gain_b: Vec<(f64, f64)> = cps
+        .iter()
+        .map(|&c| {
+            (
+                c as f64,
+                metrics::precision_gain(cb[c - 1], cd[c - 1]),
+            )
+        })
+        .collect();
+    let gain_s: Vec<(f64, f64)> = cps
+        .iter()
+        .map(|&c| {
+            (
+                c as f64,
+                metrics::precision_gain(cs[c - 1], cd[c - 1]),
+            )
+        })
+        .collect();
+    let fig_b = Figure::new(
+        "Figure 10b — precision gain (%) vs no. of queries",
+        "no. of queries",
+        "gain %",
+        vec![
+            Series::new("AlreadySeen", gain_s),
+            Series::new("FeedbackBypass", gain_b),
+        ],
+    );
+    println!("{}", fig_b.to_table());
+
+    let shape = res.bypass.tree().shape();
+    println!(
+        "tree: {} stored points, {} nodes, depth {}",
+        shape.stored_points, shape.node_count, shape.depth
+    );
+}

@@ -1,0 +1,83 @@
+//! Cross-session persistence: the whole point of FeedbackBypass is that
+//! learned parameters survive "across multiple query sessions".
+//!
+//! Session 1 learns from a stream of queries and saves the module to
+//! disk; session 2 restores it and immediately benefits. Also
+//! demonstrates that corruption is detected rather than silently loaded.
+//!
+//! Run with: `cargo run --release --example persistence`
+
+use feedbackbypass::FeedbackBypass;
+use fbp_eval::{metrics, run_stream, StreamOptions};
+use fbp_eval::scenario::{evaluate_default, evaluate_params};
+use fbp_eval::stream::query_order;
+use fbp_feedback::CategoryOracle;
+use fbp_imagegen::{DatasetConfig, SyntheticDataset};
+use fbp_vecdb::LinearScan;
+
+fn main() {
+    let mut cfg = DatasetConfig::paper();
+    cfg.scale = 0.3;
+    cfg.noise_images = 2250;
+    eprintln!("generating dataset...");
+    let ds = SyntheticDataset::generate(cfg);
+    let engine = LinearScan::new(&ds.collection);
+    let path = std::env::temp_dir().join("feedbackbypass_session.fbst");
+
+    // --- Session 1: learn, then save. ---
+    eprintln!("session 1: learning from 250 queries...");
+    let opts = StreamOptions {
+        n_queries: 250,
+        k: 30,
+        ..Default::default()
+    };
+    let trained = run_stream(&ds, &engine, &opts).bypass;
+    let image = trained.to_bytes();
+    std::fs::write(&path, &image).expect("write session file");
+    println!(
+        "session 1: stored {} points, saved {} bytes to {}",
+        trained.tree().stored_points(),
+        image.len(),
+        path.display()
+    );
+    drop(trained); // the process "exits"
+
+    // --- Session 2: restore and benefit immediately. ---
+    let restored =
+        FeedbackBypass::from_bytes(&std::fs::read(&path).expect("read session file"))
+            .expect("restore module");
+    println!(
+        "session 2: restored module with {} stored points",
+        restored.tree().stored_points()
+    );
+
+    // Evaluate on held-out queries: restored predictions vs defaults.
+    let coll = &ds.collection;
+    let order = query_order(&ds, opts.seed);
+    let mut d_precisions = Vec::new();
+    let mut b_precisions = Vec::new();
+    for &qidx in order.iter().skip(opts.n_queries).take(100) {
+        let q = coll.vector(qidx);
+        let oracle = CategoryOracle::new(coll, coll.label(qidx));
+        d_precisions.push(evaluate_default(&engine, q, 30, &oracle).precision);
+        let pred = restored.predict(q).unwrap();
+        b_precisions
+            .push(evaluate_params(&engine, &pred.point, &pred.weights, 30, &oracle).precision);
+    }
+    let d = metrics::mean(&d_precisions);
+    let b = metrics::mean(&b_precisions);
+    println!(
+        "session 2 on 100 fresh queries: default precision {d:.3}, restored-bypass {b:.3} ({:+.1}%)",
+        metrics::precision_gain(b, d)
+    );
+
+    // --- Corruption is detected, never silently loaded. ---
+    let mut corrupt = image.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0xA5;
+    match FeedbackBypass::from_bytes(&corrupt) {
+        Err(e) => println!("corrupted file correctly rejected: {e}"),
+        Ok(_) => unreachable!("corruption must not load"),
+    }
+    let _ = std::fs::remove_file(&path);
+}

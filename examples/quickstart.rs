@@ -1,0 +1,90 @@
+//! Quickstart: the FeedbackBypass module in isolation.
+//!
+//! Builds a small labelled histogram collection, runs one feedback loop,
+//! stores its outcome, and shows the loop being bypassed for the same and
+//! for nearby queries.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use feedbackbypass::{BypassConfig, FeedbackBypass};
+use fbp_feedback::{CategoryOracle, FeedbackConfig, FeedbackLoop};
+use fbp_imagegen::{DatasetConfig, SyntheticDataset};
+use fbp_vecdb::LinearScan;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    // A small synthetic image collection (the IMSI stand-in).
+    let ds = SyntheticDataset::generate(DatasetConfig::small());
+    let coll = &ds.collection;
+    println!(
+        "dataset: {} images, {} labelled, dim {}",
+        coll.len(),
+        ds.labelled.len(),
+        coll.dim()
+    );
+
+    let engine = LinearScan::new(coll);
+    let mut bypass =
+        FeedbackBypass::for_histograms(coll.dim(), BypassConfig::default()).unwrap();
+
+    // Pick a query image and its category oracle.
+    let mut rng = StdRng::seed_from_u64(7);
+    let qidx = ds.sample_query(&mut rng);
+    let q: Vec<f64> = coll.vector(qidx).to_vec();
+    let category = coll.label(qidx);
+    let oracle = CategoryOracle::new(coll, category);
+    println!(
+        "query image #{qidx} (category {})",
+        coll.category_name(category).unwrap()
+    );
+
+    // 1. A fresh module predicts the defaults.
+    let p0 = bypass.predict(&q).unwrap();
+    println!(
+        "fresh prediction = defaults: weights all 1.0? {}",
+        p0.weights.iter().all(|&w| (w - 1.0).abs() < 1e-12)
+    );
+
+    // 2. Run the feedback loop the old-fashioned way.
+    let cfg = FeedbackConfig {
+        k: 20,
+        ..Default::default()
+    };
+    let fb_loop = FeedbackLoop::new(&engine, coll, cfg);
+    let outcome = fb_loop.run(&q, &oracle).unwrap();
+    println!(
+        "feedback loop: {} cycles, precision {:.3} -> {:.3}",
+        outcome.cycles,
+        outcome.precision_trace.first().unwrap(),
+        outcome.precision_trace.last().unwrap()
+    );
+
+    // 3. Store the converged parameters.
+    bypass
+        .insert(&q, &outcome.point, &outcome.weights)
+        .unwrap();
+    println!(
+        "stored; tree now holds {} point(s)",
+        bypass.tree().stored_points()
+    );
+
+    // 4. Bypass the loop: the same query now starts from the optimum.
+    let p1 = bypass.predict(&q).unwrap();
+    let restart = fb_loop.run_from(&p1.point, &p1.weights, &oracle).unwrap();
+    println!(
+        "restarted from prediction: {} cycle(s), precision {:.3} immediately",
+        restart.cycles, restart.precision_trace[0]
+    );
+
+    // 5. Nearby queries inherit a useful starting point too.
+    let members = coll.category_members(category);
+    if let Some(&other) = members.iter().find(|&&m| m != qidx) {
+        let q2: Vec<f64> = coll.vector(other).to_vec();
+        let p2 = bypass.predict(&q2).unwrap();
+        let tilted = p2.weights.iter().any(|&w| (w - 1.0).abs() > 1e-6);
+        println!(
+            "sibling image #{other}: prediction {} the defaults",
+            if tilted { "differs from" } else { "equals" }
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! The paper's §3 follow-up, runnable: FeedbackBypass over a PCA-reduced
+//! query domain, side by side with the full-dimensional module.
+//!
+//! Run with: `cargo run --release --example reduced_domain [r] [n_queries]`
+
+use feedbackbypass::{BypassConfig, FeedbackBypass, ReducedBypass};
+use fbp_eval::metrics;
+use fbp_eval::scenario::evaluate_params;
+use fbp_eval::stream::query_order;
+use fbp_feedback::{CategoryOracle, FeedbackConfig, FeedbackLoop};
+use fbp_imagegen::{DatasetConfig, SyntheticDataset};
+use fbp_simplex_tree::TreeConfig;
+use fbp_vecdb::LinearScan;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let r: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(300);
+
+    let mut cfg = DatasetConfig::paper();
+    cfg.scale = 0.5;
+    cfg.noise_images = 3750;
+    eprintln!("generating dataset...");
+    let ds = SyntheticDataset::generate(cfg);
+    let coll = &ds.collection;
+    let engine = LinearScan::new(coll);
+    let k = 50;
+
+    let sample: Vec<&[f64]> = ds.labelled.iter().map(|&i| coll.vector(i)).collect();
+    let mut full =
+        FeedbackBypass::for_histograms(coll.dim(), BypassConfig::default()).unwrap();
+    let mut reduced = ReducedBypass::fit(&sample, r, TreeConfig::default()).unwrap();
+    println!(
+        "PCA r = {r}: explained variance {:.1}% of the sample",
+        100.0 * reduced.reducer().explained_variance
+    );
+
+    let fb = FeedbackLoop::new(
+        &engine,
+        coll,
+        FeedbackConfig {
+            k,
+            ..Default::default()
+        },
+    );
+    let order = query_order(&ds, 0xBEEF);
+    let mut full_prec = Vec::new();
+    let mut red_prec = Vec::new();
+    let mut full_visits = Vec::new();
+    let mut red_visits = Vec::new();
+    eprintln!("streaming {n} queries through both modules...");
+    for &qidx in order.iter().take(n) {
+        let q: Vec<f64> = coll.vector(qidx).to_vec();
+        let oracle = CategoryOracle::new(coll, coll.label(qidx));
+
+        let pf = full.predict(&q).unwrap();
+        let pr = reduced.predict(&q).unwrap();
+        full_visits.push(pf.nodes_visited as f64);
+        red_visits.push(pr.nodes_visited as f64);
+        full_prec.push(evaluate_params(&engine, &pf.point, &pf.weights, k, &oracle).precision);
+        red_prec.push(evaluate_params(&engine, &pr.point, &pr.weights, k, &oracle).precision);
+
+        let run = fb.run(&q, &oracle).unwrap();
+        if run.cycles > 0 {
+            full.insert(&q, &run.point, &run.weights).unwrap();
+            reduced.insert(&q, &run.point, &run.weights).unwrap();
+        }
+    }
+
+    let tail = n / 2;
+    println!("\nafter {n} queries (tail-mean precision @ k={k}):");
+    println!(
+        "  full {:>2}-d domain : precision {:.4}, mean simplices visited {:.2}, tree {} nodes / depth {}",
+        coll.dim() - 1,
+        metrics::tail_mean(&full_prec, tail),
+        metrics::mean(&full_visits),
+        full.tree().node_count(),
+        full.tree().shape().depth,
+    );
+    println!(
+        "  PCA  {r:>2}-d domain : precision {:.4}, mean simplices visited {:.2}, tree {} nodes / depth {}",
+        metrics::tail_mean(&red_prec, tail),
+        metrics::mean(&red_visits),
+        reduced.tree().node_count(),
+        reduced.tree().shape().depth,
+    );
+}

@@ -1,0 +1,16 @@
+//! Workspace root crate for the FeedbackBypass reproduction.
+//!
+//! This crate exists to host the runnable examples in `examples/` and the
+//! cross-crate integration tests in `tests/`. The actual library lives in
+//! [`feedbackbypass`] and the `fbp-*` substrate crates; this crate simply
+//! re-exports them under one roof for convenience.
+
+pub use fbp_eval as eval;
+pub use fbp_feedback as feedback;
+pub use fbp_geometry as geometry;
+pub use fbp_imagegen as imagegen;
+pub use fbp_linalg as linalg;
+pub use fbp_simplex_tree as simplex_tree;
+pub use fbp_vecdb as vecdb;
+pub use fbp_wavelet as wavelet;
+pub use feedbackbypass as bypass;

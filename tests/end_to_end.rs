@@ -1,0 +1,114 @@
+//! End-to-end integration: the full §5 pipeline on a small synthetic
+//! dataset, exercising every crate in one pass.
+
+use fbp_eval::{metrics, run_stream, StreamOptions};
+use fbp_imagegen::{DatasetConfig, SyntheticDataset};
+use fbp_vecdb::LinearScan;
+
+fn small_ds() -> SyntheticDataset {
+    SyntheticDataset::generate(DatasetConfig::small())
+}
+
+#[test]
+fn scenario_ordering_holds() {
+    let ds = small_ds();
+    let engine = LinearScan::new(&ds.collection);
+    let opts = StreamOptions {
+        n_queries: 80,
+        k: 15,
+        ..Default::default()
+    };
+    let res = run_stream(&ds, &engine, &opts);
+    assert_eq!(res.records.len(), 80);
+
+    let mean = |f: &dyn Fn(&fbp_eval::QueryRecord) -> f64| {
+        let v: Vec<f64> = res.records.iter().map(f).collect();
+        metrics::mean(&v)
+    };
+    let d = mean(&|r| r.default.precision);
+    let b = mean(&|r| r.bypass.precision);
+    let s = mean(&|r| r.seen.precision);
+    // The paper's central ordering: AlreadySeen dominates Default
+    // decisively; FeedbackBypass sits between them (allow slack on the
+    // noisy small dataset for the bypass-vs-default comparison).
+    assert!(s > d * 1.15, "AlreadySeen {s:.3} should beat Default {d:.3}");
+    assert!(s >= b, "AlreadySeen {s:.3} is the ceiling for bypass {b:.3}");
+    assert!(
+        b >= d - 0.02,
+        "bypass {b:.3} must not lose to default {d:.3}"
+    );
+}
+
+#[test]
+fn tree_grows_and_stays_consistent() {
+    let ds = small_ds();
+    let engine = LinearScan::new(&ds.collection);
+    let opts = StreamOptions {
+        n_queries: 60,
+        k: 10,
+        ..Default::default()
+    };
+    let res = run_stream(&ds, &engine, &opts);
+    let tree = res.bypass.tree();
+    tree.verify_invariants().expect("tree invariants");
+    assert!(tree.stored_points() > 20, "most loops should learn");
+    let shape = tree.shape();
+    assert!(shape.depth >= 3);
+    // Depth recorded in the records is monotone non-decreasing.
+    let mut prev = 0;
+    for r in &res.records {
+        assert!(r.tree_depth >= prev);
+        prev = r.tree_depth;
+    }
+    // Every stored point predicts itself exactly (AlreadySeen identity).
+    for (p, oqp) in tree.stored_vertices().take(10) {
+        let pred = tree.predict(p).unwrap();
+        assert!(pred.oqp.max_component_diff(&oqp) < 1e-6);
+    }
+}
+
+#[test]
+fn savings_are_mostly_nonnegative() {
+    let ds = small_ds();
+    let engine = LinearScan::new(&ds.collection);
+    let opts = StreamOptions {
+        n_queries: 50,
+        k: 10,
+        measure_savings: true,
+        ..Default::default()
+    };
+    let res = run_stream(&ds, &engine, &opts);
+    let saved: Vec<f64> = res
+        .records
+        .iter()
+        .map(|r| r.cycles_from_default as f64 - r.cycles_from_predicted.unwrap() as f64)
+        .collect();
+    // On average, starting from the prediction must not cost extra cycles.
+    assert!(
+        metrics::mean(&saved) >= -0.1,
+        "mean savings {:.3} strongly negative",
+        metrics::mean(&saved)
+    );
+}
+
+#[test]
+fn per_category_breakdown_covers_all_categories() {
+    let ds = small_ds();
+    let engine = LinearScan::new(&ds.collection);
+    let opts = StreamOptions {
+        n_queries: 100,
+        k: 10,
+        ..Default::default()
+    };
+    let res = run_stream(&ds, &engine, &opts);
+    let bd = fbp_eval::per_category::breakdown(&ds.collection, &res.records);
+    assert_eq!(bd.names.len(), 7);
+    assert_eq!(
+        bd.names,
+        vec!["Bird", "Fish", "Mammal", "Blossom", "TreeLeaf", "Bridge", "Monument"]
+    );
+    // With 100 queries over 7 categories, most categories get sampled.
+    let sampled = bd.query_counts.iter().filter(|&&c| c > 0).count();
+    assert!(sampled >= 5, "only {sampled} categories sampled");
+    assert_eq!(bd.query_counts.iter().sum::<usize>(), 100);
+}

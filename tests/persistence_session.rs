@@ -1,0 +1,91 @@
+//! Cross-session persistence integration: learn in one "session", restore
+//! in the next, keep learning, and reject corrupted state.
+
+use feedbackbypass::{BypassConfig, FeedbackBypass};
+use fbp_eval::{run_stream, StreamOptions};
+use fbp_eval::stream::query_order;
+use fbp_feedback::{CategoryOracle, FeedbackConfig, FeedbackLoop};
+use fbp_imagegen::{DatasetConfig, SyntheticDataset};
+use fbp_vecdb::LinearScan;
+
+#[test]
+fn restored_module_continues_learning() {
+    let ds = SyntheticDataset::generate(DatasetConfig::small());
+    let coll = &ds.collection;
+    let engine = LinearScan::new(coll);
+
+    // Session 1: a short stream.
+    let opts = StreamOptions {
+        n_queries: 40,
+        k: 10,
+        ..Default::default()
+    };
+    let session1 = run_stream(&ds, &engine, &opts).bypass;
+    let stored1 = session1.tree().stored_points();
+    let image = session1.to_bytes();
+
+    // Session 2: restore, verify predictions identical, keep learning.
+    let mut session2 = FeedbackBypass::from_bytes(&image).expect("restore");
+    assert_eq!(session2.tree().stored_points(), stored1);
+    for &qidx in ds.labelled.iter().take(10) {
+        let q = coll.vector(qidx);
+        let a = session1.predict(q).unwrap();
+        let b = session2.predict(q).unwrap();
+        assert_eq!(a, b, "restored prediction differs at query {qidx}");
+    }
+
+    // Continue with fresh queries through the real loop.
+    let order = query_order(&ds, opts.seed);
+    let fb = FeedbackLoop::new(
+        &engine,
+        coll,
+        FeedbackConfig {
+            k: 10,
+            ..Default::default()
+        },
+    );
+    let mut new_inserts = 0;
+    for &qidx in order.iter().skip(40).take(15) {
+        let q: Vec<f64> = coll.vector(qidx).to_vec();
+        let oracle = CategoryOracle::new(coll, coll.label(qidx));
+        let pred = session2.predict(&q).unwrap();
+        let run = fb.run_from(&pred.point, &pred.weights, &oracle).unwrap();
+        if run.cycles > 0 {
+            session2.insert(&q, &run.point, &run.weights).unwrap();
+            new_inserts += 1;
+        }
+    }
+    assert!(new_inserts > 0, "second session should keep learning");
+    assert!(session2.tree().stored_points() >= stored1);
+    session2.tree().verify_invariants().unwrap();
+
+    // Round-trip of the extended state still works.
+    let image2 = session2.to_bytes();
+    let session3 = FeedbackBypass::from_bytes(&image2).unwrap();
+    assert_eq!(
+        session3.tree().stored_points(),
+        session2.tree().stored_points()
+    );
+}
+
+#[test]
+fn every_corruption_position_is_detected() {
+    // Flip one byte at several positions across the image: all must fail
+    // loudly (checksum or structural validation), never load silently.
+    let mut fb = FeedbackBypass::for_histograms(4, BypassConfig::default()).unwrap();
+    fb.insert(
+        &[0.4, 0.3, 0.2, 0.1],
+        &[0.5, 0.25, 0.15, 0.1],
+        &[2.0, 1.0, 0.5, 1.0],
+    )
+    .unwrap();
+    let image = fb.to_bytes();
+    for pos in (0..image.len()).step_by(image.len() / 23 + 1) {
+        let mut bad = image.clone();
+        bad[pos] ^= 0x5a;
+        assert!(
+            FeedbackBypass::from_bytes(&bad).is_err(),
+            "corruption at byte {pos} loaded silently"
+        );
+    }
+}

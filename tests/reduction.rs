@@ -1,0 +1,62 @@
+//! Integration test for the PCA-reduced query domain (the paper's §3
+//! follow-up): the reduced module must learn from real feedback loops on
+//! the synthetic dataset and make useful, always-safe predictions.
+
+use feedbackbypass::ReducedBypass;
+use fbp_eval::metrics;
+use fbp_eval::scenario::{evaluate_default, evaluate_params};
+use fbp_feedback::{CategoryOracle, FeedbackConfig, FeedbackLoop};
+use fbp_imagegen::{DatasetConfig, SyntheticDataset};
+use fbp_simplex_tree::TreeConfig;
+use fbp_vecdb::LinearScan;
+
+#[test]
+fn reduced_module_learns_on_the_synthetic_dataset() {
+    let ds = SyntheticDataset::generate(DatasetConfig::small());
+    let coll = &ds.collection;
+    let engine = LinearScan::new(coll);
+    let sample: Vec<&[f64]> = ds.labelled.iter().map(|&i| coll.vector(i)).collect();
+    let mut rb = ReducedBypass::fit(&sample, 6, TreeConfig::default()).unwrap();
+    assert!(rb.reducer().explained_variance > 0.3);
+
+    let k = 10;
+    let fb = FeedbackLoop::new(
+        &engine,
+        coll,
+        FeedbackConfig {
+            k,
+            ..Default::default()
+        },
+    );
+
+    // Train on the first 60 labelled images.
+    for &qidx in ds.labelled.iter().take(60) {
+        let q: Vec<f64> = coll.vector(qidx).to_vec();
+        let oracle = CategoryOracle::new(coll, coll.label(qidx));
+        let run = fb.run(&q, &oracle).unwrap();
+        if run.cycles > 0 {
+            rb.insert(&q, &run.point, &run.weights).unwrap();
+        }
+    }
+    assert!(rb.tree().stored_points() > 20);
+    rb.tree().verify_invariants().unwrap();
+
+    // Evaluate on held-out labelled images: predictions must not lose to
+    // the default on average.
+    let mut d_prec = Vec::new();
+    let mut b_prec = Vec::new();
+    for &qidx in ds.labelled.iter().skip(60).take(60) {
+        let q = coll.vector(qidx);
+        let oracle = CategoryOracle::new(coll, coll.label(qidx));
+        d_prec.push(evaluate_default(&engine, q, k, &oracle).precision);
+        let pred = rb.predict(q).unwrap();
+        assert!(pred.weights.iter().all(|&w| w > 0.0));
+        b_prec.push(evaluate_params(&engine, &pred.point, &pred.weights, k, &oracle).precision);
+    }
+    let d = metrics::mean(&d_prec);
+    let b = metrics::mean(&b_prec);
+    assert!(
+        b >= d - 0.02,
+        "reduced predictions must be safe: bypass {b:.3} vs default {d:.3}"
+    );
+}

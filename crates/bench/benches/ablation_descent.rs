@@ -36,11 +36,7 @@ fn main() {
         let res = run_stream(&ds, &engine, &opts);
         let elapsed = t0.elapsed();
         let prec: Vec<f64> = res.records.iter().map(|r| r.bypass.precision).collect();
-        let visited: Vec<f64> = res
-            .records
-            .iter()
-            .map(|r| r.nodes_visited as f64)
-            .collect();
+        let visited: Vec<f64> = res.records.iter().map(|r| r.nodes_visited as f64).collect();
         println!(
             "{name:<28}: bypass precision {:.4}, mean nodes visited {:.2}, stream took {elapsed:.2?}",
             metrics::mean(&prec),
@@ -48,10 +44,7 @@ fn main() {
         );
         series.push(Series::new(
             name,
-            vec![
-                (0.0, metrics::mean(&prec)),
-                (1.0, metrics::mean(&visited)),
-            ],
+            vec![(0.0, metrics::mean(&prec)), (1.0, metrics::mean(&visited))],
         ));
     }
     emit(

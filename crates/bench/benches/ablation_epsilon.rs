@@ -37,11 +37,7 @@ fn main() {
         let shape = res.bypass.tree().shape();
         stored_pts.push((eps, shape.stored_points as f64));
         nodes.push((eps, shape.node_count as f64));
-        let tail: Vec<f64> = res
-            .records
-            .iter()
-            .map(|r| r.bypass.precision)
-            .collect();
+        let tail: Vec<f64> = res.records.iter().map(|r| r.bypass.precision).collect();
         precisions.push((eps, metrics::tail_mean(&tail, n / 2)));
         println!(
             "eps {eps:>8.4}: stored {} / nodes {} / bypass precision {:.4}",

@@ -80,8 +80,7 @@ fn main() {
     ] {
         let mut module = match variant {
             None => Module::Full(
-                FeedbackBypass::for_histograms(coll.dim(), BypassConfig::default())
-                    .unwrap(),
+                FeedbackBypass::for_histograms(coll.dim(), BypassConfig::default()).unwrap(),
             ),
             Some(r) => {
                 let rb = ReducedBypass::fit(&sample, r, TreeConfig::default()).unwrap();

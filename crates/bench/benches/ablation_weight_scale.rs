@@ -35,7 +35,9 @@ fn main() {
         let cum = metrics::cumulative_avg(&prec);
         series.push(Series::new(
             name,
-            cps.iter().map(|&c| (c as f64, cum[c - 1])).collect::<Vec<_>>(),
+            cps.iter()
+                .map(|&c| (c as f64, cum[c - 1]))
+                .collect::<Vec<_>>(),
         ));
         println!("{name}: final bypass precision {:.4}", cum[n - 1]);
     }

@@ -5,8 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use fbp_linalg::Matrix;
 use fbp_vecdb::{
-    Distance, Euclidean, HierarchicalDistance, Manhattan, QuadraticDistance,
-    WeightedEuclidean,
+    Distance, Euclidean, HierarchicalDistance, Manhattan, QuadraticDistance, WeightedEuclidean,
 };
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::hint::black_box;
@@ -74,5 +73,59 @@ fn bench_distances(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_distances);
+/// Per-vector cost of the blocked batch kernels vs the scalar `eval`
+/// loop: one query against a contiguous 1024-row block, reported per
+/// kernel invocation (divide by 1024 for the per-row figure).
+fn bench_batch_kernels(c: &mut Criterion) {
+    const ROWS: usize = 1024;
+    let mut group = c.benchmark_group("distance_batch_1024x32d");
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(50);
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let query: Vec<f64> = (0..DIM).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let block: Vec<f64> = (0..ROWS * DIM).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let weights: Vec<f64> = (0..DIM).map(|_| rng.gen_range(0.1..10.0)).collect();
+    let weighted = WeightedEuclidean::new(weights).unwrap();
+
+    let run = |group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+               name: &str,
+               dist: &dyn Distance| {
+        let mut out = vec![0.0; ROWS];
+        // Scalar loop through the `dyn` vtable, one call per row.
+        group.bench_function(format!("{name}/scalar_eval_loop"), |b| {
+            b.iter(|| {
+                for (row, slot) in block.chunks_exact(DIM).zip(out.iter_mut()) {
+                    *slot = dist.eval(black_box(&query), black_box(row));
+                }
+                black_box(out[ROWS - 1])
+            });
+        });
+        // One batched surrogate-key call for the whole block.
+        group.bench_function(format!("{name}/eval_key_batch"), |b| {
+            b.iter(|| {
+                dist.eval_key_batch(
+                    black_box(&query),
+                    black_box(&block),
+                    DIM,
+                    f64::INFINITY,
+                    &mut out,
+                );
+                black_box(out[ROWS - 1])
+            });
+        });
+    };
+
+    run(&mut group, "euclidean", &Euclidean);
+    run(&mut group, "weighted_euclidean", &weighted);
+    run(
+        &mut group,
+        "hierarchical_4_features",
+        &HierarchicalDistance::uniform(DIM, 4).unwrap(),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_distances, bench_batch_kernels);
 criterion_main!(benches);

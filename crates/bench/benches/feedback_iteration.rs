@@ -3,10 +3,10 @@
 //! 10k collection (what each saved cycle of Figure 15 is worth).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use fbp_feedback::reweight::ReweightOptions;
 use fbp_feedback::{
     optimal_point, reweight, CategoryOracle, FeedbackConfig, FeedbackLoop, ScoredPoint,
 };
-use fbp_feedback::reweight::ReweightOptions;
 use fbp_vecdb::{CollectionBuilder, LinearScan};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::hint::black_box;

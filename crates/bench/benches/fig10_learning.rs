@@ -30,9 +30,8 @@ fn main() {
         metrics::cumulative_avg(&s),
     );
     let cps = checkpoints(n, (n / 10).max(1));
-    let pick = |v: &[f64]| -> Vec<(f64, f64)> {
-        cps.iter().map(|&c| (c as f64, v[c - 1])).collect()
-    };
+    let pick =
+        |v: &[f64]| -> Vec<(f64, f64)> { cps.iter().map(|&c| (c as f64, v[c - 1])).collect() };
 
     emit(
         "fig10a_precision",

@@ -10,7 +10,10 @@ use fbp_eval::StreamOptions;
 
 fn main() {
     let ds = bench_dataset();
-    let ks: Vec<usize> = by_scale(vec![10, 20, 40, 60, 80], vec![10, 20, 30, 40, 50, 60, 70, 80]);
+    let ks: Vec<usize> = by_scale(
+        vec![10, 20, 40, 60, 80],
+        vec![10, 20, 30, 40, 50, 60, 70, 80],
+    );
     let base = StreamOptions {
         n_queries: bench_queries(),
         ..Default::default()

@@ -6,8 +6,8 @@
 use fbp_bench::{bench_dataset, bench_queries, emit};
 use fbp_eval::efficiency::checkpoints;
 use fbp_eval::report::Figure;
-use fbp_eval::{metrics, run_stream, Series, StreamOptions};
 use fbp_eval::stream::StreamResult;
+use fbp_eval::{metrics, run_stream, Series, StreamOptions};
 use fbp_vecdb::LinearScan;
 
 fn main() {

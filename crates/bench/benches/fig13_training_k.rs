@@ -17,7 +17,10 @@ fn main() {
         ..Default::default()
     };
     let k_train = [20usize, 50, 80];
-    let k_eval: Vec<usize> = by_scale(vec![10, 20, 40, 60, 80], vec![10, 20, 30, 40, 50, 60, 70, 80]);
+    let k_eval: Vec<usize> = by_scale(
+        vec![10, 20, 40, 60, 80],
+        vec![10, 20, 30, 40, 50, 60, 70, 80],
+    );
     let eval_queries = by_scale(120, 400);
     let res = run_cross_k(&ds, &k_train, &k_eval, eval_queries, &base);
     emit("fig13a_precision", &res.precision_figure());

@@ -24,10 +24,6 @@ fn main() {
     let shape = res.bypass.tree().shape();
     println!(
         "final tree: {} stored points, {} nodes ({} leaves), depth {}, mean leaf depth {:.2}",
-        shape.stored_points,
-        shape.node_count,
-        shape.leaf_count,
-        shape.depth,
-        shape.mean_leaf_depth
+        shape.stored_points, shape.node_count, shape.leaf_count, shape.depth, shape.mean_leaf_depth
     );
 }

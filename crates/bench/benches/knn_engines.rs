@@ -1,11 +1,13 @@
 //! Criterion micro-benchmarks for the k-NN engines: linear scan vs
 //! VP-tree vs M-tree, under the default Euclidean metric and under a
 //! re-weighted query metric (the feedback-loop case the distortion
-//! bounds exist for).
+//! bounds exist for) — plus the three [`ScanMode`] execution paths of
+//! the linear scan against each other (scalar per-vector `dyn` baseline
+//! vs blocked surrogate-key kernels vs the multi-threaded scan).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fbp_vecdb::{
-    CollectionBuilder, Euclidean, KnnEngine, LinearScan, MTree, VpTree, WeightedEuclidean,
+    CollectionBuilder, Euclidean, KnnEngine, LinearScan, MTree, ScanMode, VpTree, WeightedEuclidean,
 };
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::hint::black_box;
@@ -15,14 +17,14 @@ const DIM: usize = 32;
 const N: usize = 10_000;
 const K: usize = 50;
 
-fn collection(seed: u64) -> fbp_vecdb::Collection {
+fn collection_dim(n: usize, dim: usize, seed: u64) -> fbp_vecdb::Collection {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = CollectionBuilder::new();
-    for _ in 0..N {
+    for _ in 0..n {
         // Clustered data (mixture of 20 centers) — realistic for image
         // histograms, and gives the metric trees something to prune.
         let center = rng.gen_range(0..20);
-        let v: Vec<f64> = (0..DIM)
+        let v: Vec<f64> = (0..dim)
             .map(|d| {
                 let base = (((center * 31 + d * 7) % 97) as f64) / 97.0;
                 (base + rng.gen_range(-0.08..0.08)).clamp(0.0, 1.0)
@@ -31,6 +33,47 @@ fn collection(seed: u64) -> fbp_vecdb::Collection {
         b.push_unlabelled(&v).unwrap();
     }
     b.build()
+}
+
+fn collection(seed: u64) -> fbp_vecdb::Collection {
+    collection_dim(N, DIM, seed)
+}
+
+/// The acceptance benchmark for the batched-kernel rebuild: linear-scan
+/// k-NN at k=50 over 10k × 64-d under weighted Euclidean, comparing the
+/// scalar per-vector `dyn` path (the in-tree baseline) against the
+/// blocked surrogate-key path and the parallel scan.
+fn bench_scan_paths(c: &mut Criterion) {
+    const SCAN_DIM: usize = 64;
+    let coll = collection_dim(N, SCAN_DIM, 71);
+    let mut rng = StdRng::seed_from_u64(73);
+    let queries: Vec<Vec<f64>> = (0..32)
+        .map(|_| (0..SCAN_DIM).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let weights: Vec<f64> = (0..SCAN_DIM).map(|_| rng.gen_range(0.3..3.0)).collect();
+    let weighted = WeightedEuclidean::new(weights).unwrap();
+
+    let mut group = c.benchmark_group("linear_scan_paths_10k_64d_k50");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(20);
+    let paths = [
+        ("scalar_dyn_baseline", ScanMode::Scalar),
+        ("batched", ScanMode::Batched),
+        ("parallel", ScanMode::Parallel),
+    ];
+    for (name, mode) in paths {
+        let scan = LinearScan::with_mode(&coll, mode);
+        group.bench_with_input(BenchmarkId::new("weighted", name), &scan, |b, scan| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(scan.knn(black_box(q), K, &weighted).len())
+            });
+        });
+    }
+    group.finish();
 }
 
 fn bench_knn(c: &mut Criterion) {
@@ -49,21 +92,16 @@ fn bench_knn(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     group.warm_up_time(Duration::from_millis(300));
     group.sample_size(20);
-    let engines: [(&str, &dyn KnnEngine); 3] =
-        [("scan", &scan), ("vptree", &vp), ("mtree", &mt)];
+    let engines: [(&str, &dyn KnnEngine); 3] = [("scan", &scan), ("vptree", &vp), ("mtree", &mt)];
     for (name, engine) in engines {
-        group.bench_with_input(
-            BenchmarkId::new("euclidean", name),
-            &engine,
-            |b, engine| {
-                let mut i = 0;
-                b.iter(|| {
-                    let q = &queries[i % queries.len()];
-                    i += 1;
-                    black_box(engine.knn(black_box(q), K, &Euclidean).len())
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("euclidean", name), &engine, |b, engine| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(engine.knn(black_box(q), K, &Euclidean).len())
+            });
+        });
         group.bench_with_input(
             BenchmarkId::new("reweighted", name),
             &engine,
@@ -80,5 +118,5 @@ fn bench_knn(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_knn);
+criterion_group!(benches, bench_scan_paths, bench_knn);
 criterion_main!(benches);

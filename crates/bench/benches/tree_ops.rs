@@ -12,7 +12,9 @@ use std::time::Duration;
 
 /// Random interior point of the standard simplex in `dim` dims.
 fn simplex_point(dim: usize, rng: &mut StdRng) -> Vec<f64> {
-    let raw: Vec<f64> = (0..dim + 1).map(|_| -rng.gen::<f64>().max(1e-12).ln()).collect();
+    let raw: Vec<f64> = (0..dim + 1)
+        .map(|_| -rng.gen::<f64>().max(1e-12).ln())
+        .collect();
     let s: f64 = raw.iter().sum();
     raw[..dim].iter().map(|x| x / s).collect()
 }

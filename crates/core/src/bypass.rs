@@ -83,11 +83,7 @@ impl FeedbackBypass {
             return Err(BypassError::BadQuery("zero-dimensional features".into()));
         }
         let layout = OqpLayout::new(feature_dim, feature_dim);
-        let tree = SimplexTree::new(
-            RootSimplex::unit_cube(feature_dim),
-            layout,
-            config.tree,
-        )?;
+        let tree = SimplexTree::new(RootSimplex::unit_cube(feature_dim), layout, config.tree)?;
         Ok(FeedbackBypass {
             tree,
             mapping: DomainMapping::UnitCube,
@@ -123,9 +119,7 @@ impl FeedbackBypass {
                     )));
                 }
                 if q.iter().any(|&x| x < -self.norm_tol) {
-                    return Err(BypassError::BadQuery(
-                        "histogram has negative bins".into(),
-                    ));
+                    return Err(BypassError::BadQuery("histogram has negative bins".into()));
                 }
                 // Drop the last bin; clamp tiny negatives from upstream
                 // floating-point noise.
@@ -135,10 +129,10 @@ impl FeedbackBypass {
                     .collect())
             }
             DomainMapping::UnitCube => {
-                if q.iter().any(|&x| !(-self.norm_tol..=1.0 + self.norm_tol).contains(&x)) {
-                    return Err(BypassError::BadQuery(
-                        "feature outside [0,1]".into(),
-                    ));
+                if q.iter()
+                    .any(|&x| !(-self.norm_tol..=1.0 + self.norm_tol).contains(&x))
+                {
+                    return Err(BypassError::BadQuery("feature outside [0,1]".into()));
                 }
                 Ok(q.iter().map(|&x| x.clamp(0.0, 1.0)).collect())
             }
@@ -187,12 +181,7 @@ impl FeedbackBypass {
     /// `qopt` is the loop's final query point in feature space; `weights`
     /// its final distance weights. Returns what the tree did (split /
     /// update / ε-skip).
-    pub fn insert(
-        &mut self,
-        q: &[f64],
-        qopt: &[f64],
-        weights: &[f64],
-    ) -> Result<InsertOutcome> {
+    pub fn insert(&mut self, q: &[f64], qopt: &[f64], weights: &[f64]) -> Result<InsertOutcome> {
         if qopt.len() != self.feature_dim {
             return Err(BypassError::DimMismatch {
                 expected: self.feature_dim,

@@ -51,9 +51,8 @@ impl PcaReducer {
             )));
         }
         let cov = fbp_linalg::covariance_matrix(d, samples);
-        let eig = symmetric_eigen(&cov).map_err(|e| {
-            BypassError::BadQuery(format!("covariance decomposition failed: {e}"))
-        })?;
+        let eig = symmetric_eigen(&cov)
+            .map_err(|e| BypassError::BadQuery(format!("covariance decomposition failed: {e}")))?;
         let mut mean = vec![0.0; d];
         for s in samples {
             for (m, &x) in mean.iter_mut().zip(s.iter()) {
@@ -65,9 +64,7 @@ impl PcaReducer {
         }
         let mut components = Matrix::zeros(r, d);
         for k in 0..r {
-            components
-                .row_mut(k)
-                .copy_from_slice(eig.vectors.row(k));
+            components.row_mut(k).copy_from_slice(eig.vectors.row(k));
         }
         // Projection ranges over the sample, padded.
         let mut lo = vec![f64::INFINITY; r];
@@ -221,12 +218,7 @@ impl ReducedBypass {
     }
 
     /// Store converged parameters for a full-dimensional query point.
-    pub fn insert(
-        &mut self,
-        q: &[f64],
-        qopt: &[f64],
-        weights: &[f64],
-    ) -> Result<InsertOutcome> {
+    pub fn insert(&mut self, q: &[f64], qopt: &[f64], weights: &[f64]) -> Result<InsertOutcome> {
         if qopt.len() != q.len() {
             return Err(BypassError::DimMismatch {
                 expected: q.len(),
@@ -269,9 +261,8 @@ impl ReducedBypass {
 
     /// Restore a module serialized with [`Self::to_bytes`].
     pub fn from_bytes(data: &[u8]) -> Result<Self> {
-        let corrupt = |msg: &str| {
-            BypassError::Tree(fbp_simplex_tree::TreeError::Corrupt(msg.to_string()))
-        };
+        let corrupt =
+            |msg: &str| BypassError::Tree(fbp_simplex_tree::TreeError::Corrupt(msg.to_string()));
         if data.len() < 8 {
             return Err(corrupt("reduced image shorter than header"));
         }
@@ -422,10 +413,7 @@ mod tests {
         let mut rb = ReducedBypass::fit(&refs, 2, TreeConfig::default()).unwrap();
         let mut rng = StdRng::seed_from_u64(9);
         for (i, row) in rows.iter().take(60).enumerate() {
-            let qopt: Vec<f64> = row
-                .iter()
-                .map(|x| x + rng.gen_range(-0.01..0.01))
-                .collect();
+            let qopt: Vec<f64> = row.iter().map(|x| x + rng.gen_range(-0.01..0.01)).collect();
             let w: Vec<f64> = (0..6).map(|k| 1.0 + ((i + k) % 5) as f64).collect();
             rb.insert(row, &qopt, &w).unwrap();
         }
@@ -442,14 +430,14 @@ mod tests {
         let mut rb = ReducedBypass::fit(&refs, 2, TreeConfig::default()).unwrap();
         let q = &rows[0];
         let qopt: Vec<f64> = q.iter().map(|x| x + 0.03).collect();
-        rb.insert(q, &qopt, &[2.0, 1.0, 1.0, 1.0, 0.5, 1.0]).unwrap();
+        rb.insert(q, &qopt, &[2.0, 1.0, 1.0, 1.0, 0.5, 1.0])
+            .unwrap();
 
         let image = rb.to_bytes();
         let back = ReducedBypass::from_bytes(&image).unwrap();
         assert_eq!(back.tree().stored_points(), rb.tree().stored_points());
         assert!(
-            (back.reducer().explained_variance - rb.reducer().explained_variance).abs()
-                < 1e-15
+            (back.reducer().explained_variance - rb.reducer().explained_variance).abs() < 1e-15
         );
         for probe in rows.iter().take(10) {
             let a = rb.predict(probe).unwrap();

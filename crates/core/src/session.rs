@@ -63,11 +63,7 @@ impl<'a, E: KnnEngine + ?Sized> BypassSystem<'a, E> {
 
     /// Serve one user query end-to-end per Figure 5: predict, run the
     /// feedback loop from the prediction, store the converged parameters.
-    pub fn serve_query(
-        &mut self,
-        q: &[f64],
-        oracle: &dyn RelevanceOracle,
-    ) -> Result<QueryOutcome> {
+    pub fn serve_query(&mut self, q: &[f64], oracle: &dyn RelevanceOracle) -> Result<QueryOutcome> {
         let predicted = self.bypass.predict(q)?;
         let fb = FeedbackLoop::new(self.engine, self.coll, self.feedback.clone());
         let loop_result = fb.run_from(&predicted.point, &predicted.weights, oracle)?;
@@ -106,23 +102,20 @@ mod tests {
         let reds = b.category("reds");
         let blues = b.category("blues");
         let mut queries = Vec::new();
-        let push = |b: &mut CollectionBuilder,
-                        rng: &mut StdRng,
-                        heavy: usize,
-                        label: u32|
-         -> usize {
-            // Histogram concentrated on `heavy` with noise elsewhere.
-            let mut v = [0.0f64; 4];
-            for x in v.iter_mut() {
-                *x = rng.gen_range(0.0..0.2);
-            }
-            v[heavy] += 1.0;
-            let s: f64 = v.iter().sum();
-            for x in v.iter_mut() {
-                *x /= s;
-            }
-            b.push(&v, label).unwrap()
-        };
+        let push =
+            |b: &mut CollectionBuilder, rng: &mut StdRng, heavy: usize, label: u32| -> usize {
+                // Histogram concentrated on `heavy` with noise elsewhere.
+                let mut v = [0.0f64; 4];
+                for x in v.iter_mut() {
+                    *x = rng.gen_range(0.0..0.2);
+                }
+                v[heavy] += 1.0;
+                let s: f64 = v.iter().sum();
+                for x in v.iter_mut() {
+                    *x /= s;
+                }
+                b.push(&v, label).unwrap()
+            };
         for i in 0..25 {
             let idx = push(&mut b, &mut rng, 0, reds);
             if i < 5 {

@@ -11,10 +11,10 @@ use crate::metrics;
 use crate::report::{Figure, Series};
 use crate::scenario::evaluate_params;
 use crate::stream::{query_order, run_stream, StreamOptions};
-use feedbackbypass::FeedbackBypass;
 use fbp_feedback::CategoryOracle;
 use fbp_imagegen::SyntheticDataset;
 use fbp_vecdb::LinearScan;
+use feedbackbypass::FeedbackBypass;
 
 /// Results of the cross-k experiment.
 #[derive(Debug, Clone)]

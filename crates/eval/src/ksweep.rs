@@ -33,10 +33,7 @@ pub fn run_ksweep(ds: &SyntheticDataset, ks: &[usize], base: &StreamOptions) -> 
     outcomes.resize_with(ks.len(), || None);
     crossbeam::thread::scope(|scope| {
         for (slot, &k) in outcomes.iter_mut().zip(ks.iter()) {
-            let opts = StreamOptions {
-                k,
-                ..base.clone()
-            };
+            let opts = StreamOptions { k, ..base.clone() };
             scope.spawn(move |_| {
                 // Each thread builds its own engine view; LinearScan is a
                 // cheap borrow of the shared collection.
@@ -77,7 +74,12 @@ pub fn run_ksweep(ds: &SyntheticDataset, ks: &[usize], base: &StreamOptions) -> 
 impl KSweepResult {
     /// Figure 11a: precision vs k.
     pub fn precision_figure(&self) -> Figure {
-        self.make_figure("Figure 11a — precision vs k", "k", "precision", &self.precision)
+        self.make_figure(
+            "Figure 11a — precision vs k",
+            "k",
+            "precision",
+            &self.precision,
+        )
     }
 
     /// Figure 11b: recall vs k.
@@ -120,7 +122,10 @@ impl KSweepResult {
         let series = |pick: &dyn Fn(&(f64, f64, f64)) -> f64, name: &str| {
             Series::new(
                 name,
-                xs.iter().cloned().zip(data.iter().map(pick)).collect::<Vec<_>>(),
+                xs.iter()
+                    .cloned()
+                    .zip(data.iter().map(pick))
+                    .collect::<Vec<_>>(),
             )
         };
         Figure::new(

@@ -37,11 +37,7 @@ pub fn breakdown(coll: &Collection, records: &[QueryRecord]) -> CategoryBreakdow
             let v: Vec<f64> = rs.iter().map(|r| f(r)).collect();
             metrics::mean(&v)
         };
-        names.push(
-            coll.category_name(c)
-                .unwrap_or("<unknown>")
-                .to_string(),
-        );
+        names.push(coll.category_name(c).unwrap_or("<unknown>").to_string());
         precision.push((
             col(&|r| r.default.precision),
             col(&|r| r.bypass.precision),
@@ -65,7 +61,11 @@ pub fn breakdown(coll: &Collection, records: &[QueryRecord]) -> CategoryBreakdow
 impl CategoryBreakdown {
     /// Figure 14a: per-category precision bars (x = category index).
     pub fn precision_figure(&self) -> Figure {
-        self.figure("Figure 14a — per-category precision", "precision", &self.precision)
+        self.figure(
+            "Figure 14a — per-category precision",
+            "precision",
+            &self.precision,
+        )
     }
 
     /// Figure 14b: per-category recall bars.
@@ -78,7 +78,10 @@ impl CategoryBreakdown {
         let series = |pick: &dyn Fn(&(f64, f64, f64)) -> f64, name: &str| {
             Series::new(
                 name,
-                xs.iter().cloned().zip(data.iter().map(pick)).collect::<Vec<_>>(),
+                xs.iter()
+                    .cloned()
+                    .zip(data.iter().map(pick))
+                    .collect::<Vec<_>>(),
             )
         };
         Figure::new(

@@ -155,12 +155,7 @@ mod tests {
 
     #[test]
     fn json_roundtrips() {
-        let fig = Figure::new(
-            "J",
-            "x",
-            "y",
-            vec![Series::new("s", vec![(0.0, 0.5)])],
-        );
+        let fig = Figure::new("J", "x", "y", vec![Series::new("s", vec![(0.0, 0.5)])]);
         let j = fig.to_json();
         let v: serde_json::Value = serde_json::from_str(&j).unwrap();
         assert_eq!(v["title"], "J");

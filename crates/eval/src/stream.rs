@@ -14,10 +14,10 @@
 //! 5. insert the converged parameters into the module.
 
 use crate::scenario::{evaluate_default, evaluate_params, PrRe};
-use feedbackbypass::{BypassConfig, FeedbackBypass};
 use fbp_feedback::{CategoryOracle, FeedbackConfig, FeedbackLoop};
 use fbp_imagegen::SyntheticDataset;
 use fbp_vecdb::{CategoryId, KnnEngine};
+use feedbackbypass::{BypassConfig, FeedbackBypass};
 use rand::seq::SliceRandom;
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -119,8 +119,8 @@ pub fn run_stream(
 ) -> StreamResult {
     let coll = &ds.collection;
     let dim = coll.dim();
-    let mut bypass = FeedbackBypass::for_histograms(dim, opts.bypass.clone())
-        .expect("histogram features");
+    let mut bypass =
+        FeedbackBypass::for_histograms(dim, opts.bypass.clone()).expect("histogram features");
     let mut feedback = opts.feedback.clone();
     feedback.k = opts.k;
 

@@ -65,10 +65,7 @@ pub fn weighted_covariance(good: &[ScoredPoint<'_>]) -> Result<Matrix> {
 /// ISF98 optimal quadratic distance: `W ∝ Σ⁻¹` of the good examples'
 /// covariance, ridge-regularized (`ridge·I`) because the number of good
 /// matches is routinely smaller than the dimensionality.
-pub fn mahalanobis_reweight(
-    good: &[ScoredPoint<'_>],
-    ridge: f64,
-) -> Result<QuadraticDistance> {
+pub fn mahalanobis_reweight(good: &[ScoredPoint<'_>], ridge: f64) -> Result<QuadraticDistance> {
     let cov = weighted_covariance(good)?;
     QuadraticDistance::mahalanobis(&cov, ridge)
         .map_err(|e| FeedbackError::BadConfig(format!("covariance inversion failed: {e}")))

@@ -97,8 +97,7 @@ mod tests {
         ];
         let pts: Vec<ScoredPoint> = rows.iter().map(|r| ScoredPoint::new(r, 1.0)).collect();
         let spans = vec![FeatureSpan::new(0, 2), FeatureSpan::new(2, 4)];
-        let h = hierarchical_reweight(&query, &pts, &spans, &ReweightOptions::default())
-            .unwrap();
+        let h = hierarchical_reweight(&query, &pts, &spans, &ReweightOptions::default()).unwrap();
         let fw = h.feature_weights();
         assert!(fw[0] > fw[1], "feature weights {fw:?}");
     }
@@ -109,8 +108,7 @@ mod tests {
         let rows = [vec![0.5, 0.5, 0.4, 0.6], vec![0.5, 0.5, 0.6, 0.4]];
         let pts: Vec<ScoredPoint> = rows.iter().map(|r| ScoredPoint::new(r, 1.0)).collect();
         let spans = vec![FeatureSpan::new(0, 2), FeatureSpan::new(2, 4)];
-        let h = hierarchical_reweight(&query, &pts, &spans, &ReweightOptions::default())
-            .unwrap();
+        let h = hierarchical_reweight(&query, &pts, &spans, &ReweightOptions::default()).unwrap();
         // A point matching on the trusted feature ranks closer than one
         // matching on the untrusted feature by the same Euclidean margin.
         let match_trusted = [0.5, 0.5, 0.9, 0.9];

@@ -77,6 +77,11 @@ pub struct LoopResult {
     pub converged: bool,
     /// Final ranked results.
     pub final_results: ResultList,
+    /// Total distance evaluations across every search round — the raw
+    /// work the engine's scan path performed for this session (searches
+    /// dominate loop cost, so this is the quantity the batched kernels
+    /// shrink per unit of wall-clock).
+    pub distance_evals: u64,
 }
 
 /// Reusable loop driver bound to an engine and a collection.
@@ -115,7 +120,8 @@ impl<'a, E: KnnEngine + ?Sized> FeedbackLoop<'a, E> {
     ) -> Result<LoopResult> {
         let mut point = start_point.to_vec();
         let mut weights = start_weights.to_vec();
-        let mut results = self.search(&point, &weights);
+        let mut distance_evals = 0u64;
+        let mut results = self.search(&point, &weights, &mut distance_evals);
         let mut trace = vec![self.precision(&results, oracle)];
         let mut cycles = 0usize;
         let mut converged = false;
@@ -157,7 +163,7 @@ impl<'a, E: KnnEngine + ?Sized> FeedbackLoop<'a, E> {
             }
             point = new_point;
             weights = new_weights;
-            let new_results = self.search(&point, &weights);
+            let new_results = self.search(&point, &weights, &mut distance_evals);
             cycles += 1;
             trace.push(self.precision(&new_results, oracle));
             let stable = new_results.same_ranking(&results);
@@ -174,13 +180,18 @@ impl<'a, E: KnnEngine + ?Sized> FeedbackLoop<'a, E> {
             precision_trace: trace,
             converged,
             final_results: results,
+            distance_evals,
         })
     }
 
-    fn search(&self, point: &[f64], weights: &[f64]) -> ResultList {
+    /// One search round through the engine's batched k-NN path,
+    /// accumulating its work counter into `distance_evals`.
+    fn search(&self, point: &[f64], weights: &[f64], distance_evals: &mut u64) -> ResultList {
         let dist = WeightedEuclidean::new(weights.to_vec())
             .unwrap_or_else(|_| WeightedEuclidean::uniform(weights.len()));
-        ResultList::new(self.engine.knn(point, self.cfg.k, &dist))
+        let (neighbors, stats) = self.engine.knn_with_stats(point, self.cfg.k, &dist);
+        *distance_evals += stats.distance_evals;
+        ResultList::new(neighbors)
     }
 
     fn precision(&self, results: &ResultList, oracle: &dyn RelevanceOracle) -> f64 {
@@ -263,11 +274,7 @@ mod tests {
             res.precision_trace
         );
         // Learned weights favor the concept dimension 0.
-        assert!(
-            res.weights[0] > res.weights[1],
-            "weights {:?}",
-            res.weights
-        );
+        assert!(res.weights[0] > res.weights[1], "weights {:?}", res.weights);
         // Query point moved toward the cluster.
         assert!((res.point[0] - 0.8).abs() < 0.1, "point {:?}", res.point);
     }
@@ -295,8 +302,7 @@ mod tests {
         );
         // And its first-round precision matches the default run's final.
         assert!(
-            from_learned.precision_trace[0]
-                >= *from_default.precision_trace.last().unwrap() - 1e-9
+            from_learned.precision_trace[0] >= *from_default.precision_trace.last().unwrap() - 1e-9
         );
     }
 
@@ -310,6 +316,8 @@ mod tests {
         assert_eq!(res.cycles, 0);
         assert!(res.converged);
         assert_eq!(res.precision_trace, vec![0.0]);
+        // Exactly one search round: the scan touched every vector once.
+        assert_eq!(res.distance_evals, coll.len() as u64);
         // Parameters unchanged.
         assert_eq!(res.point, vec![0.5, 0.5]);
         assert_eq!(res.weights, vec![1.0, 1.0]);

@@ -123,10 +123,7 @@ mod tests {
 
     #[test]
     fn optimal_point_rejects_empty_or_zero_scores() {
-        assert_eq!(
-            optimal_point(&[]),
-            Err(FeedbackError::NoPositiveExamples)
-        );
+        assert_eq!(optimal_point(&[]), Err(FeedbackError::NoPositiveExamples));
         let a = [1.0];
         assert_eq!(
             optimal_point(&[ScoredPoint::new(&a, 0.0)]),

@@ -109,8 +109,7 @@ pub fn normalize_geomean(weights: &mut [f64]) {
     if weights.is_empty() {
         return;
     }
-    let log_mean =
-        weights.iter().map(|w| w.max(1e-300).ln()).sum::<f64>() / weights.len() as f64;
+    let log_mean = weights.iter().map(|w| w.max(1e-300).ln()).sum::<f64>() / weights.len() as f64;
     let scale = (-log_mean).exp();
     for w in weights.iter_mut() {
         *w *= scale;
@@ -166,10 +165,7 @@ mod tests {
             vec![0.50, 0.2],
         ];
         let w = reweight(&pts(&rows), &ReweightOptions::default()).unwrap();
-        assert!(
-            w[0] > w[1],
-            "tight dim should outweigh loose dim: {w:?}"
-        );
+        assert!(w[0] > w[1], "tight dim should outweigh loose dim: {w:?}");
         // Geometric mean 1.
         let gm: f64 = w.iter().map(|x| x.ln()).sum::<f64>() / w.len() as f64;
         assert!(gm.abs() < 1e-9);
@@ -177,11 +173,7 @@ mod tests {
 
     #[test]
     fn inverse_variance_sharper_than_inverse_sigma() {
-        let rows = vec![
-            vec![0.5, 0.1],
-            vec![0.5, 0.9],
-            vec![0.5, 0.4],
-        ];
+        let rows = vec![vec![0.5, 0.1], vec![0.5, 0.9], vec![0.5, 0.4]];
         let sig = reweight(
             &pts(&rows),
             &ReweightOptions {
@@ -231,11 +223,7 @@ mod tests {
 
     #[test]
     fn ratio_cap_bounds_spread() {
-        let rows = vec![
-            vec![0.500, 0.0],
-            vec![0.5001, 1.0],
-            vec![0.4999, 0.5],
-        ];
+        let rows = vec![vec![0.500, 0.0], vec![0.5001, 1.0], vec![0.4999, 0.5]];
         let opts = ReweightOptions {
             max_ratio: 16.0,
             ..Default::default()

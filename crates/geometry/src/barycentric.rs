@@ -41,7 +41,9 @@ pub fn direct(vertices: &[&[f64]], q: &[f64]) -> Result<Vec<f64>> {
     }
     let rhs: Vec<f64> = (0..d).map(|r| q[r] - last[r]).collect();
     let lu = Lu::factor(&t).map_err(|_| GeometryError::DegenerateSimplex)?;
-    let head = lu.solve(&rhs).map_err(|_| GeometryError::DegenerateSimplex)?;
+    let head = lu
+        .solve(&rhs)
+        .map_err(|_| GeometryError::DegenerateSimplex)?;
     let mut lambda = Vec::with_capacity(d + 1);
     let mut sum = 0.0;
     for &l in &head {

@@ -50,7 +50,10 @@ impl RootSimplex {
     /// Root from explicit vertices (validated lazily by coordinate solves).
     pub fn custom(vertices: Vec<Vec<f64>>) -> Result<Self> {
         let Some(first) = vertices.first() else {
-            return Err(GeometryError::DimensionMismatch { expected: 1, got: 0 });
+            return Err(GeometryError::DimensionMismatch {
+                expected: 1,
+                got: 0,
+            });
         };
         let d = first.len();
         if vertices.len() != d + 1 {
@@ -208,12 +211,7 @@ mod tests {
         // 2 vertices for a 2-D point set: not a simplex.
         assert!(RootSimplex::custom(vec![vec![0.0, 0.0], vec![1.0, 1.0]]).is_err());
         // Ragged vertices.
-        assert!(RootSimplex::custom(vec![
-            vec![0.0, 0.0],
-            vec![1.0],
-            vec![0.0, 1.0]
-        ])
-        .is_err());
+        assert!(RootSimplex::custom(vec![vec![0.0, 0.0], vec![1.0], vec![0.0, 1.0]]).is_err());
     }
 
     #[test]

@@ -321,11 +321,7 @@ pub fn paper_categories() -> Vec<CategorySpec> {
             subthemes: vec![
                 SubTheme {
                     name: "steel-sky",
-                    scene: scene(
-                        sky(),
-                        vec![gray((0.35, 0.6)), gray((0.35, 0.6))],
-                        0.22,
-                    ),
+                    scene: scene(sky(), vec![gray((0.35, 0.6)), gray((0.35, 0.6))], 0.22),
                 },
                 SubTheme {
                     name: "brick",

@@ -262,18 +262,19 @@ mod tests {
         let c = &ds.collection;
         // Mammal is the biggest category, Fish the smallest — the ordering
         // must survive scaling (these drive the Figure 14 shape).
-        let size =
-            |name: &str| c.category_size(ds.category_ids[paper_index(name)]);
+        let size = |name: &str| c.category_size(ds.category_ids[paper_index(name)]);
         assert!(size("Mammal") > size("Bird"));
         assert!(size("TreeLeaf") > size("Monument"));
         assert!(size("Fish") <= size("Bridge"));
     }
 
     fn paper_index(name: &str) -> usize {
-        ["Bird", "Fish", "Mammal", "Blossom", "TreeLeaf", "Bridge", "Monument"]
-            .iter()
-            .position(|&n| n == name)
-            .unwrap()
+        [
+            "Bird", "Fish", "Mammal", "Blossom", "TreeLeaf", "Bridge", "Monument",
+        ]
+        .iter()
+        .position(|&n| n == name)
+        .unwrap()
     }
 
     #[test]
@@ -322,9 +323,8 @@ mod tests {
             let cat = c.label(qi);
             let q = c.vector(qi);
             // Brute-force top-k.
-            let mut dists: Vec<(f64, usize)> = (0..c.len())
-                .map(|i| (dist(q, c.vector(i)), i))
-                .collect();
+            let mut dists: Vec<(f64, usize)> =
+                (0..c.len()).map(|i| (dist(q, c.vector(i)), i)).collect();
             dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
             let hits = dists
                 .iter()

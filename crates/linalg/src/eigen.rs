@@ -129,12 +129,7 @@ impl SymmetricEigen {
         if total <= 0.0 {
             return 0.0;
         }
-        self.values
-            .iter()
-            .take(r)
-            .map(|&l| l.max(0.0))
-            .sum::<f64>()
-            / total
+        self.values.iter().take(r).map(|&l| l.max(0.0)).sum::<f64>() / total
     }
 }
 
@@ -168,11 +163,7 @@ mod tests {
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, -0.2],
-            &[0.5, -0.2, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, -0.2], &[0.5, -0.2, 2.0]]);
         let e = symmetric_eigen(&a).unwrap();
         let vt = e.vectors.transpose();
         let gram = e.vectors.matmul(&vt).unwrap();

@@ -19,7 +19,6 @@
 //! their own storage (the Simplex Tree keeps vertices in flat arenas).
 
 #![warn(missing_docs)]
-
 // Numeric kernels deliberately use explicit index loops: they mirror the
 // textbook formulas (row/column index chasing) more faithfully than
 // iterator chains, which matters when verifying against the math.

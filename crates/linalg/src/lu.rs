@@ -194,10 +194,7 @@ mod tests {
     #[test]
     fn singular_detected() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
-        assert!(matches!(
-            Lu::factor(&a),
-            Err(LinalgError::Singular { .. })
-        ));
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::Singular { .. })));
         assert_eq!(det(&a), 0.0);
         let z = Matrix::zeros(3, 3);
         assert!(Lu::factor(&z).is_err());

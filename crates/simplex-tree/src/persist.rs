@@ -185,9 +185,7 @@ impl SimplexTree {
         }
         let version = r.u32()?;
         if version != VERSION {
-            return Err(TreeError::Corrupt(format!(
-                "unsupported version {version}"
-            )));
+            return Err(TreeError::Corrupt(format!("unsupported version {version}")));
         }
         let root_shape = match r.u8()? {
             0 => {
@@ -215,9 +213,7 @@ impl SimplexTree {
             weight_scale: match r.u8()? {
                 0 => WeightScale::Raw,
                 1 => WeightScale::Log,
-                t => {
-                    return Err(TreeError::Corrupt(format!("unknown weight scale {t}")))
-                }
+                t => return Err(TreeError::Corrupt(format!("unknown weight scale {t}"))),
             },
             descent: match r.u8()? {
                 0 => DescentRule::MostInterior,
@@ -351,14 +347,9 @@ mod tests {
 
     #[test]
     fn custom_root_roundtrips() {
-        let root = RootSimplex::custom(vec![
-            vec![-1.0, -1.0],
-            vec![4.0, -1.0],
-            vec![-1.0, 4.0],
-        ])
-        .unwrap();
-        let mut tree =
-            SimplexTree::new(root, OqpLayout::new(2, 2), TreeConfig::default()).unwrap();
+        let root =
+            RootSimplex::custom(vec![vec![-1.0, -1.0], vec![4.0, -1.0], vec![-1.0, 4.0]]).unwrap();
+        let mut tree = SimplexTree::new(root, OqpLayout::new(2, 2), TreeConfig::default()).unwrap();
         tree.insert(
             &[1.0, 1.0],
             &Oqp {

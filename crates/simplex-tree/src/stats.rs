@@ -153,10 +153,12 @@ mod tests {
     #[test]
     fn depth_grows_with_nested_inserts() {
         // Points marching into a corner repeatedly split the same region.
-        let pts: Vec<[f64; 2]> = (1..=6).map(|i| {
-            let t = 0.5f64.powi(i);
-            [t, t]
-        }).collect();
+        let pts: Vec<[f64; 2]> = (1..=6)
+            .map(|i| {
+                let t = 0.5f64.powi(i);
+                [t, t]
+            })
+            .collect();
         let tree = tree_with(&pts);
         let s = tree.shape();
         assert!(s.depth >= 4, "depth {}", s.depth);

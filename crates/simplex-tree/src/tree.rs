@@ -504,9 +504,7 @@ impl SimplexTree {
                         return Err(format!("node {id} dangling child {child}"));
                     };
                     // The child must equal the parent with vertex h replaced.
-                    for (i, (&pv, &cv)) in
-                        node.verts.iter().zip(cnode.verts.iter()).enumerate()
-                    {
+                    for (i, (&pv, &cv)) in node.verts.iter().zip(cnode.verts.iter()).enumerate() {
                         if i == h as usize {
                             if cv != sv {
                                 return Err(format!(
@@ -514,9 +512,7 @@ impl SimplexTree {
                                 ));
                             }
                         } else if pv != cv {
-                            return Err(format!(
-                                "node {id} child {child} vertex {i} mismatch"
-                            ));
+                            return Err(format!("node {id} child {child} vertex {i} mismatch"));
                         }
                     }
                     stack.push(child);
@@ -568,8 +564,7 @@ impl SimplexTree {
             updates,
             skips,
         };
-        tree.verify_invariants()
-            .map_err(TreeError::Corrupt)?;
+        tree.verify_invariants().map_err(TreeError::Corrupt)?;
         Ok(tree)
     }
 }

@@ -20,6 +20,10 @@ pub struct Collection {
     data: Vec<f64>,
     labels: Vec<CategoryId>,
     category_names: Vec<String>,
+    /// Member indices per registered category, precomputed at build time
+    /// so `category_size`/`category_members` are O(1) (the evaluation
+    /// harness calls them per query).
+    members_by_category: Vec<Vec<usize>>,
 }
 
 impl Collection {
@@ -44,6 +48,14 @@ impl Collection {
         &self.data[i * self.dim..(i + 1) * self.dim]
     }
 
+    /// Borrow the contiguous row-major block of vectors
+    /// `start..end` (`(end − start) × dim` values) — the unit the batched
+    /// distance kernels consume ([`crate::Distance::eval_key_batch`]).
+    #[inline]
+    pub fn block(&self, start: usize, end: usize) -> &[f64] {
+        &self.data[start * self.dim..end * self.dim]
+    }
+
     /// Category of vector `i` ([`NO_CATEGORY`] when unlabelled).
     #[inline]
     pub fn label(&self, i: usize) -> CategoryId {
@@ -66,19 +78,19 @@ impl Collection {
     }
 
     /// Number of members of a category (the evaluation's recall
-    /// denominator).
+    /// denominator). O(1): counts are precomputed at build time.
+    /// Unregistered ids (including [`NO_CATEGORY`]) report 0.
     pub fn category_size(&self, c: CategoryId) -> usize {
-        self.labels.iter().filter(|&&l| l == c).count()
+        self.members_by_category.get(c as usize).map_or(0, Vec::len)
     }
 
-    /// Indices of all members of a category.
-    pub fn category_members(&self, c: CategoryId) -> Vec<usize> {
-        self.labels
-            .iter()
-            .enumerate()
-            .filter(|(_, &l)| l == c)
-            .map(|(i, _)| i)
-            .collect()
+    /// Indices of all members of a category, ascending. O(1): the member
+    /// lists are precomputed at build time. Unregistered ids (including
+    /// [`NO_CATEGORY`]) report an empty slice.
+    pub fn category_members(&self, c: CategoryId) -> &[usize] {
+        self.members_by_category
+            .get(c as usize)
+            .map_or(&[], Vec::as_slice)
     }
 
     /// Iterate `(index, vector, label)` triples.
@@ -141,11 +153,18 @@ impl CollectionBuilder {
 
     /// Finish building.
     pub fn build(self) -> Collection {
+        let mut members_by_category = vec![Vec::new(); self.category_names.len()];
+        for (i, &label) in self.labels.iter().enumerate() {
+            if label != NO_CATEGORY {
+                members_by_category[label as usize].push(i);
+            }
+        }
         Collection {
             dim: self.dim.unwrap_or(0),
             data: self.data,
             labels: self.labels,
             category_names: self.category_names,
+            members_by_category,
         }
     }
 }

@@ -14,7 +14,7 @@
 //! component weights within a feature by the `1/σ²` rule, the feature
 //! weights by how well each feature's distance separates good matches.
 
-use super::Distance;
+use super::{kernels, Distance};
 use crate::{Result, VecdbError};
 
 /// A contiguous component span of one feature in the flat vector.
@@ -52,6 +52,9 @@ pub struct HierarchicalDistance {
     feature_weights: Vec<f64>,
     /// Component-level weights `wᵢ` (full dim, positive).
     component_weights: Vec<f64>,
+    /// Flattened effective weights `uₑ·wᵢ`, precomputed so evaluation
+    /// collapses to a single weighted-Euclidean kernel pass.
+    effective_weights: Vec<f64>,
     dim: usize,
 }
 
@@ -98,10 +101,17 @@ impl HierarchicalDistance {
                 "all weights must be finite and positive".into(),
             ));
         }
+        let mut effective_weights = vec![0.0; dim];
+        for (e, span) in spans.iter().enumerate() {
+            for i in span.start..span.end {
+                effective_weights[i] = feature_weights[e] * component_weights[i];
+            }
+        }
         Ok(HierarchicalDistance {
             spans,
             feature_weights,
             component_weights,
+            effective_weights,
             dim,
         })
     }
@@ -151,7 +161,9 @@ impl HierarchicalDistance {
         acc
     }
 
-    /// Full squared distance `Σₑ uₑ·dₑ²`.
+    /// Full squared distance `Σₑ uₑ·dₑ²`. Reference per-span
+    /// accumulation — the engines' ranking paths use the flattened
+    /// effective weights through [`Distance::eval_key`] instead.
     #[inline]
     pub fn eval_sq(&self, a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), self.dim);
@@ -184,14 +196,54 @@ impl Distance for HierarchicalDistance {
         // components bound the form exactly like weighted Euclidean.
         let mut lo = f64::INFINITY;
         let mut hi = 0.0_f64;
-        for (e, span) in self.spans.iter().enumerate() {
-            for i in span.start..span.end {
-                let w = self.feature_weights[e] * self.component_weights[i];
-                lo = lo.min(w);
-                hi = hi.max(w);
-            }
+        for &w in &self.effective_weights {
+            lo = lo.min(w);
+            hi = hi.max(w);
         }
         Some((lo.sqrt(), hi.sqrt()))
+    }
+
+    /// Squared distance via the flattened `uₑ·wᵢ` weights and the
+    /// unrolled kernel (ulp-level differences from `eval_sq` possible:
+    /// different association order).
+    #[inline]
+    fn eval_key(&self, a: &[f64], b: &[f64]) -> f64 {
+        kernels::weighted_sq_row(&self.effective_weights, a, b)
+    }
+
+    #[inline]
+    fn finish_key(&self, key: f64) -> f64 {
+        key.sqrt()
+    }
+
+    #[inline]
+    fn key_of_dist(&self, dist: f64) -> f64 {
+        dist * dist
+    }
+
+    fn eval_batch(&self, query: &[f64], block: &[f64], dim: usize, out: &mut [f64]) {
+        kernels::weighted_sq_block(
+            &self.effective_weights,
+            query,
+            block,
+            dim,
+            f64::INFINITY,
+            out,
+        );
+        for v in out.iter_mut() {
+            *v = v.sqrt();
+        }
+    }
+
+    fn eval_key_batch(
+        &self,
+        query: &[f64],
+        block: &[f64],
+        dim: usize,
+        bound: f64,
+        out: &mut [f64],
+    ) {
+        kernels::weighted_sq_block(&self.effective_weights, query, block, dim, bound, out);
     }
 }
 
@@ -213,12 +265,7 @@ mod tests {
     #[test]
     fn equals_weighted_euclidean_with_effective_weights() {
         let spans = vec![FeatureSpan::new(0, 2), FeatureSpan::new(2, 4)];
-        let h = HierarchicalDistance::new(
-            spans,
-            vec![2.0, 0.5],
-            vec![1.0, 3.0, 4.0, 1.0],
-        )
-        .unwrap();
+        let h = HierarchicalDistance::new(spans, vec![2.0, 0.5], vec![1.0, 3.0, 4.0, 1.0]).unwrap();
         // Effective weights: [2·1, 2·3, 0.5·4, 0.5·1].
         let we = WeightedEuclidean::new(vec![2.0, 6.0, 2.0, 0.5]).unwrap();
         let a = [0.3, -1.0, 2.0, 0.0];
@@ -244,13 +291,9 @@ mod tests {
         // Wrong weight counts.
         let spans = vec![FeatureSpan::new(0, 2)];
         assert!(HierarchicalDistance::new(spans.clone(), vec![], vec![1.0; 2]).is_err());
-        assert!(
-            HierarchicalDistance::new(spans.clone(), vec![1.0], vec![1.0; 3]).is_err()
-        );
+        assert!(HierarchicalDistance::new(spans.clone(), vec![1.0], vec![1.0; 3]).is_err());
         // Non-positive weights.
-        assert!(
-            HierarchicalDistance::new(spans, vec![0.0], vec![1.0; 2]).is_err()
-        );
+        assert!(HierarchicalDistance::new(spans, vec![0.0], vec![1.0; 2]).is_err());
         // Bad uniform splits.
         assert!(HierarchicalDistance::uniform(5, 2).is_err());
         assert!(HierarchicalDistance::uniform(4, 0).is_err());
@@ -259,20 +302,15 @@ mod tests {
     #[test]
     fn metric_axioms_hold() {
         let spans = vec![FeatureSpan::new(0, 2), FeatureSpan::new(2, 4)];
-        let h = HierarchicalDistance::new(
-            spans,
-            vec![1.5, 0.75],
-            vec![2.0, 0.5, 1.0, 4.0],
-        )
-        .unwrap();
+        let h =
+            HierarchicalDistance::new(spans, vec![1.5, 0.75], vec![2.0, 0.5, 1.0, 4.0]).unwrap();
         check_metric_axioms(&h, &sample_points(4), 1e-9);
     }
 
     #[test]
     fn distortion_bounds_hold() {
         let spans = vec![FeatureSpan::new(0, 1), FeatureSpan::new(1, 3)];
-        let h = HierarchicalDistance::new(spans, vec![4.0, 1.0], vec![1.0, 0.25, 9.0])
-            .unwrap();
+        let h = HierarchicalDistance::new(spans, vec![4.0, 1.0], vec![1.0, 0.25, 9.0]).unwrap();
         let (lo, hi) = h.euclidean_distortion().unwrap();
         assert!((lo - 0.5).abs() < 1e-12); // min eff. weight 0.25
         assert!((hi - 3.0).abs() < 1e-12); // max eff. weight 9

@@ -1,0 +1,380 @@
+//! Blocked distance kernels shared by the [`super::Distance`]
+//! implementations.
+//!
+//! The per-row inner loops are unrolled 8-wide over independent
+//! accumulators — enough parallel chains for LLVM to emit full-width SIMD
+//! adds/multiplies and keep the out-of-order window busy. All kernels
+//! compute *surrogate keys* (squared-form sums); the caller recovers true
+//! distances via `Distance::finish_key` for final winners only.
+//!
+//! Early abandonment: the accumulated sums are non-decreasing in the
+//! number of components, so once a row's partial sum exceeds the caller's
+//! pruning bound the row can never enter the k-best — the kernels then
+//! stop and report `f64::INFINITY` for it. Segments of [`SEGMENT`]
+//! components keep the bound check off the hot inner loop.
+
+/// Unroll width of the inner component loops.
+pub(crate) const LANES: usize = 8;
+
+/// Components accumulated between early-abandon bound checks.
+const SEGMENT: usize = 64;
+
+/// Sum of `w·(q − r)²` over one segment (8-wide unrolled;
+/// `chunks_exact` keeps the hot loop free of bounds checks).
+#[inline(always)]
+fn weighted_sq_seg(w: &[f64], q: &[f64], r: &[f64]) -> f64 {
+    let n = q.len();
+    let (w, r) = (&w[..n], &r[..n]);
+    let mut acc = [0.0f64; LANES];
+    let mut qc = q.chunks_exact(LANES);
+    let mut wc = w.chunks_exact(LANES);
+    let mut rc = r.chunks_exact(LANES);
+    for ((qs, ws), rs) in (&mut qc).zip(&mut wc).zip(&mut rc) {
+        for l in 0..LANES {
+            let d = qs[l] - rs[l];
+            acc[l] += ws[l] * d * d;
+        }
+    }
+    let mut tail = 0.0;
+    for ((x, w), y) in qc
+        .remainder()
+        .iter()
+        .zip(wc.remainder().iter())
+        .zip(rc.remainder().iter())
+    {
+        let d = x - y;
+        tail += w * d * d;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])) + tail
+}
+
+/// Sum of `(q − r)²` over one segment (8-wide unrolled).
+#[inline(always)]
+fn l2_sq_seg(q: &[f64], r: &[f64]) -> f64 {
+    let n = q.len();
+    let r = &r[..n];
+    let mut acc = [0.0f64; LANES];
+    let mut qc = q.chunks_exact(LANES);
+    let mut rc = r.chunks_exact(LANES);
+    for (qs, rs) in (&mut qc).zip(&mut rc) {
+        for l in 0..LANES {
+            let d = qs[l] - rs[l];
+            acc[l] += d * d;
+        }
+    }
+    let mut tail = 0.0;
+    for (x, y) in qc.remainder().iter().zip(rc.remainder().iter()) {
+        let d = x - y;
+        tail += d * d;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])) + tail
+}
+
+// The row functions below all accumulate segment-by-segment so that the
+// bounded and unbounded paths produce BIT-IDENTICAL sums for rows that
+// survive the bound — engines mixing the two paths (trees push exact
+// keys, scans may abandon) must never disagree on a shared candidate.
+
+/// Sum of `w·(q − r)²` over one row.
+#[inline(always)]
+pub(crate) fn weighted_sq_row(w: &[f64], q: &[f64], r: &[f64]) -> f64 {
+    let n = q.len();
+    let mut acc = 0.0;
+    let mut i = 0;
+    while i < n {
+        let end = (i + SEGMENT).min(n);
+        acc += weighted_sq_seg(&w[i..end], &q[i..end], &r[i..end]);
+        i = end;
+    }
+    acc
+}
+
+/// Sum of `(q − r)²` over one row.
+#[inline(always)]
+pub(crate) fn l2_sq_row(q: &[f64], r: &[f64]) -> f64 {
+    let n = q.len();
+    let mut acc = 0.0;
+    let mut i = 0;
+    while i < n {
+        let end = (i + SEGMENT).min(n);
+        acc += l2_sq_seg(&q[i..end], &r[i..end]);
+        i = end;
+    }
+    acc
+}
+
+/// One row with early abandonment against `bound` (checked every
+/// [`SEGMENT`] components). Returns `f64::INFINITY` when abandoned.
+#[inline(always)]
+fn weighted_sq_row_bounded(w: &[f64], q: &[f64], r: &[f64], bound: f64) -> f64 {
+    let n = q.len();
+    let mut acc = 0.0;
+    let mut i = 0;
+    while i < n {
+        let end = (i + SEGMENT).min(n);
+        acc += weighted_sq_seg(&w[i..end], &q[i..end], &r[i..end]);
+        if acc > bound {
+            return f64::INFINITY;
+        }
+        i = end;
+    }
+    acc
+}
+
+#[inline(always)]
+fn l2_sq_row_bounded(q: &[f64], r: &[f64], bound: f64) -> f64 {
+    let n = q.len();
+    let mut acc = 0.0;
+    let mut i = 0;
+    while i < n {
+        let end = (i + SEGMENT).min(n);
+        acc += l2_sq_seg(&q[i..end], &r[i..end]);
+        if acc > bound {
+            return f64::INFINITY;
+        }
+        i = end;
+    }
+    acc
+}
+
+/// Squared-Euclidean keys for a row-major block (portable body).
+///
+/// Abandonment only pays once a row spans multiple segments; exact keys
+/// are cheaper than branchy ones for short rows. The mode branch is
+/// hoisted out of the row loop.
+#[inline(always)]
+fn l2_sq_block_impl(query: &[f64], block: &[f64], dim: usize, bound: f64, out: &mut [f64]) {
+    if bound.is_finite() && dim > SEGMENT {
+        for (row, slot) in block.chunks_exact(dim).zip(out.iter_mut()) {
+            *slot = l2_sq_row_bounded(query, row, bound);
+        }
+    } else {
+        for (row, slot) in block.chunks_exact(dim).zip(out.iter_mut()) {
+            *slot = l2_sq_row(query, row);
+        }
+    }
+}
+
+/// Weighted squared-Euclidean keys for a row-major block (portable body).
+#[inline(always)]
+fn weighted_sq_block_impl(
+    weights: &[f64],
+    query: &[f64],
+    block: &[f64],
+    dim: usize,
+    bound: f64,
+    out: &mut [f64],
+) {
+    if bound.is_finite() && dim > SEGMENT {
+        for (row, slot) in block.chunks_exact(dim).zip(out.iter_mut()) {
+            *slot = weighted_sq_row_bounded(weights, query, row, bound);
+        }
+    } else {
+        for (row, slot) in block.chunks_exact(dim).zip(out.iter_mut()) {
+            *slot = weighted_sq_row(weights, query, row);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// ISA multiversioning.
+//
+// The default x86-64 target only assumes SSE2 (two f64 lanes). The block
+// entry points below re-compile the *same* portable bodies with wider
+// vector features enabled and select a version once at runtime. Because
+// every version executes the identical lane-structured code (no FMA
+// contraction, no reassociation — vectorization maps accumulator lanes
+// 1:1), all versions produce bit-identical results; only throughput
+// changes.
+
+#[cfg(target_arch = "x86_64")]
+mod dispatch {
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    const UNKNOWN: u8 = 0;
+    const PORTABLE: u8 = 1;
+    const AVX2: u8 = 2;
+    const AVX512: u8 = 3;
+
+    static LEVEL: AtomicU8 = AtomicU8::new(UNKNOWN);
+
+    #[inline]
+    pub(super) fn level() -> u8 {
+        match LEVEL.load(Ordering::Relaxed) {
+            UNKNOWN => {
+                let l = if is_x86_feature_detected!("avx512f") {
+                    AVX512
+                } else if is_x86_feature_detected!("avx2") {
+                    AVX2
+                } else {
+                    PORTABLE
+                };
+                LEVEL.store(l, Ordering::Relaxed);
+                l
+            }
+            l => l,
+        }
+    }
+
+    macro_rules! isa_versions {
+        ($feature:literal, $l2:ident, $weighted:ident) => {
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn $l2(
+                query: &[f64],
+                block: &[f64],
+                dim: usize,
+                bound: f64,
+                out: &mut [f64],
+            ) {
+                super::l2_sq_block_impl(query, block, dim, bound, out);
+            }
+
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn $weighted(
+                weights: &[f64],
+                query: &[f64],
+                block: &[f64],
+                dim: usize,
+                bound: f64,
+                out: &mut [f64],
+            ) {
+                super::weighted_sq_block_impl(weights, query, block, dim, bound, out);
+            }
+        };
+    }
+
+    isa_versions!("avx2", l2_avx2, weighted_avx2);
+    isa_versions!("avx512f", l2_avx512, weighted_avx512);
+
+    #[inline]
+    pub(super) fn l2(query: &[f64], block: &[f64], dim: usize, bound: f64, out: &mut [f64]) {
+        match level() {
+            // SAFETY: the matching CPU feature was detected above.
+            AVX512 => unsafe { l2_avx512(query, block, dim, bound, out) },
+            AVX2 => unsafe { l2_avx2(query, block, dim, bound, out) },
+            _ => super::l2_sq_block_impl(query, block, dim, bound, out),
+        }
+    }
+
+    #[inline]
+    pub(super) fn weighted(
+        weights: &[f64],
+        query: &[f64],
+        block: &[f64],
+        dim: usize,
+        bound: f64,
+        out: &mut [f64],
+    ) {
+        match level() {
+            // SAFETY: the matching CPU feature was detected above.
+            AVX512 => unsafe { weighted_avx512(weights, query, block, dim, bound, out) },
+            AVX2 => unsafe { weighted_avx2(weights, query, block, dim, bound, out) },
+            _ => super::weighted_sq_block_impl(weights, query, block, dim, bound, out),
+        }
+    }
+}
+
+/// Squared-Euclidean keys for a row-major block.
+pub(crate) fn l2_sq_block(query: &[f64], block: &[f64], dim: usize, bound: f64, out: &mut [f64]) {
+    debug_assert_eq!(query.len(), dim);
+    debug_assert_eq!(block.len(), dim * out.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        dispatch::l2(query, block, dim, bound, out)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        l2_sq_block_impl(query, block, dim, bound, out)
+    }
+}
+
+/// Weighted squared-Euclidean keys for a row-major block.
+pub(crate) fn weighted_sq_block(
+    weights: &[f64],
+    query: &[f64],
+    block: &[f64],
+    dim: usize,
+    bound: f64,
+    out: &mut [f64],
+) {
+    debug_assert_eq!(query.len(), dim);
+    debug_assert_eq!(weights.len(), dim);
+    debug_assert_eq!(block.len(), dim * out.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        dispatch::weighted(weights, query, block, dim, bound, out)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        weighted_sq_block_impl(weights, query, block, dim, bound, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_weighted(w: &[f64], a: &[f64], b: &[f64]) -> f64 {
+        w.iter()
+            .zip(a.iter().zip(b.iter()))
+            .map(|(w, (x, y))| w * (x - y) * (x - y))
+            .sum()
+    }
+
+    #[test]
+    fn rows_match_naive_all_dims() {
+        for dim in [1, 3, 4, 7, 8, 9, 16, 17, 33, 64] {
+            let q: Vec<f64> = (0..dim).map(|i| (i as f64).sin()).collect();
+            let r: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.7).cos()).collect();
+            let w: Vec<f64> = (0..dim).map(|i| 0.5 + (i % 5) as f64).collect();
+            let got = weighted_sq_row(&w, &q, &r);
+            let want = naive_weighted(&w, &q, &r);
+            assert!((got - want).abs() < 1e-12 * want.max(1.0), "dim {dim}");
+            let got2 = l2_sq_row(&q, &r);
+            let want2 = naive_weighted(&vec![1.0; dim], &q, &r);
+            assert!((got2 - want2).abs() < 1e-12 * want2.max(1.0), "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn blocks_match_rows() {
+        let dim = 24;
+        let rows = 19; // not a multiple of the unroll width
+        let q: Vec<f64> = (0..dim).map(|i| i as f64 * 0.1).collect();
+        let block: Vec<f64> = (0..rows * dim).map(|i| (i as f64 * 0.3).sin()).collect();
+        let w: Vec<f64> = (0..dim).map(|i| 1.0 + (i % 3) as f64).collect();
+        let mut out = vec![0.0; rows];
+        l2_sq_block(&q, &block, dim, f64::INFINITY, &mut out);
+        for (i, row) in block.chunks_exact(dim).enumerate() {
+            assert_eq!(out[i], l2_sq_row(&q, row));
+        }
+        weighted_sq_block(&w, &q, &block, dim, f64::INFINITY, &mut out);
+        for (i, row) in block.chunks_exact(dim).enumerate() {
+            assert_eq!(out[i], weighted_sq_row(&w, &q, row));
+        }
+    }
+
+    #[test]
+    fn abandoned_rows_are_infinite_never_understated() {
+        let dim = 48;
+        let rows = 32;
+        let q = vec![0.0; dim];
+        let block: Vec<f64> = (0..rows * dim).map(|i| (i % 13) as f64 * 0.21).collect();
+        let mut exact = vec![0.0; rows];
+        l2_sq_block(&q, &block, dim, f64::INFINITY, &mut exact);
+        let bound = {
+            let mut s = exact.clone();
+            s.sort_by(f64::total_cmp);
+            s[rows / 2]
+        };
+        let mut bounded = vec![0.0; rows];
+        l2_sq_block(&q, &block, dim, bound, &mut bounded);
+        for (e, b) in exact.iter().zip(bounded.iter()) {
+            if *e <= bound {
+                assert_eq!(e, b, "rows within the bound must be exact");
+            } else {
+                assert!(*b > bound, "abandoned rows must stay over the bound");
+            }
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! Lp norms: Manhattan, Euclidean, Chebyshev, general p ≥ 1.
 
-use super::{sq_dist, Distance};
+use super::{kernels, sq_dist, Distance};
 use crate::{Result, VecdbError};
 
 /// Euclidean (`L2`) distance — the paper's default distance function.
@@ -19,6 +19,41 @@ impl Distance for Euclidean {
 
     fn euclidean_distortion(&self) -> Option<(f64, f64)> {
         Some((1.0, 1.0))
+    }
+
+    /// Squared distance through the unrolled kernel (may differ from
+    /// `eval(a, b)²` in the last ulp: different summation order).
+    #[inline]
+    fn eval_key(&self, a: &[f64], b: &[f64]) -> f64 {
+        kernels::l2_sq_row(a, b)
+    }
+
+    #[inline]
+    fn finish_key(&self, key: f64) -> f64 {
+        key.sqrt()
+    }
+
+    #[inline]
+    fn key_of_dist(&self, dist: f64) -> f64 {
+        dist * dist
+    }
+
+    fn eval_batch(&self, query: &[f64], block: &[f64], dim: usize, out: &mut [f64]) {
+        kernels::l2_sq_block(query, block, dim, f64::INFINITY, out);
+        for v in out.iter_mut() {
+            *v = v.sqrt();
+        }
+    }
+
+    fn eval_key_batch(
+        &self,
+        query: &[f64],
+        block: &[f64],
+        dim: usize,
+        bound: f64,
+        out: &mut [f64],
+    ) {
+        kernels::l2_sq_block(query, block, dim, bound, out);
     }
 }
 
@@ -90,17 +125,32 @@ impl Lp {
 impl Distance for Lp {
     #[inline]
     fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
-        debug_assert_eq!(a.len(), b.len());
-        let s: f64 = a
-            .iter()
-            .zip(b.iter())
-            .map(|(x, y)| (x - y).abs().powf(self.p))
-            .sum();
-        s.powf(1.0 / self.p)
+        self.finish_key(self.eval_key(a, b))
     }
 
     fn name(&self) -> &str {
         "lp"
+    }
+
+    /// Surrogate key `Σ |aᵢ − bᵢ|^p`: monotone in the distance and skips
+    /// the final `powf(1/p)` root.
+    #[inline]
+    fn eval_key(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs().powf(self.p))
+            .sum()
+    }
+
+    #[inline]
+    fn finish_key(&self, key: f64) -> f64 {
+        key.powf(1.0 / self.p)
+    }
+
+    #[inline]
+    fn key_of_dist(&self, dist: f64) -> f64 {
+        dist.powf(self.p)
     }
 }
 

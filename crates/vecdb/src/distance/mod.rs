@@ -13,8 +13,40 @@
 //!   `√((p−q)ᵀ·W·(p−q))` with SPD `W` (paper §2);
 //! * [`HierarchicalDistance`] — the Rui-Huang model \[RH00\]: a weighted
 //!   combination of per-feature quadratic distances.
+//!
+//! # Batch kernels and surrogate keys
+//!
+//! Every feedback iteration re-runs a k-NN query under a freshly
+//! re-weighted metric, so the per-candidate cost of `d(q, x)` is the
+//! latency floor of the whole interactive loop. Two observations cut it
+//! down:
+//!
+//! 1. **Ranking never needs the true distance.** Each class here has a
+//!    cheap *surrogate key* — a strictly increasing function of the
+//!    distance (the squared form for the L2 family, the `p`-th power sum
+//!    for general `Lp`) — and ranking by key is identical to ranking by
+//!    distance. Engines therefore collect `(key, index)` candidates via
+//!    [`Distance::eval_key`] and pay [`Distance::finish_key`] (the
+//!    `sqrt`/`powf`) only for the final `k` winners.
+//!
+//! 2. **Candidates arrive in contiguous blocks.** A linear scan (and an
+//!    index leaf) evaluates one query against many stored vectors that
+//!    sit back-to-back in a row-major buffer. [`Distance::eval_key_batch`]
+//!    evaluates a whole block per virtual call, replacing per-vector
+//!    `dyn` dispatch with a tight, auto-vectorizable kernel. The batch
+//!    call also takes the caller's current pruning `bound` (in key
+//!    space): because every class accumulates a non-negative sum, a
+//!    kernel may *early-abandon* a row once its partial sum exceeds the
+//!    bound, writing `f64::INFINITY` instead of the exact key.
+//!
+//! The contract tying it together: for every implementation,
+//! `finish_key(eval_key(a, b)) == eval(a, b)` (up to float rounding),
+//! `eval_key` is strictly increasing in `eval`, and
+//! [`Distance::key_of_dist`] maps a true-distance threshold into key
+//! space (so `d(a, b) ≤ r ⇔ eval_key(a, b) ≤ key_of_dist(r)`).
 
 mod hierarchical;
+pub(crate) mod kernels;
 mod lp;
 mod quadratic;
 mod weighted;
@@ -46,9 +78,73 @@ pub trait Distance: Send + Sync {
     fn euclidean_distortion(&self) -> Option<(f64, f64)> {
         None
     }
+
+    /// Rank-preserving surrogate key for `d(a, b)`: a strictly increasing
+    /// function of the distance that is cheaper to compute (the squared
+    /// distance for the L2 family). Defaults to the distance itself.
+    #[inline]
+    fn eval_key(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.eval(a, b)
+    }
+
+    /// Recover the true distance from a surrogate key
+    /// (`finish_key(eval_key(a, b)) == eval(a, b)`). Must be increasing
+    /// and map `+∞` to `+∞`.
+    #[inline]
+    fn finish_key(&self, key: f64) -> f64 {
+        key
+    }
+
+    /// Map a true-distance threshold into key space: the inverse of
+    /// [`Self::finish_key`], so `d ≤ r ⇔ eval_key ≤ key_of_dist(r)`.
+    #[inline]
+    fn key_of_dist(&self, dist: f64) -> f64 {
+        dist
+    }
+
+    /// Evaluate one query against a contiguous row-major `block` of
+    /// `block.len() / dim` vectors, writing the true distance of each row
+    /// to `out`. The default loops [`Self::eval`]; specialized kernels
+    /// avoid per-row virtual dispatch.
+    fn eval_batch(&self, query: &[f64], block: &[f64], dim: usize, out: &mut [f64]) {
+        debug_assert_eq!(query.len(), dim);
+        debug_assert_eq!(block.len(), dim * out.len());
+        for (row, slot) in block.chunks_exact(dim).zip(out.iter_mut()) {
+            *slot = self.eval(query, row);
+        }
+    }
+
+    /// Batch version of [`Self::eval_key`]: write each row's surrogate
+    /// key to `out`. `bound` is the caller's current pruning threshold in
+    /// key space (`f64::INFINITY` when there is none): a kernel may
+    /// *early-abandon* any row whose partial accumulation already exceeds
+    /// `bound` and write `f64::INFINITY` for it — callers must therefore
+    /// only use `out[i] ≤ bound` rows. Exact keys are written for all
+    /// rows when `bound == f64::INFINITY`.
+    fn eval_key_batch(
+        &self,
+        query: &[f64],
+        block: &[f64],
+        dim: usize,
+        bound: f64,
+        out: &mut [f64],
+    ) {
+        let _ = bound;
+        debug_assert_eq!(query.len(), dim);
+        debug_assert_eq!(block.len(), dim * out.len());
+        for (row, slot) in block.chunks_exact(dim).zip(out.iter_mut()) {
+            *slot = self.eval_key(query, row);
+        }
+    }
 }
 
-/// Squared Euclidean distance helper shared by implementations.
+/// Squared Euclidean distance helper shared by implementations: the
+/// *reference* sequential accumulation. `Distance::eval` deliberately
+/// stays on this simple form — it is the measurable scalar baseline the
+/// batched kernels are benchmarked against — while the engines' key
+/// paths use the unrolled kernels in [`kernels`]. The two may differ in
+/// the last ulp (different summation order); the consistency suite pins
+/// them to 1e-12.
 #[inline]
 pub(crate) fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
@@ -58,6 +154,76 @@ pub(crate) fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
         acc += d * d;
     }
     acc
+}
+
+#[cfg(test)]
+mod batch_contract_tests {
+    use super::test_support::sample_points;
+    use super::{
+        Distance, Euclidean, FeatureSpan, HierarchicalDistance, Lp, Manhattan, WeightedEuclidean,
+    };
+
+    /// Every implementation must satisfy the batch/surrogate-key
+    /// contract: `eval_batch` rows match per-pair `eval` (to rounding),
+    /// `finish_key ∘ eval_key == eval`, and `key_of_dist` inverts
+    /// `finish_key`.
+    fn check_batch_contract(d: &dyn Distance, dim: usize) {
+        let pts = sample_points(dim);
+        let query = &pts[0];
+        let block: Vec<f64> = pts[1..].iter().flat_map(|p| p.iter().copied()).collect();
+        let rows = pts.len() - 1;
+        let mut dists = vec![0.0; rows];
+        d.eval_batch(query, &block, dim, &mut dists);
+        let mut keys = vec![0.0; rows];
+        d.eval_key_batch(query, &block, dim, f64::INFINITY, &mut keys);
+        for (i, p) in pts[1..].iter().enumerate() {
+            let direct = d.eval(query, p);
+            assert!(
+                (dists[i] - direct).abs() <= 1e-12 * direct.max(1.0),
+                "{}: eval_batch row {i}: {} vs eval {direct}",
+                d.name(),
+                dists[i]
+            );
+            let via_key = d.finish_key(d.eval_key(query, p));
+            assert!(
+                (via_key - direct).abs() <= 1e-12 * direct.max(1.0),
+                "{}: finish_key∘eval_key {via_key} vs eval {direct}",
+                d.name()
+            );
+            assert_eq!(
+                d.finish_key(keys[i]),
+                dists[i],
+                "{}: key batch row {i} disagrees with eval_batch",
+                d.name()
+            );
+            // key_of_dist inverts finish_key (to rounding).
+            let rt = d.finish_key(d.key_of_dist(direct));
+            assert!(
+                (rt - direct).abs() <= 1e-12 * direct.max(1.0),
+                "{}: key_of_dist round-trip {rt} vs {direct}",
+                d.name()
+            );
+        }
+    }
+
+    #[test]
+    fn all_classes_satisfy_batch_contract() {
+        const DIM: usize = 7;
+        check_batch_contract(&Euclidean, DIM);
+        check_batch_contract(&Manhattan, DIM); // default impls
+        check_batch_contract(&Lp::new(3.0).unwrap(), DIM);
+        let w: Vec<f64> = (0..DIM).map(|i| 0.5 + i as f64).collect();
+        check_batch_contract(&WeightedEuclidean::new(w.clone()).unwrap(), DIM);
+        let h = HierarchicalDistance::new(
+            vec![FeatureSpan::new(0, 3), FeatureSpan::new(3, DIM)],
+            vec![2.0, 0.5],
+            w,
+        )
+        .unwrap();
+        check_batch_contract(&h, DIM);
+        let m = fbp_linalg::Matrix::from_diag(&[1.0, 2.0, 0.5, 3.0, 1.5, 0.75, 2.5]);
+        check_batch_contract(&super::QuadraticDistance::new(&m).unwrap(), DIM);
+    }
 }
 
 #[cfg(test)]

@@ -64,16 +64,17 @@ impl QuadraticDistance {
     /// singular covariances — few feedback examples — stay usable).
     pub fn mahalanobis(covariance: &Matrix, ridge: f64) -> Result<Self> {
         if !covariance.is_square() {
-            return Err(VecdbError::BadParameters("covariance must be square".into()));
+            return Err(VecdbError::BadParameters(
+                "covariance must be square".into(),
+            ));
         }
         let n = covariance.rows();
         let mut reg = covariance.clone();
         for i in 0..n {
             reg[(i, i)] += ridge;
         }
-        let chol = Cholesky::factor(&reg).map_err(|e| {
-            VecdbError::BadParameters(format!("covariance not PSD: {e}"))
-        })?;
+        let chol = Cholesky::factor(&reg)
+            .map_err(|e| VecdbError::BadParameters(format!("covariance not PSD: {e}")))?;
         // W = Σ⁻¹ column by column.
         let mut inv = Matrix::zeros(n, n);
         let mut e = vec![0.0; n];
@@ -108,12 +109,43 @@ impl QuadraticDistance {
     pub fn eval_sq(&self, a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), self.dim);
         debug_assert_eq!(b.len(), self.dim);
-        let diff: Vec<f64> = a.iter().zip(b.iter()).map(|(x, y)| x - y).collect();
-        self.chol
-            .quadratic_form(&diff)
-            .expect("dimension checked at construction")
+        let mut diff = [0.0; QUAD_STACK_DIM];
+        if self.dim <= QUAD_STACK_DIM {
+            for i in 0..self.dim {
+                diff[i] = a[i] - b[i];
+            }
+            self.sq_of_diff(&diff[..self.dim], f64::INFINITY)
+        } else {
+            let diff: Vec<f64> = a.iter().zip(b.iter()).map(|(x, y)| x - y).collect();
+            self.sq_of_diff(&diff, f64::INFINITY)
+        }
+    }
+
+    /// `‖Lᵀ·diff‖²` from the Cholesky factor, abandoning once the partial
+    /// sum of squares exceeds `bound` (each `yⱼ²` term is non-negative).
+    #[inline]
+    fn sq_of_diff(&self, diff: &[f64], bound: f64) -> f64 {
+        let l = self.chol.l();
+        let n = self.dim;
+        let mut acc = 0.0;
+        for j in 0..n {
+            // (Lᵀ·diff)ⱼ = Σ_{i ≥ j} L[i,j]·diffᵢ (L is lower-triangular).
+            let mut y = 0.0;
+            for i in j..n {
+                y += l[(i, j)] * diff[i];
+            }
+            acc += y * y;
+            if acc > bound {
+                return f64::INFINITY;
+            }
+        }
+        acc
     }
 }
+
+/// Stack-buffer size for per-pair difference vectors (avoids a heap
+/// allocation per evaluation at the paper's dimensionalities).
+const QUAD_STACK_DIM: usize = 128;
 
 impl Distance for QuadraticDistance {
     #[inline]
@@ -130,6 +162,49 @@ impl Distance for QuadraticDistance {
             Some((self.eig_lo.sqrt(), self.eig_hi.sqrt()))
         } else {
             None
+        }
+    }
+
+    #[inline]
+    fn eval_key(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.eval_sq(a, b)
+    }
+
+    #[inline]
+    fn finish_key(&self, key: f64) -> f64 {
+        key.sqrt()
+    }
+
+    #[inline]
+    fn key_of_dist(&self, dist: f64) -> f64 {
+        dist * dist
+    }
+
+    fn eval_batch(&self, query: &[f64], block: &[f64], dim: usize, out: &mut [f64]) {
+        self.eval_key_batch(query, block, dim, f64::INFINITY, out);
+        for v in out.iter_mut() {
+            *v = v.sqrt();
+        }
+    }
+
+    fn eval_key_batch(
+        &self,
+        query: &[f64],
+        block: &[f64],
+        dim: usize,
+        bound: f64,
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(query.len(), dim);
+        debug_assert_eq!(dim, self.dim);
+        debug_assert_eq!(block.len(), dim * out.len());
+        // One scratch diff buffer for the whole block (no per-row allocs).
+        let mut diff = vec![0.0; dim];
+        for (row, slot) in block.chunks_exact(dim).zip(out.iter_mut()) {
+            for i in 0..dim {
+                diff[i] = query[i] - row[i];
+            }
+            *slot = self.sq_of_diff(&diff, bound);
         }
     }
 }
@@ -168,7 +243,10 @@ mod tests {
         let o = [0.0, 0.0];
         let diag = q.eval(&o, &[1.0, 1.0]);
         let anti = q.eval(&o, &[1.0, -1.0]);
-        assert!(diag > anti, "correlated direction should cost more: {diag} vs {anti}");
+        assert!(
+            diag > anti,
+            "correlated direction should cost more: {diag} vs {anti}"
+        );
     }
 
     #[test]
@@ -202,11 +280,7 @@ mod tests {
 
     #[test]
     fn metric_axioms_hold() {
-        let w = Matrix::from_rows(&[
-            &[2.0, 0.3, 0.0],
-            &[0.3, 1.0, -0.2],
-            &[0.0, -0.2, 1.5],
-        ]);
+        let w = Matrix::from_rows(&[&[2.0, 0.3, 0.0], &[0.3, 1.0, -0.2], &[0.0, -0.2, 1.5]]);
         let q = QuadraticDistance::new(&w).unwrap();
         check_metric_axioms(&q, &sample_points(3), 1e-9);
     }

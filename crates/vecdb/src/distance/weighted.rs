@@ -5,7 +5,7 @@
 //! L2W(p, q; W) = ( Σᵢ wᵢ·(pᵢ − qᵢ)² )^½ ,   wᵢ > 0
 //! ```
 
-use super::Distance;
+use super::{kernels, Distance};
 use crate::{Result, VecdbError};
 
 /// Weighted Euclidean distance with strictly positive per-component
@@ -62,6 +62,8 @@ impl WeightedEuclidean {
     }
 
     /// Squared distance (saves the `sqrt` in rank-only comparisons).
+    /// Reference sequential accumulation — the engines' ranking paths use
+    /// the unrolled kernel via [`Distance::eval_key`] instead.
     #[inline]
     pub fn eval_sq(&self, a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len());
@@ -88,6 +90,39 @@ impl Distance for WeightedEuclidean {
     fn euclidean_distortion(&self) -> Option<(f64, f64)> {
         // √w_min·d₂ ≤ d_W ≤ √w_max·d₂, componentwise bound.
         Some((self.min_w.sqrt(), self.max_w.sqrt()))
+    }
+
+    #[inline]
+    fn eval_key(&self, a: &[f64], b: &[f64]) -> f64 {
+        kernels::weighted_sq_row(&self.weights, a, b)
+    }
+
+    #[inline]
+    fn finish_key(&self, key: f64) -> f64 {
+        key.sqrt()
+    }
+
+    #[inline]
+    fn key_of_dist(&self, dist: f64) -> f64 {
+        dist * dist
+    }
+
+    fn eval_batch(&self, query: &[f64], block: &[f64], dim: usize, out: &mut [f64]) {
+        kernels::weighted_sq_block(&self.weights, query, block, dim, f64::INFINITY, out);
+        for v in out.iter_mut() {
+            *v = v.sqrt();
+        }
+    }
+
+    fn eval_key_batch(
+        &self,
+        query: &[f64],
+        block: &[f64],
+        dim: usize,
+        bound: f64,
+        out: &mut [f64],
+    ) {
+        kernels::weighted_sq_block(&self.weights, query, block, dim, bound, out);
     }
 }
 

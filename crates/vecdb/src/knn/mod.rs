@@ -23,7 +23,7 @@ mod scan;
 mod vptree;
 
 pub use mtree::{MTree, MTreeConfig};
-pub use scan::LinearScan;
+pub use scan::{LinearScan, ScanMode};
 pub use vptree::VpTree;
 
 use crate::distance::Distance;
@@ -35,6 +35,18 @@ pub struct Neighbor {
     pub index: u32,
     /// Distance to the query under the query's distance function.
     pub dist: f64,
+}
+
+impl Neighbor {
+    /// The canonical result order: ascending `(dist, index)`. Distances
+    /// are finite by construction, so this is a total order.
+    #[inline]
+    pub fn total_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist
+            .partial_cmp(&other.dist)
+            .expect("non-finite distance")
+            .then(self.index.cmp(&other.index))
+    }
 }
 
 /// Statistics of one engine call (for the efficiency experiments).
@@ -68,7 +80,13 @@ pub trait KnnEngine {
     fn name(&self) -> &str;
 }
 
-/// Bounded max-heap keeping the `k` smallest distances seen.
+/// Bounded max-heap keeping the `k` smallest values seen.
+///
+/// Engines feed it surrogate *keys* ([`Distance::eval_key`]) rather than
+/// true distances: keys are a strictly increasing function of the
+/// distance, so the k-best by key is the k-best by distance, and only
+/// the final winners pay the `finish_key` root (see
+/// [`Self::into_sorted_with`]).
 pub(crate) struct KBest {
     k: usize,
     heap: std::collections::BinaryHeap<HeapEntry>,
@@ -107,8 +125,9 @@ impl KBest {
         }
     }
 
-    /// Current pruning threshold: the k-th best distance, or ∞ while the
-    /// heap is not full.
+    /// Current pruning threshold — the k-th best value pushed so far (in
+    /// whatever space the caller pushes: keys or distances), or ∞ while
+    /// the heap is not full.
     #[inline]
     pub(crate) fn threshold(&self) -> f64 {
         if self.heap.len() < self.k {
@@ -136,28 +155,37 @@ impl KBest {
 
     /// Extract results sorted ascending by `(dist, index)`.
     pub(crate) fn into_sorted(self) -> Vec<Neighbor> {
+        self.into_sorted_with(|key| key)
+    }
+
+    /// Extract results sorted ascending, mapping each stored value
+    /// through `finish` (e.g. [`Distance::finish_key`] to turn surrogate
+    /// keys back into true distances — the only place the `sqrt` is
+    /// paid). `finish` must be increasing so the sort order carries over.
+    pub(crate) fn into_sorted_with(self, finish: impl Fn(f64) -> f64) -> Vec<Neighbor> {
         let mut v: Vec<Neighbor> = self
             .heap
             .into_iter()
             .map(|e| Neighbor {
                 index: e.index,
-                dist: e.dist,
+                dist: finish(e.dist),
             })
             .collect();
-        v.sort_by(|a, b| {
-            a.dist
-                .partial_cmp(&b.dist)
-                .expect("non-finite distance")
-                .then(a.index.cmp(&b.index))
-        });
+        v.sort_unstable_by(Neighbor::total_cmp);
         v
+    }
+
+    /// Iterate the raw `(value, index)` entries (unsorted heap order).
+    pub(crate) fn entries(&self) -> impl Iterator<Item = (f64, u32)> + '_ {
+        self.heap.iter().map(|e| (e.dist, e.index))
     }
 }
 
 /// Lower distortion factor of a query metric vs Euclidean (0 ⇒ no pruning).
 #[inline]
 pub(crate) fn lower_factor(dist: &dyn Distance) -> f64 {
-    dist.euclidean_distortion().map_or(0.0, |(lo, _)| lo.max(0.0))
+    dist.euclidean_distortion()
+        .map_or(0.0, |(lo, _)| lo.max(0.0))
 }
 
 #[cfg(test)]

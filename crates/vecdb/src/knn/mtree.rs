@@ -221,9 +221,7 @@ impl<'a> MTree<'a> {
             }
         }
         let (_, i, j) = best.expect("at least one pair");
-        let mut assignment: Vec<bool> = (0..n)
-            .map(|k| dmat[k * n + i] > dmat[k * n + j])
-            .collect();
+        let mut assignment: Vec<bool> = (0..n).map(|k| dmat[k * n + i] > dmat[k * n + j]).collect();
         // Degenerate guard: with duplicate anchors every distance ties and
         // one partition comes out empty, which would create an empty node.
         // Rebalance by alternating — correctness only needs both non-empty
@@ -352,12 +350,31 @@ impl<'a> MTree<'a> {
     }
 
     /// Best-first k-NN under `dist`.
-    fn knn_inner(&self, query: &[f64], k: usize, dist: &dyn Distance) -> (Vec<Neighbor>, SearchStats) {
+    ///
+    /// `kb` holds surrogate keys ([`Distance::eval_key`]): leaf scans are
+    /// `sqrt`-free, and leaves with several surviving entries gather their
+    /// vectors into a contiguous scratch block and evaluate them through
+    /// one [`Distance::eval_key_batch`] call (single virtual dispatch,
+    /// early abandonment against the running threshold). Pruning bounds
+    /// stay in true-distance (Euclidean) space and compare against
+    /// `finish_key(kb.threshold())` — one root per node, not per
+    /// candidate.
+    fn knn_inner(
+        &self,
+        query: &[f64],
+        k: usize,
+        dist: &dyn Distance,
+    ) -> (Vec<Neighbor>, SearchStats) {
         let mut kb = KBest::new(k);
         let mut stats = SearchStats::default();
         if k == 0 || self.coll.is_empty() {
             return (kb.into_sorted(), stats);
         }
+        let dim = self.coll.dim();
+        // Scratch for gathered leaf vectors + their ids + result keys.
+        let mut gather: Vec<f64> = Vec::with_capacity(self.cfg.max_entries * dim);
+        let mut gather_ids: Vec<u32> = Vec::with_capacity(self.cfg.max_entries);
+        let mut keys: Vec<f64> = vec![0.0; self.cfg.max_entries + 1];
         let lo = lower_factor(dist);
         // Priority queue of (Euclidean mindist bound, node, d₂(q, router)).
         #[derive(PartialEq)]
@@ -387,39 +404,53 @@ impl<'a> MTree<'a> {
             d2_router: f64::NAN, // root has no router
         }));
         while let Some(Reverse(item)) = queue.pop() {
-            if lo > 0.0 && lo * item.bound > kb.threshold() {
+            let tau = dist.finish_key(kb.threshold());
+            if lo > 0.0 && lo * item.bound > tau {
                 continue; // everything left is at least this far
             }
             stats.nodes_visited += 1;
             match &self.nodes[item.node as usize] {
                 MNode::Leaf(entries) => {
+                    // Triangle prefilter on the Euclidean level:
+                    // d₂(q,o) ≥ |d₂(q, router) − d₂(o, router)|; survivors
+                    // are gathered into one contiguous block.
+                    gather.clear();
+                    gather_ids.clear();
                     for e in entries {
-                        // Triangle prefilter on the Euclidean level:
-                        // d₂(q,o) ≥ |d₂(q, router) − d₂(o, router)|.
                         if lo > 0.0 && item.d2_router.is_finite() {
                             let lb = (item.d2_router - e.dist_to_parent).abs();
-                            if lo * lb > kb.threshold() {
+                            if lo * lb > tau {
                                 continue;
                             }
                         }
-                        let d = dist.eval(query, self.coll.vector(e.oid as usize));
-                        stats.distance_evals += 1;
-                        kb.push(e.oid, d);
+                        gather.extend_from_slice(self.coll.vector(e.oid as usize));
+                        gather_ids.push(e.oid);
+                    }
+                    let n = gather_ids.len();
+                    dist.eval_key_batch(query, &gather, dim, kb.threshold(), &mut keys[..n]);
+                    stats.distance_evals += n as u64;
+                    let bound = kb.threshold();
+                    for (&oid, &key) in gather_ids.iter().zip(keys[..n].iter()) {
+                        if key <= bound {
+                            kb.push(oid, key);
+                        }
                     }
                 }
                 MNode::Inner(entries) => {
+                    // `tau` from the node pop stays valid: inner entries
+                    // never push into `kb`, so the threshold can't move.
                     for e in entries {
                         // Prefilter before computing d₂(q, e.router).
                         if lo > 0.0 && item.d2_router.is_finite() {
                             let lb =
                                 ((item.d2_router - e.dist_to_parent).abs() - e.radius).max(0.0);
-                            if lo * lb > kb.threshold() {
+                            if lo * lb > tau {
                                 continue;
                             }
                         }
                         let d2r = Euclidean.eval(query, self.coll.vector(e.router as usize));
                         let bound = (d2r - e.radius).max(0.0);
-                        if lo > 0.0 && lo * bound > kb.threshold() {
+                        if lo > 0.0 && lo * bound > tau {
                             continue;
                         }
                         queue.push(Reverse(Item {
@@ -431,7 +462,7 @@ impl<'a> MTree<'a> {
                 }
             }
         }
-        (kb.into_sorted(), stats)
+        (kb.into_sorted_with(|key| dist.finish_key(key)), stats)
     }
 
     /// Structural invariants: covering radii really cover, dist_to_parent
@@ -445,12 +476,7 @@ impl<'a> MTree<'a> {
         Ok(())
     }
 
-    fn verify_node(
-        &self,
-        node: u32,
-        router: Option<u32>,
-        seen: &mut [bool],
-    ) -> Result<(), String> {
+    fn verify_node(&self, node: u32, router: Option<u32>, seen: &mut [bool]) -> Result<(), String> {
         match &self.nodes[node as usize] {
             MNode::Leaf(entries) => {
                 for e in entries {
@@ -477,10 +503,7 @@ impl<'a> MTree<'a> {
                     if let Some(r) = router {
                         let d = self.d2(e.router, r);
                         if (d - e.dist_to_parent).abs() > 1e-9 {
-                            return Err(format!(
-                                "inner dtp stale for router {}",
-                                e.router
-                            ));
+                            return Err(format!("inner dtp stale for router {}", e.router));
                         }
                     }
                     // Covering radius: every object below within e.radius.
@@ -529,6 +552,9 @@ impl KnnEngine for MTree<'_> {
 
     fn range(&self, query: &[f64], radius: f64, dist: &dyn Distance) -> Vec<Neighbor> {
         let lo = lower_factor(dist);
+        // Key-space inclusion (d ≤ r ⇔ key ≤ key_of_dist(r)): the same
+        // test the scan and VP-tree use, so all engines agree exactly.
+        let key_bound = dist.key_of_dist(radius);
         let mut out = Vec::new();
         let mut stack: Vec<(u32, f64)> = vec![(self.root, f64::NAN)];
         while let Some((node, d2_router)) = stack.pop() {
@@ -541,11 +567,11 @@ impl KnnEngine for MTree<'_> {
                                 continue;
                             }
                         }
-                        let d = dist.eval(query, self.coll.vector(e.oid as usize));
-                        if d <= radius {
+                        let key = dist.eval_key(query, self.coll.vector(e.oid as usize));
+                        if key <= key_bound {
                             out.push(Neighbor {
                                 index: e.oid,
-                                dist: d,
+                                dist: dist.finish_key(key),
                             });
                         }
                     }
@@ -562,12 +588,7 @@ impl KnnEngine for MTree<'_> {
                 }
             }
         }
-        out.sort_by(|a, b| {
-            a.dist
-                .partial_cmp(&b.dist)
-                .expect("non-finite distance")
-                .then(a.index.cmp(&b.index))
-        });
+        out.sort_unstable_by(Neighbor::total_cmp);
         out
     }
 
@@ -599,7 +620,8 @@ mod tests {
         for n in [1, 2, 17, 100, 500] {
             let c = random_collection(n, 5, n as u64);
             let t = MTree::with_defaults(&c);
-            t.verify_invariants().unwrap_or_else(|e| panic!("n={n}: {e}"));
+            t.verify_invariants()
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
         }
     }
 

@@ -1,32 +1,205 @@
 //! Exhaustive linear scan: the correctness baseline, and the engine of
 //! choice when the query metric changes every iteration (no index to
 //! invalidate, perfectly sequential memory traffic).
+//!
+//! Three execution paths agree on results: Batched and Parallel are
+//! bit-identical to each other (same kernels, deterministic merge);
+//! Scalar produces the same ranking with distances matching to ~1e-12
+//! (its reference implementation accumulates sequentially, the kernels
+//! 8-wide, so last-ulp rounding may differ — and, for `range`, boundary
+//! membership of a candidate sitting exactly on the radius can differ
+//! between Scalar and the key-space modes by that same ulp):
+//!
+//! * [`ScanMode::Scalar`] — one `dyn Distance::eval` per vector, a `sqrt`
+//!   per candidate. Kept in-tree as the measurable baseline the batched
+//!   paths are benchmarked against (`cargo bench --bench knn_engines`).
+//! * [`ScanMode::Batched`] — blocks of [`BLOCK_ROWS`] vectors go through
+//!   [`Distance::eval_key_batch`]: one virtual call per block, surrogate
+//!   keys instead of distances (no `sqrt`), early abandonment against the
+//!   running k-best threshold inside the kernel. Only the final `k`
+//!   winners pay [`Distance::finish_key`].
+//! * [`ScanMode::Parallel`] — the batched path fanned out over worker
+//!   threads in contiguous chunks, each with a private k-best; the
+//!   per-thread results merge by ascending `(key, index)`, so the answer
+//!   is deterministic regardless of thread count or scheduling.
+//!
+//! [`ScanMode::Auto`] (the default) picks Batched below
+//! [`PARALLEL_CUTOFF`] candidate-components and Parallel above it.
 
 use super::{KBest, KnnEngine, Neighbor, SearchStats};
 use crate::collection::Collection;
 use crate::distance::Distance;
 
+/// Rows evaluated per batched kernel invocation. Large enough to amortize
+/// the virtual call, small enough that `BLOCK_ROWS` keys stay in L1 and
+/// the k-best threshold refreshes frequently for early abandonment.
+const BLOCK_ROWS: usize = 256;
+
+/// `len × dim` threshold above which [`ScanMode::Auto`] goes parallel;
+/// below it, thread spawn/join overhead outweighs the win.
+const PARALLEL_CUTOFF: usize = 64 * 1024;
+
+/// Execution strategy for [`LinearScan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanMode {
+    /// Pick [`ScanMode::Batched`] or [`ScanMode::Parallel`] by data size.
+    #[default]
+    Auto,
+    /// Per-vector `dyn` dispatch with a `sqrt` per candidate (baseline).
+    Scalar,
+    /// Blocked surrogate-key kernels, single-threaded.
+    Batched,
+    /// Blocked surrogate-key kernels across worker threads.
+    Parallel,
+}
+
 /// Linear-scan engine borrowing a collection.
 #[derive(Debug, Clone, Copy)]
 pub struct LinearScan<'a> {
     coll: &'a Collection,
+    mode: ScanMode,
 }
 
 impl<'a> LinearScan<'a> {
-    /// New scan engine over `coll`.
+    /// New scan engine over `coll` with [`ScanMode::Auto`].
     pub fn new(coll: &'a Collection) -> Self {
-        LinearScan { coll }
+        LinearScan {
+            coll,
+            mode: ScanMode::Auto,
+        }
+    }
+
+    /// New scan engine with an explicit execution mode.
+    pub fn with_mode(coll: &'a Collection, mode: ScanMode) -> Self {
+        LinearScan { coll, mode }
     }
 
     /// The underlying collection.
     pub fn collection(&self) -> &'a Collection {
         self.coll
     }
+
+    /// The configured execution mode.
+    pub fn mode(&self) -> ScanMode {
+        self.mode
+    }
+
+    /// The mode Auto resolves to for this collection.
+    fn effective_mode(&self) -> ScanMode {
+        match self.mode {
+            ScanMode::Auto => {
+                if self.coll.len() * self.coll.dim().max(1) >= PARALLEL_CUTOFF {
+                    ScanMode::Parallel
+                } else {
+                    ScanMode::Batched
+                }
+            }
+            m => m,
+        }
+    }
+
+    /// Baseline path: one virtual `eval` (with its `sqrt`) per vector.
+    fn knn_scalar(&self, query: &[f64], k: usize, dist: &dyn Distance) -> Vec<Neighbor> {
+        let mut kb = KBest::new(k);
+        for i in 0..self.coll.len() {
+            kb.push(i as u32, dist.eval(query, self.coll.vector(i)));
+        }
+        kb.into_sorted()
+    }
+
+    /// Batched path over one contiguous index range; pushes surrogate
+    /// keys into `kb`.
+    fn scan_range_keys(
+        &self,
+        query: &[f64],
+        dist: &dyn Distance,
+        rows: std::ops::Range<usize>,
+        kb: &mut KBest,
+    ) {
+        let dim = self.coll.dim();
+        let mut keys = [0.0f64; BLOCK_ROWS];
+        let mut start = rows.start;
+        while start < rows.end {
+            let end = (start + BLOCK_ROWS).min(rows.end);
+            let n = end - start;
+            let block = self.coll.block(start, end);
+            dist.eval_key_batch(query, block, dim, kb.threshold(), &mut keys[..n]);
+            for (offset, &key) in keys[..n].iter().enumerate() {
+                kb.push((start + offset) as u32, key);
+            }
+            start = end;
+        }
+    }
+
+    fn knn_batched(&self, query: &[f64], k: usize, dist: &dyn Distance) -> Vec<Neighbor> {
+        let mut kb = KBest::new(k);
+        self.scan_range_keys(query, dist, 0..self.coll.len(), &mut kb);
+        kb.into_sorted_with(|key| dist.finish_key(key))
+    }
+
+    fn knn_parallel(&self, query: &[f64], k: usize, dist: &dyn Distance) -> Vec<Neighbor> {
+        let len = self.coll.len();
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(len.div_ceil(BLOCK_ROWS))
+            .max(1);
+        if threads == 1 {
+            return self.knn_batched(query, k, dist);
+        }
+        let chunk = len.div_ceil(threads);
+        let mut per_thread: Vec<Vec<(f64, u32)>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(len);
+                    scope.spawn(move || {
+                        let mut kb = KBest::new(k);
+                        self.scan_range_keys(query, dist, lo..hi, &mut kb);
+                        let mut entries: Vec<(f64, u32)> = kb.entries().collect();
+                        entries.sort_unstable_by(|a, b| {
+                            a.0.partial_cmp(&b.0)
+                                .expect("non-finite key")
+                                .then(a.1.cmp(&b.1))
+                        });
+                        entries
+                    })
+                })
+                .collect();
+            for h in handles {
+                per_thread.push(h.join().expect("scan worker panicked"));
+            }
+        });
+        // Deterministic merge: fold every thread's candidates through one
+        // final k-best keyed by (key, index) — independent of thread
+        // count, chunk boundaries and completion order.
+        let mut kb = KBest::new(k);
+        for entries in per_thread {
+            for (key, index) in entries {
+                if key > kb.threshold() {
+                    break; // sorted: the rest of this thread can't enter
+                }
+                kb.push(index, key);
+            }
+        }
+        kb.into_sorted_with(|key| dist.finish_key(key))
+    }
+
+    /// All-mode dispatch used by [`KnnEngine::knn_with_stats`].
+    fn knn_dispatch(&self, query: &[f64], k: usize, dist: &dyn Distance) -> Vec<Neighbor> {
+        match self.effective_mode() {
+            ScanMode::Scalar => self.knn_scalar(query, k, dist),
+            ScanMode::Batched => self.knn_batched(query, k, dist),
+            ScanMode::Parallel => self.knn_parallel(query, k, dist),
+            ScanMode::Auto => unreachable!("effective_mode resolves Auto"),
+        }
+    }
 }
 
 impl KnnEngine for LinearScan<'_> {
     fn knn(&self, query: &[f64], k: usize, dist: &dyn Distance) -> Vec<Neighbor> {
-        self.knn_with_stats(query, k, dist).0
+        self.knn_dispatch(query, k, dist)
     }
 
     fn knn_with_stats(
@@ -35,12 +208,8 @@ impl KnnEngine for LinearScan<'_> {
         k: usize,
         dist: &dyn Distance,
     ) -> (Vec<Neighbor>, SearchStats) {
-        let mut kb = KBest::new(k);
-        for i in 0..self.coll.len() {
-            kb.push(i as u32, dist.eval(query, self.coll.vector(i)));
-        }
         (
-            kb.into_sorted(),
+            self.knn_dispatch(query, k, dist),
             SearchStats {
                 distance_evals: self.coll.len() as u64,
                 nodes_visited: 0,
@@ -50,21 +219,40 @@ impl KnnEngine for LinearScan<'_> {
 
     fn range(&self, query: &[f64], radius: f64, dist: &dyn Distance) -> Vec<Neighbor> {
         let mut out = Vec::new();
-        for i in 0..self.coll.len() {
-            let d = dist.eval(query, self.coll.vector(i));
-            if d <= radius {
-                out.push(Neighbor {
-                    index: i as u32,
-                    dist: d,
-                });
+        if self.effective_mode() == ScanMode::Scalar {
+            for i in 0..self.coll.len() {
+                let d = dist.eval(query, self.coll.vector(i));
+                if d <= radius {
+                    out.push(Neighbor {
+                        index: i as u32,
+                        dist: d,
+                    });
+                }
+            }
+        } else {
+            // Key-space filter: d ≤ r ⇔ key ≤ key_of_dist(r); abandoned
+            // rows come back +∞ and can never pass the bound.
+            let dim = self.coll.dim();
+            let bound = dist.key_of_dist(radius);
+            let mut keys = [0.0f64; BLOCK_ROWS];
+            let mut start = 0;
+            while start < self.coll.len() {
+                let end = (start + BLOCK_ROWS).min(self.coll.len());
+                let n = end - start;
+                let block = self.coll.block(start, end);
+                dist.eval_key_batch(query, block, dim, bound, &mut keys[..n]);
+                for (offset, &key) in keys[..n].iter().enumerate() {
+                    if key <= bound {
+                        out.push(Neighbor {
+                            index: (start + offset) as u32,
+                            dist: dist.finish_key(key),
+                        });
+                    }
+                }
+                start = end;
             }
         }
-        out.sort_by(|a, b| {
-            a.dist
-                .partial_cmp(&b.dist)
-                .expect("non-finite distance")
-                .then(a.index.cmp(&b.index))
-        });
+        out.sort_unstable_by(Neighbor::total_cmp);
         out
     }
 
@@ -155,5 +343,71 @@ mod tests {
         let (_, stats) = scan.knn_with_stats(&[0.0, 0.0], 2, &Euclidean);
         assert_eq!(stats.distance_evals, 25);
         assert_eq!(stats.nodes_visited, 0);
+    }
+
+    fn pseudo_random_collection(n: usize, dim: usize) -> Collection {
+        // LCG-based filler: deterministic, no dev-dependency needed here.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut b = CollectionBuilder::new();
+        for _ in 0..n {
+            let v: Vec<f64> = (0..dim).map(|_| next()).collect();
+            b.push_unlabelled(&v).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn all_modes_agree() {
+        let c = pseudo_random_collection(1500, 48);
+        let q: Vec<f64> = (0..48).map(|i| (i as f64 * 0.37).sin().abs()).collect();
+        let w: Vec<f64> = (0..48).map(|i| 0.2 + (i % 7) as f64).collect();
+        let weighted = WeightedEuclidean::new(w).unwrap();
+        for k in [1, 7, 50] {
+            let scalar = LinearScan::with_mode(&c, ScanMode::Scalar).knn(&q, k, &weighted);
+            let batched = LinearScan::with_mode(&c, ScanMode::Batched).knn(&q, k, &weighted);
+            let parallel = LinearScan::with_mode(&c, ScanMode::Parallel).knn(&q, k, &weighted);
+            // The scalar reference accumulates sequentially, the key
+            // kernels 8-wide: same ranking, distances to 1e-12.
+            assert_eq!(scalar.len(), batched.len(), "k={k}");
+            for (a, b) in scalar.iter().zip(batched.iter()) {
+                assert_eq!(a.index, b.index, "k={k}");
+                assert!((a.dist - b.dist).abs() <= 1e-12, "k={k}");
+            }
+            // Batched and parallel share the exact same kernels: the
+            // merge is deterministic, results bit-identical.
+            assert_eq!(batched, parallel, "k={k}");
+        }
+        // Range queries agree across modes too (same tolerance contract).
+        let r_scalar = LinearScan::with_mode(&c, ScanMode::Scalar).range(&q, 4.0, &weighted);
+        let r_batched = LinearScan::with_mode(&c, ScanMode::Batched).range(&q, 4.0, &weighted);
+        assert_eq!(r_scalar.len(), r_batched.len());
+        for (a, b) in r_scalar.iter().zip(r_batched.iter()) {
+            assert_eq!(a.index, b.index);
+            assert!((a.dist - b.dist).abs() <= 1e-12);
+        }
+    }
+
+    #[test]
+    fn auto_mode_picks_by_size() {
+        let small = pseudo_random_collection(10, 4);
+        assert_eq!(LinearScan::new(&small).effective_mode(), ScanMode::Batched);
+        let large = pseudo_random_collection(3000, 32);
+        assert_eq!(LinearScan::new(&large).effective_mode(), ScanMode::Parallel);
+    }
+
+    #[test]
+    fn empty_collection_all_modes() {
+        let c = CollectionBuilder::new().build();
+        for mode in [ScanMode::Scalar, ScanMode::Batched, ScanMode::Parallel] {
+            let scan = LinearScan::with_mode(&c, mode);
+            assert!(scan.knn(&[], 5, &Euclidean).is_empty());
+            assert!(scan.range(&[], 1.0, &Euclidean).is_empty());
+        }
     }
 }

@@ -94,6 +94,11 @@ impl<'a> VpTree<'a> {
         self.nodes.len()
     }
 
+    /// Best-first descent. `kb` holds surrogate *keys*
+    /// ([`Distance::eval_key`]) — the per-candidate `sqrt` disappears and
+    /// pruning compares Euclidean bounds against
+    /// `finish_key(kb.threshold())`, one root per visited node instead of
+    /// one per candidate.
     fn search(
         &self,
         node: u32,
@@ -109,9 +114,9 @@ impl<'a> VpTree<'a> {
         let n = &self.nodes[node as usize];
         stats.nodes_visited += 1;
         let pv = self.coll.vector(n.pivot as usize);
-        let d_query = dist.eval(query, pv);
+        let key = dist.eval_key(query, pv);
         stats.distance_evals += 1;
-        kb.push(n.pivot, d_query);
+        kb.push(n.pivot, key);
         if n.inside == NIL && n.outside == NIL {
             return;
         }
@@ -129,7 +134,9 @@ impl<'a> VpTree<'a> {
             if child == NIL {
                 continue;
             }
-            if lo > 0.0 && lo * bound > kb.threshold() {
+            // Re-read the threshold per side: the first child's visit
+            // tightens it for the second.
+            if lo > 0.0 && lo * bound > dist.finish_key(kb.threshold()) {
                 continue; // certified: nothing in there can beat the k-th
             }
             self.search(child, query, dist, lo, kb, stats);
@@ -150,11 +157,13 @@ impl<'a> VpTree<'a> {
         }
         let n = &self.nodes[node as usize];
         let pv = self.coll.vector(n.pivot as usize);
-        let d_query = dist.eval(query, pv);
-        if d_query <= radius {
+        // Key-space inclusion test: d ≤ r ⇔ key ≤ key_of_dist(r); the
+        // root is paid only for reported neighbors.
+        let key = dist.eval_key(query, pv);
+        if key <= dist.key_of_dist(radius) {
             out.push(Neighbor {
                 index: n.pivot,
-                dist: d_query,
+                dist: dist.finish_key(key),
             });
         }
         if n.inside == NIL && n.outside == NIL {
@@ -189,19 +198,14 @@ impl KnnEngine for VpTree<'_> {
             let lo = lower_factor(dist);
             self.search(self.root, query, dist, lo, &mut kb, &mut stats);
         }
-        (kb.into_sorted(), stats)
+        (kb.into_sorted_with(|key| dist.finish_key(key)), stats)
     }
 
     fn range(&self, query: &[f64], radius: f64, dist: &dyn Distance) -> Vec<Neighbor> {
         let mut out = Vec::new();
         let lo = lower_factor(dist);
         self.search_range(self.root, query, radius, dist, lo, &mut out);
-        out.sort_by(|a, b| {
-            a.dist
-                .partial_cmp(&b.dist)
-                .expect("non-finite distance")
-                .then(a.index.cmp(&b.index))
-        });
+        out.sort_unstable_by(Neighbor::total_cmp);
         out
     }
 
@@ -214,8 +218,8 @@ impl KnnEngine for VpTree<'_> {
 mod tests {
     use super::*;
     use crate::collection::CollectionBuilder;
-    use crate::knn::LinearScan;
     use crate::distance::WeightedEuclidean;
+    use crate::knn::LinearScan;
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn random_collection(n: usize, dim: usize, seed: u64) -> Collection {

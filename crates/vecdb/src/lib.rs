@@ -32,10 +32,9 @@ pub mod result;
 
 pub use collection::{CategoryId, Collection, CollectionBuilder};
 pub use distance::{
-    Distance, Euclidean, HierarchicalDistance, Lp, Manhattan, QuadraticDistance,
-    WeightedEuclidean,
+    Distance, Euclidean, HierarchicalDistance, Lp, Manhattan, QuadraticDistance, WeightedEuclidean,
 };
-pub use knn::{KnnEngine, LinearScan, MTree, Neighbor, VpTree};
+pub use knn::{KnnEngine, LinearScan, MTree, Neighbor, ScanMode, VpTree};
 pub use result::ResultList;
 
 /// Errors from the vector database.

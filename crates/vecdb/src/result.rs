@@ -138,8 +138,14 @@ mod tests {
     fn ranking_ignores_distances() {
         let mut x = rl(&[1, 2]);
         let y = ResultList::new(vec![
-            Neighbor { index: 1, dist: 10.0 },
-            Neighbor { index: 2, dist: 20.0 },
+            Neighbor {
+                index: 1,
+                dist: 10.0,
+            },
+            Neighbor {
+                index: 2,
+                dist: 20.0,
+            },
         ]);
         assert!(x.same_ranking(&y));
         x = rl(&[2, 1]);

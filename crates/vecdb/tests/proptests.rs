@@ -2,11 +2,11 @@
 //! scan under every distance class, and distances must obey their
 //! distortion contracts.
 
+use fbp_linalg::Matrix;
 use fbp_vecdb::{
     Collection, CollectionBuilder, Distance, Euclidean, HierarchicalDistance, KnnEngine,
     LinearScan, MTree, Manhattan, QuadraticDistance, VpTree, WeightedEuclidean,
 };
-use fbp_linalg::Matrix;
 use proptest::prelude::*;
 
 const DIM: usize = 4;
@@ -34,8 +34,12 @@ fn assert_same_answers(
     prop_assert_eq!(a.len(), b.len());
     for (x, y) in a.iter().zip(b.iter()) {
         // Ranks must agree up to distance ties; distances must agree.
-        prop_assert!((x.dist - y.dist).abs() < 1e-9,
-            "distance mismatch: {} vs {}", x.dist, y.dist);
+        prop_assert!(
+            (x.dist - y.dist).abs() < 1e-9,
+            "distance mismatch: {} vs {}",
+            x.dist,
+            y.dist
+        );
     }
     Ok(())
 }

@@ -12,11 +12,7 @@ pub fn energy(x: &[f64]) -> f64 {
 pub fn rms_error(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "rms_error: length mismatch");
     assert!(!a.is_empty(), "rms_error: empty input");
-    let sq: f64 = a
-        .iter()
-        .zip(b.iter())
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum();
+    let sq: f64 = a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
     (sq / a.len() as f64).sqrt()
 }
 
@@ -88,7 +84,7 @@ mod tests {
         assert_eq!(prof.iter().sum::<usize>(), 5);
         assert_eq!(prof[0], 2); // 0.0 and 1e-6 underflow the floor
         assert_eq!(prof[3], 1); // 10.0 in the top bucket
-        // All-small input collapses into bucket 0.
+                                // All-small input collapses into bucket 0.
         let small = [1e-9, 1e-10];
         let p2 = magnitude_profile(&small, 3, 1e-3);
         assert_eq!(p2, vec![2, 0, 0]);

@@ -128,7 +128,10 @@ mod tests {
         dwt(&mut h, Normalization::Average).unwrap();
         assert!((l[0] - h[0]).abs() < 1e-12);
         for i in 1..4 {
-            assert!((l[i] - (-2.0) * h[i]).abs() < 1e-12, "i={i}: {l:?} vs {h:?}");
+            assert!(
+                (l[i] - (-2.0) * h[i]).abs() < 1e-12,
+                "i={i}: {l:?} vs {h:?}"
+            );
         }
     }
 

@@ -228,8 +228,7 @@ mod tests {
         let uh = UnbalancedHaar::new(vec![0.0, 0.1, 1.0, 2.5, 2.6, 5.0]).unwrap();
         let vals = [1.0, -2.0, 0.25, 4.0, -1.5];
         let c = uh.forward(&vals);
-        let coeff_energy =
-            c.smooth * c.smooth + c.details.iter().map(|d| d * d).sum::<f64>();
+        let coeff_energy = c.smooth * c.smooth + c.details.iter().map(|d| d * d).sum::<f64>();
         assert!((uh.energy(&vals) - coeff_energy).abs() < 1e-10);
     }
 

@@ -1,16 +1,13 @@
 //! Property-based tests for the wavelet transforms.
 
 use fbp_wavelet::{
-    analysis, dwt, haar, idwt, lift_forward, lift_inverse, threshold, Normalization,
-    UnbalancedHaar,
+    analysis, dwt, haar, idwt, lift_forward, lift_inverse, threshold, Normalization, UnbalancedHaar,
 };
 use proptest::prelude::*;
 
 /// Strategy: dyadic-length signal.
 fn dyadic_signal() -> impl Strategy<Value = Vec<f64>> {
-    (1usize..=6).prop_flat_map(|log| {
-        prop::collection::vec(-100.0..100.0f64, 1usize << log)
-    })
+    (1usize..=6).prop_flat_map(|log| prop::collection::vec(-100.0..100.0f64, 1usize << log))
 }
 
 /// Strategy: irregular partition + matching values.

@@ -8,14 +8,14 @@
 //!
 //! Run with: `cargo run --release --example concurrent_sessions`
 
-use feedbackbypass::{BypassConfig, FeedbackBypass, SharedBypass};
 use fbp_eval::metrics;
 use fbp_eval::scenario::evaluate_params;
 use fbp_feedback::{CategoryOracle, FeedbackConfig, FeedbackLoop};
 use fbp_imagegen::{DatasetConfig, SyntheticDataset};
 use fbp_vecdb::LinearScan;
-use rand::{rngs::StdRng, SeedableRng};
+use feedbackbypass::{BypassConfig, FeedbackBypass, SharedBypass};
 use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, SeedableRng};
 
 const WORKERS: usize = 4;
 const QUERIES_PER_WORKER: usize = 60;
@@ -29,17 +29,14 @@ fn main() {
     let ds = SyntheticDataset::generate(cfg);
     let coll = &ds.collection;
 
-    let module =
-        FeedbackBypass::for_histograms(coll.dim(), BypassConfig::default()).unwrap();
+    let module = FeedbackBypass::for_histograms(coll.dim(), BypassConfig::default()).unwrap();
     let shared = SharedBypass::new(module);
 
     // Disjoint query slices per worker.
     let mut pool = ds.labelled.clone();
     pool.shuffle(&mut StdRng::seed_from_u64(42));
     let slices: Vec<Vec<usize>> = (0..WORKERS)
-        .map(|w| {
-            pool[w * QUERIES_PER_WORKER..(w + 1) * QUERIES_PER_WORKER].to_vec()
-        })
+        .map(|w| pool[w * QUERIES_PER_WORKER..(w + 1) * QUERIES_PER_WORKER].to_vec())
         .collect();
 
     eprintln!("running {WORKERS} session threads...");
@@ -98,13 +95,9 @@ fn main() {
     for qidx in eval_pool {
         let q = coll.vector(qidx);
         let oracle = CategoryOracle::new(coll, coll.label(qidx));
-        defaults.push(
-            evaluate_params(&engine, q, &vec![1.0; coll.dim()], K, &oracle).precision,
-        );
+        defaults.push(evaluate_params(&engine, q, &vec![1.0; coll.dim()], K, &oracle).precision);
         let pred = shared.predict(q).unwrap();
-        bypassed.push(
-            evaluate_params(&engine, &pred.point, &pred.weights, K, &oracle).precision,
-        );
+        bypassed.push(evaluate_params(&engine, &pred.point, &pred.weights, K, &oracle).precision);
     }
     let d = metrics::mean(&defaults);
     let b = metrics::mean(&bypassed);

@@ -9,8 +9,8 @@
 //!
 //! Run with: `cargo run --release --example image_search`
 
-use fbp_eval::{run_stream, StreamOptions};
 use fbp_eval::stream::query_order;
+use fbp_eval::{run_stream, StreamOptions};
 use fbp_imagegen::{DatasetConfig, SyntheticDataset};
 use fbp_vecdb::{Distance, KnnEngine, LinearScan, WeightedEuclidean};
 
@@ -97,9 +97,7 @@ fn main() {
         .expect("held-out query exists");
     let q: Vec<f64> = coll.vector(qidx).to_vec();
     let query_cat = label_of(&ds, qidx as u32);
-    println!(
-        "query: image #{qidx}, category \"{query_cat}\" (never seen by the module)\n"
-    );
+    println!("query: image #{qidx}, category \"{query_cat}\" (never seen by the module)\n");
 
     // Default vs FeedbackBypass top-5 (the two rows of Figure 1).
     show_top5(
@@ -123,12 +121,6 @@ fn main() {
     // How different are the predicted parameters?
     let moved: f64 = fbp_vecdb::Euclidean.eval(&q, &pred.point);
     let w_spread = pred.weights.iter().cloned().fold(0.0_f64, f64::max)
-        / pred
-            .weights
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min);
-    println!(
-        "predicted parameters: query moved by {moved:.4}, weight spread {w_spread:.1}×"
-    );
+        / pred.weights.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!("predicted parameters: query moved by {moved:.4}, weight spread {w_spread:.1}×");
 }

@@ -7,19 +7,14 @@
 //!
 //! Run with: `cargo run --release --example learning_curve [n_queries] [k] [scale]`
 
-use fbp_eval::{
-    efficiency::checkpoints, metrics, run_stream, Series, StreamOptions,
-};
 use fbp_eval::report::Figure;
+use fbp_eval::{efficiency::checkpoints, metrics, run_stream, Series, StreamOptions};
 use fbp_imagegen::{DatasetConfig, SyntheticDataset};
 use fbp_vecdb::LinearScan;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let n_queries: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(300);
+    let n_queries: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(300);
     let k: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(50);
     let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.5);
 
@@ -51,9 +46,8 @@ fn main() {
     let cs = metrics::cumulative_avg(&s);
 
     let cps = checkpoints(n_queries, (n_queries / 10).max(1));
-    let pick = |v: &[f64]| -> Vec<(f64, f64)> {
-        cps.iter().map(|&c| (c as f64, v[c - 1])).collect()
-    };
+    let pick =
+        |v: &[f64]| -> Vec<(f64, f64)> { cps.iter().map(|&c| (c as f64, v[c - 1])).collect() };
     let fig = Figure::new(
         format!("Figure 10a — average precision vs no. of queries (k = {k})"),
         "no. of queries",
@@ -68,21 +62,11 @@ fn main() {
 
     let gain_b: Vec<(f64, f64)> = cps
         .iter()
-        .map(|&c| {
-            (
-                c as f64,
-                metrics::precision_gain(cb[c - 1], cd[c - 1]),
-            )
-        })
+        .map(|&c| (c as f64, metrics::precision_gain(cb[c - 1], cd[c - 1])))
         .collect();
     let gain_s: Vec<(f64, f64)> = cps
         .iter()
-        .map(|&c| {
-            (
-                c as f64,
-                metrics::precision_gain(cs[c - 1], cd[c - 1]),
-            )
-        })
+        .map(|&c| (c as f64, metrics::precision_gain(cs[c - 1], cd[c - 1])))
         .collect();
     let fig_b = Figure::new(
         "Figure 10b — precision gain (%) vs no. of queries",

@@ -7,13 +7,13 @@
 //!
 //! Run with: `cargo run --release --example persistence`
 
-use feedbackbypass::FeedbackBypass;
-use fbp_eval::{metrics, run_stream, StreamOptions};
 use fbp_eval::scenario::{evaluate_default, evaluate_params};
 use fbp_eval::stream::query_order;
+use fbp_eval::{metrics, run_stream, StreamOptions};
 use fbp_feedback::CategoryOracle;
 use fbp_imagegen::{DatasetConfig, SyntheticDataset};
 use fbp_vecdb::LinearScan;
+use feedbackbypass::FeedbackBypass;
 
 fn main() {
     let mut cfg = DatasetConfig::paper();
@@ -43,9 +43,8 @@ fn main() {
     drop(trained); // the process "exits"
 
     // --- Session 2: restore and benefit immediately. ---
-    let restored =
-        FeedbackBypass::from_bytes(&std::fs::read(&path).expect("read session file"))
-            .expect("restore module");
+    let restored = FeedbackBypass::from_bytes(&std::fs::read(&path).expect("read session file"))
+        .expect("restore module");
     println!(
         "session 2: restored module with {} stored points",
         restored.tree().stored_points()

@@ -6,10 +6,10 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use feedbackbypass::{BypassConfig, FeedbackBypass};
 use fbp_feedback::{CategoryOracle, FeedbackConfig, FeedbackLoop};
 use fbp_imagegen::{DatasetConfig, SyntheticDataset};
 use fbp_vecdb::LinearScan;
+use feedbackbypass::{BypassConfig, FeedbackBypass};
 use rand::{rngs::StdRng, SeedableRng};
 
 fn main() {
@@ -24,8 +24,7 @@ fn main() {
     );
 
     let engine = LinearScan::new(coll);
-    let mut bypass =
-        FeedbackBypass::for_histograms(coll.dim(), BypassConfig::default()).unwrap();
+    let mut bypass = FeedbackBypass::for_histograms(coll.dim(), BypassConfig::default()).unwrap();
 
     // Pick a query image and its category oracle.
     let mut rng = StdRng::seed_from_u64(7);
@@ -60,9 +59,7 @@ fn main() {
     );
 
     // 3. Store the converged parameters.
-    bypass
-        .insert(&q, &outcome.point, &outcome.weights)
-        .unwrap();
+    bypass.insert(&q, &outcome.point, &outcome.weights).unwrap();
     println!(
         "stored; tree now holds {} point(s)",
         bypass.tree().stored_points()

@@ -3,7 +3,6 @@
 //!
 //! Run with: `cargo run --release --example reduced_domain [r] [n_queries]`
 
-use feedbackbypass::{BypassConfig, FeedbackBypass, ReducedBypass};
 use fbp_eval::metrics;
 use fbp_eval::scenario::evaluate_params;
 use fbp_eval::stream::query_order;
@@ -11,6 +10,7 @@ use fbp_feedback::{CategoryOracle, FeedbackConfig, FeedbackLoop};
 use fbp_imagegen::{DatasetConfig, SyntheticDataset};
 use fbp_simplex_tree::TreeConfig;
 use fbp_vecdb::LinearScan;
+use feedbackbypass::{BypassConfig, FeedbackBypass, ReducedBypass};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -27,8 +27,7 @@ fn main() {
     let k = 50;
 
     let sample: Vec<&[f64]> = ds.labelled.iter().map(|&i| coll.vector(i)).collect();
-    let mut full =
-        FeedbackBypass::for_histograms(coll.dim(), BypassConfig::default()).unwrap();
+    let mut full = FeedbackBypass::for_histograms(coll.dim(), BypassConfig::default()).unwrap();
     let mut reduced = ReducedBypass::fit(&sample, r, TreeConfig::default()).unwrap();
     println!(
         "PCA r = {r}: explained variance {:.1}% of the sample",

@@ -1,17 +1,16 @@
 //! Concurrency integration: many threads sharing one module through
 //! [`feedbackbypass::SharedBypass`] while full feedback loops run.
 
-use feedbackbypass::{BypassConfig, FeedbackBypass, SharedBypass};
 use fbp_feedback::{CategoryOracle, FeedbackConfig, FeedbackLoop};
 use fbp_imagegen::{DatasetConfig, SyntheticDataset};
 use fbp_vecdb::LinearScan;
+use feedbackbypass::{BypassConfig, FeedbackBypass, SharedBypass};
 
 #[test]
 fn concurrent_sessions_share_learning() {
     let ds = SyntheticDataset::generate(DatasetConfig::small());
     let coll = &ds.collection;
-    let module =
-        FeedbackBypass::for_histograms(coll.dim(), BypassConfig::default()).unwrap();
+    let module = FeedbackBypass::for_histograms(coll.dim(), BypassConfig::default()).unwrap();
     let shared = SharedBypass::new(module);
 
     let n_threads = 4;

@@ -31,8 +31,14 @@ fn scenario_ordering_holds() {
     // The paper's central ordering: AlreadySeen dominates Default
     // decisively; FeedbackBypass sits between them (allow slack on the
     // noisy small dataset for the bypass-vs-default comparison).
-    assert!(s > d * 1.15, "AlreadySeen {s:.3} should beat Default {d:.3}");
-    assert!(s >= b, "AlreadySeen {s:.3} is the ceiling for bypass {b:.3}");
+    assert!(
+        s > d * 1.15,
+        "AlreadySeen {s:.3} should beat Default {d:.3}"
+    );
+    assert!(
+        s >= b,
+        "AlreadySeen {s:.3} is the ceiling for bypass {b:.3}"
+    );
     assert!(
         b >= d - 0.02,
         "bypass {b:.3} must not lose to default {d:.3}"

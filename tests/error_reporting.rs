@@ -2,13 +2,13 @@
 //! public contract (operators read these), and every error must be
 //! `std::error::Error + Send + Sync` so callers can box them.
 
-use feedbackbypass::BypassError;
 use fbp_feedback::FeedbackError;
 use fbp_geometry::GeometryError;
 use fbp_linalg::LinalgError;
 use fbp_simplex_tree::TreeError;
 use fbp_vecdb::VecdbError;
 use fbp_wavelet::WaveletError;
+use feedbackbypass::BypassError;
 
 fn assert_error<E: std::error::Error + Send + Sync + 'static>(e: E, needle: &str) {
     let msg = e.to_string();
@@ -92,7 +92,10 @@ fn feedback_errors_display() {
         },
         "expected 2",
     );
-    assert_error(FeedbackError::BadConfig("sigma_floor".into()), "sigma_floor");
+    assert_error(
+        FeedbackError::BadConfig("sigma_floor".into()),
+        "sigma_floor",
+    );
 }
 
 #[test]

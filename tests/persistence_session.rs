@@ -1,12 +1,12 @@
 //! Cross-session persistence integration: learn in one "session", restore
 //! in the next, keep learning, and reject corrupted state.
 
-use feedbackbypass::{BypassConfig, FeedbackBypass};
-use fbp_eval::{run_stream, StreamOptions};
 use fbp_eval::stream::query_order;
+use fbp_eval::{run_stream, StreamOptions};
 use fbp_feedback::{CategoryOracle, FeedbackConfig, FeedbackLoop};
 use fbp_imagegen::{DatasetConfig, SyntheticDataset};
 use fbp_vecdb::LinearScan;
+use feedbackbypass::{BypassConfig, FeedbackBypass};
 
 #[test]
 fn restored_module_continues_learning() {

@@ -2,13 +2,13 @@
 //! follow-up): the reduced module must learn from real feedback loops on
 //! the synthetic dataset and make useful, always-safe predictions.
 
-use feedbackbypass::ReducedBypass;
 use fbp_eval::metrics;
 use fbp_eval::scenario::{evaluate_default, evaluate_params};
 use fbp_feedback::{CategoryOracle, FeedbackConfig, FeedbackLoop};
 use fbp_imagegen::{DatasetConfig, SyntheticDataset};
 use fbp_simplex_tree::TreeConfig;
 use fbp_vecdb::LinearScan;
+use feedbackbypass::ReducedBypass;
 
 #[test]
 fn reduced_module_learns_on_the_synthetic_dataset() {

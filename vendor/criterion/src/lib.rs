@@ -1,0 +1,326 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Wall-clock micro-benchmark harness with the API subset the workspace's
+//! benches use: `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, the `criterion_group!` /
+//! `criterion_main!` macros, and `black_box`. Each benchmark warms up,
+//! auto-calibrates an iteration count, collects `sample_size` timed
+//! samples, and prints `min / median / mean` per-iteration times.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement back-ends (only wall-clock time here).
+pub mod measurement {
+    /// Wall-clock measurement marker.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Compose from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Compose from a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BenchConfig {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            sample_size: 20,
+        }
+    }
+}
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    cfg: BenchConfig,
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            cfg: self.cfg,
+            _criterion: self,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_benchmark(id, self.cfg, |b| f(b));
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration and a name prefix.
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    cfg: BenchConfig,
+    _criterion: &'a mut Criterion,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Total time spent measuring each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Number of timed samples to collect.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.id), self.cfg, |b| f(b));
+        self
+    }
+
+    /// Run a benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id.id), self.cfg, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group (upstream emits summary reports here; we print per
+    /// benchmark, so this is a no-op marker).
+    pub fn finish(self) {}
+}
+
+/// Per-sample batching policy for [`Bencher::iter_batched`]. The shim
+/// regenerates inputs per iteration regardless, so the variants only
+/// document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch upstream.
+    SmallInput,
+    /// Large inputs: one per batch upstream.
+    LargeInput,
+    /// Each input used exactly once.
+    PerIteration,
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    cfg: BenchConfig,
+    /// Collected per-iteration sample means, in nanoseconds.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure a closure: warm-up, calibrate iterations per sample, then
+    /// collect `sample_size` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up (also primes caches and the branch predictor).
+        let warm_end = Instant::now() + self.cfg.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_end {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+
+        // Calibrate: spread measurement_time across sample_size samples.
+        let sample_ns = self.cfg.measurement_time.as_nanos() as f64 / self.cfg.sample_size as f64;
+        let iters_per_sample = ((sample_ns / per_iter.max(1.0)) as u64).clamp(1, u64::MAX);
+
+        self.samples.clear();
+        for _ in 0..self.cfg.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed().as_nanos() as f64;
+            self.samples.push(elapsed / iters_per_sample as f64);
+        }
+    }
+
+    /// Measure a closure over fresh inputs produced by `setup`. Unlike
+    /// upstream, setup time is excluded by timing each routine call
+    /// individually (coarser clock granularity, same contract).
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        // Warm-up.
+        let warm_end = Instant::now() + self.cfg.warm_up_time;
+        let mut per_iter = 0.0;
+        let mut warm_iters: u64 = 0;
+        while Instant::now() < warm_end {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            per_iter += t0.elapsed().as_nanos() as f64;
+            warm_iters += 1;
+        }
+        per_iter /= warm_iters.max(1) as f64;
+
+        let sample_ns = self.cfg.measurement_time.as_nanos() as f64 / self.cfg.sample_size as f64;
+        let iters_per_sample = ((sample_ns / per_iter.max(1.0)) as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.cfg.sample_size {
+            let mut elapsed = 0.0;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                elapsed += t0.elapsed().as_nanos() as f64;
+            }
+            self.samples.push(elapsed / iters_per_sample as f64);
+        }
+    }
+}
+
+fn run_benchmark(id: &str, cfg: BenchConfig, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        cfg,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    let mut sorted = b.samples.clone();
+    sorted.sort_by(|a, c| a.partial_cmp(c).expect("finite timings"));
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    println!(
+        "{id:<48} time: [min {} median {} mean {}]",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.measurement_time(Duration::from_millis(50));
+        group.warm_up_time(Duration::from_millis(10));
+        group.sample_size(5);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("euclidean", "scan");
+        assert_eq!(id.id, "euclidean/scan");
+        assert_eq!(BenchmarkId::from_parameter(32).id, "32");
+    }
+}

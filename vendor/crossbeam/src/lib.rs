@@ -1,0 +1,57 @@
+//! Offline stand-in for `crossbeam`, delegating scoped threads to
+//! `std::thread::scope` (stable since Rust 1.63, which removed the need
+//! for crossbeam's implementation). Only the `thread::scope` API the
+//! workspace uses is provided.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// Handle passed to the `scope` closure; spawns scoped threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread bound to the scope. The closure receives a unit
+        /// placeholder where crossbeam passes a nested scope handle (all
+        /// call sites in this workspace ignore it).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(()))
+        }
+    }
+
+    /// Run a closure with a thread scope; all spawned threads are joined
+    /// before this returns. Panics in unjoined threads propagate as a
+    /// panic here (std semantics), so the `Err` arm is never produced —
+    /// it exists to satisfy crossbeam's `Result` signature.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let counter = AtomicUsize::new(0);
+        let data = vec![1usize, 2, 3, 4];
+        super::thread::scope(|scope| {
+            for &x in &data {
+                let counter = &counter;
+                scope.spawn(move |_| counter.fetch_add(x, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+}

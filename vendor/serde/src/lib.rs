@@ -1,0 +1,150 @@
+//! Offline stand-in for `serde`, specialized to the one output format the
+//! workspace needs: JSON text. `Serialize` writes the value directly as
+//! JSON; the `#[derive(Serialize)]` macro (re-exported from the local
+//! `serde_derive` shim) emits field-by-field object output for plain
+//! structs with named fields.
+
+pub use serde_derive::Serialize;
+
+/// Serialize a value as JSON text.
+pub trait Serialize {
+    /// Append the JSON encoding of `self` to `out`.
+    fn write_json(&self, out: &mut String);
+}
+
+/// Append a JSON string literal (with escaping) to `out`.
+pub fn write_json_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a JSON number; non-finite floats become `null` (matching
+/// `serde_json`'s behavior for f64).
+fn write_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // Integral values print without a trailing ".0", like serde_json.
+        if v == v.trunc() && v.abs() < 1e15 {
+            out.push_str(&format!("{}", v as i64));
+        } else {
+            out.push_str(&format!("{v}"));
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl Serialize for f64 {
+    fn write_json(&self, out: &mut String) {
+        write_f64(*self, out);
+    }
+}
+
+impl Serialize for f32 {
+    fn write_json(&self, out: &mut String) {
+        write_f64(*self as f64, out);
+    }
+}
+
+impl Serialize for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(&format!("{self}"));
+            }
+        }
+    )*};
+}
+impl_serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String) {
+        write_json_escaped(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String) {
+        write_json_escaped(self, out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json<T: Serialize>(v: &T) -> String {
+        let mut s = String::new();
+        v.write_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(json(&1.5f64), "1.5");
+        assert_eq!(json(&2.0f64), "2");
+        assert_eq!(json(&f64::NAN), "null");
+        assert_eq!(json(&true), "true");
+        assert_eq!(json(&42u32), "42");
+        assert_eq!(json(&String::from("a\"b")), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(json(&vec![1.0f64, 2.5]), "[1,2.5]");
+        assert_eq!(json(&Option::<f64>::None), "null");
+        assert_eq!(json(&Some(3u8)), "3");
+    }
+}

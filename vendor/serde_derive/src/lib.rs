@@ -1,0 +1,98 @@
+//! Offline stand-in for `serde_derive`: a `#[derive(Serialize)]` that
+//! handles plain (non-generic) structs with named fields, emitting a
+//! field-by-field JSON object through the local `serde` shim's
+//! `Serialize::write_json`. Written against the raw `proc_macro` API so
+//! it needs no syn/quote (the build environment is offline).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_struct(input);
+    let body: String = fields
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let comma = if i > 0 { "out.push(',');" } else { "" };
+            format!(
+                "{comma} out.push_str(\"\\\"{f}\\\":\"); \
+                 serde::Serialize::write_json(&self.{f}, out);"
+            )
+        })
+        .collect();
+    let imp = format!(
+        "impl serde::Serialize for {name} {{\
+             fn write_json(&self, out: &mut String) {{\
+                 out.push('{{');\
+                 {body}\
+                 out.push('}}');\
+             }}\
+         }}"
+    );
+    imp.parse().expect("generated impl parses")
+}
+
+/// Extract the struct name and its named field identifiers.
+fn parse_struct(input: TokenStream) -> (String, Vec<String>) {
+    let mut iter = input.into_iter().peekable();
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Skip outer attributes (#[...]) and doc comments.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                if let Some(TokenTree::Ident(n)) = iter.next() {
+                    name = Some(n.to_string());
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("#[derive(Serialize)] requires a struct");
+    // Find the brace-delimited field body (skipping any generics would go
+    // here; the workspace's serialized structs are non-generic).
+    let body = iter
+        .find_map(|tt| match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .expect("#[derive(Serialize)] requires named fields");
+
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    let mut angle_depth = 0i32;
+    let mut expect_field = true;
+    while let Some(tt) = toks.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                toks.next(); // attribute body
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                expect_field = true;
+            }
+            TokenTree::Ident(id) if expect_field && angle_depth == 0 => {
+                let s = id.to_string();
+                if s == "pub" {
+                    // Visibility; possibly followed by pub(crate) group.
+                    if let Some(TokenTree::Group(_)) = toks.peek() {
+                        toks.next();
+                    }
+                } else if matches!(
+                    toks.peek(),
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':'
+                ) {
+                    fields.push(s);
+                    expect_field = false;
+                }
+            }
+            _ => {}
+        }
+    }
+    (name, fields)
+}

@@ -17,6 +17,20 @@ const DIM: usize = 32;
 const N: usize = 10_000;
 const K: usize = 50;
 
+/// Apply the standard timing budget, reduced under `FBP_BENCH_FAST=1`
+/// (the CI bench-smoke job).
+fn tune<M>(group: &mut criterion::BenchmarkGroup<'_, M>) {
+    if fbp_bench::is_fast() {
+        group.measurement_time(Duration::from_millis(300));
+        group.warm_up_time(Duration::from_millis(50));
+        group.sample_size(8);
+    } else {
+        group.measurement_time(Duration::from_secs(2));
+        group.warm_up_time(Duration::from_millis(300));
+        group.sample_size(20);
+    }
+}
+
 fn collection_dim(n: usize, dim: usize, seed: u64) -> fbp_vecdb::Collection {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = CollectionBuilder::new();
@@ -54,9 +68,7 @@ fn bench_scan_paths(c: &mut Criterion) {
     let weighted = WeightedEuclidean::new(weights).unwrap();
 
     let mut group = c.benchmark_group("linear_scan_paths_10k_64d_k50");
-    group.measurement_time(Duration::from_secs(2));
-    group.warm_up_time(Duration::from_millis(300));
-    group.sample_size(20);
+    tune(&mut group);
     let paths = [
         ("scalar_dyn_baseline", ScanMode::Scalar),
         ("batched", ScanMode::Batched),
@@ -89,9 +101,7 @@ fn bench_knn(c: &mut Criterion) {
     let weighted = WeightedEuclidean::new(weights).unwrap();
 
     let mut group = c.benchmark_group("knn_10k_32d_k50");
-    group.measurement_time(Duration::from_secs(2));
-    group.warm_up_time(Duration::from_millis(300));
-    group.sample_size(20);
+    tune(&mut group);
     let engines: [(&str, &dyn KnnEngine); 3] = [("scan", &scan), ("vptree", &vp), ("mtree", &mt)];
     for (name, engine) in engines {
         group.bench_with_input(BenchmarkId::new("euclidean", name), &engine, |b, engine| {

@@ -1,0 +1,158 @@
+//! Multi-query scan Q-sweep: per-query cost of answering Q concurrent
+//! queries per blocked collection pass, on the acceptance workload
+//! (10k × 64-d, weighted Euclidean, k = 50).
+//!
+//! The single-query batched scan is memory-bandwidth-bound on small
+//! hosts (PR 1 measured it at the raw sequential-read time of the
+//! collection), so per-query cost should fall monotonically as Q grows —
+//! every block is streamed once for Q queries — until the scan turns
+//! compute-bound. The sweep is measured manually (not through the
+//! criterion shim) because CI tracks the numbers per PR: set
+//! `FBP_BENCH_JSON=path` to dump them machine-readably (the bench-smoke
+//! job writes `BENCH_pr.json`), `FBP_BENCH_FAST=1` for reduced samples.
+
+use fbp_bench::{emit, is_fast, time_median_ns, write_bench_json};
+use fbp_eval::report::Figure;
+use fbp_eval::Series;
+use fbp_vecdb::{
+    CollectionBuilder, Distance, KnnEngine, LinearScan, MultiQueryScan, ScanMode, WeightedEuclidean,
+};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::hint::black_box;
+
+const N: usize = 10_000;
+const DIM: usize = 64;
+const K: usize = 50;
+/// Swept batch sizes; every sweep point answers all [`TOTAL_QUERIES`]
+/// queries, in batches of Q, so the work compared is identical.
+const QS: [usize; 4] = [1, 4, 16, 64];
+const TOTAL_QUERIES: usize = 64;
+
+fn collection(seed: u64) -> fbp_vecdb::Collection {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CollectionBuilder::new();
+    for _ in 0..N {
+        let center = rng.gen_range(0..20);
+        let v: Vec<f64> = (0..DIM)
+            .map(|d| {
+                let base = (((center * 31 + d * 7) % 97) as f64) / 97.0;
+                (base + rng.gen_range(-0.08..0.08)).clamp(0.0, 1.0)
+            })
+            .collect();
+        b.push_unlabelled(&v).unwrap();
+    }
+    b.build()
+}
+
+fn main() {
+    let coll = collection(71);
+    let mut rng = StdRng::seed_from_u64(73);
+    let queries: Vec<Vec<f64>> = (0..TOTAL_QUERIES)
+        .map(|_| (0..DIM).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let refs: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
+    let weights: Vec<f64> = (0..DIM).map(|_| rng.gen_range(0.3..3.0)).collect();
+    let weighted = WeightedEuclidean::new(weights).unwrap();
+    // Heterogeneous per-session metrics for the diverged-serving point.
+    let session_metrics: Vec<WeightedEuclidean> = (0..TOTAL_QUERIES)
+        .map(|_| {
+            WeightedEuclidean::new((0..DIM).map(|_| rng.gen_range(0.3..3.0)).collect()).unwrap()
+        })
+        .collect();
+
+    let (warmup, samples) = if is_fast() { (1, 5) } else { (3, 15) };
+    eprintln!(
+        "[bench] multi-query scan sweep: {N} × {DIM}-d, k={K}, {TOTAL_QUERIES} queries/sample, {samples} samples{}",
+        if is_fast() { " (fast)" } else { "" }
+    );
+
+    // Baseline: the single-query batched LinearScan (one pass per query).
+    let single = LinearScan::with_mode(&coll, ScanMode::Batched);
+    let linear_ns = time_median_ns(warmup, samples, || {
+        for q in &refs {
+            black_box(single.knn(q, K, &weighted).len());
+        }
+    }) / TOTAL_QUERIES as f64;
+
+    // Q-sweep: same 64 queries, answered Q at a time in one pass each.
+    let multi = MultiQueryScan::with_mode(&coll, ScanMode::Batched);
+    let mut sweep: Vec<(usize, f64)> = Vec::new();
+    for q in QS {
+        let ns = time_median_ns(warmup, samples, || {
+            for batch in refs.chunks(q) {
+                black_box(multi.knn_multi(batch, K, &weighted).len());
+            }
+        }) / TOTAL_QUERIES as f64;
+        sweep.push((q, ns));
+    }
+
+    // Diverged sessions: every query under its own metric, Q = 16.
+    let dists: Vec<&dyn Distance> = session_metrics.iter().map(|m| m as &dyn Distance).collect();
+    let per_query_ns = time_median_ns(warmup, samples, || {
+        for (batch, dist_batch) in refs.chunks(16).zip(dists.chunks(16)) {
+            black_box(multi.knn_per_query(batch, dist_batch, K).len());
+        }
+    }) / TOTAL_QUERIES as f64;
+
+    println!("multi-query scan, {N} × {DIM}-d weighted-Euclidean, k = {K}");
+    println!("{:<32} {:>12} {:>14}", "path", "ns/query", "queries/sec");
+    let row = |name: &str, ns: f64| {
+        println!("{name:<32} {ns:>12.0} {:>14.0}", 1e9 / ns);
+    };
+    row("linear-scan (1 pass/query)", linear_ns);
+    for &(q, ns) in &sweep {
+        row(&format!("multi-query shared metric Q={q}"), ns);
+    }
+    row("multi-query own metrics Q=16", per_query_ns);
+
+    // Figure JSON under target/figures/ for the experiment archive.
+    let fig = Figure::new(
+        "Multi-query scan — per-query cost vs batch size Q",
+        "Q (queries per pass)",
+        "ns per query",
+        vec![
+            Series::new(
+                "shared metric",
+                sweep
+                    .iter()
+                    .map(|&(q, ns)| (q as f64, ns))
+                    .collect::<Vec<_>>(),
+            ),
+            Series::new(
+                "linear-scan baseline",
+                QS.iter()
+                    .map(|&q| (q as f64, linear_ns))
+                    .collect::<Vec<_>>(),
+            ),
+        ],
+    );
+    emit("multi_query_scan", &fig);
+
+    // Machine-readable record for the CI bench-smoke artifact.
+    let qsweep_json: Vec<String> = sweep
+        .iter()
+        .map(|&(q, ns)| {
+            format!(
+                "{{\"q\":{q},\"ns_per_query\":{ns:.1},\"queries_per_sec\":{:.1}}}",
+                1e9 / ns
+            )
+        })
+        .collect();
+    write_bench_json(&format!(
+        concat!(
+            "{{\"bench\":\"multi_query_scan\",",
+            "\"workload\":{{\"n\":{},\"dim\":{},\"k\":{},\"metric\":\"weighted-euclidean\"}},",
+            "\"mode\":\"{}\",",
+            "\"linear_scan_ns_per_query\":{:.1},",
+            "\"per_query_metrics_q16_ns_per_query\":{:.1},",
+            "\"qsweep\":[{}]}}\n"
+        ),
+        N,
+        DIM,
+        K,
+        if is_fast() { "fast" } else { "full" },
+        linear_ns,
+        per_query_ns,
+        qsweep_json.join(",")
+    ));
+}

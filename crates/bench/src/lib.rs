@@ -13,7 +13,53 @@ use std::path::PathBuf;
 
 /// True when paper-scale runs were requested via `FBP_FULL=1`.
 pub fn is_full() -> bool {
-    std::env::var("FBP_FULL").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+    env_flag("FBP_FULL")
+}
+
+/// True when the CI bench-smoke job requested reduced sample counts via
+/// `FBP_BENCH_FAST=1` (keep per-PR perf tracking cheap; the numbers are
+/// noisier but the Q-sweep *shape* survives).
+pub fn is_fast() -> bool {
+    env_flag("FBP_BENCH_FAST")
+}
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+}
+
+/// Median wall-clock nanoseconds of `f` over `samples` timed runs after
+/// `warmup` untimed runs. The manual counterpart of the criterion shim
+/// for benches that need their measurements *as data* (e.g. to write a
+/// machine-readable Q-sweep for CI perf tracking).
+pub fn time_median_ns(warmup: usize, samples: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            f();
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Write machine-readable bench results to the path in `FBP_BENCH_JSON`
+/// (no-op when unset). The CI bench-smoke job points this at
+/// `BENCH_pr.json` and uploads it as the PR's perf artifact.
+pub fn write_bench_json(json: &str) {
+    let Some(path) = std::env::var_os("FBP_BENCH_JSON") else {
+        return;
+    };
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("[bench] wrote {}", PathBuf::from(&path).display()),
+        Err(e) => eprintln!(
+            "[bench] could not write {}: {e}",
+            PathBuf::from(&path).display()
+        ),
+    }
 }
 
 /// Pick a value by scale mode.

@@ -24,7 +24,9 @@
 //! * [`reduction`] — the paper's §3 follow-up: PCA-reduced query domains
 //!   ([`ReducedBypass`]);
 //! * [`shared`] — a thread-safe handle for concurrent retrieval sessions
-//!   sharing one learned mapping.
+//!   sharing one learned mapping, plus the batched serving front-end
+//!   ([`SharedBypass::knn_batch`]) that coalesces pending sessions' k-NN
+//!   requests into one multi-query collection pass.
 //!
 //! ## Quickstart
 //!
@@ -60,7 +62,7 @@ pub mod shared;
 pub use bypass::{BypassConfig, FeedbackBypass, PredictedParams};
 pub use reduction::{PcaReducer, ReducedBypass};
 pub use session::{BypassSystem, QueryOutcome};
-pub use shared::SharedBypass;
+pub use shared::{KnnRequest, SharedBypass};
 
 // Re-export the substrate types users interact with.
 pub use fbp_feedback::{FeedbackConfig, MovementStrategy};

@@ -1,16 +1,59 @@
-//! Thread-safe sharing of one FeedbackBypass module.
+//! Thread-safe sharing of one FeedbackBypass module, plus the batched
+//! serving front-end for concurrent sessions.
 //!
 //! A retrieval service handles many user sessions concurrently, all of
 //! which should benefit from (and contribute to) the same learned
 //! mapping. Predictions are read-mostly and cheap; inserts are rare (one
 //! per finished feedback loop). An `RwLock` around the module matches
 //! that profile: concurrent predictions, exclusive inserts.
+//!
+//! Beyond the shared *state*, concurrent sessions also share the
+//! *collection*: every feedback iteration of every session re-scans the
+//! same vectors, and on a memory-bandwidth-bound host those scans are
+//! the throughput ceiling. [`SharedBypass::knn_batch`] therefore
+//! coalesces the pending sessions' k-NN requests into **one**
+//! multi-query block pass ([`MultiQueryScan`]): requests still sharing a
+//! metric (e.g. first iterations under uniform weights) ride the
+//! shared-metric kernels, diverged per-session metrics share the block
+//! reads. Results are bit-identical to serving each request with its own
+//! [`LinearScan`](fbp_vecdb::LinearScan).
 
 use crate::bypass::{FeedbackBypass, PredictedParams};
-use crate::Result;
+use crate::{BypassError, Result};
 use fbp_simplex_tree::InsertOutcome;
+use fbp_vecdb::{Distance, MultiQueryScan, Neighbor, WeightedEuclidean};
 use parking_lot::RwLock;
 use std::sync::Arc;
+
+/// One session's pending k-NN request: its current query point and
+/// per-component distance weights (the parameters its feedback loop —
+/// or a [`SharedBypass::predict`] — last produced).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnRequest {
+    /// Query point in feature space.
+    pub point: Vec<f64>,
+    /// Weighted-Euclidean component weights (all finite and positive).
+    pub weights: Vec<f64>,
+}
+
+impl KnnRequest {
+    /// Request with uniform (default-metric) weights.
+    pub fn uniform(point: Vec<f64>) -> Self {
+        let dim = point.len();
+        KnnRequest {
+            point,
+            weights: vec![1.0; dim],
+        }
+    }
+
+    /// Request from a module prediction.
+    pub fn from_prediction(p: &PredictedParams) -> Self {
+        KnnRequest {
+            point: p.point.clone(),
+            weights: p.weights.clone(),
+        }
+    }
+}
 
 /// Cloneable, thread-safe handle to a shared [`FeedbackBypass`] module.
 #[derive(Clone)]
@@ -29,6 +72,73 @@ impl SharedBypass {
     /// Predict under a read lock (concurrent with other predictions).
     pub fn predict(&self, q: &[f64]) -> Result<PredictedParams> {
         self.inner.read().predict(q)
+    }
+
+    /// Predict for a batch of queries under **one** read lock — the
+    /// coalesced form for serving many sessions' predictions at once
+    /// (one lock acquisition instead of one per session).
+    pub fn predict_batch(&self, queries: &[Vec<f64>]) -> Result<Vec<PredictedParams>> {
+        let guard = self.inner.read();
+        queries.iter().map(|q| guard.predict(q)).collect()
+    }
+
+    /// Serve the pending sessions' k-NN requests in **one** multi-query
+    /// block pass over `scan`'s collection, returning each request's `k`
+    /// nearest neighbors in request order (bit-identical to serving each
+    /// request with its own single-query scan).
+    ///
+    /// Requests whose weight vectors are all identical — typically every
+    /// session's first iteration, before feedback diverges the metrics —
+    /// take the shared-metric fast path
+    /// ([`MultiQueryScan::knn_multi`], one kernel call per block);
+    /// otherwise each request keeps its own learned metric and shares
+    /// the block reads ([`MultiQueryScan::knn_per_query`]).
+    pub fn knn_batch(
+        &self,
+        scan: &MultiQueryScan<'_>,
+        requests: &[KnnRequest],
+        k: usize,
+    ) -> Result<Vec<Vec<Neighbor>>> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let coll = scan.collection();
+        if coll.is_empty() {
+            return Ok(vec![Vec::new(); requests.len()]);
+        }
+        for r in requests {
+            // Validate up front: the scan layer asserts/indexes on these
+            // and would panic instead of reporting a serving error.
+            if r.point.len() != coll.dim() {
+                return Err(BypassError::DimMismatch {
+                    expected: coll.dim(),
+                    got: r.point.len(),
+                });
+            }
+            if r.weights.len() != coll.dim() {
+                return Err(BypassError::DimMismatch {
+                    expected: coll.dim(),
+                    got: r.weights.len(),
+                });
+            }
+        }
+        let metrics: Vec<WeightedEuclidean> = requests
+            .iter()
+            .map(|r| {
+                WeightedEuclidean::new(r.weights.clone())
+                    .map_err(|e| BypassError::BadQuery(format!("request weights: {e}")))
+            })
+            .collect::<Result<_>>()?;
+        let points: Vec<&[f64]> = requests.iter().map(|r| r.point.as_slice()).collect();
+        let shared_metric = requests[1..]
+            .iter()
+            .all(|r| r.weights == requests[0].weights);
+        if shared_metric {
+            Ok(scan.knn_multi(&points, k, &metrics[0]))
+        } else {
+            let dists: Vec<&dyn Distance> = metrics.iter().map(|m| m as &dyn Distance).collect();
+            Ok(scan.knn_per_query(&points, &dists, k))
+        }
     }
 
     /// Insert under a write lock.
@@ -111,5 +221,135 @@ mod tests {
         let shared = SharedBypass::new(fb);
         let dim = shared.with_read(|m| m.feature_dim());
         assert_eq!(dim, 3);
+    }
+
+    #[test]
+    fn predict_batch_matches_individual_predictions() {
+        let fb = FeedbackBypass::for_histograms(4, BypassConfig::default()).unwrap();
+        let shared = SharedBypass::new(fb);
+        let q1 = hist(&[0.4, 0.3, 0.2, 0.1]);
+        shared
+            .insert(&q1, &hist(&[0.5, 0.25, 0.15, 0.1]), &[2.0, 1.0, 1.0, 0.5])
+            .unwrap();
+        let queries = vec![q1.clone(), hist(&[0.25, 0.25, 0.25, 0.25])];
+        let batch = shared.predict_batch(&queries).unwrap();
+        assert_eq!(batch.len(), 2);
+        for (q, p) in queries.iter().zip(batch.iter()) {
+            let single = shared.predict(q).unwrap();
+            assert_eq!(p.point, single.point);
+            assert_eq!(p.weights, single.weights);
+        }
+    }
+
+    mod knn_batch {
+        use super::*;
+        use fbp_vecdb::{
+            CollectionBuilder, KnnEngine, LinearScan, MultiQueryScan, ScanMode, WeightedEuclidean,
+        };
+
+        fn collection() -> fbp_vecdb::Collection {
+            let mut b = CollectionBuilder::new();
+            for i in 0..300 {
+                let x = (i as f64 * 0.37).sin().abs();
+                let y = (i as f64 * 0.73).cos().abs();
+                let z = ((i % 17) as f64) / 17.0;
+                b.push_unlabelled(&[x, y, z]).unwrap();
+            }
+            b.build()
+        }
+
+        fn shared() -> SharedBypass {
+            let fb = FeedbackBypass::for_histograms(3, BypassConfig::default()).unwrap();
+            SharedBypass::new(fb)
+        }
+
+        #[test]
+        fn uniform_requests_match_individual_scans() {
+            let coll = collection();
+            let scan = MultiQueryScan::with_mode(&coll, ScanMode::Batched);
+            let requests: Vec<KnnRequest> = (0..4)
+                .map(|i| KnnRequest::uniform(vec![0.1 * i as f64, 0.5, 0.3]))
+                .collect();
+            let batch = shared().knn_batch(&scan, &requests, 10).unwrap();
+            let single = LinearScan::with_mode(&coll, ScanMode::Batched);
+            for (req, res) in requests.iter().zip(batch.iter()) {
+                let w = WeightedEuclidean::new(req.weights.clone()).unwrap();
+                assert_eq!(res, &single.knn(&req.point, 10, &w));
+            }
+        }
+
+        #[test]
+        fn diverged_metrics_match_individual_scans() {
+            let coll = collection();
+            let scan = MultiQueryScan::with_mode(&coll, ScanMode::Batched);
+            let requests = vec![
+                KnnRequest {
+                    point: vec![0.2, 0.4, 0.6],
+                    weights: vec![3.0, 1.0, 0.5],
+                },
+                KnnRequest {
+                    point: vec![0.8, 0.1, 0.3],
+                    weights: vec![0.25, 2.0, 1.5],
+                },
+            ];
+            let batch = shared().knn_batch(&scan, &requests, 7).unwrap();
+            let single = LinearScan::with_mode(&coll, ScanMode::Batched);
+            for (req, res) in requests.iter().zip(batch.iter()) {
+                let w = WeightedEuclidean::new(req.weights.clone()).unwrap();
+                assert_eq!(res, &single.knn(&req.point, 7, &w));
+            }
+        }
+
+        #[test]
+        fn bad_weights_are_rejected() {
+            let coll = collection();
+            let scan = MultiQueryScan::new(&coll);
+            let requests = vec![KnnRequest {
+                point: vec![0.1, 0.2, 0.3],
+                weights: vec![1.0, -1.0, 0.0],
+            }];
+            assert!(shared().knn_batch(&scan, &requests, 5).is_err());
+        }
+
+        #[test]
+        fn dim_mismatches_error_instead_of_panicking() {
+            let coll = collection();
+            let scan = MultiQueryScan::new(&coll);
+            let short_point = vec![KnnRequest::uniform(vec![0.1, 0.2])];
+            assert!(matches!(
+                shared().knn_batch(&scan, &short_point, 5),
+                Err(crate::BypassError::DimMismatch {
+                    expected: 3,
+                    got: 2
+                })
+            ));
+            let short_weights = vec![KnnRequest {
+                point: vec![0.1, 0.2, 0.3],
+                weights: vec![1.0, 2.0],
+            }];
+            assert!(matches!(
+                shared().knn_batch(&scan, &short_weights, 5),
+                Err(crate::BypassError::DimMismatch {
+                    expected: 3,
+                    got: 2
+                })
+            ));
+        }
+
+        #[test]
+        fn empty_collection_serves_empty_results() {
+            let empty = CollectionBuilder::new().build();
+            let scan = MultiQueryScan::new(&empty);
+            let requests = vec![KnnRequest::uniform(vec![0.1, 0.2, 0.3])];
+            let res = shared().knn_batch(&scan, &requests, 5).unwrap();
+            assert_eq!(res, vec![Vec::new()]);
+        }
+
+        #[test]
+        fn empty_request_batch() {
+            let coll = collection();
+            let scan = MultiQueryScan::new(&coll);
+            assert!(shared().knn_batch(&scan, &[], 5).unwrap().is_empty());
+        }
     }
 }

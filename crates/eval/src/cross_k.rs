@@ -38,14 +38,17 @@ pub fn run_cross_k(
     eval_queries: usize,
     base: &StreamOptions,
 ) -> CrossKResult {
-    // Train one module per k_train, in parallel.
+    // Train one module per k_train, in parallel. Each training thread's
+    // scan gets an explicit thread share so the nested parallel path
+    // cannot oversubscribe the host.
     let mut modules: Vec<Option<FeedbackBypass>> = Vec::with_capacity(k_train.len());
     modules.resize_with(k_train.len(), || None);
+    let budget = crate::scan_thread_budget(k_train.len());
     crossbeam::thread::scope(|scope| {
         for (slot, &k) in modules.iter_mut().zip(k_train.iter()) {
             let opts = StreamOptions { k, ..base.clone() };
             scope.spawn(move |_| {
-                let scan = LinearScan::new(&ds.collection);
+                let scan = LinearScan::new(&ds.collection).with_thread_budget(budget);
                 *slot = Some(run_stream(ds, &scan, &opts).bypass);
             });
         }

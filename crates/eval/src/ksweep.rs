@@ -31,13 +31,18 @@ const TAIL_FRACTION: f64 = 0.5;
 pub fn run_ksweep(ds: &SyntheticDataset, ks: &[usize], base: &StreamOptions) -> KSweepResult {
     let mut outcomes: Vec<Option<StreamResult>> = Vec::with_capacity(ks.len());
     outcomes.resize_with(ks.len(), || None);
+    // One sweep thread per configuration, so each inner scan gets an
+    // explicit share of the machine — without the budget, every
+    // configuration's parallel scan would claim all cores on top of the
+    // sweep's own threads and oversubscribe the host.
+    let budget = crate::scan_thread_budget(ks.len());
     crossbeam::thread::scope(|scope| {
         for (slot, &k) in outcomes.iter_mut().zip(ks.iter()) {
             let opts = StreamOptions { k, ..base.clone() };
             scope.spawn(move |_| {
                 // Each thread builds its own engine view; LinearScan is a
                 // cheap borrow of the shared collection.
-                let scan = LinearScan::new(&ds.collection);
+                let scan = LinearScan::new(&ds.collection).with_thread_budget(budget);
                 *slot = Some(run_stream(ds, &scan, &opts));
             });
         }

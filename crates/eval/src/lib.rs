@@ -24,6 +24,13 @@
 //! | [`per_category`] | 14 (the 7 categories) |
 //! | [`efficiency`] | 15 (saved cycles / saved objects) |
 //! | [`report`] | series containers + text/JSON rendering |
+//!
+//! Beyond the paper's figures, [`sessions`] measures the *serving*
+//! question the paper's multi-user setting implies: N concurrent
+//! feedback sessions against one collection and one shared module, with
+//! each round's k-NN requests either run independently or coalesced
+//! into a single multi-query collection pass
+//! ([`feedbackbypass::SharedBypass::knn_batch`]).
 
 #![warn(missing_docs)]
 
@@ -34,9 +41,25 @@ pub mod metrics;
 pub mod per_category;
 pub mod report;
 pub mod scenario;
+pub mod sessions;
 pub mod stream;
 
 pub use metrics::{cumulative_avg, moving_avg, precision_gain};
+
+/// Per-configuration scan thread budget for sweeps that run one scoped
+/// thread per configuration: an even share of the machine's
+/// parallelism, at least 1. Handing this to
+/// [`fbp_vecdb::LinearScan::with_thread_budget`] keeps the total thread
+/// count at ~`available_parallelism` when the sweep layer and the scan
+/// layer are both parallel (they used to multiply).
+pub(crate) fn scan_thread_budget(configurations: usize) -> usize {
+    (std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        / configurations.max(1))
+    .max(1)
+}
 pub use report::Series;
 pub use scenario::evaluate_params;
+pub use sessions::{run_sessions, ServingMode, SessionsOptions, SessionsResult};
 pub use stream::{run_stream, QueryRecord, StreamOptions};

@@ -28,12 +28,14 @@ pub mod movement;
 pub mod oracle;
 pub mod reweight;
 pub mod score;
+pub mod step;
 
 pub use loop_driver::{FeedbackConfig, FeedbackLoop, LoopResult, MovementStrategy};
 pub use movement::{optimal_point, rocchio};
 pub use oracle::{CategoryOracle, RelevanceOracle};
 pub use reweight::{reweight, ReweightRule};
 pub use score::{Relevance, ScoredPoint};
+pub use step::{FeedbackStepper, StepOutcome};
 
 /// Errors from the feedback engines.
 #[derive(Debug, Clone, PartialEq)]

@@ -10,10 +10,9 @@
 //! `cycles(default) − cycles(predicted)` database searches of `k` objects
 //! each.
 
-use crate::movement::{optimal_point, rocchio};
 use crate::oracle::RelevanceOracle;
-use crate::reweight::{reweight, ReweightOptions};
-use crate::score::ScoredPoint;
+use crate::reweight::ReweightOptions;
+use crate::step::{FeedbackStepper, StepOutcome};
 use crate::Result;
 use fbp_vecdb::{Collection, KnnEngine, ResultList, WeightedEuclidean};
 
@@ -118,54 +117,35 @@ impl<'a, E: KnnEngine + ?Sized> FeedbackLoop<'a, E> {
         start_weights: &[f64],
         oracle: &dyn RelevanceOracle,
     ) -> Result<LoopResult> {
+        // The judge→re-parameterize half of each cycle lives in
+        // `FeedbackStepper`, shared with the batched multi-session
+        // serving path so both execute the identical transition.
+        let stepper = FeedbackStepper::new(self.coll, self.cfg.clone());
         let mut point = start_point.to_vec();
         let mut weights = start_weights.to_vec();
         let mut distance_evals = 0u64;
         let mut results = self.search(&point, &weights, &mut distance_evals);
-        let mut trace = vec![self.precision(&results, oracle)];
+        let mut trace = vec![stepper.precision(&results, oracle)];
         let mut cycles = 0usize;
         let mut converged = false;
 
         while cycles < self.cfg.max_cycles {
-            // Judge the current round.
-            let (good_idx, bad_idx) = self.partition(&results, oracle);
-            if good_idx.is_empty() {
-                // Nothing to learn from; the loop cannot move.
-                converged = true;
-                break;
-            }
-            let good: Vec<ScoredPoint> = good_idx
-                .iter()
-                .map(|&i| ScoredPoint::new(self.coll.vector(i as usize), 1.0))
-                .collect();
-
-            // Compute the new parameters.
-            let new_point = match &self.cfg.movement {
-                MovementStrategy::None => point.clone(),
-                MovementStrategy::Optimal => optimal_point(&good)?,
-                MovementStrategy::Rocchio { alpha, beta, gamma } => {
-                    let bad: Vec<ScoredPoint> = bad_idx
-                        .iter()
-                        .map(|&i| ScoredPoint::new(self.coll.vector(i as usize), 1.0))
-                        .collect();
-                    rocchio(&point, &good, &bad, *alpha, *beta, *gamma)?
+            match stepper.step(&point, &weights, &results, oracle)? {
+                StepOutcome::Converged => {
+                    converged = true;
+                    break;
                 }
-            };
-            let new_weights = match &self.cfg.reweight {
-                Some(opts) => reweight(&good, opts)?,
-                None => weights.clone(),
-            };
-
-            // Parameter fixpoint: nothing changed, no need to search again.
-            if params_equal(&point, &new_point) && params_equal(&weights, &new_weights) {
-                converged = true;
-                break;
+                StepOutcome::Continue {
+                    point: new_point,
+                    weights: new_weights,
+                } => {
+                    point = new_point;
+                    weights = new_weights;
+                }
             }
-            point = new_point;
-            weights = new_weights;
             let new_results = self.search(&point, &weights, &mut distance_evals);
             cycles += 1;
-            trace.push(self.precision(&new_results, oracle));
+            trace.push(stepper.precision(&new_results, oracle));
             let stable = new_results.same_ranking(&results);
             results = new_results;
             if stable {
@@ -193,35 +173,6 @@ impl<'a, E: KnnEngine + ?Sized> FeedbackLoop<'a, E> {
         *distance_evals += stats.distance_evals;
         ResultList::new(neighbors)
     }
-
-    fn precision(&self, results: &ResultList, oracle: &dyn RelevanceOracle) -> f64 {
-        if self.cfg.k == 0 {
-            return 0.0;
-        }
-        let good = results.count_relevant(|id| oracle.judge(id).is_good());
-        good as f64 / self.cfg.k as f64
-    }
-
-    fn partition(
-        &self,
-        results: &ResultList,
-        oracle: &dyn RelevanceOracle,
-    ) -> (Vec<u32>, Vec<u32>) {
-        let mut good = Vec::new();
-        let mut bad = Vec::new();
-        for id in results.ids() {
-            if oracle.judge(id).is_good() {
-                good.push(id);
-            } else {
-                bad.push(id);
-            }
-        }
-        (good, bad)
-    }
-}
-
-fn params_equal(a: &[f64], b: &[f64]) -> bool {
-    a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| (x - y).abs() < 1e-12)
 }
 
 #[cfg(test)]

@@ -1,0 +1,200 @@
+//! One feedback cycle as a pure parameter transition.
+//!
+//! [`FeedbackLoop`](crate::FeedbackLoop) owns the whole
+//! search→judge→re-parameterize loop for a single session. A retrieval
+//! service coalescing many concurrent sessions into shared multi-query
+//! scan passes needs the *judge→re-parameterize* half on its own: after
+//! each shared pass hands every session its result list, each session
+//! advances one step. [`FeedbackStepper::step`] is that half, extracted
+//! so the loop driver and the batched serving path (see
+//! `fbp-eval::sessions`) execute the *same* transition and stay
+//! bit-for-bit comparable.
+
+use crate::loop_driver::{FeedbackConfig, MovementStrategy};
+use crate::movement::{optimal_point, rocchio};
+use crate::oracle::RelevanceOracle;
+use crate::reweight::reweight;
+use crate::score::ScoredPoint;
+use crate::Result;
+use fbp_vecdb::{Collection, ResultList};
+
+/// Outcome of one feedback step.
+#[derive(Debug, Clone)]
+pub enum StepOutcome {
+    /// New parameters to search with next round.
+    Continue {
+        /// Moved query point.
+        point: Vec<f64>,
+        /// Re-learned distance weights.
+        weights: Vec<f64>,
+    },
+    /// The session converged: no good matches to learn from, or the
+    /// parameters reached a fixpoint.
+    Converged,
+}
+
+/// Stateless executor of one feedback cycle against a collection.
+pub struct FeedbackStepper<'a> {
+    coll: &'a Collection,
+    cfg: FeedbackConfig,
+}
+
+impl<'a> FeedbackStepper<'a> {
+    /// New stepper over `coll` with the given loop configuration.
+    pub fn new(coll: &'a Collection, cfg: FeedbackConfig) -> Self {
+        FeedbackStepper { coll, cfg }
+    }
+
+    /// Configuration in effect.
+    pub fn config(&self) -> &FeedbackConfig {
+        &self.cfg
+    }
+
+    /// Precision@k of one result round under the oracle.
+    pub fn precision(&self, results: &ResultList, oracle: &dyn RelevanceOracle) -> f64 {
+        if self.cfg.k == 0 {
+            return 0.0;
+        }
+        let good = results.count_relevant(|id| oracle.judge(id).is_good());
+        good as f64 / self.cfg.k as f64
+    }
+
+    /// Advance one cycle: judge `results`, derive the next `(point,
+    /// weights)` from the configured movement and re-weighting
+    /// strategies, and report convergence when nothing can move
+    /// (identical to the transition inside
+    /// [`FeedbackLoop::run_from`](crate::FeedbackLoop::run_from)).
+    pub fn step(
+        &self,
+        point: &[f64],
+        weights: &[f64],
+        results: &ResultList,
+        oracle: &dyn RelevanceOracle,
+    ) -> Result<StepOutcome> {
+        let (good_idx, bad_idx) = self.partition(results, oracle);
+        if good_idx.is_empty() {
+            // Nothing to learn from; the loop cannot move.
+            return Ok(StepOutcome::Converged);
+        }
+        let good: Vec<ScoredPoint> = good_idx
+            .iter()
+            .map(|&i| ScoredPoint::new(self.coll.vector(i as usize), 1.0))
+            .collect();
+
+        let new_point = match &self.cfg.movement {
+            MovementStrategy::None => point.to_vec(),
+            MovementStrategy::Optimal => optimal_point(&good)?,
+            MovementStrategy::Rocchio { alpha, beta, gamma } => {
+                let bad: Vec<ScoredPoint> = bad_idx
+                    .iter()
+                    .map(|&i| ScoredPoint::new(self.coll.vector(i as usize), 1.0))
+                    .collect();
+                rocchio(point, &good, &bad, *alpha, *beta, *gamma)?
+            }
+        };
+        let new_weights = match &self.cfg.reweight {
+            Some(opts) => reweight(&good, opts)?,
+            None => weights.to_vec(),
+        };
+
+        // Parameter fixpoint: nothing changed, no need to search again.
+        if params_equal(point, &new_point) && params_equal(weights, &new_weights) {
+            return Ok(StepOutcome::Converged);
+        }
+        Ok(StepOutcome::Continue {
+            point: new_point,
+            weights: new_weights,
+        })
+    }
+
+    /// Split one round's results into good/bad ids under the oracle.
+    pub fn partition(
+        &self,
+        results: &ResultList,
+        oracle: &dyn RelevanceOracle,
+    ) -> (Vec<u32>, Vec<u32>) {
+        let mut good = Vec::new();
+        let mut bad = Vec::new();
+        for id in results.ids() {
+            if oracle.judge(id).is_good() {
+                good.push(id);
+            } else {
+                bad.push(id);
+            }
+        }
+        (good, bad)
+    }
+}
+
+/// Componentwise parameter equality at the loop's fixpoint tolerance.
+pub(crate) fn params_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| (x - y).abs() < 1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::SetOracle;
+    use fbp_vecdb::{CollectionBuilder, Neighbor};
+
+    fn tiny() -> Collection {
+        let mut b = CollectionBuilder::new();
+        b.push_unlabelled(&[0.8, 0.1]).unwrap();
+        b.push_unlabelled(&[0.82, 0.9]).unwrap();
+        b.push_unlabelled(&[0.1, 0.5]).unwrap();
+        b.build()
+    }
+
+    fn results(ids: &[u32]) -> ResultList {
+        ResultList::new(
+            ids.iter()
+                .enumerate()
+                .map(|(r, &index)| Neighbor {
+                    index,
+                    dist: r as f64,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn no_good_matches_converges() {
+        let coll = tiny();
+        let stepper = FeedbackStepper::new(&coll, FeedbackConfig::default());
+        let oracle = SetOracle::default();
+        let out = stepper
+            .step(&[0.5, 0.5], &[1.0, 1.0], &results(&[0, 1, 2]), &oracle)
+            .unwrap();
+        assert!(matches!(out, StepOutcome::Converged));
+    }
+
+    #[test]
+    fn good_matches_move_the_point() {
+        let coll = tiny();
+        let stepper = FeedbackStepper::new(&coll, FeedbackConfig::default());
+        let oracle = SetOracle::new(vec![0, 1]);
+        let out = stepper
+            .step(&[0.5, 0.5], &[1.0, 1.0], &results(&[0, 1, 2]), &oracle)
+            .unwrap();
+        match out {
+            StepOutcome::Continue { point, weights } => {
+                // Optimal point = centroid of good matches.
+                assert!((point[0] - 0.81).abs() < 1e-9);
+                assert_eq!(weights.len(), 2);
+            }
+            StepOutcome::Converged => panic!("should have moved"),
+        }
+    }
+
+    #[test]
+    fn precision_counts_good_fraction() {
+        let coll = tiny();
+        let cfg = FeedbackConfig {
+            k: 2,
+            ..Default::default()
+        };
+        let stepper = FeedbackStepper::new(&coll, cfg);
+        let oracle = SetOracle::new(vec![0]);
+        assert_eq!(stepper.precision(&results(&[0, 2]), &oracle), 0.5);
+    }
+}

@@ -245,6 +245,25 @@ impl Distance for HierarchicalDistance {
     ) {
         kernels::weighted_sq_block(&self.effective_weights, query, block, dim, bound, out);
     }
+
+    fn eval_key_multi(
+        &self,
+        queries: &[f64],
+        block: &[f64],
+        dim: usize,
+        bounds: &[f64],
+        out: &mut [f64],
+    ) {
+        kernels::weighted_sq_multi_block(
+            &self.effective_weights,
+            0,
+            queries,
+            block,
+            dim,
+            bounds,
+            out,
+        );
+    }
 }
 
 #[cfg(test)]

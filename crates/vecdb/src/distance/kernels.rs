@@ -137,6 +137,29 @@ fn l2_sq_row_bounded(q: &[f64], r: &[f64], bound: f64) -> f64 {
     acc
 }
 
+/// Per-(query, row) computation shared by the single- and multi-query
+/// block kernels: bounded accumulation when a finite bound can pay for
+/// its branches, exact accumulation otherwise. Rows that survive a bound
+/// get BIT-IDENTICAL sums on either path (see above), so multi-query
+/// scans carrying per-query bounds agree exactly with per-query scans.
+#[inline(always)]
+fn l2_sq_pair(q: &[f64], r: &[f64], bound: f64) -> f64 {
+    if bound.is_finite() && q.len() > SEGMENT {
+        l2_sq_row_bounded(q, r, bound)
+    } else {
+        l2_sq_row(q, r)
+    }
+}
+
+#[inline(always)]
+fn weighted_sq_pair(w: &[f64], q: &[f64], r: &[f64], bound: f64) -> f64 {
+    if bound.is_finite() && q.len() > SEGMENT {
+        weighted_sq_row_bounded(w, q, r, bound)
+    } else {
+        weighted_sq_row(w, q, r)
+    }
+}
+
 /// Squared-Euclidean keys for a row-major block (portable body).
 ///
 /// Abandonment only pays once a row spans multiple segments; exact keys
@@ -172,6 +195,49 @@ fn weighted_sq_block_impl(
     } else {
         for (row, slot) in block.chunks_exact(dim).zip(out.iter_mut()) {
             *slot = weighted_sq_row(weights, query, row);
+        }
+    }
+}
+
+/// Squared-Euclidean keys for Q queries × one row-major block (portable
+/// body). `queries` is `Q × dim` row-major; `bounds` holds one pruning
+/// threshold per query; `out` is `Q × rows` row-major per query
+/// (`out[q·rows + r]`).
+///
+/// The row loop is OUTER: each block row is loaded once and scored
+/// against every query while it sits in registers/L1, so collection
+/// bytes per query drop by ~Q× versus Q separate block passes. Each
+/// (query, row) pair accumulates exactly like the single-query kernel,
+/// so surviving keys are bit-identical to Q independent passes.
+#[inline(always)]
+fn l2_sq_multi_impl(queries: &[f64], block: &[f64], dim: usize, bounds: &[f64], out: &mut [f64]) {
+    let rows = block.len().checked_div(dim).unwrap_or(0);
+    for (r, row) in block.chunks_exact(dim).enumerate() {
+        for (q, query) in queries.chunks_exact(dim).enumerate() {
+            out[q * rows + r] = l2_sq_pair(query, row, bounds[q]);
+        }
+    }
+}
+
+/// Weighted squared-Euclidean keys for Q queries × one block (portable
+/// body). `w_stride` selects the weight layout: `0` shares one `dim`-long
+/// weight row across all queries (one metric, many queries), `dim` gives
+/// each query its own weight row (per-session learned metrics).
+#[inline(always)]
+fn weighted_sq_multi_impl(
+    weights: &[f64],
+    w_stride: usize,
+    queries: &[f64],
+    block: &[f64],
+    dim: usize,
+    bounds: &[f64],
+    out: &mut [f64],
+) {
+    let rows = block.len().checked_div(dim).unwrap_or(0);
+    for (r, row) in block.chunks_exact(dim).enumerate() {
+        for (q, query) in queries.chunks_exact(dim).enumerate() {
+            let w = &weights[q * w_stride..q * w_stride + dim];
+            out[q * rows + r] = weighted_sq_pair(w, query, row, bounds[q]);
         }
     }
 }
@@ -217,7 +283,7 @@ mod dispatch {
     }
 
     macro_rules! isa_versions {
-        ($feature:literal, $l2:ident, $weighted:ident) => {
+        ($feature:literal, $l2:ident, $weighted:ident, $l2_multi:ident, $weighted_multi:ident) => {
             #[target_feature(enable = $feature)]
             pub(super) unsafe fn $l2(
                 query: &[f64],
@@ -240,11 +306,48 @@ mod dispatch {
             ) {
                 super::weighted_sq_block_impl(weights, query, block, dim, bound, out);
             }
+
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn $l2_multi(
+                queries: &[f64],
+                block: &[f64],
+                dim: usize,
+                bounds: &[f64],
+                out: &mut [f64],
+            ) {
+                super::l2_sq_multi_impl(queries, block, dim, bounds, out);
+            }
+
+            #[target_feature(enable = $feature)]
+            #[allow(clippy::too_many_arguments)]
+            pub(super) unsafe fn $weighted_multi(
+                weights: &[f64],
+                w_stride: usize,
+                queries: &[f64],
+                block: &[f64],
+                dim: usize,
+                bounds: &[f64],
+                out: &mut [f64],
+            ) {
+                super::weighted_sq_multi_impl(weights, w_stride, queries, block, dim, bounds, out);
+            }
         };
     }
 
-    isa_versions!("avx2", l2_avx2, weighted_avx2);
-    isa_versions!("avx512f", l2_avx512, weighted_avx512);
+    isa_versions!(
+        "avx2",
+        l2_avx2,
+        weighted_avx2,
+        l2_multi_avx2,
+        weighted_multi_avx2
+    );
+    isa_versions!(
+        "avx512f",
+        l2_avx512,
+        weighted_avx512,
+        l2_multi_avx512,
+        weighted_multi_avx512
+    );
 
     #[inline]
     pub(super) fn l2(query: &[f64], block: &[f64], dim: usize, bound: f64, out: &mut [f64]) {
@@ -270,6 +373,44 @@ mod dispatch {
             AVX512 => unsafe { weighted_avx512(weights, query, block, dim, bound, out) },
             AVX2 => unsafe { weighted_avx2(weights, query, block, dim, bound, out) },
             _ => super::weighted_sq_block_impl(weights, query, block, dim, bound, out),
+        }
+    }
+
+    #[inline]
+    pub(super) fn l2_multi(
+        queries: &[f64],
+        block: &[f64],
+        dim: usize,
+        bounds: &[f64],
+        out: &mut [f64],
+    ) {
+        match level() {
+            // SAFETY: the matching CPU feature was detected above.
+            AVX512 => unsafe { l2_multi_avx512(queries, block, dim, bounds, out) },
+            AVX2 => unsafe { l2_multi_avx2(queries, block, dim, bounds, out) },
+            _ => super::l2_sq_multi_impl(queries, block, dim, bounds, out),
+        }
+    }
+
+    #[inline]
+    pub(super) fn weighted_multi(
+        weights: &[f64],
+        w_stride: usize,
+        queries: &[f64],
+        block: &[f64],
+        dim: usize,
+        bounds: &[f64],
+        out: &mut [f64],
+    ) {
+        match level() {
+            // SAFETY: the matching CPU feature was detected above.
+            AVX512 => unsafe {
+                weighted_multi_avx512(weights, w_stride, queries, block, dim, bounds, out)
+            },
+            AVX2 => unsafe {
+                weighted_multi_avx2(weights, w_stride, queries, block, dim, bounds, out)
+            },
+            _ => super::weighted_sq_multi_impl(weights, w_stride, queries, block, dim, bounds, out),
         }
     }
 }
@@ -307,6 +448,57 @@ pub(crate) fn weighted_sq_block(
     #[cfg(not(target_arch = "x86_64"))]
     {
         weighted_sq_block_impl(weights, query, block, dim, bound, out)
+    }
+}
+
+/// Squared-Euclidean keys for `Q` queries against one row-major block in
+/// a single pass (each block row read once for all queries). `queries`
+/// is `Q × dim`, `bounds` is `Q` per-query key-space thresholds, `out`
+/// is `Q × rows` row-major per query.
+pub(crate) fn l2_sq_multi_block(
+    queries: &[f64],
+    block: &[f64],
+    dim: usize,
+    bounds: &[f64],
+    out: &mut [f64],
+) {
+    let nq = bounds.len();
+    debug_assert_eq!(queries.len(), nq * dim);
+    debug_assert_eq!(out.len() * dim, nq * block.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        dispatch::l2_multi(queries, block, dim, bounds, out)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        l2_sq_multi_impl(queries, block, dim, bounds, out)
+    }
+}
+
+/// Weighted squared-Euclidean keys for `Q` queries against one block in
+/// a single pass. `w_stride = 0` shares one weight row across queries;
+/// `w_stride = dim` gives each query its own row of `weights`.
+pub(crate) fn weighted_sq_multi_block(
+    weights: &[f64],
+    w_stride: usize,
+    queries: &[f64],
+    block: &[f64],
+    dim: usize,
+    bounds: &[f64],
+    out: &mut [f64],
+) {
+    let nq = bounds.len();
+    debug_assert!(w_stride == 0 || w_stride == dim);
+    debug_assert_eq!(queries.len(), nq * dim);
+    debug_assert_eq!(weights.len(), if w_stride == 0 { dim } else { nq * dim });
+    debug_assert_eq!(out.len() * dim, nq * block.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        dispatch::weighted_multi(weights, w_stride, queries, block, dim, bounds, out)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        weighted_sq_multi_impl(weights, w_stride, queries, block, dim, bounds, out)
     }
 }
 
@@ -351,6 +543,88 @@ mod tests {
         weighted_sq_block(&w, &q, &block, dim, f64::INFINITY, &mut out);
         for (i, row) in block.chunks_exact(dim).enumerate() {
             assert_eq!(out[i], weighted_sq_row(&w, &q, row));
+        }
+    }
+
+    #[test]
+    fn multi_blocks_match_single_query_blocks() {
+        let dim = 24;
+        let rows = 19;
+        let nq = 5;
+        let queries: Vec<f64> = (0..nq * dim).map(|i| (i as f64 * 0.13).cos()).collect();
+        let block: Vec<f64> = (0..rows * dim).map(|i| (i as f64 * 0.3).sin()).collect();
+        let shared_w: Vec<f64> = (0..dim).map(|i| 1.0 + (i % 3) as f64).collect();
+        let per_q_w: Vec<f64> = (0..nq * dim).map(|i| 0.5 + (i % 7) as f64).collect();
+        let bounds = vec![f64::INFINITY; nq];
+        let mut single = vec![0.0; rows];
+        // L2 multi vs per-query single blocks: bit-identical.
+        let mut multi = vec![0.0; nq * rows];
+        l2_sq_multi_block(&queries, &block, dim, &bounds, &mut multi);
+        for q in 0..nq {
+            l2_sq_block(
+                &queries[q * dim..(q + 1) * dim],
+                &block,
+                dim,
+                f64::INFINITY,
+                &mut single,
+            );
+            assert_eq!(&multi[q * rows..(q + 1) * rows], &single[..], "l2 q{q}");
+        }
+        // Weighted multi, shared weights (stride 0).
+        weighted_sq_multi_block(&shared_w, 0, &queries, &block, dim, &bounds, &mut multi);
+        for q in 0..nq {
+            weighted_sq_block(
+                &shared_w,
+                &queries[q * dim..(q + 1) * dim],
+                &block,
+                dim,
+                f64::INFINITY,
+                &mut single,
+            );
+            assert_eq!(&multi[q * rows..(q + 1) * rows], &single[..], "shared q{q}");
+        }
+        // Weighted multi, per-query weights (stride dim).
+        weighted_sq_multi_block(&per_q_w, dim, &queries, &block, dim, &bounds, &mut multi);
+        for q in 0..nq {
+            weighted_sq_block(
+                &per_q_w[q * dim..(q + 1) * dim],
+                &queries[q * dim..(q + 1) * dim],
+                &block,
+                dim,
+                f64::INFINITY,
+                &mut single,
+            );
+            assert_eq!(&multi[q * rows..(q + 1) * rows], &single[..], "per-q q{q}");
+        }
+    }
+
+    #[test]
+    fn multi_blocks_respect_per_query_bounds() {
+        let dim = 96; // > SEGMENT so the bounded path engages
+        let rows = 16;
+        let nq = 3;
+        let queries = vec![0.0; nq * dim];
+        let block: Vec<f64> = (0..rows * dim).map(|i| (i % 13) as f64 * 0.21).collect();
+        let mut exact = vec![0.0; nq * rows];
+        l2_sq_multi_block(&queries, &block, dim, &[f64::INFINITY; 3], &mut exact);
+        // Distinct bound per query: tight, median, infinite.
+        let mut sorted: Vec<f64> = exact[..rows].to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let bounds = [sorted[2], sorted[rows / 2], f64::INFINITY];
+        let mut bounded = vec![0.0; nq * rows];
+        l2_sq_multi_block(&queries, &block, dim, &bounds, &mut bounded);
+        for q in 0..nq {
+            for r in 0..rows {
+                let (e, b) = (exact[q * rows + r], bounded[q * rows + r]);
+                if e <= bounds[q] {
+                    assert_eq!(e, b, "q{q} r{r}: rows within the bound must be exact");
+                } else {
+                    assert!(
+                        b > bounds[q],
+                        "q{q} r{r}: abandoned rows stay over the bound"
+                    );
+                }
+            }
         }
     }
 

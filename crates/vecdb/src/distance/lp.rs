@@ -55,6 +55,17 @@ impl Distance for Euclidean {
     ) {
         kernels::l2_sq_block(query, block, dim, bound, out);
     }
+
+    fn eval_key_multi(
+        &self,
+        queries: &[f64],
+        block: &[f64],
+        dim: usize,
+        bounds: &[f64],
+        out: &mut [f64],
+    ) {
+        kernels::l2_sq_multi_block(queries, block, dim, bounds, out);
+    }
 }
 
 /// Manhattan (`L1`) distance.

@@ -136,6 +136,42 @@ pub trait Distance: Send + Sync {
             *slot = self.eval_key(query, row);
         }
     }
+
+    /// Multi-query version of [`Self::eval_key_batch`]: evaluate `Q`
+    /// queries (`queries` is `Q × dim` row-major) against one block in a
+    /// single pass, writing surrogate keys to `out` (`Q × rows` row-major
+    /// per query, so query `q`'s key for block row `r` lands at
+    /// `out[q·rows + r]`). `bounds` carries one key-space pruning
+    /// threshold per query with the same early-abandon contract as the
+    /// single-query batch call, applied per query.
+    ///
+    /// This is the memory-amortization hook for concurrent feedback
+    /// sessions: a specialized kernel loads each block row once and
+    /// scores it against every query while it is hot, dropping collection
+    /// bytes per query by ~Q×. Keys must be bit-identical to `Q`
+    /// independent [`Self::eval_key_batch`] calls for rows that survive
+    /// their query's bound (the default implementation delegates to
+    /// exactly those calls).
+    fn eval_key_multi(
+        &self,
+        queries: &[f64],
+        block: &[f64],
+        dim: usize,
+        bounds: &[f64],
+        out: &mut [f64],
+    ) {
+        debug_assert!(dim > 0);
+        debug_assert_eq!(queries.len(), bounds.len() * dim);
+        debug_assert_eq!(out.len() * dim, bounds.len() * block.len());
+        let rows = block.len() / dim;
+        for ((query, &bound), out_row) in queries
+            .chunks_exact(dim)
+            .zip(bounds.iter())
+            .zip(out.chunks_exact_mut(rows.max(1)))
+        {
+            self.eval_key_batch(query, block, dim, bound, &mut out_row[..rows]);
+        }
+    }
 }
 
 /// Squared Euclidean distance helper shared by implementations: the
@@ -165,8 +201,9 @@ mod batch_contract_tests {
 
     /// Every implementation must satisfy the batch/surrogate-key
     /// contract: `eval_batch` rows match per-pair `eval` (to rounding),
-    /// `finish_key ∘ eval_key == eval`, and `key_of_dist` inverts
-    /// `finish_key`.
+    /// `finish_key ∘ eval_key == eval`, `key_of_dist` inverts
+    /// `finish_key`, and `eval_key_multi` is bit-identical to independent
+    /// `eval_key_batch` calls per query.
     fn check_batch_contract(d: &dyn Distance, dim: usize) {
         let pts = sample_points(dim);
         let query = &pts[0];
@@ -176,6 +213,22 @@ mod batch_contract_tests {
         d.eval_batch(query, &block, dim, &mut dists);
         let mut keys = vec![0.0; rows];
         d.eval_key_batch(query, &block, dim, f64::INFINITY, &mut keys);
+        // Multi-query pass over the same block: every query's key row must
+        // be bit-identical to its own single-query batch call.
+        let nq = 3.min(pts.len());
+        let queries: Vec<f64> = pts[..nq].iter().flat_map(|p| p.iter().copied()).collect();
+        let mut multi = vec![0.0; nq * rows];
+        d.eval_key_multi(&queries, &block, dim, &vec![f64::INFINITY; nq], &mut multi);
+        let mut single = vec![0.0; rows];
+        for (q, qv) in pts[..nq].iter().enumerate() {
+            d.eval_key_batch(qv, &block, dim, f64::INFINITY, &mut single);
+            assert_eq!(
+                &multi[q * rows..(q + 1) * rows],
+                &single[..],
+                "{}: eval_key_multi row {q} disagrees with eval_key_batch",
+                d.name()
+            );
+        }
         for (i, p) in pts[1..].iter().enumerate() {
             let direct = d.eval(query, p);
             assert!(

@@ -207,6 +207,32 @@ impl Distance for QuadraticDistance {
             *slot = self.sq_of_diff(&diff, bound);
         }
     }
+
+    fn eval_key_multi(
+        &self,
+        queries: &[f64],
+        block: &[f64],
+        dim: usize,
+        bounds: &[f64],
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(dim, self.dim);
+        debug_assert_eq!(queries.len(), bounds.len() * dim);
+        debug_assert_eq!(out.len() * dim, bounds.len() * block.len());
+        let rows = block.len().checked_div(dim).unwrap_or(0);
+        // Row-outer loop: each block row is differenced against every
+        // query while hot. Per-pair arithmetic is identical to
+        // `eval_key_batch`, so surviving keys are bit-identical.
+        let mut diff = vec![0.0; dim];
+        for (r, row) in block.chunks_exact(dim).enumerate() {
+            for (q, query) in queries.chunks_exact(dim).enumerate() {
+                for i in 0..dim {
+                    diff[i] = query[i] - row[i];
+                }
+                out[q * rows + r] = self.sq_of_diff(&diff, bounds[q]);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -19,14 +19,43 @@
 //! `lo = 0`, disabling pruning but never correctness.
 
 mod mtree;
+mod multi;
 mod scan;
 mod vptree;
 
 pub use mtree::{MTree, MTreeConfig};
+pub use multi::MultiQueryScan;
 pub use scan::{LinearScan, ScanMode};
 pub use vptree::VpTree;
 
 use crate::distance::Distance;
+
+/// Rows evaluated per batched kernel invocation (shared by
+/// [`LinearScan`] and [`MultiQueryScan`]). Large enough to amortize the
+/// virtual call, small enough that a block's keys stay in L1 and the
+/// k-best thresholds refresh frequently for early abandonment.
+pub(crate) const BLOCK_ROWS: usize = 256;
+
+/// `len × dim` (× queries, for the multi-query scan) threshold above
+/// which [`ScanMode::Auto`] goes parallel; below it, thread spawn/join
+/// overhead outweighs the win.
+pub(crate) const PARALLEL_CUTOFF: usize = 64 * 1024;
+
+/// Worker-thread count for a parallel scan: the caller's explicit budget
+/// when one was set (the nested-parallelism case — e.g. `fbp-eval`
+/// sweeps that already run one scan per configuration thread), otherwise
+/// the machine's available parallelism; always capped by the number of
+/// block-sized work items and at least 1.
+pub(crate) fn scan_threads(budget: Option<usize>, work_items: usize) -> usize {
+    budget
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .min(work_items)
+        .max(1)
+}
 
 /// One query answer: collection index + distance under the query metric.
 #[derive(Debug, Clone, Copy, PartialEq)]

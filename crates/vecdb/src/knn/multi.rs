@@ -1,0 +1,484 @@
+//! Multi-query block scanning: evaluate Q concurrent queries per
+//! collection pass instead of re-reading the collection once per query.
+//!
+//! The single-query [`LinearScan`](super::LinearScan) is memory-bound on
+//! typical hosts: one pass streams `len × dim` f64s from DRAM to answer
+//! one query. A retrieval service with many interactive feedback
+//! sessions issues many k-NN queries against the *same* collection at
+//! once, so [`MultiQueryScan`] amortizes that traffic: each block of
+//! [`BLOCK_ROWS`] vectors is loaded once and scored against every
+//! pending query while it is hot (via
+//! [`Distance::eval_key_multi`]), dropping collection bytes per query by
+//! ~Q× until the scan turns compute-bound.
+//!
+//! Two entry points cover the serving shapes:
+//!
+//! * [`MultiQueryScan::knn_multi`] — Q queries under **one shared
+//!   metric** (e.g. a Q-sweep, or sessions that have not diverged yet).
+//!   Uses the specialized multi-query kernels.
+//! * [`MultiQueryScan::knn_per_query`] — Q queries each under **its own
+//!   metric** (concurrent sessions with per-session learned weights).
+//!   Shares the block pass; each query's distance runs its single-query
+//!   batch kernel on the hot block.
+//!
+//! Results are **bit-identical** to Q independent `LinearScan` runs in
+//! the same key-space mode: every (query, row) key is computed by the
+//! same segment-wise accumulation, per-query early-abandon bounds can
+//! only drop rows that could never enter that query's k-best, and the
+//! parallel path merges per-thread candidates by ascending
+//! `(key, index)` exactly like the single-query scan. The consistency
+//! suite (`crates/vecdb/tests/multi_query.rs`) pins this across all four
+//! distance classes.
+
+use super::{scan_threads, KBest, Neighbor, ScanMode, SearchStats, BLOCK_ROWS, PARALLEL_CUTOFF};
+use crate::collection::Collection;
+use crate::distance::Distance;
+
+/// Multi-query scan engine borrowing a collection.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiQueryScan<'a> {
+    coll: &'a Collection,
+    mode: ScanMode,
+    thread_budget: Option<usize>,
+}
+
+impl<'a> MultiQueryScan<'a> {
+    /// New engine over `coll` with [`ScanMode::Auto`].
+    pub fn new(coll: &'a Collection) -> Self {
+        MultiQueryScan {
+            coll,
+            mode: ScanMode::Auto,
+            thread_budget: None,
+        }
+    }
+
+    /// New engine with an explicit execution mode.
+    pub fn with_mode(coll: &'a Collection, mode: ScanMode) -> Self {
+        MultiQueryScan {
+            coll,
+            mode,
+            thread_budget: None,
+        }
+    }
+
+    /// Cap the parallel path at `threads` worker threads (at least 1).
+    /// Set this when the caller already runs scans from several of its
+    /// own threads, so nested parallelism cannot oversubscribe the host.
+    pub fn with_thread_budget(mut self, threads: usize) -> Self {
+        self.thread_budget = Some(threads.max(1));
+        self
+    }
+
+    /// The underlying collection.
+    pub fn collection(&self) -> &'a Collection {
+        self.coll
+    }
+
+    /// The configured execution mode.
+    pub fn mode(&self) -> ScanMode {
+        self.mode
+    }
+
+    /// The mode Auto resolves to for `nq` concurrent queries: total work
+    /// is `len × dim × nq` candidate-components, so more queries tip the
+    /// same collection into the parallel regime sooner.
+    fn effective_mode(&self, nq: usize) -> ScanMode {
+        match self.mode {
+            ScanMode::Auto => {
+                if self.coll.len() * self.coll.dim().max(1) * nq.max(1) >= PARALLEL_CUTOFF {
+                    ScanMode::Parallel
+                } else {
+                    ScanMode::Batched
+                }
+            }
+            m => m,
+        }
+    }
+
+    /// The `k` nearest neighbors of every query under one shared
+    /// `dist`, in one blocked pass over the collection. Queries must all
+    /// have the collection's dimensionality; result `i` is sorted
+    /// ascending by `(dist, index)` exactly like
+    /// [`KnnEngine::knn`](super::KnnEngine::knn) on query `i`.
+    pub fn knn_multi(
+        &self,
+        queries: &[&[f64]],
+        k: usize,
+        dist: &dyn Distance,
+    ) -> Vec<Vec<Neighbor>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        if self.coll.is_empty() {
+            return vec![Vec::new(); queries.len()];
+        }
+        let dim = self.coll.dim();
+        for q in queries {
+            assert_eq!(q.len(), dim, "query dimensionality mismatch");
+        }
+        let kbs = match self.effective_mode(queries.len()) {
+            ScanMode::Scalar => {
+                let mut kbs: Vec<KBest> = queries.iter().map(|_| KBest::new(k)).collect();
+                for i in 0..self.coll.len() {
+                    let row = self.coll.vector(i);
+                    for (q, kb) in queries.iter().zip(kbs.iter_mut()) {
+                        kb.push(i as u32, dist.eval(q, row));
+                    }
+                }
+                // Scalar pushes true distances; finish is the identity.
+                return kbs.into_iter().map(KBest::into_sorted).collect();
+            }
+            ScanMode::Batched => {
+                let flat = flatten(queries);
+                let mut kbs: Vec<KBest> = queries.iter().map(|_| KBest::new(k)).collect();
+                self.scan_range_shared(&flat, dist, 0..self.coll.len(), &mut kbs);
+                kbs
+            }
+            ScanMode::Parallel => {
+                let flat = flatten(queries);
+                self.parallel_merge(queries.len(), k, &|range, kbs| {
+                    self.scan_range_shared(&flat, dist, range, kbs)
+                })
+            }
+            ScanMode::Auto => unreachable!("effective_mode resolves Auto"),
+        };
+        kbs.into_iter()
+            .map(|kb| kb.into_sorted_with(|key| dist.finish_key(key)))
+            .collect()
+    }
+
+    /// Like [`Self::knn_multi`] but also reports the pass's work
+    /// counters (one distance evaluation per query per stored vector).
+    pub fn knn_multi_with_stats(
+        &self,
+        queries: &[&[f64]],
+        k: usize,
+        dist: &dyn Distance,
+    ) -> (Vec<Vec<Neighbor>>, SearchStats) {
+        let results = self.knn_multi(queries, k, dist);
+        (
+            results,
+            SearchStats {
+                distance_evals: (self.coll.len() * queries.len()) as u64,
+                nodes_visited: 0,
+            },
+        )
+    }
+
+    /// The `k` nearest neighbors of every query under its **own**
+    /// distance function (`dists[i]` for `queries[i]`), sharing one
+    /// blocked pass over the collection. This is the concurrent-session
+    /// serving shape: each session's learned metric differs, but every
+    /// block still gets read once for all of them.
+    pub fn knn_per_query(
+        &self,
+        queries: &[&[f64]],
+        dists: &[&dyn Distance],
+        k: usize,
+    ) -> Vec<Vec<Neighbor>> {
+        assert_eq!(
+            queries.len(),
+            dists.len(),
+            "one distance function per query"
+        );
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        if self.coll.is_empty() {
+            return vec![Vec::new(); queries.len()];
+        }
+        let dim = self.coll.dim();
+        for q in queries {
+            assert_eq!(q.len(), dim, "query dimensionality mismatch");
+        }
+        let kbs = match self.effective_mode(queries.len()) {
+            ScanMode::Scalar => {
+                let mut kbs: Vec<KBest> = queries.iter().map(|_| KBest::new(k)).collect();
+                for i in 0..self.coll.len() {
+                    let row = self.coll.vector(i);
+                    for ((q, d), kb) in queries.iter().zip(dists.iter()).zip(kbs.iter_mut()) {
+                        kb.push(i as u32, d.eval(q, row));
+                    }
+                }
+                return kbs.into_iter().map(KBest::into_sorted).collect();
+            }
+            ScanMode::Batched => {
+                let mut kbs: Vec<KBest> = queries.iter().map(|_| KBest::new(k)).collect();
+                self.scan_range_per_query(queries, dists, 0..self.coll.len(), &mut kbs);
+                kbs
+            }
+            ScanMode::Parallel => self.parallel_merge(queries.len(), k, &|range, kbs| {
+                self.scan_range_per_query(queries, dists, range, kbs)
+            }),
+            ScanMode::Auto => unreachable!("effective_mode resolves Auto"),
+        };
+        kbs.into_iter()
+            .zip(dists.iter())
+            .map(|(kb, d)| kb.into_sorted_with(|key| d.finish_key(key)))
+            .collect()
+    }
+
+    /// Shared-metric blocked pass over one contiguous index range:
+    /// refresh every query's bound per block, evaluate the block against
+    /// all queries in one kernel call, push surrogate keys.
+    fn scan_range_shared(
+        &self,
+        flat_queries: &[f64],
+        dist: &dyn Distance,
+        rows: std::ops::Range<usize>,
+        kbs: &mut [KBest],
+    ) {
+        let dim = self.coll.dim();
+        let nq = kbs.len();
+        let mut keys = vec![0.0f64; nq * BLOCK_ROWS];
+        let mut bounds = vec![f64::INFINITY; nq];
+        let mut start = rows.start;
+        while start < rows.end {
+            let end = (start + BLOCK_ROWS).min(rows.end);
+            let n = end - start;
+            let block = self.coll.block(start, end);
+            for (b, kb) in bounds.iter_mut().zip(kbs.iter()) {
+                *b = kb.threshold();
+            }
+            dist.eval_key_multi(flat_queries, block, dim, &bounds, &mut keys[..nq * n]);
+            for (q, kb) in kbs.iter_mut().enumerate() {
+                for (offset, &key) in keys[q * n..(q + 1) * n].iter().enumerate() {
+                    kb.push((start + offset) as u32, key);
+                }
+            }
+            start = end;
+        }
+    }
+
+    /// Per-query-metric blocked pass: one shared block read, one
+    /// single-query batch kernel call per (query, block) on the hot
+    /// block.
+    fn scan_range_per_query(
+        &self,
+        queries: &[&[f64]],
+        dists: &[&dyn Distance],
+        rows: std::ops::Range<usize>,
+        kbs: &mut [KBest],
+    ) {
+        let dim = self.coll.dim();
+        let mut keys = [0.0f64; BLOCK_ROWS];
+        let mut start = rows.start;
+        while start < rows.end {
+            let end = (start + BLOCK_ROWS).min(rows.end);
+            let n = end - start;
+            let block = self.coll.block(start, end);
+            for ((q, d), kb) in queries.iter().zip(dists.iter()).zip(kbs.iter_mut()) {
+                d.eval_key_batch(q, block, dim, kb.threshold(), &mut keys[..n]);
+                for (offset, &key) in keys[..n].iter().enumerate() {
+                    kb.push((start + offset) as u32, key);
+                }
+            }
+            start = end;
+        }
+    }
+
+    /// Parallel driver shared by both entry points: fan contiguous row
+    /// chunks out to worker threads, each carrying a private k-best per
+    /// query, then fold every thread's candidates through one final
+    /// k-best per query by ascending `(key, index)` — deterministic
+    /// regardless of thread count, chunk boundaries or completion order,
+    /// and identical to what the single-threaded pass selects.
+    fn parallel_merge(
+        &self,
+        nq: usize,
+        k: usize,
+        scan_chunk: &(dyn Fn(std::ops::Range<usize>, &mut [KBest]) + Sync),
+    ) -> Vec<KBest> {
+        let len = self.coll.len();
+        let threads = scan_threads(self.thread_budget, len.div_ceil(BLOCK_ROWS));
+        if threads == 1 {
+            let mut kbs: Vec<KBest> = (0..nq).map(|_| KBest::new(k)).collect();
+            scan_chunk(0..len, &mut kbs);
+            return kbs;
+        }
+        let chunk = len.div_ceil(threads);
+        let mut per_thread: Vec<Vec<Vec<(f64, u32)>>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(len);
+                    scope.spawn(move || {
+                        let mut kbs: Vec<KBest> = (0..nq).map(|_| KBest::new(k)).collect();
+                        scan_chunk(lo..hi, &mut kbs);
+                        kbs.iter()
+                            .map(|kb| {
+                                let mut entries: Vec<(f64, u32)> = kb.entries().collect();
+                                entries.sort_unstable_by(|a, b| {
+                                    a.0.partial_cmp(&b.0)
+                                        .expect("non-finite key")
+                                        .then(a.1.cmp(&b.1))
+                                });
+                                entries
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                per_thread.push(h.join().expect("multi-scan worker panicked"));
+            }
+        });
+        let mut merged: Vec<KBest> = (0..nq).map(|_| KBest::new(k)).collect();
+        for thread_entries in per_thread {
+            for (kb, entries) in merged.iter_mut().zip(thread_entries) {
+                for (key, index) in entries {
+                    if key > kb.threshold() {
+                        break; // sorted: the rest of this thread can't enter
+                    }
+                    kb.push(index, key);
+                }
+            }
+        }
+        merged
+    }
+}
+
+/// Concatenate query slices into the row-major layout the multi-query
+/// kernels consume.
+fn flatten(queries: &[&[f64]]) -> Vec<f64> {
+    let mut flat = Vec::with_capacity(queries.len() * queries.first().map_or(0, |q| q.len()));
+    for q in queries {
+        flat.extend_from_slice(q);
+    }
+    flat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{KnnEngine, LinearScan};
+    use super::*;
+    use crate::collection::CollectionBuilder;
+    use crate::distance::{Euclidean, WeightedEuclidean};
+
+    fn pseudo_random_collection(n: usize, dim: usize) -> Collection {
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut b = CollectionBuilder::new();
+        for _ in 0..n {
+            let v: Vec<f64> = (0..dim).map(|_| next()).collect();
+            b.push_unlabelled(&v).unwrap();
+        }
+        b.build()
+    }
+
+    fn sample_queries(nq: usize, dim: usize) -> Vec<Vec<f64>> {
+        (0..nq)
+            .map(|q| {
+                (0..dim)
+                    .map(|i| ((q * 13 + i * 7) as f64 * 0.37).sin().abs())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multi_matches_independent_scans_all_modes() {
+        let c = pseudo_random_collection(900, 24);
+        let queries = sample_queries(4, 24);
+        let refs: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
+        let w = WeightedEuclidean::new((0..24).map(|i| 0.2 + (i % 5) as f64).collect()).unwrap();
+        for mode in [ScanMode::Scalar, ScanMode::Batched, ScanMode::Parallel] {
+            let multi = MultiQueryScan::with_mode(&c, mode).knn_multi(&refs, 7, &w);
+            let single = LinearScan::with_mode(&c, mode);
+            for (q, res) in refs.iter().zip(multi.iter()) {
+                assert_eq!(res, &single.knn(q, 7, &w), "mode {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_query_metrics_match_independent_scans() {
+        let c = pseudo_random_collection(700, 16);
+        let queries = sample_queries(3, 16);
+        let refs: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
+        let metrics: Vec<WeightedEuclidean> = (0..3)
+            .map(|q| {
+                WeightedEuclidean::new((0..16).map(|i| 0.3 + ((q + i) % 4) as f64).collect())
+                    .unwrap()
+            })
+            .collect();
+        let dists: Vec<&dyn Distance> = metrics.iter().map(|m| m as &dyn Distance).collect();
+        for mode in [ScanMode::Batched, ScanMode::Parallel] {
+            let multi = MultiQueryScan::with_mode(&c, mode).knn_per_query(&refs, &dists, 5);
+            for ((q, d), res) in refs.iter().zip(metrics.iter()).zip(multi.iter()) {
+                let expect = LinearScan::with_mode(&c, ScanMode::Batched).knn(q, 5, d);
+                assert_eq!(res, &expect, "mode {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let c = pseudo_random_collection(50, 4);
+        let scan = MultiQueryScan::new(&c);
+        assert!(scan.knn_multi(&[], 3, &Euclidean).is_empty());
+        let empty = CollectionBuilder::new().build();
+        let scan = MultiQueryScan::new(&empty);
+        let q: &[f64] = &[];
+        let res = scan.knn_multi(&[q, q], 3, &Euclidean);
+        assert_eq!(res, vec![Vec::new(), Vec::new()]);
+    }
+
+    #[test]
+    fn k_zero_and_k_oversized() {
+        let c = pseudo_random_collection(30, 6);
+        let queries = sample_queries(2, 6);
+        let refs: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
+        let scan = MultiQueryScan::with_mode(&c, ScanMode::Batched);
+        for res in scan.knn_multi(&refs, 0, &Euclidean) {
+            assert!(res.is_empty());
+        }
+        for res in scan.knn_multi(&refs, 100, &Euclidean) {
+            assert_eq!(res.len(), 30);
+            for w in res.windows(2) {
+                assert!(w[0].dist <= w[1].dist);
+            }
+        }
+    }
+
+    #[test]
+    fn auto_mode_scales_with_query_count() {
+        // A collection too small to go parallel for one query crosses the
+        // cutoff once enough queries share the pass.
+        let c = pseudo_random_collection(400, 16); // 6400 components/query
+        let scan = MultiQueryScan::new(&c);
+        assert_eq!(scan.effective_mode(1), ScanMode::Batched);
+        assert_eq!(scan.effective_mode(16), ScanMode::Parallel);
+    }
+
+    #[test]
+    fn thread_budget_is_respected_and_exact() {
+        let c = pseudo_random_collection(2000, 12);
+        let queries = sample_queries(5, 12);
+        let refs: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
+        let unbudgeted = MultiQueryScan::with_mode(&c, ScanMode::Parallel);
+        let budgeted = MultiQueryScan::with_mode(&c, ScanMode::Parallel).with_thread_budget(2);
+        let one = MultiQueryScan::with_mode(&c, ScanMode::Parallel).with_thread_budget(1);
+        let a = unbudgeted.knn_multi(&refs, 9, &Euclidean);
+        let b = budgeted.knn_multi(&refs, 9, &Euclidean);
+        let c2 = one.knn_multi(&refs, 9, &Euclidean);
+        assert_eq!(a, b);
+        assert_eq!(a, c2);
+    }
+
+    #[test]
+    fn stats_count_per_query_evals() {
+        let c = pseudo_random_collection(40, 4);
+        let queries = sample_queries(3, 4);
+        let refs: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
+        let (_, stats) = MultiQueryScan::new(&c).knn_multi_with_stats(&refs, 2, &Euclidean);
+        assert_eq!(stats.distance_evals, 120);
+        assert_eq!(stats.nodes_visited, 0);
+    }
+}

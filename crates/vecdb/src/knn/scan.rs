@@ -26,18 +26,9 @@
 //! [`ScanMode::Auto`] (the default) picks Batched below
 //! [`PARALLEL_CUTOFF`] candidate-components and Parallel above it.
 
-use super::{KBest, KnnEngine, Neighbor, SearchStats};
+use super::{KBest, KnnEngine, Neighbor, SearchStats, BLOCK_ROWS, PARALLEL_CUTOFF};
 use crate::collection::Collection;
 use crate::distance::Distance;
-
-/// Rows evaluated per batched kernel invocation. Large enough to amortize
-/// the virtual call, small enough that `BLOCK_ROWS` keys stay in L1 and
-/// the k-best threshold refreshes frequently for early abandonment.
-const BLOCK_ROWS: usize = 256;
-
-/// `len × dim` threshold above which [`ScanMode::Auto`] goes parallel;
-/// below it, thread spawn/join overhead outweighs the win.
-const PARALLEL_CUTOFF: usize = 64 * 1024;
 
 /// Execution strategy for [`LinearScan`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -58,6 +49,7 @@ pub enum ScanMode {
 pub struct LinearScan<'a> {
     coll: &'a Collection,
     mode: ScanMode,
+    thread_budget: Option<usize>,
 }
 
 impl<'a> LinearScan<'a> {
@@ -66,12 +58,27 @@ impl<'a> LinearScan<'a> {
         LinearScan {
             coll,
             mode: ScanMode::Auto,
+            thread_budget: None,
         }
     }
 
     /// New scan engine with an explicit execution mode.
     pub fn with_mode(coll: &'a Collection, mode: ScanMode) -> Self {
-        LinearScan { coll, mode }
+        LinearScan {
+            coll,
+            mode,
+            thread_budget: None,
+        }
+    }
+
+    /// Cap the parallel path at `threads` worker threads (at least 1)
+    /// instead of the machine's full parallelism. Callers that already
+    /// run scans from several of their own threads (the `fbp-eval`
+    /// sweeps) set this to `available / own_threads` so nested
+    /// parallelism does not oversubscribe the host.
+    pub fn with_thread_budget(mut self, threads: usize) -> Self {
+        self.thread_budget = Some(threads.max(1));
+        self
     }
 
     /// The underlying collection.
@@ -137,53 +144,17 @@ impl<'a> LinearScan<'a> {
         kb.into_sorted_with(|key| dist.finish_key(key))
     }
 
+    /// The parallel path is the single-query case of the multi-query
+    /// scan: delegating keeps the subtle fan-out/merge logic (chunking,
+    /// per-thread k-bests, the deterministic `(key, index)` fold) in one
+    /// place. For one query the multi kernels compute the exact same
+    /// keys, so results stay bit-identical to [`Self::knn_batched`].
     fn knn_parallel(&self, query: &[f64], k: usize, dist: &dyn Distance) -> Vec<Neighbor> {
-        let len = self.coll.len();
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(len.div_ceil(BLOCK_ROWS))
-            .max(1);
-        if threads == 1 {
-            return self.knn_batched(query, k, dist);
+        let mut multi = super::MultiQueryScan::with_mode(self.coll, ScanMode::Parallel);
+        if let Some(budget) = self.thread_budget {
+            multi = multi.with_thread_budget(budget);
         }
-        let chunk = len.div_ceil(threads);
-        let mut per_thread: Vec<Vec<(f64, u32)>> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    let lo = t * chunk;
-                    let hi = ((t + 1) * chunk).min(len);
-                    scope.spawn(move || {
-                        let mut kb = KBest::new(k);
-                        self.scan_range_keys(query, dist, lo..hi, &mut kb);
-                        let mut entries: Vec<(f64, u32)> = kb.entries().collect();
-                        entries.sort_unstable_by(|a, b| {
-                            a.0.partial_cmp(&b.0)
-                                .expect("non-finite key")
-                                .then(a.1.cmp(&b.1))
-                        });
-                        entries
-                    })
-                })
-                .collect();
-            for h in handles {
-                per_thread.push(h.join().expect("scan worker panicked"));
-            }
-        });
-        // Deterministic merge: fold every thread's candidates through one
-        // final k-best keyed by (key, index) — independent of thread
-        // count, chunk boundaries and completion order.
-        let mut kb = KBest::new(k);
-        for entries in per_thread {
-            for (key, index) in entries {
-                if key > kb.threshold() {
-                    break; // sorted: the rest of this thread can't enter
-                }
-                kb.push(index, key);
-            }
-        }
-        kb.into_sorted_with(|key| dist.finish_key(key))
+        multi.knn_multi(&[query], k, dist).pop().unwrap_or_default()
     }
 
     /// All-mode dispatch used by [`KnnEngine::knn_with_stats`].

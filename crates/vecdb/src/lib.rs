@@ -19,7 +19,11 @@
 //!   paper cites the M-tree \[CPZ97\] as its access method). The metric
 //!   trees are built once under the *default* metric and can still answer
 //!   queries under any *re-weighted* metric exactly, via distortion
-//!   bounds (`d_W ≥ √w_min · d_2` pruning);
+//!   bounds (`d_W ≥ √w_min · d_2` pruning). For concurrent feedback
+//!   sessions, [`knn::MultiQueryScan`] answers Q queries per blocked
+//!   collection pass (shared or per-query metrics), amortizing memory
+//!   traffic across the batch with results bit-identical to Q
+//!   independent scans;
 //! * [`result`] — ranked result lists and the stable-comparison helper the
 //!   feedback loop uses as its convergence test.
 
@@ -34,7 +38,7 @@ pub use collection::{CategoryId, Collection, CollectionBuilder};
 pub use distance::{
     Distance, Euclidean, HierarchicalDistance, Lp, Manhattan, QuadraticDistance, WeightedEuclidean,
 };
-pub use knn::{KnnEngine, LinearScan, MTree, Neighbor, ScanMode, VpTree};
+pub use knn::{KnnEngine, LinearScan, MTree, MultiQueryScan, Neighbor, ScanMode, VpTree};
 pub use result::ResultList;
 
 /// Errors from the vector database.

@@ -254,7 +254,7 @@ pub mod prop {
     pub mod collection {
         use super::super::{Strategy, TestRng};
 
-        /// Length specification for [`vec`]: a fixed size or a range.
+        /// Length specification for [`vec()`]: a fixed size or a range.
         #[derive(Debug, Clone)]
         pub struct SizeRange {
             lo: usize,
@@ -294,7 +294,7 @@ pub mod prop {
             }
         }
 
-        /// See [`vec`].
+        /// See [`vec()`].
         pub struct VecStrategy<S> {
             element: S,
             size: SizeRange,

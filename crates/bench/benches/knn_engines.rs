@@ -1,13 +1,15 @@
 //! Criterion micro-benchmarks for the k-NN engines: linear scan vs
 //! VP-tree vs M-tree, under the default Euclidean metric and under a
 //! re-weighted query metric (the feedback-loop case the distortion
-//! bounds exist for) — plus the three [`ScanMode`] execution paths of
-//! the linear scan against each other (scalar per-vector `dyn` baseline
-//! vs blocked surrogate-key kernels vs the multi-threaded scan).
+//! bounds exist for) — plus the scan execution paths against each other
+//! (scalar per-vector `dyn` baseline vs blocked surrogate-key kernels
+//! vs the multi-threaded scan vs the two-phase f32-rescore scan over
+//! the collection's mirror).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fbp_vecdb::{
-    CollectionBuilder, Euclidean, KnnEngine, LinearScan, MTree, ScanMode, VpTree, WeightedEuclidean,
+    CollectionBuilder, Euclidean, KnnEngine, LinearScan, MTree, Precision, ScanMode, VpTree,
+    WeightedEuclidean,
 };
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::hint::black_box;
@@ -59,7 +61,8 @@ fn collection(seed: u64) -> fbp_vecdb::Collection {
 /// blocked surrogate-key path and the parallel scan.
 fn bench_scan_paths(c: &mut Criterion) {
     const SCAN_DIM: usize = 64;
-    let coll = collection_dim(N, SCAN_DIM, 71);
+    let mut coll = collection_dim(N, SCAN_DIM, 71);
+    coll.ensure_f32_mirror();
     let mut rng = StdRng::seed_from_u64(73);
     let queries: Vec<Vec<f64>> = (0..32)
         .map(|_| (0..SCAN_DIM).map(|_| rng.gen_range(0.0..1.0)).collect())
@@ -70,12 +73,17 @@ fn bench_scan_paths(c: &mut Criterion) {
     let mut group = c.benchmark_group("linear_scan_paths_10k_64d_k50");
     tune(&mut group);
     let paths = [
-        ("scalar_dyn_baseline", ScanMode::Scalar),
-        ("batched", ScanMode::Batched),
-        ("parallel", ScanMode::Parallel),
+        ("scalar_dyn_baseline", ScanMode::Scalar, Precision::F64),
+        ("batched", ScanMode::Batched, Precision::F64),
+        (
+            "batched_f32_rescore",
+            ScanMode::Batched,
+            Precision::F32Rescore,
+        ),
+        ("parallel", ScanMode::Parallel, Precision::F64),
     ];
-    for (name, mode) in paths {
-        let scan = LinearScan::with_mode(&coll, mode);
+    for (name, mode, precision) in paths {
+        let scan = LinearScan::with_mode(&coll, mode).with_precision(precision);
         group.bench_with_input(BenchmarkId::new("weighted", name), &scan, |b, scan| {
             let mut i = 0;
             b.iter(|| {
@@ -86,6 +94,22 @@ fn bench_scan_paths(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Record the buffers the scan paths stream, so the bandwidth math
+    // behind the f32 numbers is visible in the CI perf artifact.
+    fbp_bench::write_bench_json(&format!(
+        concat!(
+            "{{\"bench\":\"knn_engines\",",
+            "\"workload\":{{\"n\":{},\"dim\":{},\"k\":{}}},",
+            "\"collection_bytes\":{},",
+            "\"mirror_bytes\":{}}}\n"
+        ),
+        N,
+        SCAN_DIM,
+        K,
+        coll.memory_bytes() - coll.mirror_bytes(),
+        coll.mirror_bytes()
+    ));
 }
 
 fn bench_knn(c: &mut Criterion) {

@@ -46,15 +46,24 @@ pub fn time_median_ns(warmup: usize, samples: usize, mut f: impl FnMut()) -> f64
     times[times.len() / 2]
 }
 
-/// Write machine-readable bench results to the path in `FBP_BENCH_JSON`
-/// (no-op when unset). The CI bench-smoke job points this at
-/// `BENCH_pr.json` and uploads it as the PR's perf artifact.
+/// Append machine-readable bench results (one JSON line per call) to the
+/// path in `FBP_BENCH_JSON` (no-op when unset). Appending lets several
+/// bench targets of one `cargo bench` invocation share a single record —
+/// the CI bench-smoke job points this at a fresh `BENCH_pr.json` and
+/// uploads it as the PR's perf artifact. Remove the file between local
+/// runs for a fresh record.
 pub fn write_bench_json(json: &str) {
+    use std::io::Write;
     let Some(path) = std::env::var_os("FBP_BENCH_JSON") else {
         return;
     };
-    match std::fs::write(&path, json) {
-        Ok(()) => eprintln!("[bench] wrote {}", PathBuf::from(&path).display()),
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(json.as_bytes()));
+    match appended {
+        Ok(()) => eprintln!("[bench] appended to {}", PathBuf::from(&path).display()),
         Err(e) => eprintln!(
             "[bench] could not write {}: {e}",
             PathBuf::from(&path).display()

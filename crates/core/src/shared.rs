@@ -21,7 +21,7 @@
 use crate::bypass::{FeedbackBypass, PredictedParams};
 use crate::{BypassError, Result};
 use fbp_simplex_tree::InsertOutcome;
-use fbp_vecdb::{Distance, MultiQueryScan, Neighbor, WeightedEuclidean};
+use fbp_vecdb::{Collection, Distance, MultiQueryScan, Neighbor, Precision, WeightedEuclidean};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -34,6 +34,12 @@ pub struct KnnRequest {
     pub point: Vec<f64>,
     /// Weighted-Euclidean component weights (all finite and positive).
     pub weights: Vec<f64>,
+    /// Per-request result count; `None` uses the batch-wide `k` passed
+    /// to [`SharedBypass::knn_batch`]. Sessions in one pass rarely agree
+    /// on `k` (different UIs, different refinement depths), and the
+    /// multi-query scan answers mixed counts without widening anyone's
+    /// k-best.
+    pub k: Option<usize>,
 }
 
 impl KnnRequest {
@@ -43,6 +49,7 @@ impl KnnRequest {
         KnnRequest {
             point,
             weights: vec![1.0; dim],
+            k: None,
         }
     }
 
@@ -51,7 +58,14 @@ impl KnnRequest {
         KnnRequest {
             point: p.point.clone(),
             weights: p.weights.clone(),
+            k: None,
         }
+    }
+
+    /// Override the batch-wide `k` for this request.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = Some(k);
+        self
     }
 }
 
@@ -69,6 +83,17 @@ impl SharedBypass {
         }
     }
 
+    /// The multi-query scan a serving front-end should hand to
+    /// [`Self::knn_batch`]: mode Auto, **f32-rescore precision** — when
+    /// the collection carries its f32 mirror
+    /// ([`Collection::ensure_f32_mirror`]), every coalesced pass streams
+    /// half the bytes and still returns results identical to the pure
+    /// f64 scan (without a mirror this is exactly the f64 scan), so the
+    /// serving layer opts in unconditionally.
+    pub fn serving_scan(coll: &Collection) -> MultiQueryScan<'_> {
+        MultiQueryScan::new(coll).with_precision(Precision::F32Rescore)
+    }
+
     /// Predict under a read lock (concurrent with other predictions).
     pub fn predict(&self, q: &[f64]) -> Result<PredictedParams> {
         self.inner.read().predict(q)
@@ -83,16 +108,18 @@ impl SharedBypass {
     }
 
     /// Serve the pending sessions' k-NN requests in **one** multi-query
-    /// block pass over `scan`'s collection, returning each request's `k`
-    /// nearest neighbors in request order (bit-identical to serving each
-    /// request with its own single-query scan).
+    /// block pass over `scan`'s collection, returning each request's
+    /// neighbors in request order (bit-identical to serving each request
+    /// with its own single-query scan). `k` is the batch-wide default
+    /// result count; a request carrying its own [`KnnRequest::k`]
+    /// overrides it for that request only, still inside the same pass.
     ///
     /// Requests whose weight vectors are all identical — typically every
     /// session's first iteration, before feedback diverges the metrics —
     /// take the shared-metric fast path
-    /// ([`MultiQueryScan::knn_multi`], one kernel call per block);
+    /// ([`MultiQueryScan::knn_multi_k`], one kernel call per block);
     /// otherwise each request keeps its own learned metric and shares
-    /// the block reads ([`MultiQueryScan::knn_per_query`]).
+    /// the block reads ([`MultiQueryScan::knn_per_query_k`]).
     pub fn knn_batch(
         &self,
         scan: &MultiQueryScan<'_>,
@@ -130,14 +157,15 @@ impl SharedBypass {
             })
             .collect::<Result<_>>()?;
         let points: Vec<&[f64]> = requests.iter().map(|r| r.point.as_slice()).collect();
+        let ks: Vec<usize> = requests.iter().map(|r| r.k.unwrap_or(k)).collect();
         let shared_metric = requests[1..]
             .iter()
             .all(|r| r.weights == requests[0].weights);
         if shared_metric {
-            Ok(scan.knn_multi(&points, k, &metrics[0]))
+            Ok(scan.knn_multi_k(&points, &ks, &metrics[0]))
         } else {
             let dists: Vec<&dyn Distance> = metrics.iter().map(|m| m as &dyn Distance).collect();
-            Ok(scan.knn_per_query(&points, &dists, k))
+            Ok(scan.knn_per_query_k(&points, &dists, &ks))
         }
     }
 
@@ -286,10 +314,12 @@ mod tests {
                 KnnRequest {
                     point: vec![0.2, 0.4, 0.6],
                     weights: vec![3.0, 1.0, 0.5],
+                    k: None,
                 },
                 KnnRequest {
                     point: vec![0.8, 0.1, 0.3],
                     weights: vec![0.25, 2.0, 1.5],
+                    k: None,
                 },
             ];
             let batch = shared().knn_batch(&scan, &requests, 7).unwrap();
@@ -307,6 +337,7 @@ mod tests {
             let requests = vec![KnnRequest {
                 point: vec![0.1, 0.2, 0.3],
                 weights: vec![1.0, -1.0, 0.0],
+                k: None,
             }];
             assert!(shared().knn_batch(&scan, &requests, 5).is_err());
         }
@@ -326,6 +357,7 @@ mod tests {
             let short_weights = vec![KnnRequest {
                 point: vec![0.1, 0.2, 0.3],
                 weights: vec![1.0, 2.0],
+                k: None,
             }];
             assert!(matches!(
                 shared().knn_batch(&scan, &short_weights, 5),
@@ -337,12 +369,77 @@ mod tests {
         }
 
         #[test]
+        fn mixed_per_request_k_in_one_pass() {
+            let coll = collection();
+            let scan = MultiQueryScan::with_mode(&coll, ScanMode::Batched);
+            let single = LinearScan::with_mode(&coll, ScanMode::Batched);
+            // Shared metric (all uniform weights), k ∈ {1, 10, 50} plus
+            // one request deferring to the batch default.
+            let requests = vec![
+                KnnRequest::uniform(vec![0.1, 0.5, 0.3]).with_k(1),
+                KnnRequest::uniform(vec![0.4, 0.2, 0.8]).with_k(10),
+                KnnRequest::uniform(vec![0.9, 0.6, 0.1]).with_k(50),
+                KnnRequest::uniform(vec![0.3, 0.3, 0.3]),
+            ];
+            let batch = shared().knn_batch(&scan, &requests, 7).unwrap();
+            let expected_k = [1usize, 10, 50, 7];
+            for ((req, res), &k) in requests.iter().zip(batch.iter()).zip(expected_k.iter()) {
+                assert_eq!(res.len(), k, "per-request k not honored");
+                let w = WeightedEuclidean::new(req.weights.clone()).unwrap();
+                assert_eq!(res, &single.knn(&req.point, k, &w));
+            }
+            // Diverged metrics exercise the per-query-metric path.
+            let requests = vec![
+                KnnRequest {
+                    point: vec![0.2, 0.4, 0.6],
+                    weights: vec![3.0, 1.0, 0.5],
+                    k: Some(1),
+                },
+                KnnRequest {
+                    point: vec![0.8, 0.1, 0.3],
+                    weights: vec![0.25, 2.0, 1.5],
+                    k: Some(50),
+                },
+            ];
+            let batch = shared().knn_batch(&scan, &requests, 7).unwrap();
+            for (req, res) in requests.iter().zip(batch.iter()) {
+                let k = req.k.unwrap();
+                assert_eq!(res.len(), k);
+                let w = WeightedEuclidean::new(req.weights.clone()).unwrap();
+                assert_eq!(res, &single.knn(&req.point, k, &w));
+            }
+        }
+
+        #[test]
         fn empty_collection_serves_empty_results() {
             let empty = CollectionBuilder::new().build();
             let scan = MultiQueryScan::new(&empty);
             let requests = vec![KnnRequest::uniform(vec![0.1, 0.2, 0.3])];
             let res = shared().knn_batch(&scan, &requests, 5).unwrap();
             assert_eq!(res, vec![Vec::new()]);
+        }
+
+        #[test]
+        fn serving_scan_uses_mirror_and_matches_f64() {
+            let mut coll = collection();
+            let requests = vec![
+                KnnRequest::uniform(vec![0.2, 0.4, 0.6]),
+                KnnRequest {
+                    point: vec![0.8, 0.1, 0.3],
+                    weights: vec![0.25, 2.0, 1.5],
+                    k: Some(5),
+                },
+            ];
+            // Without a mirror the serving scan is exactly the f64 scan.
+            let baseline = {
+                let scan = MultiQueryScan::with_mode(&coll, ScanMode::Batched);
+                shared().knn_batch(&scan, &requests, 10).unwrap()
+            };
+            coll.ensure_f32_mirror();
+            let scan = SharedBypass::serving_scan(&coll);
+            assert_eq!(scan.precision(), fbp_vecdb::Precision::F32Rescore);
+            let served = shared().knn_batch(&scan, &requests, 10).unwrap();
+            assert_eq!(served, baseline);
         }
 
         #[test]

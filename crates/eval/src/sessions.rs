@@ -27,7 +27,7 @@
 use crate::stream::query_order;
 use fbp_feedback::{CategoryOracle, FeedbackConfig, FeedbackLoop, FeedbackStepper, StepOutcome};
 use fbp_imagegen::SyntheticDataset;
-use fbp_vecdb::{LinearScan, MultiQueryScan, ResultList, ScanMode};
+use fbp_vecdb::{LinearScan, MultiQueryScan, Precision, ResultList, ScanMode};
 use feedbackbypass::{BypassConfig, FeedbackBypass, KnnRequest, SharedBypass};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
@@ -58,6 +58,12 @@ pub struct SessionsOptions {
     pub bypass: BypassConfig,
     /// Serving strategy under measurement.
     pub serving: ServingMode,
+    /// Scan precision for the serving searches.
+    /// [`Precision::F32Rescore`] engages the two-phase mirror scan when
+    /// the dataset's collection carries its f32 mirror
+    /// (`ds.collection.ensure_f32_mirror()`), and is a transparent f64
+    /// scan otherwise — results are identical either way.
+    pub precision: Precision,
     /// Query-sampling seed.
     pub seed: u64,
 }
@@ -71,6 +77,7 @@ impl Default for SessionsOptions {
             feedback: FeedbackConfig::default(),
             bypass: BypassConfig::default(),
             serving: ServingMode::Coalesced(ScanMode::Auto),
+            precision: Precision::F64,
             seed: 0xFEED,
         }
     }
@@ -220,11 +227,11 @@ pub fn run_sessions(ds: &SyntheticDataset, opts: &SessionsOptions) -> SessionsRe
     let t0 = Instant::now();
     let (searches, scan_passes, distance_evals) = match opts.serving {
         ServingMode::Coalesced(mode) => {
-            let scan = MultiQueryScan::with_mode(coll, mode);
+            let scan = MultiQueryScan::with_mode(coll, mode).with_precision(opts.precision);
             serve_coalesced(ds, &shared, &mut sessions, &feedback, scan)
         }
         ServingMode::Independent(mode) => {
-            let scan = LinearScan::with_mode(coll, mode);
+            let scan = LinearScan::with_mode(coll, mode).with_precision(opts.precision);
             serve_independent(ds, &shared, &mut sessions, &feedback, scan)
         }
     };
@@ -310,6 +317,7 @@ fn serve_coalesced(
                 KnnRequest {
                     point: aq.point.clone(),
                     weights,
+                    k: None,
                 }
             })
             .collect();

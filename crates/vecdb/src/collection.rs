@@ -4,6 +4,22 @@
 //! k-NN scan touches memory sequentially; labels are category ids used by
 //! the evaluation harness as its relevance oracle (paper §5: "any image in
 //! the same category was considered a good match").
+//!
+//! # Precision model: optional f32 mirror
+//!
+//! The authoritative store is always f64 — every key pushed into a
+//! k-best and every distance returned to a caller comes from the f64
+//! buffer. A collection may additionally carry an **f32 mirror**
+//! ([`Collection::ensure_f32_mirror`], or
+//! [`CollectionBuilder::with_f32_mirror`]): the same vectors, same
+//! row-major block layout, rounded once to f32. Scans configured with
+//! `Precision::F32Rescore` stream the mirror (half the bytes of the f64
+//! buffer — the scans are bandwidth-bound at low query counts) as a
+//! phase-1 filter, then rescore the surviving candidates from the f64
+//! buffer, so results stay identical to a pure f64 scan. The mirror also
+//! records the largest component magnitude ([`Collection::max_abs`]),
+//! which the scan feeds into each distance class's rounding bound
+//! (`Distance::f32_key_slack`).
 
 use crate::{Result, VecdbError};
 
@@ -24,6 +40,26 @@ pub struct Collection {
     /// so `category_size`/`category_members` are O(1) (the evaluation
     /// harness calls them per query).
     members_by_category: Vec<Vec<usize>>,
+    /// Optional f32 mirror of `data` (same layout) plus the largest
+    /// component magnitude of the f64 data, for the f32-rescore scans.
+    mirror: Option<MirrorF32>,
+}
+
+/// The f32 mirror: half-width copy of the vector buffer plus the
+/// magnitude bound its rounding analysis needs.
+#[derive(Debug, Clone)]
+struct MirrorF32 {
+    data: Vec<f32>,
+    max_abs: f64,
+}
+
+impl MirrorF32 {
+    fn build(data: &[f64]) -> Self {
+        MirrorF32 {
+            data: data.iter().map(|&v| v as f32).collect(),
+            max_abs: data.iter().fold(0.0f64, |m, &v| m.max(v.abs())),
+        }
+    }
 }
 
 impl Collection {
@@ -97,6 +133,61 @@ impl Collection {
     pub fn iter(&self) -> impl Iterator<Item = (usize, &[f64], CategoryId)> + '_ {
         (0..self.len()).map(move |i| (i, self.vector(i), self.labels[i]))
     }
+
+    /// Build the f32 mirror if it is not already present (one rounding
+    /// pass over the data; idempotent). Scans with `Precision::F32Rescore`
+    /// use the mirror when present and silently run in pure f64 when not,
+    /// so enabling it is always safe.
+    pub fn ensure_f32_mirror(&mut self) {
+        if self.mirror.is_none() {
+            self.mirror = Some(MirrorF32::build(&self.data));
+        }
+    }
+
+    /// Drop the f32 mirror (frees `len × dim × 4` bytes; scans fall back
+    /// to pure f64).
+    pub fn drop_f32_mirror(&mut self) {
+        self.mirror = None;
+    }
+
+    /// True when the f32 mirror is present.
+    pub fn has_f32_mirror(&self) -> bool {
+        self.mirror.is_some()
+    }
+
+    /// Borrow the f32 mirror's contiguous row-major block of vectors
+    /// `start..end` — the phase-1 unit of the f32-rescore scan
+    /// ([`crate::Distance::eval_key_batch_f32`]). `None` when no mirror
+    /// has been built.
+    #[inline]
+    pub fn block_f32(&self, start: usize, end: usize) -> Option<&[f32]> {
+        self.mirror
+            .as_ref()
+            .map(|m| &m.data[start * self.dim..end * self.dim])
+    }
+
+    /// Largest `|component|` over the stored f64 vectors (recorded when
+    /// the mirror is built; `None` without a mirror). Scans take the max
+    /// of this and the query's own magnitude as the `max_abs` argument of
+    /// [`crate::Distance::f32_key_slack`].
+    pub fn max_abs(&self) -> Option<f64> {
+        self.mirror.as_ref().map(|m| m.max_abs)
+    }
+
+    /// Heap bytes of the vector payloads: the f64 buffer plus the f32
+    /// mirror (when present). This is the number the scan-bandwidth math
+    /// in the benches divides by — labels, category tables and container
+    /// overheads are excluded deliberately (the scans never touch them).
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>() + self.mirror_bytes()
+    }
+
+    /// Heap bytes of the f32 mirror alone (0 without a mirror).
+    pub fn mirror_bytes(&self) -> usize {
+        self.mirror
+            .as_ref()
+            .map_or(0, |m| m.data.len() * std::mem::size_of::<f32>())
+    }
 }
 
 /// Builder for [`Collection`].
@@ -106,12 +197,31 @@ pub struct CollectionBuilder {
     data: Vec<f64>,
     labels: Vec<CategoryId>,
     category_names: Vec<String>,
+    build_mirror: bool,
 }
 
 impl CollectionBuilder {
-    /// Fresh builder; the dimensionality is fixed by the first vector.
+    /// Fresh builder; the dimensionality is fixed by the first vector
+    /// (or up front via [`Self::with_dim`]).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Fix the dimensionality before any vector is pushed. An empty
+    /// build then carries this `dim` instead of silently reporting 0 —
+    /// callers that defer their first `push` (streaming ingest, staged
+    /// loads) get a coherent collection/mirror either way. Pushes are
+    /// validated against it exactly like against an inferred dim.
+    pub fn with_dim(mut self, dim: usize) -> Self {
+        self.dim = Some(dim);
+        self
+    }
+
+    /// Build the f32 mirror as part of [`Self::build`] (equivalent to
+    /// calling [`Collection::ensure_f32_mirror`] afterwards).
+    pub fn with_f32_mirror(mut self) -> Self {
+        self.build_mirror = true;
+        self
     }
 
     /// Register a category name, returning its id. Registering the same
@@ -152,19 +262,33 @@ impl CollectionBuilder {
     }
 
     /// Finish building.
+    ///
+    /// The dimensionality is whatever was fixed first — [`Self::with_dim`]
+    /// or the first push — and is asserted coherent with the stored data
+    /// (`data.len() == len × dim`), so an empty collection built after
+    /// `with_dim(d)` reports `dim() == d` rather than a silent 0, and the
+    /// mirror is built against the same dim.
     pub fn build(self) -> Collection {
+        let dim = self.dim.unwrap_or(0);
+        assert_eq!(
+            self.data.len(),
+            self.labels.len() * dim,
+            "vector buffer incoherent with len × dim"
+        );
         let mut members_by_category = vec![Vec::new(); self.category_names.len()];
         for (i, &label) in self.labels.iter().enumerate() {
             if label != NO_CATEGORY {
                 members_by_category[label as usize].push(i);
             }
         }
+        let mirror = self.build_mirror.then(|| MirrorF32::build(&self.data));
         Collection {
-            dim: self.dim.unwrap_or(0),
+            dim,
             data: self.data,
             labels: self.labels,
             category_names: self.category_names,
             members_by_category,
+            mirror,
         }
     }
 }
@@ -228,5 +352,77 @@ mod tests {
         assert!(c.is_empty());
         assert_eq!(c.dim(), 0);
         assert_eq!(c.iter().count(), 0);
+    }
+
+    #[test]
+    fn preset_dim_survives_empty_build_and_validates_pushes() {
+        // The deferred-first-push case: dim is coherent without any data.
+        let c = CollectionBuilder::new().with_dim(7).build();
+        assert!(c.is_empty());
+        assert_eq!(c.dim(), 7);
+        // Pushes are checked against the preset dim like an inferred one.
+        let mut b = CollectionBuilder::new().with_dim(2);
+        assert!(matches!(
+            b.push_unlabelled(&[1.0, 2.0, 3.0]),
+            Err(VecdbError::DimMismatch {
+                expected: 2,
+                got: 3
+            })
+        ));
+        b.push_unlabelled(&[1.0, 2.0]).unwrap();
+        assert_eq!(b.build().dim(), 2);
+    }
+
+    #[test]
+    fn mirror_rounds_data_and_reports_max_abs() {
+        let mut b = CollectionBuilder::new();
+        b.push_unlabelled(&[0.1, -3.5]).unwrap();
+        b.push_unlabelled(&[2.0, 0.25]).unwrap();
+        let mut c = b.build();
+        assert!(!c.has_f32_mirror());
+        assert_eq!(c.block_f32(0, 2), None);
+        assert_eq!(c.max_abs(), None);
+        assert_eq!(c.mirror_bytes(), 0);
+        c.ensure_f32_mirror();
+        assert!(c.has_f32_mirror());
+        assert_eq!(c.max_abs(), Some(3.5));
+        assert_eq!(c.block_f32(0, 2).unwrap(), &[0.1f32, -3.5, 2.0, 0.25][..]);
+        assert_eq!(c.block_f32(1, 2).unwrap(), &[2.0f32, 0.25][..]);
+        // Idempotent.
+        c.ensure_f32_mirror();
+        assert_eq!(c.mirror_bytes(), 4 * 4);
+        c.drop_f32_mirror();
+        assert!(!c.has_f32_mirror());
+    }
+
+    #[test]
+    fn builder_mirror_matches_ensure() {
+        let mut b = CollectionBuilder::new().with_f32_mirror();
+        b.push_unlabelled(&[1.0, 2.0]).unwrap();
+        let c = b.build();
+        assert!(c.has_f32_mirror());
+        assert_eq!(c.max_abs(), Some(2.0));
+        // Empty build with a preset dim still gets a coherent (empty)
+        // mirror instead of a dim-0 mismatch.
+        let c = CollectionBuilder::new()
+            .with_dim(3)
+            .with_f32_mirror()
+            .build();
+        assert!(c.has_f32_mirror());
+        assert_eq!(c.dim(), 3);
+        assert_eq!(c.block_f32(0, 0).unwrap(), &[] as &[f32]);
+    }
+
+    #[test]
+    fn memory_bytes_accounts_data_and_mirror() {
+        let mut b = CollectionBuilder::new();
+        for i in 0..10 {
+            b.push_unlabelled(&[i as f64; 4]).unwrap();
+        }
+        let mut c = b.build();
+        assert_eq!(c.memory_bytes(), 10 * 4 * 8);
+        c.ensure_f32_mirror();
+        assert_eq!(c.mirror_bytes(), 10 * 4 * 4);
+        assert_eq!(c.memory_bytes(), 10 * 4 * 8 + 10 * 4 * 4);
     }
 }

@@ -55,6 +55,9 @@ pub struct HierarchicalDistance {
     /// Flattened effective weights `uₑ·wᵢ`, precomputed so evaluation
     /// collapses to a single weighted-Euclidean kernel pass.
     effective_weights: Vec<f64>,
+    /// f32-rounded effective weights for the mirror-scanning kernels
+    /// (the rounding is part of [`Distance::f32_key_slack`]).
+    effective_weights_f32: Vec<f32>,
     dim: usize,
 }
 
@@ -107,11 +110,13 @@ impl HierarchicalDistance {
                 effective_weights[i] = feature_weights[e] * component_weights[i];
             }
         }
+        let effective_weights_f32 = effective_weights.iter().map(|&w| w as f32).collect();
         Ok(HierarchicalDistance {
             spans,
             feature_weights,
             component_weights,
             effective_weights,
+            effective_weights_f32,
             dim,
         })
     }
@@ -256,6 +261,43 @@ impl Distance for HierarchicalDistance {
     ) {
         kernels::weighted_sq_multi_block(
             &self.effective_weights,
+            0,
+            queries,
+            block,
+            dim,
+            bounds,
+            out,
+        );
+    }
+
+    fn f32_key_slack(&self, dim: usize, max_abs: f64) -> Option<f64> {
+        // The flattened form is exactly a weighted Euclidean with the
+        // effective weights, so the same rounding budget applies.
+        let w_max = self.effective_weights.iter().cloned().fold(0.0, f64::max);
+        super::weighted_f32_slack(dim, w_max, max_abs)
+    }
+
+    fn eval_key_batch_f32(
+        &self,
+        query: &[f32],
+        block: &[f32],
+        dim: usize,
+        bound: f32,
+        out: &mut [f32],
+    ) {
+        kernels::weighted_sq_block_f32(&self.effective_weights_f32, query, block, dim, bound, out);
+    }
+
+    fn eval_key_multi_f32(
+        &self,
+        queries: &[f32],
+        block: &[f32],
+        dim: usize,
+        bounds: &[f32],
+        out: &mut [f32],
+    ) {
+        kernels::weighted_sq_multi_block_f32(
+            &self.effective_weights_f32,
             0,
             queries,
             block,

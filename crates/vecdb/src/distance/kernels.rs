@@ -2,22 +2,54 @@
 //! implementations.
 //!
 //! The per-row inner loops are unrolled 8-wide over independent
-//! accumulators — enough parallel chains for LLVM to emit full-width SIMD
-//! adds/multiplies and keep the out-of-order window busy. All kernels
-//! compute *surrogate keys* (squared-form sums); the caller recovers true
-//! distances via `Distance::finish_key` for final winners only.
+//! accumulators — enough parallel chains for LLVM to
+//! emit full-width SIMD adds/multiplies and keep the out-of-order window
+//! busy. All kernels compute *surrogate keys* (squared-form sums); the
+//! caller recovers true distances via `Distance::finish_key` for final
+//! winners only.
 //!
 //! Early abandonment: the accumulated sums are non-decreasing in the
 //! number of components, so once a row's partial sum exceeds the caller's
 //! pruning bound the row can never enter the k-best — the kernels then
-//! stop and report `f64::INFINITY` for it. Segments of [`SEGMENT`]
-//! components keep the bound check off the hot inner loop.
+//! stop and report `INFINITY` for it. Segments of [`SEGMENT`] components
+//! keep the bound check off the hot inner loop.
+//!
+//! # f32 kernels
+//!
+//! The `*_f32` variants scan the [`Collection`](crate::Collection)'s
+//! optional f32 mirror at half the memory traffic of the f64 buffer —
+//! the phase-1 filter of the `Precision::F32Rescore` scan path. Two
+//! implementations exist: a portable auto-vectorized chain mirroring
+//! the f64 structure, and hand-written AVX2+FMA intrinsics (see the
+//! `f32_intr` module for why LLVM needs the help here). Within either
+//! implementation the properties the filter relies on hold: prefix sums
+//! are monotone non-decreasing (each step adds a non-negative term
+//! under monotone rounding), so early abandonment against an *inflated*
+//! bound can only drop rows whose full f32 key also exceeds that bound,
+//! and a given (query, row) pair gets the same f32 key from the batch,
+//! multi and one-row entry points. Unlike the f64 kernels, f32 keys are
+//! NOT bit-identical across hosts (FMA vs non-FMA) — by design: they
+//! only select candidates under a `Distance::f32_key_slack`-inflated
+//! bound that covers either variant's rounding, and the exact f64
+//! rescore makes the final answers host-independent again.
 
-/// Unroll width of the inner component loops.
+/// Unroll width of the inner component loops (f64).
 pub(crate) const LANES: usize = 8;
 
-/// Components accumulated between early-abandon bound checks.
+/// Unroll width of the f32 inner loops. Same count as the f64 kernels —
+/// measured on the build host, 8 f32 lanes (one 256-bit chain, the same
+/// cheap 8-term reduction tree per row) beats 16 lanes, whose doubled
+/// horizontal reduction eats the wider-register win at dim ≈ 64.
+pub(crate) const LANES_F32: usize = 8;
+
+/// Components accumulated between early-abandon bound checks (f64).
 const SEGMENT: usize = 64;
+
+/// f32 bound-check granularity (same as f64: a 32-component experiment
+/// made the phase-1 pass ~40% slower on the build host — the branchy
+/// bounded row path costs more than the skipped arithmetic saves at
+/// dim ≈ 64).
+const SEGMENT_F32: usize = 64;
 
 /// Sum of `w·(q − r)²` over one segment (8-wide unrolled;
 /// `chunks_exact` keeps the hot loop free of bounds checks).
@@ -243,15 +275,628 @@ fn weighted_sq_multi_impl(
 }
 
 // ---------------------------------------------------------------------
+// f32 kernel bodies, portable chain (`f32_plain`): the same
+// segment/lane structure and unfused multiply-add arithmetic as the
+// f64 kernels, auto-vectorized under the runtime-dispatched
+// `#[target_feature]` wrappers below. This chain serves non-FMA hosts
+// and non-x86 targets; FMA-capable x86-64 hosts are instead routed to
+// the hand-written `f32_intr` intrinsics further down (fused
+// multiply-adds, different reduction — see that module for why).
+// Either implementation's rounding is covered by
+// `Distance::f32_key_slack` (fusion only removes roundings the budget
+// charges for).
+
+/// Fixed-shape reduction of the f32 accumulator lanes (the same
+/// deterministic tree as the f64 kernels').
+#[inline(always)]
+fn reduce_f32(acc: &[f32; LANES_F32]) -> f32 {
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
+mod f32_plain {
+    use super::{reduce_f32, LANES_F32, SEGMENT_F32 as SEGMENT};
+
+    /// Sum of `w·(q − r)²` over one segment (8-wide unrolled).
+    #[inline(always)]
+    fn weighted_sq_seg(w: &[f32], q: &[f32], r: &[f32]) -> f32 {
+        let n = q.len();
+        let (w, r) = (&w[..n], &r[..n]);
+        let mut acc = [0.0f32; LANES_F32];
+        let mut qc = q.chunks_exact(LANES_F32);
+        let mut wc = w.chunks_exact(LANES_F32);
+        let mut rc = r.chunks_exact(LANES_F32);
+        for ((qs, ws), rs) in (&mut qc).zip(&mut wc).zip(&mut rc) {
+            for l in 0..LANES_F32 {
+                let d = qs[l] - rs[l];
+                acc[l] += ws[l] * d * d;
+            }
+        }
+        let mut tail = 0.0f32;
+        for ((x, w), y) in qc
+            .remainder()
+            .iter()
+            .zip(wc.remainder().iter())
+            .zip(rc.remainder().iter())
+        {
+            let d = x - y;
+            tail += w * d * d;
+        }
+        reduce_f32(&acc) + tail
+    }
+
+    /// Sum of `(q − r)²` over one segment (8-wide unrolled).
+    #[inline(always)]
+    fn l2_sq_seg(q: &[f32], r: &[f32]) -> f32 {
+        let n = q.len();
+        let r = &r[..n];
+        let mut acc = [0.0f32; LANES_F32];
+        let mut qc = q.chunks_exact(LANES_F32);
+        let mut rc = r.chunks_exact(LANES_F32);
+        for (qs, rs) in (&mut qc).zip(&mut rc) {
+            for l in 0..LANES_F32 {
+                let d = qs[l] - rs[l];
+                acc[l] += d * d;
+            }
+        }
+        let mut tail = 0.0f32;
+        for (x, y) in qc.remainder().iter().zip(rc.remainder().iter()) {
+            let d = x - y;
+            tail += d * d;
+        }
+        reduce_f32(&acc) + tail
+    }
+
+    /// Two rows' `w·(q − r)²` segment sums, interleaved: the
+    /// per-row FP dependency chain is the latency bottleneck of
+    /// the f32 pass, so a row pair keeps two independent chains
+    /// in flight. Each row's lanes, order and reduction are
+    /// exactly those of [`weighted_sq_seg`], so pairing never
+    /// changes a key's bits.
+    #[inline(always)]
+    fn weighted_sq_seg2(w: &[f32], q: &[f32], r0: &[f32], r1: &[f32]) -> (f32, f32) {
+        let n = q.len();
+        let (w, r0, r1) = (&w[..n], &r0[..n], &r1[..n]);
+        let mut acc0 = [0.0f32; LANES_F32];
+        let mut acc1 = [0.0f32; LANES_F32];
+        let mut qc = q.chunks_exact(LANES_F32);
+        let mut wc = w.chunks_exact(LANES_F32);
+        let mut rc0 = r0.chunks_exact(LANES_F32);
+        let mut rc1 = r1.chunks_exact(LANES_F32);
+        for (((qs, ws), rs0), rs1) in (&mut qc).zip(&mut wc).zip(&mut rc0).zip(&mut rc1) {
+            for l in 0..LANES_F32 {
+                let d0 = qs[l] - rs0[l];
+                acc0[l] += ws[l] * d0 * d0;
+                let d1 = qs[l] - rs1[l];
+                acc1[l] += ws[l] * d1 * d1;
+            }
+        }
+        let mut tail0 = 0.0f32;
+        let mut tail1 = 0.0f32;
+        for (((x, w), y0), y1) in qc
+            .remainder()
+            .iter()
+            .zip(wc.remainder().iter())
+            .zip(rc0.remainder().iter())
+            .zip(rc1.remainder().iter())
+        {
+            let d0 = x - y0;
+            tail0 += w * d0 * d0;
+            let d1 = x - y1;
+            tail1 += w * d1 * d1;
+        }
+        (reduce_f32(&acc0) + tail0, reduce_f32(&acc1) + tail1)
+    }
+
+    /// Two rows' `(q − r)²` segment sums, interleaved (see
+    /// [`weighted_sq_seg2`]).
+    #[inline(always)]
+    fn l2_sq_seg2(q: &[f32], r0: &[f32], r1: &[f32]) -> (f32, f32) {
+        let n = q.len();
+        let (r0, r1) = (&r0[..n], &r1[..n]);
+        let mut acc0 = [0.0f32; LANES_F32];
+        let mut acc1 = [0.0f32; LANES_F32];
+        let mut qc = q.chunks_exact(LANES_F32);
+        let mut rc0 = r0.chunks_exact(LANES_F32);
+        let mut rc1 = r1.chunks_exact(LANES_F32);
+        for ((qs, rs0), rs1) in (&mut qc).zip(&mut rc0).zip(&mut rc1) {
+            for l in 0..LANES_F32 {
+                let d0 = qs[l] - rs0[l];
+                acc0[l] += d0 * d0;
+                let d1 = qs[l] - rs1[l];
+                acc1[l] += d1 * d1;
+            }
+        }
+        let mut tail0 = 0.0f32;
+        let mut tail1 = 0.0f32;
+        for ((x, y0), y1) in qc
+            .remainder()
+            .iter()
+            .zip(rc0.remainder().iter())
+            .zip(rc1.remainder().iter())
+        {
+            let d0 = x - y0;
+            tail0 += d0 * d0;
+            let d1 = x - y1;
+            tail1 += d1 * d1;
+        }
+        (reduce_f32(&acc0) + tail0, reduce_f32(&acc1) + tail1)
+    }
+
+    /// Two full rows, interleaved; bit-identical per row to
+    /// [`weighted_sq_row`].
+    #[inline(always)]
+    fn weighted_sq_row2(w: &[f32], q: &[f32], r0: &[f32], r1: &[f32]) -> (f32, f32) {
+        let n = q.len();
+        let mut acc0 = 0.0f32;
+        let mut acc1 = 0.0f32;
+        let mut i = 0;
+        while i < n {
+            let end = (i + SEGMENT).min(n);
+            let (s0, s1) = weighted_sq_seg2(&w[i..end], &q[i..end], &r0[i..end], &r1[i..end]);
+            acc0 += s0;
+            acc1 += s1;
+            i = end;
+        }
+        (acc0, acc1)
+    }
+
+    /// Two full rows, interleaved; bit-identical per row to
+    /// [`l2_sq_row`].
+    #[inline(always)]
+    fn l2_sq_row2(q: &[f32], r0: &[f32], r1: &[f32]) -> (f32, f32) {
+        let n = q.len();
+        let mut acc0 = 0.0f32;
+        let mut acc1 = 0.0f32;
+        let mut i = 0;
+        while i < n {
+            let end = (i + SEGMENT).min(n);
+            let (s0, s1) = l2_sq_seg2(&q[i..end], &r0[i..end], &r1[i..end]);
+            acc0 += s0;
+            acc1 += s1;
+            i = end;
+        }
+        (acc0, acc1)
+    }
+
+    /// Sum of `w·(q − r)²` over one row.
+    #[inline(always)]
+    pub(super) fn weighted_sq_row(w: &[f32], q: &[f32], r: &[f32]) -> f32 {
+        let n = q.len();
+        let mut acc = 0.0f32;
+        let mut i = 0;
+        while i < n {
+            let end = (i + SEGMENT).min(n);
+            acc += weighted_sq_seg(&w[i..end], &q[i..end], &r[i..end]);
+            i = end;
+        }
+        acc
+    }
+
+    /// Sum of `(q − r)²` over one row.
+    #[inline(always)]
+    pub(super) fn l2_sq_row(q: &[f32], r: &[f32]) -> f32 {
+        let n = q.len();
+        let mut acc = 0.0f32;
+        let mut i = 0;
+        while i < n {
+            let end = (i + SEGMENT).min(n);
+            acc += l2_sq_seg(&q[i..end], &r[i..end]);
+            i = end;
+        }
+        acc
+    }
+
+    #[inline(always)]
+    fn weighted_sq_row_bounded(w: &[f32], q: &[f32], r: &[f32], bound: f32) -> f32 {
+        let n = q.len();
+        let mut acc = 0.0f32;
+        let mut i = 0;
+        while i < n {
+            let end = (i + SEGMENT).min(n);
+            acc += weighted_sq_seg(&w[i..end], &q[i..end], &r[i..end]);
+            if acc > bound {
+                return f32::INFINITY;
+            }
+            i = end;
+        }
+        acc
+    }
+
+    #[inline(always)]
+    fn l2_sq_row_bounded(q: &[f32], r: &[f32], bound: f32) -> f32 {
+        let n = q.len();
+        let mut acc = 0.0f32;
+        let mut i = 0;
+        while i < n {
+            let end = (i + SEGMENT).min(n);
+            acc += l2_sq_seg(&q[i..end], &r[i..end]);
+            if acc > bound {
+                return f32::INFINITY;
+            }
+            i = end;
+        }
+        acc
+    }
+
+    #[inline(always)]
+    fn l2_sq_pair(q: &[f32], r: &[f32], bound: f32) -> f32 {
+        if bound.is_finite() && q.len() > SEGMENT {
+            l2_sq_row_bounded(q, r, bound)
+        } else {
+            l2_sq_row(q, r)
+        }
+    }
+
+    #[inline(always)]
+    fn weighted_sq_pair(w: &[f32], q: &[f32], r: &[f32], bound: f32) -> f32 {
+        if bound.is_finite() && q.len() > SEGMENT {
+            weighted_sq_row_bounded(w, q, r, bound)
+        } else {
+            weighted_sq_row(w, q, r)
+        }
+    }
+
+    /// Squared-Euclidean f32 keys for a row-major f32 block.
+    #[inline(always)]
+    pub(super) fn l2_sq_block(
+        query: &[f32],
+        block: &[f32],
+        dim: usize,
+        bound: f32,
+        out: &mut [f32],
+    ) {
+        if bound.is_finite() && dim > SEGMENT {
+            for (row, slot) in block.chunks_exact(dim).zip(out.iter_mut()) {
+                *slot = l2_sq_row_bounded(query, row, bound);
+            }
+        } else {
+            let mut pairs = block.chunks_exact(2 * dim);
+            let mut slots = out.chunks_exact_mut(2);
+            for (pair, slot) in (&mut pairs).zip(&mut slots) {
+                let (a, b) = l2_sq_row2(query, &pair[..dim], &pair[dim..]);
+                slot[0] = a;
+                slot[1] = b;
+            }
+            let rem = pairs.remainder();
+            if let Some(slot) = slots.into_remainder().first_mut() {
+                *slot = l2_sq_row(query, &rem[..dim]);
+            }
+        }
+    }
+
+    /// Weighted squared-Euclidean f32 keys for a row-major block.
+    #[inline(always)]
+    pub(super) fn weighted_sq_block(
+        weights: &[f32],
+        query: &[f32],
+        block: &[f32],
+        dim: usize,
+        bound: f32,
+        out: &mut [f32],
+    ) {
+        if bound.is_finite() && dim > SEGMENT {
+            for (row, slot) in block.chunks_exact(dim).zip(out.iter_mut()) {
+                *slot = weighted_sq_row_bounded(weights, query, row, bound);
+            }
+        } else {
+            let mut pairs = block.chunks_exact(2 * dim);
+            let mut slots = out.chunks_exact_mut(2);
+            for (pair, slot) in (&mut pairs).zip(&mut slots) {
+                let (a, b) = weighted_sq_row2(weights, query, &pair[..dim], &pair[dim..]);
+                slot[0] = a;
+                slot[1] = b;
+            }
+            let rem = pairs.remainder();
+            if let Some(slot) = slots.into_remainder().first_mut() {
+                *slot = weighted_sq_row(weights, query, &rem[..dim]);
+            }
+        }
+    }
+
+    /// Squared-Euclidean f32 keys for Q queries × one block
+    /// (row-outer like the f64 multi kernel).
+    #[inline(always)]
+    pub(super) fn l2_sq_multi(
+        queries: &[f32],
+        block: &[f32],
+        dim: usize,
+        bounds: &[f32],
+        out: &mut [f32],
+    ) {
+        let rows = block.len().checked_div(dim).unwrap_or(0);
+        for (r, row) in block.chunks_exact(dim).enumerate() {
+            for (q, query) in queries.chunks_exact(dim).enumerate() {
+                out[q * rows + r] = l2_sq_pair(query, row, bounds[q]);
+            }
+        }
+    }
+
+    /// Weighted squared-Euclidean f32 keys for Q queries × one
+    /// block (`w_stride` as in the f64 multi kernel).
+    #[inline(always)]
+    pub(super) fn weighted_sq_multi(
+        weights: &[f32],
+        w_stride: usize,
+        queries: &[f32],
+        block: &[f32],
+        dim: usize,
+        bounds: &[f32],
+        out: &mut [f32],
+    ) {
+        let rows = block.len().checked_div(dim).unwrap_or(0);
+        for (r, row) in block.chunks_exact(dim).enumerate() {
+            for (q, query) in queries.chunks_exact(dim).enumerate() {
+                let w = &weights[q * w_stride..q * w_stride + dim];
+                out[q * rows + r] = weighted_sq_pair(w, query, row, bounds[q]);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Explicit-intrinsic f32 kernels (x86-64, AVX2+FMA).
+//
+// The auto-vectorized f32 bodies above hit an LLVM lane-splitting
+// pathology on this shape (the 8-lane f32 accumulator is kept as two
+// xmm halves with per-iteration extracts), leaving the phase-1 pass
+// compute-bound well above the mirror's streaming floor. These
+// hand-written kernels do what the f64 bodies get from auto-
+// vectorization alone: full-width 256-bit lanes, two rows in flight
+// (two independent FMA chains hide the accumulate latency), and a
+// cheap `vhaddps` reduction. 256-bit vectors are used even on AVX-512
+// hosts — at these row lengths the win is latency hiding, not width.
+//
+// f32 keys from this path differ in the last ulps from the portable
+// chain (fused multiply-add, different reduction tree) — allowed by
+// design: f32 keys only select candidates under a slack-inflated bound
+// (fusion only *shrinks* the rounding the slack budgets for), and the
+// exact f64 rescore makes final answers identical on every host. The
+// `bound` argument is accepted but not used for early abandonment:
+// at the dimensionalities where this path wins, the segment check
+// never fires anyway, and exact keys always satisfy the kernel
+// contract.
+#[cfg(target_arch = "x86_64")]
+mod f32_intr {
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    /// `((a0+a1)+(a2+a3)) + ((a4+a5)+(a6+a7))` via two horizontal adds.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn reduce(acc: __m256) -> f32 {
+        let h1 = _mm256_hadd_ps(acc, acc);
+        let h2 = _mm256_hadd_ps(h1, h1);
+        let lo = _mm256_castps256_ps128(h2);
+        let hi = _mm256_extractf128_ps(h2, 1);
+        _mm_cvtss_f32(_mm_add_ss(lo, hi))
+    }
+
+    /// One row of `Σ w·(q−r)²`; scalar tail beyond the 8-lane chunks.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn weighted_row(w: &[f32], q: &[f32], r: &[f32]) -> f32 {
+        let dim = q.len();
+        let chunks = dim / 8;
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let o = c * 8;
+            let d = _mm256_sub_ps(
+                _mm256_loadu_ps(q.as_ptr().add(o)),
+                _mm256_loadu_ps(r.as_ptr().add(o)),
+            );
+            acc = _mm256_fmadd_ps(_mm256_loadu_ps(w.as_ptr().add(o)), _mm256_mul_ps(d, d), acc);
+        }
+        let mut sum = reduce(acc);
+        for i in chunks * 8..dim {
+            let d = q[i] - r[i];
+            sum = w[i].mul_add(d * d, sum);
+        }
+        sum
+    }
+
+    /// Two rows of `Σ w·(q−r)²` in flight (shared q/w loads, two
+    /// independent FMA chains).
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn weighted_row2(w: &[f32], q: &[f32], r0: &[f32], r1: &[f32]) -> (f32, f32) {
+        let dim = q.len();
+        let chunks = dim / 8;
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let o = c * 8;
+            let vq = _mm256_loadu_ps(q.as_ptr().add(o));
+            let vw = _mm256_loadu_ps(w.as_ptr().add(o));
+            let d0 = _mm256_sub_ps(vq, _mm256_loadu_ps(r0.as_ptr().add(o)));
+            acc0 = _mm256_fmadd_ps(vw, _mm256_mul_ps(d0, d0), acc0);
+            let d1 = _mm256_sub_ps(vq, _mm256_loadu_ps(r1.as_ptr().add(o)));
+            acc1 = _mm256_fmadd_ps(vw, _mm256_mul_ps(d1, d1), acc1);
+        }
+        let mut sum0 = reduce(acc0);
+        let mut sum1 = reduce(acc1);
+        for i in chunks * 8..dim {
+            let d0 = q[i] - r0[i];
+            sum0 = w[i].mul_add(d0 * d0, sum0);
+            let d1 = q[i] - r1[i];
+            sum1 = w[i].mul_add(d1 * d1, sum1);
+        }
+        (sum0, sum1)
+    }
+
+    /// One row of `Σ (q−r)²`.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn l2_row(q: &[f32], r: &[f32]) -> f32 {
+        let dim = q.len();
+        let chunks = dim / 8;
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let o = c * 8;
+            let d = _mm256_sub_ps(
+                _mm256_loadu_ps(q.as_ptr().add(o)),
+                _mm256_loadu_ps(r.as_ptr().add(o)),
+            );
+            acc = _mm256_fmadd_ps(d, d, acc);
+        }
+        let mut sum = reduce(acc);
+        for i in chunks * 8..dim {
+            let d = q[i] - r[i];
+            sum = d.mul_add(d, sum);
+        }
+        sum
+    }
+
+    /// Two rows of `Σ (q−r)²` in flight.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn l2_row2(q: &[f32], r0: &[f32], r1: &[f32]) -> (f32, f32) {
+        let dim = q.len();
+        let chunks = dim / 8;
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let o = c * 8;
+            let vq = _mm256_loadu_ps(q.as_ptr().add(o));
+            let d0 = _mm256_sub_ps(vq, _mm256_loadu_ps(r0.as_ptr().add(o)));
+            acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+            let d1 = _mm256_sub_ps(vq, _mm256_loadu_ps(r1.as_ptr().add(o)));
+            acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+        }
+        let mut sum0 = reduce(acc0);
+        let mut sum1 = reduce(acc1);
+        for i in chunks * 8..dim {
+            let d0 = q[i] - r0[i];
+            sum0 = d0.mul_add(d0, sum0);
+            let d1 = q[i] - r1[i];
+            sum1 = d1.mul_add(d1, sum1);
+        }
+        (sum0, sum1)
+    }
+
+    /// Weighted block kernel: row pairs, remainder row single.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn weighted_sq_block(
+        weights: &[f32],
+        query: &[f32],
+        block: &[f32],
+        dim: usize,
+        _bound: f32,
+        out: &mut [f32],
+    ) {
+        let mut pairs = block.chunks_exact(2 * dim);
+        let mut slots = out.chunks_exact_mut(2);
+        for (pair, slot) in (&mut pairs).zip(&mut slots) {
+            let (a, b) = weighted_row2(weights, query, &pair[..dim], &pair[dim..]);
+            slot[0] = a;
+            slot[1] = b;
+        }
+        let rem = pairs.remainder();
+        if let Some(slot) = slots.into_remainder().first_mut() {
+            *slot = weighted_row(weights, query, &rem[..dim]);
+        }
+    }
+
+    /// L2 block kernel: row pairs, remainder row single.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn l2_sq_block(
+        query: &[f32],
+        block: &[f32],
+        dim: usize,
+        _bound: f32,
+        out: &mut [f32],
+    ) {
+        let mut pairs = block.chunks_exact(2 * dim);
+        let mut slots = out.chunks_exact_mut(2);
+        for (pair, slot) in (&mut pairs).zip(&mut slots) {
+            let (a, b) = l2_row2(query, &pair[..dim], &pair[dim..]);
+            slot[0] = a;
+            slot[1] = b;
+        }
+        let rem = pairs.remainder();
+        if let Some(slot) = slots.into_remainder().first_mut() {
+            *slot = l2_row(query, &rem[..dim]);
+        }
+    }
+
+    /// L2 multi kernel: row-pair outer, queries inner (each mirror row
+    /// pair is scored against every query while hot), per-(query, row)
+    /// arithmetic identical to the batch kernel's.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn l2_sq_multi(
+        queries: &[f32],
+        block: &[f32],
+        dim: usize,
+        bounds: &[f32],
+        out: &mut [f32],
+    ) {
+        let rows = block.len().checked_div(dim).unwrap_or(0);
+        let nq = bounds.len();
+        let mut pairs = block.chunks_exact(2 * dim);
+        let mut r = 0;
+        for pair in &mut pairs {
+            for (q, query) in queries.chunks_exact(dim).enumerate() {
+                let (a, b) = l2_row2(query, &pair[..dim], &pair[dim..]);
+                out[q * rows + r] = a;
+                out[q * rows + r + 1] = b;
+            }
+            r += 2;
+        }
+        let rem = pairs.remainder();
+        if r < rows {
+            for q in 0..nq {
+                out[q * rows + r] = l2_row(&queries[q * dim..(q + 1) * dim], &rem[..dim]);
+            }
+        }
+    }
+
+    /// Weighted multi kernel (`w_stride` as in the portable version).
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn weighted_sq_multi(
+        weights: &[f32],
+        w_stride: usize,
+        queries: &[f32],
+        block: &[f32],
+        dim: usize,
+        bounds: &[f32],
+        out: &mut [f32],
+    ) {
+        let rows = block.len().checked_div(dim).unwrap_or(0);
+        let nq = bounds.len();
+        let mut pairs = block.chunks_exact(2 * dim);
+        let mut r = 0;
+        for pair in &mut pairs {
+            for (q, query) in queries.chunks_exact(dim).enumerate() {
+                let w = &weights[q * w_stride..q * w_stride + dim];
+                let (a, b) = weighted_row2(w, query, &pair[..dim], &pair[dim..]);
+                out[q * rows + r] = a;
+                out[q * rows + r + 1] = b;
+            }
+            r += 2;
+        }
+        let rem = pairs.remainder();
+        if r < rows {
+            for q in 0..nq {
+                let w = &weights[q * w_stride..q * w_stride + dim];
+                out[q * rows + r] = weighted_row(w, &queries[q * dim..(q + 1) * dim], &rem[..dim]);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // ISA multiversioning.
 //
 // The default x86-64 target only assumes SSE2 (two f64 lanes). The block
 // entry points below re-compile the *same* portable bodies with wider
 // vector features enabled and select a version once at runtime. Because
-// every version executes the identical lane-structured code (no FMA
+// every f64 version executes the identical lane-structured code (no FMA
 // contraction, no reassociation — vectorization maps accumulator lanes
-// 1:1), all versions produce bit-identical results; only throughput
-// changes.
+// 1:1), all f64 versions produce bit-identical results; only throughput
+// changes. The f32 dispatchers additionally route to the `f32_intr`
+// intrinsics on FMA-capable hosts, which trade that cross-host bit
+// stability (covered by the rescore design, see the module docs) for
+// reaching the mirror's streaming bandwidth.
 
 #[cfg(target_arch = "x86_64")]
 mod dispatch {
@@ -263,6 +908,27 @@ mod dispatch {
     const AVX512: u8 = 3;
 
     static LEVEL: AtomicU8 = AtomicU8::new(UNKNOWN);
+
+    /// Cached FMA capability (0 unknown, 1 no, 2 yes) — consulted only
+    /// by the f32 dispatchers; the f64 kernels never use FMA so they
+    /// stay bit-identical across every x86-64 host.
+    static FMA: AtomicU8 = AtomicU8::new(0);
+
+    #[inline]
+    pub(super) fn has_fma() -> bool {
+        match FMA.load(Ordering::Relaxed) {
+            0 => {
+                let f = if is_x86_feature_detected!("fma") {
+                    2
+                } else {
+                    1
+                };
+                FMA.store(f, Ordering::Relaxed);
+                f == 2
+            }
+            f => f == 2,
+        }
+    }
 
     #[inline]
     pub(super) fn level() -> u8 {
@@ -349,6 +1015,82 @@ mod dispatch {
         weighted_multi_avx512
     );
 
+    // f32 ISA versions of the portable `f32_plain` chain — used on
+    // AVX2/AVX-512 hosts WITHOUT the FMA feature. FMA-capable hosts
+    // never reach these: the dispatchers below route them to the
+    // `f32_intr` intrinsics instead.
+    macro_rules! isa_versions_f32 {
+        ($feature:literal, $chain:ident, $l2:ident, $weighted:ident, $l2_multi:ident,
+         $weighted_multi:ident) => {
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn $l2(
+                query: &[f32],
+                block: &[f32],
+                dim: usize,
+                bound: f32,
+                out: &mut [f32],
+            ) {
+                super::$chain::l2_sq_block(query, block, dim, bound, out);
+            }
+
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn $weighted(
+                weights: &[f32],
+                query: &[f32],
+                block: &[f32],
+                dim: usize,
+                bound: f32,
+                out: &mut [f32],
+            ) {
+                super::$chain::weighted_sq_block(weights, query, block, dim, bound, out);
+            }
+
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn $l2_multi(
+                queries: &[f32],
+                block: &[f32],
+                dim: usize,
+                bounds: &[f32],
+                out: &mut [f32],
+            ) {
+                super::$chain::l2_sq_multi(queries, block, dim, bounds, out);
+            }
+
+            #[target_feature(enable = $feature)]
+            #[allow(clippy::too_many_arguments)]
+            pub(super) unsafe fn $weighted_multi(
+                weights: &[f32],
+                w_stride: usize,
+                queries: &[f32],
+                block: &[f32],
+                dim: usize,
+                bounds: &[f32],
+                out: &mut [f32],
+            ) {
+                super::$chain::weighted_sq_multi(
+                    weights, w_stride, queries, block, dim, bounds, out,
+                );
+            }
+        };
+    }
+
+    isa_versions_f32!(
+        "avx2",
+        f32_plain,
+        l2_f32_avx2,
+        weighted_f32_avx2,
+        l2_multi_f32_avx2,
+        weighted_multi_f32_avx2
+    );
+    isa_versions_f32!(
+        "avx512f",
+        f32_plain,
+        l2_f32_avx512,
+        weighted_f32_avx512,
+        l2_multi_f32_avx512,
+        weighted_multi_f32_avx512
+    );
+
     #[inline]
     pub(super) fn l2(query: &[f64], block: &[f64], dim: usize, bound: f64, out: &mut [f64]) {
         match level() {
@@ -411,6 +1153,89 @@ mod dispatch {
                 weighted_multi_avx2(weights, w_stride, queries, block, dim, bounds, out)
             },
             _ => super::weighted_sq_multi_impl(weights, w_stride, queries, block, dim, bounds, out),
+        }
+    }
+
+    #[inline]
+    pub(super) fn l2_f32(query: &[f32], block: &[f32], dim: usize, bound: f32, out: &mut [f32]) {
+        match (level(), has_fma()) {
+            // SAFETY: the matching CPU features were detected above.
+            (AVX512 | AVX2, true) => unsafe {
+                super::f32_intr::l2_sq_block(query, block, dim, bound, out)
+            },
+            (AVX512, false) => unsafe { l2_f32_avx512(query, block, dim, bound, out) },
+            (AVX2, false) => unsafe { l2_f32_avx2(query, block, dim, bound, out) },
+            _ => super::f32_plain::l2_sq_block(query, block, dim, bound, out),
+        }
+    }
+
+    #[inline]
+    pub(super) fn weighted_f32(
+        weights: &[f32],
+        query: &[f32],
+        block: &[f32],
+        dim: usize,
+        bound: f32,
+        out: &mut [f32],
+    ) {
+        match (level(), has_fma()) {
+            // SAFETY: the matching CPU features were detected above.
+            (AVX512 | AVX2, true) => unsafe {
+                super::f32_intr::weighted_sq_block(weights, query, block, dim, bound, out)
+            },
+            (AVX512, false) => unsafe {
+                weighted_f32_avx512(weights, query, block, dim, bound, out)
+            },
+            (AVX2, false) => unsafe { weighted_f32_avx2(weights, query, block, dim, bound, out) },
+            _ => super::f32_plain::weighted_sq_block(weights, query, block, dim, bound, out),
+        }
+    }
+
+    #[inline]
+    pub(super) fn l2_multi_f32(
+        queries: &[f32],
+        block: &[f32],
+        dim: usize,
+        bounds: &[f32],
+        out: &mut [f32],
+    ) {
+        match (level(), has_fma()) {
+            // SAFETY: the matching CPU features were detected above.
+            (AVX512 | AVX2, true) => unsafe {
+                super::f32_intr::l2_sq_multi(queries, block, dim, bounds, out)
+            },
+            (AVX512, false) => unsafe { l2_multi_f32_avx512(queries, block, dim, bounds, out) },
+            (AVX2, false) => unsafe { l2_multi_f32_avx2(queries, block, dim, bounds, out) },
+            _ => super::f32_plain::l2_sq_multi(queries, block, dim, bounds, out),
+        }
+    }
+
+    #[inline]
+    pub(super) fn weighted_multi_f32(
+        weights: &[f32],
+        w_stride: usize,
+        queries: &[f32],
+        block: &[f32],
+        dim: usize,
+        bounds: &[f32],
+        out: &mut [f32],
+    ) {
+        match (level(), has_fma()) {
+            // SAFETY: the matching CPU features were detected above.
+            (AVX512 | AVX2, true) => unsafe {
+                super::f32_intr::weighted_sq_multi(
+                    weights, w_stride, queries, block, dim, bounds, out,
+                )
+            },
+            (AVX512, false) => unsafe {
+                weighted_multi_f32_avx512(weights, w_stride, queries, block, dim, bounds, out)
+            },
+            (AVX2, false) => unsafe {
+                weighted_multi_f32_avx2(weights, w_stride, queries, block, dim, bounds, out)
+            },
+            _ => super::f32_plain::weighted_sq_multi(
+                weights, w_stride, queries, block, dim, bounds, out,
+            ),
         }
     }
 }
@@ -499,6 +1324,103 @@ pub(crate) fn weighted_sq_multi_block(
     #[cfg(not(target_arch = "x86_64"))]
     {
         weighted_sq_multi_impl(weights, w_stride, queries, block, dim, bounds, out)
+    }
+}
+
+/// Squared-Euclidean f32 keys for a row-major f32 block (the phase-1
+/// filter of the f32-rescore scan).
+pub(crate) fn l2_sq_block_f32(
+    query: &[f32],
+    block: &[f32],
+    dim: usize,
+    bound: f32,
+    out: &mut [f32],
+) {
+    // Release-mode asserts: the intrinsic path below does unchecked
+    // vector loads, so the length contract must hold even when
+    // debug_asserts compile out. Checked once per block call.
+    assert_eq!(query.len(), dim);
+    assert_eq!(block.len(), dim * out.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        dispatch::l2_f32(query, block, dim, bound, out)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        f32_plain::l2_sq_block(query, block, dim, bound, out)
+    }
+}
+
+/// Weighted squared-Euclidean f32 keys for a row-major f32 block.
+pub(crate) fn weighted_sq_block_f32(
+    weights: &[f32],
+    query: &[f32],
+    block: &[f32],
+    dim: usize,
+    bound: f32,
+    out: &mut [f32],
+) {
+    // Release-mode asserts: see `l2_sq_block_f32`.
+    assert_eq!(query.len(), dim);
+    assert_eq!(weights.len(), dim);
+    assert_eq!(block.len(), dim * out.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        dispatch::weighted_f32(weights, query, block, dim, bound, out)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        f32_plain::weighted_sq_block(weights, query, block, dim, bound, out)
+    }
+}
+
+/// Squared-Euclidean f32 keys for `Q` queries against one f32 block in a
+/// single pass (layouts as in [`l2_sq_multi_block`]).
+pub(crate) fn l2_sq_multi_block_f32(
+    queries: &[f32],
+    block: &[f32],
+    dim: usize,
+    bounds: &[f32],
+    out: &mut [f32],
+) {
+    let nq = bounds.len();
+    // Release-mode asserts: see `l2_sq_block_f32`.
+    assert_eq!(queries.len(), nq * dim);
+    assert_eq!(out.len() * dim, nq * block.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        dispatch::l2_multi_f32(queries, block, dim, bounds, out)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        f32_plain::l2_sq_multi(queries, block, dim, bounds, out)
+    }
+}
+
+/// Weighted squared-Euclidean f32 keys for `Q` queries against one f32
+/// block in a single pass (`w_stride` as in [`weighted_sq_multi_block`]).
+pub(crate) fn weighted_sq_multi_block_f32(
+    weights: &[f32],
+    w_stride: usize,
+    queries: &[f32],
+    block: &[f32],
+    dim: usize,
+    bounds: &[f32],
+    out: &mut [f32],
+) {
+    let nq = bounds.len();
+    // Release-mode asserts: see `l2_sq_block_f32`.
+    assert!(w_stride == 0 || w_stride == dim);
+    assert_eq!(queries.len(), nq * dim);
+    assert_eq!(weights.len(), if w_stride == 0 { dim } else { nq * dim });
+    assert_eq!(out.len() * dim, nq * block.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        dispatch::weighted_multi_f32(weights, w_stride, queries, block, dim, bounds, out)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        f32_plain::weighted_sq_multi(weights, w_stride, queries, block, dim, bounds, out)
     }
 }
 
@@ -624,6 +1546,141 @@ mod tests {
                         "q{q} r{r}: abandoned rows stay over the bound"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_rows_approximate_f64_rows() {
+        for dim in [1, 3, 8, 15, 16, 17, 33, 64, 96] {
+            let q: Vec<f64> = (0..dim).map(|i| (i as f64).sin()).collect();
+            let r: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.7).cos()).collect();
+            let w: Vec<f64> = (0..dim).map(|i| 0.5 + (i % 5) as f64).collect();
+            let q32: Vec<f32> = q.iter().map(|&v| v as f32).collect();
+            let r32: Vec<f32> = r.iter().map(|&v| v as f32).collect();
+            let w32: Vec<f32> = w.iter().map(|&v| v as f32).collect();
+            // The portable chain and whatever variant the host
+            // dispatches (possibly the FMA intrinsics) both stay within
+            // f32 rounding of the f64 reference.
+            let mut dispatched = [0.0f32; 1];
+            weighted_sq_block_f32(&w32, &q32, &r32, dim, f32::INFINITY, &mut dispatched);
+            for (name, approx) in [
+                ("plain", f32_plain::weighted_sq_row(&w32, &q32, &r32)),
+                ("dispatched", dispatched[0]),
+            ] {
+                let exact = weighted_sq_row(&w, &q, &r);
+                assert!(
+                    (exact - approx as f64).abs() <= 1e-4 * exact.max(1.0),
+                    "dim {dim} {name}: f32 {approx} vs f64 {exact}"
+                );
+            }
+            l2_sq_block_f32(&q32, &r32, dim, f32::INFINITY, &mut dispatched);
+            for (name, approx) in [
+                ("plain", f32_plain::l2_sq_row(&q32, &r32)),
+                ("dispatched", dispatched[0]),
+            ] {
+                let exact = l2_sq_row(&q, &r);
+                assert!(
+                    (exact - approx as f64).abs() <= 1e-4 * exact.max(1.0),
+                    "dim {dim} {name}: l2 f32 {approx} vs f64 {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f32_blocks_match_single_row_blocks() {
+        // The dispatched block kernel must give every row the same key a
+        // one-row block call gives it (whatever ISA/FMA variant the host
+        // selected — both calls go through the same dispatch).
+        let dim = 24;
+        let rows = 19;
+        let q: Vec<f32> = (0..dim).map(|i| i as f32 * 0.1).collect();
+        let block: Vec<f32> = (0..rows * dim).map(|i| (i as f32 * 0.3).sin()).collect();
+        let w: Vec<f32> = (0..dim).map(|i| 1.0 + (i % 3) as f32).collect();
+        let mut out = vec![0.0f32; rows];
+        let mut one = [0.0f32; 1];
+        l2_sq_block_f32(&q, &block, dim, f32::INFINITY, &mut out);
+        for (i, row) in block.chunks_exact(dim).enumerate() {
+            l2_sq_block_f32(&q, row, dim, f32::INFINITY, &mut one);
+            assert_eq!(out[i], one[0]);
+        }
+        weighted_sq_block_f32(&w, &q, &block, dim, f32::INFINITY, &mut out);
+        for (i, row) in block.chunks_exact(dim).enumerate() {
+            weighted_sq_block_f32(&w, &q, row, dim, f32::INFINITY, &mut one);
+            assert_eq!(out[i], one[0]);
+        }
+    }
+
+    #[test]
+    fn f32_multi_blocks_match_single_query_blocks() {
+        let dim = 24;
+        let rows = 19;
+        let nq = 5;
+        let queries: Vec<f32> = (0..nq * dim).map(|i| (i as f32 * 0.13).cos()).collect();
+        let block: Vec<f32> = (0..rows * dim).map(|i| (i as f32 * 0.3).sin()).collect();
+        let shared_w: Vec<f32> = (0..dim).map(|i| 1.0 + (i % 3) as f32).collect();
+        let per_q_w: Vec<f32> = (0..nq * dim).map(|i| 0.5 + (i % 7) as f32).collect();
+        let bounds = vec![f32::INFINITY; nq];
+        let mut single = vec![0.0f32; rows];
+        let mut multi = vec![0.0f32; nq * rows];
+        l2_sq_multi_block_f32(&queries, &block, dim, &bounds, &mut multi);
+        for q in 0..nq {
+            l2_sq_block_f32(
+                &queries[q * dim..(q + 1) * dim],
+                &block,
+                dim,
+                f32::INFINITY,
+                &mut single,
+            );
+            assert_eq!(&multi[q * rows..(q + 1) * rows], &single[..], "l2 q{q}");
+        }
+        weighted_sq_multi_block_f32(&shared_w, 0, &queries, &block, dim, &bounds, &mut multi);
+        for q in 0..nq {
+            weighted_sq_block_f32(
+                &shared_w,
+                &queries[q * dim..(q + 1) * dim],
+                &block,
+                dim,
+                f32::INFINITY,
+                &mut single,
+            );
+            assert_eq!(&multi[q * rows..(q + 1) * rows], &single[..], "shared q{q}");
+        }
+        weighted_sq_multi_block_f32(&per_q_w, dim, &queries, &block, dim, &bounds, &mut multi);
+        for q in 0..nq {
+            weighted_sq_block_f32(
+                &per_q_w[q * dim..(q + 1) * dim],
+                &queries[q * dim..(q + 1) * dim],
+                &block,
+                dim,
+                f32::INFINITY,
+                &mut single,
+            );
+            assert_eq!(&multi[q * rows..(q + 1) * rows], &single[..], "per-q q{q}");
+        }
+    }
+
+    #[test]
+    fn f32_abandoned_rows_are_infinite_never_understated() {
+        let dim = 96; // > SEGMENT so the bounded path engages
+        let rows = 32;
+        let q = vec![0.0f32; dim];
+        let block: Vec<f32> = (0..rows * dim).map(|i| (i % 13) as f32 * 0.21).collect();
+        let mut exact = vec![0.0f32; rows];
+        l2_sq_block_f32(&q, &block, dim, f32::INFINITY, &mut exact);
+        let bound = {
+            let mut s = exact.clone();
+            s.sort_by(f32::total_cmp);
+            s[rows / 2]
+        };
+        let mut bounded = vec![0.0f32; rows];
+        l2_sq_block_f32(&q, &block, dim, bound, &mut bounded);
+        for (e, b) in exact.iter().zip(bounded.iter()) {
+            if *e <= bound {
+                assert_eq!(e, b, "rows within the bound must be exact");
+            } else {
+                assert!(*b > bound, "abandoned rows must stay over the bound");
             }
         }
     }

@@ -66,6 +66,32 @@ impl Distance for Euclidean {
     ) {
         kernels::l2_sq_multi_block(queries, block, dim, bounds, out);
     }
+
+    fn f32_key_slack(&self, dim: usize, max_abs: f64) -> Option<f64> {
+        super::weighted_f32_slack(dim, 1.0, max_abs)
+    }
+
+    fn eval_key_batch_f32(
+        &self,
+        query: &[f32],
+        block: &[f32],
+        dim: usize,
+        bound: f32,
+        out: &mut [f32],
+    ) {
+        kernels::l2_sq_block_f32(query, block, dim, bound, out);
+    }
+
+    fn eval_key_multi_f32(
+        &self,
+        queries: &[f32],
+        block: &[f32],
+        dim: usize,
+        bounds: &[f32],
+        out: &mut [f32],
+    ) {
+        kernels::l2_sq_multi_block_f32(queries, block, dim, bounds, out);
+    }
 }
 
 /// Manhattan (`L1`) distance.

@@ -44,6 +44,21 @@
 //! `eval_key` is strictly increasing in `eval`, and
 //! [`Distance::key_of_dist`] maps a true-distance threshold into key
 //! space (so `d(a, b) ≤ r ⇔ eval_key(a, b) ≤ key_of_dist(r)`).
+//!
+//! # f32 scanning with exact rescore
+//!
+//! Because the scans are memory-bandwidth-bound at low query counts,
+//! classes may additionally expose **f32 kernels**
+//! ([`Distance::eval_key_batch_f32`] / [`Distance::eval_key_multi_f32`])
+//! that filter candidates against the collection's half-width f32
+//! mirror, plus a **rounding bound** ([`Distance::f32_key_slack`]): an
+//! additive key-space slack `Δ` with `|key32(a, b) − key64(a, b)| ≤ Δ`
+//! for all vectors whose components are bounded by the given magnitude.
+//! The two-phase `Precision::F32Rescore` scan inflates its pruning
+//! threshold by `2Δ` during the f32 pass — enough to guarantee the
+//! surviving candidate set contains the true f64 top-k (see
+//! `knn::scan`) — then rescores the survivors with the exact f64
+//! kernels, so returned results are identical to a pure f64 scan.
 
 mod hierarchical;
 pub(crate) mod kernels;
@@ -171,6 +186,159 @@ pub trait Distance: Send + Sync {
         {
             self.eval_key_batch(query, block, dim, bound, &mut out_row[..rows]);
         }
+    }
+
+    /// f32 scanning support: an additive key-space rounding bound.
+    ///
+    /// `Some(Δ)` certifies that for **any** pair of vectors `a, b` of
+    /// length `dim` whose components all satisfy `|·| ≤ max_abs`, the
+    /// f32 key this class's [`Self::eval_key_batch_f32`] computes (from
+    /// the f32-rounded inputs) differs from the exact f64 key by at most
+    /// `Δ`:
+    ///
+    /// ```text
+    /// |eval_key_batch_f32(a32, b32) − eval_key_batch(a, b)| ≤ Δ
+    /// ```
+    ///
+    /// The f32-rescore scan path relies on this bound for exactness — an
+    /// understated `Δ` silently drops true neighbors — so implementations
+    /// must derive it from worst-case rounding analysis of their actual
+    /// f32 kernel (the suite property-tests the inequality), and must
+    /// return `None` whenever no finite `Δ` is sound — in particular
+    /// when the worst-case key could overflow f32 to `+∞` (the internal
+    /// `F32_KEY_OVERFLOW_GUARD` threshold), since a saturated `key32`
+    /// breaks the inequality by an unbounded amount. `None` — also the default, declaring "no f32
+    /// kernel" — makes scans fall back to the always-correct f64 path.
+    fn f32_key_slack(&self, dim: usize, max_abs: f64) -> Option<f64> {
+        let _ = (dim, max_abs);
+        None
+    }
+
+    /// f32 variant of [`Self::eval_key_batch`]: surrogate keys for one
+    /// query against a row-major **f32** block (the collection's mirror),
+    /// with the same early-abandon contract in f32 key space. Only called
+    /// by the scan engines when [`Self::f32_key_slack`] returns a finite
+    /// bound; the default is a reference loop that evaluates each row
+    /// through the f64 key path on widened inputs (correct, but paying
+    /// f64 compute — real implementations use the f32 kernels).
+    fn eval_key_batch_f32(
+        &self,
+        query: &[f32],
+        block: &[f32],
+        dim: usize,
+        bound: f32,
+        out: &mut [f32],
+    ) {
+        let _ = bound;
+        debug_assert_eq!(query.len(), dim);
+        debug_assert_eq!(block.len(), dim * out.len());
+        let q64: Vec<f64> = query.iter().map(|&v| v as f64).collect();
+        let mut r64 = vec![0.0f64; dim];
+        for (row, slot) in block.chunks_exact(dim).zip(out.iter_mut()) {
+            for (d, &s) in r64.iter_mut().zip(row.iter()) {
+                *d = s as f64;
+            }
+            *slot = self.eval_key(&q64, &r64) as f32;
+        }
+    }
+
+    /// f32 variant of [`Self::eval_key_multi`]: `Q` queries against one
+    /// f32 mirror block in a single pass (same layouts, f32 key space).
+    /// The default delegates to per-query [`Self::eval_key_batch_f32`]
+    /// calls; specialized kernels keep the row-outer loop so each mirror
+    /// row is read once for all queries.
+    fn eval_key_multi_f32(
+        &self,
+        queries: &[f32],
+        block: &[f32],
+        dim: usize,
+        bounds: &[f32],
+        out: &mut [f32],
+    ) {
+        debug_assert!(dim > 0);
+        debug_assert_eq!(queries.len(), bounds.len() * dim);
+        debug_assert_eq!(out.len() * dim, bounds.len() * block.len());
+        let rows = block.len() / dim;
+        for ((query, &bound), out_row) in queries
+            .chunks_exact(dim)
+            .zip(bounds.iter())
+            .zip(out.chunks_exact_mut(rows.max(1)))
+        {
+            self.eval_key_batch_f32(query, block, dim, bound, &mut out_row[..rows]);
+        }
+    }
+}
+
+/// Half-ulp relative rounding bound of f32 round-to-nearest.
+pub(crate) const F32_UNIT_ROUNDOFF: f64 = 1.0 / (1u64 << 24) as f64;
+
+/// Largest worst-case f32 key magnitude for which f32 scanning is
+/// offered at all. The rounding analyses below are only valid while the
+/// f32 computation stays *finite*: a key that overflows to `+∞` while
+/// its f64 counterpart stays finite violates `|key32 − key64| ≤ Δ` by an
+/// unbounded amount, and the candidate filter would silently drop that
+/// row. Any class whose worst-case key (intermediates included) could
+/// cross this line must return `None` from
+/// [`Distance::f32_key_slack`] — the scan then runs the pure-f64 path,
+/// which is always correct. The 16× headroom under `f32::MAX` generously
+/// absorbs accumulation-order overshoot.
+pub(crate) const F32_KEY_OVERFLOW_GUARD: f64 = f32::MAX as f64 / 16.0;
+
+/// Worst-case `|key32 − key64|` for the diagonal weighted-squared family
+/// (`Σ wᵢ·(aᵢ−bᵢ)²`, covering Euclidean via `w ≡ 1` and hierarchical via
+/// the flattened effective weights), at dimensionality `dim` with
+/// component magnitudes ≤ `max_abs` and weights ≤ `w_max` — or `None`
+/// when the worst-case key could overflow f32
+/// ([`F32_KEY_OVERFLOW_GUARD`]), where no finite slack is sound.
+///
+/// Error budget (u = 2⁻²⁴, M = `max_abs`, per-component difference
+/// `d = a − b` with `|d| ≤ 2M`):
+/// input conversion + subtraction give `|d32 − d| ≤ 4.1uM`; squaring and
+/// the weight product add ≤ `29·u·w·M²` per term; f32 accumulation of
+/// `dim` terms adds ≤ `dim·u` times the term-magnitude sum
+/// (≤ `dim·4.01·w_max·M²`), for any summation order. The total is
+/// doubled as a safety margin (it also absorbs the f64 reference key's
+/// own, far smaller, rounding error).
+pub(crate) fn weighted_f32_slack(dim: usize, w_max: f64, max_abs: f64) -> Option<f64> {
+    let n = dim as f64;
+    let m2 = max_abs * max_abs;
+    // Worst-case key ≤ Σ|tᵢ| ≤ n·w_max·(2.01·M)²; also covers every
+    // partial sum (non-negative terms).
+    let worst_key = n * w_max * 4.05 * m2;
+    // `!(x <= guard)` deliberately catches NaN as well as overflow.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(worst_key <= F32_KEY_OVERFLOW_GUARD) {
+        return None;
+    }
+    let u = F32_UNIT_ROUNDOFF;
+    Some(2.0 * u * w_max * m2 * n * (29.0 + 4.1 * n))
+}
+
+#[cfg(test)]
+mod slack_tests {
+    use super::*;
+
+    #[test]
+    fn weighted_slack_is_positive_and_scales() {
+        let s = weighted_f32_slack(64, 3.0, 1.0).unwrap();
+        assert!(s > 0.0 && s.is_finite());
+        // More components, bigger weights, bigger values ⇒ looser bound.
+        assert!(weighted_f32_slack(128, 3.0, 1.0).unwrap() > s);
+        assert!(weighted_f32_slack(64, 6.0, 1.0).unwrap() > s);
+        assert!(weighted_f32_slack(64, 3.0, 2.0).unwrap() > s);
+        // Degenerate all-zero data ⇒ zero slack (keys are exactly 0).
+        assert_eq!(weighted_f32_slack(64, 3.0, 0.0), Some(0.0));
+    }
+
+    #[test]
+    fn slack_refused_when_f32_keys_could_overflow() {
+        // Component magnitudes ~1e18 drive 64-d weighted keys toward
+        // f32::MAX, where |key32 − key64| ≤ Δ no longer holds (key32
+        // saturates to +∞). No finite slack is sound there.
+        assert_eq!(weighted_f32_slack(64, 1.0, 1e18), None);
+        assert_eq!(weighted_f32_slack(64, 1e6, 1e16), None);
+        // Ordinary magnitudes stay eligible.
+        assert!(weighted_f32_slack(64, 10.0, 1e3).is_some());
     }
 }
 

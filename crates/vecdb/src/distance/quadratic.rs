@@ -22,6 +22,12 @@ pub struct QuadraticDistance {
     /// Gershgorin on `W`); used for Euclidean distortion pruning.
     eig_lo: f64,
     eig_hi: f64,
+    /// f32-rounded lower-triangular Cholesky factor, flattened row-major
+    /// (`n × n`, zeros above the diagonal), for the mirror-scanning f32
+    /// kernel; its rounding is part of [`Distance::f32_key_slack`].
+    l_f32: Vec<f32>,
+    /// Largest `|L[i,j]|` (drives the f32 rounding budget).
+    l_max: f64,
 }
 
 impl QuadraticDistance {
@@ -51,11 +57,22 @@ impl QuadraticDistance {
             lo = lo.min(w[(i, i)] - radius);
             hi = hi.max(w[(i, i)] + radius);
         }
+        let l = chol.l();
+        let mut l_f32 = vec![0.0f32; n * n];
+        let mut l_max = 0.0f64;
+        for i in 0..n {
+            for j in 0..=i {
+                l_f32[i * n + j] = l[(i, j)] as f32;
+                l_max = l_max.max(l[(i, j)].abs());
+            }
+        }
         Ok(QuadraticDistance {
             chol,
             dim: n,
             eig_lo: lo.max(0.0),
             eig_hi: hi,
+            l_f32,
+            l_max,
         })
     }
 
@@ -137,6 +154,26 @@ impl QuadraticDistance {
             acc += y * y;
             if acc > bound {
                 return f64::INFINITY;
+            }
+        }
+        acc
+    }
+
+    /// f32 counterpart of [`Self::sq_of_diff`] over the cached f32
+    /// factor; same non-negative-prefix structure, so abandonment against
+    /// a bound never understates a surviving key.
+    #[inline]
+    fn sq_of_diff_f32(&self, diff: &[f32], bound: f32) -> f32 {
+        let n = self.dim;
+        let mut acc = 0.0f32;
+        for j in 0..n {
+            let mut y = 0.0f32;
+            for (i, &df) in diff.iter().enumerate().skip(j) {
+                y += self.l_f32[i * n + j] * df;
+            }
+            acc += y * y;
+            if acc > bound {
+                return f32::INFINITY;
             }
         }
         acc
@@ -230,6 +267,80 @@ impl Distance for QuadraticDistance {
                     diff[i] = query[i] - row[i];
                 }
                 out[q * rows + r] = self.sq_of_diff(&diff, bounds[q]);
+            }
+        }
+    }
+
+    /// Rounding budget of the f32 `‖Lᵀ₃₂·diff₃₂‖²` evaluation: bound the
+    /// error of each transformed coordinate `yⱼ` (factor conversion,
+    /// difference rounding, f32 dot-product accumulation), then of its
+    /// square and the final sum — all against worst-case magnitudes
+    /// (`|diff| ≤ 2M`, `|L| ≤ l_max`), doubled as a safety margin.
+    fn f32_key_slack(&self, dim: usize, max_abs: f64) -> Option<f64> {
+        let u = super::F32_UNIT_ROUNDOFF;
+        let n = dim as f64;
+        let m = max_abs;
+        // |y32 − y| per coordinate: n product terms each off by
+        // ≤ 8.5·u·l_max·M, plus f32 accumulation of n terms of magnitude
+        // ≤ 2.01·l_max·M.
+        let e_y = u * self.l_max * m * n * (8.5 + 2.01 * n);
+        // Magnitude bound on the computed coordinate.
+        let y_hi = 2.01 * self.l_max * m * n + e_y;
+        // No finite slack is sound once the worst-case key (Σ y² ≤
+        // n·y_hi², partial sums included) could overflow f32 — the scan
+        // must fall back to pure f64 (see `F32_KEY_OVERFLOW_GUARD`).
+        let worst_key = n * y_hi * y_hi;
+        // `!(x <= guard)` deliberately catches NaN as well as overflow.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(worst_key <= super::F32_KEY_OVERFLOW_GUARD) {
+            return None;
+        }
+        // Σ y²: per-term square rounding + propagated e_y, then f32
+        // accumulation of n squares.
+        let per_sq = u * y_hi * y_hi + 2.1 * e_y * y_hi;
+        let accum = n * u * n * y_hi * y_hi;
+        Some(2.0 * (n * per_sq + accum))
+    }
+
+    fn eval_key_batch_f32(
+        &self,
+        query: &[f32],
+        block: &[f32],
+        dim: usize,
+        bound: f32,
+        out: &mut [f32],
+    ) {
+        debug_assert_eq!(query.len(), dim);
+        debug_assert_eq!(dim, self.dim);
+        debug_assert_eq!(block.len(), dim * out.len());
+        let mut diff = vec![0.0f32; dim];
+        for (row, slot) in block.chunks_exact(dim).zip(out.iter_mut()) {
+            for i in 0..dim {
+                diff[i] = query[i] - row[i];
+            }
+            *slot = self.sq_of_diff_f32(&diff, bound);
+        }
+    }
+
+    fn eval_key_multi_f32(
+        &self,
+        queries: &[f32],
+        block: &[f32],
+        dim: usize,
+        bounds: &[f32],
+        out: &mut [f32],
+    ) {
+        debug_assert_eq!(dim, self.dim);
+        debug_assert_eq!(queries.len(), bounds.len() * dim);
+        debug_assert_eq!(out.len() * dim, bounds.len() * block.len());
+        let rows = block.len().checked_div(dim).unwrap_or(0);
+        let mut diff = vec![0.0f32; dim];
+        for (r, row) in block.chunks_exact(dim).enumerate() {
+            for (q, query) in queries.chunks_exact(dim).enumerate() {
+                for i in 0..dim {
+                    diff[i] = query[i] - row[i];
+                }
+                out[q * rows + r] = self.sq_of_diff_f32(&diff, bounds[q]);
             }
         }
     }

@@ -13,6 +13,10 @@ use crate::{Result, VecdbError};
 #[derive(Debug, Clone)]
 pub struct WeightedEuclidean {
     weights: Vec<f64>,
+    /// f32-rounded weights for the mirror-scanning kernels, cached at
+    /// construction (the rounding is part of the class's
+    /// [`Distance::f32_key_slack`] error budget).
+    weights_f32: Vec<f32>,
     min_w: f64,
     max_w: f64,
 }
@@ -30,8 +34,10 @@ impl WeightedEuclidean {
         }
         let min_w = weights.iter().cloned().fold(f64::INFINITY, f64::min);
         let max_w = weights.iter().cloned().fold(0.0, f64::max);
+        let weights_f32 = weights.iter().map(|&w| w as f32).collect();
         Ok(WeightedEuclidean {
             weights,
+            weights_f32,
             min_w,
             max_w,
         })
@@ -41,6 +47,7 @@ impl WeightedEuclidean {
     pub fn uniform(dim: usize) -> Self {
         WeightedEuclidean {
             weights: vec![1.0; dim],
+            weights_f32: vec![1.0; dim],
             min_w: 1.0,
             max_w: 1.0,
         }
@@ -134,6 +141,40 @@ impl Distance for WeightedEuclidean {
         out: &mut [f64],
     ) {
         kernels::weighted_sq_multi_block(&self.weights, 0, queries, block, dim, bounds, out);
+    }
+
+    fn f32_key_slack(&self, dim: usize, max_abs: f64) -> Option<f64> {
+        super::weighted_f32_slack(dim, self.max_w, max_abs)
+    }
+
+    fn eval_key_batch_f32(
+        &self,
+        query: &[f32],
+        block: &[f32],
+        dim: usize,
+        bound: f32,
+        out: &mut [f32],
+    ) {
+        kernels::weighted_sq_block_f32(&self.weights_f32, query, block, dim, bound, out);
+    }
+
+    fn eval_key_multi_f32(
+        &self,
+        queries: &[f32],
+        block: &[f32],
+        dim: usize,
+        bounds: &[f32],
+        out: &mut [f32],
+    ) {
+        kernels::weighted_sq_multi_block_f32(
+            &self.weights_f32,
+            0,
+            queries,
+            block,
+            dim,
+            bounds,
+            out,
+        );
     }
 }
 

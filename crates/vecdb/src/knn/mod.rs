@@ -28,7 +28,91 @@ pub use multi::MultiQueryScan;
 pub use scan::{LinearScan, ScanMode};
 pub use vptree::VpTree;
 
+use crate::collection::Collection;
 use crate::distance::Distance;
+
+/// Numeric precision of the scan engines' candidate filtering.
+///
+/// The stored keys and returned distances are **always** f64 — this knob
+/// only selects what the bulk of the scan streams:
+///
+/// * [`Precision::F64`] — every candidate's key comes straight from the
+///   f64 buffer (the classic single-phase scan).
+/// * [`Precision::F32Rescore`] — two phases. Phase 1 streams the
+///   collection's f32 mirror (half the bytes; the scans are
+///   memory-bandwidth-bound at low query counts) through the f32 kernels,
+///   early-abandoning against the running k-best threshold inflated by
+///   `2 × Distance::f32_key_slack` — enough to guarantee the surviving
+///   candidates contain the true f64 top-k. Phase 2 rescores the
+///   survivors from the f64 buffer with the exact kernels, so the
+///   returned indices *and* distances are identical to an [`Precision::F64`]
+///   scan. Requires the collection's mirror
+///   ([`Collection::ensure_f32_mirror`]) and a distance class with an f32
+///   kernel; otherwise — and in `ScanMode::Scalar`, the reference
+///   baseline — the scan silently runs the f64 path, so requesting
+///   `F32Rescore` is always safe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Single-phase pure-f64 scan.
+    #[default]
+    F64,
+    /// f32-mirror phase-1 filter + exact f64 rescore (identical results).
+    F32Rescore,
+}
+
+/// Round a key-space bound up into f32 so phase-1 early abandonment can
+/// never drop a row sitting exactly on the f64 bound. (`±∞` pass
+/// through; `NEG_INFINITY` is the "collect nothing" bound used for
+/// `k = 0` requests.)
+pub(crate) fn f32_bound_up(bound: f64) -> f32 {
+    if bound.is_infinite() {
+        return if bound > 0.0 {
+            f32::INFINITY
+        } else {
+            f32::NEG_INFINITY
+        };
+    }
+    let b = bound as f32; // round-to-nearest
+    if (b as f64) < bound {
+        b.next_up()
+    } else {
+        b
+    }
+}
+
+/// Phase 2 of the f32-rescore scan: exact f64 keys for the surviving
+/// candidate indices, k smallest by `(key, index)`. Candidates are
+/// gathered block-wise into a contiguous scratch buffer and evaluated by
+/// the same [`Distance::eval_key_batch`] kernel the pure-f64 scan uses,
+/// so as long as the candidate set contains the true top-k (the phase-1
+/// guarantee) the result is identical to a full f64 scan — same indices,
+/// same key bits, same distances.
+pub(crate) fn rescore_f64(
+    coll: &Collection,
+    query: &[f64],
+    dist: &dyn Distance,
+    cands: &[u32],
+    k: usize,
+) -> Vec<Neighbor> {
+    let dim = coll.dim();
+    let mut kb = KBest::new(k);
+    if dim == 0 {
+        return kb.into_sorted();
+    }
+    let mut rows = vec![0.0f64; BLOCK_ROWS * dim];
+    let mut keys = [0.0f64; BLOCK_ROWS];
+    for chunk in cands.chunks(BLOCK_ROWS) {
+        let n = chunk.len();
+        for (slot, &i) in rows.chunks_exact_mut(dim).zip(chunk.iter()) {
+            slot.copy_from_slice(coll.vector(i as usize));
+        }
+        dist.eval_key_batch(query, &rows[..n * dim], dim, kb.threshold(), &mut keys[..n]);
+        for (&i, &key) in chunk.iter().zip(keys.iter()) {
+            kb.push(i, key);
+        }
+    }
+    kb.into_sorted_with(|key| dist.finish_key(key))
+}
 
 /// Rows evaluated per batched kernel invocation (shared by
 /// [`LinearScan`] and [`MultiQueryScan`]). Large enough to amortize the

@@ -29,16 +29,38 @@
 //! `(key, index)` exactly like the single-query scan. The consistency
 //! suite (`crates/vecdb/tests/multi_query.rs`) pins this across all four
 //! distance classes.
+//!
+//! # Precision
+//!
+//! With [`Precision::F32Rescore`] (and a collection carrying its f32
+//! mirror) the kernel-path modes run **two phases**: phase 1 streams the
+//! mirror through the f32 kernels with per-query pruning bounds inflated
+//! by twice the distance class's rounding slack, collecting every row
+//! whose f32 key lands under the inflated bound; phase 2 rescores those
+//! candidates from the f64 buffer with the exact kernels. The inflation
+//! makes the candidate set a guaranteed superset of the true f64 top-k
+//! (see the proof sketch on [`MultiQueryScan::scan_range_shared_f32`]),
+//! so results remain bit-identical to the pure-f64 scan while the bulk
+//! of the pass moves half the bytes.
 
-use super::{scan_threads, KBest, Neighbor, ScanMode, SearchStats, BLOCK_ROWS, PARALLEL_CUTOFF};
+use super::{
+    f32_bound_up, rescore_f64, scan_threads, KBest, Neighbor, Precision, ScanMode, SearchStats,
+    BLOCK_ROWS, PARALLEL_CUTOFF,
+};
 use crate::collection::Collection;
 use crate::distance::Distance;
+
+/// One f32 phase-1 chunk pass: scan a row range, tracking per-query
+/// k-bests (f32 keys) and `(index, key32)` candidate pools.
+type F32ChunkScan<'a> =
+    dyn Fn(std::ops::Range<usize>, &mut [KBest], &mut [Vec<(u32, f32)>]) + Sync + 'a;
 
 /// Multi-query scan engine borrowing a collection.
 #[derive(Debug, Clone, Copy)]
 pub struct MultiQueryScan<'a> {
     coll: &'a Collection,
     mode: ScanMode,
+    precision: Precision,
     thread_budget: Option<usize>,
 }
 
@@ -48,6 +70,7 @@ impl<'a> MultiQueryScan<'a> {
         MultiQueryScan {
             coll,
             mode: ScanMode::Auto,
+            precision: Precision::F64,
             thread_budget: None,
         }
     }
@@ -57,8 +80,18 @@ impl<'a> MultiQueryScan<'a> {
         MultiQueryScan {
             coll,
             mode,
+            precision: Precision::F64,
             thread_budget: None,
         }
+    }
+
+    /// Select the scan precision ([`Precision::F32Rescore`] silently
+    /// degrades to the f64 path when the collection has no mirror or the
+    /// distance class has no f32 kernel — results are identical either
+    /// way, only bandwidth differs).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
     }
 
     /// Cap the parallel path at `threads` worker threads (at least 1).
@@ -77,6 +110,28 @@ impl<'a> MultiQueryScan<'a> {
     /// The configured execution mode.
     pub fn mode(&self) -> ScanMode {
         self.mode
+    }
+
+    /// The configured precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// The key-space rounding slack of an f32 phase-1 under `dist`, when
+    /// every precondition for the two-phase scan holds: `F32Rescore`
+    /// requested, mirror present, class exposes an f32 kernel with a
+    /// finite bound for this data/query magnitude.
+    fn f32_slack(&self, dist: &dyn Distance, queries: &[&[f64]]) -> Option<f64> {
+        if self.precision != Precision::F32Rescore {
+            return None;
+        }
+        let m_coll = self.coll.max_abs()?; // None ⇔ no mirror
+        let m = queries
+            .iter()
+            .flat_map(|q| q.iter())
+            .fold(m_coll, |m, &v| m.max(v.abs()));
+        let slack = dist.f32_key_slack(self.coll.dim(), m)?;
+        slack.is_finite().then_some(slack)
     }
 
     /// The mode Auto resolves to for `nq` concurrent queries: total work
@@ -106,6 +161,22 @@ impl<'a> MultiQueryScan<'a> {
         k: usize,
         dist: &dyn Distance,
     ) -> Vec<Vec<Neighbor>> {
+        self.knn_multi_k(queries, &vec![k; queries.len()], dist)
+    }
+
+    /// Like [`Self::knn_multi`] but with a **per-query** result count:
+    /// query `i` gets its `ks[i]` nearest neighbors, all still answered
+    /// in the same single blocked pass (concurrent sessions rarely agree
+    /// on `k`; forcing the batch to the maximum would make every smaller
+    /// request pay the widest k-best and return rows its session never
+    /// asked for).
+    pub fn knn_multi_k(
+        &self,
+        queries: &[&[f64]],
+        ks: &[usize],
+        dist: &dyn Distance,
+    ) -> Vec<Vec<Neighbor>> {
+        assert_eq!(queries.len(), ks.len(), "one k per query");
         if queries.is_empty() {
             return Vec::new();
         }
@@ -116,9 +187,15 @@ impl<'a> MultiQueryScan<'a> {
         for q in queries {
             assert_eq!(q.len(), dim, "query dimensionality mismatch");
         }
-        let kbs = match self.effective_mode(queries.len()) {
+        let mode = self.effective_mode(queries.len());
+        if mode != ScanMode::Scalar {
+            if let Some(slack) = self.f32_slack(dist, queries) {
+                return self.knn_multi_f32(queries, ks, dist, slack, mode);
+            }
+        }
+        let kbs = match mode {
             ScanMode::Scalar => {
-                let mut kbs: Vec<KBest> = queries.iter().map(|_| KBest::new(k)).collect();
+                let mut kbs: Vec<KBest> = ks.iter().map(|&k| KBest::new(k)).collect();
                 for i in 0..self.coll.len() {
                     let row = self.coll.vector(i);
                     for (q, kb) in queries.iter().zip(kbs.iter_mut()) {
@@ -130,13 +207,13 @@ impl<'a> MultiQueryScan<'a> {
             }
             ScanMode::Batched => {
                 let flat = flatten(queries);
-                let mut kbs: Vec<KBest> = queries.iter().map(|_| KBest::new(k)).collect();
+                let mut kbs: Vec<KBest> = ks.iter().map(|&k| KBest::new(k)).collect();
                 self.scan_range_shared(&flat, dist, 0..self.coll.len(), &mut kbs);
                 kbs
             }
             ScanMode::Parallel => {
                 let flat = flatten(queries);
-                self.parallel_merge(queries.len(), k, &|range, kbs| {
+                self.parallel_merge(ks, &|range, kbs| {
                     self.scan_range_shared(&flat, dist, range, kbs)
                 })
             }
@@ -144,6 +221,47 @@ impl<'a> MultiQueryScan<'a> {
         };
         kbs.into_iter()
             .map(|kb| kb.into_sorted_with(|key| dist.finish_key(key)))
+            .collect()
+    }
+
+    /// Two-phase shared-metric scan: f32 phase-1 over the mirror
+    /// (batched or fanned out over threads), exact f64 rescore of the
+    /// surviving candidates per query.
+    fn knn_multi_f32(
+        &self,
+        queries: &[&[f64]],
+        ks: &[usize],
+        dist: &dyn Distance,
+        slack: f64,
+        mode: ScanMode,
+    ) -> Vec<Vec<Neighbor>> {
+        let flat32 = flatten_f32(queries);
+        let slacks = vec![slack; ks.len()];
+        let cands = match mode {
+            ScanMode::Batched => {
+                let mut kbs: Vec<KBest> = ks.iter().map(|&k| KBest::new(k)).collect();
+                let mut cands: Vec<Vec<(u32, f32)>> = vec![Vec::new(); ks.len()];
+                self.scan_range_shared_f32(
+                    &flat32,
+                    dist,
+                    slack,
+                    ks,
+                    0..self.coll.len(),
+                    &mut kbs,
+                    &mut cands,
+                );
+                filter_candidates(&kbs, &slacks, cands)
+            }
+            ScanMode::Parallel => self.parallel_candidates(ks, &slacks, &|range, kbs, cands| {
+                self.scan_range_shared_f32(&flat32, dist, slack, ks, range, kbs, cands)
+            }),
+            _ => unreachable!("f32 path only runs in kernel modes"),
+        };
+        queries
+            .iter()
+            .zip(ks.iter())
+            .zip(cands.iter())
+            .map(|((q, &k), c)| rescore_f64(self.coll, q, dist, c, k))
             .collect()
     }
 
@@ -176,11 +294,23 @@ impl<'a> MultiQueryScan<'a> {
         dists: &[&dyn Distance],
         k: usize,
     ) -> Vec<Vec<Neighbor>> {
+        self.knn_per_query_k(queries, dists, &vec![k; queries.len()])
+    }
+
+    /// Like [`Self::knn_per_query`] but with a per-query result count
+    /// (`ks[i]` neighbors for `queries[i]`), still in one shared pass.
+    pub fn knn_per_query_k(
+        &self,
+        queries: &[&[f64]],
+        dists: &[&dyn Distance],
+        ks: &[usize],
+    ) -> Vec<Vec<Neighbor>> {
         assert_eq!(
             queries.len(),
             dists.len(),
             "one distance function per query"
         );
+        assert_eq!(queries.len(), ks.len(), "one k per query");
         if queries.is_empty() {
             return Vec::new();
         }
@@ -191,9 +321,20 @@ impl<'a> MultiQueryScan<'a> {
         for q in queries {
             assert_eq!(q.len(), dim, "query dimensionality mismatch");
         }
-        let kbs = match self.effective_mode(queries.len()) {
+        let mode = self.effective_mode(queries.len());
+        if mode != ScanMode::Scalar {
+            // All-or-nothing: the f32 pass engages only when *every*
+            // request's metric certifies a rounding bound, so the block
+            // loop reads exactly one of the two buffers.
+            let slacks: Option<Vec<f64>> =
+                dists.iter().map(|d| self.f32_slack(*d, queries)).collect();
+            if let Some(slacks) = slacks {
+                return self.knn_per_query_f32(queries, dists, ks, &slacks, mode);
+            }
+        }
+        let kbs = match mode {
             ScanMode::Scalar => {
-                let mut kbs: Vec<KBest> = queries.iter().map(|_| KBest::new(k)).collect();
+                let mut kbs: Vec<KBest> = ks.iter().map(|&k| KBest::new(k)).collect();
                 for i in 0..self.coll.len() {
                     let row = self.coll.vector(i);
                     for ((q, d), kb) in queries.iter().zip(dists.iter()).zip(kbs.iter_mut()) {
@@ -203,11 +344,11 @@ impl<'a> MultiQueryScan<'a> {
                 return kbs.into_iter().map(KBest::into_sorted).collect();
             }
             ScanMode::Batched => {
-                let mut kbs: Vec<KBest> = queries.iter().map(|_| KBest::new(k)).collect();
+                let mut kbs: Vec<KBest> = ks.iter().map(|&k| KBest::new(k)).collect();
                 self.scan_range_per_query(queries, dists, 0..self.coll.len(), &mut kbs);
                 kbs
             }
-            ScanMode::Parallel => self.parallel_merge(queries.len(), k, &|range, kbs| {
+            ScanMode::Parallel => self.parallel_merge(ks, &|range, kbs| {
                 self.scan_range_per_query(queries, dists, range, kbs)
             }),
             ScanMode::Auto => unreachable!("effective_mode resolves Auto"),
@@ -215,6 +356,47 @@ impl<'a> MultiQueryScan<'a> {
         kbs.into_iter()
             .zip(dists.iter())
             .map(|(kb, d)| kb.into_sorted_with(|key| d.finish_key(key)))
+            .collect()
+    }
+
+    /// Two-phase per-query-metric scan (each query's own slack/kernels).
+    fn knn_per_query_f32(
+        &self,
+        queries: &[&[f64]],
+        dists: &[&dyn Distance],
+        ks: &[usize],
+        slacks: &[f64],
+        mode: ScanMode,
+    ) -> Vec<Vec<Neighbor>> {
+        let q32s: Vec<Vec<f32>> = queries
+            .iter()
+            .map(|q| q.iter().map(|&v| v as f32).collect())
+            .collect();
+        let cands = match mode {
+            ScanMode::Batched => {
+                let mut kbs: Vec<KBest> = ks.iter().map(|&k| KBest::new(k)).collect();
+                let mut cands: Vec<Vec<(u32, f32)>> = vec![Vec::new(); ks.len()];
+                self.scan_range_per_query_f32(
+                    &q32s,
+                    dists,
+                    slacks,
+                    ks,
+                    0..self.coll.len(),
+                    &mut kbs,
+                    &mut cands,
+                );
+                filter_candidates(&kbs, slacks, cands)
+            }
+            ScanMode::Parallel => self.parallel_candidates(ks, slacks, &|range, kbs, cands| {
+                self.scan_range_per_query_f32(&q32s, dists, slacks, ks, range, kbs, cands)
+            }),
+            _ => unreachable!("f32 path only runs in kernel modes"),
+        };
+        queries
+            .iter()
+            .zip(dists.iter().zip(ks.iter()))
+            .zip(cands.iter())
+            .map(|((q, (d, &k)), c)| rescore_f64(self.coll, q, *d, c, k))
             .collect()
     }
 
@@ -244,6 +426,126 @@ impl<'a> MultiQueryScan<'a> {
             for (q, kb) in kbs.iter_mut().enumerate() {
                 for (offset, &key) in keys[q * n..(q + 1) * n].iter().enumerate() {
                     kb.push((start + offset) as u32, key);
+                }
+            }
+            start = end;
+        }
+    }
+
+    /// Shared-metric f32 phase-1 over one contiguous index range of the
+    /// mirror: per-query bounds inflated by `2·slack`, every row whose
+    /// f32 key lands under its query's inflated bound recorded in that
+    /// query's candidate list (`kbs` tracks f32 keys only to tighten the
+    /// bounds as the pass advances).
+    ///
+    /// Why `2·slack` suffices (per query; `τ64` = the k-th smallest true
+    /// f64 key, `τ32` = the k-th smallest f32 key, `Δ` = slack):
+    /// every row obeys `|key32 − key64| ≤ Δ`, so a true top-k row has
+    /// `key32 ≤ τ64 + Δ`, and the k rows realizing `τ64` witness
+    /// `τ32 ≤ τ64 + Δ ⇒ τ64 ≥ τ32 − Δ`… combined: a true top-k row
+    /// (ties included) always has `key32 ≤ τ32 + 2Δ`. The running
+    /// threshold is the k-th best f32 key *pushed so far*, which can
+    /// never undershoot `τ32`, so the per-block bound
+    /// `threshold + 2Δ ≥ τ32 + 2Δ` keeps every such row: its monotone
+    /// f32 prefix sums never exceed its final `key32 ≤ bound`, so the
+    /// kernel cannot abandon it, and the `key32 ≤ bound` filter admits
+    /// it into `cands` (with its f32 key, so [`filter_candidates`] can
+    /// re-apply the same test against the *final* — tightest — threshold
+    /// before the rescore pays any scattered f64 reads).
+    #[allow(clippy::too_many_arguments)]
+    fn scan_range_shared_f32(
+        &self,
+        flat_q32: &[f32],
+        dist: &dyn Distance,
+        slack: f64,
+        ks: &[usize],
+        rows: std::ops::Range<usize>,
+        kbs: &mut [KBest],
+        cands: &mut [Vec<(u32, f32)>],
+    ) {
+        let dim = self.coll.dim();
+        let nq = kbs.len();
+        let mut keys = vec![0.0f32; nq * BLOCK_ROWS];
+        let mut bounds64 = vec![f64::INFINITY; nq];
+        let mut bounds32 = vec![f32::INFINITY; nq];
+        let mut start = rows.start;
+        while start < rows.end {
+            let end = (start + BLOCK_ROWS).min(rows.end);
+            let n = end - start;
+            let block = self
+                .coll
+                .block_f32(start, end)
+                .expect("f32 path requires the mirror");
+            for ((b64, b32), (kb, &k)) in bounds64
+                .iter_mut()
+                .zip(bounds32.iter_mut())
+                .zip(kbs.iter().zip(ks.iter()))
+            {
+                // k = 0 collects nothing (an empty result needs no
+                // candidates; KBest's idle threshold would otherwise
+                // admit every row).
+                *b64 = if k == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    kb.threshold() + 2.0 * slack
+                };
+                *b32 = f32_bound_up(*b64);
+            }
+            dist.eval_key_multi_f32(flat_q32, block, dim, &bounds32, &mut keys[..nq * n]);
+            for (q, (kb, cand)) in kbs.iter_mut().zip(cands.iter_mut()).enumerate() {
+                for (offset, &key) in keys[q * n..(q + 1) * n].iter().enumerate() {
+                    if (key as f64) <= bounds64[q] {
+                        cand.push(((start + offset) as u32, key));
+                        kb.push((start + offset) as u32, key as f64);
+                    }
+                }
+            }
+            start = end;
+        }
+    }
+
+    /// Per-query-metric f32 phase-1: one shared mirror-block read, one
+    /// f32 batch kernel call per (query, block), each query pruned by
+    /// its own `2·slack`-inflated bound (same containment argument as
+    /// [`Self::scan_range_shared_f32`], per query).
+    #[allow(clippy::too_many_arguments)]
+    fn scan_range_per_query_f32(
+        &self,
+        q32s: &[Vec<f32>],
+        dists: &[&dyn Distance],
+        slacks: &[f64],
+        ks: &[usize],
+        rows: std::ops::Range<usize>,
+        kbs: &mut [KBest],
+        cands: &mut [Vec<(u32, f32)>],
+    ) {
+        let dim = self.coll.dim();
+        let mut keys = [0.0f32; BLOCK_ROWS];
+        let mut start = rows.start;
+        while start < rows.end {
+            let end = (start + BLOCK_ROWS).min(rows.end);
+            let n = end - start;
+            let block = self
+                .coll
+                .block_f32(start, end)
+                .expect("f32 path requires the mirror");
+            for (q, ((q32, d), (kb, cand))) in q32s
+                .iter()
+                .zip(dists.iter())
+                .zip(kbs.iter_mut().zip(cands.iter_mut()))
+                .enumerate()
+            {
+                let bound64 = if ks[q] == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    kb.threshold() + 2.0 * slacks[q]
+                };
+                d.eval_key_batch_f32(q32, block, dim, f32_bound_up(bound64), &mut keys[..n]);
+                for (offset, &key) in keys[..n].iter().enumerate() {
+                    if (key as f64) <= bound64 {
+                        cand.push(((start + offset) as u32, key));
+                        kb.push((start + offset) as u32, key as f64);
+                    }
                 }
             }
             start = end;
@@ -285,14 +587,13 @@ impl<'a> MultiQueryScan<'a> {
     /// and identical to what the single-threaded pass selects.
     fn parallel_merge(
         &self,
-        nq: usize,
-        k: usize,
+        ks: &[usize],
         scan_chunk: &(dyn Fn(std::ops::Range<usize>, &mut [KBest]) + Sync),
     ) -> Vec<KBest> {
         let len = self.coll.len();
         let threads = scan_threads(self.thread_budget, len.div_ceil(BLOCK_ROWS));
         if threads == 1 {
-            let mut kbs: Vec<KBest> = (0..nq).map(|_| KBest::new(k)).collect();
+            let mut kbs: Vec<KBest> = ks.iter().map(|&k| KBest::new(k)).collect();
             scan_chunk(0..len, &mut kbs);
             return kbs;
         }
@@ -304,7 +605,7 @@ impl<'a> MultiQueryScan<'a> {
                     let lo = t * chunk;
                     let hi = ((t + 1) * chunk).min(len);
                     scope.spawn(move || {
-                        let mut kbs: Vec<KBest> = (0..nq).map(|_| KBest::new(k)).collect();
+                        let mut kbs: Vec<KBest> = ks.iter().map(|&k| KBest::new(k)).collect();
                         scan_chunk(lo..hi, &mut kbs);
                         kbs.iter()
                             .map(|kb| {
@@ -324,7 +625,7 @@ impl<'a> MultiQueryScan<'a> {
                 per_thread.push(h.join().expect("multi-scan worker panicked"));
             }
         });
-        let mut merged: Vec<KBest> = (0..nq).map(|_| KBest::new(k)).collect();
+        let mut merged: Vec<KBest> = ks.iter().map(|&k| KBest::new(k)).collect();
         for thread_entries in per_thread {
             for (kb, entries) in merged.iter_mut().zip(thread_entries) {
                 for (key, index) in entries {
@@ -337,6 +638,81 @@ impl<'a> MultiQueryScan<'a> {
         }
         merged
     }
+
+    /// Parallel phase-1 driver for the f32 paths: fan contiguous row
+    /// chunks out to worker threads, each collecting per-query candidate
+    /// lists against its own (chunk-local, hence looser — still a
+    /// superset) inflated bounds and filtering them against its final
+    /// chunk-local thresholds, then concatenate per query in chunk
+    /// order. The exact rescore runs after, so chunk boundaries and
+    /// thread count cannot change the final answer.
+    fn parallel_candidates(
+        &self,
+        ks: &[usize],
+        slacks: &[f64],
+        scan_chunk: &F32ChunkScan<'_>,
+    ) -> Vec<Vec<u32>> {
+        let len = self.coll.len();
+        let nq = ks.len();
+        let threads = scan_threads(self.thread_budget, len.div_ceil(BLOCK_ROWS));
+        if threads == 1 {
+            let mut kbs: Vec<KBest> = ks.iter().map(|&k| KBest::new(k)).collect();
+            let mut cands: Vec<Vec<(u32, f32)>> = vec![Vec::new(); nq];
+            scan_chunk(0..len, &mut kbs, &mut cands);
+            return filter_candidates(&kbs, slacks, cands);
+        }
+        let chunk = len.div_ceil(threads);
+        let mut merged: Vec<Vec<u32>> = vec![Vec::new(); nq];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(len);
+                    scope.spawn(move || {
+                        let mut kbs: Vec<KBest> = ks.iter().map(|&k| KBest::new(k)).collect();
+                        let mut cands: Vec<Vec<(u32, f32)>> = vec![Vec::new(); nq];
+                        scan_chunk(lo..hi, &mut kbs, &mut cands);
+                        filter_candidates(&kbs, slacks, cands)
+                    })
+                })
+                .collect();
+            for h in handles {
+                // Chunks are disjoint and joined in spawn order, so the
+                // concatenation stays sorted by index per query.
+                for (m, c) in merged
+                    .iter_mut()
+                    .zip(h.join().expect("multi-scan worker panicked"))
+                {
+                    m.extend(c);
+                }
+            }
+        });
+        merged
+    }
+}
+
+/// Final candidate filter between the phases: re-apply the containment
+/// test `key32 ≤ threshold + 2·slack` with each query's **final** phase-1
+/// threshold. During the pass, candidates are admitted against whatever
+/// (looser) threshold was current — the first block alone admits every
+/// row — so most of the pool is stale by the end. The final threshold is
+/// the k-th smallest f32 key pushed, which never undershoots the true
+/// k-th smallest f32 key, so the argument on
+/// [`MultiQueryScan::scan_range_shared_f32`] applies verbatim and the
+/// filtered pool still contains the true f64 top-k — while the rescore
+/// now gathers ~k scattered rows instead of hundreds.
+fn filter_candidates(kbs: &[KBest], slacks: &[f64], cands: Vec<Vec<(u32, f32)>>) -> Vec<Vec<u32>> {
+    kbs.iter()
+        .zip(slacks.iter())
+        .zip(cands)
+        .map(|((kb, &slack), cand)| {
+            let bound = kb.threshold() + 2.0 * slack;
+            cand.into_iter()
+                .filter(|&(_, key)| (key as f64) <= bound)
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect()
 }
 
 /// Concatenate query slices into the row-major layout the multi-query
@@ -345,6 +721,15 @@ fn flatten(queries: &[&[f64]]) -> Vec<f64> {
     let mut flat = Vec::with_capacity(queries.len() * queries.first().map_or(0, |q| q.len()));
     for q in queries {
         flat.extend_from_slice(q);
+    }
+    flat
+}
+
+/// Same, rounded once to the f32 layout the mirror kernels consume.
+fn flatten_f32(queries: &[&[f64]]) -> Vec<f32> {
+    let mut flat = Vec::with_capacity(queries.len() * queries.first().map_or(0, |q| q.len()));
+    for q in queries {
+        flat.extend(q.iter().map(|&v| v as f32));
     }
     flat
 }
@@ -443,6 +828,43 @@ mod tests {
             assert_eq!(res.len(), 30);
             for w in res.windows(2) {
                 assert!(w[0].dist <= w[1].dist);
+            }
+        }
+    }
+
+    #[test]
+    fn per_query_k_matches_independent_scans() {
+        let c = pseudo_random_collection(900, 24);
+        let queries = sample_queries(3, 24);
+        let refs: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
+        let ks = [1usize, 10, 50];
+        let w = WeightedEuclidean::new((0..24).map(|i| 0.2 + (i % 5) as f64).collect()).unwrap();
+        for mode in [ScanMode::Scalar, ScanMode::Batched, ScanMode::Parallel] {
+            let multi = MultiQueryScan::with_mode(&c, mode).knn_multi_k(&refs, &ks, &w);
+            let single = LinearScan::with_mode(&c, mode);
+            for ((q, res), &k) in refs.iter().zip(multi.iter()).zip(ks.iter()) {
+                assert_eq!(res.len(), k, "mode {mode:?}");
+                assert_eq!(res, &single.knn(q, k, &w), "mode {mode:?} k={k}");
+            }
+        }
+        // Per-query metrics with per-query k share the same pass.
+        let metrics: Vec<WeightedEuclidean> = (0..3)
+            .map(|q| {
+                WeightedEuclidean::new((0..24).map(|i| 0.3 + ((q + i) % 4) as f64).collect())
+                    .unwrap()
+            })
+            .collect();
+        let dists: Vec<&dyn Distance> = metrics.iter().map(|m| m as &dyn Distance).collect();
+        for mode in [ScanMode::Batched, ScanMode::Parallel] {
+            let multi = MultiQueryScan::with_mode(&c, mode).knn_per_query_k(&refs, &dists, &ks);
+            for (((q, d), res), &k) in refs
+                .iter()
+                .zip(metrics.iter())
+                .zip(multi.iter())
+                .zip(ks.iter())
+            {
+                let expect = LinearScan::with_mode(&c, ScanMode::Batched).knn(q, k, d);
+                assert_eq!(res, &expect, "mode {mode:?} k={k}");
             }
         }
     }

@@ -25,8 +25,16 @@
 //!
 //! [`ScanMode::Auto`] (the default) picks Batched below
 //! [`PARALLEL_CUTOFF`] candidate-components and Parallel above it.
+//!
+//! Orthogonally, [`LinearScan::with_precision`] selects
+//! [`Precision::F32Rescore`]: the kernel-path modes then run their
+//! phase-1 filter over the collection's f32 mirror (half the scan bytes
+//! — the dominant cost on a bandwidth-bound host) and rescore the
+//! surviving candidates in f64, returning results identical to the pure
+//! f64 scan. Scalar mode deliberately ignores the knob — it *is* the
+//! reference the other paths are pinned against.
 
-use super::{KBest, KnnEngine, Neighbor, SearchStats, BLOCK_ROWS, PARALLEL_CUTOFF};
+use super::{KBest, KnnEngine, Neighbor, Precision, SearchStats, BLOCK_ROWS, PARALLEL_CUTOFF};
 use crate::collection::Collection;
 use crate::distance::Distance;
 
@@ -49,6 +57,7 @@ pub enum ScanMode {
 pub struct LinearScan<'a> {
     coll: &'a Collection,
     mode: ScanMode,
+    precision: Precision,
     thread_budget: Option<usize>,
 }
 
@@ -58,6 +67,7 @@ impl<'a> LinearScan<'a> {
         LinearScan {
             coll,
             mode: ScanMode::Auto,
+            precision: Precision::F64,
             thread_budget: None,
         }
     }
@@ -67,8 +77,18 @@ impl<'a> LinearScan<'a> {
         LinearScan {
             coll,
             mode,
+            precision: Precision::F64,
             thread_budget: None,
         }
+    }
+
+    /// Select the scan precision. [`Precision::F32Rescore`] silently
+    /// degrades to the f64 path when the collection has no mirror, the
+    /// distance class exposes no f32 kernel, or the mode is Scalar —
+    /// results are identical in every case.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
     }
 
     /// Cap the parallel path at `threads` worker threads (at least 1)
@@ -89,6 +109,11 @@ impl<'a> LinearScan<'a> {
     /// The configured execution mode.
     pub fn mode(&self) -> ScanMode {
         self.mode
+    }
+
+    /// The configured precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// The mode Auto resolves to for this collection.
@@ -144,13 +169,22 @@ impl<'a> LinearScan<'a> {
         kb.into_sorted_with(|key| dist.finish_key(key))
     }
 
-    /// The parallel path is the single-query case of the multi-query
-    /// scan: delegating keeps the subtle fan-out/merge logic (chunking,
-    /// per-thread k-bests, the deterministic `(key, index)` fold) in one
-    /// place. For one query the multi kernels compute the exact same
-    /// keys, so results stay bit-identical to [`Self::knn_batched`].
-    fn knn_parallel(&self, query: &[f64], k: usize, dist: &dyn Distance) -> Vec<Neighbor> {
-        let mut multi = super::MultiQueryScan::with_mode(self.coll, ScanMode::Parallel);
+    /// The parallel path — and the two-phase f32-rescore path in either
+    /// kernel mode — is the single-query case of the multi-query scan:
+    /// delegating keeps the subtle fan-out/merge and phase-1/phase-2
+    /// logic (chunking, per-thread k-bests, inflated-bound candidate
+    /// collection, the exact rescore) in one place. For one query the
+    /// multi kernels compute the exact same keys, so results stay
+    /// bit-identical to [`Self::knn_batched`].
+    fn knn_via_multi(
+        &self,
+        query: &[f64],
+        k: usize,
+        dist: &dyn Distance,
+        mode: ScanMode,
+    ) -> Vec<Neighbor> {
+        let mut multi =
+            super::MultiQueryScan::with_mode(self.coll, mode).with_precision(self.precision);
         if let Some(budget) = self.thread_budget {
             multi = multi.with_thread_budget(budget);
         }
@@ -161,8 +195,14 @@ impl<'a> LinearScan<'a> {
     fn knn_dispatch(&self, query: &[f64], k: usize, dist: &dyn Distance) -> Vec<Neighbor> {
         match self.effective_mode() {
             ScanMode::Scalar => self.knn_scalar(query, k, dist),
-            ScanMode::Batched => self.knn_batched(query, k, dist),
-            ScanMode::Parallel => self.knn_parallel(query, k, dist),
+            ScanMode::Batched => {
+                if self.precision == Precision::F32Rescore {
+                    self.knn_via_multi(query, k, dist, ScanMode::Batched)
+                } else {
+                    self.knn_batched(query, k, dist)
+                }
+            }
+            ScanMode::Parallel => self.knn_via_multi(query, k, dist, ScanMode::Parallel),
             ScanMode::Auto => unreachable!("effective_mode resolves Auto"),
         }
     }
@@ -202,7 +242,10 @@ impl KnnEngine for LinearScan<'_> {
             }
         } else {
             // Key-space filter: d ≤ r ⇔ key ≤ key_of_dist(r); abandoned
-            // rows come back +∞ and can never pass the bound.
+            // rows come back +∞ and can never pass the bound. Range
+            // queries always read the f64 buffer: their result-set size
+            // is unbounded, so a phase-1 filter has no small candidate
+            // set to hand to a rescore.
             let dim = self.coll.dim();
             let bound = dist.key_of_dist(radius);
             let mut keys = [0.0f64; BLOCK_ROWS];

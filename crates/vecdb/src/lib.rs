@@ -21,9 +21,13 @@
 //!   queries under any *re-weighted* metric exactly, via distortion
 //!   bounds (`d_W ≥ √w_min · d_2` pruning). For concurrent feedback
 //!   sessions, [`knn::MultiQueryScan`] answers Q queries per blocked
-//!   collection pass (shared or per-query metrics), amortizing memory
-//!   traffic across the batch with results bit-identical to Q
-//!   independent scans;
+//!   collection pass (shared or per-query metrics, per-query `k`),
+//!   amortizing memory traffic across the batch with results
+//!   bit-identical to Q independent scans. Both scan engines accept
+//!   [`knn::Precision::F32Rescore`]: phase 1 filters candidates over
+//!   the collection's optional f32 mirror at half the bandwidth, phase
+//!   2 rescores them in f64 — queries, keys and returned distances stay
+//!   f64 and the answers are identical to the pure-f64 scan;
 //! * [`result`] — ranked result lists and the stable-comparison helper the
 //!   feedback loop uses as its convergence test.
 
@@ -38,7 +42,9 @@ pub use collection::{CategoryId, Collection, CollectionBuilder};
 pub use distance::{
     Distance, Euclidean, HierarchicalDistance, Lp, Manhattan, QuadraticDistance, WeightedEuclidean,
 };
-pub use knn::{KnnEngine, LinearScan, MTree, MultiQueryScan, Neighbor, ScanMode, VpTree};
+pub use knn::{
+    KnnEngine, LinearScan, MTree, MultiQueryScan, Neighbor, Precision, ScanMode, VpTree,
+};
 pub use result::ResultList;
 
 /// Errors from the vector database.

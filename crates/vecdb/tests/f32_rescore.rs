@@ -1,0 +1,261 @@
+//! f32-rescore consistency suite: `Precision::F32Rescore` must return
+//! **bit-identical** neighbor indices and f64 distances to the pure-f64
+//! scan, across all four distance classes, Q ∈ {1, 16}, k ∈ {1, 10, 50},
+//! in every kernel mode and through every entry point (LinearScan,
+//! shared-metric multi, per-query-metric multi). The phase-1 f32 filter
+//! with its inflated bounds may only change *how much* the scan reads,
+//! never *what* it answers.
+
+use fbp_linalg::Matrix;
+use fbp_vecdb::distance::{FeatureSpan, HierarchicalDistance};
+use fbp_vecdb::{
+    Collection, CollectionBuilder, Distance, Euclidean, KnnEngine, LinearScan, Manhattan,
+    MultiQueryScan, Precision, QuadraticDistance, ScanMode, WeightedEuclidean,
+};
+
+const DIM: usize = 24;
+
+fn collection(n: usize, mirror: bool) -> Collection {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut b = CollectionBuilder::new();
+    if mirror {
+        b = b.with_f32_mirror();
+    }
+    for _ in 0..n {
+        let v: Vec<f64> = (0..DIM).map(|_| next()).collect();
+        b.push_unlabelled(&v).unwrap();
+    }
+    b.build()
+}
+
+fn queries(nq: usize) -> Vec<Vec<f64>> {
+    (0..nq)
+        .map(|q| {
+            (0..DIM)
+                .map(|i| ((q * 31 + i * 17) as f64 * 0.23).sin().abs())
+                .collect()
+        })
+        .collect()
+}
+
+/// All four distance classes, in key-comparable parameterizations.
+fn distance_classes() -> Vec<Box<dyn Distance>> {
+    let w: Vec<f64> = (0..DIM).map(|i| 0.4 + (i % 6) as f64).collect();
+    let spans = vec![FeatureSpan::new(0, 8), FeatureSpan::new(8, DIM)];
+    let h = HierarchicalDistance::new(spans, vec![1.5, 0.75], w.clone()).unwrap();
+    let mut m = Matrix::identity(DIM);
+    for i in 0..DIM {
+        m[(i, i)] = 0.5 + (i % 4) as f64;
+        if i + 1 < DIM {
+            m[(i, i + 1)] = 0.1;
+            m[(i + 1, i)] = 0.1;
+        }
+    }
+    vec![
+        Box::new(Euclidean),
+        Box::new(WeightedEuclidean::new(w).unwrap()),
+        Box::new(QuadraticDistance::new(&m).unwrap()),
+        Box::new(h),
+    ]
+}
+
+#[test]
+fn linear_scan_f32_rescore_bit_identical_all_classes() {
+    let coll = collection(1500, true);
+    let qs = queries(3);
+    for dist in distance_classes() {
+        for q in &qs {
+            for k in [1usize, 10, 50] {
+                for mode in [ScanMode::Batched, ScanMode::Parallel] {
+                    let f64_res = LinearScan::with_mode(&coll, mode).knn(q, k, &*dist);
+                    let f32_res = LinearScan::with_mode(&coll, mode)
+                        .with_precision(Precision::F32Rescore)
+                        .knn(q, k, &*dist);
+                    assert_eq!(
+                        f32_res,
+                        f64_res,
+                        "{} k={k} mode={mode:?}: f32-rescore diverged",
+                        dist.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_query_f32_rescore_bit_identical_all_classes() {
+    let coll = collection(1200, true);
+    for dist in distance_classes() {
+        for nq in [1usize, 16] {
+            let qs = queries(nq);
+            let refs: Vec<&[f64]> = qs.iter().map(Vec::as_slice).collect();
+            for k in [1usize, 10, 50] {
+                for mode in [ScanMode::Batched, ScanMode::Parallel] {
+                    let f64_res =
+                        MultiQueryScan::with_mode(&coll, mode).knn_multi(&refs, k, &*dist);
+                    let f32_res = MultiQueryScan::with_mode(&coll, mode)
+                        .with_precision(Precision::F32Rescore)
+                        .knn_multi(&refs, k, &*dist);
+                    assert_eq!(
+                        f32_res,
+                        f64_res,
+                        "{} Q={nq} k={k} mode={mode:?}: f32-rescore diverged",
+                        dist.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn per_query_metrics_f32_rescore_bit_identical() {
+    let coll = collection(1000, true);
+    let owned = distance_classes();
+    let qs = queries(owned.len());
+    let refs: Vec<&[f64]> = qs.iter().map(Vec::as_slice).collect();
+    let dists: Vec<&dyn Distance> = owned.iter().map(|d| &**d).collect();
+    for mode in [ScanMode::Batched, ScanMode::Parallel] {
+        let f64_res = MultiQueryScan::with_mode(&coll, mode).knn_per_query(&refs, &dists, 20);
+        let f32_res = MultiQueryScan::with_mode(&coll, mode)
+            .with_precision(Precision::F32Rescore)
+            .knn_per_query(&refs, &dists, 20);
+        assert_eq!(f32_res, f64_res, "mode={mode:?}");
+    }
+}
+
+#[test]
+fn f32_rescore_without_mirror_falls_back_to_f64() {
+    let coll = collection(400, false);
+    let qs = queries(2);
+    let refs: Vec<&[f64]> = qs.iter().map(Vec::as_slice).collect();
+    let w = WeightedEuclidean::new((0..DIM).map(|i| 0.5 + (i % 3) as f64).collect()).unwrap();
+    let f64_res = MultiQueryScan::with_mode(&coll, ScanMode::Batched).knn_multi(&refs, 9, &w);
+    let f32_res = MultiQueryScan::with_mode(&coll, ScanMode::Batched)
+        .with_precision(Precision::F32Rescore)
+        .knn_multi(&refs, 9, &w);
+    assert_eq!(f32_res, f64_res);
+}
+
+#[test]
+fn f32_rescore_unsupported_class_falls_back_to_f64() {
+    // Manhattan has no f32 kernel (no `f32_key_slack`): requesting
+    // F32Rescore must transparently serve the f64 answer.
+    let coll = collection(400, true);
+    let qs = queries(2);
+    let refs: Vec<&[f64]> = qs.iter().map(Vec::as_slice).collect();
+    let f64_res =
+        MultiQueryScan::with_mode(&coll, ScanMode::Batched).knn_multi(&refs, 5, &Manhattan);
+    let f32_res = MultiQueryScan::with_mode(&coll, ScanMode::Batched)
+        .with_precision(Precision::F32Rescore)
+        .knn_multi(&refs, 5, &Manhattan);
+    assert_eq!(f32_res, f64_res);
+}
+
+#[test]
+fn f32_rescore_scalar_mode_ignores_precision() {
+    let coll = collection(300, true);
+    let q = queries(1).pop().unwrap();
+    let f64_res = LinearScan::with_mode(&coll, ScanMode::Scalar).knn(&q, 7, &Euclidean);
+    let f32_res = LinearScan::with_mode(&coll, ScanMode::Scalar)
+        .with_precision(Precision::F32Rescore)
+        .knn(&q, 7, &Euclidean);
+    assert_eq!(f32_res, f64_res);
+}
+
+#[test]
+fn f32_rescore_edge_ks() {
+    let coll = collection(120, true);
+    let qs = queries(3);
+    let refs: Vec<&[f64]> = qs.iter().map(Vec::as_slice).collect();
+    let w = WeightedEuclidean::new((0..DIM).map(|i| 0.5 + (i % 3) as f64).collect()).unwrap();
+    let scan =
+        MultiQueryScan::with_mode(&coll, ScanMode::Batched).with_precision(Precision::F32Rescore);
+    // k = 0 returns empty; oversized k returns the whole collection.
+    for res in scan.knn_multi(&refs, 0, &w) {
+        assert!(res.is_empty());
+    }
+    let full = scan.knn_multi(&refs, 500, &w);
+    let expect = MultiQueryScan::with_mode(&coll, ScanMode::Batched).knn_multi(&refs, 500, &w);
+    assert_eq!(full, expect);
+    for res in &full {
+        assert_eq!(res.len(), 120);
+    }
+    // Empty collection with a mirror.
+    let empty = CollectionBuilder::new()
+        .with_dim(DIM)
+        .with_f32_mirror()
+        .build();
+    let scan = MultiQueryScan::new(&empty).with_precision(Precision::F32Rescore);
+    assert_eq!(scan.knn_multi(&refs, 3, &w), vec![Vec::new(); 3]);
+}
+
+/// Components ≳1e18 drive weighted keys toward `f32::MAX`, where an f32
+/// key can saturate to `+∞` while its f64 counterpart stays finite — no
+/// finite rounding slack is sound there. The classes must refuse f32
+/// scanning (`f32_key_slack` → `None`) so the scan transparently serves
+/// the exact f64 answer.
+#[test]
+fn f32_rescore_huge_magnitudes_fall_back_to_f64() {
+    let mut b = CollectionBuilder::new().with_f32_mirror();
+    let mut state = 0xD1B5_4A32_D192_ED03u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for _ in 0..300 {
+        let v: Vec<f64> = (0..DIM).map(|_| next() * 1e18).collect();
+        b.push_unlabelled(&v).unwrap();
+    }
+    let coll = b.build();
+    let q: Vec<f64> = (0..DIM).map(|i| (i as f64) * 1e16).collect();
+    for dist in distance_classes() {
+        assert!(
+            dist.f32_key_slack(DIM, coll.max_abs().unwrap()).is_none(),
+            "{}: slack must be refused near f32 overflow",
+            dist.name()
+        );
+        let f64_res = LinearScan::with_mode(&coll, ScanMode::Batched).knn(&q, 10, &*dist);
+        let f32_res = LinearScan::with_mode(&coll, ScanMode::Batched)
+            .with_precision(Precision::F32Rescore)
+            .knn(&q, 10, &*dist);
+        assert_eq!(f32_res, f64_res, "{}", dist.name());
+    }
+}
+
+/// Adversarial near-tie data: many rows at (almost) the same distance,
+/// differing by less than f32 resolution — exactly the regime where a
+/// naive f32 scan reorders neighbors, and where the inflated bound must
+/// keep every contender alive for the rescore.
+#[test]
+fn f32_rescore_survives_sub_f32_ties() {
+    let mut b = CollectionBuilder::new().with_f32_mirror();
+    for i in 0..512 {
+        // All rows at radius ~1 from the origin in the first coordinate,
+        // perturbed by ± a few f64 ulps-in-f32 (1e-9 ≪ f32 eps ≈ 1.2e-7).
+        let eps = ((i * 2654435761u64 as usize) % 1000) as f64 * 1e-9;
+        let mut v = vec![0.0; DIM];
+        v[0] = 1.0 + eps;
+        v[1] = (i % 7) as f64 * 1e-9;
+        b.push_unlabelled(&v).unwrap();
+    }
+    let coll = b.build();
+    let q = vec![0.0; DIM];
+    let w = WeightedEuclidean::new(vec![1.0; DIM]).unwrap();
+    for k in [1usize, 10, 50] {
+        let f64_res = LinearScan::with_mode(&coll, ScanMode::Batched).knn(&q, k, &w);
+        let f32_res = LinearScan::with_mode(&coll, ScanMode::Batched)
+            .with_precision(Precision::F32Rescore)
+            .knn(&q, k, &w);
+        assert_eq!(f32_res, f64_res, "k={k}: sub-f32 ties were reordered");
+    }
+}

@@ -1,0 +1,40 @@
+//! Ad-hoc kernel timing harness (ignored by default; run explicitly with
+//! `cargo test --release --test kernel_timing -- --ignored --nocapture`).
+
+use fbp_vecdb::{Distance, WeightedEuclidean};
+
+#[test]
+#[ignore]
+fn time_f32_vs_f64_kernels() {
+    const N: usize = 10_000;
+    const DIM: usize = 64;
+    let block: Vec<f64> = (0..N * DIM)
+        .map(|i| (i as f64 * 0.37).sin().abs())
+        .collect();
+    let block32: Vec<f32> = block.iter().map(|&v| v as f32).collect();
+    let q: Vec<f64> = (0..DIM).map(|i| (i as f64 * 0.7).cos().abs()).collect();
+    let q32: Vec<f32> = q.iter().map(|&v| v as f32).collect();
+    let w = WeightedEuclidean::new((0..DIM).map(|i| 0.3 + (i % 5) as f64).collect()).unwrap();
+    let mut out = vec![0.0f64; N];
+    let mut out32 = vec![0.0f32; N];
+    for _ in 0..3 {
+        let t0 = std::time::Instant::now();
+        for _ in 0..20 {
+            w.eval_key_batch(&q, &block, DIM, f64::INFINITY, &mut out);
+            std::hint::black_box(&out);
+        }
+        let f64_t = t0.elapsed().as_nanos() as f64 / 20.0;
+        let t0 = std::time::Instant::now();
+        for _ in 0..20 {
+            w.eval_key_batch_f32(&q32, &block32, DIM, f32::INFINITY, &mut out32);
+            std::hint::black_box(&out32);
+        }
+        let f32_t = t0.elapsed().as_nanos() as f64 / 20.0;
+        println!(
+            "f64 {:.0} us  f32 {:.0} us  ratio {:.2}",
+            f64_t / 1e3,
+            f32_t / 1e3,
+            f64_t / f32_t
+        );
+    }
+}

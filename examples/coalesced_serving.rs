@@ -6,25 +6,33 @@
 //! sessions in lock-step rounds, bundling their pending k-NN requests
 //! into one `MultiQueryScan` pass per round
 //! (`SharedBypass::knn_batch`) — the collection is streamed once per
-//! round instead of once per session.
+//! round instead of once per session. The f32-rescore row additionally
+//! streams the collection's f32 mirror as the phase-1 filter (half the
+//! bytes per pass) and rescores candidates in f64 — identical results,
+//! lower bandwidth.
 //!
 //! Run with: `cargo run --release --example coalesced_serving`
 
 use fbp_eval::sessions::{run_sessions, ServingMode, SessionsOptions};
 use fbp_imagegen::{DatasetConfig, SyntheticDataset};
-use fbp_vecdb::ScanMode;
+use fbp_vecdb::{Precision, ScanMode};
 
 fn main() {
     // Paper scale: ~10k vectors. Small collections fit in cache and mute
     // the coalescing win — the effect is about DRAM traffic.
     let cfg = DatasetConfig::paper();
     eprintln!("generating dataset...");
-    let ds = SyntheticDataset::generate(cfg);
+    let mut ds = SyntheticDataset::generate(cfg);
+    // Serving opts into the f32 mirror: +33% resident bytes, −50% bytes
+    // per scan pass, bit-identical answers.
+    ds.collection.ensure_f32_mirror();
     eprintln!(
-        "{} vectors × {}-d, {} labelled queries\n",
+        "{} vectors × {}-d, {} labelled queries, {:.1} MB (+{:.1} MB f32 mirror)\n",
         ds.collection.len(),
         ds.collection.dim(),
-        ds.labelled.len()
+        ds.labelled.len(),
+        (ds.collection.memory_bytes() - ds.collection.mirror_bytes()) as f64 / 1e6,
+        ds.collection.mirror_bytes() as f64 / 1e6,
     );
 
     let base = SessionsOptions {
@@ -38,9 +46,10 @@ fn main() {
         "{:<28} {:>9} {:>12} {:>13} {:>11} {:>10}",
         "serving mode", "searches", "scan passes", "searches/sec", "mean cycles", "precision"
     );
-    let report = |name: &str, serving: ServingMode| {
+    let report = |name: &str, serving: ServingMode, precision: Precision| {
         let opts = SessionsOptions {
             serving,
+            precision,
             ..base.clone()
         };
         let res = run_sessions(&ds, &opts);
@@ -58,10 +67,17 @@ fn main() {
     let independent = report(
         "independent (1 scan/query)",
         ServingMode::Independent(ScanMode::Batched),
+        Precision::F64,
     );
     let coalesced = report(
         "coalesced (multi-query)",
         ServingMode::Coalesced(ScanMode::Batched),
+        Precision::F64,
+    );
+    let coalesced_f32 = report(
+        "coalesced + f32 rescore",
+        ServingMode::Coalesced(ScanMode::Batched),
+        Precision::F32Rescore,
     );
 
     println!(
@@ -71,7 +87,18 @@ fn main() {
         coalesced.searches as f64 / coalesced.scan_passes as f64
     );
     println!(
-        "throughput {:.2}× the per-session baseline on this host.",
-        coalesced.searches_per_sec() / independent.searches_per_sec()
+        "throughput {:.2}× the per-session baseline on this host, {:.2}× with the f32 mirror.",
+        coalesced.searches_per_sec() / independent.searches_per_sec(),
+        coalesced_f32.searches_per_sec() / independent.searches_per_sec()
     );
+    // The two serving modes and both precisions execute the identical
+    // feedback transitions, so the learned outcomes must agree exactly.
+    assert_eq!(coalesced.per_session.len(), coalesced_f32.per_session.len());
+    for (a, b) in coalesced
+        .per_session
+        .iter()
+        .zip(coalesced_f32.per_session.iter())
+    {
+        assert_eq!(a, b, "f32 rescore changed a session outcome");
+    }
 }

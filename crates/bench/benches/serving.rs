@@ -1,0 +1,254 @@
+//! Serving throughput under think-time: the fbp-server's adaptive
+//! micro-batching vs a no-batching (`max_batch = 1`) configuration, on
+//! the acceptance workload (10k × 64-d weighted feedback sessions,
+//! k = 50, 32 closed-loop sessions, 5 ms think-time).
+//!
+//! This is the IDEBench-style evaluation the serving layer exists for:
+//! latency-bound interactive sessions, not isolated queries. Both
+//! configurations run the identical load (full feedback loops over
+//! loopback TCP, per-session learned metrics, f32-mirror scans); the
+//! only difference is whether the dispatcher may coalesce concurrent
+//! requests into one multi-query pass. Set `FBP_BENCH_JSON=path` to
+//! append the machine-readable record (the CI bench-smoke job writes
+//! `BENCH_pr.json`), `FBP_BENCH_FAST=1` for a shorter run.
+
+use fbp_bench::{is_fast, write_bench_json};
+use fbp_server::{run_loadgen, serve, LoadgenOptions, LoadgenReport, ServerConfig};
+use fbp_vecdb::{CategoryId, Collection, CollectionBuilder};
+use feedbackbypass::{BypassConfig, FeedbackBypass, FeedbackConfig, SharedBypass};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+const N: usize = 10_000;
+const DIM: usize = 64;
+const K: usize = 50;
+const CLUSTERS: usize = 20;
+const SESSIONS: usize = 32;
+const THINK: Duration = Duration::from_millis(5);
+
+/// Batching knobs, overridable for tuning sweeps
+/// (`FBP_SERVE_MAX_BATCH`, `FBP_SERVE_MAX_WAIT_US`).
+fn max_batch() -> usize {
+    env_usize("FBP_SERVE_MAX_BATCH", 16)
+}
+
+fn target_fill() -> usize {
+    env_usize("FBP_SERVE_TARGET_FILL", 4)
+}
+
+fn max_wait() -> Duration {
+    Duration::from_micros(env_usize("FBP_SERVE_MAX_WAIT_US", 700) as u64)
+}
+
+fn idle_gap() -> Duration {
+    Duration::from_micros(env_usize("FBP_SERVE_IDLE_GAP_US", 250) as u64)
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Clustered, labelled collection in `[0,1]^DIM` (cluster = category, so
+/// sessions have real relevance structure to learn), with the f32
+/// mirror the serving scans stream.
+fn collection(seed: u64) -> Collection {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CollectionBuilder::new().with_f32_mirror();
+    let cats: Vec<CategoryId> = (0..CLUSTERS)
+        .map(|c| b.category(&format!("cluster-{c}")))
+        .collect();
+    for _ in 0..N {
+        let center = rng.gen_range(0..CLUSTERS);
+        let v: Vec<f64> = (0..DIM)
+            .map(|d| {
+                let base = (((center * 31 + d * 7) % 97) as f64) / 97.0;
+                (base + rng.gen_range(-0.08..0.08)).clamp(0.0, 1.0)
+            })
+            .collect();
+        b.push(&v, cats[center]).unwrap();
+    }
+    b.build()
+}
+
+/// Whole-process CPU time (all threads — server and load-generator
+/// clients together) from `/proc/self/stat`, in microseconds. Serving
+/// here is single-box CPU-bound, so CPU-per-search is the metric that
+/// separates real batching wins from scheduler noise.
+fn process_cpu_us() -> u64 {
+    let stat = std::fs::read_to_string("/proc/self/stat").unwrap_or_default();
+    // Fields 14/15 (utime/stime, 1-indexed) follow the comm field, which
+    // is parenthesized and may contain spaces — skip past the ')'.
+    let after = stat.rsplit(')').next().unwrap_or("");
+    let fields: Vec<&str> = after.split_whitespace().collect();
+    let ticks: u64 = fields
+        .get(11..13)
+        .map(|f| f.iter().filter_map(|v| v.parse::<u64>().ok()).sum())
+        .unwrap_or(0);
+    // Linux USER_HZ is 100 on every supported target.
+    ticks * 10_000
+}
+
+fn run_config(
+    coll: &Arc<Collection>,
+    queries: &[Vec<f64>],
+    max_batch: usize,
+) -> (LoadgenReport, u64) {
+    // Fresh module per configuration: both runs do identical learning
+    // work starting from the same blank state.
+    let bypass = SharedBypass::new(
+        FeedbackBypass::for_unit_cube(DIM, BypassConfig::default()).expect("unit-cube module"),
+    );
+    let cfg = ServerConfig {
+        max_batch,
+        target_fill: target_fill().min(max_batch),
+        max_wait: max_wait(),
+        idle_gap: idle_gap(),
+        feedback: FeedbackConfig {
+            k: K,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let handle = serve("127.0.0.1:0", Arc::clone(coll), bypass, cfg).expect("bind loopback");
+    let addr = handle.local_addr();
+    let opts = LoadgenOptions {
+        sessions: SESSIONS,
+        queries_per_session: if is_fast() { 4 } else { 12 },
+        k: K as u32,
+        think_time: THINK,
+        max_rounds: 64,
+    };
+    let coll_ref = Arc::clone(coll);
+    let judge = move |qi: usize, ids: &[u32]| -> Vec<u32> {
+        // Pool query qi is collection row qi (pool = first rows).
+        let cat = coll_ref.label(qi);
+        ids.iter()
+            .copied()
+            .filter(|&id| coll_ref.label(id as usize) == cat)
+            .collect()
+    };
+    let cpu0 = process_cpu_us();
+    let report = run_loadgen(addr, queries, Some(&judge), &opts).expect("loadgen run");
+    let cpu = process_cpu_us() - cpu0;
+    handle.shutdown();
+    (report, cpu)
+}
+
+fn main() {
+    let coll = Arc::new(collection(71));
+    // Query pool: the collection's own labelled rows (in-domain for the
+    // unit-cube module, each with a well-defined relevant set).
+    let pool_size = SESSIONS * 12;
+    let queries: Vec<Vec<f64>> = (0..pool_size).map(|i| coll.vector(i).to_vec()).collect();
+
+    eprintln!(
+        "[bench] serving under think-time: {N} × {DIM}-d, k={K}, {SESSIONS} sessions, \
+         {THINK:?} think, max_wait {:?}, max_batch {}{}",
+        max_wait(),
+        max_batch(),
+        if is_fast() { " (fast)" } else { "" }
+    );
+
+    // Interleave the two configurations and keep each one's median-
+    // throughput repetition: the box is 1 vCPU and shared, so ratios
+    // from single back-to-back runs swing wildly.
+    let reps = if is_fast() {
+        1
+    } else {
+        env_usize("FBP_SERVE_REPS", 3)
+    };
+    let mut batched_runs: Vec<(LoadgenReport, u64)> = Vec::new();
+    let mut no_batch_runs: Vec<(LoadgenReport, u64)> = Vec::new();
+    for _ in 0..reps {
+        batched_runs.push(run_config(&coll, &queries, max_batch()));
+        no_batch_runs.push(run_config(&coll, &queries, 1));
+    }
+    let median = |runs: &mut Vec<(LoadgenReport, u64)>| -> (LoadgenReport, u64) {
+        runs.sort_by(|a, b| a.0.searches_per_sec().total_cmp(&b.0.searches_per_sec()));
+        runs.swap_remove(runs.len() / 2)
+    };
+    let (batched, batched_cpu) = median(&mut batched_runs);
+    let (no_batch, no_batch_cpu) = median(&mut no_batch_runs);
+
+    println!(
+        "serving loadgen, {N} × {DIM}-d weighted feedback sessions, k = {K}, \
+         {SESSIONS} sessions, {} ms think-time (median of {reps})",
+        THINK.as_millis()
+    );
+    println!(
+        "{:<26} {:>9} {:>13} {:>10} {:>10} {:>11} {:>8} {:>10}",
+        "config",
+        "searches",
+        "searches/sec",
+        "p50 µs",
+        "p99 µs",
+        "batch fill",
+        "passes",
+        "cpu µs/rq"
+    );
+    for (name, r, cpu) in [
+        ("no batching (max=1)", &no_batch, no_batch_cpu),
+        ("adaptive micro-batch", &batched, batched_cpu),
+    ] {
+        println!(
+            "{name:<26} {:>9} {:>13.0} {:>10.0} {:>10.0} {:>11.2} {:>8} {:>10.0}",
+            r.searches,
+            r.searches_per_sec(),
+            r.latency_p50_us,
+            r.latency_p99_us,
+            r.server.mean_batch_fill,
+            r.server.passes,
+            cpu as f64 / r.searches as f64,
+        );
+    }
+    let speedup = batched.searches_per_sec() / no_batch.searches_per_sec();
+    println!(
+        "micro-batching speedup: {speedup:.2}x searches/sec, mean batch fill {:.2} \
+         (acceptance: fill ≥ 4, speedup ≥ 1.5 on the build container)",
+        batched.server.mean_batch_fill
+    );
+
+    write_bench_json(&format!(
+        concat!(
+            "{{\"bench\":\"serving\",",
+            "\"workload\":{{\"n\":{},\"dim\":{},\"k\":{},\"sessions\":{},",
+            "\"think_ms\":{},\"max_wait_us\":{},\"idle_gap_us\":{},",
+            "\"target_fill\":{},\"max_batch\":{}}},",
+            "\"mode\":\"{}\",",
+            "\"batched\":{{\"searches_per_sec\":{:.1},\"latency_p50_us\":{:.1},",
+            "\"latency_p99_us\":{:.1},\"mean_batch_fill\":{:.2},\"passes\":{},",
+            "\"queue_wait_p50_us\":{:.1},\"queue_wait_p99_us\":{:.1},",
+            "\"cpu_us_per_search\":{:.1}}},",
+            "\"no_batch\":{{\"searches_per_sec\":{:.1},\"latency_p50_us\":{:.1},",
+            "\"latency_p99_us\":{:.1},\"cpu_us_per_search\":{:.1}}},",
+            "\"batching_speedup\":{:.3}}}\n"
+        ),
+        N,
+        DIM,
+        K,
+        SESSIONS,
+        THINK.as_millis(),
+        max_wait().as_micros(),
+        idle_gap().as_micros(),
+        target_fill(),
+        max_batch(),
+        if is_fast() { "fast" } else { "full" },
+        batched.searches_per_sec(),
+        batched.latency_p50_us,
+        batched.latency_p99_us,
+        batched.server.mean_batch_fill,
+        batched.server.passes,
+        batched.server.queue_wait_p50_us,
+        batched.server.queue_wait_p99_us,
+        batched_cpu as f64 / batched.searches as f64,
+        no_batch.searches_per_sec(),
+        no_batch.latency_p50_us,
+        no_batch.latency_p99_us,
+        no_batch_cpu as f64 / no_batch.searches as f64,
+        speedup,
+    ));
+}

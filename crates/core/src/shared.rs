@@ -21,7 +21,7 @@
 use crate::bypass::{FeedbackBypass, PredictedParams};
 use crate::{BypassError, Result};
 use fbp_simplex_tree::InsertOutcome;
-use fbp_vecdb::{Collection, Distance, MultiQueryScan, Neighbor, Precision, WeightedEuclidean};
+use fbp_vecdb::{Collection, MultiQueryScan, Neighbor, Precision, WeightedEuclidean};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -40,6 +40,13 @@ pub struct KnnRequest {
     /// multi-query scan answers mixed counts without widening anyone's
     /// k-best.
     pub k: Option<usize>,
+    /// Scan-precision pin for the pass serving this request; `None`
+    /// defers to [`SharedBypass::effective_precision`]'s fallback rule.
+    /// Pinned requests in one batch must agree (one pass streams one
+    /// buffer); results are identical either way — a pin only controls
+    /// bandwidth, e.g. `Some(Precision::F64)` to force the single-phase
+    /// scan on a mirrored collection.
+    pub precision: Option<Precision>,
 }
 
 impl KnnRequest {
@@ -50,6 +57,7 @@ impl KnnRequest {
             point,
             weights: vec![1.0; dim],
             k: None,
+            precision: None,
         }
     }
 
@@ -59,12 +67,19 @@ impl KnnRequest {
             point: p.point.clone(),
             weights: p.weights.clone(),
             k: None,
+            precision: None,
         }
     }
 
     /// Override the batch-wide `k` for this request.
     pub fn with_k(mut self, k: usize) -> Self {
         self.k = Some(k);
+        self
+    }
+
+    /// Pin the scan precision of the pass serving this request.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = Some(precision);
         self
     }
 }
@@ -107,12 +122,62 @@ impl SharedBypass {
         queries.iter().map(|q| guard.predict(q)).collect()
     }
 
+    /// The scan precision one coalesced pass will actually run at —
+    /// **the** fallback rule of the serving layer, in priority order:
+    ///
+    /// 1. A request carrying [`KnnRequest::precision`] pins the pass.
+    ///    All pinned requests in the batch must agree; mixing pins is a
+    ///    [`BypassError::BadQuery`] (one pass streams one buffer).
+    /// 2. A scan configured with [`Precision::F32Rescore`] keeps it.
+    /// 3. A scan left at the [`Precision::F64`] default is **upgraded**
+    ///    to `F32Rescore` when the collection carries its f32 mirror —
+    ///    the same rule [`Self::serving_scan`] applies. Results are
+    ///    identical in both precisions, so a caller who built the mirror
+    ///    but constructed the scan themselves no longer silently pays
+    ///    full-width streaming; forcing the single-phase f64 pass on a
+    ///    mirrored collection takes an explicit per-request pin.
+    ///
+    /// (`F32Rescore` without a mirror, or for a distance class without
+    /// f32 kernels, transparently degrades to the f64 path inside the
+    /// scan — requesting it is always safe.)
+    pub fn effective_precision(
+        scan: &MultiQueryScan<'_>,
+        requests: &[KnnRequest],
+    ) -> Result<Precision> {
+        let mut pinned: Option<Precision> = None;
+        for r in requests {
+            if let Some(p) = r.precision {
+                match pinned {
+                    Some(q) if q != p => {
+                        return Err(BypassError::BadQuery(
+                            "requests pin conflicting scan precisions for one pass".into(),
+                        ));
+                    }
+                    _ => pinned = Some(p),
+                }
+            }
+        }
+        Ok(match pinned {
+            Some(p) => p,
+            None => {
+                if scan.precision() == Precision::F64 && scan.collection().has_f32_mirror() {
+                    Precision::F32Rescore
+                } else {
+                    scan.precision()
+                }
+            }
+        })
+    }
+
     /// Serve the pending sessions' k-NN requests in **one** multi-query
     /// block pass over `scan`'s collection, returning each request's
     /// neighbors in request order (bit-identical to serving each request
     /// with its own single-query scan). `k` is the batch-wide default
     /// result count; a request carrying its own [`KnnRequest::k`]
     /// overrides it for that request only, still inside the same pass.
+    /// The pass precision follows [`Self::effective_precision`] — the
+    /// scan's configured precision is a floor, not a pin: a mirrored
+    /// collection is served `F32Rescore` unless a request pins `F64`.
     ///
     /// Requests whose weight vectors are all identical — typically every
     /// session's first iteration, before feedback diverges the metrics —
@@ -149,6 +214,7 @@ impl SharedBypass {
                 });
             }
         }
+        let scan = scan.with_precision(Self::effective_precision(scan, requests)?);
         let metrics: Vec<WeightedEuclidean> = requests
             .iter()
             .map(|r| {
@@ -164,8 +230,12 @@ impl SharedBypass {
         if shared_metric {
             Ok(scan.knn_multi_k(&points, &ks, &metrics[0]))
         } else {
-            let dists: Vec<&dyn Distance> = metrics.iter().map(|m| m as &dyn Distance).collect();
-            Ok(scan.knn_per_query_k(&points, &dists, &ks))
+            // Diverged metrics are all weighted-Euclidean by
+            // construction, so the pass rides the specialized
+            // per-query-weight multi kernels (one register-blocked
+            // kernel call per block instead of one per query) — results
+            // identical to the generic per-query path.
+            Ok(scan.knn_weighted_per_query_k(&points, &metrics, &ks))
         }
     }
 
@@ -315,11 +385,13 @@ mod tests {
                     point: vec![0.2, 0.4, 0.6],
                     weights: vec![3.0, 1.0, 0.5],
                     k: None,
+                    precision: None,
                 },
                 KnnRequest {
                     point: vec![0.8, 0.1, 0.3],
                     weights: vec![0.25, 2.0, 1.5],
                     k: None,
+                    precision: None,
                 },
             ];
             let batch = shared().knn_batch(&scan, &requests, 7).unwrap();
@@ -338,6 +410,7 @@ mod tests {
                 point: vec![0.1, 0.2, 0.3],
                 weights: vec![1.0, -1.0, 0.0],
                 k: None,
+                precision: None,
             }];
             assert!(shared().knn_batch(&scan, &requests, 5).is_err());
         }
@@ -358,6 +431,7 @@ mod tests {
                 point: vec![0.1, 0.2, 0.3],
                 weights: vec![1.0, 2.0],
                 k: None,
+                precision: None,
             }];
             assert!(matches!(
                 shared().knn_batch(&scan, &short_weights, 5),
@@ -394,11 +468,13 @@ mod tests {
                     point: vec![0.2, 0.4, 0.6],
                     weights: vec![3.0, 1.0, 0.5],
                     k: Some(1),
+                    precision: None,
                 },
                 KnnRequest {
                     point: vec![0.8, 0.1, 0.3],
                     weights: vec![0.25, 2.0, 1.5],
                     k: Some(50),
+                    precision: None,
                 },
             ];
             let batch = shared().knn_batch(&scan, &requests, 7).unwrap();
@@ -428,6 +504,7 @@ mod tests {
                     point: vec![0.8, 0.1, 0.3],
                     weights: vec![0.25, 2.0, 1.5],
                     k: Some(5),
+                    precision: None,
                 },
             ];
             // Without a mirror the serving scan is exactly the f64 scan.
@@ -440,6 +517,47 @@ mod tests {
             assert_eq!(scan.precision(), fbp_vecdb::Precision::F32Rescore);
             let served = shared().knn_batch(&scan, &requests, 10).unwrap();
             assert_eq!(served, baseline);
+        }
+
+        #[test]
+        fn effective_precision_fallback_rule() {
+            let mut coll = collection();
+            let reqs = vec![KnnRequest::uniform(vec![0.1, 0.5, 0.3])];
+            // No mirror, default scan → F64 (nothing to upgrade to).
+            {
+                let scan = MultiQueryScan::new(&coll);
+                assert_eq!(
+                    SharedBypass::effective_precision(&scan, &reqs).unwrap(),
+                    Precision::F64
+                );
+            }
+            coll.ensure_f32_mirror();
+            let scan = MultiQueryScan::new(&coll);
+            // Mirror + unpinned F64-default scan → upgraded to F32Rescore
+            // (the serving_scan rule, now applied by knn_batch itself).
+            assert_eq!(
+                SharedBypass::effective_precision(&scan, &reqs).unwrap(),
+                Precision::F32Rescore
+            );
+            // An explicit per-request pin beats the mirror upgrade.
+            let pinned =
+                vec![KnnRequest::uniform(vec![0.1, 0.5, 0.3]).with_precision(Precision::F64)];
+            assert_eq!(
+                SharedBypass::effective_precision(&scan, &pinned).unwrap(),
+                Precision::F64
+            );
+            // Conflicting pins cannot share one pass.
+            let mixed = vec![
+                KnnRequest::uniform(vec![0.1, 0.5, 0.3]).with_precision(Precision::F64),
+                KnnRequest::uniform(vec![0.4, 0.2, 0.8]).with_precision(Precision::F32Rescore),
+            ];
+            assert!(SharedBypass::effective_precision(&scan, &mixed).is_err());
+            assert!(shared().knn_batch(&scan, &mixed, 5).is_err());
+            // The upgraded pass answers bit-identically to the pinned
+            // f64 pass (precision is a bandwidth knob, not a result knob).
+            let upgraded = shared().knn_batch(&scan, &reqs, 10).unwrap();
+            let forced_f64 = shared().knn_batch(&scan, &pinned, 10).unwrap();
+            assert_eq!(upgraded, forced_f64);
         }
 
         #[test]

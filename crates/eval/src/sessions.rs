@@ -318,6 +318,11 @@ fn serve_coalesced(
                     point: aq.point.clone(),
                     weights,
                     k: None,
+                    // Pinned: this scenario *measures* precision modes
+                    // against each other, so the serving layer's
+                    // mirror-upgrade fallback must not override the
+                    // experiment's knob.
+                    precision: Some(scan.precision()),
                 }
             })
             .collect();

@@ -32,7 +32,7 @@ pub mod step;
 
 pub use loop_driver::{FeedbackConfig, FeedbackLoop, LoopResult, MovementStrategy};
 pub use movement::{optimal_point, rocchio};
-pub use oracle::{CategoryOracle, RelevanceOracle};
+pub use oracle::{CategoryOracle, RelevanceOracle, SetOracle};
 pub use reweight::{reweight, ReweightRule};
 pub use score::{Relevance, ScoredPoint};
 pub use step::{FeedbackStepper, StepOutcome};

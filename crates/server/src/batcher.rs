@@ -1,0 +1,310 @@
+//! The adaptive micro-batcher: a bounded request queue drained by one
+//! dispatcher thread into coalesced [`SharedBypass::knn_batch`] passes.
+//!
+//! Connection threads enqueue their sessions' pending k-NN requests
+//! (each carrying a completion that writes its reply) and go straight
+//! back to reading their sockets. The dispatcher sleeps until a
+//! request arrives, then collects more **only while the batch is below
+//! [`target_fill`](crate::ServerConfig::target_fill)**, and within that
+//! window dispatches early when
+//! [`max_wait`](crate::ServerConfig::max_wait) has elapsed since the
+//! **oldest** queued request or when no new request arrived for
+//! [`idle_gap`](crate::ServerConfig::idle_gap); at dispatch it drains up
+//! to [`max_batch`](crate::ServerConfig::max_batch) requests into one
+//! multi-query scan pass. Under light load a lone request pays at most
+//! one idle gap of extra latency; in the bursty think-time regime the
+//! gap cutoff dispatches the moment a burst ends; under saturation the
+//! batcher is work-conserving and the fill self-tunes to
+//! `arrival rate × pass time`. That is the adaptivity: batch fill
+//! tracks the offered concurrency with no tuning beyond the bounds.
+//!
+//! A dropped client (disconnect mid-request) merely makes its
+//! completion's socket write fail — ignored, so abandoned entries can
+//! never wedge the queue. On shutdown the queue stops accepting, the
+//! dispatcher drains what remains, and exits.
+
+use crate::metrics::Metrics;
+use fbp_vecdb::{Collection, MultiQueryScan, Neighbor, ScanMode};
+use feedbackbypass::{KnnRequest, SharedBypass};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Completion callback of one queued request: the dispatcher invokes it
+/// with the request's slice of the pass (or the pass error) and it
+/// finishes the reply — session bookkeeping, encoding, the socket write
+/// — right on the dispatcher thread. Keeping the reply off a parked
+/// connection thread saves a wake/context-switch per request on the
+/// latency path; the connection thread meanwhile just stays parked in
+/// its next read.
+pub(crate) type KnnCompletion = Box<dyn FnOnce(Result<Vec<Neighbor>, String>) + Send>;
+
+/// One queued k-NN request.
+pub(crate) struct PendingKnn {
+    /// The serving request (point, weights, per-request k).
+    pub req: KnnRequest,
+    /// Enqueue instant, for queue-wait accounting.
+    pub enqueued: Instant,
+    /// Reply completion (runs on the dispatcher thread).
+    pub reply: KnnCompletion,
+}
+
+/// Why an enqueue was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EnqueueError {
+    /// The bounded queue is at capacity.
+    Full,
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+struct Inner {
+    queue: VecDeque<PendingKnn>,
+    shutdown: bool,
+}
+
+/// Bounded queue + wakeup plumbing shared by connection threads and the
+/// dispatcher.
+pub(crate) struct Batcher {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    capacity: usize,
+    max_batch: usize,
+    target_fill: usize,
+    max_wait: Duration,
+    idle_gap: Duration,
+}
+
+impl Batcher {
+    pub(crate) fn new(
+        capacity: usize,
+        max_batch: usize,
+        target_fill: usize,
+        max_wait: Duration,
+        idle_gap: Duration,
+    ) -> Self {
+        let max_batch = max_batch.max(1);
+        Batcher {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+            max_batch,
+            target_fill: target_fill.clamp(1, max_batch),
+            max_wait,
+            idle_gap,
+        }
+    }
+
+    /// Enqueue one request; fails fast when full or shutting down.
+    pub(crate) fn enqueue(&self, pending: PendingKnn) -> Result<(), EnqueueError> {
+        let mut g = self.inner.lock().expect("batcher lock");
+        if g.shutdown {
+            return Err(EnqueueError::ShuttingDown);
+        }
+        if g.queue.len() >= self.capacity {
+            return Err(EnqueueError::Full);
+        }
+        g.queue.push_back(pending);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Stop accepting and wake the dispatcher so it can drain and exit.
+    pub(crate) fn shutdown(&self) {
+        self.inner.lock().expect("batcher lock").shutdown = true;
+        self.cv.notify_all();
+    }
+
+    /// Block until a batch is ready. Returns `None` once shut down
+    /// **and** drained.
+    ///
+    /// Collection policy, from the first queued request: wait for more
+    /// **only while the batch is below `target_fill`**, and within that,
+    /// dispatch as soon as one of
+    ///
+    /// * `max_wait` elapsed since the oldest queued request, or
+    /// * no new request arrived for `idle_gap` — think-time traffic is
+    ///   bursty (replies fan out together, sessions think together, the
+    ///   next requests land together), so a quiet gap means the burst is
+    ///   over and further waiting buys latency, not fill.
+    ///
+    /// At or above `target_fill` the batcher is work-conserving: it
+    /// drains up to `max_batch` immediately. Under saturation the fill
+    /// then self-tunes to `arrival rate × pass time` — requests that
+    /// landed during the previous pass ride the next one with no added
+    /// wait, which is exactly when waiting longer would buy only
+    /// latency.
+    pub(crate) fn next_batch(&self) -> Option<Vec<PendingKnn>> {
+        let mut g = self.inner.lock().expect("batcher lock");
+        // Park until the first request (or shutdown).
+        while g.queue.is_empty() {
+            if g.shutdown {
+                return None;
+            }
+            g = self.cv.wait(g).expect("batcher lock");
+        }
+        // Collect the burst. Shutdown cuts every wait short.
+        let deadline = g.queue.front().expect("non-empty").enqueued + self.max_wait;
+        'collect: while g.queue.len() < self.target_fill && !g.shutdown {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let gap_end = std::cmp::min(now + self.idle_gap, deadline);
+            let len_before = g.queue.len();
+            // Wait out one idle gap; a new arrival restarts the clock.
+            loop {
+                if g.queue.len() > len_before {
+                    continue 'collect;
+                }
+                if g.shutdown {
+                    break 'collect;
+                }
+                let Some(remaining) = gap_end
+                    .checked_duration_since(Instant::now())
+                    .filter(|d| !d.is_zero())
+                else {
+                    break 'collect; // gap (or deadline) ran out quiet
+                };
+                let (guard, _timeout) = self.cv.wait_timeout(g, remaining).expect("batcher lock");
+                g = guard;
+            }
+        }
+        let take = g.queue.len().min(self.max_batch);
+        Some(g.queue.drain(..take).collect())
+    }
+}
+
+/// The dispatcher loop: drain batches, serve each with one coalesced
+/// pass, route per-request results back. Runs until the batcher shuts
+/// down and empties.
+pub(crate) fn run_dispatcher(
+    batcher: Arc<Batcher>,
+    coll: Arc<Collection>,
+    bypass: SharedBypass,
+    scan_mode: ScanMode,
+    default_k: usize,
+    metrics: Arc<Metrics>,
+) {
+    let trace = std::env::var("FBP_SERVE_TRACE").is_ok();
+    let (mut t_scan, mut t_complete, mut t_idle, mut n_req) = (0u128, 0u128, 0u128, 0u64);
+    let mut last_done = Instant::now();
+    while let Some(batch) = batcher.next_batch() {
+        let dispatched = Instant::now();
+        t_idle += dispatched.duration_since(last_done).as_nanos();
+        let waits: Vec<Duration> = batch
+            .iter()
+            .map(|p| dispatched.saturating_duration_since(p.enqueued))
+            .collect();
+        // Split ownership instead of cloning: the pass takes the
+        // requests, the completions keep only their reply closures.
+        let (requests, completions): (Vec<KnnRequest>, Vec<KnnCompletion>) =
+            batch.into_iter().map(|p| (p.req, p.reply)).unzip();
+        // The scan is rebuilt per pass (it is a couple of words); the
+        // knn_batch precision rule upgrades it to the f32 mirror
+        // whenever the collection carries one.
+        let scan = MultiQueryScan::with_mode(&coll, scan_mode);
+        let res = bypass.knn_batch(&scan, &requests, default_k);
+        let scanned = Instant::now();
+        t_scan += scanned.duration_since(dispatched).as_nanos();
+        n_req += waits.len() as u64;
+        match res {
+            Ok(results) => {
+                metrics.record_pass(&waits);
+                for (reply, neighbors) in completions.into_iter().zip(results) {
+                    // A failed completion write is a disconnected
+                    // client; nothing to do, nothing left queued.
+                    reply(Ok(neighbors));
+                }
+                t_complete += scanned.elapsed().as_nanos();
+            }
+            Err(e) => {
+                // Requests are validated at enqueue, so a batch error is
+                // exceptional; report it to every requester rather than
+                // guessing which entry caused it.
+                let msg = e.to_string();
+                for reply in completions {
+                    reply(Err(msg.clone()));
+                }
+            }
+        }
+        last_done = Instant::now();
+    }
+    if trace && n_req > 0 {
+        eprintln!(
+            "[dispatcher] {} req: scan {:.0}us/req, complete {:.0}us/req, idle {:.1}ms total",
+            n_req,
+            t_scan as f64 / 1000.0 / n_req as f64,
+            t_complete as f64 / 1000.0 / n_req as f64,
+            t_idle as f64 / 1e6,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pending() -> PendingKnn {
+        PendingKnn {
+            req: KnnRequest::uniform(vec![0.0, 0.0]),
+            enqueued: Instant::now(),
+            reply: Box::new(|_| {}),
+        }
+    }
+
+    #[test]
+    fn batch_fills_to_max_batch_without_waiting() {
+        let b = Batcher::new(16, 4, 4, Duration::from_secs(10), Duration::from_secs(10));
+        for _ in 0..6 {
+            b.enqueue(pending()).unwrap();
+        }
+        // 6 queued, max_batch 4: first batch takes 4 immediately (no
+        // deadline wait), second takes the remaining 2 once the deadline
+        // logic sees a full-enough queue... the second call must not
+        // block for 10 s because the entries' deadline already matters.
+        let first = b.next_batch().unwrap();
+        assert_eq!(first.len(), 4);
+    }
+
+    #[test]
+    fn deadline_drains_partial_batch() {
+        let b = Batcher::new(
+            16,
+            64,
+            64,
+            Duration::from_millis(5),
+            Duration::from_millis(5),
+        );
+        b.enqueue(pending()).unwrap();
+        b.enqueue(pending()).unwrap();
+        let t0 = Instant::now();
+        let batch = b.next_batch().unwrap();
+        assert_eq!(batch.len(), 2);
+        assert!(
+            t0.elapsed() < Duration::from_millis(250),
+            "deadline overshot"
+        );
+    }
+
+    #[test]
+    fn capacity_bound_rejects() {
+        let b = Batcher::new(2, 4, 4, Duration::from_millis(1), Duration::from_millis(1));
+        b.enqueue(pending()).unwrap();
+        b.enqueue(pending()).unwrap();
+        assert_eq!(b.enqueue(pending()), Err(EnqueueError::Full));
+    }
+
+    #[test]
+    fn shutdown_drains_then_ends() {
+        let b = Batcher::new(16, 4, 4, Duration::from_secs(10), Duration::from_secs(10));
+        b.enqueue(pending()).unwrap();
+        b.shutdown();
+        assert_eq!(b.enqueue(pending()), Err(EnqueueError::ShuttingDown));
+        assert_eq!(b.next_batch().unwrap().len(), 1);
+        assert!(b.next_batch().is_none());
+    }
+}

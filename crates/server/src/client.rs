@@ -1,0 +1,210 @@
+//! Blocking client for the fbp-server protocol — the counterpart the
+//! load generator and the wire tests drive; also the reference for
+//! implementing the protocol in other languages.
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, FrameError, Request, Response, StatsSnapshot,
+    DEFAULT_MAX_FRAME_LEN, KNN_CONVERGED, KNN_DONE,
+};
+use fbp_vecdb::Neighbor;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (includes a server that hung up mid-frame).
+    Io(io::Error),
+    /// The server answered with a protocol error.
+    Server {
+        /// Error category.
+        code: ErrorCode,
+        /// Server-provided detail.
+        message: String,
+    },
+    /// The server's bytes did not decode, or the reply opcode did not
+    /// match the request.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "I/O: {e}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            FrameError::Oversized { .. } => ClientError::Protocol(e.to_string()),
+        }
+    }
+}
+
+/// One `Knn` round's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnReply {
+    /// Neighbors, ascending `(dist, index)`.
+    pub neighbors: Vec<Neighbor>,
+    /// The session's query finished on this round (parameters
+    /// committed); no feedback is expected.
+    pub done: bool,
+    /// It finished by converging (stable ranking) rather than by the
+    /// cycle cap.
+    pub converged: bool,
+    /// Feedback cycles the query has run.
+    pub cycles: u32,
+}
+
+/// A `Feedback` acknowledgment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeedbackReply {
+    /// The query finished (converged or nothing left to learn).
+    pub done: bool,
+    /// It finished by converging.
+    pub converged: bool,
+    /// Feedback cycles run so far.
+    pub cycles: u32,
+}
+
+/// Blocking connection to an fbp-server.
+pub struct Client {
+    reader: io::BufReader<TcpStream>,
+    writer: TcpStream,
+    max_frame_len: u32,
+}
+
+impl Client {
+    /// Connect (Nagle off — the protocol is request/response).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = io::BufReader::with_capacity(16 * 1024, writer.try_clone()?);
+        Ok(Client {
+            reader,
+            writer,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        })
+    }
+
+    fn recv(&mut self) -> Result<Response, ClientError> {
+        let payload = read_frame(&mut self.reader, self.max_frame_len, &mut || true)?
+            .ok_or_else(|| ClientError::Protocol("server closed before replying".into()))?;
+        Response::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// One request/response round trip.
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.writer, &req.encode())?;
+        let resp = self.recv()?;
+        if let Response::Error { code, message } = resp {
+            return Err(ClientError::Server { code, message });
+        }
+        Ok(resp)
+    }
+
+    /// Open a session; returns `(session id, collection dim)`.
+    pub fn open_session(&mut self) -> Result<(u64, u32), ClientError> {
+        match self.call(&Request::OpenSession)? {
+            Response::SessionOpened { session, dim } => Ok((session, dim)),
+            other => Err(unexpected("SessionOpened", &other)),
+        }
+    }
+
+    /// One k-NN round under the session's current learned parameters.
+    pub fn knn(&mut self, session: u64, k: u32, query: &[f64]) -> Result<KnnReply, ClientError> {
+        let req = Request::Knn {
+            session,
+            k,
+            query: query.to_vec(),
+        };
+        match self.call(&req)? {
+            Response::KnnResult {
+                flags,
+                cycles,
+                neighbors,
+            } => Ok(KnnReply {
+                neighbors,
+                done: flags & KNN_DONE != 0,
+                converged: flags & KNN_CONVERGED != 0,
+                cycles,
+            }),
+            other => Err(unexpected("KnnResult", &other)),
+        }
+    }
+
+    /// Judge the session's last un-judged round.
+    pub fn feedback(
+        &mut self,
+        session: u64,
+        relevant: &[u32],
+    ) -> Result<FeedbackReply, ClientError> {
+        self.send_feedback(session, relevant)?;
+        self.recv_feedback()
+    }
+
+    /// Fire the `Feedback` frame without waiting for its ack — the
+    /// pipelined half of [`Self::feedback`]. A closed-loop client can
+    /// overlap the ack's round trip with its own think-time: send the
+    /// judgment, think, then [`Self::recv_feedback`] the ack that
+    /// arrived meanwhile. Exactly one `recv_feedback` must follow each
+    /// `send_feedback` before any other request on this connection.
+    pub fn send_feedback(&mut self, session: u64, relevant: &[u32]) -> Result<(), ClientError> {
+        let req = Request::Feedback {
+            session,
+            relevant: relevant.to_vec(),
+        };
+        write_frame(&mut self.writer, &req.encode())?;
+        Ok(())
+    }
+
+    /// Collect the ack of a prior [`Self::send_feedback`].
+    pub fn recv_feedback(&mut self) -> Result<FeedbackReply, ClientError> {
+        match self.recv()? {
+            Response::FeedbackAck {
+                done,
+                converged,
+                cycles,
+            } => Ok(FeedbackReply {
+                done,
+                converged,
+                cycles,
+            }),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(unexpected("FeedbackAck", &other)),
+        }
+    }
+
+    /// Fetch the server's metrics snapshot.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.call(&Request::SnapshotStats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Drop a session.
+    pub fn close_session(&mut self, session: u64) -> Result<(), ClientError> {
+        match self.call(&Request::Close { session })? {
+            Response::Closed => Ok(()),
+            other => Err(unexpected("Closed", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted}, got {got:?}"))
+}

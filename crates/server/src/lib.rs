@@ -1,0 +1,93 @@
+//! # fbp-server
+//!
+//! Network serving subsystem for the FeedbackBypass stack: a threaded
+//! TCP front-end speaking a small length-prefixed binary protocol, with
+//! an **adaptive micro-batcher** at its core that coalesces concurrent
+//! sessions' k-NN requests into shared multi-query scan passes
+//! ([`SharedBypass::knn_batch`](feedbackbypass::SharedBypass::knn_batch)).
+//!
+//! ## Why a serving layer
+//!
+//! Interactive similarity retrieval is a many-user workload: sessions
+//! think for a few milliseconds between refinement rounds, and each
+//! round is one k-NN scan over the same collection. In-process, the
+//! coalesced scan path already answers Q concurrent requests for one
+//! streaming pass — but only a server can *create* that concurrency
+//! from independent clients. The micro-batcher queues incoming `Knn`
+//! requests for at most [`ServerConfig::max_wait`] (measured from the
+//! oldest queued request) or until [`ServerConfig::max_batch`]
+//! accumulate, then serves the whole batch with one pass: under light
+//! load a request pays at most `max_wait` of extra latency, under heavy
+//! load batches fill instantly — batch fill adapts to the offered
+//! concurrency with no other tuning.
+//!
+//! ## Protocol
+//!
+//! Frames are `u32` little-endian length + payload; the payload is an
+//! opcode byte plus a fixed-layout body (see [`protocol`] for the exact
+//! tables). Five requests drive the full interactive loop:
+//!
+//! * `OpenSession` → session id + collection dim;
+//! * `Knn { session, k, query }` → neighbors (+ done/converged flags) —
+//!   a fresh query anchors the session and starts from the shared
+//!   module's predicted parameters; repeats of the same anchor search
+//!   under the session's current learned parameters;
+//! * `Feedback { session, relevant ids }` → advances the session one
+//!   [`FeedbackStepper`](fbp_feedback::FeedbackStepper) transition (the
+//!   same code the in-process serving loop runs); converged parameters
+//!   are inserted into the shared module for future bypassing;
+//! * `SnapshotStats` → serving metrics (requests, passes, mean batch
+//!   fill, queue-wait percentiles);
+//! * `Close { session }` → drops the session.
+//!
+//! Malformed frames answer coded errors (and drop the connection only
+//! when the stream can no longer be trusted); a disconnected client's
+//! queued requests resolve harmlessly — the batcher cannot be wedged by
+//! a dead peer.
+//!
+//! Results over the wire are **bit-identical** to in-process serving:
+//! the batcher feeds the same `knn_batch` front-end, whose passes are
+//! pinned identical to per-session
+//! [`LinearScan`](fbp_vecdb::LinearScan)s — regardless of how requests
+//! happen to batch, and at whatever precision
+//! [`effective_precision`](feedbackbypass::SharedBypass::effective_precision)
+//! resolves (mirrored collections stream f32, rescore exact).
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use fbp_server::{serve, Client, ServerConfig};
+//! use fbp_vecdb::CollectionBuilder;
+//! use feedbackbypass::{BypassConfig, FeedbackBypass, SharedBypass};
+//! use std::sync::Arc;
+//!
+//! let mut b = CollectionBuilder::new().with_f32_mirror();
+//! b.push_unlabelled(&[0.1, 0.7, 0.2]).unwrap();
+//! let coll = Arc::new(b.build());
+//! let bypass = SharedBypass::new(
+//!     FeedbackBypass::for_histograms(3, BypassConfig::default()).unwrap(),
+//! );
+//! let handle = serve("127.0.0.1:0", coll, bypass, ServerConfig::default()).unwrap();
+//!
+//! let mut client = Client::connect(handle.local_addr()).unwrap();
+//! let (session, dim) = client.open_session().unwrap();
+//! assert_eq!(dim, 3);
+//! let reply = client.knn(session, 1, &[0.1, 0.7, 0.2]).unwrap();
+//! assert_eq!(reply.neighbors.len(), 1);
+//! handle.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+mod batcher;
+mod metrics;
+mod server;
+
+pub mod client;
+pub mod loadgen;
+pub mod protocol;
+
+pub use client::{Client, ClientError, FeedbackReply, KnnReply};
+pub use loadgen::{run_loadgen, LoadgenOptions, LoadgenReport, Relevance};
+pub use protocol::{ErrorCode, StatsSnapshot};
+pub use server::{serve, ServerConfig, ServerHandle};

@@ -1,0 +1,213 @@
+//! Closed-loop load generator: N concurrent sessions driving the full
+//! interactive feedback protocol over the wire with configurable
+//! think-time — the IDEBench-style workload (latency-bound exploratory
+//! sessions, not isolated queries) the micro-batcher exists to serve.
+//!
+//! Each session thread owns one connection and processes its share of
+//! the query pool: think, search, judge, repeat until the server reports
+//! the query done (or the round cap trips), then move to the next
+//! query. Latency is measured per `Knn` round trip; throughput is
+//! searches completed over the whole run's wall clock.
+
+use crate::client::{Client, ClientError};
+use crate::protocol::StatsSnapshot;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Client-side relevance judge: which of one round's result ids are
+/// relevant to the query (by index into the load generator's pool).
+/// `None` results skip feedback entirely (pure k-NN traffic).
+pub trait Relevance: Sync {
+    /// Relevant subset of `result_ids` for pool query `query_index`.
+    fn relevant(&self, query_index: usize, result_ids: &[u32]) -> Vec<u32>;
+}
+
+impl<F: Fn(usize, &[u32]) -> Vec<u32> + Sync> Relevance for F {
+    fn relevant(&self, query_index: usize, result_ids: &[u32]) -> Vec<u32> {
+        self(query_index, result_ids)
+    }
+}
+
+/// Load-generator knobs.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// Concurrent closed-loop sessions.
+    pub sessions: usize,
+    /// Queries each session processes (disjoint round-robin slices of
+    /// the pool; the pool must hold `sessions × queries_per_session`).
+    pub queries_per_session: usize,
+    /// Results per search.
+    pub k: u32,
+    /// Pause before every search round (user think-time).
+    pub think_time: Duration,
+    /// Client-side cap on rounds per query, a safety net over the
+    /// server's own cycle cap.
+    pub max_rounds: usize,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        LoadgenOptions {
+            sessions: 8,
+            queries_per_session: 10,
+            k: 50,
+            think_time: Duration::from_millis(5),
+            max_rounds: 64,
+        }
+    }
+}
+
+/// Aggregate outcome of one load-generator run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// `Knn` round trips completed.
+    pub searches: u64,
+    /// Pool queries fully processed.
+    pub queries: u64,
+    /// Queries the server reported converged.
+    pub converged: u64,
+    /// Wall clock of the whole run.
+    pub elapsed: Duration,
+    /// Median `Knn` round-trip latency, microseconds.
+    pub latency_p50_us: f64,
+    /// 99th-percentile `Knn` round-trip latency, microseconds.
+    pub latency_p99_us: f64,
+    /// Server metrics snapshot taken right after the run.
+    pub server: StatsSnapshot,
+}
+
+impl LoadgenReport {
+    /// Serving throughput over the run.
+    pub fn searches_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.searches as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Drive `opts.sessions` concurrent sessions against the server at
+/// `addr`, each working through its slice of `queries` (session `s`
+/// takes pool indices `s`, `s + S`, `s + 2S`, …).
+///
+/// # Panics
+///
+/// Panics when the pool is smaller than
+/// `sessions × queries_per_session`.
+pub fn run_loadgen(
+    addr: SocketAddr,
+    queries: &[Vec<f64>],
+    judge: Option<&dyn Relevance>,
+    opts: &LoadgenOptions,
+) -> Result<LoadgenReport, ClientError> {
+    let need = opts.sessions * opts.queries_per_session;
+    assert!(
+        need <= queries.len(),
+        "need {need} pool queries, have {}",
+        queries.len()
+    );
+    let t0 = Instant::now();
+    let per_session: Vec<Result<SessionTally, ClientError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.sessions)
+            .map(|s| scope.spawn(move || run_session(addr, s, queries, judge, opts)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen session thread panicked"))
+            .collect()
+    });
+    let elapsed = t0.elapsed();
+
+    let mut searches = 0u64;
+    let mut queries_done = 0u64;
+    let mut converged = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    for tally in per_session {
+        let tally = tally?;
+        searches += tally.searches;
+        queries_done += tally.queries;
+        converged += tally.converged;
+        latencies.extend(tally.latencies_ns);
+    }
+    latencies.sort_unstable();
+
+    let server = Client::connect(addr)?.stats()?;
+    Ok(LoadgenReport {
+        searches,
+        queries: queries_done,
+        converged,
+        elapsed,
+        latency_p50_us: crate::metrics::percentile_us(&latencies, 0.50),
+        latency_p99_us: crate::metrics::percentile_us(&latencies, 0.99),
+        server,
+    })
+}
+
+struct SessionTally {
+    searches: u64,
+    queries: u64,
+    converged: u64,
+    latencies_ns: Vec<u64>,
+}
+
+fn run_session(
+    addr: SocketAddr,
+    slot: usize,
+    queries: &[Vec<f64>],
+    judge: Option<&dyn Relevance>,
+    opts: &LoadgenOptions,
+) -> Result<SessionTally, ClientError> {
+    let mut client = Client::connect(addr)?;
+    let (session, _dim) = client.open_session()?;
+    let mut tally = SessionTally {
+        searches: 0,
+        queries: 0,
+        converged: 0,
+        latencies_ns: Vec::new(),
+    };
+    for qi in 0..opts.queries_per_session {
+        let pool_index = qi * opts.sessions + slot;
+        let query = &queries[pool_index];
+        // The judgment upload overlaps the think-time: send the feedback
+        // frame, think, then collect the ack that arrived meanwhile —
+        // so each round's critical path is think + the knn round trip,
+        // exactly the interactive pattern (the user reads results while
+        // the system absorbs the judgment).
+        let mut ack_outstanding = false;
+        for _round in 0..opts.max_rounds {
+            std::thread::sleep(opts.think_time);
+            if ack_outstanding {
+                ack_outstanding = false;
+                let ack = client.recv_feedback()?;
+                if ack.done {
+                    tally.converged += u64::from(ack.converged);
+                    break;
+                }
+            }
+            let t0 = Instant::now();
+            let reply = client.knn(session, opts.k, query)?;
+            tally.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+            tally.searches += 1;
+            if reply.done {
+                tally.converged += u64::from(reply.converged);
+                break;
+            }
+            let Some(judge) = judge else {
+                // Pure k-NN traffic: nothing to learn, move on.
+                break;
+            };
+            let ids: Vec<u32> = reply.neighbors.iter().map(|n| n.index).collect();
+            client.send_feedback(session, &judge.relevant(pool_index, &ids))?;
+            ack_outstanding = true;
+        }
+        if ack_outstanding {
+            // Round cap tripped with a judgment in flight.
+            let _ = client.recv_feedback()?;
+        }
+        tally.queries += 1;
+    }
+    client.close_session(session)?;
+    Ok(tally)
+}

@@ -1,0 +1,129 @@
+//! Serving metrics: cheap atomic counters on the hot path, a bounded
+//! wait-time ring for queue-delay percentiles, snapshots on demand.
+
+use crate::protocol::StatsSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Queue-wait samples retained for percentile estimation. A ring this
+/// size covers the last ~16k requests — recent enough to reflect the
+/// current load, small enough that a snapshot sort is trivial.
+const WAIT_RING: usize = 16 * 1024;
+
+/// Nearest-rank percentile of ascending-sorted nanosecond samples, in
+/// microseconds (0 when empty). One definition shared by the server's
+/// queue-wait stats and the load generator's latency stats, so the two
+/// sides of a report always mean the same thing by "p50"/"p99".
+pub(crate) fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+/// Shared metrics sink.
+pub(crate) struct Metrics {
+    /// Requests dispatched through the batcher.
+    requests: AtomicU64,
+    /// Coalesced passes issued.
+    passes: AtomicU64,
+    /// Protocol errors answered / connections dropped for framing.
+    protocol_errors: AtomicU64,
+    /// Ring of recent queue waits in nanoseconds.
+    waits: Mutex<WaitRing>,
+}
+
+struct WaitRing {
+    buf: Vec<u64>,
+    next: usize,
+}
+
+impl Metrics {
+    pub(crate) fn new() -> Self {
+        Metrics {
+            requests: AtomicU64::new(0),
+            passes: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            waits: Mutex::new(WaitRing {
+                buf: Vec::new(),
+                next: 0,
+            }),
+        }
+    }
+
+    /// Record one coalesced pass that served `waits.len()` requests,
+    /// with each request's enqueue→dispatch delay.
+    pub(crate) fn record_pass(&self, waits: &[Duration]) {
+        self.passes.fetch_add(1, Ordering::Relaxed);
+        self.requests
+            .fetch_add(waits.len() as u64, Ordering::Relaxed);
+        let mut ring = self.waits.lock().expect("metrics lock");
+        for w in waits {
+            let ns = w.as_nanos().min(u64::MAX as u128) as u64;
+            if ring.buf.len() < WAIT_RING {
+                ring.buf.push(ns);
+            } else {
+                let slot = ring.next;
+                ring.buf[slot] = ns;
+            }
+            ring.next = (ring.next + 1) % WAIT_RING;
+        }
+    }
+
+    /// Count one protocol error (answered or connection-fatal).
+    pub(crate) fn record_protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot everything; `sessions_open` comes from the registry.
+    pub(crate) fn snapshot(&self, sessions_open: u64) -> StatsSnapshot {
+        let requests = self.requests.load(Ordering::Relaxed);
+        let passes = self.passes.load(Ordering::Relaxed);
+        let mut waits = self.waits.lock().expect("metrics lock").buf.clone();
+        waits.sort_unstable();
+        StatsSnapshot {
+            requests,
+            passes,
+            mean_batch_fill: if passes > 0 {
+                requests as f64 / passes as f64
+            } else {
+                0.0
+            },
+            queue_wait_p50_us: percentile_us(&waits, 0.50),
+            queue_wait_p99_us: percentile_us(&waits, 0.99),
+            sessions_open,
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reports_fill_and_percentiles() {
+        let m = Metrics::new();
+        m.record_pass(&[Duration::from_micros(100); 3]);
+        m.record_pass(&[Duration::from_micros(900)]);
+        m.record_protocol_error();
+        let s = m.snapshot(2);
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.passes, 2);
+        assert!((s.mean_batch_fill - 2.0).abs() < 1e-12);
+        assert!((s.queue_wait_p50_us - 100.0).abs() < 1.0);
+        assert!((s.queue_wait_p99_us - 900.0).abs() < 1.0);
+        assert_eq!(s.sessions_open, 2);
+        assert_eq!(s.protocol_errors, 1);
+    }
+
+    #[test]
+    fn empty_metrics_snapshot_is_zeroed() {
+        let s = Metrics::new().snapshot(0);
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.mean_batch_fill, 0.0);
+        assert_eq!(s.queue_wait_p50_us, 0.0);
+    }
+}

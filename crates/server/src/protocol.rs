@@ -1,0 +1,711 @@
+//! Wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every message travels as one **frame**: a little-endian `u32` payload
+//! length followed by that many payload bytes. The first payload byte is
+//! the opcode, the rest is the fixed-layout body (all integers
+//! little-endian, all floats IEEE-754 `f64` little-endian bytes). The
+//! length prefix is the only framing — a reader can always resynchronize
+//! by closing the connection, and a writer can always emit a frame with
+//! one `write_all`.
+//!
+//! Request opcodes (client → server):
+//!
+//! | op     | message        | body                                          |
+//! |--------|----------------|-----------------------------------------------|
+//! | `0x01` | `OpenSession`  | —                                             |
+//! | `0x02` | `Knn`          | `u64 session`, `u32 k`, `u32 n`, `n × f64`    |
+//! | `0x03` | `Feedback`     | `u64 session`, `u32 n`, `n × u32` relevant ids|
+//! | `0x04` | `SnapshotStats`| —                                             |
+//! | `0x05` | `Close`        | `u64 session`                                 |
+//!
+//! Response opcodes (server → client):
+//!
+//! | op     | message         | body                                               |
+//! |--------|-----------------|----------------------------------------------------|
+//! | `0x81` | `SessionOpened` | `u64 session`, `u32 dim`                           |
+//! | `0x82` | `KnnResult`     | `u8 flags`, `u32 cycles`, `u32 n`, `n × (u32, f64)`|
+//! | `0x83` | `FeedbackAck`   | `u8 done`, `u8 converged`, `u32 cycles`            |
+//! | `0x84` | `Stats`         | see [`StatsSnapshot`]                              |
+//! | `0x85` | `Closed`        | —                                                  |
+//! | `0xEE` | `Error`         | `u8 code`, `u32 len`, UTF-8 message                |
+//!
+//! [`KnnResult`](Response::KnnResult) flags: bit 0 ([`KNN_DONE`]) — the
+//! session's current query finished on this round (stable ranking or the
+//! cycle cap) and its parameters were committed to the shared module;
+//! bit 1 ([`KNN_CONVERGED`]) — it finished by converging rather than by
+//! hitting the cap. A reply without `KNN_DONE` invites a `Feedback`
+//! frame judging these results.
+
+use fbp_vecdb::Neighbor;
+use std::io::{self, Read, Write};
+
+/// Largest frame either side accepts by default (1 MiB — a 16k-d f64
+/// query is ~128 KiB, so this is generous without letting a bad length
+/// prefix allocate gigabytes).
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// [`Response::KnnResult`] flag: the session's query finished.
+pub const KNN_DONE: u8 = 0b01;
+/// [`Response::KnnResult`] flag: it finished by converging.
+pub const KNN_CONVERGED: u8 = 0b10;
+
+/// Protocol error categories carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Malformed frame: empty payload, truncated body, trailing bytes,
+    /// or a length prefix exceeding the configured maximum.
+    BadFrame = 1,
+    /// First payload byte is not a known opcode.
+    UnknownOpcode = 2,
+    /// The session id is not (or no longer) registered.
+    UnknownSession = 3,
+    /// Query dimensionality disagrees with the served collection.
+    DimMismatch = 4,
+    /// Request is valid on the wire but not in the current session state
+    /// (e.g. `Feedback` before any `Knn` results).
+    BadRequest = 5,
+    /// The batch queue is full; retry after a pause.
+    Busy = 6,
+    /// Server-side failure (shutdown race, dispatcher gone).
+    Internal = 7,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => ErrorCode::BadFrame,
+            2 => ErrorCode::UnknownOpcode,
+            3 => ErrorCode::UnknownSession,
+            4 => ErrorCode::DimMismatch,
+            5 => ErrorCode::BadRequest,
+            6 => ErrorCode::Busy,
+            7 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::BadFrame => "bad-frame",
+            ErrorCode::UnknownOpcode => "unknown-opcode",
+            ErrorCode::UnknownSession => "unknown-session",
+            ErrorCode::DimMismatch => "dim-mismatch",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::Busy => "busy",
+            ErrorCode::Internal => "internal",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Register a new session; the reply carries its id and the served
+    /// collection's dimensionality.
+    OpenSession,
+    /// Search request: `k` nearest neighbors of `query` under the
+    /// session's current learned parameters.
+    Knn {
+        /// Session id from [`Response::SessionOpened`].
+        session: u64,
+        /// Result count.
+        k: u32,
+        /// Query point (must match the collection's dimensionality).
+        query: Vec<f64>,
+    },
+    /// Relevance judgment of the session's last un-judged `Knn` round.
+    Feedback {
+        /// Session id.
+        session: u64,
+        /// Result ids the user marked relevant.
+        relevant: Vec<u32>,
+    },
+    /// Request a [`StatsSnapshot`].
+    SnapshotStats,
+    /// Drop a session.
+    Close {
+        /// Session id.
+        session: u64,
+    },
+}
+
+/// One server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::OpenSession`].
+    SessionOpened {
+        /// Fresh session id.
+        session: u64,
+        /// Collection dimensionality every `Knn` query must match.
+        dim: u32,
+    },
+    /// Reply to [`Request::Knn`].
+    KnnResult {
+        /// [`KNN_DONE`] | [`KNN_CONVERGED`].
+        flags: u8,
+        /// Feedback cycles the session's current query has run.
+        cycles: u32,
+        /// Neighbors, ascending `(dist, index)`.
+        neighbors: Vec<Neighbor>,
+    },
+    /// Reply to [`Request::Feedback`].
+    FeedbackAck {
+        /// The query finished (converged or nothing left to learn).
+        done: bool,
+        /// It finished by converging.
+        converged: bool,
+        /// Feedback cycles run so far.
+        cycles: u32,
+    },
+    /// Reply to [`Request::SnapshotStats`].
+    Stats(StatsSnapshot),
+    /// Reply to [`Request::Close`].
+    Closed,
+    /// Any request can fail with a coded error instead of its reply.
+    Error {
+        /// Category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Serving metrics at one instant (the `0x84` body, fields in order).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StatsSnapshot {
+    /// k-NN requests dispatched through the micro-batcher.
+    pub requests: u64,
+    /// Coalesced scan passes issued.
+    pub passes: u64,
+    /// Mean requests per pass (`requests / passes`).
+    pub mean_batch_fill: f64,
+    /// Median queue wait (enqueue → pass dispatch), microseconds.
+    pub queue_wait_p50_us: f64,
+    /// 99th-percentile queue wait, microseconds.
+    pub queue_wait_p99_us: f64,
+    /// Sessions currently registered.
+    pub sessions_open: u64,
+    /// Protocol errors answered or connections dropped for framing.
+    pub protocol_errors: u64,
+}
+
+/// Decode failure for a well-framed payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodeError {
+    /// Empty payload (no opcode byte).
+    Empty,
+    /// Unknown opcode byte.
+    UnknownOpcode(u8),
+    /// Body shorter than its fixed layout requires.
+    Truncated,
+    /// Body longer than its layout (lengths must account for every byte).
+    TrailingBytes,
+    /// A length field disagrees with the remaining body size.
+    BadLength,
+    /// A string field is not UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Empty => write!(f, "empty frame payload"),
+            DecodeError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeError::Truncated => write!(f, "truncated message body"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after message body"),
+            DecodeError::BadLength => write!(f, "length field disagrees with body size"),
+            DecodeError::BadUtf8 => write!(f, "non-UTF-8 string field"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Byte-wise reader over one frame payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// `n` length-checked against the remaining bytes at `per` bytes per
+    /// element, so a forged count cannot drive a huge allocation.
+    fn counted(&mut self, per: usize) -> Result<usize, DecodeError> {
+        let n = self.u32()? as usize;
+        if n.checked_mul(per).ok_or(DecodeError::BadLength)? > self.buf.len() - self.pos {
+            return Err(DecodeError::BadLength);
+        }
+        Ok(n)
+    }
+
+    fn finish(&self) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes)
+        }
+    }
+}
+
+impl Request {
+    /// Serialize into a frame payload (opcode + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::OpenSession => out.push(0x01),
+            Request::Knn { session, k, query } => {
+                out.push(0x02);
+                out.extend_from_slice(&session.to_le_bytes());
+                out.extend_from_slice(&k.to_le_bytes());
+                out.extend_from_slice(&(query.len() as u32).to_le_bytes());
+                for v in query {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Request::Feedback { session, relevant } => {
+                out.push(0x03);
+                out.extend_from_slice(&session.to_le_bytes());
+                out.extend_from_slice(&(relevant.len() as u32).to_le_bytes());
+                for id in relevant {
+                    out.extend_from_slice(&id.to_le_bytes());
+                }
+            }
+            Request::SnapshotStats => out.push(0x04),
+            Request::Close { session } => {
+                out.push(0x05);
+                out.extend_from_slice(&session.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parse a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(payload);
+        let op = r.u8().map_err(|_| DecodeError::Empty)?;
+        let req = match op {
+            0x01 => Request::OpenSession,
+            0x02 => {
+                let session = r.u64()?;
+                let k = r.u32()?;
+                let n = r.counted(8)?;
+                let mut query = Vec::with_capacity(n);
+                for _ in 0..n {
+                    query.push(r.f64()?);
+                }
+                Request::Knn { session, k, query }
+            }
+            0x03 => {
+                let session = r.u64()?;
+                let n = r.counted(4)?;
+                let mut relevant = Vec::with_capacity(n);
+                for _ in 0..n {
+                    relevant.push(r.u32()?);
+                }
+                Request::Feedback { session, relevant }
+            }
+            0x04 => Request::SnapshotStats,
+            0x05 => Request::Close { session: r.u64()? },
+            op => return Err(DecodeError::UnknownOpcode(op)),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serialize into a frame payload (opcode + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::SessionOpened { session, dim } => {
+                out.push(0x81);
+                out.extend_from_slice(&session.to_le_bytes());
+                out.extend_from_slice(&dim.to_le_bytes());
+            }
+            Response::KnnResult {
+                flags,
+                cycles,
+                neighbors,
+            } => {
+                out.push(0x82);
+                out.push(*flags);
+                out.extend_from_slice(&cycles.to_le_bytes());
+                out.extend_from_slice(&(neighbors.len() as u32).to_le_bytes());
+                for n in neighbors {
+                    out.extend_from_slice(&n.index.to_le_bytes());
+                    out.extend_from_slice(&n.dist.to_le_bytes());
+                }
+            }
+            Response::FeedbackAck {
+                done,
+                converged,
+                cycles,
+            } => {
+                out.push(0x83);
+                out.push(u8::from(*done));
+                out.push(u8::from(*converged));
+                out.extend_from_slice(&cycles.to_le_bytes());
+            }
+            Response::Stats(s) => {
+                out.push(0x84);
+                out.extend_from_slice(&s.requests.to_le_bytes());
+                out.extend_from_slice(&s.passes.to_le_bytes());
+                out.extend_from_slice(&s.mean_batch_fill.to_le_bytes());
+                out.extend_from_slice(&s.queue_wait_p50_us.to_le_bytes());
+                out.extend_from_slice(&s.queue_wait_p99_us.to_le_bytes());
+                out.extend_from_slice(&s.sessions_open.to_le_bytes());
+                out.extend_from_slice(&s.protocol_errors.to_le_bytes());
+            }
+            Response::Closed => out.push(0x85),
+            Response::Error { code, message } => {
+                out.push(0xEE);
+                out.push(*code as u8);
+                out.extend_from_slice(&(message.len() as u32).to_le_bytes());
+                out.extend_from_slice(message.as_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parse a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(payload);
+        let op = r.u8().map_err(|_| DecodeError::Empty)?;
+        let resp = match op {
+            0x81 => Response::SessionOpened {
+                session: r.u64()?,
+                dim: r.u32()?,
+            },
+            0x82 => {
+                let flags = r.u8()?;
+                let cycles = r.u32()?;
+                let n = r.counted(12)?;
+                let mut neighbors = Vec::with_capacity(n);
+                for _ in 0..n {
+                    neighbors.push(Neighbor {
+                        index: r.u32()?,
+                        dist: r.f64()?,
+                    });
+                }
+                Response::KnnResult {
+                    flags,
+                    cycles,
+                    neighbors,
+                }
+            }
+            0x83 => Response::FeedbackAck {
+                done: r.u8()? != 0,
+                converged: r.u8()? != 0,
+                cycles: r.u32()?,
+            },
+            0x84 => Response::Stats(StatsSnapshot {
+                requests: r.u64()?,
+                passes: r.u64()?,
+                mean_batch_fill: r.f64()?,
+                queue_wait_p50_us: r.f64()?,
+                queue_wait_p99_us: r.f64()?,
+                sessions_open: r.u64()?,
+                protocol_errors: r.u64()?,
+            }),
+            0x85 => Response::Closed,
+            0xEE => {
+                let code = ErrorCode::from_u8(r.u8()?).ok_or(DecodeError::Truncated)?;
+                let n = r.counted(1)?;
+                let bytes = r.take(n)?;
+                let message = std::str::from_utf8(bytes)
+                    .map_err(|_| DecodeError::BadUtf8)?
+                    .to_owned();
+                Response::Error { code, message }
+            }
+            op => return Err(DecodeError::UnknownOpcode(op)),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Frame-layer read failure.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Transport failure (includes truncation: `UnexpectedEof` mid-frame).
+    Io(io::Error),
+    /// The length prefix exceeds the configured maximum.
+    Oversized {
+        /// Claimed payload length.
+        len: u32,
+        /// Accepted maximum.
+        max: u32,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O: {e}"),
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte maximum")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Write one frame (length prefix + payload) with a single `write_all`.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)
+}
+
+/// Read one frame payload. Returns `Ok(None)` on a clean end-of-stream
+/// (EOF before any byte of a frame) or when `keep_waiting` reports false
+/// while the reader is between frames (the server's shutdown poll; reads
+/// park in `read_timeout`-sized slices). EOF *inside* a frame is a
+/// truncation and surfaces as `FrameError::Io(UnexpectedEof)`.
+pub fn read_frame(
+    r: &mut impl Read,
+    max_len: u32,
+    keep_waiting: &mut dyn FnMut() -> bool,
+) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; 4];
+    if !read_exact_polling(r, &mut header, true, keep_waiting)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(header);
+    if len > max_len {
+        return Err(FrameError::Oversized { len, max: max_len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    if !read_exact_polling(r, &mut payload, false, keep_waiting)? {
+        // Shutdown raced a half-read frame; treat like truncation.
+        return Err(FrameError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "shutdown during frame body",
+        )));
+    }
+    Ok(Some(payload))
+}
+
+/// `read_exact` that tolerates read-timeout wakeups, consulting
+/// `keep_waiting` at each one. Returns `Ok(false)` on clean stop: EOF or
+/// `keep_waiting() == false` before the first byte (only when
+/// `clean_stop` — i.e. at a frame boundary).
+fn read_exact_polling(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    clean_stop: bool,
+    keep_waiting: &mut dyn FnMut() -> bool,
+) -> Result<bool, FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && clean_stop {
+                    return Ok(false);
+                }
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream closed mid-frame",
+                )));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if !keep_waiting() {
+                    if filled == 0 && clean_stop {
+                        return Ok(false);
+                    }
+                    return Err(FrameError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "shutdown mid-frame",
+                    )));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        assert_eq!(Request::decode(&req.encode()), Ok(req));
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        assert_eq!(Response::decode(&resp.encode()), Ok(resp));
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::OpenSession);
+        roundtrip_req(Request::Knn {
+            session: 7,
+            k: 50,
+            query: vec![0.25, -1.5, 3.75],
+        });
+        roundtrip_req(Request::Feedback {
+            session: 7,
+            relevant: vec![1, 5, 9],
+        });
+        roundtrip_req(Request::SnapshotStats);
+        roundtrip_req(Request::Close { session: 7 });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::SessionOpened {
+            session: 3,
+            dim: 64,
+        });
+        roundtrip_resp(Response::KnnResult {
+            flags: KNN_DONE | KNN_CONVERGED,
+            cycles: 4,
+            neighbors: vec![
+                Neighbor {
+                    index: 2,
+                    dist: 0.125,
+                },
+                Neighbor {
+                    index: 9,
+                    dist: 2.5,
+                },
+            ],
+        });
+        roundtrip_resp(Response::FeedbackAck {
+            done: true,
+            converged: false,
+            cycles: 20,
+        });
+        roundtrip_resp(Response::Stats(StatsSnapshot {
+            requests: 100,
+            passes: 12,
+            mean_batch_fill: 8.333,
+            queue_wait_p50_us: 450.0,
+            queue_wait_p99_us: 2100.5,
+            sessions_open: 32,
+            protocol_errors: 1,
+        }));
+        roundtrip_resp(Response::Closed);
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::DimMismatch,
+            message: "expected 64, got 3".into(),
+        });
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        assert_eq!(Request::decode(&[]), Err(DecodeError::Empty));
+        assert_eq!(
+            Request::decode(&[0x7F]),
+            Err(DecodeError::UnknownOpcode(0x7F))
+        );
+        // Truncated Knn body: the element count no longer fits the
+        // remaining bytes.
+        let mut knn = Request::Knn {
+            session: 1,
+            k: 5,
+            query: vec![1.0, 2.0],
+        }
+        .encode();
+        knn.truncate(knn.len() - 3);
+        assert_eq!(Request::decode(&knn), Err(DecodeError::BadLength));
+        // Truncated fixed-layout body.
+        let mut close = Request::Close { session: 9 }.encode();
+        close.truncate(close.len() - 2);
+        assert_eq!(Request::decode(&close), Err(DecodeError::Truncated));
+        // Trailing garbage.
+        let mut open = Request::OpenSession.encode();
+        open.push(0);
+        assert_eq!(Request::decode(&open), Err(DecodeError::TrailingBytes));
+        // Forged element count larger than the body.
+        let mut forged = vec![0x03];
+        forged.extend_from_slice(&1u64.to_le_bytes());
+        forged.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Request::decode(&forged), Err(DecodeError::BadLength));
+    }
+
+    #[test]
+    fn frames_roundtrip_and_enforce_max_len() {
+        let payload = Request::Knn {
+            session: 1,
+            k: 3,
+            query: vec![0.5; 16],
+        }
+        .encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        let mut rd = &wire[..];
+        let got = read_frame(&mut rd, DEFAULT_MAX_FRAME_LEN, &mut || true)
+            .unwrap()
+            .unwrap();
+        assert_eq!(got, payload);
+        // Clean EOF between frames.
+        assert!(read_frame(&mut rd, DEFAULT_MAX_FRAME_LEN, &mut || true)
+            .unwrap()
+            .is_none());
+        // Oversized prefix is refused before allocating.
+        let mut big = &(u32::MAX.to_le_bytes())[..];
+        match read_frame(&mut big, 1024, &mut || true) {
+            Err(FrameError::Oversized { len, max }) => {
+                assert_eq!(len, u32::MAX);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        // EOF mid-frame is a truncation error, not a clean close.
+        let mut cut = &wire[..wire.len() - 2];
+        assert!(matches!(
+            read_frame(&mut cut, DEFAULT_MAX_FRAME_LEN, &mut || true),
+            Err(FrameError::Io(_))
+        ));
+    }
+}

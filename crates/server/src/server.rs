@@ -1,0 +1,689 @@
+//! The TCP front-end: accept loop, per-connection threads, server-side
+//! session state, and the graceful-shutdown handle.
+//!
+//! Each connection gets one thread running a read→handle→reply loop.
+//! `Knn` requests park on the micro-batcher and wake with their slice of
+//! a coalesced pass; everything else is answered inline. Session state
+//! (current query anchor, learned parameters, last un-judged results)
+//! lives server-side in a registry keyed by session id, so the full
+//! interactive feedback loop runs over the wire with the same
+//! [`FeedbackStepper`] transition the in-process serving path executes.
+//! Sessions are **connection-scoped**: only the connection that opened a
+//! session may use or close it (ids are sequential, so they must not be
+//! capabilities), and they are dropped when it disconnects.
+
+use crate::batcher::{run_dispatcher, Batcher, EnqueueError, PendingKnn};
+use crate::metrics::Metrics;
+use crate::protocol::{
+    read_frame, write_frame, DecodeError, ErrorCode, FrameError, Request, Response, StatsSnapshot,
+    DEFAULT_MAX_FRAME_LEN, KNN_CONVERGED, KNN_DONE,
+};
+use fbp_feedback::{FeedbackConfig, FeedbackStepper, SetOracle, StepOutcome};
+use fbp_vecdb::{Collection, Neighbor, ResultList, ScanMode};
+use feedbackbypass::SharedBypass;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Most requests one coalesced pass serves. `1` disables batching
+    /// (every request runs its own pass — the baseline configuration the
+    /// serving bench compares against).
+    pub max_batch: usize,
+    /// Fill level at which the dispatcher stops waiting for more
+    /// arrivals and goes work-conserving (it still drains up to
+    /// [`ServerConfig::max_batch`] at dispatch). Below it, collection is
+    /// bounded by `max_wait` / `idle_gap`.
+    pub target_fill: usize,
+    /// Longest the dispatcher holds a batch open waiting for it to fill,
+    /// measured from the oldest queued request.
+    pub max_wait: Duration,
+    /// Arrival-burst cutoff: once no new request lands for this long,
+    /// the batch dispatches early (think-time traffic arrives in bursts;
+    /// a quiet gap means waiting further buys latency, not fill).
+    pub idle_gap: Duration,
+    /// Bounded queue depth; enqueues beyond it answer
+    /// [`ErrorCode::Busy`].
+    pub queue_capacity: usize,
+    /// Largest accepted frame payload.
+    pub max_frame_len: u32,
+    /// Scan execution mode for the coalesced passes. Precision follows
+    /// [`SharedBypass::effective_precision`]: mirrored collections are
+    /// served with the f32-rescore path automatically.
+    pub scan_mode: ScanMode,
+    /// Feedback transition configuration (`k` is per-request on the
+    /// wire; `max_cycles` caps each session's loop server-side).
+    pub feedback: FeedbackConfig,
+    /// Read-timeout slice connection threads park in between frames —
+    /// the shutdown-poll granularity, not a client-visible timeout.
+    pub read_timeout: Duration,
+    /// Write timeout on every reply. The dispatcher writes `Knn` replies
+    /// itself, so a peer that stops draining its socket could otherwise
+    /// stall every session behind one blocked `write`; on timeout the
+    /// reply fails, the offending connection is shut down, and serving
+    /// continues.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_batch: 16,
+            target_fill: 4,
+            max_wait: Duration::from_millis(2),
+            idle_gap: Duration::from_micros(300),
+            queue_capacity: 4096,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            scan_mode: ScanMode::Batched,
+            feedback: FeedbackConfig::default(),
+            read_timeout: Duration::from_millis(20),
+            write_timeout: Duration::from_secs(1),
+        }
+    }
+}
+
+/// One session's in-flight interactive query.
+struct ActiveQuery {
+    /// The anchor query point (the module insert key).
+    anchor: Vec<f64>,
+    /// Current search point.
+    point: Vec<f64>,
+    /// Current search weights.
+    weights: Vec<f64>,
+    /// Results of the previous round (set when feedback continued).
+    prev: Option<ResultList>,
+    /// Results of the last round, awaiting the client's judgment.
+    pending: Option<ResultList>,
+    /// Feedback cycles run.
+    cycles: usize,
+}
+
+/// Registry entry.
+struct Session {
+    /// The connection that opened the session. Session ids are
+    /// sequential (guessable), so every access is checked against the
+    /// owner — one client cannot close or judge another's session.
+    owner: u64,
+    active: Option<ActiveQuery>,
+}
+
+/// Everything the server threads share.
+struct Shared {
+    coll: Arc<Collection>,
+    bypass: SharedBypass,
+    cfg: ServerConfig,
+    batcher: Arc<Batcher>,
+    metrics: Arc<Metrics>,
+    sessions: Mutex<HashMap<u64, Session>>,
+    next_session: AtomicU64,
+    next_conn: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// Handle to a running server: address, live stats, graceful shutdown.
+///
+/// Dropping the handle shuts the server down (and joins every thread),
+/// so tests and examples cannot leak listeners; call
+/// [`ServerHandle::shutdown`] for the explicit form.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// In-process metrics snapshot (same numbers the wire
+    /// `SnapshotStats` reports).
+    pub fn stats(&self) -> StatsSnapshot {
+        let sessions = self.shared.sessions.lock().expect("sessions lock").len() as u64;
+        self.shared.metrics.snapshot(sessions)
+    }
+
+    /// Graceful shutdown: stop accepting, unpark every thread, drain the
+    /// batcher, join everything. Returns once the last thread exited.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.batcher.shutdown();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // After the accept thread exits no new connection threads are
+        // spawned; connection threads notice the flag within a
+        // read-timeout slice.
+        let conns: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.conns.lock().expect("conns lock"));
+        for h in conns {
+            let _ = h.join();
+        }
+        // The dispatcher goes last: it drains the remaining queue
+        // (best-effort completions to whatever sockets still live)
+        // before reporting end-of-work.
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() || self.dispatcher.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+/// Bind `addr` and start serving `coll` (searches) and `bypass`
+/// (predictions, learned-parameter inserts) with the given
+/// configuration. Returns once the listener is accepting.
+pub fn serve(
+    addr: impl ToSocketAddrs,
+    coll: Arc<Collection>,
+    bypass: SharedBypass,
+    cfg: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let batcher = Arc::new(Batcher::new(
+        cfg.queue_capacity,
+        cfg.max_batch,
+        cfg.target_fill,
+        cfg.max_wait,
+        cfg.idle_gap,
+    ));
+    let metrics = Arc::new(Metrics::new());
+    let shared = Arc::new(Shared {
+        coll: Arc::clone(&coll),
+        bypass: bypass.clone(),
+        cfg: cfg.clone(),
+        batcher: Arc::clone(&batcher),
+        metrics: Arc::clone(&metrics),
+        sessions: Mutex::new(HashMap::new()),
+        next_session: AtomicU64::new(1),
+        next_conn: AtomicU64::new(1),
+        shutdown: AtomicBool::new(false),
+    });
+
+    let dispatcher = std::thread::spawn({
+        let batcher = Arc::clone(&batcher);
+        let metrics = Arc::clone(&metrics);
+        let scan_mode = cfg.scan_mode;
+        let default_k = cfg.feedback.k;
+        move || run_dispatcher(batcher, coll, bypass, scan_mode, default_k, metrics)
+    });
+
+    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let accept = std::thread::spawn({
+        let shared = Arc::clone(&shared);
+        let conns = Arc::clone(&conns);
+        move || {
+            for stream in listener.incoming() {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let stream = match stream {
+                    Ok(s) => s,
+                    Err(_) => {
+                        // Persistent accept failures (EMFILE under fd
+                        // exhaustion) must not busy-spin the core.
+                        std::thread::sleep(Duration::from_millis(10));
+                        continue;
+                    }
+                };
+                let shared = Arc::clone(&shared);
+                let handle = std::thread::spawn(move || handle_connection(stream, &shared));
+                let mut conns = conns.lock().expect("conns lock");
+                // Reap finished connection threads as we go so a
+                // long-lived server doesn't accumulate one JoinHandle
+                // per connection ever accepted.
+                conns.retain(|h| !h.is_finished());
+                conns.push(handle);
+            }
+        }
+    });
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        dispatcher: Some(dispatcher),
+        conns,
+    })
+}
+
+/// Read→handle→reply loop for one connection. Frame-layer failures end
+/// the connection; well-framed protocol errors are answered and the
+/// connection lives on. Sessions this connection opened die with it.
+///
+/// The socket is split: this thread owns the read side; the write side
+/// sits behind a mutex shared with the dispatcher, which writes `Knn`
+/// replies directly from the pass (each reply frame is one `write_all`
+/// under the lock, so frames never interleave). A client must therefore
+/// keep at most one `Knn` in flight per connection before reading its
+/// reply — which a strict request/response client does by construction.
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    // Bounded reply writes: SO_SNDTIMEO is socket-wide, so the clone the
+    // dispatcher writes through inherits it — a peer that stops reading
+    // can stall a reply for at most this long before the write fails and
+    // the connection is shut down.
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    let writer: Arc<Mutex<TcpStream>> = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    // Buffered reads: header + body of a frame usually arrive together,
+    // so one syscall serves both.
+    let mut reader = io::BufReader::with_capacity(16 * 1024, stream);
+    let mut owned_sessions: Vec<u64> = Vec::new();
+    loop {
+        let mut keep_waiting = || !shared.shutdown.load(Ordering::SeqCst);
+        match read_frame(&mut reader, shared.cfg.max_frame_len, &mut keep_waiting) {
+            Ok(None) => break, // clean close or shutdown
+            Ok(Some(payload)) => {
+                let response = match Request::decode(&payload) {
+                    Ok(req) => handle_request(req, shared, &writer, conn_id, &mut owned_sessions),
+                    Err(e) => {
+                        // The length prefix framed this payload, so the
+                        // stream is still in sync: answer and continue.
+                        shared.metrics.record_protocol_error();
+                        let code = match e {
+                            DecodeError::UnknownOpcode(_) => ErrorCode::UnknownOpcode,
+                            _ => ErrorCode::BadFrame,
+                        };
+                        Some(Response::Error {
+                            code,
+                            message: e.to_string(),
+                        })
+                    }
+                };
+                // `None` means a Knn was enqueued — the dispatcher's
+                // completion writes that reply.
+                if let Some(response) = response {
+                    if write_response(&writer, &response).is_err() {
+                        break; // client gone mid-reply
+                    }
+                }
+            }
+            Err(FrameError::Oversized { len, max }) => {
+                // The oversized body was never read, so the stream can't
+                // be resynchronized: report, then drop the connection.
+                shared.metrics.record_protocol_error();
+                let resp = Response::Error {
+                    code: ErrorCode::BadFrame,
+                    message: format!("frame of {len} bytes exceeds the {max}-byte maximum"),
+                };
+                let _ = write_response(&writer, &resp);
+                break;
+            }
+            Err(FrameError::Io(e)) => {
+                // Truncated frame / reset: nothing to answer.
+                if e.kind() == io::ErrorKind::UnexpectedEof {
+                    shared.metrics.record_protocol_error();
+                }
+                break;
+            }
+        }
+    }
+    if !owned_sessions.is_empty() {
+        let mut sessions = shared.sessions.lock().expect("sessions lock");
+        for id in owned_sessions {
+            sessions.remove(&id);
+        }
+    }
+}
+
+/// One reply frame under the connection's write lock.
+fn write_response(writer: &Mutex<TcpStream>, response: &Response) -> io::Result<()> {
+    let mut w = writer.lock().expect("writer lock");
+    write_frame(&mut *w, &response.encode())
+}
+
+fn err(code: ErrorCode, message: impl Into<String>) -> Response {
+    Response::Error {
+        code,
+        message: message.into(),
+    }
+}
+
+/// Look up a session for `conn_id`. Ownership mismatches report
+/// `UnknownSession` exactly like a missing id, so foreign connections
+/// cannot even probe which ids exist.
+fn owned_session(
+    sessions: &mut HashMap<u64, Session>,
+    session: u64,
+    conn_id: u64,
+) -> Option<&mut Session> {
+    sessions.get_mut(&session).filter(|s| s.owner == conn_id)
+}
+
+/// Serve one decoded request; `None` means the reply was deferred to the
+/// dispatcher (an enqueued `Knn`).
+fn handle_request(
+    req: Request,
+    shared: &Arc<Shared>,
+    writer: &Arc<Mutex<TcpStream>>,
+    conn_id: u64,
+    owned: &mut Vec<u64>,
+) -> Option<Response> {
+    match req {
+        Request::OpenSession => {
+            let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+            shared.sessions.lock().expect("sessions lock").insert(
+                id,
+                Session {
+                    owner: conn_id,
+                    active: None,
+                },
+            );
+            owned.push(id);
+            Some(Response::SessionOpened {
+                session: id,
+                dim: shared.coll.dim() as u32,
+            })
+        }
+        Request::Knn { session, k, query } => {
+            handle_knn(shared, writer, conn_id, session, k, query)
+        }
+        Request::Feedback { session, relevant } => {
+            Some(handle_feedback(shared, conn_id, session, relevant))
+        }
+        Request::SnapshotStats => {
+            let sessions = shared.sessions.lock().expect("sessions lock").len() as u64;
+            Some(Response::Stats(shared.metrics.snapshot(sessions)))
+        }
+        Request::Close { session } => {
+            let removed = {
+                let mut sessions = shared.sessions.lock().expect("sessions lock");
+                if owned_session(&mut sessions, session, conn_id).is_some() {
+                    sessions.remove(&session)
+                } else {
+                    None
+                }
+            };
+            owned.retain(|&id| id != session);
+            Some(match removed {
+                Some(_) => Response::Closed,
+                None => err(ErrorCode::UnknownSession, format!("session {session}")),
+            })
+        }
+    }
+}
+
+/// `Knn`: resolve the session's search parameters and enqueue the
+/// request with a completion that finishes the reply on the dispatcher
+/// thread (post-pass bookkeeping + the socket write). Returns `None`
+/// when the reply was deferred that way, `Some(error)` otherwise.
+fn handle_knn(
+    shared: &Arc<Shared>,
+    writer: &Arc<Mutex<TcpStream>>,
+    conn_id: u64,
+    session: u64,
+    k: u32,
+    query: Vec<f64>,
+) -> Option<Response> {
+    let dim = shared.coll.dim();
+    if query.len() != dim {
+        shared.metrics.record_protocol_error();
+        return Some(err(
+            ErrorCode::DimMismatch,
+            format!("expected {dim}, got {}", query.len()),
+        ));
+    }
+    // `k` can never exceed the collection, so clamp instead of letting a
+    // forged request size a gigantic k-best heap.
+    let k = (k as usize).min(shared.coll.len());
+
+    // Resolve parameters, keeping predict() off the registry lock (the
+    // simplex-tree lookup is the expensive part; a connection is serial,
+    // so nothing else can touch this session between the two critical
+    // sections).
+    let resolved: Option<(Vec<f64>, Vec<f64>)> = {
+        let mut sessions = shared.sessions.lock().expect("sessions lock");
+        let Some(sess) = owned_session(&mut sessions, session, conn_id) else {
+            drop(sessions);
+            shared.metrics.record_protocol_error();
+            return Some(err(ErrorCode::UnknownSession, format!("session {session}")));
+        };
+        match &sess.active {
+            Some(aq) if aq.anchor == query => Some((aq.point.clone(), aq.weights.clone())),
+            _ => None,
+        }
+    };
+    let (point, weights) = match resolved {
+        Some(params) => params,
+        None => {
+            // New anchor: ask the shared module for its learned starting
+            // parameters; out-of-domain queries search as-is under the
+            // uniform metric (the same fallback the in-process loop
+            // driver applies).
+            let (point, weights) = match shared.bypass.predict(&query) {
+                Ok(p) => (p.point, p.weights),
+                Err(_) => (query.clone(), vec![1.0; dim]),
+            };
+            let mut sessions = shared.sessions.lock().expect("sessions lock");
+            let Some(sess) = owned_session(&mut sessions, session, conn_id) else {
+                drop(sessions);
+                shared.metrics.record_protocol_error();
+                return Some(err(ErrorCode::UnknownSession, format!("session {session}")));
+            };
+            sess.active = Some(ActiveQuery {
+                anchor: query,
+                point: point.clone(),
+                weights: weights.clone(),
+                prev: None,
+                pending: None,
+                cycles: 0,
+            });
+            (point, weights)
+        }
+    };
+    // Degenerate predicted weights fall back to the uniform metric,
+    // exactly like the in-process serving loop — one bad prediction
+    // must not fail the whole pass.
+    let weights = if weights.iter().all(|w| w.is_finite() && *w > 0.0) {
+        weights
+    } else {
+        vec![1.0; dim]
+    };
+
+    let completion = {
+        let shared = Arc::clone(shared);
+        let writer = Arc::clone(writer);
+        Box::new(move |outcome: Result<Vec<Neighbor>, String>| {
+            let response = match outcome {
+                Ok(neighbors) => {
+                    let (flags, cycles) = finish_knn(&shared, session, &neighbors);
+                    Response::KnnResult {
+                        flags,
+                        cycles,
+                        neighbors,
+                    }
+                }
+                Err(msg) => err(ErrorCode::Internal, msg),
+            };
+            // A failed (or timed-out) write is a vanished or stalled
+            // client: shut the socket down so its connection thread's
+            // read errors out and reaps the sessions — the dispatcher
+            // must never be wedged by one bad peer.
+            if write_response(&writer, &response).is_err() {
+                let w = writer.lock().expect("writer lock");
+                let _ = w.shutdown(std::net::Shutdown::Both);
+            }
+        })
+    };
+    let pending = PendingKnn {
+        req: feedbackbypass::KnnRequest {
+            point,
+            weights,
+            k: Some(k),
+            precision: None,
+        },
+        enqueued: Instant::now(),
+        reply: completion,
+    };
+    match shared.batcher.enqueue(pending) {
+        Ok(()) => None,
+        // Backpressure is well-formed traffic, not a protocol error —
+        // it must not pollute the `protocol_errors` counter monitors
+        // watch.
+        Err(EnqueueError::Full) => Some(err(ErrorCode::Busy, "batch queue full")),
+        Err(EnqueueError::ShuttingDown) => Some(err(ErrorCode::Internal, "server shutting down")),
+    }
+}
+
+/// Post-pass session bookkeeping: ranking stability and the cycle cap
+/// end the query (committing its parameters); otherwise the results
+/// await the client's judgment. Identical transition structure to the
+/// in-process serving loop.
+fn finish_knn(shared: &Shared, session: u64, neighbors: &[Neighbor]) -> (u8, u32) {
+    let results = ResultList::new(neighbors.to_vec());
+    let mut flags = 0u8;
+    let mut cycles = 0u32;
+    let mut commit: Option<ActiveQuery> = None;
+    {
+        let mut sessions = shared.sessions.lock().expect("sessions lock");
+        // The session may have been closed while the request was in
+        // flight; results still go back, with no state to update.
+        if let Some(sess) = sessions.get_mut(&session) {
+            if let Some(aq) = sess.active.as_mut() {
+                let mut finished: Option<bool> = None;
+                if let Some(prev) = &aq.prev {
+                    aq.cycles += 1;
+                    if results.same_ranking(prev) {
+                        finished = Some(true);
+                    }
+                }
+                if finished.is_none() && aq.cycles >= shared.cfg.feedback.max_cycles {
+                    finished = Some(false);
+                }
+                cycles = aq.cycles as u32;
+                match finished {
+                    Some(converged) => {
+                        commit = sess.active.take();
+                        flags = KNN_DONE | if converged { KNN_CONVERGED } else { 0 };
+                    }
+                    None => aq.pending = Some(results),
+                }
+            }
+        }
+    }
+    // The module insert takes its own write lock; keep it off the
+    // registry lock so other sessions' handlers never queue behind it.
+    if let Some(aq) = commit {
+        commit_parameters(shared, &aq);
+    }
+    (flags, cycles)
+}
+
+/// `Feedback`: advance the session one feedback transition on its last
+/// un-judged results (the [`FeedbackStepper`] the in-process serving
+/// loop runs), committing the learned parameters on convergence. The
+/// stepper (reweight + movement over the judged results) and the module
+/// insert both run **off** the registry lock — a connection is serial,
+/// so nothing else mutates this session in between; only session
+/// removal can race, and that just discards the step's outcome.
+fn handle_feedback(shared: &Shared, conn_id: u64, session: u64, relevant: Vec<u32>) -> Response {
+    let (point, weights, results, cycles) = {
+        let mut sessions = shared.sessions.lock().expect("sessions lock");
+        let Some(sess) = owned_session(&mut sessions, session, conn_id) else {
+            drop(sessions);
+            shared.metrics.record_protocol_error();
+            return err(ErrorCode::UnknownSession, format!("session {session}"));
+        };
+        let Some(aq) = sess.active.as_mut() else {
+            drop(sessions);
+            shared.metrics.record_protocol_error();
+            return err(ErrorCode::BadRequest, "no active query to judge");
+        };
+        let Some(results) = aq.pending.take() else {
+            drop(sessions);
+            shared.metrics.record_protocol_error();
+            return err(
+                ErrorCode::BadRequest,
+                "no un-judged results (issue a Knn first)",
+            );
+        };
+        (
+            aq.point.clone(),
+            aq.weights.clone(),
+            results,
+            aq.cycles as u32,
+        )
+    };
+    let stepper = FeedbackStepper::new(&shared.coll, shared.cfg.feedback.clone());
+    let oracle = SetOracle::new(relevant);
+    let outcome = stepper.step(&point, &weights, &results, &oracle);
+
+    let mut sessions = shared.sessions.lock().expect("sessions lock");
+    let aq = owned_session(&mut sessions, session, conn_id).and_then(|s| s.active.as_mut());
+    match outcome {
+        Ok(StepOutcome::Continue {
+            point: new_point,
+            weights: new_weights,
+        }) => {
+            if let Some(aq) = aq {
+                aq.point = new_point;
+                aq.weights = new_weights;
+                aq.prev = Some(results);
+            }
+            Response::FeedbackAck {
+                done: false,
+                converged: false,
+                cycles,
+            }
+        }
+        Ok(StepOutcome::Converged) => {
+            let commit =
+                owned_session(&mut sessions, session, conn_id).and_then(|s| s.active.take());
+            drop(sessions);
+            if let Some(aq) = commit {
+                commit_parameters(shared, &aq);
+            }
+            Response::FeedbackAck {
+                done: true,
+                converged: true,
+                cycles,
+            }
+        }
+        Err(e) => {
+            // Put the results back so a corrected judgment can retry.
+            if let Some(aq) = aq {
+                aq.pending = Some(results);
+            }
+            drop(sessions);
+            shared.metrics.record_protocol_error();
+            err(ErrorCode::BadRequest, format!("feedback step: {e}"))
+        }
+    }
+}
+
+/// Store a finished query's learned parameters in the shared module —
+/// only when feedback actually ran (a bypassed query teaches nothing
+/// new), and best-effort: an out-of-domain anchor cannot be learned, but
+/// serving it was still correct.
+fn commit_parameters(shared: &Shared, aq: &ActiveQuery) {
+    if aq.cycles > 0 {
+        let _ = shared.bypass.insert(&aq.anchor, &aq.point, &aq.weights);
+    }
+}

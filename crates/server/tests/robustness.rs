@@ -1,0 +1,286 @@
+//! Protocol robustness: malformed frames, bad requests, and abrupt
+//! disconnects must surface as coded errors or dropped connections —
+//! never panics, never a wedged batcher, never a leaked session.
+
+use fbp_server::{serve, Client, ClientError, ErrorCode, ServerConfig};
+use fbp_vecdb::{Collection, CollectionBuilder};
+use feedbackbypass::{BypassConfig, FeedbackBypass, SharedBypass};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+const DIM: usize = 6;
+
+fn collection() -> Collection {
+    let mut b = CollectionBuilder::new().with_f32_mirror();
+    for i in 0..200 {
+        let v: Vec<f64> = (0..DIM)
+            .map(|d| (((i * 13 + d * 7) as f64) * 0.37).sin().abs())
+            .collect();
+        b.push_unlabelled(&v).unwrap();
+    }
+    b.build()
+}
+
+fn start_server(cfg: ServerConfig) -> fbp_server::ServerHandle {
+    let bypass =
+        SharedBypass::new(FeedbackBypass::for_histograms(DIM, BypassConfig::default()).unwrap());
+    serve("127.0.0.1:0", Arc::new(collection()), bypass, cfg).unwrap()
+}
+
+/// The server must keep serving fresh connections after this check ran.
+fn assert_still_serving(addr: SocketAddr) {
+    let mut client = Client::connect(addr).unwrap();
+    let (session, dim) = client.open_session().unwrap();
+    assert_eq!(dim as usize, DIM);
+    let reply = client.knn(session, 3, &[0.5; DIM]).unwrap();
+    assert_eq!(reply.neighbors.len(), 3);
+    client.close_session(session).unwrap();
+}
+
+fn expect_server_error<T: std::fmt::Debug>(
+    result: Result<T, ClientError>,
+    code: ErrorCode,
+) -> String {
+    match result {
+        Err(ClientError::Server { code: got, message }) => {
+            assert_eq!(got, code, "wrong error code: {message}");
+            message
+        }
+        other => panic!("expected server error {code:?}, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_frame_drops_connection_not_server() {
+    let handle = start_server(ServerConfig::default());
+    let addr = handle.local_addr();
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        // Claim 100 payload bytes, send 10, vanish.
+        raw.write_all(&100u32.to_le_bytes()).unwrap();
+        raw.write_all(&[0u8; 10]).unwrap();
+    } // dropped here — server sees EOF mid-frame
+    assert_still_serving(addr);
+    // The drop was counted.
+    let stats = handle.stats();
+    assert!(stats.protocol_errors >= 1);
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_frame_is_refused_then_connection_closed() {
+    let handle = start_server(ServerConfig {
+        max_frame_len: 1024,
+        ..Default::default()
+    });
+    let addr = handle.local_addr();
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(&(1u32 << 30).to_le_bytes()).unwrap();
+    // The server answers a BadFrame error, then hangs up (the unread
+    // body makes the stream unrecoverable).
+    let mut reply = Vec::new();
+    raw.read_to_end(&mut reply).unwrap();
+    assert!(!reply.is_empty(), "expected an error frame before close");
+    let payload = &reply[4..];
+    match fbp_server::protocol::Response::decode(payload).unwrap() {
+        fbp_server::protocol::Response::Error { code, .. } => {
+            assert_eq!(code, ErrorCode::BadFrame);
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+    assert_still_serving(addr);
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_opcode_is_answered_and_connection_survives() {
+    let handle = start_server(ServerConfig::default());
+    let addr = handle.local_addr();
+    let mut raw = TcpStream::connect(addr).unwrap();
+    // A well-framed payload with a bogus opcode…
+    raw.write_all(&1u32.to_le_bytes()).unwrap();
+    raw.write_all(&[0x7F]).unwrap();
+    let mut header = [0u8; 4];
+    raw.read_exact(&mut header).unwrap();
+    let mut payload = vec![0u8; u32::from_le_bytes(header) as usize];
+    raw.read_exact(&mut payload).unwrap();
+    match fbp_server::protocol::Response::decode(&payload).unwrap() {
+        fbp_server::protocol::Response::Error { code, .. } => {
+            assert_eq!(code, ErrorCode::UnknownOpcode);
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+    // …and the same connection still works (length framing stayed in
+    // sync).
+    let open = fbp_server::protocol::Request::OpenSession.encode();
+    raw.write_all(&(open.len() as u32).to_le_bytes()).unwrap();
+    raw.write_all(&open).unwrap();
+    raw.read_exact(&mut header).unwrap();
+    let mut payload = vec![0u8; u32::from_le_bytes(header) as usize];
+    raw.read_exact(&mut payload).unwrap();
+    assert!(matches!(
+        fbp_server::protocol::Response::decode(&payload).unwrap(),
+        fbp_server::protocol::Response::SessionOpened { .. }
+    ));
+    handle.shutdown();
+}
+
+#[test]
+fn wrong_dim_and_unknown_session_are_coded_errors() {
+    let handle = start_server(ServerConfig::default());
+    let addr = handle.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    let (session, _) = client.open_session().unwrap();
+
+    expect_server_error(client.knn(session, 3, &[0.5; 2]), ErrorCode::DimMismatch);
+    expect_server_error(
+        client.knn(0xDEAD_BEEF, 3, &[0.5; DIM]),
+        ErrorCode::UnknownSession,
+    );
+    expect_server_error(
+        client.feedback(0xDEAD_BEEF, &[1, 2]),
+        ErrorCode::UnknownSession,
+    );
+    // Feedback with nothing to judge is a BadRequest…
+    expect_server_error(client.feedback(session, &[1, 2]), ErrorCode::BadRequest);
+    // …and closing twice reports the second as unknown.
+    client.close_session(session).unwrap();
+    expect_server_error(
+        client.knn(session, 3, &[0.5; DIM]),
+        ErrorCode::UnknownSession,
+    );
+    // The connection survived every error above.
+    let (session2, _) = client.open_session().unwrap();
+    assert_eq!(
+        client
+            .knn(session2, 1, &[0.5; DIM])
+            .unwrap()
+            .neighbors
+            .len(),
+        1
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn sessions_are_connection_scoped() {
+    // Session ids are sequential, so a foreign connection could guess
+    // them — every access must be checked against the opening
+    // connection, and a mismatch must look exactly like a missing id.
+    let handle = start_server(ServerConfig::default());
+    let addr = handle.local_addr();
+    let mut owner = Client::connect(addr).unwrap();
+    let (session, _) = owner.open_session().unwrap();
+    let reply = owner.knn(session, 3, &[0.5; DIM]).unwrap();
+    assert_eq!(reply.neighbors.len(), 3);
+
+    let mut intruder = Client::connect(addr).unwrap();
+    expect_server_error(
+        intruder.knn(session, 3, &[0.5; DIM]),
+        ErrorCode::UnknownSession,
+    );
+    expect_server_error(intruder.feedback(session, &[1]), ErrorCode::UnknownSession);
+    let closed = match intruder.close_session(session) {
+        Err(ClientError::Server {
+            code: ErrorCode::UnknownSession,
+            ..
+        }) => false,
+        other => panic!("expected UnknownSession on foreign close, got {other:?}"),
+    };
+    assert!(!closed);
+
+    // The rightful owner is unaffected by the intrusion attempts.
+    let reply = owner.knn(session, 5, &[0.4; DIM]).unwrap();
+    assert_eq!(reply.neighbors.len(), 5);
+    owner.close_session(session).unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn mid_request_disconnect_does_not_poison_the_batcher() {
+    // A long max_wait: the in-flight request is still queued when its
+    // client vanishes, so the dispatcher must hit the dead reply channel.
+    let handle = start_server(ServerConfig {
+        max_batch: 64,
+        max_wait: Duration::from_millis(100),
+        ..Default::default()
+    });
+    let addr = handle.local_addr();
+    for _ in 0..4 {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let open = fbp_server::protocol::Request::OpenSession.encode();
+        raw.write_all(&(open.len() as u32).to_le_bytes()).unwrap();
+        raw.write_all(&open).unwrap();
+        let mut header = [0u8; 4];
+        raw.read_exact(&mut header).unwrap();
+        let mut payload = vec![0u8; u32::from_le_bytes(header) as usize];
+        raw.read_exact(&mut payload).unwrap();
+        let session = match fbp_server::protocol::Response::decode(&payload).unwrap() {
+            fbp_server::protocol::Response::SessionOpened { session, .. } => session,
+            other => panic!("expected SessionOpened, got {other:?}"),
+        };
+        // Send a valid Knn, then vanish without reading the reply.
+        let knn = fbp_server::protocol::Request::Knn {
+            session,
+            k: 5,
+            query: vec![0.5; DIM],
+        }
+        .encode();
+        raw.write_all(&(knn.len() as u32).to_le_bytes()).unwrap();
+        raw.write_all(&knn).unwrap();
+        drop(raw);
+    }
+    // The batcher must still serve new traffic promptly afterwards.
+    assert_still_serving(addr);
+    handle.shutdown();
+}
+
+#[test]
+fn disconnect_drops_the_connections_sessions() {
+    let handle = start_server(ServerConfig::default());
+    let addr = handle.local_addr();
+    let session = {
+        let mut doomed = Client::connect(addr).unwrap();
+        let (session, _) = doomed.open_session().unwrap();
+        session
+    }; // connection dropped, session should follow
+    let mut client = Client::connect(addr).unwrap();
+    // The reaping happens when the connection thread notices the close;
+    // poll briefly.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        match client.knn(session, 1, &[0.5; DIM]) {
+            Err(ClientError::Server {
+                code: ErrorCode::UnknownSession,
+                ..
+            }) => break,
+            Ok(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            other => panic!("expected the session to be dropped, got {other:?}"),
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_with_live_connections_and_queued_work_is_clean() {
+    let handle = start_server(ServerConfig {
+        max_batch: 64,
+        max_wait: Duration::from_millis(50),
+        ..Default::default()
+    });
+    let addr = handle.local_addr();
+    // Leave idle connections open; shutdown must not hang on them.
+    let _idle1 = Client::connect(addr).unwrap();
+    let _idle2 = TcpStream::connect(addr).unwrap();
+    let t0 = std::time::Instant::now();
+    handle.shutdown();
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "shutdown took {:?}",
+        t0.elapsed()
+    );
+}

@@ -723,6 +723,66 @@ mod f32_intr {
         (sum0, sum1)
     }
 
+    /// Two rows × two queries of `Σ w·(q−r)²` in flight: four
+    /// independent FMA chains. The multi-query regime is compute-bound
+    /// and the two-chain row-pair kernel sits on FMA-latency, so the
+    /// register-blocked Q×row tile is what buys throughput: row loads
+    /// are shared across the queries, query/weight loads across the
+    /// rows, and the accumulator count doubles. Each (query, row) key
+    /// accumulates in the same per-chunk order as
+    /// [`weighted_row`]/[`weighted_row2`], so the key bits are identical
+    /// whichever kernel shape a scan picks.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn weighted_row2_q2(
+        w0: &[f32],
+        q0: &[f32],
+        w1: &[f32],
+        q1: &[f32],
+        r0: &[f32],
+        r1: &[f32],
+    ) -> (f32, f32, f32, f32) {
+        let dim = q0.len();
+        let chunks = dim / 8;
+        let mut acc00 = _mm256_setzero_ps();
+        let mut acc01 = _mm256_setzero_ps();
+        let mut acc10 = _mm256_setzero_ps();
+        let mut acc11 = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let o = c * 8;
+            let vr0 = _mm256_loadu_ps(r0.as_ptr().add(o));
+            let vr1 = _mm256_loadu_ps(r1.as_ptr().add(o));
+            let vq0 = _mm256_loadu_ps(q0.as_ptr().add(o));
+            let vw0 = _mm256_loadu_ps(w0.as_ptr().add(o));
+            let d00 = _mm256_sub_ps(vq0, vr0);
+            acc00 = _mm256_fmadd_ps(vw0, _mm256_mul_ps(d00, d00), acc00);
+            let d01 = _mm256_sub_ps(vq0, vr1);
+            acc01 = _mm256_fmadd_ps(vw0, _mm256_mul_ps(d01, d01), acc01);
+            let vq1 = _mm256_loadu_ps(q1.as_ptr().add(o));
+            let vw1 = _mm256_loadu_ps(w1.as_ptr().add(o));
+            let d10 = _mm256_sub_ps(vq1, vr0);
+            acc10 = _mm256_fmadd_ps(vw1, _mm256_mul_ps(d10, d10), acc10);
+            let d11 = _mm256_sub_ps(vq1, vr1);
+            acc11 = _mm256_fmadd_ps(vw1, _mm256_mul_ps(d11, d11), acc11);
+        }
+        let mut s00 = reduce(acc00);
+        let mut s01 = reduce(acc01);
+        let mut s10 = reduce(acc10);
+        let mut s11 = reduce(acc11);
+        for i in chunks * 8..dim {
+            let d00 = q0[i] - r0[i];
+            s00 = w0[i].mul_add(d00 * d00, s00);
+            let d01 = q0[i] - r1[i];
+            s01 = w0[i].mul_add(d01 * d01, s01);
+            let d10 = q1[i] - r0[i];
+            s10 = w1[i].mul_add(d10 * d10, s10);
+            let d11 = q1[i] - r1[i];
+            s11 = w1[i].mul_add(d11 * d11, s11);
+        }
+        (s00, s01, s10, s11)
+    }
+
     /// One row of `Σ (q−r)²`.
     #[inline]
     #[target_feature(enable = "avx2,fma")]
@@ -866,9 +926,30 @@ mod f32_intr {
         let mut pairs = block.chunks_exact(2 * dim);
         let mut r = 0;
         for pair in &mut pairs {
-            for (q, query) in queries.chunks_exact(dim).enumerate() {
+            let (r0, r1) = (&pair[..dim], &pair[dim..]);
+            // 2×2 register tile over query pairs (four FMA chains), the
+            // row-pair kernel for an odd trailing query.
+            let mut q = 0;
+            while q + 2 <= nq {
+                let w0 = &weights[q * w_stride..q * w_stride + dim];
+                let w1 = &weights[(q + 1) * w_stride..(q + 1) * w_stride + dim];
+                let (s00, s01, s10, s11) = weighted_row2_q2(
+                    w0,
+                    &queries[q * dim..(q + 1) * dim],
+                    w1,
+                    &queries[(q + 1) * dim..(q + 2) * dim],
+                    r0,
+                    r1,
+                );
+                out[q * rows + r] = s00;
+                out[q * rows + r + 1] = s01;
+                out[(q + 1) * rows + r] = s10;
+                out[(q + 1) * rows + r + 1] = s11;
+                q += 2;
+            }
+            if q < nq {
                 let w = &weights[q * w_stride..q * w_stride + dim];
-                let (a, b) = weighted_row2(w, query, &pair[..dim], &pair[dim..]);
+                let (a, b) = weighted_row2(w, &queries[q * dim..(q + 1) * dim], r0, r1);
                 out[q * rows + r] = a;
                 out[q * rows + r + 1] = b;
             }

@@ -58,6 +58,11 @@ impl WeightedEuclidean {
         &self.weights
     }
 
+    /// The cached f32 rounding of the weights (the mirror-scan layout).
+    pub(crate) fn weights_f32(&self) -> &[f32] {
+        &self.weights_f32
+    }
+
     /// Smallest weight (drives the Euclidean-index pruning bound).
     pub fn min_weight(&self) -> f64 {
         self.min_w

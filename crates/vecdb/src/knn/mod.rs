@@ -99,9 +99,13 @@ pub(crate) fn rescore_f64(
     if dim == 0 {
         return kb.into_sorted();
     }
-    let mut rows = vec![0.0f64; BLOCK_ROWS * dim];
+    // Right-sized gather buffer: candidate pools are usually ~k rows, so
+    // allocating (and page-touching) a full block's worth per call would
+    // cost more than the gather itself.
+    let chunk_rows = cands.len().clamp(1, BLOCK_ROWS);
+    let mut rows = vec![0.0f64; chunk_rows * dim];
     let mut keys = [0.0f64; BLOCK_ROWS];
-    for chunk in cands.chunks(BLOCK_ROWS) {
+    for chunk in cands.chunks(chunk_rows) {
         let n = chunk.len();
         for (slot, &i) in rows.chunks_exact_mut(dim).zip(chunk.iter()) {
             slot.copy_from_slice(coll.vector(i as usize));

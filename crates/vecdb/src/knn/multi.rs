@@ -48,7 +48,7 @@ use super::{
     BLOCK_ROWS, PARALLEL_CUTOFF,
 };
 use crate::collection::Collection;
-use crate::distance::Distance;
+use crate::distance::{kernels, Distance, WeightedEuclidean};
 
 /// One f32 phase-1 chunk pass: scan a row range, tracking per-query
 /// k-bests (f32 keys) and `(index, key32)` candidate pools.
@@ -356,6 +356,163 @@ impl<'a> MultiQueryScan<'a> {
         kbs.into_iter()
             .zip(dists.iter())
             .map(|(kb, d)| kb.into_sorted_with(|key| d.finish_key(key)))
+            .collect()
+    }
+
+    /// [`Self::knn_per_query_k`] specialized to **per-query
+    /// weighted-Euclidean metrics** — the serving shape after sessions'
+    /// learned weights diverge. Instead of one batch-kernel call per
+    /// (query, block), every block goes through the Q×row multi kernels
+    /// in their per-query-weight layout (`w_stride = dim`): one kernel
+    /// call scores the block against all queries with register-blocked
+    /// query/row tiles, which is what the compute-bound multi-query
+    /// regime wants. Results are bit-identical to
+    /// [`Self::knn_per_query_k`] with the same metrics (the per-
+    /// (query, row) key arithmetic is the same in every kernel shape),
+    /// and therefore to per-query [`LinearScan`](super::LinearScan)s.
+    pub fn knn_weighted_per_query_k(
+        &self,
+        queries: &[&[f64]],
+        metrics: &[WeightedEuclidean],
+        ks: &[usize],
+    ) -> Vec<Vec<Neighbor>> {
+        assert_eq!(queries.len(), metrics.len(), "one metric per query");
+        assert_eq!(queries.len(), ks.len(), "one k per query");
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        if self.coll.is_empty() {
+            return vec![Vec::new(); queries.len()];
+        }
+        let dim = self.coll.dim();
+        for q in queries {
+            assert_eq!(q.len(), dim, "query dimensionality mismatch");
+        }
+        for m in metrics {
+            assert_eq!(m.weights().len(), dim, "metric dimensionality mismatch");
+        }
+        let mode = self.effective_mode(queries.len());
+        if mode == ScanMode::Scalar {
+            // The scalar reference has no kernel layout to specialize.
+            let dists: Vec<&dyn Distance> = metrics.iter().map(|m| m as &dyn Distance).collect();
+            return self.knn_per_query_k(queries, &dists, ks);
+        }
+        // All-or-nothing f32 eligibility, exactly like the generic path.
+        let slacks: Option<Vec<f64>> = metrics.iter().map(|m| self.f32_slack(m, queries)).collect();
+        if let Some(slacks) = slacks {
+            let flat_q32 = flatten_f32(queries);
+            let flat_w32: Vec<f32> = metrics
+                .iter()
+                .flat_map(|m| m.weights_f32().to_vec())
+                .collect();
+            let nq = queries.len();
+            let scan_chunk =
+                |rows: std::ops::Range<usize>, kbs: &mut [KBest], cands: &mut [Vec<(u32, f32)>]| {
+                    let mut keys = vec![0.0f32; nq * BLOCK_ROWS];
+                    let mut bounds64 = vec![f64::INFINITY; nq];
+                    let mut bounds32 = vec![f32::INFINITY; nq];
+                    let mut start = rows.start;
+                    while start < rows.end {
+                        let end = (start + BLOCK_ROWS).min(rows.end);
+                        let n = end - start;
+                        let block = self
+                            .coll
+                            .block_f32(start, end)
+                            .expect("f32 path requires the mirror");
+                        for (q, ((b64, b32), kb)) in bounds64
+                            .iter_mut()
+                            .zip(bounds32.iter_mut())
+                            .zip(kbs.iter())
+                            .enumerate()
+                        {
+                            *b64 = if ks[q] == 0 {
+                                f64::NEG_INFINITY
+                            } else {
+                                kb.threshold() + 2.0 * slacks[q]
+                            };
+                            *b32 = f32_bound_up(*b64);
+                        }
+                        kernels::weighted_sq_multi_block_f32(
+                            &flat_w32,
+                            dim,
+                            &flat_q32,
+                            block,
+                            dim,
+                            &bounds32,
+                            &mut keys[..nq * n],
+                        );
+                        for (q, (kb, cand)) in kbs.iter_mut().zip(cands.iter_mut()).enumerate() {
+                            for (offset, &key) in keys[q * n..(q + 1) * n].iter().enumerate() {
+                                if (key as f64) <= bounds64[q] {
+                                    cand.push(((start + offset) as u32, key));
+                                    kb.push((start + offset) as u32, key as f64);
+                                }
+                            }
+                        }
+                        start = end;
+                    }
+                };
+            let cands = match mode {
+                ScanMode::Batched => {
+                    let mut kbs: Vec<KBest> = ks.iter().map(|&k| KBest::new(k)).collect();
+                    let mut cands: Vec<Vec<(u32, f32)>> = vec![Vec::new(); nq];
+                    scan_chunk(0..self.coll.len(), &mut kbs, &mut cands);
+                    filter_candidates(&kbs, &slacks, cands)
+                }
+                ScanMode::Parallel => self.parallel_candidates(ks, &slacks, &scan_chunk),
+                _ => unreachable!("f32 path only runs in kernel modes"),
+            };
+            return queries
+                .iter()
+                .zip(metrics.iter().zip(ks.iter()))
+                .zip(cands.iter())
+                .map(|((q, (m, &k)), c)| rescore_f64(self.coll, q, m, c, k))
+                .collect();
+        }
+        // Pure-f64 pass through the same multi-kernel layout.
+        let flat_q = flatten(queries);
+        let flat_w: Vec<f64> = metrics.iter().flat_map(|m| m.weights().to_vec()).collect();
+        let scan_chunk = |rows: std::ops::Range<usize>, kbs: &mut [KBest]| {
+            let nq = kbs.len();
+            let mut keys = vec![0.0f64; nq * BLOCK_ROWS];
+            let mut bounds = vec![f64::INFINITY; nq];
+            let mut start = rows.start;
+            while start < rows.end {
+                let end = (start + BLOCK_ROWS).min(rows.end);
+                let n = end - start;
+                let block = self.coll.block(start, end);
+                for (b, kb) in bounds.iter_mut().zip(kbs.iter()) {
+                    *b = kb.threshold();
+                }
+                kernels::weighted_sq_multi_block(
+                    &flat_w,
+                    dim,
+                    &flat_q,
+                    block,
+                    dim,
+                    &bounds,
+                    &mut keys[..nq * n],
+                );
+                for (q, kb) in kbs.iter_mut().enumerate() {
+                    for (offset, &key) in keys[q * n..(q + 1) * n].iter().enumerate() {
+                        kb.push((start + offset) as u32, key);
+                    }
+                }
+                start = end;
+            }
+        };
+        let kbs = match mode {
+            ScanMode::Batched => {
+                let mut kbs: Vec<KBest> = ks.iter().map(|&k| KBest::new(k)).collect();
+                scan_chunk(0..self.coll.len(), &mut kbs);
+                kbs
+            }
+            ScanMode::Parallel => self.parallel_merge(ks, &scan_chunk),
+            _ => unreachable!("scalar handled above"),
+        };
+        kbs.into_iter()
+            .zip(metrics.iter())
+            .map(|(kb, m)| kb.into_sorted_with(|key| m.finish_key(key)))
             .collect()
     }
 
@@ -867,6 +1024,50 @@ mod tests {
                 assert_eq!(res, &expect, "mode {mode:?} k={k}");
             }
         }
+    }
+
+    #[test]
+    fn weighted_per_query_matches_generic_and_linear() {
+        let c = pseudo_random_collection(900, 24);
+        let queries = sample_queries(5, 24);
+        let refs: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
+        let metrics: Vec<WeightedEuclidean> = (0..5)
+            .map(|q| {
+                WeightedEuclidean::new((0..24).map(|i| 0.3 + ((q + i) % 4) as f64).collect())
+                    .unwrap()
+            })
+            .collect();
+        let dists: Vec<&dyn Distance> = metrics.iter().map(|m| m as &dyn Distance).collect();
+        let ks = [1usize, 10, 50, 7, 3];
+        for mode in [ScanMode::Scalar, ScanMode::Batched, ScanMode::Parallel] {
+            let scan = MultiQueryScan::with_mode(&c, mode);
+            let specialized = scan.knn_weighted_per_query_k(&refs, &metrics, &ks);
+            let generic = scan.knn_per_query_k(&refs, &dists, &ks);
+            assert_eq!(specialized, generic, "mode {mode:?}");
+            for ((q, m), (res, &k)) in refs
+                .iter()
+                .zip(metrics.iter())
+                .zip(specialized.iter().zip(ks.iter()))
+            {
+                // Same-mode LinearScan: Scalar is the 1-ulp reference
+                // baseline, the kernel modes are bit-identical to each
+                // other.
+                let expect = LinearScan::with_mode(&c, mode).knn(q, k, m);
+                assert_eq!(res, &expect, "mode {mode:?} k={k}");
+            }
+        }
+        // Empty inputs and empty collections behave like the generic
+        // path.
+        let scan = MultiQueryScan::new(&c);
+        assert!(scan.knn_weighted_per_query_k(&[], &[], &[]).is_empty());
+        let empty = CollectionBuilder::new().build();
+        let scan = MultiQueryScan::new(&empty);
+        let q: &[f64] = &[];
+        let m = [WeightedEuclidean::uniform(0)];
+        assert_eq!(
+            scan.knn_weighted_per_query_k(&[q], &m[..1], &[3]),
+            vec![Vec::new()]
+        );
     }
 
     #[test]

@@ -31,10 +31,16 @@
 //! phase-1 filter over the collection's f32 mirror (half the scan bytes
 //! — the dominant cost on a bandwidth-bound host) and rescore the
 //! surviving candidates in f64, returning results identical to the pure
-//! f64 scan. Scalar mode deliberately ignores the knob — it *is* the
-//! reference the other paths are pinned against.
+//! f64 scan. This covers `range` queries too: phase 1 filters against
+//! the radius bound inflated by the class's rounding slack, phase 2
+//! re-applies the exact bound, so membership on the radius boundary is
+//! decided by the same f64 kernel keys as the single-phase scan. Scalar
+//! mode deliberately ignores the knob — it *is* the reference the other
+//! paths are pinned against.
 
-use super::{KBest, KnnEngine, Neighbor, Precision, SearchStats, BLOCK_ROWS, PARALLEL_CUTOFF};
+use super::{
+    f32_bound_up, KBest, KnnEngine, Neighbor, Precision, SearchStats, BLOCK_ROWS, PARALLEL_CUTOFF,
+};
 use crate::collection::Collection;
 use crate::distance::Distance;
 
@@ -191,6 +197,132 @@ impl<'a> LinearScan<'a> {
         multi.knn_multi(&[query], k, dist).pop().unwrap_or_default()
     }
 
+    /// The key-space rounding slack of an f32 phase-1 under `dist`, when
+    /// every precondition for a two-phase range scan holds: `F32Rescore`
+    /// requested, mirror present, class exposes an f32 kernel with a
+    /// finite bound for this data/query magnitude. (The k-NN paths get
+    /// the same answer from `MultiQueryScan`, which the scan delegates
+    /// to; `range` runs its own single-query pass, so it re-derives it.)
+    fn f32_slack(&self, dist: &dyn Distance, query: &[f64]) -> Option<f64> {
+        if self.precision != Precision::F32Rescore {
+            return None;
+        }
+        let m_coll = self.coll.max_abs()?; // None ⇔ no mirror
+        let m = query.iter().fold(m_coll, |m, &v| m.max(v.abs()));
+        let slack = dist.f32_key_slack(self.coll.dim(), m)?;
+        slack.is_finite().then_some(slack)
+    }
+
+    /// Two-phase range scan: phase 1 streams the f32 mirror collecting
+    /// every row whose f32 key lands under the radius bound inflated by
+    /// the class's rounding slack, phase 2 gather-rescores the candidates
+    /// with the exact f64 batch kernel and applies the *uninflated* key
+    /// bound — results (membership, indices, distances) identical to the
+    /// single-phase f64 pass.
+    ///
+    /// Why one `slack` suffices (vs the k-NN paths' `2·slack`): the range
+    /// bound `B = key_of_dist(radius)` is fixed, not a running threshold.
+    /// Every row obeys `|key32 − key64| ≤ Δ`, so a true member
+    /// (`key64 ≤ B`) always has `key32 ≤ B + Δ`; its monotone f32 prefix
+    /// sums never exceed its final `key32`, so the kernel cannot abandon
+    /// it and the filter admits it into the candidate pool.
+    fn range_f32_rescore(
+        &self,
+        query: &[f64],
+        radius: f64,
+        dist: &dyn Distance,
+        slack: f64,
+    ) -> Vec<Neighbor> {
+        let dim = self.coll.dim();
+        let bound = dist.key_of_dist(radius);
+        let inflated = bound + slack;
+        let inflated32 = f32_bound_up(inflated);
+        let q32: Vec<f32> = query.iter().map(|&v| v as f32).collect();
+
+        // A range result set is unbounded — once a large share of the
+        // collection passes the phase-1 filter, the gather-rescore costs
+        // more than the single-phase f64 scan would have, so bail to it.
+        // (The partial phase 1 is wasted, but it is at most half the f64
+        // pass's bytes.)
+        let candidate_cap = self.coll.len() / 4;
+
+        // Phase 1: f32 filter over the mirror.
+        let mut cands: Vec<u32> = Vec::new();
+        let mut keys32 = [0.0f32; BLOCK_ROWS];
+        let mut start = 0;
+        while start < self.coll.len() {
+            let end = (start + BLOCK_ROWS).min(self.coll.len());
+            let n = end - start;
+            let block = self
+                .coll
+                .block_f32(start, end)
+                .expect("f32 path requires the mirror");
+            dist.eval_key_batch_f32(&q32, block, dim, inflated32, &mut keys32[..n]);
+            for (offset, &key) in keys32[..n].iter().enumerate() {
+                if (key as f64) <= inflated {
+                    cands.push((start + offset) as u32);
+                }
+            }
+            if cands.len() > candidate_cap {
+                return self.range_f64_keyspace(query, radius, dist);
+            }
+            start = end;
+        }
+
+        // Phase 2: exact f64 rescore of the candidates, uninflated bound.
+        let mut out = Vec::new();
+        if dim == 0 {
+            return out;
+        }
+        let mut rows = vec![0.0f64; BLOCK_ROWS * dim];
+        let mut keys = [0.0f64; BLOCK_ROWS];
+        for chunk in cands.chunks(BLOCK_ROWS) {
+            let n = chunk.len();
+            for (slot, &i) in rows.chunks_exact_mut(dim).zip(chunk.iter()) {
+                slot.copy_from_slice(self.coll.vector(i as usize));
+            }
+            dist.eval_key_batch(query, &rows[..n * dim], dim, bound, &mut keys[..n]);
+            for (&i, &key) in chunk.iter().zip(keys.iter()) {
+                if key <= bound {
+                    out.push(Neighbor {
+                        index: i,
+                        dist: dist.finish_key(key),
+                    });
+                }
+            }
+        }
+        out.sort_unstable_by(Neighbor::total_cmp);
+        out
+    }
+
+    /// Single-phase key-space range scan over the f64 buffer:
+    /// `d ≤ r ⇔ key ≤ key_of_dist(r)`; abandoned rows come back `+∞`
+    /// and can never pass the bound.
+    fn range_f64_keyspace(&self, query: &[f64], radius: f64, dist: &dyn Distance) -> Vec<Neighbor> {
+        let dim = self.coll.dim();
+        let bound = dist.key_of_dist(radius);
+        let mut out = Vec::new();
+        let mut keys = [0.0f64; BLOCK_ROWS];
+        let mut start = 0;
+        while start < self.coll.len() {
+            let end = (start + BLOCK_ROWS).min(self.coll.len());
+            let n = end - start;
+            let block = self.coll.block(start, end);
+            dist.eval_key_batch(query, block, dim, bound, &mut keys[..n]);
+            for (offset, &key) in keys[..n].iter().enumerate() {
+                if key <= bound {
+                    out.push(Neighbor {
+                        index: (start + offset) as u32,
+                        dist: dist.finish_key(key),
+                    });
+                }
+            }
+            start = end;
+        }
+        out.sort_unstable_by(Neighbor::total_cmp);
+        out
+    }
+
     /// All-mode dispatch used by [`KnnEngine::knn_with_stats`].
     fn knn_dispatch(&self, query: &[f64], k: usize, dist: &dyn Distance) -> Vec<Neighbor> {
         match self.effective_mode() {
@@ -240,31 +372,13 @@ impl KnnEngine for LinearScan<'_> {
                     });
                 }
             }
+        } else if let Some(slack) = self.f32_slack(dist, query) {
+            // Two-phase mirror scan: f32 filter under the slack-inflated
+            // radius bound, exact f64 rescore of the candidates (bails
+            // back to the single-phase pass for bulky result sets).
+            return self.range_f32_rescore(query, radius, dist, slack);
         } else {
-            // Key-space filter: d ≤ r ⇔ key ≤ key_of_dist(r); abandoned
-            // rows come back +∞ and can never pass the bound. Range
-            // queries always read the f64 buffer: their result-set size
-            // is unbounded, so a phase-1 filter has no small candidate
-            // set to hand to a rescore.
-            let dim = self.coll.dim();
-            let bound = dist.key_of_dist(radius);
-            let mut keys = [0.0f64; BLOCK_ROWS];
-            let mut start = 0;
-            while start < self.coll.len() {
-                let end = (start + BLOCK_ROWS).min(self.coll.len());
-                let n = end - start;
-                let block = self.coll.block(start, end);
-                dist.eval_key_batch(query, block, dim, bound, &mut keys[..n]);
-                for (offset, &key) in keys[..n].iter().enumerate() {
-                    if key <= bound {
-                        out.push(Neighbor {
-                            index: (start + offset) as u32,
-                            dist: dist.finish_key(key),
-                        });
-                    }
-                }
-                start = end;
-            }
+            return self.range_f64_keyspace(query, radius, dist);
         }
         out.sort_unstable_by(Neighbor::total_cmp);
         out

@@ -5,11 +5,16 @@
 //! [`feedbackbypass`] and the `fbp-*` substrate crates; this crate simply
 //! re-exports them under one roof for convenience.
 
+//! For serving over the network, see [`server`] (`fbp-server`): a TCP
+//! front-end with adaptive micro-batching over the coalesced scan path —
+//! `examples/serve_loadgen.rs` drives it end to end.
+
 pub use fbp_eval as eval;
 pub use fbp_feedback as feedback;
 pub use fbp_geometry as geometry;
 pub use fbp_imagegen as imagegen;
 pub use fbp_linalg as linalg;
+pub use fbp_server as server;
 pub use fbp_simplex_tree as simplex_tree;
 pub use fbp_vecdb as vecdb;
 pub use fbp_wavelet as wavelet;

@@ -132,6 +132,101 @@ fn per_query_metrics_f32_rescore_bit_identical() {
 }
 
 #[test]
+fn range_f32_rescore_bit_identical_all_classes() {
+    let coll = collection(1500, true);
+    let qs = queries(3);
+    for dist in distance_classes() {
+        for q in &qs {
+            // Radii spanning empty → sparse → bulky result sets, derived
+            // from the actual neighbor distances so every class gets
+            // non-trivial membership (including one radius sitting
+            // exactly ON a neighbor distance — boundary membership must
+            // be decided identically by both precisions).
+            let nn = LinearScan::with_mode(&coll, ScanMode::Batched).knn(q, 50, &*dist);
+            let radii = [
+                nn[0].dist * 0.5,
+                nn[9].dist,
+                nn[49].dist * 1.1,
+                f64::INFINITY,
+            ];
+            for (ri, &radius) in radii.iter().enumerate() {
+                for mode in [ScanMode::Batched, ScanMode::Parallel] {
+                    let f64_res = LinearScan::with_mode(&coll, mode).range(q, radius, &*dist);
+                    let f32_res = LinearScan::with_mode(&coll, mode)
+                        .with_precision(Precision::F32Rescore)
+                        .range(q, radius, &*dist);
+                    assert_eq!(
+                        f32_res,
+                        f64_res,
+                        "{} radius#{ri} mode={mode:?}: f32-rescore range diverged",
+                        dist.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn range_f32_rescore_fallbacks_match_f64() {
+    // No mirror, unsupported class (Manhattan), and Scalar mode must all
+    // transparently serve the f64 range answer.
+    let unmirrored = collection(400, false);
+    let mirrored = collection(400, true);
+    let q = queries(1).pop().unwrap();
+    let w = WeightedEuclidean::new((0..DIM).map(|i| 0.5 + (i % 3) as f64).collect()).unwrap();
+    let radius = 1.5;
+    let expect = LinearScan::with_mode(&unmirrored, ScanMode::Batched).range(&q, radius, &w);
+    let no_mirror = LinearScan::with_mode(&unmirrored, ScanMode::Batched)
+        .with_precision(Precision::F32Rescore)
+        .range(&q, radius, &w);
+    assert_eq!(no_mirror, expect);
+    let manhattan_f64 =
+        LinearScan::with_mode(&mirrored, ScanMode::Batched).range(&q, radius, &Manhattan);
+    let manhattan_f32 = LinearScan::with_mode(&mirrored, ScanMode::Batched)
+        .with_precision(Precision::F32Rescore)
+        .range(&q, radius, &Manhattan);
+    assert_eq!(manhattan_f32, manhattan_f64);
+    let scalar = LinearScan::with_mode(&mirrored, ScanMode::Scalar)
+        .with_precision(Precision::F32Rescore)
+        .range(&q, radius, &w);
+    let scalar_f64 = LinearScan::with_mode(&mirrored, ScanMode::Scalar).range(&q, radius, &w);
+    assert_eq!(scalar, scalar_f64);
+}
+
+#[test]
+fn weighted_per_query_f32_rescore_bit_identical() {
+    let coll = collection(1100, true);
+    let qs = queries(5);
+    let refs: Vec<&[f64]> = qs.iter().map(Vec::as_slice).collect();
+    let metrics: Vec<WeightedEuclidean> = (0..5)
+        .map(|q| {
+            WeightedEuclidean::new((0..DIM).map(|i| 0.3 + ((q + i) % 5) as f64).collect()).unwrap()
+        })
+        .collect();
+    let ks = [1usize, 10, 50, 7, 25];
+    for mode in [ScanMode::Batched, ScanMode::Parallel] {
+        let f64_res =
+            MultiQueryScan::with_mode(&coll, mode).knn_weighted_per_query_k(&refs, &metrics, &ks);
+        let f32_res = MultiQueryScan::with_mode(&coll, mode)
+            .with_precision(Precision::F32Rescore)
+            .knn_weighted_per_query_k(&refs, &metrics, &ks);
+        assert_eq!(f32_res, f64_res, "mode {mode:?}");
+        for ((q, m), (res, &k)) in refs
+            .iter()
+            .zip(metrics.iter())
+            .zip(f32_res.iter().zip(ks.iter()))
+        {
+            let expect = LinearScan::with_mode(&coll, ScanMode::Batched).knn(q, k, m);
+            assert_eq!(
+                res, &expect,
+                "mode {mode:?} k={k}: diverged from LinearScan"
+            );
+        }
+    }
+}
+
+#[test]
 fn f32_rescore_without_mirror_falls_back_to_f64() {
     let coll = collection(400, false);
     let qs = queries(2);

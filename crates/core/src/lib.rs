@@ -26,7 +26,12 @@
 //! * [`shared`] — a thread-safe handle for concurrent retrieval sessions
 //!   sharing one learned mapping, plus the batched serving front-end
 //!   ([`SharedBypass::knn_batch`]) that coalesces pending sessions' k-NN
-//!   requests into one multi-query collection pass.
+//!   requests into one multi-query collection pass;
+//! * [`sharded`] — the same serving front-end over a sharded collection
+//!   ([`ShardedBypass`]): scatter each coalesced batch across per-shard
+//!   scan passes, gather the per-query k-bests in key space — results
+//!   bit-identical to the flat pass, throughput no longer capped by one
+//!   core's scan bandwidth.
 //!
 //! ## Quickstart
 //!
@@ -57,11 +62,13 @@
 pub mod bypass;
 pub mod reduction;
 pub mod session;
+pub mod sharded;
 pub mod shared;
 
 pub use bypass::{BypassConfig, FeedbackBypass, PredictedParams};
 pub use reduction::{PcaReducer, ReducedBypass};
 pub use session::{BypassSystem, QueryOutcome};
+pub use sharded::ShardedBypass;
 pub use shared::{KnnRequest, SharedBypass};
 
 // Re-export the substrate types users interact with.

@@ -84,6 +84,93 @@ impl KnnRequest {
     }
 }
 
+/// Validated, kernel-ready form of one request batch — the common
+/// front half of the flat ([`SharedBypass::knn_batch`]) and sharded
+/// ([`crate::ShardedBypass::knn_batch`]) serving paths.
+pub(crate) struct PreparedBatch {
+    /// One weighted-Euclidean metric per request.
+    pub metrics: Vec<WeightedEuclidean>,
+    /// Resolved per-request result counts (request `k` or the default).
+    pub ks: Vec<usize>,
+    /// True when every request shares one weight vector (the
+    /// shared-metric kernel fast path).
+    pub shared_metric: bool,
+}
+
+/// Validate a request batch against the served dimensionality and build
+/// its metrics: the scan layer asserts/indexes on dims and would panic
+/// instead of reporting a serving error, so everything is checked here
+/// first.
+pub(crate) fn prepare_requests(
+    dim: usize,
+    requests: &[&KnnRequest],
+    default_k: usize,
+) -> Result<PreparedBatch> {
+    for r in requests {
+        if r.point.len() != dim {
+            return Err(BypassError::DimMismatch {
+                expected: dim,
+                got: r.point.len(),
+            });
+        }
+        if r.weights.len() != dim {
+            return Err(BypassError::DimMismatch {
+                expected: dim,
+                got: r.weights.len(),
+            });
+        }
+    }
+    let metrics: Vec<WeightedEuclidean> = requests
+        .iter()
+        .map(|r| {
+            WeightedEuclidean::new(r.weights.clone())
+                .map_err(|e| BypassError::BadQuery(format!("request weights: {e}")))
+        })
+        .collect::<Result<_>>()?;
+    let ks: Vec<usize> = requests.iter().map(|r| r.k.unwrap_or(default_k)).collect();
+    let shared_metric = requests
+        .split_first()
+        .is_some_and(|(first, rest)| rest.iter().all(|r| r.weights == first.weights));
+    Ok(PreparedBatch {
+        metrics,
+        ks,
+        shared_metric,
+    })
+}
+
+/// The serving layer's one precision fallback rule, shared verbatim by
+/// the flat and sharded paths (see
+/// [`SharedBypass::effective_precision`] for the normative wording):
+/// agreeing pins win, `F32Rescore` sticks, an `F64`-default scan
+/// upgrades when the collection is mirrored.
+pub(crate) fn resolve_precision(
+    configured: Precision,
+    has_mirror: bool,
+    pins: impl IntoIterator<Item = Option<Precision>>,
+) -> Result<Precision> {
+    let mut pinned: Option<Precision> = None;
+    for pin in pins.into_iter().flatten() {
+        match pinned {
+            Some(q) if q != pin => {
+                return Err(BypassError::BadQuery(
+                    "requests pin conflicting scan precisions for one pass".into(),
+                ));
+            }
+            _ => pinned = Some(pin),
+        }
+    }
+    Ok(match pinned {
+        Some(p) => p,
+        None => {
+            if configured == Precision::F64 && has_mirror {
+                Precision::F32Rescore
+            } else {
+                configured
+            }
+        }
+    })
+}
+
 /// Cloneable, thread-safe handle to a shared [`FeedbackBypass`] module.
 #[derive(Clone)]
 pub struct SharedBypass {
@@ -144,29 +231,11 @@ impl SharedBypass {
         scan: &MultiQueryScan<'_>,
         requests: &[KnnRequest],
     ) -> Result<Precision> {
-        let mut pinned: Option<Precision> = None;
-        for r in requests {
-            if let Some(p) = r.precision {
-                match pinned {
-                    Some(q) if q != p => {
-                        return Err(BypassError::BadQuery(
-                            "requests pin conflicting scan precisions for one pass".into(),
-                        ));
-                    }
-                    _ => pinned = Some(p),
-                }
-            }
-        }
-        Ok(match pinned {
-            Some(p) => p,
-            None => {
-                if scan.precision() == Precision::F64 && scan.collection().has_f32_mirror() {
-                    Precision::F32Rescore
-                } else {
-                    scan.precision()
-                }
-            }
-        })
+        resolve_precision(
+            scan.precision(),
+            scan.collection().has_f32_mirror(),
+            requests.iter().map(|r| r.precision),
+        )
     }
 
     /// Serve the pending sessions' k-NN requests in **one** multi-query
@@ -198,44 +267,19 @@ impl SharedBypass {
         if coll.is_empty() {
             return Ok(vec![Vec::new(); requests.len()]);
         }
-        for r in requests {
-            // Validate up front: the scan layer asserts/indexes on these
-            // and would panic instead of reporting a serving error.
-            if r.point.len() != coll.dim() {
-                return Err(BypassError::DimMismatch {
-                    expected: coll.dim(),
-                    got: r.point.len(),
-                });
-            }
-            if r.weights.len() != coll.dim() {
-                return Err(BypassError::DimMismatch {
-                    expected: coll.dim(),
-                    got: r.weights.len(),
-                });
-            }
-        }
+        let refs: Vec<&KnnRequest> = requests.iter().collect();
+        let prep = prepare_requests(coll.dim(), &refs, k)?;
         let scan = scan.with_precision(Self::effective_precision(scan, requests)?);
-        let metrics: Vec<WeightedEuclidean> = requests
-            .iter()
-            .map(|r| {
-                WeightedEuclidean::new(r.weights.clone())
-                    .map_err(|e| BypassError::BadQuery(format!("request weights: {e}")))
-            })
-            .collect::<Result<_>>()?;
         let points: Vec<&[f64]> = requests.iter().map(|r| r.point.as_slice()).collect();
-        let ks: Vec<usize> = requests.iter().map(|r| r.k.unwrap_or(k)).collect();
-        let shared_metric = requests[1..]
-            .iter()
-            .all(|r| r.weights == requests[0].weights);
-        if shared_metric {
-            Ok(scan.knn_multi_k(&points, &ks, &metrics[0]))
+        if prep.shared_metric {
+            Ok(scan.knn_multi_k(&points, &prep.ks, &prep.metrics[0]))
         } else {
             // Diverged metrics are all weighted-Euclidean by
             // construction, so the pass rides the specialized
             // per-query-weight multi kernels (one register-blocked
             // kernel call per block instead of one per query) — results
             // identical to the generic per-query path.
-            Ok(scan.knn_weighted_per_query_k(&points, &metrics, &ks))
+            Ok(scan.knn_weighted_per_query_k(&points, &prep.metrics, &prep.ks))
         }
     }
 

@@ -38,22 +38,19 @@ pub fn run_cross_k(
     eval_queries: usize,
     base: &StreamOptions,
 ) -> CrossKResult {
-    // Train one module per k_train, in parallel. Each training thread's
-    // scan gets an explicit thread share so the nested parallel path
-    // cannot oversubscribe the host.
-    let mut modules: Vec<Option<FeedbackBypass>> = Vec::with_capacity(k_train.len());
-    modules.resize_with(k_train.len(), || None);
-    let budget = crate::scan_thread_budget(k_train.len());
-    crossbeam::thread::scope(|scope| {
-        for (slot, &k) in modules.iter_mut().zip(k_train.iter()) {
-            let opts = StreamOptions { k, ..base.clone() };
-            scope.spawn(move |_| {
-                let scan = LinearScan::new(&ds.collection).with_thread_budget(budget);
-                *slot = Some(run_stream(ds, &scan, &opts).bypass);
-            });
-        }
-    })
-    .expect("training threads");
+    // Train one module per k_train on the bounded round-robin worker
+    // pool (crate::sweep_round_robin): each worker's scan gets an
+    // explicit thread share so the nested parallel path cannot
+    // oversubscribe the host, and interleaved assignment keeps cores
+    // busy through the sweep tail.
+    let modules: Vec<FeedbackBypass> = crate::sweep_round_robin(k_train.len(), &|i, budget| {
+        let opts = StreamOptions {
+            k: k_train[i],
+            ..base.clone()
+        };
+        let scan = LinearScan::new(&ds.collection).with_thread_budget(budget);
+        run_stream(ds, &scan, &opts).bypass
+    });
 
     // Shared never-seen evaluation pool: the tail of the query order.
     let order = query_order(ds, base.seed);
@@ -71,7 +68,7 @@ pub fn run_cross_k(
     let scan = LinearScan::new(coll);
     let mut precision = Vec::with_capacity(k_train.len());
     let mut recall = Vec::with_capacity(k_train.len());
-    for module in modules.iter().map(|m| m.as_ref().expect("trained")) {
+    for module in modules.iter() {
         let mut row_p = Vec::with_capacity(k_eval.len());
         let mut row_r = Vec::with_capacity(k_eval.len());
         for &ke in k_eval {

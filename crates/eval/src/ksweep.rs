@@ -27,32 +27,27 @@ pub struct KSweepResult {
 /// Fraction of the stream used for the steady-state tail average.
 const TAIL_FRACTION: f64 = 0.5;
 
-/// Run the sweep: one independent stream per `k`.
+/// Run the sweep: one independent stream per `k`, scheduled on a
+/// bounded worker pool with round-robin configuration assignment
+/// (`sweep_round_robin` in the crate root) so budgeted cores keep
+/// working through the sweep tail instead of idling behind the slowest
+/// configuration.
 pub fn run_ksweep(ds: &SyntheticDataset, ks: &[usize], base: &StreamOptions) -> KSweepResult {
-    let mut outcomes: Vec<Option<StreamResult>> = Vec::with_capacity(ks.len());
-    outcomes.resize_with(ks.len(), || None);
-    // One sweep thread per configuration, so each inner scan gets an
-    // explicit share of the machine — without the budget, every
-    // configuration's parallel scan would claim all cores on top of the
-    // sweep's own threads and oversubscribe the host.
-    let budget = crate::scan_thread_budget(ks.len());
-    crossbeam::thread::scope(|scope| {
-        for (slot, &k) in outcomes.iter_mut().zip(ks.iter()) {
-            let opts = StreamOptions { k, ..base.clone() };
-            scope.spawn(move |_| {
-                // Each thread builds its own engine view; LinearScan is a
-                // cheap borrow of the shared collection.
-                let scan = LinearScan::new(&ds.collection).with_thread_budget(budget);
-                *slot = Some(run_stream(ds, &scan, &opts));
-            });
-        }
-    })
-    .expect("sweep threads");
+    let outcomes: Vec<StreamResult> = crate::sweep_round_robin(ks.len(), &|i, budget| {
+        let opts = StreamOptions {
+            k: ks[i],
+            ..base.clone()
+        };
+        // Each worker builds its own engine view; LinearScan is a cheap
+        // borrow of the shared collection, and the budget keeps nested
+        // scan parallelism from oversubscribing the host.
+        let scan = LinearScan::new(&ds.collection).with_thread_budget(budget);
+        run_stream(ds, &scan, &opts)
+    });
 
     let mut precision = Vec::with_capacity(ks.len());
     let mut recall = Vec::with_capacity(ks.len());
-    for outcome in outcomes {
-        let res = outcome.expect("thread filled its slot");
+    for res in outcomes {
         let tail = ((res.records.len() as f64 * TAIL_FRACTION) as usize).max(1);
         let col = |f: &dyn Fn(&crate::stream::QueryRecord) -> f64| {
             let v: Vec<f64> = res.records.iter().map(f).collect();

@@ -46,18 +46,57 @@ pub mod stream;
 
 pub use metrics::{cumulative_avg, moving_avg, precision_gain};
 
-/// Per-configuration scan thread budget for sweeps that run one scoped
-/// thread per configuration: an even share of the machine's
-/// parallelism, at least 1. Handing this to
-/// [`fbp_vecdb::LinearScan::with_thread_budget`] keeps the total thread
-/// count at ~`available_parallelism` when the sweep layer and the scan
-/// layer are both parallel (they used to multiply).
-pub(crate) fn scan_thread_budget(configurations: usize) -> usize {
-    (std::thread::available_parallelism()
+/// Run `configurations` independent sweep configurations on
+/// `min(available_parallelism, configurations)` worker threads with
+/// **round-robin shard assignment**: worker `w` runs configurations
+/// `w, w + W, w + 2W, …` sequentially, and `run(index, budget)` receives
+/// the per-worker scan thread budget (an even share of the machine, at
+/// least 1) to hand to
+/// [`fbp_vecdb::LinearScan::with_thread_budget`]-style knobs.
+///
+/// This replaces the old one-thread-per-configuration shape, which had
+/// two load problems: with more configurations than cores it
+/// oversubscribed the host (every configuration thread ran at budget 1
+/// simultaneously), and near a sweep's tail the short configurations'
+/// budgeted cores sat idle while the long ones finished alone. Bounded
+/// workers with interleaved assignment keep every core busy until the
+/// queue genuinely runs dry. Results are returned in configuration
+/// order.
+pub(crate) fn sweep_round_robin<T: Send>(
+    configurations: usize,
+    run: &(dyn Fn(usize, usize) -> T + Sync),
+) -> Vec<T> {
+    let available = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1)
-        / configurations.max(1))
-    .max(1)
+        .unwrap_or(1);
+    let workers = available.min(configurations).max(1);
+    let budget = (available / workers).max(1);
+    let mut out: Vec<Option<T>> = Vec::with_capacity(configurations);
+    out.resize_with(configurations, || None);
+    if workers <= 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = Some(run(i, budget));
+        }
+    } else {
+        crossbeam::thread::scope(|scope| {
+            let mut worker_slots: Vec<Vec<(usize, &mut Option<T>)>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (i, slot) in out.iter_mut().enumerate() {
+                worker_slots[i % workers].push((i, slot));
+            }
+            for slots in worker_slots {
+                scope.spawn(move |_| {
+                    for (i, slot) in slots {
+                        *slot = Some(run(i, budget));
+                    }
+                });
+            }
+        })
+        .expect("sweep worker threads");
+    }
+    out.into_iter()
+        .map(|t| t.expect("worker filled its slot"))
+        .collect()
 }
 pub use report::Series;
 pub use scenario::evaluate_params;

@@ -1,83 +1,212 @@
-//! The adaptive micro-batcher: a bounded request queue drained by one
-//! dispatcher thread into coalesced [`SharedBypass::knn_batch`] passes.
+//! The adaptive micro-batchers: one bounded request queue **per
+//! collection shard**, each drained by its own dispatcher thread into
+//! per-shard scan passes, with a gather cell per request that assembles
+//! the reply once every shard has delivered its partial.
 //!
-//! Connection threads enqueue their sessions' pending k-NN requests
-//! (each carrying a completion that writes its reply) and go straight
-//! back to reading their sockets. The dispatcher sleeps until a
-//! request arrives, then collects more **only while the batch is below
-//! [`target_fill`](crate::ServerConfig::target_fill)**, and within that
-//! window dispatches early when
+//! Connection threads admit each `Knn` request once (a [`Gather`] cell
+//! holding the request and its reply completion), scatter one handle to
+//! every shard's [`Batcher`], and go straight back to reading their
+//! sockets. Every shard dispatcher runs the same collection policy, from
+//! the first queued request: wait for more **only while the batch is
+//! below [`target_fill`](crate::ServerConfig::target_fill)**, and within
+//! that window dispatch early when
 //! [`max_wait`](crate::ServerConfig::max_wait) has elapsed since the
 //! **oldest** queued request or when no new request arrived for
 //! [`idle_gap`](crate::ServerConfig::idle_gap); at dispatch it drains up
 //! to [`max_batch`](crate::ServerConfig::max_batch) requests into one
-//! multi-query scan pass. Under light load a lone request pays at most
-//! one idle gap of extra latency; in the bursty think-time regime the
-//! gap cutoff dispatches the moment a burst ends; under saturation the
-//! batcher is work-conserving and the fill self-tunes to
-//! `arrival rate × pass time`. That is the adaptivity: batch fill
-//! tracks the offered concurrency with no tuning beyond the bounds.
+//! per-shard multi-query pass
+//! ([`ShardedBypass::scan_shard`](feedbackbypass::ShardedBypass::scan_shard)).
+//! Under light load a lone request pays at most one idle gap of extra
+//! latency; in the bursty think-time regime the gap cutoff dispatches
+//! the moment a burst ends; under saturation each batcher is
+//! work-conserving and its fill self-tunes to
+//! `arrival rate × per-shard pass time`.
+//!
+//! Shards batch **independently** — shard 0 may serve requests {A, B}
+//! in one pass while shard 1 serves A and B in two — and the reply is
+//! still exact: a [`ShardPartial`] is the shard's k-best for its request
+//! in key space regardless of batch-mates, and the gather merges
+//! partials by the deterministic `(key, index)` order
+//! ([`ShardedBypass::gather`](feedbackbypass::ShardedBypass::gather)).
+//! The dispatcher thread that delivers the **last** partial runs the
+//! merge and the reply completion (session bookkeeping, encoding, the
+//! socket write), so no extra thread ever sits on the latency path.
 //!
 //! A dropped client (disconnect mid-request) merely makes its
 //! completion's socket write fail — ignored, so abandoned entries can
-//! never wedge the queue. On shutdown the queue stops accepting, the
-//! dispatcher drains what remains, and exits.
+//! never wedge a queue. On shutdown every queue stops accepting, each
+//! dispatcher drains what remains, and exits; a gather whose scatter was
+//! cut short by shutdown is completed with an error by the enqueuing
+//! thread, so every admitted request resolves exactly once.
 
 use crate::metrics::Metrics;
-use fbp_vecdb::{Collection, MultiQueryScan, Neighbor, ScanMode};
-use feedbackbypass::{KnnRequest, SharedBypass};
+use fbp_vecdb::{Neighbor, ScanMode, ShardPartial, ShardedCollection, ShardedScan};
+use feedbackbypass::{KnnRequest, ShardedBypass};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// Completion callback of one queued request: the dispatcher invokes it
-/// with the request's slice of the pass (or the pass error) and it
-/// finishes the reply — session bookkeeping, encoding, the socket write
-/// — right on the dispatcher thread. Keeping the reply off a parked
-/// connection thread saves a wake/context-switch per request on the
-/// latency path; the connection thread meanwhile just stays parked in
-/// its next read.
+/// Completion callback of one gathered request: invoked exactly once
+/// with the merged neighbors (or the first shard error) by whichever
+/// shard dispatcher delivered the last partial. It finishes the reply —
+/// session bookkeeping, encoding, the socket write — right on that
+/// dispatcher thread; the connection thread meanwhile just stays parked
+/// in its next read.
 pub(crate) type KnnCompletion = Box<dyn FnOnce(Result<Vec<Neighbor>, String>) + Send>;
 
-/// One queued k-NN request.
-pub(crate) struct PendingKnn {
+/// Per-request gather cell: the request (read-only, shared by every
+/// shard's pass), one partial slot per shard, and the reply completion.
+pub(crate) struct Gather {
     /// The serving request (point, weights, per-request k).
     pub req: KnnRequest,
-    /// Enqueue instant, for queue-wait accounting.
-    pub enqueued: Instant,
-    /// Reply completion (runs on the dispatcher thread).
-    pub reply: KnnCompletion,
+    /// Batch-wide default `k` for the final merge.
+    default_k: usize,
+    /// Cross-shard pruning seed: the tightest known upper bound on this
+    /// request's global k-th key (f64 bits, starts at `+∞`), tightened
+    /// from every delivered partial's [`ShardPartial::bound_key`]. A
+    /// shard pass that runs *after* another shard finished prunes
+    /// against a near-global bound instead of its looser local one —
+    /// on a host where shard passes serialize this recovers most of
+    /// the flat pass's early-abandon power, and it can never change
+    /// the merged answer (the bound is provably ≥ the global k-th).
+    seed: AtomicU64,
+    state: Mutex<GatherState>,
+}
+
+struct GatherState {
+    /// Delivered partials by shard index (`None` for errored shards).
+    partials: Vec<Option<ShardPartial>>,
+    /// Per-shard delivery marker (a shard delivers exactly once; the
+    /// marker makes duplicate deliveries harmless instead of fatal).
+    delivered: Vec<bool>,
+    /// First shard error, if any (the reply becomes this error).
+    error: Option<String>,
+    /// Shards still outstanding.
+    remaining: usize,
+    /// Taken by the completing delivery.
+    reply: Option<KnnCompletion>,
+}
+
+impl Gather {
+    /// New cell awaiting `shards` partials.
+    pub(crate) fn new(
+        req: KnnRequest,
+        shards: usize,
+        default_k: usize,
+        reply: KnnCompletion,
+    ) -> Arc<Self> {
+        Arc::new(Gather {
+            req,
+            default_k,
+            seed: AtomicU64::new(f64::INFINITY.to_bits()),
+            state: Mutex::new(GatherState {
+                partials: (0..shards).map(|_| None).collect(),
+                delivered: vec![false; shards],
+                error: None,
+                remaining: shards,
+                reply: Some(reply),
+            }),
+        })
+    }
+
+    /// The current pruning seed for this request (`+∞` until some
+    /// shard delivered a full k-best).
+    pub(crate) fn seed(&self) -> f64 {
+        f64::from_bits(self.seed.load(Ordering::Relaxed))
+    }
+
+    /// Tighten the seed to `min(current, bound)` (lock-free; seeds only
+    /// ever decrease).
+    fn offer_seed(&self, bound: f64) {
+        let mut cur = self.seed.load(Ordering::Relaxed);
+        while bound < f64::from_bits(cur) {
+            match self.seed.compare_exchange_weak(
+                cur,
+                bound.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Deliver shard `shard`'s outcome. The delivery that brings
+    /// `remaining` to zero merges the partials (outside the cell's lock)
+    /// and fires the reply; every other delivery just records and
+    /// returns. Duplicate deliveries for one shard are a logic error
+    /// upstream and are ignored defensively.
+    pub(crate) fn complete_shard(&self, shard: usize, outcome: Result<ShardPartial, String>) {
+        if let Ok(partial) = &outcome {
+            if let Some(bound) = partial.bound_key(self.req.k.unwrap_or(self.default_k)) {
+                self.offer_seed(bound);
+            }
+        }
+        let fire = {
+            let mut g = self.state.lock().expect("gather lock");
+            if g.delivered[shard] {
+                return; // duplicate delivery; first one counted
+            }
+            g.delivered[shard] = true;
+            match outcome {
+                Ok(partial) => g.partials[shard] = Some(partial),
+                Err(e) => {
+                    if g.error.is_none() {
+                        g.error = Some(e);
+                    }
+                }
+            }
+            g.remaining -= 1;
+            if g.remaining == 0 {
+                g.reply
+                    .take()
+                    .map(|reply| (reply, g.error.take(), std::mem::take(&mut g.partials)))
+            } else {
+                None
+            }
+        };
+        if let Some((reply, error, partials)) = fire {
+            let outcome = match error {
+                Some(e) => Err(e),
+                None => ShardedBypass::gather(&self.req, self.default_k, partials.iter().flatten())
+                    .map_err(|e| e.to_string()),
+            };
+            reply(outcome);
+        }
+    }
 }
 
 /// Why an enqueue was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum EnqueueError {
-    /// The bounded queue is at capacity.
-    Full,
     /// The server is shutting down.
     ShuttingDown,
 }
 
-struct Inner {
-    queue: VecDeque<PendingKnn>,
+struct Inner<T> {
+    queue: VecDeque<(Instant, T)>,
     shutdown: bool,
 }
 
-/// Bounded queue + wakeup plumbing shared by connection threads and the
-/// dispatcher.
-pub(crate) struct Batcher {
-    inner: Mutex<Inner>,
+/// Bounded-by-admission queue + wakeup plumbing shared by connection
+/// threads and one shard's dispatcher. Capacity is enforced at the
+/// *admission* layer (`Shared::inflight` in the server), not here: every
+/// admitted request lands once in every shard's queue, so a per-queue
+/// bound would either double-count the global bound or leave a request
+/// half-scattered on overflow.
+pub(crate) struct Batcher<T> {
+    inner: Mutex<Inner<T>>,
     cv: Condvar,
-    capacity: usize,
     max_batch: usize,
     target_fill: usize,
     max_wait: Duration,
     idle_gap: Duration,
 }
 
-impl Batcher {
+impl<T> Batcher<T> {
     pub(crate) fn new(
-        capacity: usize,
         max_batch: usize,
         target_fill: usize,
         max_wait: Duration,
@@ -90,7 +219,6 @@ impl Batcher {
                 shutdown: false,
             }),
             cv: Condvar::new(),
-            capacity: capacity.max(1),
             max_batch,
             target_fill: target_fill.clamp(1, max_batch),
             max_wait,
@@ -98,16 +226,13 @@ impl Batcher {
         }
     }
 
-    /// Enqueue one request; fails fast when full or shutting down.
-    pub(crate) fn enqueue(&self, pending: PendingKnn) -> Result<(), EnqueueError> {
+    /// Enqueue one item (stamped now); fails only once shutting down.
+    pub(crate) fn enqueue(&self, item: T) -> Result<(), EnqueueError> {
         let mut g = self.inner.lock().expect("batcher lock");
         if g.shutdown {
             return Err(EnqueueError::ShuttingDown);
         }
-        if g.queue.len() >= self.capacity {
-            return Err(EnqueueError::Full);
-        }
-        g.queue.push_back(pending);
+        g.queue.push_back((Instant::now(), item));
         self.cv.notify_one();
         Ok(())
     }
@@ -118,28 +243,26 @@ impl Batcher {
         self.cv.notify_all();
     }
 
-    /// Block until a batch is ready. Returns `None` once shut down
-    /// **and** drained.
+    /// Block until a batch is ready, returning each item with its
+    /// enqueue instant. Returns `None` once shut down **and** drained.
     ///
-    /// Collection policy, from the first queued request: wait for more
+    /// Collection policy, from the first queued item: wait for more
     /// **only while the batch is below `target_fill`**, and within that,
     /// dispatch as soon as one of
     ///
-    /// * `max_wait` elapsed since the oldest queued request, or
-    /// * no new request arrived for `idle_gap` — think-time traffic is
+    /// * `max_wait` elapsed since the oldest queued item, or
+    /// * no new item arrived for `idle_gap` — think-time traffic is
     ///   bursty (replies fan out together, sessions think together, the
     ///   next requests land together), so a quiet gap means the burst is
     ///   over and further waiting buys latency, not fill.
     ///
     /// At or above `target_fill` the batcher is work-conserving: it
     /// drains up to `max_batch` immediately. Under saturation the fill
-    /// then self-tunes to `arrival rate × pass time` — requests that
-    /// landed during the previous pass ride the next one with no added
-    /// wait, which is exactly when waiting longer would buy only
-    /// latency.
-    pub(crate) fn next_batch(&self) -> Option<Vec<PendingKnn>> {
+    /// then self-tunes to `arrival rate × pass time` — items that landed
+    /// during the previous pass ride the next one with no added wait.
+    pub(crate) fn next_batch(&self) -> Option<Vec<(Instant, T)>> {
         let mut g = self.inner.lock().expect("batcher lock");
-        // Park until the first request (or shutdown).
+        // Park until the first item (or shutdown).
         while g.queue.is_empty() {
             if g.shutdown {
                 return None;
@@ -147,7 +270,7 @@ impl Batcher {
             g = self.cv.wait(g).expect("batcher lock");
         }
         // Collect the burst. Shutdown cuts every wait short.
-        let deadline = g.queue.front().expect("non-empty").enqueued + self.max_wait;
+        let deadline = g.queue.front().expect("non-empty").0 + self.max_wait;
         'collect: while g.queue.len() < self.target_fill && !g.shutdown {
             let now = Instant::now();
             if now >= deadline {
@@ -178,13 +301,15 @@ impl Batcher {
     }
 }
 
-/// The dispatcher loop: drain batches, serve each with one coalesced
-/// pass, route per-request results back. Runs until the batcher shuts
-/// down and empties.
-pub(crate) fn run_dispatcher(
-    batcher: Arc<Batcher>,
-    coll: Arc<Collection>,
-    bypass: SharedBypass,
+/// One shard's dispatcher loop: drain batches from this shard's queue,
+/// run each as one per-shard scan pass, deliver every request's partial
+/// to its gather cell (the last shard to deliver fires the merged
+/// reply). Runs until the batcher shuts down and empties.
+pub(crate) fn run_shard_dispatcher(
+    shard: usize,
+    batcher: Arc<Batcher<Arc<Gather>>>,
+    coll: Arc<ShardedCollection>,
+    bypass: ShardedBypass,
     scan_mode: ScanMode,
     default_k: usize,
     metrics: Arc<Metrics>,
@@ -197,37 +322,38 @@ pub(crate) fn run_dispatcher(
         t_idle += dispatched.duration_since(last_done).as_nanos();
         let waits: Vec<Duration> = batch
             .iter()
-            .map(|p| dispatched.saturating_duration_since(p.enqueued))
+            .map(|(enqueued, _)| dispatched.saturating_duration_since(*enqueued))
             .collect();
-        // Split ownership instead of cloning: the pass takes the
-        // requests, the completions keep only their reply closures.
-        let (requests, completions): (Vec<KnnRequest>, Vec<KnnCompletion>) =
-            batch.into_iter().map(|p| (p.req, p.reply)).unzip();
+        let gathers: Vec<Arc<Gather>> = batch.into_iter().map(|(_, g)| g).collect();
+        let requests: Vec<&KnnRequest> = gathers.iter().map(|g| &g.req).collect();
+        // Cross-shard bound propagation: requests whose gathers already
+        // hold another shard's k-th key prune against it from row one.
+        let seeds: Vec<f64> = gathers.iter().map(|g| g.seed()).collect();
         // The scan is rebuilt per pass (it is a couple of words); the
-        // knn_batch precision rule upgrades it to the f32 mirror
-        // whenever the collection carries one.
-        let scan = MultiQueryScan::with_mode(&coll, scan_mode);
-        let res = bypass.knn_batch(&scan, &requests, default_k);
+        // scan_shard precision rule upgrades it to the f32 mirrors
+        // whenever every shard carries one, and the per-shard thread
+        // budget is an even share of the machine so S concurrent shard
+        // dispatchers cannot oversubscribe the host.
+        let scan = ShardedScan::with_mode(&coll, scan_mode);
+        let res = bypass.scan_shard(&scan, shard, &requests, default_k, Some(&seeds));
         let scanned = Instant::now();
         t_scan += scanned.duration_since(dispatched).as_nanos();
         n_req += waits.len() as u64;
+        metrics.record_pass(&waits);
         match res {
-            Ok(results) => {
-                metrics.record_pass(&waits);
-                for (reply, neighbors) in completions.into_iter().zip(results) {
-                    // A failed completion write is a disconnected
-                    // client; nothing to do, nothing left queued.
-                    reply(Ok(neighbors));
+            Ok(partials) => {
+                for (gather, partial) in gathers.iter().zip(partials) {
+                    gather.complete_shard(shard, Ok(partial));
                 }
                 t_complete += scanned.elapsed().as_nanos();
             }
             Err(e) => {
-                // Requests are validated at enqueue, so a batch error is
+                // Requests are validated at admission, so a pass error is
                 // exceptional; report it to every requester rather than
                 // guessing which entry caused it.
                 let msg = e.to_string();
-                for reply in completions {
-                    reply(Err(msg.clone()));
+                for gather in &gathers {
+                    gather.complete_shard(shard, Err(msg.clone()));
                 }
             }
         }
@@ -235,7 +361,8 @@ pub(crate) fn run_dispatcher(
     }
     if trace && n_req > 0 {
         eprintln!(
-            "[dispatcher] {} req: scan {:.0}us/req, complete {:.0}us/req, idle {:.1}ms total",
+            "[dispatcher shard {}] {} req: scan {:.0}us/req, complete {:.0}us/req, idle {:.1}ms total",
+            shard,
             n_req,
             t_scan as f64 / 1000.0 / n_req as f64,
             t_complete as f64 / 1000.0 / n_req as f64,
@@ -248,39 +375,24 @@ pub(crate) fn run_dispatcher(
 mod tests {
     use super::*;
 
-    fn pending() -> PendingKnn {
-        PendingKnn {
-            req: KnnRequest::uniform(vec![0.0, 0.0]),
-            enqueued: Instant::now(),
-            reply: Box::new(|_| {}),
-        }
-    }
-
     #[test]
     fn batch_fills_to_max_batch_without_waiting() {
-        let b = Batcher::new(16, 4, 4, Duration::from_secs(10), Duration::from_secs(10));
-        for _ in 0..6 {
-            b.enqueue(pending()).unwrap();
+        let b = Batcher::new(4, 4, Duration::from_secs(10), Duration::from_secs(10));
+        for i in 0..6 {
+            b.enqueue(i).unwrap();
         }
-        // 6 queued, max_batch 4: first batch takes 4 immediately (no
-        // deadline wait), second takes the remaining 2 once the deadline
-        // logic sees a full-enough queue... the second call must not
-        // block for 10 s because the entries' deadline already matters.
+        // 6 queued, max_batch 4: the first batch takes 4 immediately
+        // with no deadline wait.
         let first = b.next_batch().unwrap();
         assert_eq!(first.len(), 4);
+        assert_eq!(first[0].1, 0, "FIFO order");
     }
 
     #[test]
     fn deadline_drains_partial_batch() {
-        let b = Batcher::new(
-            16,
-            64,
-            64,
-            Duration::from_millis(5),
-            Duration::from_millis(5),
-        );
-        b.enqueue(pending()).unwrap();
-        b.enqueue(pending()).unwrap();
+        let b = Batcher::new(64, 64, Duration::from_millis(5), Duration::from_millis(5));
+        b.enqueue(1).unwrap();
+        b.enqueue(2).unwrap();
         let t0 = Instant::now();
         let batch = b.next_batch().unwrap();
         assert_eq!(batch.len(), 2);
@@ -291,20 +403,89 @@ mod tests {
     }
 
     #[test]
-    fn capacity_bound_rejects() {
-        let b = Batcher::new(2, 4, 4, Duration::from_millis(1), Duration::from_millis(1));
-        b.enqueue(pending()).unwrap();
-        b.enqueue(pending()).unwrap();
-        assert_eq!(b.enqueue(pending()), Err(EnqueueError::Full));
+    fn shutdown_drains_then_ends() {
+        let b = Batcher::new(4, 4, Duration::from_secs(10), Duration::from_secs(10));
+        b.enqueue(7).unwrap();
+        b.shutdown();
+        assert_eq!(b.enqueue(8), Err(EnqueueError::ShuttingDown));
+        assert_eq!(b.next_batch().unwrap().len(), 1);
+        assert!(b.next_batch().is_none());
     }
 
     #[test]
-    fn shutdown_drains_then_ends() {
-        let b = Batcher::new(16, 4, 4, Duration::from_secs(10), Duration::from_secs(10));
-        b.enqueue(pending()).unwrap();
-        b.shutdown();
-        assert_eq!(b.enqueue(pending()), Err(EnqueueError::ShuttingDown));
-        assert_eq!(b.next_batch().unwrap().len(), 1);
-        assert!(b.next_batch().is_none());
+    fn gather_fires_once_after_all_shards_any_order() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let fired = Arc::new(AtomicUsize::new(0));
+        let got = Arc::new(Mutex::new(None));
+        let gather = Gather::new(
+            KnnRequest::uniform(vec![0.0, 0.0]),
+            3,
+            5,
+            Box::new({
+                let fired = Arc::clone(&fired);
+                let got = Arc::clone(&got);
+                move |outcome| {
+                    fired.fetch_add(1, Ordering::SeqCst);
+                    *got.lock().unwrap() = Some(outcome);
+                }
+            }),
+        );
+        // Build real partials through the public scatter API.
+        let mut b = fbp_vecdb::CollectionBuilder::new();
+        for i in 0..6 {
+            b.push_unlabelled(&[i as f64, 0.0]).unwrap();
+        }
+        let sc = ShardedCollection::split(&b.build(), 3);
+        let scan = ShardedScan::with_mode(&sc, ScanMode::Batched);
+        let metric = fbp_vecdb::WeightedEuclidean::uniform(2);
+        let q: &[f64] = &[0.0, 0.0];
+        let parts: Vec<ShardPartial> = (0..3)
+            .map(|s| {
+                scan.scan_shard_weighted(s, &[q], std::slice::from_ref(&metric), &[5], None)
+                    .remove(0)
+            })
+            .collect();
+        // Out-of-order delivery; the reply fires exactly once, on the
+        // last shard.
+        gather.complete_shard(2, Ok(parts[2].clone()));
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        gather.complete_shard(0, Ok(parts[0].clone()));
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        gather.complete_shard(1, Ok(parts[1].clone()));
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        let merged = got.lock().unwrap().take().unwrap().unwrap();
+        assert_eq!(merged.len(), 5);
+        assert_eq!(merged[0].index, 0);
+        assert!(merged.windows(2).all(|w| w[0].dist <= w[1].dist));
+    }
+
+    #[test]
+    fn gather_propagates_shard_errors() {
+        let got = Arc::new(Mutex::new(None));
+        let gather = Gather::new(
+            KnnRequest::uniform(vec![0.0]),
+            2,
+            5,
+            Box::new({
+                let got = Arc::clone(&got);
+                move |outcome| *got.lock().unwrap() = Some(outcome)
+            }),
+        );
+        let mut b = fbp_vecdb::CollectionBuilder::new();
+        b.push_unlabelled(&[0.5]).unwrap();
+        let sc = ShardedCollection::split(&b.build(), 2);
+        let scan = ShardedScan::with_mode(&sc, ScanMode::Batched);
+        let metric = fbp_vecdb::WeightedEuclidean::uniform(1);
+        let q: &[f64] = &[0.0];
+        let part = scan
+            .scan_shard_weighted(0, &[q], std::slice::from_ref(&metric), &[5], None)
+            .remove(0);
+        gather.complete_shard(0, Ok(part));
+        gather.complete_shard(1, Err("pass failed".into()));
+        let outcome = got.lock().unwrap().take().unwrap();
+        match outcome {
+            Err(msg) => assert_eq!(msg, "pass failed"),
+            Ok(_) => panic!("expected the shard error to win"),
+        }
     }
 }

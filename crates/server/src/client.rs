@@ -81,6 +81,43 @@ pub struct FeedbackReply {
 }
 
 /// Blocking connection to an fbp-server.
+///
+/// One `Client` owns one TCP connection and speaks strict
+/// request/response (see [`crate::protocol`] for the wire contract and
+/// [`Self::send_feedback`] for the one sanctioned pipelining overlap).
+/// Sessions opened on this connection are owned by it — they cannot be
+/// used from another connection and die when this one closes.
+///
+/// ```
+/// use fbp_server::{serve, Client, ServerConfig};
+/// use fbp_vecdb::CollectionBuilder;
+/// use feedbackbypass::{BypassConfig, FeedbackBypass, SharedBypass};
+/// use std::sync::Arc;
+///
+/// // A tiny served collection on an ephemeral loopback port.
+/// let mut b = CollectionBuilder::new().with_f32_mirror();
+/// b.push_unlabelled(&[0.1, 0.7, 0.2]).unwrap();
+/// b.push_unlabelled(&[0.3, 0.3, 0.4]).unwrap();
+/// let coll = Arc::new(b.build());
+/// let bypass = SharedBypass::new(
+///     FeedbackBypass::for_histograms(3, BypassConfig::default()).unwrap(),
+/// );
+/// let handle = serve("127.0.0.1:0", coll, bypass, ServerConfig::default()).unwrap();
+///
+/// // The full client surface: open, search, judge, stats, close.
+/// let mut client = Client::connect(handle.local_addr()).unwrap();
+/// let (session, dim) = client.open_session().unwrap();
+/// assert_eq!(dim, 3);
+/// let reply = client.knn(session, 2, &[0.1, 0.7, 0.2]).unwrap();
+/// assert_eq!(reply.neighbors.len(), 2);
+/// if !reply.done {
+///     let relevant: Vec<u32> = reply.neighbors.iter().map(|n| n.index).collect();
+///     client.feedback(session, &relevant).unwrap();
+/// }
+/// assert_eq!(client.stats().unwrap().requests, 1);
+/// client.close_session(session).unwrap();
+/// handle.shutdown();
+/// ```
 pub struct Client {
     reader: io::BufReader<TcpStream>,
     writer: TcpStream,

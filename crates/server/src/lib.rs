@@ -21,6 +21,22 @@
 //! load batches fill instantly — batch fill adapts to the offered
 //! concurrency with no other tuning.
 //!
+//! ## Sharded scatter/gather serving
+//!
+//! One coalesced pass is still bounded by what one dispatcher can
+//! stream. [`ServerConfig::shards`] splits the served collection into
+//! `S` contiguous row shards at startup and gives **each shard its own
+//! micro-batcher and dispatcher thread** under the same batching
+//! policy. Every `Knn` request is admitted once, scattered to all `S`
+//! queues, served by `S` independent per-shard passes
+//! ([`ShardedBypass::scan_shard`](feedbackbypass::ShardedBypass)), and
+//! its reply is gathered — the per-shard k-bests merge in key space
+//! with a deterministic `(key, index)` order, so the answer is
+//! **bit-identical** to flat serving no matter how each shard happened
+//! to batch. On a multi-core host the scan bandwidth of the serving
+//! loop scales with `S`; see `ARCHITECTURE.md` at the repository root
+//! for the measured sweep and the invariant argument.
+//!
 //! ## Protocol
 //!
 //! Frames are `u32` little-endian length + payload; the payload is an

@@ -1,5 +1,13 @@
 //! Serving metrics: cheap atomic counters on the hot path, a bounded
 //! wait-time ring for queue-delay percentiles, snapshots on demand.
+//!
+//! Sharded accounting: a client request is counted **once**
+//! ([`Metrics::record_request`], at admission), while passes are
+//! counted **per shard pass** ([`Metrics::record_pass`]) — every
+//! request rides exactly `shards` passes, so the mean batch fill is
+//! `requests × shards / passes`, the per-shard-pass fill the batching
+//! policy actually controls. Queue waits are sampled per (request,
+//! shard pass) pair: the delay from admission to that shard's dispatch.
 
 use crate::protocol::StatsSnapshot;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -7,7 +15,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 /// Queue-wait samples retained for percentile estimation. A ring this
-/// size covers the last ~16k requests — recent enough to reflect the
+/// size covers the last ~16k dispatches — recent enough to reflect the
 /// current load, small enough that a snapshot sort is trivial.
 const WAIT_RING: usize = 16 * 1024;
 
@@ -25,9 +33,12 @@ pub(crate) fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
 
 /// Shared metrics sink.
 pub(crate) struct Metrics {
-    /// Requests dispatched through the batcher.
+    /// Shard count the server was configured with (for fill math).
+    shards: u64,
+    /// Client k-NN requests admitted to the scatter stage.
     requests: AtomicU64,
-    /// Coalesced passes issued.
+    /// Per-shard scan passes issued (each request rides `shards` of
+    /// them).
     passes: AtomicU64,
     /// Protocol errors answered / connections dropped for framing.
     protocol_errors: AtomicU64,
@@ -41,8 +52,9 @@ struct WaitRing {
 }
 
 impl Metrics {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(shards: u64) -> Self {
         Metrics {
+            shards: shards.max(1),
             requests: AtomicU64::new(0),
             passes: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
@@ -53,12 +65,15 @@ impl Metrics {
         }
     }
 
-    /// Record one coalesced pass that served `waits.len()` requests,
-    /// with each request's enqueue→dispatch delay.
+    /// Count one admitted client request (once, regardless of shards).
+    pub(crate) fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one per-shard pass that served `waits.len()` requests,
+    /// with each request's admission→dispatch delay on this shard.
     pub(crate) fn record_pass(&self, waits: &[Duration]) {
         self.passes.fetch_add(1, Ordering::Relaxed);
-        self.requests
-            .fetch_add(waits.len() as u64, Ordering::Relaxed);
         let mut ring = self.waits.lock().expect("metrics lock");
         for w in waits {
             let ns = w.as_nanos().min(u64::MAX as u128) as u64;
@@ -86,8 +101,9 @@ impl Metrics {
         StatsSnapshot {
             requests,
             passes,
+            shards: self.shards,
             mean_batch_fill: if passes > 0 {
-                requests as f64 / passes as f64
+                (requests * self.shards) as f64 / passes as f64
             } else {
                 0.0
             },
@@ -105,13 +121,17 @@ mod tests {
 
     #[test]
     fn snapshot_reports_fill_and_percentiles() {
-        let m = Metrics::new();
+        let m = Metrics::new(1);
+        for _ in 0..4 {
+            m.record_request();
+        }
         m.record_pass(&[Duration::from_micros(100); 3]);
         m.record_pass(&[Duration::from_micros(900)]);
         m.record_protocol_error();
         let s = m.snapshot(2);
         assert_eq!(s.requests, 4);
         assert_eq!(s.passes, 2);
+        assert_eq!(s.shards, 1);
         assert!((s.mean_batch_fill - 2.0).abs() < 1e-12);
         assert!((s.queue_wait_p50_us - 100.0).abs() < 1.0);
         assert!((s.queue_wait_p99_us - 900.0).abs() < 1.0);
@@ -120,8 +140,26 @@ mod tests {
     }
 
     #[test]
+    fn sharded_fill_counts_per_shard_passes() {
+        // 4 requests over 2 shards = 8 request-shard dispatches; served
+        // in 4 shard passes → mean per-shard fill 2.
+        let m = Metrics::new(2);
+        for _ in 0..4 {
+            m.record_request();
+        }
+        for _ in 0..4 {
+            m.record_pass(&[Duration::from_micros(50); 2]);
+        }
+        let s = m.snapshot(0);
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.passes, 4);
+        assert_eq!(s.shards, 2);
+        assert!((s.mean_batch_fill - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn empty_metrics_snapshot_is_zeroed() {
-        let s = Metrics::new().snapshot(0);
+        let s = Metrics::new(1).snapshot(0);
         assert_eq!(s.requests, 0);
         assert_eq!(s.mean_batch_fill, 0.0);
         assert_eq!(s.queue_wait_p50_us, 0.0);

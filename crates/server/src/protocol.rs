@@ -1,14 +1,26 @@
-//! Wire protocol: length-prefixed binary frames over TCP.
+//! Wire protocol: length-prefixed binary frames over TCP. **This module
+//! is the normative protocol specification** — the tables and rules
+//! below define the wire contract; [`Client`](crate::Client) is the
+//! reference implementation.
+//!
+//! # Framing
 //!
 //! Every message travels as one **frame**: a little-endian `u32` payload
 //! length followed by that many payload bytes. The first payload byte is
 //! the opcode, the rest is the fixed-layout body (all integers
-//! little-endian, all floats IEEE-754 `f64` little-endian bytes). The
-//! length prefix is the only framing — a reader can always resynchronize
-//! by closing the connection, and a writer can always emit a frame with
-//! one `write_all`.
+//! little-endian, all floats IEEE-754 `f64` little-endian bytes; `bool`s
+//! are one byte, 0 = false, non-zero = true). The length prefix is the
+//! only framing — a reader can always resynchronize by closing the
+//! connection, and a writer can always emit a frame with one
+//! `write_all`. A frame whose length prefix exceeds the configured
+//! maximum ([`DEFAULT_MAX_FRAME_LEN`] by default) is refused *before*
+//! its body is read, so the peer must treat the connection as dead.
+//! Element counts inside a body are validated against the remaining
+//! byte budget before any allocation (a forged count cannot drive an
+//! out-of-memory), and every body must account for every payload byte —
+//! trailing bytes are a [`DecodeError::TrailingBytes`] protocol error.
 //!
-//! Request opcodes (client → server):
+//! # Request opcodes (client → server)
 //!
 //! | op     | message        | body                                          |
 //! |--------|----------------|-----------------------------------------------|
@@ -18,23 +30,72 @@
 //! | `0x04` | `SnapshotStats`| —                                             |
 //! | `0x05` | `Close`        | `u64 session`                                 |
 //!
-//! Response opcodes (server → client):
+//! # Response opcodes (server → client)
 //!
 //! | op     | message         | body                                               |
 //! |--------|-----------------|----------------------------------------------------|
 //! | `0x81` | `SessionOpened` | `u64 session`, `u32 dim`                           |
 //! | `0x82` | `KnnResult`     | `u8 flags`, `u32 cycles`, `u32 n`, `n × (u32, f64)`|
 //! | `0x83` | `FeedbackAck`   | `u8 done`, `u8 converged`, `u32 cycles`            |
-//! | `0x84` | `Stats`         | see [`StatsSnapshot`]                              |
+//! | `0x84` | `Stats`         | see below                                          |
 //! | `0x85` | `Closed`        | —                                                  |
 //! | `0xEE` | `Error`         | `u8 code`, `u32 len`, UTF-8 message                |
+//!
+//! The `0x84` `Stats` body is the [`StatsSnapshot`] fields in
+//! declaration order:
+//!
+//! | field               | type  |
+//! |---------------------|-------|
+//! | `requests`          | `u64` |
+//! | `passes`            | `u64` |
+//! | `shards`            | `u64` |
+//! | `mean_batch_fill`   | `f64` |
+//! | `queue_wait_p50_us` | `f64` |
+//! | `queue_wait_p99_us` | `f64` |
+//! | `sessions_open`     | `u64` |
+//! | `protocol_errors`   | `u64` |
+//!
+//! # Conversation rules
+//!
+//! The protocol is strict request/response per connection: a client
+//! sends one request frame and reads exactly one response frame before
+//! the next request. (The one sanctioned overlap: a `Feedback` frame
+//! may be *sent* and its `FeedbackAck` collected later — but no other
+//! request may be issued in between; see
+//! [`Client::send_feedback`](crate::Client::send_feedback).) Any
+//! request may be answered by `0xEE Error` instead of its normal reply.
 //!
 //! [`KnnResult`](Response::KnnResult) flags: bit 0 ([`KNN_DONE`]) — the
 //! session's current query finished on this round (stable ranking or the
 //! cycle cap) and its parameters were committed to the shared module;
 //! bit 1 ([`KNN_CONVERGED`]) — it finished by converging rather than by
 //! hitting the cap. A reply without `KNN_DONE` invites a `Feedback`
-//! frame judging these results.
+//! frame judging these results. `Knn.k` is clamped server-side to the
+//! collection size; a repeated `Knn` with the session's current anchor
+//! query re-searches under the session's learned parameters, while a
+//! new query point re-anchors the session.
+//!
+//! # Session ownership
+//!
+//! Session ids are **sequential, not capabilities**: knowing an id
+//! grants nothing. Every `Knn`/`Feedback`/`Close` is checked against
+//! the connection that issued the `OpenSession`; a foreign connection
+//! gets [`ErrorCode::UnknownSession`] — indistinguishable from a
+//! missing id, so ids cannot even be probed for existence. Sessions die
+//! with their connection (server-side state is reaped on disconnect);
+//! `Close` is the polite form.
+//!
+//! # Error codes
+//!
+//! | code | name             | meaning / recovery                                        |
+//! |------|------------------|-----------------------------------------------------------|
+//! | 1    | `BadFrame`       | malformed frame or body; oversized frames also drop the connection |
+//! | 2    | `UnknownOpcode`  | first payload byte unknown; connection continues          |
+//! | 3    | `UnknownSession` | id not registered **or not owned by this connection**     |
+//! | 4    | `DimMismatch`    | query length ≠ served collection dim                      |
+//! | 5    | `BadRequest`     | valid frame, wrong session state (e.g. `Feedback` with no un-judged results) |
+//! | 6    | `Busy`           | admission queue full — well-formed backpressure, retry after a pause |
+//! | 7    | `Internal`       | server-side failure (shutdown race, scan error)           |
 
 use fbp_vecdb::Neighbor;
 use std::io::{self, Read, Write};
@@ -177,11 +238,16 @@ pub enum Response {
 /// Serving metrics at one instant (the `0x84` body, fields in order).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct StatsSnapshot {
-    /// k-NN requests dispatched through the micro-batcher.
+    /// Client k-NN requests admitted to the scatter stage (each rides
+    /// one pass per shard).
     pub requests: u64,
-    /// Coalesced scan passes issued.
+    /// Per-shard coalesced scan passes issued.
     pub passes: u64,
-    /// Mean requests per pass (`requests / passes`).
+    /// Collection shards the server is configured with (1 = flat).
+    pub shards: u64,
+    /// Mean requests per per-shard pass
+    /// (`requests × shards / passes`) — the fill the batching policy
+    /// controls.
     pub mean_batch_fill: f64,
     /// Median queue wait (enqueue → pass dispatch), microseconds.
     pub queue_wait_p50_us: f64,
@@ -385,6 +451,7 @@ impl Response {
                 out.push(0x84);
                 out.extend_from_slice(&s.requests.to_le_bytes());
                 out.extend_from_slice(&s.passes.to_le_bytes());
+                out.extend_from_slice(&s.shards.to_le_bytes());
                 out.extend_from_slice(&s.mean_batch_fill.to_le_bytes());
                 out.extend_from_slice(&s.queue_wait_p50_us.to_le_bytes());
                 out.extend_from_slice(&s.queue_wait_p99_us.to_le_bytes());
@@ -436,6 +503,7 @@ impl Response {
             0x84 => Response::Stats(StatsSnapshot {
                 requests: r.u64()?,
                 passes: r.u64()?,
+                shards: r.u64()?,
                 mean_batch_fill: r.f64()?,
                 queue_wait_p50_us: r.f64()?,
                 queue_wait_p99_us: r.f64()?,
@@ -628,6 +696,7 @@ mod tests {
         roundtrip_resp(Response::Stats(StatsSnapshot {
             requests: 100,
             passes: 12,
+            shards: 4,
             mean_batch_fill: 8.333,
             queue_wait_p50_us: 450.0,
             queue_wait_p99_us: 2100.5,

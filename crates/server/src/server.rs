@@ -12,22 +12,22 @@
 //! session may use or close it (ids are sequential, so they must not be
 //! capabilities), and they are dropped when it disconnects.
 
-use crate::batcher::{run_dispatcher, Batcher, EnqueueError, PendingKnn};
+use crate::batcher::{run_shard_dispatcher, Batcher, EnqueueError, Gather};
 use crate::metrics::Metrics;
 use crate::protocol::{
     read_frame, write_frame, DecodeError, ErrorCode, FrameError, Request, Response, StatsSnapshot,
     DEFAULT_MAX_FRAME_LEN, KNN_CONVERGED, KNN_DONE,
 };
 use fbp_feedback::{FeedbackConfig, FeedbackStepper, SetOracle, StepOutcome};
-use fbp_vecdb::{Collection, Neighbor, ResultList, ScanMode};
-use feedbackbypass::SharedBypass;
+use fbp_vecdb::{Collection, Neighbor, ResultList, ScanMode, ShardedCollection};
+use feedbackbypass::{ShardedBypass, SharedBypass};
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -48,8 +48,12 @@ pub struct ServerConfig {
     /// the batch dispatches early (think-time traffic arrives in bursts;
     /// a quiet gap means waiting further buys latency, not fill).
     pub idle_gap: Duration,
-    /// Bounded queue depth; enqueues beyond it answer
-    /// [`ErrorCode::Busy`].
+    /// Admission bound on **in-flight requests**: a `Knn` counts
+    /// against this from admission until its gathered reply fires
+    /// (including while it is mid-scan), and one admitted request
+    /// occupies a slot in every shard's queue. Requests beyond it
+    /// answer [`ErrorCode::Busy`] before touching any queue, so a
+    /// request is either scattered to all shards or refused atomically.
     pub queue_capacity: usize,
     /// Largest accepted frame payload.
     pub max_frame_len: u32,
@@ -57,6 +61,17 @@ pub struct ServerConfig {
     /// [`SharedBypass::effective_precision`]: mirrored collections are
     /// served with the f32-rescore path automatically.
     pub scan_mode: ScanMode,
+    /// Collection shards (1 = flat serving). With `S > 1` the served
+    /// collection splits into `S` contiguous row shards at startup,
+    /// each with its **own micro-batcher and dispatcher thread** riding
+    /// the same `target_fill`/`max_wait`/`idle_gap` policy; every `Knn`
+    /// request scatters to all `S` queues and its reply is gathered
+    /// from the per-shard k-bests — bit-identical to flat serving, but
+    /// the scan bandwidth of a round scales with the shard count on a
+    /// multi-core host. Keep `S ≤ cores / CPU-per-pass`; each shard
+    /// pass also gets an even share of the machine for its own
+    /// parallelism.
+    pub shards: usize,
     /// Feedback transition configuration (`k` is per-request on the
     /// wire; `max_cycles` caps each session's loop server-side).
     pub feedback: FeedbackConfig,
@@ -81,6 +96,7 @@ impl Default for ServerConfig {
             queue_capacity: 4096,
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             scan_mode: ScanMode::Batched,
+            shards: 1,
             feedback: FeedbackConfig::default(),
             read_timeout: Duration::from_millis(20),
             write_timeout: Duration::from_secs(1),
@@ -118,7 +134,14 @@ struct Shared {
     coll: Arc<Collection>,
     bypass: SharedBypass,
     cfg: ServerConfig,
-    batcher: Arc<Batcher>,
+    /// One micro-batcher per shard; every admitted `Knn` is scattered
+    /// into all of them.
+    batchers: Vec<Arc<Batcher<Arc<Gather>>>>,
+    /// Admission bound: requests mid-scatter/gather. Enforcing the
+    /// queue capacity here (instead of per batcher) keeps a request's
+    /// scatter atomic — it is either admitted to every shard queue or
+    /// refused outright with `Busy`.
+    inflight: AtomicUsize,
     metrics: Arc<Metrics>,
     sessions: Mutex<HashMap<u64, Session>>,
     next_session: AtomicU64,
@@ -131,11 +154,33 @@ struct Shared {
 /// Dropping the handle shuts the server down (and joins every thread),
 /// so tests and examples cannot leak listeners; call
 /// [`ServerHandle::shutdown`] for the explicit form.
+///
+/// ```
+/// use fbp_server::{serve, ServerConfig};
+/// use fbp_vecdb::CollectionBuilder;
+/// use feedbackbypass::{BypassConfig, FeedbackBypass, SharedBypass};
+/// use std::sync::Arc;
+///
+/// let mut b = CollectionBuilder::new();
+/// b.push_unlabelled(&[0.5, 0.5]).unwrap();
+/// let bypass = SharedBypass::new(
+///     FeedbackBypass::for_histograms(2, BypassConfig::default()).unwrap(),
+/// );
+/// // Two shards: two micro-batchers, two dispatcher threads, replies
+/// // gathered — results identical to `shards: 1`.
+/// let cfg = ServerConfig { shards: 2, ..Default::default() };
+/// let handle = serve("127.0.0.1:0", Arc::new(b.build()), bypass, cfg).unwrap();
+/// assert!(handle.local_addr().port() != 0, "ephemeral port was bound");
+/// let stats = handle.stats();
+/// assert_eq!(stats.shards, 2);
+/// assert_eq!(stats.sessions_open, 0);
+/// handle.shutdown(); // joins the accept loop and both dispatchers
+/// ```
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
-    dispatcher: Option<JoinHandle<()>>,
+    dispatchers: Vec<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -160,7 +205,9 @@ impl ServerHandle {
 
     fn shutdown_inner(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.batcher.shutdown();
+        for batcher in &self.shared.batchers {
+            batcher.shutdown();
+        }
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept.take() {
@@ -174,10 +221,10 @@ impl ServerHandle {
         for h in conns {
             let _ = h.join();
         }
-        // The dispatcher goes last: it drains the remaining queue
-        // (best-effort completions to whatever sockets still live)
-        // before reporting end-of-work.
-        if let Some(h) = self.dispatcher.take() {
+        // The shard dispatchers go last: each drains its remaining
+        // queue (best-effort completions to whatever sockets still
+        // live) before reporting end-of-work.
+        for h in self.dispatchers.drain(..) {
             let _ = h.join();
         }
     }
@@ -185,7 +232,7 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if self.accept.is_some() || self.dispatcher.is_some() {
+        if self.accept.is_some() || !self.dispatchers.is_empty() {
             self.shutdown_inner();
         }
     }
@@ -202,19 +249,29 @@ pub fn serve(
 ) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
-    let batcher = Arc::new(Batcher::new(
-        cfg.queue_capacity,
-        cfg.max_batch,
-        cfg.target_fill,
-        cfg.max_wait,
-        cfg.idle_gap,
-    ));
-    let metrics = Arc::new(Metrics::new());
+    let shards = cfg.shards.max(1);
+    // The shard split happens once at startup: each shard copies its
+    // rows (and f32 mirror) into its own contiguous buffers, so the
+    // per-shard dispatchers stream disjoint memory.
+    let sharded_coll = Arc::new(ShardedCollection::split(&coll, shards));
+    let sharded_bypass = ShardedBypass::from_shared(bypass.clone());
+    let batchers: Vec<Arc<Batcher<Arc<Gather>>>> = (0..shards)
+        .map(|_| {
+            Arc::new(Batcher::new(
+                cfg.max_batch,
+                cfg.target_fill,
+                cfg.max_wait,
+                cfg.idle_gap,
+            ))
+        })
+        .collect();
+    let metrics = Arc::new(Metrics::new(shards as u64));
     let shared = Arc::new(Shared {
         coll: Arc::clone(&coll),
         bypass: bypass.clone(),
         cfg: cfg.clone(),
-        batcher: Arc::clone(&batcher),
+        batchers: batchers.clone(),
+        inflight: AtomicUsize::new(0),
         metrics: Arc::clone(&metrics),
         sessions: Mutex::new(HashMap::new()),
         next_session: AtomicU64::new(1),
@@ -222,13 +279,25 @@ pub fn serve(
         shutdown: AtomicBool::new(false),
     });
 
-    let dispatcher = std::thread::spawn({
-        let batcher = Arc::clone(&batcher);
-        let metrics = Arc::clone(&metrics);
-        let scan_mode = cfg.scan_mode;
-        let default_k = cfg.feedback.k;
-        move || run_dispatcher(batcher, coll, bypass, scan_mode, default_k, metrics)
-    });
+    let dispatchers: Vec<JoinHandle<()>> = batchers
+        .iter()
+        .enumerate()
+        .map(|(shard, batcher)| {
+            std::thread::spawn({
+                let batcher = Arc::clone(batcher);
+                let coll = Arc::clone(&sharded_coll);
+                let bypass = sharded_bypass.clone();
+                let metrics = Arc::clone(&metrics);
+                let scan_mode = cfg.scan_mode;
+                let default_k = cfg.feedback.k;
+                move || {
+                    run_shard_dispatcher(
+                        shard, batcher, coll, bypass, scan_mode, default_k, metrics,
+                    )
+                }
+            })
+        })
+        .collect();
 
     let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
     let accept = std::thread::spawn({
@@ -264,7 +333,7 @@ pub fn serve(
         addr,
         shared,
         accept: Some(accept),
-        dispatcher: Some(dispatcher),
+        dispatchers,
         conns,
     })
 }
@@ -430,9 +499,10 @@ fn handle_request(
     }
 }
 
-/// `Knn`: resolve the session's search parameters and enqueue the
-/// request with a completion that finishes the reply on the dispatcher
-/// thread (post-pass bookkeeping + the socket write). Returns `None`
+/// `Knn`: resolve the session's search parameters, admit the request,
+/// and scatter a gather cell into every shard's micro-batcher; the
+/// shard dispatcher delivering the last partial merges and finishes the
+/// reply (post-pass bookkeeping + the socket write). Returns `None`
 /// when the reply was deferred that way, `Some(error)` otherwise.
 fn handle_knn(
     shared: &Arc<Shared>,
@@ -507,10 +577,20 @@ fn handle_knn(
         vec![1.0; dim]
     };
 
+    // Admission: the queue bound applies to whole requests — a request
+    // either scatters to every shard queue or is refused up front, so
+    // no gather can ever be left half-scattered by backpressure.
+    if shared.inflight.fetch_add(1, Ordering::AcqRel) >= shared.cfg.queue_capacity {
+        shared.inflight.fetch_sub(1, Ordering::AcqRel);
+        return Some(err(ErrorCode::Busy, "batch queue full"));
+    }
+    shared.metrics.record_request();
+
     let completion = {
         let shared = Arc::clone(shared);
         let writer = Arc::clone(writer);
         Box::new(move |outcome: Result<Vec<Neighbor>, String>| {
+            shared.inflight.fetch_sub(1, Ordering::AcqRel);
             let response = match outcome {
                 Ok(neighbors) => {
                     let (flags, cycles) = finish_knn(&shared, session, &neighbors);
@@ -532,24 +612,26 @@ fn handle_knn(
             }
         })
     };
-    let pending = PendingKnn {
-        req: feedbackbypass::KnnRequest {
+    let gather = Gather::new(
+        feedbackbypass::KnnRequest {
             point,
             weights,
             k: Some(k),
             precision: None,
         },
-        enqueued: Instant::now(),
-        reply: completion,
-    };
-    match shared.batcher.enqueue(pending) {
-        Ok(()) => None,
-        // Backpressure is well-formed traffic, not a protocol error —
-        // it must not pollute the `protocol_errors` counter monitors
-        // watch.
-        Err(EnqueueError::Full) => Some(err(ErrorCode::Busy, "batch queue full")),
-        Err(EnqueueError::ShuttingDown) => Some(err(ErrorCode::Internal, "server shutting down")),
+        shared.batchers.len(),
+        shared.cfg.feedback.k,
+        completion,
+    );
+    for (shard, batcher) in shared.batchers.iter().enumerate() {
+        if let Err(EnqueueError::ShuttingDown) = batcher.enqueue(Arc::clone(&gather)) {
+            // Shutdown raced the scatter: deliver this shard's slot as
+            // an error so the gather still resolves exactly once (the
+            // reply becomes an `Internal` error frame).
+            gather.complete_shard(shard, Err("server shutting down".into()));
+        }
     }
+    None
 }
 
 /// Post-pass session bookkeeping: ranking stability and the cycle cap

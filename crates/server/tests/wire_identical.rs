@@ -195,6 +195,65 @@ fn wire_feedback_loop_matches_in_process_sessions() {
     handle.shutdown();
 }
 
+/// Sharded serving (per-shard micro-batchers + gather) answers
+/// bit-identically to the flat per-query LinearScan, under concurrent
+/// batch mixes, for shard counts spanning the degenerate edges (more
+/// shards than queue depth, shards larger than k, empty tail shards).
+#[test]
+fn sharded_serving_matches_linear_scan() {
+    const DIM: usize = 16;
+    const THREADS: usize = 6;
+    let coll = Arc::new(clustered_collection(700, DIM));
+    for shards in [2usize, 3, 16] {
+        let cfg = ServerConfig {
+            shards,
+            max_batch: THREADS,
+            max_wait: Duration::from_millis(100),
+            ..Default::default()
+        };
+        let handle = serve("127.0.0.1:0", Arc::clone(&coll), shared_module(DIM), cfg).unwrap();
+        let addr = handle.local_addr();
+        let barrier = Barrier::new(THREADS);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let coll = Arc::clone(&coll);
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let (session, _) = client.open_session().unwrap();
+                    let single = LinearScan::with_mode(&coll, ScanMode::Batched);
+                    barrier.wait();
+                    for i in 0..8 {
+                        let q: Vec<f64> = (0..DIM)
+                            .map(|d| (((t * 41 + i * 17 + d * 5) as f64) * 0.31).sin().abs())
+                            .collect();
+                        let k = [1u32, 7, 50][i % 3];
+                        let reply = client.knn(session, k, &q).unwrap();
+                        let w = WeightedEuclidean::new(vec![1.0; DIM]).unwrap();
+                        assert_eq!(
+                            reply.neighbors,
+                            single.knn(&q, k as usize, &w),
+                            "shards={shards} thread {t} query {i}: sharded wire answer diverged"
+                        );
+                    }
+                    client.close_session(session).unwrap();
+                });
+            }
+        });
+        // The stats surface reports the shard topology, and every
+        // request rode exactly one pass per shard.
+        let stats = handle.stats();
+        assert_eq!(stats.shards, shards as u64);
+        assert_eq!(stats.requests, (THREADS * 8) as u64);
+        assert!(
+            stats.passes >= shards as u64,
+            "shards={shards}: every shard must have dispatched at least once"
+        );
+        assert_eq!(stats.protocol_errors, 0);
+        handle.shutdown();
+    }
+}
+
 /// k edge cases ride the same coalesced path.
 #[test]
 fn k_edges_over_the_wire() {

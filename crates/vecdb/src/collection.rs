@@ -190,6 +190,146 @@ impl Collection {
     }
 }
 
+impl Collection {
+    /// Copy rows `start..end` out into a standalone [`Collection`]: same
+    /// dim, same category-name table, labels preserved, member lists
+    /// rebuilt against the **local** row numbering, and the f32 mirror
+    /// re-derived from the sliced rows when the source carries one
+    /// (f64→f32 rounding is deterministic per value, so the slice's
+    /// mirror bits equal the corresponding source-mirror bits; its
+    /// `max_abs` is recomputed over the slice alone, which can only
+    /// tighten the rounding bound the f32-rescore scans derive from it).
+    /// This is the shard-construction primitive of
+    /// [`ShardedCollection::split`].
+    pub fn slice_rows(&self, start: usize, end: usize) -> Collection {
+        assert!(start <= end && end <= self.len(), "row range out of bounds");
+        let data = self.data[start * self.dim..end * self.dim].to_vec();
+        let labels = self.labels[start..end].to_vec();
+        let mut members_by_category = vec![Vec::new(); self.category_names.len()];
+        for (i, &label) in labels.iter().enumerate() {
+            if label != NO_CATEGORY {
+                members_by_category[label as usize].push(i);
+            }
+        }
+        let mirror = self.mirror.is_some().then(|| MirrorF32::build(&data));
+        Collection {
+            dim: self.dim,
+            data,
+            labels,
+            category_names: self.category_names.clone(),
+            members_by_category,
+            mirror,
+        }
+    }
+}
+
+/// A [`Collection`] partitioned into `S` contiguous row shards.
+///
+/// Shard `i` owns the global rows `offset(i)..offset(i + 1)` as its own
+/// standalone `Collection` — its own contiguous f64 buffer and (when the
+/// source collection carried one) its own f32 mirror — so `S` scan
+/// passes can stream `S` disjoint buffers from `S` cores at once. The
+/// scatter/gather scan ([`ShardedScan`](crate::knn::ShardedScan)) runs
+/// every query against every shard and merges the per-shard k-bests in
+/// key space with the deterministic `(key, index)` order, which pins the
+/// merged answer bit-identical to the unsharded scan: per-row keys do
+/// not depend on where block or shard boundaries fall, and selection
+/// happens in the same key space either way.
+///
+/// Row splits are balanced (`shard i = rows ⌊i·len/S⌋..⌊(i+1)·len/S⌋`),
+/// so `S > len` simply leaves the tail shards empty — a legal,
+/// zero-work degenerate every consumer must tolerate.
+#[derive(Debug, Clone)]
+pub struct ShardedCollection {
+    shards: Vec<Collection>,
+    /// Global start row per shard plus the total length (`S + 1`
+    /// entries, ascending): shard `i` covers `offsets[i]..offsets[i+1]`.
+    offsets: Vec<usize>,
+    dim: usize,
+}
+
+impl ShardedCollection {
+    /// Partition `coll` into `shard_count` contiguous row shards
+    /// (`shard_count` is clamped to at least 1). Each shard copies its
+    /// rows once; the source collection is left untouched.
+    pub fn split(coll: &Collection, shard_count: usize) -> Self {
+        let s = shard_count.max(1);
+        let len = coll.len();
+        let mut shards = Vec::with_capacity(s);
+        let mut offsets = Vec::with_capacity(s + 1);
+        for i in 0..s {
+            let start = i * len / s;
+            let end = (i + 1) * len / s;
+            offsets.push(start);
+            shards.push(coll.slice_rows(start, end));
+        }
+        offsets.push(len);
+        ShardedCollection {
+            shards,
+            offsets,
+            dim: coll.dim(),
+        }
+    }
+
+    /// Number of shards (at least 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Borrow shard `i`'s collection.
+    pub fn shard(&self, i: usize) -> &Collection {
+        &self.shards[i]
+    }
+
+    /// All shards in global row order.
+    pub fn shards(&self) -> &[Collection] {
+        &self.shards
+    }
+
+    /// Global row index of shard `i`'s first row (shard `i` covers
+    /// `offset(i)..offset(i + 1)`; `offset(shard_count())` is the total
+    /// length). A shard-local result index plus this offset is the
+    /// global index the unsharded scan would report.
+    pub fn offset(&self, i: usize) -> usize {
+        self.offsets[i]
+    }
+
+    /// Total number of vectors across all shards.
+    pub fn len(&self) -> usize {
+        *self.offsets.last().expect("offsets non-empty")
+    }
+
+    /// True when every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimensionality of every vector (coherent across shards).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// True when every shard carries its f32 mirror (the precondition
+    /// for a fully mirrored `F32Rescore` pass; shards without a mirror
+    /// degrade to the f64 path individually, results identical).
+    pub fn has_f32_mirror(&self) -> bool {
+        self.shards.iter().all(Collection::has_f32_mirror)
+    }
+
+    /// Build every shard's f32 mirror (idempotent per shard).
+    pub fn ensure_f32_mirror(&mut self) {
+        for shard in &mut self.shards {
+            shard.ensure_f32_mirror();
+        }
+    }
+
+    /// Heap bytes of all shards' vector payloads (f64 buffers plus f32
+    /// mirrors), same accounting as [`Collection::memory_bytes`].
+    pub fn memory_bytes(&self) -> usize {
+        self.shards.iter().map(Collection::memory_bytes).sum()
+    }
+}
+
 /// Builder for [`Collection`].
 #[derive(Debug, Default)]
 pub struct CollectionBuilder {
@@ -411,6 +551,95 @@ mod tests {
         assert!(c.has_f32_mirror());
         assert_eq!(c.dim(), 3);
         assert_eq!(c.block_f32(0, 0).unwrap(), &[] as &[f32]);
+    }
+
+    #[test]
+    fn slice_rows_preserves_rows_labels_and_mirror() {
+        let mut b = CollectionBuilder::new().with_f32_mirror();
+        let cat = b.category("X");
+        for i in 0..10 {
+            if i % 3 == 0 {
+                b.push(&[i as f64, -(i as f64)], cat).unwrap();
+            } else {
+                b.push_unlabelled(&[i as f64, -(i as f64)]).unwrap();
+            }
+        }
+        let c = b.build();
+        let s = c.slice_rows(3, 7);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.dim(), 2);
+        for i in 0..4 {
+            assert_eq!(s.vector(i), c.vector(3 + i));
+            assert_eq!(s.label(i), c.label(3 + i));
+        }
+        // Member lists are local: global rows 3 and 6 → local 0 and 3.
+        assert_eq!(s.category_members(cat), &[0, 3]);
+        // The mirror is carried over bit-for-bit (deterministic rounding)
+        // with a slice-local max_abs.
+        assert!(s.has_f32_mirror());
+        assert_eq!(s.block_f32(0, 4).unwrap(), c.block_f32(3, 7).unwrap());
+        assert_eq!(s.max_abs(), Some(6.0));
+        // No-mirror sources slice without one.
+        let mut plain = CollectionBuilder::new();
+        plain.push_unlabelled(&[1.0]).unwrap();
+        assert!(!plain.build().slice_rows(0, 1).has_f32_mirror());
+        // Empty slices are legal.
+        assert_eq!(c.slice_rows(5, 5).len(), 0);
+    }
+
+    #[test]
+    fn sharded_split_covers_rows_contiguously() {
+        let mut b = CollectionBuilder::new();
+        for i in 0..10 {
+            b.push_unlabelled(&[i as f64]).unwrap();
+        }
+        let c = b.build();
+        for s in [1, 2, 3, 7, 10, 25] {
+            let sc = ShardedCollection::split(&c, s);
+            assert_eq!(sc.shard_count(), s);
+            assert_eq!(sc.len(), 10);
+            assert_eq!(sc.dim(), 1);
+            assert!(!sc.is_empty());
+            // Offsets tile the row space; every global row round-trips.
+            for i in 0..s {
+                let (lo, hi) = (sc.offset(i), sc.offset(i + 1));
+                assert_eq!(sc.shard(i).len(), hi - lo, "shards={s} shard {i}");
+                for local in 0..(hi - lo) {
+                    assert_eq!(sc.shard(i).vector(local), c.vector(lo + local));
+                }
+            }
+            assert_eq!(sc.offset(s), 10);
+            // S > len leaves (only) tail shards empty.
+            if s > 10 {
+                assert!(sc.shards().iter().any(Collection::is_empty));
+            }
+        }
+        // Degenerate: 0 clamps to 1 shard.
+        assert_eq!(ShardedCollection::split(&c, 0).shard_count(), 1);
+    }
+
+    #[test]
+    fn sharded_mirror_and_memory_accounting() {
+        let mut b = CollectionBuilder::new();
+        for i in 0..6 {
+            b.push_unlabelled(&[i as f64, 0.5]).unwrap();
+        }
+        let c = b.build();
+        let mut sc = ShardedCollection::split(&c, 4);
+        assert!(!sc.has_f32_mirror());
+        assert_eq!(sc.memory_bytes(), c.memory_bytes());
+        sc.ensure_f32_mirror();
+        assert!(sc.has_f32_mirror());
+        assert_eq!(sc.memory_bytes(), 6 * 2 * 8 + 6 * 2 * 4);
+        // Splitting a mirrored source mirrors every shard up front.
+        let mut mc = c.clone();
+        mc.ensure_f32_mirror();
+        assert!(ShardedCollection::split(&mc, 3).has_f32_mirror());
+        // An empty collection still splits into S (empty) shards.
+        let empty = ShardedCollection::split(&CollectionBuilder::new().build(), 3);
+        assert_eq!(empty.shard_count(), 3);
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
     }
 
     #[test]

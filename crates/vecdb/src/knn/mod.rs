@@ -21,11 +21,13 @@
 mod mtree;
 mod multi;
 mod scan;
+mod sharded;
 mod vptree;
 
 pub use mtree::{MTree, MTreeConfig};
 pub use multi::MultiQueryScan;
 pub use scan::{LinearScan, ScanMode};
+pub use sharded::{merge_partials, ShardPartial, ShardedScan};
 pub use vptree::VpTree;
 
 use crate::collection::Collection;
@@ -87,35 +89,70 @@ pub(crate) fn f32_bound_up(bound: f64) -> f32 {
 /// so as long as the candidate set contains the true top-k (the phase-1
 /// guarantee) the result is identical to a full f64 scan — same indices,
 /// same key bits, same distances.
-pub(crate) fn rescore_f64(
+/// The result stays one step short of finishing: the exact f64 k-best
+/// still in **key space**, so callers (the multi-query scan's public
+/// wrappers, the sharded scan's scatter stage) can merge several
+/// partial k-bests by `(key, index)` before paying the `finish_key`
+/// root.
+pub(crate) fn rescore_f64_keyed(
     coll: &Collection,
     query: &[f64],
     dist: &dyn Distance,
     cands: &[u32],
     k: usize,
-) -> Vec<Neighbor> {
+) -> KBest {
     let dim = coll.dim();
     let mut kb = KBest::new(k);
     if dim == 0 {
-        return kb.into_sorted();
+        return kb;
     }
     // Right-sized gather buffer: candidate pools are usually ~k rows, so
     // allocating (and page-touching) a full block's worth per call would
-    // cost more than the gather itself.
+    // cost more than the gather itself. Filled by appending (pure
+    // memcpy) rather than zero-init + overwrite — the sharded scatter
+    // path runs one rescore per shard per query, so per-call buffer
+    // zeroing would multiply with the shard count for no benefit.
     let chunk_rows = cands.len().clamp(1, BLOCK_ROWS);
-    let mut rows = vec![0.0f64; chunk_rows * dim];
+    let mut rows: Vec<f64> = Vec::with_capacity(chunk_rows * dim);
     let mut keys = [0.0f64; BLOCK_ROWS];
     for chunk in cands.chunks(chunk_rows) {
         let n = chunk.len();
-        for (slot, &i) in rows.chunks_exact_mut(dim).zip(chunk.iter()) {
-            slot.copy_from_slice(coll.vector(i as usize));
+        rows.clear();
+        for &i in chunk {
+            rows.extend_from_slice(coll.vector(i as usize));
         }
         dist.eval_key_batch(query, &rows[..n * dim], dim, kb.threshold(), &mut keys[..n]);
         for (&i, &key) in chunk.iter().zip(keys.iter()) {
             kb.push(i, key);
         }
     }
-    kb.into_sorted_with(|key| dist.finish_key(key))
+    kb
+}
+
+/// Turn one query's keyed k-best entries into the public result form:
+/// map each stored value through `finish_key` (unless the pass already
+/// stored true distances — the Scalar reference), then order by the
+/// canonical ascending `(dist, index)`. The re-sort matters only when
+/// two distinct keys round to the same finished distance; selection
+/// already happened in key space.
+pub(crate) fn finish_entries(
+    entries: Vec<(f64, u32)>,
+    finished: bool,
+    dist: &dyn Distance,
+) -> Vec<Neighbor> {
+    let mut v: Vec<Neighbor> = entries
+        .into_iter()
+        .map(|(value, index)| Neighbor {
+            index,
+            dist: if finished {
+                value
+            } else {
+                dist.finish_key(value)
+            },
+        })
+        .collect();
+    v.sort_unstable_by(Neighbor::total_cmp);
+    v
 }
 
 /// Rows evaluated per batched kernel invocation (shared by
@@ -295,6 +332,19 @@ impl KBest {
     /// Iterate the raw `(value, index)` entries (unsorted heap order).
     pub(crate) fn entries(&self) -> impl Iterator<Item = (f64, u32)> + '_ {
         self.heap.iter().map(|e| (e.dist, e.index))
+    }
+
+    /// Consume into `(value, index)` entries sorted ascending by
+    /// `(value, index)` — the merge-ready keyed form the sharded scan
+    /// folds across shards before finishing.
+    pub(crate) fn into_sorted_entries(self) -> Vec<(f64, u32)> {
+        let mut v: Vec<(f64, u32)> = self.heap.into_iter().map(|e| (e.dist, e.index)).collect();
+        v.sort_unstable_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("non-finite key")
+                .then(a.1.cmp(&b.1))
+        });
+        v
     }
 }
 

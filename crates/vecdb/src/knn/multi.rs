@@ -44,11 +44,24 @@
 //! of the pass moves half the bytes.
 
 use super::{
-    f32_bound_up, rescore_f64, scan_threads, KBest, Neighbor, Precision, ScanMode, SearchStats,
-    BLOCK_ROWS, PARALLEL_CUTOFF,
+    f32_bound_up, finish_entries, rescore_f64_keyed, scan_threads, KBest, Neighbor, Precision,
+    ScanMode, SearchStats, BLOCK_ROWS, PARALLEL_CUTOFF,
 };
 use crate::collection::Collection;
 use crate::distance::{kernels, Distance, WeightedEuclidean};
+
+/// Keyed (pre-[`Distance::finish_key`]) results of one multi-query
+/// pass: one ascending `(value, index)` k-best per query, plus whether
+/// the values are already true distances (the Scalar reference pushes
+/// distances; the kernel paths push surrogate keys). This is the unit
+/// the sharded scatter/gather scan merges across shards **before**
+/// finishing, so selection happens in one key space end to end.
+pub(crate) struct KeyedResults {
+    /// Per query: `(value, local index)`, ascending by `(value, index)`.
+    pub entries: Vec<Vec<(f64, u32)>>,
+    /// True when values are distances (identity finish — Scalar mode).
+    pub finished: bool,
+}
 
 /// One f32 phase-1 chunk pass: scan a row range, tracking per-query
 /// k-bests (f32 keys) and `(index, key32)` candidate pools.
@@ -176,12 +189,39 @@ impl<'a> MultiQueryScan<'a> {
         ks: &[usize],
         dist: &dyn Distance,
     ) -> Vec<Vec<Neighbor>> {
+        let keyed = self.knn_multi_k_keyed(queries, ks, dist, None);
+        keyed
+            .entries
+            .into_iter()
+            .map(|e| finish_entries(e, keyed.finished, dist))
+            .collect()
+    }
+
+    /// [`Self::knn_multi_k`] stopped before the `finish_key` step: the
+    /// pass's exact k-bests in selection space, for the sharded scan's
+    /// per-shard scatter stage.
+    ///
+    /// `caps` (one per query, when given) are **sound pruning seeds**:
+    /// the caller guarantees `caps[q]` is an upper bound on the true
+    /// global k-th key of query `q` (in this pass's selection space),
+    /// so rows with larger values can be dropped before the running
+    /// k-best would have — the cross-shard bound-propagation lever.
+    /// Rows beyond a cap never enter the result, which is exactly why a
+    /// sound cap cannot change the merged global answer; an `INFINITY`
+    /// cap is a no-op.
+    pub(crate) fn knn_multi_k_keyed(
+        &self,
+        queries: &[&[f64]],
+        ks: &[usize],
+        dist: &dyn Distance,
+        caps: Option<&[f64]>,
+    ) -> KeyedResults {
         assert_eq!(queries.len(), ks.len(), "one k per query");
-        if queries.is_empty() {
-            return Vec::new();
-        }
-        if self.coll.is_empty() {
-            return vec![Vec::new(); queries.len()];
+        if queries.is_empty() || self.coll.is_empty() {
+            return KeyedResults {
+                entries: vec![Vec::new(); queries.len()],
+                finished: true,
+            };
         }
         let dim = self.coll.dim();
         for q in queries {
@@ -190,51 +230,57 @@ impl<'a> MultiQueryScan<'a> {
         let mode = self.effective_mode(queries.len());
         if mode != ScanMode::Scalar {
             if let Some(slack) = self.f32_slack(dist, queries) {
-                return self.knn_multi_f32(queries, ks, dist, slack, mode);
+                return self.knn_multi_f32_keyed(queries, ks, dist, slack, mode, caps);
             }
         }
-        let kbs = match mode {
+        let (kbs, finished) = match mode {
             ScanMode::Scalar => {
                 let mut kbs: Vec<KBest> = ks.iter().map(|&k| KBest::new(k)).collect();
                 for i in 0..self.coll.len() {
                     let row = self.coll.vector(i);
-                    for (q, kb) in queries.iter().zip(kbs.iter_mut()) {
-                        kb.push(i as u32, dist.eval(q, row));
+                    for (qi, (q, kb)) in queries.iter().zip(kbs.iter_mut()).enumerate() {
+                        let d = dist.eval(q, row);
+                        if d <= cap_of(caps, qi) {
+                            kb.push(i as u32, d);
+                        }
                     }
                 }
                 // Scalar pushes true distances; finish is the identity.
-                return kbs.into_iter().map(KBest::into_sorted).collect();
+                (kbs, true)
             }
             ScanMode::Batched => {
                 let flat = flatten(queries);
                 let mut kbs: Vec<KBest> = ks.iter().map(|&k| KBest::new(k)).collect();
-                self.scan_range_shared(&flat, dist, 0..self.coll.len(), &mut kbs);
-                kbs
+                self.scan_range_shared(&flat, dist, 0..self.coll.len(), &mut kbs, caps);
+                (kbs, false)
             }
             ScanMode::Parallel => {
                 let flat = flatten(queries);
-                self.parallel_merge(ks, &|range, kbs| {
-                    self.scan_range_shared(&flat, dist, range, kbs)
-                })
+                let kbs = self.parallel_merge(ks, &|range, kbs| {
+                    self.scan_range_shared(&flat, dist, range, kbs, caps)
+                });
+                (kbs, false)
             }
             ScanMode::Auto => unreachable!("effective_mode resolves Auto"),
         };
-        kbs.into_iter()
-            .map(|kb| kb.into_sorted_with(|key| dist.finish_key(key)))
-            .collect()
+        KeyedResults {
+            entries: kbs.into_iter().map(KBest::into_sorted_entries).collect(),
+            finished,
+        }
     }
 
     /// Two-phase shared-metric scan: f32 phase-1 over the mirror
     /// (batched or fanned out over threads), exact f64 rescore of the
-    /// surviving candidates per query.
-    fn knn_multi_f32(
+    /// surviving candidates per query — results still in key space.
+    fn knn_multi_f32_keyed(
         &self,
         queries: &[&[f64]],
         ks: &[usize],
         dist: &dyn Distance,
         slack: f64,
         mode: ScanMode,
-    ) -> Vec<Vec<Neighbor>> {
+        caps: Option<&[f64]>,
+    ) -> KeyedResults {
         let flat32 = flatten_f32(queries);
         let slacks = vec![slack; ks.len()];
         let cands = match mode {
@@ -249,20 +295,28 @@ impl<'a> MultiQueryScan<'a> {
                     0..self.coll.len(),
                     &mut kbs,
                     &mut cands,
+                    caps,
                 );
-                filter_candidates(&kbs, &slacks, cands)
+                filter_candidates(&kbs, &slacks, cands, caps)
             }
-            ScanMode::Parallel => self.parallel_candidates(ks, &slacks, &|range, kbs, cands| {
-                self.scan_range_shared_f32(&flat32, dist, slack, ks, range, kbs, cands)
-            }),
+            ScanMode::Parallel => {
+                self.parallel_candidates(ks, &slacks, caps, &|range, kbs, cands| {
+                    self.scan_range_shared_f32(&flat32, dist, slack, ks, range, kbs, cands, caps)
+                })
+            }
             _ => unreachable!("f32 path only runs in kernel modes"),
         };
-        queries
-            .iter()
-            .zip(ks.iter())
-            .zip(cands.iter())
-            .map(|((q, &k), c)| rescore_f64(self.coll, q, dist, c, k))
-            .collect()
+        KeyedResults {
+            entries: queries
+                .iter()
+                .zip(ks.iter())
+                .zip(cands.iter())
+                .map(|((q, &k), c)| {
+                    rescore_f64_keyed(self.coll, q, dist, c, k).into_sorted_entries()
+                })
+                .collect(),
+            finished: false,
+        }
     }
 
     /// Like [`Self::knn_multi`] but also reports the pass's work
@@ -305,17 +359,37 @@ impl<'a> MultiQueryScan<'a> {
         dists: &[&dyn Distance],
         ks: &[usize],
     ) -> Vec<Vec<Neighbor>> {
+        let keyed = self.knn_per_query_k_keyed(queries, dists, ks, None);
+        keyed
+            .entries
+            .into_iter()
+            .zip(dists.iter())
+            .map(|(e, d)| finish_entries(e, keyed.finished, *d))
+            .collect()
+    }
+
+    /// [`Self::knn_per_query_k`] in selection space (pre-`finish_key`),
+    /// for the sharded scan's per-shard scatter stage. `caps` as on
+    /// [`Self::knn_multi_k_keyed`]: sound per-query upper bounds on the
+    /// global k-th key, used to prune earlier than the running k-best.
+    pub(crate) fn knn_per_query_k_keyed(
+        &self,
+        queries: &[&[f64]],
+        dists: &[&dyn Distance],
+        ks: &[usize],
+        caps: Option<&[f64]>,
+    ) -> KeyedResults {
         assert_eq!(
             queries.len(),
             dists.len(),
             "one distance function per query"
         );
         assert_eq!(queries.len(), ks.len(), "one k per query");
-        if queries.is_empty() {
-            return Vec::new();
-        }
-        if self.coll.is_empty() {
-            return vec![Vec::new(); queries.len()];
+        if queries.is_empty() || self.coll.is_empty() {
+            return KeyedResults {
+                entries: vec![Vec::new(); queries.len()],
+                finished: true,
+            };
         }
         let dim = self.coll.dim();
         for q in queries {
@@ -329,34 +403,45 @@ impl<'a> MultiQueryScan<'a> {
             let slacks: Option<Vec<f64>> =
                 dists.iter().map(|d| self.f32_slack(*d, queries)).collect();
             if let Some(slacks) = slacks {
-                return self.knn_per_query_f32(queries, dists, ks, &slacks, mode);
+                return self.knn_per_query_f32_keyed(queries, dists, ks, &slacks, mode, caps);
             }
         }
-        let kbs = match mode {
+        let (kbs, finished) = match mode {
             ScanMode::Scalar => {
                 let mut kbs: Vec<KBest> = ks.iter().map(|&k| KBest::new(k)).collect();
                 for i in 0..self.coll.len() {
                     let row = self.coll.vector(i);
-                    for ((q, d), kb) in queries.iter().zip(dists.iter()).zip(kbs.iter_mut()) {
-                        kb.push(i as u32, d.eval(q, row));
+                    for (q, ((query, d), kb)) in queries
+                        .iter()
+                        .zip(dists.iter())
+                        .zip(kbs.iter_mut())
+                        .enumerate()
+                    {
+                        let dist = d.eval(query, row);
+                        if dist <= cap_of(caps, q) {
+                            kb.push(i as u32, dist);
+                        }
                     }
                 }
-                return kbs.into_iter().map(KBest::into_sorted).collect();
+                (kbs, true)
             }
             ScanMode::Batched => {
                 let mut kbs: Vec<KBest> = ks.iter().map(|&k| KBest::new(k)).collect();
-                self.scan_range_per_query(queries, dists, 0..self.coll.len(), &mut kbs);
-                kbs
+                self.scan_range_per_query(queries, dists, 0..self.coll.len(), &mut kbs, caps);
+                (kbs, false)
             }
-            ScanMode::Parallel => self.parallel_merge(ks, &|range, kbs| {
-                self.scan_range_per_query(queries, dists, range, kbs)
-            }),
+            ScanMode::Parallel => {
+                let kbs = self.parallel_merge(ks, &|range, kbs| {
+                    self.scan_range_per_query(queries, dists, range, kbs, caps)
+                });
+                (kbs, false)
+            }
             ScanMode::Auto => unreachable!("effective_mode resolves Auto"),
         };
-        kbs.into_iter()
-            .zip(dists.iter())
-            .map(|(kb, d)| kb.into_sorted_with(|key| d.finish_key(key)))
-            .collect()
+        KeyedResults {
+            entries: kbs.into_iter().map(KBest::into_sorted_entries).collect(),
+            finished,
+        }
     }
 
     /// [`Self::knn_per_query_k`] specialized to **per-query
@@ -376,13 +461,32 @@ impl<'a> MultiQueryScan<'a> {
         metrics: &[WeightedEuclidean],
         ks: &[usize],
     ) -> Vec<Vec<Neighbor>> {
+        let keyed = self.knn_weighted_per_query_k_keyed(queries, metrics, ks, None);
+        keyed
+            .entries
+            .into_iter()
+            .zip(metrics.iter())
+            .map(|(e, m)| finish_entries(e, keyed.finished, m))
+            .collect()
+    }
+
+    /// [`Self::knn_weighted_per_query_k`] in selection space
+    /// (pre-`finish_key`), for the sharded scan's per-shard scatter
+    /// stage. `caps` as on [`Self::knn_multi_k_keyed`].
+    pub(crate) fn knn_weighted_per_query_k_keyed(
+        &self,
+        queries: &[&[f64]],
+        metrics: &[WeightedEuclidean],
+        ks: &[usize],
+        caps: Option<&[f64]>,
+    ) -> KeyedResults {
         assert_eq!(queries.len(), metrics.len(), "one metric per query");
         assert_eq!(queries.len(), ks.len(), "one k per query");
-        if queries.is_empty() {
-            return Vec::new();
-        }
-        if self.coll.is_empty() {
-            return vec![Vec::new(); queries.len()];
+        if queries.is_empty() || self.coll.is_empty() {
+            return KeyedResults {
+                entries: vec![Vec::new(); queries.len()],
+                finished: true,
+            };
         }
         let dim = self.coll.dim();
         for q in queries {
@@ -395,7 +499,7 @@ impl<'a> MultiQueryScan<'a> {
         if mode == ScanMode::Scalar {
             // The scalar reference has no kernel layout to specialize.
             let dists: Vec<&dyn Distance> = metrics.iter().map(|m| m as &dyn Distance).collect();
-            return self.knn_per_query_k(queries, &dists, ks);
+            return self.knn_per_query_k_keyed(queries, &dists, ks, caps);
         }
         // All-or-nothing f32 eligibility, exactly like the generic path.
         let slacks: Option<Vec<f64>> = metrics.iter().map(|m| self.f32_slack(m, queries)).collect();
@@ -428,7 +532,7 @@ impl<'a> MultiQueryScan<'a> {
                             *b64 = if ks[q] == 0 {
                                 f64::NEG_INFINITY
                             } else {
-                                kb.threshold() + 2.0 * slacks[q]
+                                kb.threshold().min(cap_of(caps, q)) + 2.0 * slacks[q]
                             };
                             *b32 = f32_bound_up(*b64);
                         }
@@ -457,17 +561,22 @@ impl<'a> MultiQueryScan<'a> {
                     let mut kbs: Vec<KBest> = ks.iter().map(|&k| KBest::new(k)).collect();
                     let mut cands: Vec<Vec<(u32, f32)>> = vec![Vec::new(); nq];
                     scan_chunk(0..self.coll.len(), &mut kbs, &mut cands);
-                    filter_candidates(&kbs, &slacks, cands)
+                    filter_candidates(&kbs, &slacks, cands, caps)
                 }
-                ScanMode::Parallel => self.parallel_candidates(ks, &slacks, &scan_chunk),
+                ScanMode::Parallel => self.parallel_candidates(ks, &slacks, caps, &scan_chunk),
                 _ => unreachable!("f32 path only runs in kernel modes"),
             };
-            return queries
-                .iter()
-                .zip(metrics.iter().zip(ks.iter()))
-                .zip(cands.iter())
-                .map(|((q, (m, &k)), c)| rescore_f64(self.coll, q, m, c, k))
-                .collect();
+            return KeyedResults {
+                entries: queries
+                    .iter()
+                    .zip(metrics.iter().zip(ks.iter()))
+                    .zip(cands.iter())
+                    .map(|((q, (m, &k)), c)| {
+                        rescore_f64_keyed(self.coll, q, m, c, k).into_sorted_entries()
+                    })
+                    .collect(),
+                finished: false,
+            };
         }
         // Pure-f64 pass through the same multi-kernel layout.
         let flat_q = flatten(queries);
@@ -481,8 +590,8 @@ impl<'a> MultiQueryScan<'a> {
                 let end = (start + BLOCK_ROWS).min(rows.end);
                 let n = end - start;
                 let block = self.coll.block(start, end);
-                for (b, kb) in bounds.iter_mut().zip(kbs.iter()) {
-                    *b = kb.threshold();
+                for (q, (b, kb)) in bounds.iter_mut().zip(kbs.iter()).enumerate() {
+                    *b = kb.threshold().min(cap_of(caps, q));
                 }
                 kernels::weighted_sq_multi_block(
                     &flat_w,
@@ -495,7 +604,12 @@ impl<'a> MultiQueryScan<'a> {
                 );
                 for (q, kb) in kbs.iter_mut().enumerate() {
                     for (offset, &key) in keys[q * n..(q + 1) * n].iter().enumerate() {
-                        kb.push((start + offset) as u32, key);
+                        // Capped pruning can abandon rows before the
+                        // k-best is full; the bound guard keeps their
+                        // partial-sum keys (> bound) out of the heap.
+                        if key <= bounds[q] {
+                            kb.push((start + offset) as u32, key);
+                        }
                     }
                 }
                 start = end;
@@ -510,21 +624,23 @@ impl<'a> MultiQueryScan<'a> {
             ScanMode::Parallel => self.parallel_merge(ks, &scan_chunk),
             _ => unreachable!("scalar handled above"),
         };
-        kbs.into_iter()
-            .zip(metrics.iter())
-            .map(|(kb, m)| kb.into_sorted_with(|key| m.finish_key(key)))
-            .collect()
+        KeyedResults {
+            entries: kbs.into_iter().map(KBest::into_sorted_entries).collect(),
+            finished: false,
+        }
     }
 
-    /// Two-phase per-query-metric scan (each query's own slack/kernels).
-    fn knn_per_query_f32(
+    /// Two-phase per-query-metric scan (each query's own slack/kernels),
+    /// results still in key space.
+    fn knn_per_query_f32_keyed(
         &self,
         queries: &[&[f64]],
         dists: &[&dyn Distance],
         ks: &[usize],
         slacks: &[f64],
         mode: ScanMode,
-    ) -> Vec<Vec<Neighbor>> {
+        caps: Option<&[f64]>,
+    ) -> KeyedResults {
         let q32s: Vec<Vec<f32>> = queries
             .iter()
             .map(|q| q.iter().map(|&v| v as f32).collect())
@@ -541,20 +657,28 @@ impl<'a> MultiQueryScan<'a> {
                     0..self.coll.len(),
                     &mut kbs,
                     &mut cands,
+                    caps,
                 );
-                filter_candidates(&kbs, slacks, cands)
+                filter_candidates(&kbs, slacks, cands, caps)
             }
-            ScanMode::Parallel => self.parallel_candidates(ks, slacks, &|range, kbs, cands| {
-                self.scan_range_per_query_f32(&q32s, dists, slacks, ks, range, kbs, cands)
-            }),
+            ScanMode::Parallel => {
+                self.parallel_candidates(ks, slacks, caps, &|range, kbs, cands| {
+                    self.scan_range_per_query_f32(&q32s, dists, slacks, ks, range, kbs, cands, caps)
+                })
+            }
             _ => unreachable!("f32 path only runs in kernel modes"),
         };
-        queries
-            .iter()
-            .zip(dists.iter().zip(ks.iter()))
-            .zip(cands.iter())
-            .map(|((q, (d, &k)), c)| rescore_f64(self.coll, q, *d, c, k))
-            .collect()
+        KeyedResults {
+            entries: queries
+                .iter()
+                .zip(dists.iter().zip(ks.iter()))
+                .zip(cands.iter())
+                .map(|((q, (d, &k)), c)| {
+                    rescore_f64_keyed(self.coll, q, *d, c, k).into_sorted_entries()
+                })
+                .collect(),
+            finished: false,
+        }
     }
 
     /// Shared-metric blocked pass over one contiguous index range:
@@ -566,6 +690,7 @@ impl<'a> MultiQueryScan<'a> {
         dist: &dyn Distance,
         rows: std::ops::Range<usize>,
         kbs: &mut [KBest],
+        caps: Option<&[f64]>,
     ) {
         let dim = self.coll.dim();
         let nq = kbs.len();
@@ -576,13 +701,18 @@ impl<'a> MultiQueryScan<'a> {
             let end = (start + BLOCK_ROWS).min(rows.end);
             let n = end - start;
             let block = self.coll.block(start, end);
-            for (b, kb) in bounds.iter_mut().zip(kbs.iter()) {
-                *b = kb.threshold();
+            for (q, (b, kb)) in bounds.iter_mut().zip(kbs.iter()).enumerate() {
+                *b = kb.threshold().min(cap_of(caps, q));
             }
             dist.eval_key_multi(flat_queries, block, dim, &bounds, &mut keys[..nq * n]);
             for (q, kb) in kbs.iter_mut().enumerate() {
                 for (offset, &key) in keys[q * n..(q + 1) * n].iter().enumerate() {
-                    kb.push((start + offset) as u32, key);
+                    // Capped pruning can abandon rows before the k-best
+                    // is full; keep their partial-sum keys (> bound)
+                    // out of the heap.
+                    if key <= bounds[q] {
+                        kb.push((start + offset) as u32, key);
+                    }
                 }
             }
             start = end;
@@ -619,6 +749,7 @@ impl<'a> MultiQueryScan<'a> {
         rows: std::ops::Range<usize>,
         kbs: &mut [KBest],
         cands: &mut [Vec<(u32, f32)>],
+        caps: Option<&[f64]>,
     ) {
         let dim = self.coll.dim();
         let nq = kbs.len();
@@ -633,10 +764,11 @@ impl<'a> MultiQueryScan<'a> {
                 .coll
                 .block_f32(start, end)
                 .expect("f32 path requires the mirror");
-            for ((b64, b32), (kb, &k)) in bounds64
+            for (q, ((b64, b32), (kb, &k))) in bounds64
                 .iter_mut()
                 .zip(bounds32.iter_mut())
                 .zip(kbs.iter().zip(ks.iter()))
+                .enumerate()
             {
                 // k = 0 collects nothing (an empty result needs no
                 // candidates; KBest's idle threshold would otherwise
@@ -644,7 +776,7 @@ impl<'a> MultiQueryScan<'a> {
                 *b64 = if k == 0 {
                     f64::NEG_INFINITY
                 } else {
-                    kb.threshold() + 2.0 * slack
+                    kb.threshold().min(cap_of(caps, q)) + 2.0 * slack
                 };
                 *b32 = f32_bound_up(*b64);
             }
@@ -675,6 +807,7 @@ impl<'a> MultiQueryScan<'a> {
         rows: std::ops::Range<usize>,
         kbs: &mut [KBest],
         cands: &mut [Vec<(u32, f32)>],
+        caps: Option<&[f64]>,
     ) {
         let dim = self.coll.dim();
         let mut keys = [0.0f32; BLOCK_ROWS];
@@ -695,7 +828,7 @@ impl<'a> MultiQueryScan<'a> {
                 let bound64 = if ks[q] == 0 {
                     f64::NEG_INFINITY
                 } else {
-                    kb.threshold() + 2.0 * slacks[q]
+                    kb.threshold().min(cap_of(caps, q)) + 2.0 * slacks[q]
                 };
                 d.eval_key_batch_f32(q32, block, dim, f32_bound_up(bound64), &mut keys[..n]);
                 for (offset, &key) in keys[..n].iter().enumerate() {
@@ -718,6 +851,7 @@ impl<'a> MultiQueryScan<'a> {
         dists: &[&dyn Distance],
         rows: std::ops::Range<usize>,
         kbs: &mut [KBest],
+        caps: Option<&[f64]>,
     ) {
         let dim = self.coll.dim();
         let mut keys = [0.0f64; BLOCK_ROWS];
@@ -726,10 +860,18 @@ impl<'a> MultiQueryScan<'a> {
             let end = (start + BLOCK_ROWS).min(rows.end);
             let n = end - start;
             let block = self.coll.block(start, end);
-            for ((q, d), kb) in queries.iter().zip(dists.iter()).zip(kbs.iter_mut()) {
-                d.eval_key_batch(q, block, dim, kb.threshold(), &mut keys[..n]);
+            for (qi, ((q, d), kb)) in queries
+                .iter()
+                .zip(dists.iter())
+                .zip(kbs.iter_mut())
+                .enumerate()
+            {
+                let bound = kb.threshold().min(cap_of(caps, qi));
+                d.eval_key_batch(q, block, dim, bound, &mut keys[..n]);
                 for (offset, &key) in keys[..n].iter().enumerate() {
-                    kb.push((start + offset) as u32, key);
+                    if key <= bound {
+                        kb.push((start + offset) as u32, key);
+                    }
                 }
             }
             start = end;
@@ -807,6 +949,7 @@ impl<'a> MultiQueryScan<'a> {
         &self,
         ks: &[usize],
         slacks: &[f64],
+        caps: Option<&[f64]>,
         scan_chunk: &F32ChunkScan<'_>,
     ) -> Vec<Vec<u32>> {
         let len = self.coll.len();
@@ -816,7 +959,7 @@ impl<'a> MultiQueryScan<'a> {
             let mut kbs: Vec<KBest> = ks.iter().map(|&k| KBest::new(k)).collect();
             let mut cands: Vec<Vec<(u32, f32)>> = vec![Vec::new(); nq];
             scan_chunk(0..len, &mut kbs, &mut cands);
-            return filter_candidates(&kbs, slacks, cands);
+            return filter_candidates(&kbs, slacks, cands, caps);
         }
         let chunk = len.div_ceil(threads);
         let mut merged: Vec<Vec<u32>> = vec![Vec::new(); nq];
@@ -829,7 +972,7 @@ impl<'a> MultiQueryScan<'a> {
                         let mut kbs: Vec<KBest> = ks.iter().map(|&k| KBest::new(k)).collect();
                         let mut cands: Vec<Vec<(u32, f32)>> = vec![Vec::new(); nq];
                         scan_chunk(lo..hi, &mut kbs, &mut cands);
-                        filter_candidates(&kbs, slacks, cands)
+                        filter_candidates(&kbs, slacks, cands, caps)
                     })
                 })
                 .collect();
@@ -858,18 +1001,34 @@ impl<'a> MultiQueryScan<'a> {
 /// [`MultiQueryScan::scan_range_shared_f32`] applies verbatim and the
 /// filtered pool still contains the true f64 top-k — while the rescore
 /// now gathers ~k scattered rows instead of hundreds.
-fn filter_candidates(kbs: &[KBest], slacks: &[f64], cands: Vec<Vec<(u32, f32)>>) -> Vec<Vec<u32>> {
+fn filter_candidates(
+    kbs: &[KBest],
+    slacks: &[f64],
+    cands: Vec<Vec<(u32, f32)>>,
+    caps: Option<&[f64]>,
+) -> Vec<Vec<u32>> {
     kbs.iter()
         .zip(slacks.iter())
         .zip(cands)
-        .map(|((kb, &slack), cand)| {
-            let bound = kb.threshold() + 2.0 * slack;
+        .enumerate()
+        .map(|(q, ((kb, &slack), cand))| {
+            let bound = kb.threshold().min(cap_of(caps, q)) + 2.0 * slack;
             cand.into_iter()
                 .filter(|&(_, key)| (key as f64) <= bound)
                 .map(|(i, _)| i)
                 .collect()
         })
         .collect()
+}
+
+/// Query `q`'s pruning cap: a caller-guaranteed upper bound on the
+/// true global k-th key, or `+∞` when no caps were provided. Taking
+/// `min(running threshold, cap)` everywhere a bound is formed can only
+/// drop rows that cannot appear in the merged global top-k, which is
+/// the entire soundness argument for cross-shard bound propagation.
+#[inline]
+fn cap_of(caps: Option<&[f64]>, q: usize) -> f64 {
+    caps.map_or(f64::INFINITY, |c| c[q])
 }
 
 /// Concatenate query slices into the row-major layout the multi-query

@@ -1,0 +1,449 @@
+//! Scatter/gather scanning over a [`ShardedCollection`]: every query
+//! runs against every shard, and the per-shard k-bests merge — still in
+//! key space — into the exact answer the unsharded scan would return.
+//!
+//! A single [`MultiQueryScan`] pass is bounded by one core's streaming
+//! bandwidth once its parallel path saturates, and a serving stack built
+//! on one dispatcher inherits that bound. Sharding breaks it: each shard
+//! is its own contiguous collection (own f64 buffer, own f32 mirror),
+//! so `S` passes stream `S` disjoint buffers from `S` cores with no
+//! shared write state at all. The scatter stage fans a coalesced query
+//! batch out across shards — either through [`ShardedScan`]'s own
+//! scoped-thread workers (the one-shot entry points) or through external
+//! per-shard schedulers (the `fbp-server` shard dispatchers), which call
+//! [`ShardedScan::scan_shard`]-family methods directly and gather
+//! [`ShardPartial`]s themselves.
+//!
+//! # Why the merged answer is bit-identical to the unsharded scan
+//!
+//! * A row's surrogate key depends only on `(query, row)` — never on
+//!   where block or shard boundaries fall, which rows precede it, or
+//!   which threads scanned it (early-abandon bounds only ever *drop*
+//!   rows that cannot enter a k-best; the f32 phase-1 collects a
+//!   guaranteed superset and the f64 rescore recomputes exact keys).
+//! * Each shard therefore reports its exact local k-best **in key
+//!   space** ([`ShardPartial`]), with indices already offset to the
+//!   global row numbering.
+//! * The gather folds those partials through one [`KBest`] per query by
+//!   ascending `(key, index)` — the same deterministic order the
+//!   parallel scan's per-thread merge uses — and only the final winners
+//!   pay [`Distance::finish_key`]. Selection thus happens in the same
+//!   space, over the same key bits, with the same tie-break as one flat
+//!   pass.
+//!
+//! The consistency suite (`crates/vecdb/tests/sharded.rs`) pins this
+//! across all four distance classes, both precisions, and shard counts
+//! up to one row per shard.
+
+use super::multi::KeyedResults;
+use super::{finish_entries, KBest, KnnEngine, LinearScan, MultiQueryScan, Neighbor};
+use super::{Precision, ScanMode, PARALLEL_CUTOFF};
+use crate::collection::ShardedCollection;
+use crate::distance::{Distance, WeightedEuclidean};
+
+/// One scatter worker's shard assignment: `(shard index, result slot)`
+/// pairs it fills in round-robin order.
+type WorkerSlots<'s> = Vec<(usize, &'s mut Option<Vec<ShardPartial>>)>;
+
+/// One query's k-best over one shard, still in selection space: `(key,
+/// global index)` entries ascending by `(key, index)`, plus whether the
+/// keys are already finished distances (a Scalar-mode pass). Opaque by
+/// design — produce it with a [`ShardedScan`] scatter call, consume it
+/// with [`merge_partials`]; everything in between (a network hop, a
+/// per-shard batching queue) may reorder or regroup partials freely
+/// without affecting the merged answer.
+#[derive(Debug, Clone)]
+pub struct ShardPartial {
+    entries: Vec<(f64, u32)>,
+    finished: bool,
+}
+
+impl ShardPartial {
+    /// This shard's `k`-th best value, when the partial holds at least
+    /// `k` entries — a **sound pruning seed** for other shards: the
+    /// k-th best within any subset of rows can only be ≥ the global
+    /// k-th best, so another shard's pass may take `min(running
+    /// threshold, bound_key)` as its early-abandon bound without ever
+    /// dropping a row of the merged global top-k. `None` when the
+    /// shard produced fewer than `k` entries (small or empty shard) —
+    /// then it bounds nothing.
+    ///
+    /// The value lives in the partial's selection space (surrogate
+    /// keys, or distances for Scalar passes); only feed it back into
+    /// scans configured identically, as the sharded serving layer does.
+    pub fn bound_key(&self, k: usize) -> Option<f64> {
+        (k > 0 && self.entries.len() >= k).then(|| self.entries[k - 1].0)
+    }
+}
+
+/// Merge one query's per-shard partials into its final neighbor list:
+/// fold every entry through one k-best by ascending `(key, index)` —
+/// shards cover disjoint rows, so this reproduces exactly the selection
+/// one flat pass over the concatenated rows would make — then finish the
+/// winners with `dist` ([`Distance::finish_key`], or the identity for
+/// Scalar-mode partials). The partials may arrive in any shard order;
+/// the result does not depend on it.
+///
+/// # Panics
+///
+/// Panics when partials mix Scalar and kernel-mode passes (their values
+/// live in different spaces; produce all partials from [`ShardedScan`]s
+/// configured identically).
+pub fn merge_partials<'p>(
+    partials: impl IntoIterator<Item = &'p ShardPartial>,
+    k: usize,
+    dist: &dyn Distance,
+) -> Vec<Neighbor> {
+    let mut kb = KBest::new(k);
+    let mut finished: Option<bool> = None;
+    for part in partials {
+        // Empty partials (empty shards, k = 0) carry no values, so they
+        // are compatible with either space.
+        if part.entries.is_empty() {
+            continue;
+        }
+        match finished {
+            None => finished = Some(part.finished),
+            Some(f) => assert_eq!(
+                f, part.finished,
+                "cannot merge Scalar and kernel-mode partials"
+            ),
+        }
+        for &(key, index) in &part.entries {
+            if key > kb.threshold() {
+                break; // entries ascend: the rest of this shard can't enter
+            }
+            kb.push(index, key);
+        }
+    }
+    finish_entries(kb.into_sorted_entries(), finished.unwrap_or(true), dist)
+}
+
+/// Scatter/gather k-NN engine borrowing a [`ShardedCollection`].
+///
+/// Configuration mirrors [`MultiQueryScan`] (mode, precision, thread
+/// budget) and is applied **identically to every shard**: `Auto`
+/// resolves once, from the total work across all shards, so a sharded
+/// scan and its unsharded twin always run the same kernels. The thread
+/// budget is the *total* across shards — the scatter stage runs
+/// `min(shards, budget)` shard workers and hands each per-shard pass an
+/// even share, so sharding never oversubscribes the host.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedScan<'a> {
+    coll: &'a ShardedCollection,
+    mode: ScanMode,
+    precision: Precision,
+    thread_budget: Option<usize>,
+}
+
+impl<'a> ShardedScan<'a> {
+    /// New engine over `coll` with [`ScanMode::Auto`].
+    pub fn new(coll: &'a ShardedCollection) -> Self {
+        ShardedScan {
+            coll,
+            mode: ScanMode::Auto,
+            precision: Precision::F64,
+            thread_budget: None,
+        }
+    }
+
+    /// New engine with an explicit execution mode.
+    pub fn with_mode(coll: &'a ShardedCollection, mode: ScanMode) -> Self {
+        ShardedScan {
+            coll,
+            mode,
+            precision: Precision::F64,
+            thread_budget: None,
+        }
+    }
+
+    /// Select the scan precision ([`Precision::F32Rescore`] degrades to
+    /// the f64 path per shard when a shard has no mirror — results are
+    /// identical either way, only bandwidth differs).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Cap the **total** worker threads across all shards (at least 1).
+    pub fn with_thread_budget(mut self, threads: usize) -> Self {
+        self.thread_budget = Some(threads.max(1));
+        self
+    }
+
+    /// The underlying sharded collection.
+    pub fn collection(&self) -> &'a ShardedCollection {
+        self.coll
+    }
+
+    /// The configured execution mode.
+    pub fn mode(&self) -> ScanMode {
+        self.mode
+    }
+
+    /// The configured precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// The concrete mode every shard pass runs at: `Auto` resolves from
+    /// the **total** work across shards (`len × dim × nq`, the same
+    /// formula [`MultiQueryScan`] applies to a flat collection), so the
+    /// answer — and the kernels producing it — match the unsharded scan
+    /// regardless of how thinly the rows are sharded.
+    fn effective_mode(&self, nq: usize) -> ScanMode {
+        match self.mode {
+            ScanMode::Auto => {
+                if self.coll.len() * self.coll.dim().max(1) * nq.max(1) >= PARALLEL_CUTOFF {
+                    ScanMode::Parallel
+                } else {
+                    ScanMode::Batched
+                }
+            }
+            m => m,
+        }
+    }
+
+    /// The per-shard scan for shard `i`, carrying this engine's resolved
+    /// mode/precision and an even share of the thread budget.
+    fn shard_scan(&self, shard: usize, mode: ScanMode) -> MultiQueryScan<'a> {
+        MultiQueryScan::with_mode(self.coll.shard(shard), mode)
+            .with_precision(self.precision)
+            .with_thread_budget(self.per_shard_budget())
+    }
+
+    /// Total worker budget (explicit, or the machine's parallelism).
+    fn total_budget(&self) -> usize {
+        self.thread_budget
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .max(1)
+    }
+
+    /// Even per-shard share of the total budget (at least 1): `S` shard
+    /// passes at `budget / S` threads each keep the host at ~`budget`
+    /// total, exactly like the eval sweeps' per-configuration shares.
+    fn per_shard_budget(&self) -> usize {
+        (self.total_budget() / self.coll.shard_count()).max(1)
+    }
+
+    /// Offset a shard's keyed results to global row indices.
+    fn globalize(&self, shard: usize, keyed: KeyedResults) -> Vec<ShardPartial> {
+        let offset = self.coll.offset(shard) as u32;
+        keyed
+            .entries
+            .into_iter()
+            .map(|entries| ShardPartial {
+                entries: entries
+                    .into_iter()
+                    .map(|(key, index)| (key, index + offset))
+                    .collect(),
+                finished: keyed.finished,
+            })
+            .collect()
+    }
+
+    /// Scatter stage, shared-metric form: run shard `shard`'s pass for
+    /// every query and return one keyed partial per query (global
+    /// indices). External per-shard schedulers (the server's shard
+    /// dispatchers) call this from their own threads and gather the
+    /// partials with [`merge_partials`]; results are independent of how
+    /// requests were grouped into shard passes.
+    /// `caps` (per query, optional) are cross-shard pruning seeds —
+    /// typically other shards' [`ShardPartial::bound_key`] values. Each
+    /// must be a sound upper bound on that query's global k-th value;
+    /// passing `None` (or `+∞` entries) is always correct, a sound cap
+    /// only makes the pass cheaper, never different.
+    pub fn scan_shard_multi(
+        &self,
+        shard: usize,
+        queries: &[&[f64]],
+        ks: &[usize],
+        dist: &dyn Distance,
+        caps: Option<&[f64]>,
+    ) -> Vec<ShardPartial> {
+        let mode = self.effective_mode(queries.len());
+        let keyed = self
+            .shard_scan(shard, mode)
+            .knn_multi_k_keyed(queries, ks, dist, caps);
+        self.globalize(shard, keyed)
+    }
+
+    /// Scatter stage, per-query-metric form (`dists[i]` for
+    /// `queries[i]`).
+    pub fn scan_shard_per_query(
+        &self,
+        shard: usize,
+        queries: &[&[f64]],
+        dists: &[&dyn Distance],
+        ks: &[usize],
+        caps: Option<&[f64]>,
+    ) -> Vec<ShardPartial> {
+        let mode = self.effective_mode(queries.len());
+        let keyed = self
+            .shard_scan(shard, mode)
+            .knn_per_query_k_keyed(queries, dists, ks, caps);
+        self.globalize(shard, keyed)
+    }
+
+    /// Scatter stage, per-query **weighted-Euclidean** form — the
+    /// serving shape after sessions' learned weights diverge, riding the
+    /// register-blocked per-query-weight multi kernels per shard.
+    pub fn scan_shard_weighted(
+        &self,
+        shard: usize,
+        queries: &[&[f64]],
+        metrics: &[WeightedEuclidean],
+        ks: &[usize],
+        caps: Option<&[f64]>,
+    ) -> Vec<ShardPartial> {
+        let mode = self.effective_mode(queries.len());
+        let keyed = self
+            .shard_scan(shard, mode)
+            .knn_weighted_per_query_k_keyed(queries, metrics, ks, caps);
+        self.globalize(shard, keyed)
+    }
+
+    /// Run `scan_shard` for every shard — `min(shards, budget)` scoped
+    /// worker threads, round-robin shard assignment — and return the
+    /// partials indexed `[shard][query]`.
+    fn scatter(
+        &self,
+        scan_shard: &(dyn Fn(usize) -> Vec<ShardPartial> + Sync),
+    ) -> Vec<Vec<ShardPartial>> {
+        let s = self.coll.shard_count();
+        let workers = self.total_budget().min(s);
+        if workers <= 1 || s == 1 {
+            return (0..s).map(scan_shard).collect();
+        }
+        let mut parts: Vec<Option<Vec<ShardPartial>>> = vec![None; s];
+        std::thread::scope(|scope| {
+            let mut worker_slots: Vec<WorkerSlots<'_>> = (0..workers).map(|_| Vec::new()).collect();
+            for (i, slot) in parts.iter_mut().enumerate() {
+                worker_slots[i % workers].push((i, slot));
+            }
+            for slots in worker_slots {
+                scope.spawn(move || {
+                    for (i, slot) in slots {
+                        *slot = Some(scan_shard(i));
+                    }
+                });
+            }
+        });
+        parts
+            .into_iter()
+            .map(|p| p.expect("worker filled its shards"))
+            .collect()
+    }
+
+    /// Gather stage shared by the one-shot entry points.
+    fn gather<'d>(
+        &self,
+        parts: Vec<Vec<ShardPartial>>,
+        ks: &[usize],
+        dist_of: impl Fn(usize) -> &'d dyn Distance,
+    ) -> Vec<Vec<Neighbor>> {
+        ks.iter()
+            .enumerate()
+            .map(|(q, &k)| merge_partials(parts.iter().map(|shard| &shard[q]), k, dist_of(q)))
+            .collect()
+    }
+
+    /// The `k` nearest neighbors of every query under one shared
+    /// `dist`: scatter across shards, merge in key space — results
+    /// bit-identical to [`MultiQueryScan::knn_multi`] over the unsharded
+    /// collection, and therefore to per-query
+    /// [`LinearScan`](super::LinearScan)s.
+    pub fn knn_multi(
+        &self,
+        queries: &[&[f64]],
+        k: usize,
+        dist: &dyn Distance,
+    ) -> Vec<Vec<Neighbor>> {
+        self.knn_multi_k(queries, &vec![k; queries.len()], dist)
+    }
+
+    /// Like [`Self::knn_multi`] with a per-query result count.
+    pub fn knn_multi_k(
+        &self,
+        queries: &[&[f64]],
+        ks: &[usize],
+        dist: &dyn Distance,
+    ) -> Vec<Vec<Neighbor>> {
+        assert_eq!(queries.len(), ks.len(), "one k per query");
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let parts = self.scatter(&|shard| self.scan_shard_multi(shard, queries, ks, dist, None));
+        self.gather(parts, ks, |_| dist)
+    }
+
+    /// The `k` nearest neighbors of every query under its own distance
+    /// function, scattered across shards.
+    pub fn knn_per_query_k(
+        &self,
+        queries: &[&[f64]],
+        dists: &[&dyn Distance],
+        ks: &[usize],
+    ) -> Vec<Vec<Neighbor>> {
+        assert_eq!(queries.len(), dists.len(), "one distance per query");
+        assert_eq!(queries.len(), ks.len(), "one k per query");
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let parts =
+            self.scatter(&|shard| self.scan_shard_per_query(shard, queries, dists, ks, None));
+        self.gather(parts, ks, |q| dists[q])
+    }
+
+    /// Per-query weighted-Euclidean metrics, scattered across shards.
+    pub fn knn_weighted_per_query_k(
+        &self,
+        queries: &[&[f64]],
+        metrics: &[WeightedEuclidean],
+        ks: &[usize],
+    ) -> Vec<Vec<Neighbor>> {
+        assert_eq!(queries.len(), metrics.len(), "one metric per query");
+        assert_eq!(queries.len(), ks.len(), "one k per query");
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let parts =
+            self.scatter(&|shard| self.scan_shard_weighted(shard, queries, metrics, ks, None));
+        self.gather(parts, ks, |q| &metrics[q])
+    }
+
+    /// All neighbors within `radius` (inclusive), scattered across
+    /// shards: each shard answers its own range query exactly (shards
+    /// cover disjoint rows, so membership is a per-row question), the
+    /// results concatenate with global indices and sort by the canonical
+    /// ascending `(dist, index)` — identical to
+    /// [`LinearScan::range`](super::KnnEngine::range) over the unsharded
+    /// collection in the same mode.
+    pub fn range(&self, query: &[f64], radius: f64, dist: &dyn Distance) -> Vec<Neighbor> {
+        let parts = self.scatter(&|shard| {
+            let offset = self.coll.offset(shard) as u32;
+            let scan = LinearScan::with_mode(self.coll.shard(shard), self.mode)
+                .with_precision(self.precision)
+                .with_thread_budget(self.per_shard_budget());
+            vec![ShardPartial {
+                entries: scan
+                    .range(query, radius, dist)
+                    .into_iter()
+                    .map(|n| (n.dist, n.index + offset))
+                    .collect(),
+                finished: true,
+            }]
+        });
+        let mut out: Vec<Neighbor> = parts
+            .into_iter()
+            .flat_map(|mut shard| shard.swap_remove(0).entries)
+            .map(|(dist, index)| Neighbor { index, dist })
+            .collect();
+        out.sort_unstable_by(Neighbor::total_cmp);
+        out
+    }
+}

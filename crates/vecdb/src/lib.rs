@@ -27,7 +27,13 @@
 //!   [`knn::Precision::F32Rescore`]: phase 1 filters candidates over
 //!   the collection's optional f32 mirror at half the bandwidth, phase
 //!   2 rescores them in f64 — queries, keys and returned distances stay
-//!   f64 and the answers are identical to the pure-f64 scan;
+//!   f64 and the answers are identical to the pure-f64 scan. To scale
+//!   past one core's streaming bandwidth, a
+//!   [`collection::ShardedCollection`] partitions the rows into
+//!   contiguous shards and [`knn::ShardedScan`] runs scatter/gather
+//!   passes over them, merging per-shard k-bests in key space — still
+//!   bit-identical to the flat scan (see `ARCHITECTURE.md` at the
+//!   repository root for the full invariant);
 //! * [`result`] — ranked result lists and the stable-comparison helper the
 //!   feedback loop uses as its convergence test.
 
@@ -38,12 +44,13 @@ pub mod distance;
 pub mod knn;
 pub mod result;
 
-pub use collection::{CategoryId, Collection, CollectionBuilder};
+pub use collection::{CategoryId, Collection, CollectionBuilder, ShardedCollection};
 pub use distance::{
     Distance, Euclidean, HierarchicalDistance, Lp, Manhattan, QuadraticDistance, WeightedEuclidean,
 };
 pub use knn::{
-    KnnEngine, LinearScan, MTree, MultiQueryScan, Neighbor, Precision, ScanMode, VpTree,
+    merge_partials, KnnEngine, LinearScan, MTree, MultiQueryScan, Neighbor, Precision, ScanMode,
+    ShardPartial, ShardedScan, VpTree,
 };
 pub use result::ResultList;
 

@@ -6,8 +6,16 @@
 //! re-exports them under one roof for convenience.
 
 //! For serving over the network, see [`server`] (`fbp-server`): a TCP
-//! front-end with adaptive micro-batching over the coalesced scan path —
-//! `examples/serve_loadgen.rs` drives it end to end.
+//! front-end with adaptive micro-batching over the coalesced scan path
+//! — one micro-batcher per collection shard once
+//! `ServerConfig::shards > 1`, with scatter/gather replies pinned
+//! bit-identical to flat serving — `examples/serve_loadgen.rs` drives
+//! it end to end.
+//!
+//! **`ARCHITECTURE.md` at the repository root** is the map of the whole
+//! system: the crate graph, the life of a query from TCP frame to SIMD
+//! kernel, the precision model (F64 / F32Rescore / slack bounds), and
+//! the bit-identity invariants every PR must preserve.
 
 pub use fbp_eval as eval;
 pub use fbp_feedback as feedback;

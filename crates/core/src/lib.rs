@@ -68,7 +68,7 @@ pub mod shared;
 pub use bypass::{BypassConfig, FeedbackBypass, PredictedParams};
 pub use reduction::{PcaReducer, ReducedBypass};
 pub use session::{BypassSystem, QueryOutcome};
-pub use sharded::ShardedBypass;
+pub use sharded::{GatherVerdict, ShardedBypass};
 pub use shared::{KnnRequest, SharedBypass};
 
 // Re-export the substrate types users interact with.

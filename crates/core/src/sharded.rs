@@ -28,9 +28,13 @@ use crate::shared::{prepare_requests, resolve_precision, KnnRequest, SharedBypas
 use crate::Result;
 use fbp_simplex_tree::InsertOutcome;
 use fbp_vecdb::{
-    merge_partials, Neighbor, Precision, ShardPartial, ShardedCollection, ShardedScan,
-    WeightedEuclidean,
+    merge_partials, merge_partials_policy, DegradedGather, FailurePolicy, GatherError, Neighbor,
+    Precision, ShardPartial, ShardedCollection, ShardedScan, WeightedEuclidean,
 };
+
+/// Outcome of a policy-checked gather: a (possibly degraded) merged
+/// answer, or the typed refusal the [`FailurePolicy`] demands.
+pub type GatherVerdict = std::result::Result<DegradedGather, GatherError>;
 
 /// Cloneable handle pairing the shared learned module with the
 /// scatter/gather serving front-end for sharded collections.
@@ -157,6 +161,42 @@ impl ShardedBypass {
         })
     }
 
+    /// Scatter stage for schedulers that **prepared at admission**: the
+    /// points, metrics and result counts were validated and built once
+    /// (see [`KnnRequest::metric`]) and are shared by reference across
+    /// all `S` shard passes, instead of `scan_shard`'s rebuild-per-pass.
+    /// Semantics are otherwise identical to [`Self::scan_shard`] for
+    /// requests without precision pins (the prepared callers resolve
+    /// precision from the scan and collection alone); `seeds` as there.
+    pub fn scan_shard_prepared(
+        &self,
+        scan: &ShardedScan<'_>,
+        shard: usize,
+        points: &[&[f64]],
+        metrics: &[&WeightedEuclidean],
+        ks: &[usize],
+        seeds: Option<&[f64]>,
+    ) -> Vec<ShardPartial> {
+        if points.is_empty() {
+            return Vec::new();
+        }
+        let precision = resolve_precision(
+            scan.precision(),
+            scan.collection().has_f32_mirror(),
+            std::iter::empty(),
+        )
+        .expect("precision pins cannot conflict in an empty pin set");
+        let scan = scan.with_precision(precision);
+        let shared_metric = metrics
+            .split_first()
+            .is_some_and(|(first, rest)| rest.iter().all(|m| m.weights() == first.weights()));
+        if shared_metric {
+            scan.scan_shard_multi(shard, points, ks, metrics[0], seeds)
+        } else {
+            scan.scan_shard_weighted_refs(shard, points, metrics, ks, seeds)
+        }
+    }
+
     /// Gather stage for external per-shard schedulers: merge one
     /// request's per-shard partials (any arrival order) into its final
     /// neighbor list under the request's own metric, honoring the
@@ -172,6 +212,31 @@ impl ShardedBypass {
             partials,
             request.k.unwrap_or(default_k),
             &metric,
+        ))
+    }
+
+    /// Gather stage **with missing shards**: `partials[i]` is shard
+    /// `i`'s delivery or `None` when it failed, and `policy` decides
+    /// between a (possibly degraded) merged answer and a typed refusal
+    /// — the router tier's partial-failure contract. The outer `Result`
+    /// reports invalid request weights; the inner [`GatherVerdict`] is
+    /// the policy's decision (see
+    /// [`merge_partials_policy`]).
+    ///
+    /// [`merge_partials_policy`]: fbp_vecdb::merge_partials_policy
+    pub fn gather_policy(
+        request: &KnnRequest,
+        default_k: usize,
+        partials: &[Option<ShardPartial>],
+        policy: FailurePolicy,
+    ) -> Result<GatherVerdict> {
+        let metric = WeightedEuclidean::new(request.weights.clone())
+            .map_err(|e| crate::BypassError::BadQuery(format!("request weights: {e}")))?;
+        Ok(merge_partials_policy(
+            partials,
+            request.k.unwrap_or(default_k),
+            &metric,
+            policy,
         ))
     }
 

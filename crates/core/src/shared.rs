@@ -82,6 +82,28 @@ impl KnnRequest {
         self.precision = Some(precision);
         self
     }
+
+    /// Validate this request against the served dimensionality and
+    /// build its weighted-Euclidean metric — the single-request form of
+    /// batch preparation, for schedulers that admit requests one at a
+    /// time and want the metric built **once** (shared by every shard
+    /// pass and the final gather) instead of once per shard pass.
+    pub fn metric(&self, dim: usize) -> Result<WeightedEuclidean> {
+        if self.point.len() != dim {
+            return Err(BypassError::DimMismatch {
+                expected: dim,
+                got: self.point.len(),
+            });
+        }
+        if self.weights.len() != dim {
+            return Err(BypassError::DimMismatch {
+                expected: dim,
+                got: self.weights.len(),
+            });
+        }
+        WeightedEuclidean::new(self.weights.clone())
+            .map_err(|e| BypassError::BadQuery(format!("request weights: {e}")))
+    }
 }
 
 /// Validated, kernel-ready form of one request batch — the common
@@ -303,6 +325,15 @@ impl SharedBypass {
     /// Run `f` with read access to the module.
     pub fn with_read<T>(&self, f: impl FnOnce(&FeedbackBypass) -> T) -> T {
         f(&self.inner.read())
+    }
+
+    /// Swap in a replacement module wholesale (write lock held for the
+    /// swap) — the restore half of module replication: a router pushes
+    /// its serialized module over the `RestoreModule` RPC and the shard
+    /// server installs the deserialized copy atomically, so every
+    /// session admitted afterwards predicts from the replicated state.
+    pub fn replace(&self, bypass: FeedbackBypass) {
+        *self.inner.write() = bypass;
     }
 }
 

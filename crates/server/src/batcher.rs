@@ -40,7 +40,10 @@
 //! thread, so every admitted request resolves exactly once.
 
 use crate::metrics::Metrics;
-use fbp_vecdb::{Neighbor, ScanMode, ShardPartial, ShardedCollection, ShardedScan};
+use fbp_vecdb::{
+    merge_partials, Neighbor, ScanMode, ShardPartial, ShardedCollection, ShardedScan,
+    WeightedEuclidean,
+};
 use feedbackbypass::{KnnRequest, ShardedBypass};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -60,8 +63,12 @@ pub(crate) type KnnCompletion = Box<dyn FnOnce(Result<Vec<Neighbor>, String>) + 
 pub(crate) struct Gather {
     /// The serving request (point, weights, per-request k).
     pub req: KnnRequest,
-    /// Batch-wide default `k` for the final merge.
-    default_k: usize,
+    /// The request's resolved result count (clamped at admission).
+    pub k: usize,
+    /// The request's metric, built **once at admission** and shared by
+    /// every shard pass and the final merge — the per-shard dispatch
+    /// no longer rebuilds it per pass.
+    pub metric: WeightedEuclidean,
     /// Cross-shard pruning seed: the tightest known upper bound on this
     /// request's global k-th key (f64 bits, starts at `+∞`), tightened
     /// from every delivered partial's [`ShardPartial::bound_key`]. A
@@ -92,13 +99,15 @@ impl Gather {
     /// New cell awaiting `shards` partials.
     pub(crate) fn new(
         req: KnnRequest,
+        metric: WeightedEuclidean,
+        k: usize,
         shards: usize,
-        default_k: usize,
         reply: KnnCompletion,
     ) -> Arc<Self> {
         Arc::new(Gather {
             req,
-            default_k,
+            k,
+            metric,
             seed: AtomicU64::new(f64::INFINITY.to_bits()),
             state: Mutex::new(GatherState {
                 partials: (0..shards).map(|_| None).collect(),
@@ -140,7 +149,7 @@ impl Gather {
     /// upstream and are ignored defensively.
     pub(crate) fn complete_shard(&self, shard: usize, outcome: Result<ShardPartial, String>) {
         if let Ok(partial) = &outcome {
-            if let Some(bound) = partial.bound_key(self.req.k.unwrap_or(self.default_k)) {
+            if let Some(bound) = partial.bound_key(self.k) {
                 self.offer_seed(bound);
             }
         }
@@ -170,8 +179,13 @@ impl Gather {
         if let Some((reply, error, partials)) = fire {
             let outcome = match error {
                 Some(e) => Err(e),
-                None => ShardedBypass::gather(&self.req, self.default_k, partials.iter().flatten())
-                    .map_err(|e| e.to_string()),
+                // The merge reuses the admission-built metric — no
+                // per-reply metric reconstruction.
+                None => Ok(merge_partials(
+                    partials.iter().flatten(),
+                    self.k,
+                    &self.metric,
+                )),
             };
             reply(outcome);
         }
@@ -311,7 +325,6 @@ pub(crate) fn run_shard_dispatcher(
     coll: Arc<ShardedCollection>,
     bypass: ShardedBypass,
     scan_mode: ScanMode,
-    default_k: usize,
     metrics: Arc<Metrics>,
 ) {
     let trace = std::env::var("FBP_SERVE_TRACE").is_ok();
@@ -325,7 +338,12 @@ pub(crate) fn run_shard_dispatcher(
             .map(|(enqueued, _)| dispatched.saturating_duration_since(*enqueued))
             .collect();
         let gathers: Vec<Arc<Gather>> = batch.into_iter().map(|(_, g)| g).collect();
-        let requests: Vec<&KnnRequest> = gathers.iter().map(|g| &g.req).collect();
+        // Each request's point, metric, and k were resolved once at
+        // admission; the pass borrows them instead of rebuilding the
+        // metric per shard dispatch.
+        let points: Vec<&[f64]> = gathers.iter().map(|g| g.req.point.as_slice()).collect();
+        let pass_metrics: Vec<&WeightedEuclidean> = gathers.iter().map(|g| &g.metric).collect();
+        let ks: Vec<usize> = gathers.iter().map(|g| g.k).collect();
         // Cross-shard bound propagation: requests whose gathers already
         // hold another shard's k-th key prune against it from row one.
         let seeds: Vec<f64> = gathers.iter().map(|g| g.seed()).collect();
@@ -335,28 +353,16 @@ pub(crate) fn run_shard_dispatcher(
         // budget is an even share of the machine so S concurrent shard
         // dispatchers cannot oversubscribe the host.
         let scan = ShardedScan::with_mode(&coll, scan_mode);
-        let res = bypass.scan_shard(&scan, shard, &requests, default_k, Some(&seeds));
+        let partials =
+            bypass.scan_shard_prepared(&scan, shard, &points, &pass_metrics, &ks, Some(&seeds));
         let scanned = Instant::now();
         t_scan += scanned.duration_since(dispatched).as_nanos();
         n_req += waits.len() as u64;
         metrics.record_pass(&waits);
-        match res {
-            Ok(partials) => {
-                for (gather, partial) in gathers.iter().zip(partials) {
-                    gather.complete_shard(shard, Ok(partial));
-                }
-                t_complete += scanned.elapsed().as_nanos();
-            }
-            Err(e) => {
-                // Requests are validated at admission, so a pass error is
-                // exceptional; report it to every requester rather than
-                // guessing which entry caused it.
-                let msg = e.to_string();
-                for gather in &gathers {
-                    gather.complete_shard(shard, Err(msg.clone()));
-                }
-            }
+        for (gather, partial) in gathers.iter().zip(partials) {
+            gather.complete_shard(shard, Ok(partial));
         }
+        t_complete += scanned.elapsed().as_nanos();
         last_done = Instant::now();
     }
     if trace && n_req > 0 {
@@ -417,10 +423,13 @@ mod tests {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let fired = Arc::new(AtomicUsize::new(0));
         let got = Arc::new(Mutex::new(None));
+        let req = KnnRequest::uniform(vec![0.0, 0.0]);
+        let req_metric = req.metric(2).unwrap();
         let gather = Gather::new(
-            KnnRequest::uniform(vec![0.0, 0.0]),
-            3,
+            req,
+            req_metric,
             5,
+            3,
             Box::new({
                 let fired = Arc::clone(&fired);
                 let got = Arc::clone(&got);
@@ -462,10 +471,13 @@ mod tests {
     #[test]
     fn gather_propagates_shard_errors() {
         let got = Arc::new(Mutex::new(None));
+        let req = KnnRequest::uniform(vec![0.0]);
+        let req_metric = req.metric(1).unwrap();
         let gather = Gather::new(
-            KnnRequest::uniform(vec![0.0]),
-            2,
+            req,
+            req_metric,
             5,
+            2,
             Box::new({
                 let got = Arc::clone(&got);
                 move |outcome| *got.lock().unwrap() = Some(outcome)

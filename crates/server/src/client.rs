@@ -4,7 +4,7 @@
 
 use crate::protocol::{
     read_frame, write_frame, ErrorCode, FrameError, Request, Response, StatsSnapshot,
-    DEFAULT_MAX_FRAME_LEN, KNN_CONVERGED, KNN_DONE,
+    DEFAULT_MAX_FRAME_LEN, KNN_CONVERGED, KNN_DEGRADED, KNN_DONE,
 };
 use fbp_vecdb::Neighbor;
 use std::io;
@@ -65,6 +65,13 @@ pub struct KnnReply {
     /// It finished by converging (stable ranking) rather than by the
     /// cycle cap.
     pub converged: bool,
+    /// The reply is a documented partial answer: a router served it
+    /// from the surviving shards under
+    /// `FailurePolicy::Degraded` after at least one shard failed.
+    pub degraded: bool,
+    /// The shard ids missing from a degraded merge (empty when
+    /// `degraded` is false).
+    pub missing_shards: Vec<u32>,
     /// Feedback cycles the query has run.
     pub cycles: u32,
 }
@@ -172,14 +179,70 @@ impl Client {
             Response::KnnResult {
                 flags,
                 cycles,
+                missing_shards,
                 neighbors,
             } => Ok(KnnReply {
                 neighbors,
                 done: flags & KNN_DONE != 0,
                 converged: flags & KNN_CONVERGED != 0,
+                degraded: flags & KNN_DEGRADED != 0,
+                missing_shards,
                 cycles,
             }),
             other => Err(unexpected("KnnResult", &other)),
+        }
+    }
+
+    /// Sessionless shard-local k-best under an explicit metric — the
+    /// frame a router scatters to its downstream shard servers. Returns
+    /// `(finished, entries)`: the shard's exact local k-best, entries
+    /// ascending by `(key, index)` with globally-offset indices, keys in
+    /// selection space unless `finished`.
+    pub fn shard_knn(
+        &mut self,
+        k: u32,
+        seed: f64,
+        point: &[f64],
+        weights: &[f64],
+    ) -> Result<(bool, Vec<(f64, u32)>), ClientError> {
+        let req = Request::ShardKnn {
+            k,
+            seed,
+            point: point.to_vec(),
+            weights: weights.to_vec(),
+        };
+        match self.call(&req)? {
+            Response::ShardPartial { finished, entries } => Ok((finished, entries)),
+            other => Err(unexpected("ShardPartial", &other)),
+        }
+    }
+
+    /// Probe the served slice: `(rows, global row offset, dim)`.
+    pub fn shard_info(&mut self) -> Result<(u64, u64, u32), ClientError> {
+        match self.call(&Request::ShardInfo)? {
+            Response::ShardInfoResult { rows, offset, dim } => Ok((rows, offset, dim)),
+            other => Err(unexpected("ShardInfoResult", &other)),
+        }
+    }
+
+    /// Fetch the server's serialized learned module
+    /// (`FeedbackBypass::to_bytes` image).
+    pub fn snapshot_module(&mut self) -> Result<Vec<u8>, ClientError> {
+        match self.call(&Request::SnapshotModule)? {
+            Response::ModuleImage { image } => Ok(image),
+            other => Err(unexpected("ModuleImage", &other)),
+        }
+    }
+
+    /// Replace the server's learned module with a serialized image —
+    /// the push half of router→shard module replication.
+    pub fn restore_module(&mut self, image: &[u8]) -> Result<(), ClientError> {
+        let req = Request::RestoreModule {
+            image: image.to_vec(),
+        };
+        match self.call(&req)? {
+            Response::ModuleRestored => Ok(()),
+            other => Err(unexpected("ModuleRestored", &other)),
         }
     }
 

@@ -37,6 +37,29 @@
 //! loop scales with `S`; see `ARCHITECTURE.md` at the repository root
 //! for the measured sweep and the invariant argument.
 //!
+//! ## Router tier
+//!
+//! [`route`] runs the same scatter/gather across **machines**: a router
+//! front-end owns the session tier (module prediction, feedback
+//! transitions, commits) and scatters each admitted `Knn` as one
+//! `ShardKnn` frame per remote shard server, gathering the per-shard
+//! k-bests with the identical key-space merge — bit-identical to
+//! in-process `shards = S` serving while every shard answers. Because
+//! downstreams can now fail independently, the router adds the
+//! robustness layer sharding alone never needed: per-downstream
+//! connection pools with connect/read/write timeouts, exponential
+//! backoff, and automatic reconnect; hedged retries that duplicate a
+//! straggling shard's call after a p99-derived delay (first answer
+//! wins); and an explicit [`FailurePolicy`] deciding what a reply may
+//! claim when shards stay silent — `Strict` refuses with a typed
+//! [`ErrorCode::ShardUnavailable`], `Degraded` answers from the
+//! surviving subset with the reply flagged and the missing shards
+//! named. Either way a request resolves within the shard-timeout
+//! budget: the policy bounds *what* is answered, the deadline bounds
+//! *when*. A scripted [`FaultPlan`] injects downstream faults
+//! deterministically for tests and smoke drills. See `ARCHITECTURE.md`,
+//! "router tier", for the full partial-failure policy.
+//!
 //! ## Protocol
 //!
 //! Frames are `u32` little-endian length + payload; the payload is an
@@ -97,13 +120,20 @@
 
 mod batcher;
 mod metrics;
+mod pool;
+mod router;
 mod server;
+mod sessions;
 
 pub mod client;
+pub mod faults;
 pub mod loadgen;
 pub mod protocol;
 
 pub use client::{Client, ClientError, FeedbackReply, KnnReply};
+pub use faults::{FaultMode, FaultPlan, FaultRule};
+pub use fbp_vecdb::FailurePolicy;
 pub use loadgen::{run_loadgen, LoadgenOptions, LoadgenReport, Relevance};
 pub use protocol::{ErrorCode, StatsSnapshot};
+pub use router::{route, HedgeConfig, RouterConfig, RouterHandle};
 pub use server::{serve, ServerConfig, ServerHandle};

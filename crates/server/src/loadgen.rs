@@ -66,6 +66,9 @@ pub struct LoadgenReport {
     pub queries: u64,
     /// Queries the server reported converged.
     pub converged: u64,
+    /// `Knn` replies flagged degraded (a router answered from a
+    /// surviving-shard subset under `FailurePolicy::Degraded`).
+    pub degraded: u64,
     /// Wall clock of the whole run.
     pub elapsed: Duration,
     /// Median `Knn` round-trip latency, microseconds.
@@ -123,12 +126,14 @@ pub fn run_loadgen(
     let mut searches = 0u64;
     let mut queries_done = 0u64;
     let mut converged = 0u64;
+    let mut degraded = 0u64;
     let mut latencies: Vec<u64> = Vec::new();
     for tally in per_session {
         let tally = tally?;
         searches += tally.searches;
         queries_done += tally.queries;
         converged += tally.converged;
+        degraded += tally.degraded;
         latencies.extend(tally.latencies_ns);
     }
     latencies.sort_unstable();
@@ -138,6 +143,7 @@ pub fn run_loadgen(
         searches,
         queries: queries_done,
         converged,
+        degraded,
         elapsed,
         latency_p50_us: crate::metrics::percentile_us(&latencies, 0.50),
         latency_p99_us: crate::metrics::percentile_us(&latencies, 0.99),
@@ -149,6 +155,7 @@ struct SessionTally {
     searches: u64,
     queries: u64,
     converged: u64,
+    degraded: u64,
     latencies_ns: Vec<u64>,
 }
 
@@ -165,6 +172,7 @@ fn run_session(
         searches: 0,
         queries: 0,
         converged: 0,
+        degraded: 0,
         latencies_ns: Vec::new(),
     };
     for qi in 0..opts.queries_per_session {
@@ -190,6 +198,7 @@ fn run_session(
             let reply = client.knn(session, opts.k, query)?;
             tally.latencies_ns.push(t0.elapsed().as_nanos() as u64);
             tally.searches += 1;
+            tally.degraded += u64::from(reply.degraded);
             if reply.done {
                 tally.converged += u64::from(reply.converged);
                 break;

@@ -111,7 +111,69 @@ impl Metrics {
             queue_wait_p99_us: percentile_us(&waits, 0.99),
             sessions_open,
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            // Router-tier counters stay zero on a plain shard server;
+            // the router overwrites them from its downstream pools.
+            ..Default::default()
         }
+    }
+}
+
+/// Robustness counters for one router downstream, shared by every
+/// pooled connection worker talking to that shard server. The router's
+/// stats snapshot sums these across downstreams into the six router
+/// fields of [`StatsSnapshot`]; the fault tests assert them non-zero.
+#[derive(Default)]
+pub(crate) struct DownstreamStats {
+    /// Calls abandoned because the shard deadline passed.
+    pub(crate) timeouts: AtomicU64,
+    /// Call attempts retried after an I/O failure mid-call.
+    pub(crate) retries: AtomicU64,
+    /// Connections (re-)established after a failure (the very first
+    /// connect of a worker is not counted; every later one is).
+    pub(crate) reconnects: AtomicU64,
+    /// Hedge requests fired at this downstream while it straggled.
+    pub(crate) hedges_fired: AtomicU64,
+    /// Hedge requests whose answer beat the primary's.
+    pub(crate) hedges_won: AtomicU64,
+    /// Ring of recent successful-call latencies (nanoseconds), the
+    /// p99 source for the hedge delay.
+    lat: Mutex<LatRing>,
+}
+
+#[derive(Default)]
+struct LatRing {
+    buf: Vec<u64>,
+    next: usize,
+}
+
+/// Latency samples kept per downstream — enough for a stable p99 at
+/// serving rates, cheap to sort on each hedge-delay refresh.
+const LAT_RING: usize = 1024;
+
+impl DownstreamStats {
+    /// Record one successful call's request→reply latency.
+    pub(crate) fn record_latency(&self, lat: Duration) {
+        let ns = lat.as_nanos().min(u64::MAX as u128) as u64;
+        let mut ring = self.lat.lock().expect("latency lock");
+        if ring.buf.len() < LAT_RING {
+            ring.buf.push(ns);
+        } else {
+            let slot = ring.next;
+            ring.buf[slot] = ns;
+        }
+        ring.next = (ring.next + 1) % LAT_RING;
+    }
+
+    /// 99th-percentile call latency over the ring (`None` until a
+    /// sample exists).
+    pub(crate) fn p99(&self) -> Option<Duration> {
+        let mut samples = self.lat.lock().expect("latency lock").buf.clone();
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_unstable();
+        let idx = ((samples.len() - 1) as f64 * 0.99).round() as usize;
+        Some(Duration::from_nanos(samples[idx]))
     }
 }
 

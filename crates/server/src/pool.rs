@@ -1,0 +1,436 @@
+//! Per-downstream connection pools for the router tier: a bounded job
+//! queue per shard server, drained by a few worker threads that each
+//! own one TCP connection with connect/read/write **timeouts**,
+//! exponential **backoff + reconnect**, and bounded **retries** — every
+//! scatter call resolves within its gather's deadline, no matter what
+//! the wire does.
+//!
+//! Failure taxonomy (each path is deterministic and bounded):
+//!
+//! * **connect failure** → backoff (`base · 2^fails`, clamped), retry
+//!   until the deadline; successful re-establishment after the worker's
+//!   first connect counts one reconnect;
+//! * **I/O failure mid-call** (reset, truncated reply, poisoned
+//!   stream) → the connection is discarded (a late reply must never
+//!   desync a reused stream), one retry is counted, and the call
+//!   re-runs on a fresh connection;
+//! * **deadline passed** → one timeout is counted and the shard's slot
+//!   is delivered as failed — the gather's failure policy decides
+//!   whether the reply degrades or errors;
+//! * **downstream protocol error** (a coded `Error` reply, a malformed
+//!   partial) → delivered as a failure immediately, no retry — the
+//!   shard answered, it just answered wrong.
+//!
+//! Injected faults (see [`crate::faults`]) are applied here, at the
+//! call edge, and fire **once per decided call**: the retry that
+//! follows runs clean, so drop/truncate/cut faults prove the retry
+//! path heals while black-hole/delay faults prove the timeout path
+//! bounds.
+
+use crate::faults::{FaultMode, FaultPlan};
+use crate::metrics::DownstreamStats;
+use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::router::RouterGather;
+use fbp_vecdb::ShardPartial;
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Sleep slice for bounded waits (fault delays, black holes) — the
+/// shutdown-poll granularity of a stalled call.
+const SLICE: Duration = Duration::from_millis(5);
+
+/// Pool tuning shared by every downstream (a subset of the router
+/// config, resolved once at startup).
+#[derive(Debug, Clone)]
+pub(crate) struct PoolConfig {
+    /// Bound on each TCP connect attempt.
+    pub(crate) connect_timeout: Duration,
+    /// SO_RCVTIMEO slice workers park in while awaiting a reply — the
+    /// deadline-poll granularity, not the call budget.
+    pub(crate) read_slice: Duration,
+    /// SO_SNDTIMEO on every request write.
+    pub(crate) write_timeout: Duration,
+    /// First reconnect backoff; doubles per consecutive failure.
+    pub(crate) backoff_base: Duration,
+    /// Backoff clamp.
+    pub(crate) backoff_max: Duration,
+    /// Largest accepted reply frame.
+    pub(crate) max_frame_len: u32,
+    /// Pooled connections (worker threads) per downstream; ≥ 2 lets a
+    /// hedge overtake a stuck primary.
+    pub(crate) workers: usize,
+}
+
+/// One scatter call: deliver `gather`'s slot for this pool's shard.
+pub(crate) struct Job {
+    /// The request's gather cell.
+    pub(crate) gather: Arc<RouterGather>,
+    /// This is a hedge (duplicate) leg: skip it if the primary already
+    /// delivered, and count a win if it beats the primary.
+    pub(crate) hedge: bool,
+}
+
+/// One downstream shard server: its address, job queue, robustness
+/// counters, and the workers draining it.
+pub(crate) struct Downstream {
+    /// Shard index in the router's downstream list (the id degraded
+    /// replies report).
+    pub(crate) shard: usize,
+    /// The shard server's address.
+    pub(crate) addr: SocketAddr,
+    cfg: PoolConfig,
+    faults: Option<Arc<FaultPlan>>,
+    jobs: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    /// Scatter calls issued to this downstream (the fault plan's call
+    /// index).
+    calls: AtomicU64,
+    /// Robustness counters + the latency ring behind the hedge delay.
+    pub(crate) stats: Arc<DownstreamStats>,
+}
+
+impl Downstream {
+    pub(crate) fn new(
+        shard: usize,
+        addr: SocketAddr,
+        cfg: PoolConfig,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Arc<Self> {
+        Arc::new(Downstream {
+            shard,
+            addr,
+            cfg,
+            faults,
+            jobs: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            calls: AtomicU64::new(0),
+            stats: Arc::new(DownstreamStats::default()),
+        })
+    }
+
+    /// Start this downstream's worker threads.
+    pub(crate) fn spawn_workers(self: &Arc<Self>) -> Vec<JoinHandle<()>> {
+        (0..self.cfg.workers.max(1))
+            .map(|_| {
+                let ds = Arc::clone(self);
+                std::thread::spawn(move || ds.worker_loop())
+            })
+            .collect()
+    }
+
+    /// Enqueue one scatter call. After shutdown the call fails
+    /// immediately (the gather still resolves exactly once).
+    pub(crate) fn enqueue(&self, job: Job) {
+        {
+            let mut q = self.jobs.lock().expect("pool lock");
+            if !self.shutdown.load(Ordering::SeqCst) {
+                q.push_back(job);
+                self.cv.notify_one();
+                return;
+            }
+        }
+        job.gather
+            .complete_shard(self.shard, Err("router shutting down".into()));
+    }
+
+    /// Stop accepting; wake every worker. Queued jobs are still drained
+    /// (each fails fast under the shutdown flag), so no gather is left
+    /// unresolved.
+    pub(crate) fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Block for the next job; `None` once shut down **and** drained.
+    fn next_job(&self) -> Option<Job> {
+        let mut q = self.jobs.lock().expect("pool lock");
+        loop {
+            if let Some(job) = q.pop_front() {
+                return Some(job);
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            q = self.cv.wait(q).expect("pool lock");
+        }
+    }
+
+    fn worker_loop(self: Arc<Self>) {
+        let mut conn: Option<TcpStream> = None;
+        let mut connected_before = false;
+        let mut consecutive_failures: u32 = 0;
+        while let Some(job) = self.next_job() {
+            self.execute(
+                &mut conn,
+                &mut connected_before,
+                &mut consecutive_failures,
+                &job,
+            );
+        }
+    }
+
+    /// Run one scatter call to completion: apply any scripted fault,
+    /// then write/read with retries until success, deadline, or
+    /// shutdown. Exactly one `complete_shard` delivery happens unless
+    /// another leg (hedge or primary) already resolved the slot.
+    fn execute(
+        &self,
+        conn: &mut Option<TcpStream>,
+        connected_before: &mut bool,
+        consecutive_failures: &mut u32,
+        job: &Job,
+    ) {
+        let gather = &job.gather;
+        if gather.shard_resolved(self.shard) {
+            return; // the other leg already delivered
+        }
+        let deadline = gather.deadline();
+        let call = self.calls.fetch_add(1, Ordering::Relaxed);
+        let fault = self
+            .faults
+            .as_ref()
+            .and_then(|p| p.decide(self.shard, call));
+        let started = Instant::now();
+
+        if fault == Some(FaultMode::BlackHole) {
+            // Never touch the wire; hold the call to its deadline.
+            while Instant::now() < deadline && !self.shutting_down() {
+                std::thread::sleep(SLICE.min(deadline.saturating_duration_since(Instant::now())));
+            }
+            self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+            gather.complete_shard(
+                self.shard,
+                Err(format!(
+                    "shard {} black-holed past its deadline",
+                    self.shard
+                )),
+            );
+            return;
+        }
+        if let Some(FaultMode::Delay(d)) = fault {
+            // Straggle before sending; the deadline still bounds the
+            // call (a delay past it becomes a timeout below).
+            let until = (started + d).min(deadline);
+            while Instant::now() < until && !self.shutting_down() {
+                std::thread::sleep(SLICE.min(until.saturating_duration_since(Instant::now())));
+            }
+        }
+
+        let mut attempt: u64 = 0;
+        loop {
+            if self.shutting_down() {
+                gather.complete_shard(self.shard, Err("router shutting down".into()));
+                return;
+            }
+            if gather.shard_resolved(self.shard) {
+                return; // a hedge (or the primary) won meanwhile
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                gather.complete_shard(self.shard, Err(format!("shard {} timed out", self.shard)));
+                return;
+            }
+            let remaining = deadline - now;
+
+            // (Re)connect with exponential backoff, all bounded by the
+            // deadline.
+            if conn.is_none() {
+                if *consecutive_failures > 0 {
+                    let backoff = self
+                        .cfg
+                        .backoff_base
+                        .saturating_mul(1u32 << (*consecutive_failures - 1).min(16))
+                        .min(self.cfg.backoff_max)
+                        .min(remaining);
+                    std::thread::sleep(backoff);
+                }
+                match TcpStream::connect_timeout(
+                    &self.addr,
+                    self.cfg
+                        .connect_timeout
+                        .min(remaining.max(Duration::from_millis(1))),
+                ) {
+                    Ok(s) => {
+                        let _ = s.set_nodelay(true);
+                        let _ = s.set_read_timeout(Some(self.cfg.read_slice));
+                        let _ = s.set_write_timeout(Some(self.cfg.write_timeout));
+                        if *connected_before {
+                            self.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+                        }
+                        *connected_before = true;
+                        *consecutive_failures = 0;
+                        *conn = Some(s);
+                    }
+                    Err(_) => {
+                        *consecutive_failures += 1;
+                        attempt += 1;
+                        continue;
+                    }
+                }
+            }
+            let stream = conn.as_mut().expect("connection just ensured");
+
+            // The request frame carries the gather's *current* seed —
+            // a retry or hedge sent after another shard finished prunes
+            // tighter than the original scatter would have.
+            let frame = gather.shard_request().encode();
+            let write_res = if attempt == 0 {
+                match fault {
+                    Some(FaultMode::CloseAtByte(n)) => {
+                        // Cut the socket mid-frame: real wire damage for
+                        // both sides.
+                        let mut framed = (frame.len() as u32).to_le_bytes().to_vec();
+                        framed.extend_from_slice(&frame);
+                        let cut = n.min(framed.len());
+                        let res = stream.write_all(&framed[..cut]);
+                        let _ = stream.shutdown(Shutdown::Both);
+                        res.and(Err(io::Error::new(
+                            io::ErrorKind::ConnectionAborted,
+                            "socket cut mid-request (injected)",
+                        )))
+                    }
+                    _ => write_frame(stream, &frame),
+                }
+            } else {
+                write_frame(stream, &frame)
+            };
+            if write_res.is_err() {
+                *conn = None;
+                *consecutive_failures += 1;
+                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                attempt += 1;
+                continue;
+            }
+            if attempt == 0 && fault == Some(FaultMode::DropReply) {
+                // The reply is "lost": abandon the connection without
+                // reading it.
+                let _ = stream.shutdown(Shutdown::Both);
+                *conn = None;
+                *consecutive_failures += 1;
+                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                attempt += 1;
+                continue;
+            }
+
+            let mut keep_waiting =
+                || Instant::now() < deadline && !self.shutdown.load(Ordering::SeqCst);
+            match read_frame(stream, self.cfg.max_frame_len, &mut keep_waiting) {
+                Ok(Some(payload)) => {
+                    if attempt == 0 && fault == Some(FaultMode::TruncateReply) {
+                        // The shard died mid-answer: discard what
+                        // arrived and poison the stream.
+                        let _ = stream.shutdown(Shutdown::Both);
+                        *conn = None;
+                        *consecutive_failures += 1;
+                        self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                        attempt += 1;
+                        continue;
+                    }
+                    match Response::decode(&payload) {
+                        Ok(Response::ShardPartial { finished, entries }) => {
+                            // Receivers MUST validate partial ordering
+                            // (protocol rule): a malformed partial is a
+                            // shard failure, not a panic in the merge.
+                            match ShardPartial::from_entries(entries, finished) {
+                                Ok(partial) => {
+                                    self.stats.record_latency(started.elapsed());
+                                    let first = gather.complete_shard(self.shard, Ok(partial));
+                                    if first && job.hedge {
+                                        self.stats.hedges_won.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                                Err(e) => {
+                                    gather.complete_shard(
+                                        self.shard,
+                                        Err(format!("shard {} malformed partial: {e}", self.shard)),
+                                    );
+                                }
+                            }
+                            return;
+                        }
+                        Ok(Response::Error { code, message }) => {
+                            // The shard answered with a typed refusal;
+                            // retrying the same request cannot help.
+                            gather.complete_shard(
+                                self.shard,
+                                Err(format!("shard {} error [{code}]: {message}", self.shard)),
+                            );
+                            return;
+                        }
+                        Ok(other) => {
+                            gather.complete_shard(
+                                self.shard,
+                                Err(format!("shard {} unexpected reply: {other:?}", self.shard)),
+                            );
+                            return;
+                        }
+                        Err(_) => {
+                            // Undecodable frame: the stream can no
+                            // longer be trusted.
+                            *conn = None;
+                            *consecutive_failures += 1;
+                            self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                            attempt += 1;
+                            continue;
+                        }
+                    }
+                }
+                Ok(None) => {
+                    // Deadline (or shutdown) expired at the frame
+                    // boundary with the reply still in flight: the
+                    // stream would desync if reused, so poison it and
+                    // let the loop head classify the exit.
+                    *conn = None;
+                    continue;
+                }
+                Err(_) => {
+                    *conn = None;
+                    *consecutive_failures += 1;
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    attempt += 1;
+                    continue;
+                }
+            }
+        }
+    }
+}
+
+/// One-shot control-plane round trip on a fresh connection (startup
+/// probes, module replication) — bounded by `connect_timeout` +
+/// `io_timeout`, never fault-injected.
+pub(crate) fn control_call(
+    addr: &SocketAddr,
+    req: &Request,
+    connect_timeout: Duration,
+    io_timeout: Duration,
+    max_frame_len: u32,
+) -> io::Result<Response> {
+    let mut stream = TcpStream::connect_timeout(addr, connect_timeout)?;
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(Duration::from_millis(20)))?;
+    stream.set_write_timeout(Some(io_timeout))?;
+    write_frame(&mut stream, &req.encode())?;
+    let deadline = Instant::now() + io_timeout;
+    let mut keep_waiting = || Instant::now() < deadline;
+    match read_frame(&mut stream, max_frame_len, &mut keep_waiting) {
+        Ok(Some(payload)) => Response::decode(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+        Ok(None) => Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "control call timed out",
+        )),
+        Err(e) => Err(io::Error::other(format!("control call frame: {e}"))),
+    }
+}

@@ -29,31 +29,75 @@
 //! | `0x03` | `Feedback`     | `u64 session`, `u32 n`, `n × u32` relevant ids|
 //! | `0x04` | `SnapshotStats`| —                                             |
 //! | `0x05` | `Close`        | `u64 session`                                 |
+//! | `0x06` | `ShardKnn`     | `u32 k`, `f64 seed`, `u32 n`, `n × f64` point, `u32 wn`, `wn × f64` weights |
+//! | `0x07` | `ShardInfo`    | —                                             |
+//! | `0x08` | `SnapshotModule`| —                                            |
+//! | `0x09` | `RestoreModule`| `u32 len`, `len` bytes (serialized module)    |
+//!
+//! Opcodes `0x06`–`0x09` are the **router tier's downstream surface**
+//! (router → shard server), spoken on the same framed connections as
+//! the client surface. `ShardKnn` is sessionless: it asks for the
+//! shard's exact local k-best under an explicit `(point, weights)`
+//! metric (`wn` must equal `n`, or be `0` for uniform weights) and
+//! returns a keyed `ShardPartial` — indices already offset by the shard
+//! server's configured `row_offset`, `k` clamped to the shard's rows.
+//! `seed` is a cross-shard early-abandon cap (another shard's k-th-best
+//! bound); `+∞` means unseeded and is always sound. `ShardInfo` probes
+//! the served slice (rows, global row offset, dimensionality);
+//! `SnapshotModule`/`RestoreModule` move the serialized learned module
+//! (the `simplex-tree` persistence image) so a router can replicate its
+//! module state onto its shards.
 //!
 //! # Response opcodes (server → client)
 //!
 //! | op     | message         | body                                               |
 //! |--------|-----------------|----------------------------------------------------|
 //! | `0x81` | `SessionOpened` | `u64 session`, `u32 dim`                           |
-//! | `0x82` | `KnnResult`     | `u8 flags`, `u32 cycles`, `u32 n`, `n × (u32, f64)`|
+//! | `0x82` | `KnnResult`     | `u8 flags`, `u32 cycles`, \[`u32 m`, `m × u32` missing shards — iff `flags & KNN_DEGRADED`\], `u32 n`, `n × (u32, f64)` |
 //! | `0x83` | `FeedbackAck`   | `u8 done`, `u8 converged`, `u32 cycles`            |
 //! | `0x84` | `Stats`         | see below                                          |
 //! | `0x85` | `Closed`        | —                                                  |
+//! | `0x86` | `ShardPartial`  | `u8 finished`, `u32 n`, `n × (f64 key, u32 index)` |
+//! | `0x87` | `ShardInfoResult`| `u64 rows`, `u64 offset`, `u32 dim`               |
+//! | `0x88` | `ModuleImage`   | `u32 len`, `len` bytes (serialized module)         |
+//! | `0x89` | `ModuleRestored`| —                                                  |
 //! | `0xEE` | `Error`         | `u8 code`, `u32 len`, UTF-8 message                |
+//!
+//! The degraded-flag encoding in `0x82` is **normative**: bit 2 of
+//! `flags` ([`KNN_DEGRADED`]) marks an answer merged from a surviving
+//! shard subset under the router's `Degraded{min_shards}` failure
+//! policy. When (and only when) the bit is set, the body carries the
+//! missing-shard id list between `cycles` and the neighbor count; the
+//! neighbors are then exactly the flat scan over the surviving shards'
+//! rows. An undegraded reply never carries the list, so pre-router
+//! clients parse identically. `0x86 ShardPartial` entries ascend by
+//! `(key, index)` — a receiver must validate the ordering (forged
+//! partials would corrupt the key-space merge) and treat violations as
+//! a protocol error.
 //!
 //! The `0x84` `Stats` body is the [`StatsSnapshot`] fields in
 //! declaration order:
 //!
-//! | field               | type  |
-//! |---------------------|-------|
-//! | `requests`          | `u64` |
-//! | `passes`            | `u64` |
-//! | `shards`            | `u64` |
-//! | `mean_batch_fill`   | `f64` |
-//! | `queue_wait_p50_us` | `f64` |
-//! | `queue_wait_p99_us` | `f64` |
-//! | `sessions_open`     | `u64` |
-//! | `protocol_errors`   | `u64` |
+//! | field                  | type  |
+//! |------------------------|-------|
+//! | `requests`             | `u64` |
+//! | `passes`               | `u64` |
+//! | `shards`               | `u64` |
+//! | `mean_batch_fill`      | `f64` |
+//! | `queue_wait_p50_us`    | `f64` |
+//! | `queue_wait_p99_us`    | `f64` |
+//! | `sessions_open`        | `u64` |
+//! | `protocol_errors`      | `u64` |
+//! | `downstream_timeouts`  | `u64` |
+//! | `downstream_retries`   | `u64` |
+//! | `downstream_reconnects`| `u64` |
+//! | `hedges_fired`         | `u64` |
+//! | `hedges_won`           | `u64` |
+//! | `degraded_replies`     | `u64` |
+//!
+//! The six `downstream_*`/`hedges_*`/`degraded_replies` fields are the
+//! router tier's fault counters, aggregated across its downstreams; a
+//! plain shard server reports them as zero.
 //!
 //! # Conversation rules
 //!
@@ -96,6 +140,7 @@
 //! | 5    | `BadRequest`     | valid frame, wrong session state (e.g. `Feedback` with no un-judged results) |
 //! | 6    | `Busy`           | admission queue full — well-formed backpressure, retry after a pause |
 //! | 7    | `Internal`       | server-side failure (shutdown race, scan error)           |
+//! | 8    | `ShardUnavailable` | a downstream shard failed and the failure policy refused a degraded answer; retry after the shard recovers |
 
 use fbp_vecdb::Neighbor;
 use std::io::{self, Read, Write};
@@ -109,6 +154,11 @@ pub const DEFAULT_MAX_FRAME_LEN: u32 = 1 << 20;
 pub const KNN_DONE: u8 = 0b01;
 /// [`Response::KnnResult`] flag: it finished by converging.
 pub const KNN_CONVERGED: u8 = 0b10;
+/// [`Response::KnnResult`] flag: the answer was merged from a surviving
+/// shard subset (the router's `Degraded` failure policy); the body then
+/// carries the missing-shard id list and the neighbors are exactly the
+/// flat scan over the surviving shards' rows.
+pub const KNN_DEGRADED: u8 = 0b100;
 
 /// Protocol error categories carried by [`Response::Error`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,6 +180,9 @@ pub enum ErrorCode {
     Busy = 6,
     /// Server-side failure (shutdown race, dispatcher gone).
     Internal = 7,
+    /// A downstream shard failed and the failure policy refused to
+    /// answer degraded (router tier only).
+    ShardUnavailable = 8,
 }
 
 impl ErrorCode {
@@ -142,6 +195,7 @@ impl ErrorCode {
             5 => ErrorCode::BadRequest,
             6 => ErrorCode::Busy,
             7 => ErrorCode::Internal,
+            8 => ErrorCode::ShardUnavailable,
             _ => return None,
         })
     }
@@ -157,6 +211,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::BadRequest => "bad-request",
             ErrorCode::Busy => "busy",
             ErrorCode::Internal => "internal",
+            ErrorCode::ShardUnavailable => "shard-unavailable",
         };
         f.write_str(name)
     }
@@ -192,6 +247,29 @@ pub enum Request {
         /// Session id.
         session: u64,
     },
+    /// Sessionless shard-local k-best under an explicit metric — the
+    /// router tier's scatter frame (see the module docs).
+    ShardKnn {
+        /// Result count (clamped server-side to the shard's rows).
+        k: u32,
+        /// Cross-shard early-abandon cap in the scan's selection space
+        /// (`f64::INFINITY` = unseeded; always sound).
+        seed: f64,
+        /// Query point (must match the shard's dimensionality).
+        point: Vec<f64>,
+        /// Per-dimension metric weights; empty means uniform.
+        weights: Vec<f64>,
+    },
+    /// Probe the served slice: rows, global row offset, dimensionality.
+    ShardInfo,
+    /// Fetch the serialized learned module.
+    SnapshotModule,
+    /// Replace the served learned module with a serialized image.
+    RestoreModule {
+        /// The `simplex-tree` persistence image
+        /// (`FeedbackBypass::to_bytes`).
+        image: Vec<u8>,
+    },
 }
 
 /// One server → client message.
@@ -206,10 +284,13 @@ pub enum Response {
     },
     /// Reply to [`Request::Knn`].
     KnnResult {
-        /// [`KNN_DONE`] | [`KNN_CONVERGED`].
+        /// [`KNN_DONE`] | [`KNN_CONVERGED`] | [`KNN_DEGRADED`].
         flags: u8,
         /// Feedback cycles the session's current query has run.
         cycles: u32,
+        /// Shard ids missing from a degraded merge. On the wire only
+        /// when `flags & KNN_DEGRADED`; must be empty otherwise.
+        missing_shards: Vec<u32>,
         /// Neighbors, ascending `(dist, index)`.
         neighbors: Vec<Neighbor>,
     },
@@ -226,6 +307,32 @@ pub enum Response {
     Stats(StatsSnapshot),
     /// Reply to [`Request::Close`].
     Closed,
+    /// Reply to [`Request::ShardKnn`]: the shard's exact local k-best,
+    /// still in selection space (keyed entries ascend by `(key,
+    /// index)`, indices globally offset).
+    ShardPartial {
+        /// True when the keys are finished distances (a Scalar-mode
+        /// shard server) rather than surrogate keys.
+        finished: bool,
+        /// `(key, global index)` entries ascending by `(key, index)`.
+        entries: Vec<(f64, u32)>,
+    },
+    /// Reply to [`Request::ShardInfo`].
+    ShardInfoResult {
+        /// Rows the shard serves.
+        rows: u64,
+        /// Global index of the shard's first row (`row_offset`).
+        offset: u64,
+        /// Served dimensionality.
+        dim: u32,
+    },
+    /// Reply to [`Request::SnapshotModule`].
+    ModuleImage {
+        /// Serialized learned module.
+        image: Vec<u8>,
+    },
+    /// Reply to [`Request::RestoreModule`].
+    ModuleRestored,
     /// Any request can fail with a coded error instead of its reply.
     Error {
         /// Category.
@@ -257,6 +364,19 @@ pub struct StatsSnapshot {
     pub sessions_open: u64,
     /// Protocol errors answered or connections dropped for framing.
     pub protocol_errors: u64,
+    /// Downstream calls abandoned on a timeout (router tier; zero on a
+    /// shard server — likewise for the five fields below).
+    pub downstream_timeouts: u64,
+    /// Downstream call attempts retried after an I/O failure.
+    pub downstream_retries: u64,
+    /// Downstream connections (re-)established after a failure.
+    pub downstream_reconnects: u64,
+    /// Hedge requests fired at straggling shards.
+    pub hedges_fired: u64,
+    /// Hedge requests whose answer arrived first.
+    pub hedges_won: u64,
+    /// Degraded (surviving-subset) answers served.
+    pub degraded_replies: u64,
 }
 
 /// Decode failure for a well-framed payload.
@@ -375,6 +495,31 @@ impl Request {
                 out.push(0x05);
                 out.extend_from_slice(&session.to_le_bytes());
             }
+            Request::ShardKnn {
+                k,
+                seed,
+                point,
+                weights,
+            } => {
+                out.push(0x06);
+                out.extend_from_slice(&k.to_le_bytes());
+                out.extend_from_slice(&seed.to_le_bytes());
+                out.extend_from_slice(&(point.len() as u32).to_le_bytes());
+                for v in point {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                out.extend_from_slice(&(weights.len() as u32).to_le_bytes());
+                for w in weights {
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+            Request::ShardInfo => out.push(0x07),
+            Request::SnapshotModule => out.push(0x08),
+            Request::RestoreModule { image } => {
+                out.push(0x09);
+                out.extend_from_slice(&(image.len() as u32).to_le_bytes());
+                out.extend_from_slice(image);
+            }
         }
         out
     }
@@ -406,6 +551,34 @@ impl Request {
             }
             0x04 => Request::SnapshotStats,
             0x05 => Request::Close { session: r.u64()? },
+            0x06 => {
+                let k = r.u32()?;
+                let seed = r.f64()?;
+                let n = r.counted(8)?;
+                let mut point = Vec::with_capacity(n);
+                for _ in 0..n {
+                    point.push(r.f64()?);
+                }
+                let wn = r.counted(8)?;
+                let mut weights = Vec::with_capacity(wn);
+                for _ in 0..wn {
+                    weights.push(r.f64()?);
+                }
+                Request::ShardKnn {
+                    k,
+                    seed,
+                    point,
+                    weights,
+                }
+            }
+            0x07 => Request::ShardInfo,
+            0x08 => Request::SnapshotModule,
+            0x09 => {
+                let n = r.counted(1)?;
+                Request::RestoreModule {
+                    image: r.take(n)?.to_vec(),
+                }
+            }
             op => return Err(DecodeError::UnknownOpcode(op)),
         };
         r.finish()?;
@@ -426,11 +599,23 @@ impl Response {
             Response::KnnResult {
                 flags,
                 cycles,
+                missing_shards,
                 neighbors,
             } => {
                 out.push(0x82);
                 out.push(*flags);
                 out.extend_from_slice(&cycles.to_le_bytes());
+                if flags & KNN_DEGRADED != 0 {
+                    out.extend_from_slice(&(missing_shards.len() as u32).to_le_bytes());
+                    for id in missing_shards {
+                        out.extend_from_slice(&id.to_le_bytes());
+                    }
+                } else {
+                    debug_assert!(
+                        missing_shards.is_empty(),
+                        "missing_shards require KNN_DEGRADED"
+                    );
+                }
                 out.extend_from_slice(&(neighbors.len() as u32).to_le_bytes());
                 for n in neighbors {
                     out.extend_from_slice(&n.index.to_le_bytes());
@@ -457,8 +642,35 @@ impl Response {
                 out.extend_from_slice(&s.queue_wait_p99_us.to_le_bytes());
                 out.extend_from_slice(&s.sessions_open.to_le_bytes());
                 out.extend_from_slice(&s.protocol_errors.to_le_bytes());
+                out.extend_from_slice(&s.downstream_timeouts.to_le_bytes());
+                out.extend_from_slice(&s.downstream_retries.to_le_bytes());
+                out.extend_from_slice(&s.downstream_reconnects.to_le_bytes());
+                out.extend_from_slice(&s.hedges_fired.to_le_bytes());
+                out.extend_from_slice(&s.hedges_won.to_le_bytes());
+                out.extend_from_slice(&s.degraded_replies.to_le_bytes());
             }
             Response::Closed => out.push(0x85),
+            Response::ShardPartial { finished, entries } => {
+                out.push(0x86);
+                out.push(u8::from(*finished));
+                out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for (key, index) in entries {
+                    out.extend_from_slice(&key.to_le_bytes());
+                    out.extend_from_slice(&index.to_le_bytes());
+                }
+            }
+            Response::ShardInfoResult { rows, offset, dim } => {
+                out.push(0x87);
+                out.extend_from_slice(&rows.to_le_bytes());
+                out.extend_from_slice(&offset.to_le_bytes());
+                out.extend_from_slice(&dim.to_le_bytes());
+            }
+            Response::ModuleImage { image } => {
+                out.push(0x88);
+                out.extend_from_slice(&(image.len() as u32).to_le_bytes());
+                out.extend_from_slice(image);
+            }
+            Response::ModuleRestored => out.push(0x89),
             Response::Error { code, message } => {
                 out.push(0xEE);
                 out.push(*code as u8);
@@ -481,6 +693,14 @@ impl Response {
             0x82 => {
                 let flags = r.u8()?;
                 let cycles = r.u32()?;
+                let mut missing_shards = Vec::new();
+                if flags & KNN_DEGRADED != 0 {
+                    let m = r.counted(4)?;
+                    missing_shards.reserve(m);
+                    for _ in 0..m {
+                        missing_shards.push(r.u32()?);
+                    }
+                }
                 let n = r.counted(12)?;
                 let mut neighbors = Vec::with_capacity(n);
                 for _ in 0..n {
@@ -492,6 +712,7 @@ impl Response {
                 Response::KnnResult {
                     flags,
                     cycles,
+                    missing_shards,
                     neighbors,
                 }
             }
@@ -509,8 +730,35 @@ impl Response {
                 queue_wait_p99_us: r.f64()?,
                 sessions_open: r.u64()?,
                 protocol_errors: r.u64()?,
+                downstream_timeouts: r.u64()?,
+                downstream_retries: r.u64()?,
+                downstream_reconnects: r.u64()?,
+                hedges_fired: r.u64()?,
+                hedges_won: r.u64()?,
+                degraded_replies: r.u64()?,
             }),
             0x85 => Response::Closed,
+            0x86 => {
+                let finished = r.u8()? != 0;
+                let n = r.counted(12)?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push((r.f64()?, r.u32()?));
+                }
+                Response::ShardPartial { finished, entries }
+            }
+            0x87 => Response::ShardInfoResult {
+                rows: r.u64()?,
+                offset: r.u64()?,
+                dim: r.u32()?,
+            },
+            0x88 => {
+                let n = r.counted(1)?;
+                Response::ModuleImage {
+                    image: r.take(n)?.to_vec(),
+                }
+            }
+            0x89 => Response::ModuleRestored,
             0xEE => {
                 let code = ErrorCode::from_u8(r.u8()?).ok_or(DecodeError::Truncated)?;
                 let n = r.counted(1)?;
@@ -666,6 +914,23 @@ mod tests {
         });
         roundtrip_req(Request::SnapshotStats);
         roundtrip_req(Request::Close { session: 7 });
+        roundtrip_req(Request::ShardKnn {
+            k: 10,
+            seed: f64::INFINITY,
+            point: vec![0.5, 0.25],
+            weights: vec![1.0, 2.0],
+        });
+        roundtrip_req(Request::ShardKnn {
+            k: 3,
+            seed: 0.125,
+            point: vec![0.5, 0.25],
+            weights: vec![],
+        });
+        roundtrip_req(Request::ShardInfo);
+        roundtrip_req(Request::SnapshotModule);
+        roundtrip_req(Request::RestoreModule {
+            image: vec![0xAB; 37],
+        });
     }
 
     #[test]
@@ -677,6 +942,7 @@ mod tests {
         roundtrip_resp(Response::KnnResult {
             flags: KNN_DONE | KNN_CONVERGED,
             cycles: 4,
+            missing_shards: vec![],
             neighbors: vec![
                 Neighbor {
                     index: 2,
@@ -687,6 +953,16 @@ mod tests {
                     dist: 2.5,
                 },
             ],
+        });
+        // Degraded replies carry the missing-shard list on the wire.
+        roundtrip_resp(Response::KnnResult {
+            flags: KNN_DEGRADED,
+            cycles: 1,
+            missing_shards: vec![1, 2],
+            neighbors: vec![Neighbor {
+                index: 4,
+                dist: 0.5,
+            }],
         });
         roundtrip_resp(Response::FeedbackAck {
             done: true,
@@ -702,11 +978,34 @@ mod tests {
             queue_wait_p99_us: 2100.5,
             sessions_open: 32,
             protocol_errors: 1,
+            downstream_timeouts: 3,
+            downstream_retries: 5,
+            downstream_reconnects: 2,
+            hedges_fired: 7,
+            hedges_won: 4,
+            degraded_replies: 6,
         }));
         roundtrip_resp(Response::Closed);
+        roundtrip_resp(Response::ShardPartial {
+            finished: false,
+            entries: vec![(0.25, 3), (0.5, 1), (0.5, 2)],
+        });
+        roundtrip_resp(Response::ShardInfoResult {
+            rows: 300,
+            offset: 600,
+            dim: 24,
+        });
+        roundtrip_resp(Response::ModuleImage {
+            image: vec![0xCD; 64],
+        });
+        roundtrip_resp(Response::ModuleRestored);
         roundtrip_resp(Response::Error {
             code: ErrorCode::DimMismatch,
             message: "expected 64, got 3".into(),
+        });
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::ShardUnavailable,
+            message: "shards [1] unavailable".into(),
         });
     }
 

@@ -5,23 +5,33 @@
 //! `Knn` requests park on the micro-batcher and wake with their slice of
 //! a coalesced pass; everything else is answered inline. Session state
 //! (current query anchor, learned parameters, last un-judged results)
-//! lives server-side in a registry keyed by session id, so the full
-//! interactive feedback loop runs over the wire with the same
-//! [`FeedbackStepper`] transition the in-process serving path executes.
-//! Sessions are **connection-scoped**: only the connection that opened a
-//! session may use or close it (ids are sequential, so they must not be
-//! capabilities), and they are dropped when it disconnects.
+//! lives server-side in a [`SessionStore`] keyed by session id, so the
+//! full interactive feedback loop runs over the wire with the same
+//! [`fbp_feedback::FeedbackStepper`] transition the in-process serving
+//! path executes. Sessions are **connection-scoped**: only the
+//! connection that opened a session may use or close it (ids are
+//! sequential, so they must not be capabilities), and they are dropped
+//! when it disconnects.
+//!
+//! Besides the interactive session surface, every server also answers
+//! the **router downstream surface** (`ShardKnn` / `ShardInfo` /
+//! `SnapshotModule` / `RestoreModule` — see [`crate::protocol`]): with
+//! [`ServerConfig::row_offset`] set, the served collection acts as one
+//! slice of a larger router-fronted deployment, answering sessionless
+//! shard-local k-bests with globally-offset indices.
 
 use crate::batcher::{run_shard_dispatcher, Batcher, EnqueueError, Gather};
 use crate::metrics::Metrics;
 use crate::protocol::{
-    read_frame, write_frame, DecodeError, ErrorCode, FrameError, Request, Response, StatsSnapshot,
-    DEFAULT_MAX_FRAME_LEN, KNN_CONVERGED, KNN_DONE,
+    read_frame, write_frame, DecodeError, ErrorCode, FrameError, Request, Response,
+    DEFAULT_MAX_FRAME_LEN,
 };
-use fbp_feedback::{FeedbackConfig, FeedbackStepper, SetOracle, StepOutcome};
-use fbp_vecdb::{Collection, Neighbor, ResultList, ScanMode, ShardedCollection};
-use feedbackbypass::{ShardedBypass, SharedBypass};
-use std::collections::HashMap;
+use crate::sessions::{err, SessionStore};
+use fbp_vecdb::{
+    combine_partials, Collection, Neighbor, ScanMode, ShardPartial, ShardedCollection, ShardedScan,
+    WeightedEuclidean,
+};
+use feedbackbypass::{FeedbackBypass, FeedbackConfig, KnnRequest, ShardedBypass, SharedBypass};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -72,6 +82,12 @@ pub struct ServerConfig {
     /// pass also gets an even share of the machine for its own
     /// parallelism.
     pub shards: usize,
+    /// Global index of this server's first row, added to every entry a
+    /// `ShardKnn` reply carries. A standalone server leaves it `0`; a
+    /// router-fronted shard server serving rows `[offset, offset+len)`
+    /// of the full collection sets it so the router's gathered indices
+    /// address the full key space.
+    pub row_offset: usize,
     /// Feedback transition configuration (`k` is per-request on the
     /// wire; `max_cycles` caps each session's loop server-side).
     pub feedback: FeedbackConfig,
@@ -97,6 +113,7 @@ impl Default for ServerConfig {
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             scan_mode: ScanMode::Batched,
             shards: 1,
+            row_offset: 0,
             feedback: FeedbackConfig::default(),
             read_timeout: Duration::from_millis(20),
             write_timeout: Duration::from_secs(1),
@@ -104,47 +121,22 @@ impl Default for ServerConfig {
     }
 }
 
-/// One session's in-flight interactive query.
-struct ActiveQuery {
-    /// The anchor query point (the module insert key).
-    anchor: Vec<f64>,
-    /// Current search point.
-    point: Vec<f64>,
-    /// Current search weights.
-    weights: Vec<f64>,
-    /// Results of the previous round (set when feedback continued).
-    prev: Option<ResultList>,
-    /// Results of the last round, awaiting the client's judgment.
-    pending: Option<ResultList>,
-    /// Feedback cycles run.
-    cycles: usize,
-}
-
-/// Registry entry.
-struct Session {
-    /// The connection that opened the session. Session ids are
-    /// sequential (guessable), so every access is checked against the
-    /// owner — one client cannot close or judge another's session.
-    owner: u64,
-    active: Option<ActiveQuery>,
-}
-
 /// Everything the server threads share.
 struct Shared {
-    coll: Arc<Collection>,
-    bypass: SharedBypass,
+    store: SessionStore,
     cfg: ServerConfig,
     /// One micro-batcher per shard; every admitted `Knn` is scattered
     /// into all of them.
     batchers: Vec<Arc<Batcher<Arc<Gather>>>>,
+    /// The internal shard split (`ShardKnn` scans it inline).
+    sharded_coll: Arc<ShardedCollection>,
+    sharded_bypass: ShardedBypass,
     /// Admission bound: requests mid-scatter/gather. Enforcing the
     /// queue capacity here (instead of per batcher) keeps a request's
     /// scatter atomic — it is either admitted to every shard queue or
     /// refused outright with `Busy`.
     inflight: AtomicUsize,
     metrics: Arc<Metrics>,
-    sessions: Mutex<HashMap<u64, Session>>,
-    next_session: AtomicU64,
     next_conn: AtomicU64,
     shutdown: AtomicBool,
 }
@@ -192,9 +184,8 @@ impl ServerHandle {
 
     /// In-process metrics snapshot (same numbers the wire
     /// `SnapshotStats` reports).
-    pub fn stats(&self) -> StatsSnapshot {
-        let sessions = self.shared.sessions.lock().expect("sessions lock").len() as u64;
-        self.shared.metrics.snapshot(sessions)
+    pub fn stats(&self) -> crate::protocol::StatsSnapshot {
+        self.shared.metrics.snapshot(self.shared.store.count())
     }
 
     /// Graceful shutdown: stop accepting, unpark every thread, drain the
@@ -267,14 +258,18 @@ pub fn serve(
         .collect();
     let metrics = Arc::new(Metrics::new(shards as u64));
     let shared = Arc::new(Shared {
-        coll: Arc::clone(&coll),
-        bypass: bypass.clone(),
+        store: SessionStore::new(
+            Arc::clone(&coll),
+            bypass.clone(),
+            cfg.feedback.clone(),
+            Arc::clone(&metrics),
+        ),
         cfg: cfg.clone(),
         batchers: batchers.clone(),
+        sharded_coll: Arc::clone(&sharded_coll),
+        sharded_bypass: sharded_bypass.clone(),
         inflight: AtomicUsize::new(0),
         metrics: Arc::clone(&metrics),
-        sessions: Mutex::new(HashMap::new()),
-        next_session: AtomicU64::new(1),
         next_conn: AtomicU64::new(1),
         shutdown: AtomicBool::new(false),
     });
@@ -289,12 +284,7 @@ pub fn serve(
                 let bypass = sharded_bypass.clone();
                 let metrics = Arc::clone(&metrics);
                 let scan_mode = cfg.scan_mode;
-                let default_k = cfg.feedback.k;
-                move || {
-                    run_shard_dispatcher(
-                        shard, batcher, coll, bypass, scan_mode, default_k, metrics,
-                    )
-                }
+                move || run_shard_dispatcher(shard, batcher, coll, bypass, scan_mode, metrics)
             })
         })
         .collect();
@@ -414,36 +404,13 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
             }
         }
     }
-    if !owned_sessions.is_empty() {
-        let mut sessions = shared.sessions.lock().expect("sessions lock");
-        for id in owned_sessions {
-            sessions.remove(&id);
-        }
-    }
+    shared.store.drop_owned(&owned_sessions);
 }
 
 /// One reply frame under the connection's write lock.
 fn write_response(writer: &Mutex<TcpStream>, response: &Response) -> io::Result<()> {
     let mut w = writer.lock().expect("writer lock");
     write_frame(&mut *w, &response.encode())
-}
-
-fn err(code: ErrorCode, message: impl Into<String>) -> Response {
-    Response::Error {
-        code,
-        message: message.into(),
-    }
-}
-
-/// Look up a session for `conn_id`. Ownership mismatches report
-/// `UnknownSession` exactly like a missing id, so foreign connections
-/// cannot even probe which ids exist.
-fn owned_session(
-    sessions: &mut HashMap<u64, Session>,
-    session: u64,
-    conn_id: u64,
-) -> Option<&mut Session> {
-    sessions.get_mut(&session).filter(|s| s.owner == conn_id)
 }
 
 /// Serve one decoded request; `None` means the reply was deferred to the
@@ -457,45 +424,46 @@ fn handle_request(
 ) -> Option<Response> {
     match req {
         Request::OpenSession => {
-            let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
-            shared.sessions.lock().expect("sessions lock").insert(
-                id,
-                Session {
-                    owner: conn_id,
-                    active: None,
-                },
-            );
+            let id = shared.store.open(conn_id);
             owned.push(id);
             Some(Response::SessionOpened {
                 session: id,
-                dim: shared.coll.dim() as u32,
+                dim: shared.store.coll().dim() as u32,
             })
         }
         Request::Knn { session, k, query } => {
             handle_knn(shared, writer, conn_id, session, k, query)
         }
         Request::Feedback { session, relevant } => {
-            Some(handle_feedback(shared, conn_id, session, relevant))
+            Some(shared.store.feedback(conn_id, session, relevant))
         }
-        Request::SnapshotStats => {
-            let sessions = shared.sessions.lock().expect("sessions lock").len() as u64;
-            Some(Response::Stats(shared.metrics.snapshot(sessions)))
-        }
+        Request::SnapshotStats => Some(Response::Stats(
+            shared.metrics.snapshot(shared.store.count()),
+        )),
         Request::Close { session } => {
-            let removed = {
-                let mut sessions = shared.sessions.lock().expect("sessions lock");
-                if owned_session(&mut sessions, session, conn_id).is_some() {
-                    sessions.remove(&session)
-                } else {
-                    None
-                }
-            };
+            let removed = shared.store.close(session, conn_id);
             owned.retain(|&id| id != session);
-            Some(match removed {
-                Some(_) => Response::Closed,
-                None => err(ErrorCode::UnknownSession, format!("session {session}")),
+            Some(if removed {
+                Response::Closed
+            } else {
+                err(ErrorCode::UnknownSession, format!("session {session}"))
             })
         }
+        Request::ShardKnn {
+            k,
+            seed,
+            point,
+            weights,
+        } => Some(handle_shard_knn(shared, k, seed, point, weights)),
+        Request::ShardInfo => Some(Response::ShardInfoResult {
+            rows: shared.store.coll().len() as u64,
+            offset: shared.cfg.row_offset as u64,
+            dim: shared.store.coll().dim() as u32,
+        }),
+        Request::SnapshotModule => Some(Response::ModuleImage {
+            image: shared.store.bypass().to_bytes(),
+        }),
+        Request::RestoreModule { image } => Some(handle_restore_module(shared, &image)),
     }
 }
 
@@ -512,7 +480,7 @@ fn handle_knn(
     k: u32,
     query: Vec<f64>,
 ) -> Option<Response> {
-    let dim = shared.coll.dim();
+    let dim = shared.store.coll().dim();
     if query.len() != dim {
         shared.metrics.record_protocol_error();
         return Some(err(
@@ -522,59 +490,27 @@ fn handle_knn(
     }
     // `k` can never exceed the collection, so clamp instead of letting a
     // forged request size a gigantic k-best heap.
-    let k = (k as usize).min(shared.coll.len());
+    let k = (k as usize).min(shared.store.coll().len());
 
-    // Resolve parameters, keeping predict() off the registry lock (the
-    // simplex-tree lookup is the expensive part; a connection is serial,
-    // so nothing else can touch this session between the two critical
-    // sections).
-    let resolved: Option<(Vec<f64>, Vec<f64>)> = {
-        let mut sessions = shared.sessions.lock().expect("sessions lock");
-        let Some(sess) = owned_session(&mut sessions, session, conn_id) else {
-            drop(sessions);
+    let (point, weights) = match shared.store.resolve_knn(conn_id, session, query) {
+        Ok(params) => params,
+        Err(resp) => return Some(resp),
+    };
+    let req = KnnRequest {
+        point,
+        weights,
+        k: Some(k),
+        precision: None,
+    };
+    // Build the request's metric exactly once, at admission — every
+    // shard pass and the final merge share it, instead of each shard
+    // dispatch rebuilding it per pass.
+    let metric = match req.metric(dim) {
+        Ok(m) => m,
+        Err(e) => {
             shared.metrics.record_protocol_error();
-            return Some(err(ErrorCode::UnknownSession, format!("session {session}")));
-        };
-        match &sess.active {
-            Some(aq) if aq.anchor == query => Some((aq.point.clone(), aq.weights.clone())),
-            _ => None,
+            return Some(err(ErrorCode::BadRequest, e.to_string()));
         }
-    };
-    let (point, weights) = match resolved {
-        Some(params) => params,
-        None => {
-            // New anchor: ask the shared module for its learned starting
-            // parameters; out-of-domain queries search as-is under the
-            // uniform metric (the same fallback the in-process loop
-            // driver applies).
-            let (point, weights) = match shared.bypass.predict(&query) {
-                Ok(p) => (p.point, p.weights),
-                Err(_) => (query.clone(), vec![1.0; dim]),
-            };
-            let mut sessions = shared.sessions.lock().expect("sessions lock");
-            let Some(sess) = owned_session(&mut sessions, session, conn_id) else {
-                drop(sessions);
-                shared.metrics.record_protocol_error();
-                return Some(err(ErrorCode::UnknownSession, format!("session {session}")));
-            };
-            sess.active = Some(ActiveQuery {
-                anchor: query,
-                point: point.clone(),
-                weights: weights.clone(),
-                prev: None,
-                pending: None,
-                cycles: 0,
-            });
-            (point, weights)
-        }
-    };
-    // Degenerate predicted weights fall back to the uniform metric,
-    // exactly like the in-process serving loop — one bad prediction
-    // must not fail the whole pass.
-    let weights = if weights.iter().all(|w| w.is_finite() && *w > 0.0) {
-        weights
-    } else {
-        vec![1.0; dim]
     };
 
     // Admission: the queue bound applies to whole requests — a request
@@ -593,10 +529,11 @@ fn handle_knn(
             shared.inflight.fetch_sub(1, Ordering::AcqRel);
             let response = match outcome {
                 Ok(neighbors) => {
-                    let (flags, cycles) = finish_knn(&shared, session, &neighbors);
+                    let (flags, cycles) = shared.store.finish_knn(session, &neighbors);
                     Response::KnnResult {
                         flags,
                         cycles,
+                        missing_shards: Vec::new(),
                         neighbors,
                     }
                 }
@@ -612,17 +549,7 @@ fn handle_knn(
             }
         })
     };
-    let gather = Gather::new(
-        feedbackbypass::KnnRequest {
-            point,
-            weights,
-            k: Some(k),
-            precision: None,
-        },
-        shared.batchers.len(),
-        shared.cfg.feedback.k,
-        completion,
-    );
+    let gather = Gather::new(req, metric, k, shared.batchers.len(), completion);
     for (shard, batcher) in shared.batchers.iter().enumerate() {
         if let Err(EnqueueError::ShuttingDown) = batcher.enqueue(Arc::clone(&gather)) {
             // Shutdown raced the scatter: deliver this shard's slot as
@@ -634,138 +561,110 @@ fn handle_knn(
     None
 }
 
-/// Post-pass session bookkeeping: ranking stability and the cycle cap
-/// end the query (committing its parameters); otherwise the results
-/// await the client's judgment. Identical transition structure to the
-/// in-process serving loop.
-fn finish_knn(shared: &Shared, session: u64, neighbors: &[Neighbor]) -> (u8, u32) {
-    let results = ResultList::new(neighbors.to_vec());
-    let mut flags = 0u8;
-    let mut cycles = 0u32;
-    let mut commit: Option<ActiveQuery> = None;
-    {
-        let mut sessions = shared.sessions.lock().expect("sessions lock");
-        // The session may have been closed while the request was in
-        // flight; results still go back, with no state to update.
-        if let Some(sess) = sessions.get_mut(&session) {
-            if let Some(aq) = sess.active.as_mut() {
-                let mut finished: Option<bool> = None;
-                if let Some(prev) = &aq.prev {
-                    aq.cycles += 1;
-                    if results.same_ranking(prev) {
-                        finished = Some(true);
-                    }
-                }
-                if finished.is_none() && aq.cycles >= shared.cfg.feedback.max_cycles {
-                    finished = Some(false);
-                }
-                cycles = aq.cycles as u32;
-                match finished {
-                    Some(converged) => {
-                        commit = sess.active.take();
-                        flags = KNN_DONE | if converged { KNN_CONVERGED } else { 0 };
-                    }
-                    None => aq.pending = Some(results),
-                }
-            }
-        }
+/// `ShardKnn`: a sessionless shard-local k-best under an explicit
+/// metric — the frame a router scatters. The scan honors the caller's
+/// cross-shard early-abandon `seed` (tightened further across the
+/// internal shard split), the internal per-shard partials fold into one
+/// via [`combine_partials`] (staying in selection space, so the
+/// router's gather merges them exactly like in-process partials), and
+/// every entry's index is offset by [`ServerConfig::row_offset`].
+fn handle_shard_knn(
+    shared: &Shared,
+    k: u32,
+    seed: f64,
+    point: Vec<f64>,
+    weights: Vec<f64>,
+) -> Response {
+    let dim = shared.store.coll().dim();
+    if point.len() != dim {
+        shared.metrics.record_protocol_error();
+        return err(
+            ErrorCode::DimMismatch,
+            format!("expected {dim}, got {}", point.len()),
+        );
     }
-    // The module insert takes its own write lock; keep it off the
-    // registry lock so other sessions' handlers never queue behind it.
-    if let Some(aq) = commit {
-        commit_parameters(shared, &aq);
-    }
-    (flags, cycles)
-}
-
-/// `Feedback`: advance the session one feedback transition on its last
-/// un-judged results (the [`FeedbackStepper`] the in-process serving
-/// loop runs), committing the learned parameters on convergence. The
-/// stepper (reweight + movement over the judged results) and the module
-/// insert both run **off** the registry lock — a connection is serial,
-/// so nothing else mutates this session in between; only session
-/// removal can race, and that just discards the step's outcome.
-fn handle_feedback(shared: &Shared, conn_id: u64, session: u64, relevant: Vec<u32>) -> Response {
-    let (point, weights, results, cycles) = {
-        let mut sessions = shared.sessions.lock().expect("sessions lock");
-        let Some(sess) = owned_session(&mut sessions, session, conn_id) else {
-            drop(sessions);
-            shared.metrics.record_protocol_error();
-            return err(ErrorCode::UnknownSession, format!("session {session}"));
-        };
-        let Some(aq) = sess.active.as_mut() else {
-            drop(sessions);
-            shared.metrics.record_protocol_error();
-            return err(ErrorCode::BadRequest, "no active query to judge");
-        };
-        let Some(results) = aq.pending.take() else {
-            drop(sessions);
-            shared.metrics.record_protocol_error();
-            return err(
-                ErrorCode::BadRequest,
-                "no un-judged results (issue a Knn first)",
-            );
-        };
-        (
-            aq.point.clone(),
-            aq.weights.clone(),
-            results,
-            aq.cycles as u32,
-        )
+    // Empty weights mean uniform by protocol; anything else must match
+    // the dimensionality and be a valid metric — a router relays exact
+    // learned weights, so there is no silent uniform fallback here.
+    let weights = if weights.is_empty() {
+        vec![1.0; dim]
+    } else {
+        weights
     };
-    let stepper = FeedbackStepper::new(&shared.coll, shared.cfg.feedback.clone());
-    let oracle = SetOracle::new(relevant);
-    let outcome = stepper.step(&point, &weights, &results, &oracle);
-
-    let mut sessions = shared.sessions.lock().expect("sessions lock");
-    let aq = owned_session(&mut sessions, session, conn_id).and_then(|s| s.active.as_mut());
-    match outcome {
-        Ok(StepOutcome::Continue {
-            point: new_point,
-            weights: new_weights,
-        }) => {
-            if let Some(aq) = aq {
-                aq.point = new_point;
-                aq.weights = new_weights;
-                aq.prev = Some(results);
-            }
-            Response::FeedbackAck {
-                done: false,
-                converged: false,
-                cycles,
-            }
-        }
-        Ok(StepOutcome::Converged) => {
-            let commit =
-                owned_session(&mut sessions, session, conn_id).and_then(|s| s.active.take());
-            drop(sessions);
-            if let Some(aq) = commit {
-                commit_parameters(shared, &aq);
-            }
-            Response::FeedbackAck {
-                done: true,
-                converged: true,
-                cycles,
-            }
-        }
+    if weights.len() != dim {
+        shared.metrics.record_protocol_error();
+        return err(
+            ErrorCode::DimMismatch,
+            format!("expected {dim} weights, got {}", weights.len()),
+        );
+    }
+    let metric = match WeightedEuclidean::new(weights) {
+        Ok(m) => m,
         Err(e) => {
-            // Put the results back so a corrected judgment can retry.
-            if let Some(aq) = aq {
-                aq.pending = Some(results);
-            }
-            drop(sessions);
             shared.metrics.record_protocol_error();
-            err(ErrorCode::BadRequest, format!("feedback step: {e}"))
+            return err(ErrorCode::BadRequest, format!("shard metric: {e}"));
         }
+    };
+    let k = (k as usize).min(shared.store.coll().len());
+    // A NaN seed would poison every key comparison; treat it as
+    // unseeded.
+    let mut cap = if seed.is_nan() { f64::INFINITY } else { seed };
+    let scan = ShardedScan::with_mode(&shared.sharded_coll, shared.cfg.scan_mode);
+    let mut parts: Vec<ShardPartial> = Vec::with_capacity(shared.sharded_coll.shards().len());
+    for s in 0..shared.sharded_coll.shards().len() {
+        let part = shared
+            .sharded_bypass
+            .scan_shard_prepared(
+                &scan,
+                s,
+                &[point.as_slice()],
+                &[&metric],
+                &[k],
+                Some(&[cap]),
+            )
+            .remove(0);
+        // Serial internal shards: each finished shard's k-th key
+        // tightens the next one's bound (answer-preserving, like the
+        // dispatcher's cross-shard seeds).
+        if let Some(b) = part.bound_key(k) {
+            cap = cap.min(b);
+        }
+        parts.push(part);
+    }
+    let combined = combine_partials(parts.iter(), k);
+    let offset = shared.cfg.row_offset as u32;
+    let entries: Vec<(f64, u32)> = combined
+        .entries()
+        .iter()
+        .map(|&(key, idx)| (key, idx + offset))
+        .collect();
+    Response::ShardPartial {
+        finished: combined.is_finished(),
+        entries,
     }
 }
 
-/// Store a finished query's learned parameters in the shared module —
-/// only when feedback actually ran (a bypassed query teaches nothing
-/// new), and best-effort: an out-of-domain anchor cannot be learned, but
-/// serving it was still correct.
-fn commit_parameters(shared: &Shared, aq: &ActiveQuery) {
-    if aq.cycles > 0 {
-        let _ = shared.bypass.insert(&aq.anchor, &aq.point, &aq.weights);
+/// `RestoreModule`: deserialize and install a replacement learned
+/// module — the receive half of router→shard module replication.
+fn handle_restore_module(shared: &Shared, image: &[u8]) -> Response {
+    let module = match FeedbackBypass::from_bytes(image) {
+        Ok(m) => m,
+        Err(e) => {
+            shared.metrics.record_protocol_error();
+            return err(ErrorCode::BadRequest, format!("module image: {e}"));
+        }
+    };
+    let dim = shared.store.coll().dim();
+    if module.feature_dim() != dim {
+        shared.metrics.record_protocol_error();
+        return err(
+            ErrorCode::DimMismatch,
+            format!(
+                "module is {}-dimensional, serving {dim}",
+                module.feature_dim()
+            ),
+        );
     }
+    shared.store.bypass().replace(module);
+    Response::ModuleRestored
 }

@@ -1,0 +1,448 @@
+//! The router tier's two headline claims, pinned over real loopback
+//! sockets:
+//!
+//! * **healthy path** — a router scattering to three remote shard
+//!   servers answers bit-identically to one in-process server running
+//!   `shards = 3`, through full interactive feedback loops;
+//! * **partial failure** — under injected downstream faults every
+//!   request resolves to one of the documented outcomes (a healed
+//!   retry, a hedged answer, a degraded merge equal to the
+//!   surviving-shard oracle, or a typed `ShardUnavailable` error),
+//!   always within a bounded time, with the robustness counters
+//!   recording what happened.
+
+use fbp_server::{
+    route, serve, Client, ClientError, ErrorCode, FailurePolicy, FaultMode, FaultPlan, FaultRule,
+    HedgeConfig, RouterConfig, RouterHandle, ServerConfig, ServerHandle,
+};
+use fbp_vecdb::{
+    Collection, CollectionBuilder, KnnEngine, LinearScan, Neighbor, ScanMode, WeightedEuclidean,
+};
+use feedbackbypass::{BypassConfig, FeedbackBypass, SharedBypass};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const DIM: usize = 6;
+const N: usize = 600;
+const SHARDS: usize = 3;
+
+fn collection() -> Collection {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut b = CollectionBuilder::new().with_f32_mirror();
+    for _ in 0..N {
+        let v: Vec<f64> = (0..DIM).map(|_| next()).collect();
+        b.push_unlabelled(&v).unwrap();
+    }
+    b.build()
+}
+
+fn shared_module() -> SharedBypass {
+    SharedBypass::new(FeedbackBypass::for_histograms(DIM, BypassConfig::default()).unwrap())
+}
+
+/// Row range shard `i` serves — the same split formula
+/// `ShardedCollection::split` uses, so the router-fronted deployment
+/// and the in-process `shards = SHARDS` server partition identically.
+fn shard_range(len: usize, i: usize) -> (usize, usize) {
+    (i * len / SHARDS, (i + 1) * len / SHARDS)
+}
+
+/// Start one shard server per slice, each with its global `row_offset`.
+fn start_shards(coll: &Arc<Collection>) -> (Vec<ServerHandle>, Vec<SocketAddr>) {
+    let mut handles = Vec::new();
+    let mut addrs = Vec::new();
+    for i in 0..SHARDS {
+        let (start, end) = shard_range(coll.len(), i);
+        let slice = Arc::new(coll.slice_rows(start, end));
+        let cfg = ServerConfig {
+            row_offset: start,
+            ..Default::default()
+        };
+        let handle = serve("127.0.0.1:0", slice, shared_module(), cfg).unwrap();
+        addrs.push(handle.local_addr());
+        handles.push(handle);
+    }
+    (handles, addrs)
+}
+
+fn start_router(
+    addrs: &[SocketAddr],
+    coll: &Arc<Collection>,
+    bypass: SharedBypass,
+    policy: FailurePolicy,
+    shard_timeout: Duration,
+    faults: Option<FaultPlan>,
+) -> RouterHandle {
+    let cfg = RouterConfig {
+        shard_timeout,
+        policy,
+        hedge: Some(HedgeConfig::default()),
+        faults: faults.map(Arc::new),
+        ..Default::default()
+    };
+    route("127.0.0.1:0", addrs, Arc::clone(coll), bypass, cfg).unwrap()
+}
+
+fn query(i: usize) -> Vec<f64> {
+    (0..DIM)
+        .map(|d| (((i * 31 + d * 7) as f64) * 0.37).sin().abs())
+        .collect()
+}
+
+/// A normalized (sums-to-one) query — the shape a histogram-domain
+/// module accepts as an insert anchor.
+fn hist(i: usize) -> Vec<f64> {
+    let mut v = query(i);
+    let sum: f64 = v.iter().sum();
+    for x in &mut v {
+        *x /= sum;
+    }
+    v
+}
+
+/// Exact k-NN over the union of the surviving shards' rows: per-slice
+/// linear scans with globally-offset indices, merged ascending
+/// `(dist, index)` — the answer a degraded gather must equal.
+fn surviving_oracle(coll: &Collection, surviving: &[usize], q: &[f64], k: usize) -> Vec<Neighbor> {
+    let metric = WeightedEuclidean::new(vec![1.0; DIM]).unwrap();
+    let mut merged: Vec<Neighbor> = Vec::new();
+    for &s in surviving {
+        let (start, end) = shard_range(coll.len(), s);
+        let slice = coll.slice_rows(start, end);
+        let scan = LinearScan::with_mode(&slice, ScanMode::Batched);
+        for n in scan.knn(q, k, &metric) {
+            merged.push(Neighbor {
+                index: n.index + start as u32,
+                dist: n.dist,
+            });
+        }
+    }
+    merged.sort_by(|a, b| {
+        a.dist
+            .partial_cmp(&b.dist)
+            .unwrap()
+            .then(a.index.cmp(&b.index))
+    });
+    merged.truncate(k);
+    merged
+}
+
+fn assert_neighbors_identical(got: &[Neighbor], want: &[Neighbor], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: neighbor count");
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(g.index, w.index, "{ctx}: index");
+        assert_eq!(
+            g.dist.to_bits(),
+            w.dist.to_bits(),
+            "{ctx}: distance bits for row {}",
+            g.index
+        );
+    }
+}
+
+/// Healthy-path pin: a router over three remote shard servers is
+/// bit-identical to one in-process server with `shards = 3`, through
+/// fresh queries and full feedback loops (same flags, cycles,
+/// neighbors, and feedback acks round for round).
+#[test]
+fn healthy_router_matches_in_process_sharded_serving() {
+    let coll = Arc::new(collection());
+    let (_shards, addrs) = start_shards(&coll);
+    let router = start_router(
+        &addrs,
+        &coll,
+        shared_module(),
+        FailurePolicy::Strict,
+        Duration::from_secs(2),
+        None,
+    );
+    let flat = serve(
+        "127.0.0.1:0",
+        Arc::clone(&coll),
+        shared_module(),
+        ServerConfig {
+            shards: SHARDS,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let mut via_router = Client::connect(router.local_addr()).unwrap();
+    let mut via_flat = Client::connect(flat.local_addr()).unwrap();
+    let (rs, rdim) = via_router.open_session().unwrap();
+    let (fs, fdim) = via_flat.open_session().unwrap();
+    assert_eq!(rdim, fdim);
+
+    for i in 0..6 {
+        let q = query(i);
+        let k = 10u32;
+        // Interactive loop: search, judge, repeat until the session
+        // reports the query done — both deployments must walk the exact
+        // same trajectory.
+        for round in 0..8 {
+            let a = via_router.knn(rs, k, &q).unwrap();
+            let b = via_flat.knn(fs, k, &q).unwrap();
+            assert_neighbors_identical(&a.neighbors, &b.neighbors, &format!("q{i} round {round}"));
+            assert_eq!(a.done, b.done, "q{i} round {round}: done");
+            assert_eq!(a.converged, b.converged, "q{i} round {round}: converged");
+            assert_eq!(a.cycles, b.cycles, "q{i} round {round}: cycles");
+            assert!(!a.degraded, "healthy router must never degrade");
+            assert!(a.missing_shards.is_empty());
+            if a.done {
+                break;
+            }
+            // Judge a deterministic subset of the current results.
+            let relevant: Vec<u32> = a
+                .neighbors
+                .iter()
+                .filter(|n| n.index % 3 == 0)
+                .map(|n| n.index)
+                .collect();
+            let fa = via_router.feedback(rs, &relevant).unwrap();
+            let fb = via_flat.feedback(fs, &relevant).unwrap();
+            assert_eq!(fa.done, fb.done, "q{i} round {round}: feedback done");
+            assert_eq!(fa.converged, fb.converged);
+            assert_eq!(fa.cycles, fb.cycles);
+            if fa.done {
+                break;
+            }
+        }
+    }
+    let stats = router.stats();
+    assert_eq!(stats.shards, SHARDS as u64);
+    assert!(stats.requests > 0);
+    assert_eq!(stats.degraded_replies, 0);
+    router.shutdown();
+    flat.shutdown();
+}
+
+/// A black-holed shard under `Degraded { min_shards: 1 }`: the reply is
+/// flagged degraded, names the missing shard, equals the
+/// surviving-shard oracle exactly, arrives within a small multiple of
+/// the shard timeout, and the timeout / degraded counters record it.
+#[test]
+fn degraded_reply_matches_surviving_shard_oracle() {
+    let coll = Arc::new(collection());
+    let (_shards, addrs) = start_shards(&coll);
+    let timeout = Duration::from_millis(200);
+    let plan = FaultPlan::new(11).rule(FaultRule::always(1, FaultMode::BlackHole));
+    let router = start_router(
+        &addrs,
+        &coll,
+        shared_module(),
+        FailurePolicy::Degraded { min_shards: 1 },
+        timeout,
+        Some(plan),
+    );
+
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    let (session, _) = client.open_session().unwrap();
+    let q = query(3);
+    let started = Instant::now();
+    let reply = client.knn(session, 10, &q).unwrap();
+    let elapsed = started.elapsed();
+    assert!(reply.degraded, "shard 1 was black-holed");
+    assert_eq!(reply.missing_shards, vec![1]);
+    let oracle = surviving_oracle(&coll, &[0, 2], &q, 10);
+    assert_neighbors_identical(&reply.neighbors, &oracle, "degraded merge");
+    assert!(
+        elapsed < timeout * 5,
+        "degraded reply took {elapsed:?} against a {timeout:?} shard timeout"
+    );
+
+    let stats = router.stats();
+    assert!(stats.downstream_timeouts >= 1, "timeouts: {stats:?}");
+    assert_eq!(stats.degraded_replies, 1, "degraded replies: {stats:?}");
+    router.shutdown();
+}
+
+/// The same black hole under `Strict`: a typed `ShardUnavailable`
+/// error, still bounded in time — never a hang, never a silently
+/// narrowed answer.
+#[test]
+fn strict_policy_refuses_with_typed_error() {
+    let coll = Arc::new(collection());
+    let (_shards, addrs) = start_shards(&coll);
+    let timeout = Duration::from_millis(200);
+    let plan = FaultPlan::new(5).rule(FaultRule::always(2, FaultMode::BlackHole));
+    let router = start_router(
+        &addrs,
+        &coll,
+        shared_module(),
+        FailurePolicy::Strict,
+        timeout,
+        Some(plan),
+    );
+
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    let (session, _) = client.open_session().unwrap();
+    let started = Instant::now();
+    let outcome = client.knn(session, 10, &query(0));
+    let elapsed = started.elapsed();
+    match outcome {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::ShardUnavailable);
+            assert!(message.contains("[2]"), "error names the shard: {message}");
+        }
+        other => panic!("expected ShardUnavailable, got {other:?}"),
+    }
+    assert!(elapsed < timeout * 5, "strict refusal took {elapsed:?}");
+    router.shutdown();
+}
+
+/// One-shot wire damage (dropped reply, truncated reply, socket cut
+/// mid-request) heals by retry: the answer is full, undegraded, equal
+/// to the healthy oracle, and the retry counter shows the recovery.
+#[test]
+fn wire_faults_heal_by_retry() {
+    let coll = Arc::new(collection());
+    let (_shards, addrs) = start_shards(&coll);
+    let q = query(7);
+    let oracle = surviving_oracle(&coll, &[0, 1, 2], &q, 10);
+    for mode in [
+        FaultMode::DropReply,
+        FaultMode::TruncateReply,
+        FaultMode::CloseAtByte(9),
+    ] {
+        let plan = FaultPlan::new(3).rule(FaultRule {
+            shard: Some(1),
+            after_calls: 0,
+            call_limit: Some(1),
+            probability: 1.0,
+            mode,
+        });
+        let router = start_router(
+            &addrs,
+            &coll,
+            shared_module(),
+            FailurePolicy::Strict,
+            Duration::from_secs(2),
+            Some(plan),
+        );
+        let mut client = Client::connect(router.local_addr()).unwrap();
+        let (session, _) = client.open_session().unwrap();
+        let reply = client.knn(session, 10, &q).unwrap();
+        assert!(!reply.degraded, "{mode:?} must heal by retry, not degrade");
+        assert_neighbors_identical(&reply.neighbors, &oracle, &format!("{mode:?}"));
+        let stats = router.stats();
+        assert!(
+            stats.downstream_retries + stats.downstream_reconnects >= 1,
+            "{mode:?} left no robustness trace: {stats:?}"
+        );
+        router.shutdown();
+    }
+}
+
+/// A straggling shard (delayed well past the hedge window) is overtaken
+/// by a hedged duplicate: the reply is full and fast, and the hedge
+/// counters record a fired and a won hedge.
+#[test]
+fn hedge_overtakes_straggler() {
+    let coll = Arc::new(collection());
+    let (_shards, addrs) = start_shards(&coll);
+    let delay = Duration::from_millis(400);
+    let plan = FaultPlan::new(9).rule(FaultRule {
+        shard: Some(0),
+        after_calls: 0,
+        call_limit: Some(1),
+        probability: 1.0,
+        mode: FaultMode::Delay(delay),
+    });
+    let cfg = RouterConfig {
+        shard_timeout: Duration::from_secs(2),
+        policy: FailurePolicy::Strict,
+        hedge: Some(HedgeConfig {
+            min_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(10),
+        }),
+        faults: Some(Arc::new(plan)),
+        ..Default::default()
+    };
+    let router = route(
+        "127.0.0.1:0",
+        &addrs,
+        Arc::clone(&coll),
+        shared_module(),
+        cfg,
+    )
+    .unwrap();
+
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    let (session, _) = client.open_session().unwrap();
+    let q = query(5);
+    let started = Instant::now();
+    let reply = client.knn(session, 10, &q).unwrap();
+    let elapsed = started.elapsed();
+    assert!(!reply.degraded, "the hedge answers in full");
+    let oracle = surviving_oracle(&coll, &[0, 1, 2], &q, 10);
+    assert_neighbors_identical(&reply.neighbors, &oracle, "hedged reply");
+    assert!(
+        elapsed < delay,
+        "hedge should beat the {delay:?} straggler, took {elapsed:?}"
+    );
+    let stats = router.stats();
+    assert!(stats.hedges_fired >= 1, "hedges fired: {stats:?}");
+    assert!(stats.hedges_won >= 1, "hedges won: {stats:?}");
+    router.shutdown();
+}
+
+/// Module replication: learned state inserted at the router fans out to
+/// every shard (`replicate_module`), and a wire `RestoreModule` at the
+/// router installs + replicates in one step — afterwards router and
+/// shards all serve the same module image.
+#[test]
+fn module_replication_reaches_every_shard() {
+    let coll = Arc::new(collection());
+    let (_shards, addrs) = start_shards(&coll);
+    let bypass = shared_module();
+    let router = start_router(
+        &addrs,
+        &coll,
+        bypass.clone(),
+        FailurePolicy::Strict,
+        Duration::from_secs(2),
+        None,
+    );
+
+    // Teach the router's module something, then push it down.
+    let anchor = hist(1);
+    let point = hist(2);
+    let weights = vec![1.0; DIM];
+    bypass.insert(&anchor, &point, &weights).unwrap();
+    router.replicate_module().unwrap();
+
+    let mut via_router = Client::connect(router.local_addr()).unwrap();
+    let router_image = via_router.snapshot_module().unwrap();
+    for addr in &addrs {
+        let mut shard_client = Client::connect(*addr).unwrap();
+        assert_eq!(
+            shard_client.snapshot_module().unwrap(),
+            router_image,
+            "shard at {addr} diverged from the router module"
+        );
+    }
+
+    // Wire path: restoring a fresh module at the router replicates it
+    // in the same request.
+    let fresh = shared_module();
+    fresh.insert(&hist(3), &hist(4), &weights).unwrap();
+    let fresh_image = fresh.to_bytes();
+    via_router.restore_module(&fresh_image).unwrap();
+    let installed = via_router.snapshot_module().unwrap();
+    for addr in &addrs {
+        let mut shard_client = Client::connect(*addr).unwrap();
+        assert_eq!(
+            shard_client.snapshot_module().unwrap(),
+            installed,
+            "wire restore did not replicate to {addr}"
+        );
+    }
+    router.shutdown();
+}

@@ -27,7 +27,10 @@ mod vptree;
 pub use mtree::{MTree, MTreeConfig};
 pub use multi::MultiQueryScan;
 pub use scan::{LinearScan, ScanMode};
-pub use sharded::{merge_partials, ShardPartial, ShardedScan};
+pub use sharded::{
+    combine_partials, merge_partials, merge_partials_policy, DegradedGather, FailurePolicy,
+    GatherError, ShardPartial, ShardedScan,
+};
 pub use vptree::VpTree;
 
 use crate::collection::Collection;

@@ -461,7 +461,8 @@ impl<'a> MultiQueryScan<'a> {
         metrics: &[WeightedEuclidean],
         ks: &[usize],
     ) -> Vec<Vec<Neighbor>> {
-        let keyed = self.knn_weighted_per_query_k_keyed(queries, metrics, ks, None);
+        let refs: Vec<&WeightedEuclidean> = metrics.iter().collect();
+        let keyed = self.knn_weighted_per_query_k_keyed(queries, &refs, ks, None);
         keyed
             .entries
             .into_iter()
@@ -476,7 +477,7 @@ impl<'a> MultiQueryScan<'a> {
     pub(crate) fn knn_weighted_per_query_k_keyed(
         &self,
         queries: &[&[f64]],
-        metrics: &[WeightedEuclidean],
+        metrics: &[&WeightedEuclidean],
         ks: &[usize],
         caps: Option<&[f64]>,
     ) -> KeyedResults {
@@ -498,11 +499,14 @@ impl<'a> MultiQueryScan<'a> {
         let mode = self.effective_mode(queries.len());
         if mode == ScanMode::Scalar {
             // The scalar reference has no kernel layout to specialize.
-            let dists: Vec<&dyn Distance> = metrics.iter().map(|m| m as &dyn Distance).collect();
+            let dists: Vec<&dyn Distance> = metrics.iter().map(|&m| m as &dyn Distance).collect();
             return self.knn_per_query_k_keyed(queries, &dists, ks, caps);
         }
         // All-or-nothing f32 eligibility, exactly like the generic path.
-        let slacks: Option<Vec<f64>> = metrics.iter().map(|m| self.f32_slack(m, queries)).collect();
+        let slacks: Option<Vec<f64>> = metrics
+            .iter()
+            .map(|&m| self.f32_slack(m, queries))
+            .collect();
         if let Some(slacks) = slacks {
             let flat_q32 = flatten_f32(queries);
             let flat_w32: Vec<f32> = metrics
@@ -572,7 +576,7 @@ impl<'a> MultiQueryScan<'a> {
                     .zip(metrics.iter().zip(ks.iter()))
                     .zip(cands.iter())
                     .map(|((q, (m, &k)), c)| {
-                        rescore_f64_keyed(self.coll, q, m, c, k).into_sorted_entries()
+                        rescore_f64_keyed(self.coll, q, *m, c, k).into_sorted_entries()
                     })
                     .collect(),
                 finished: false,

@@ -40,10 +40,55 @@ use super::{finish_entries, KBest, KnnEngine, LinearScan, MultiQueryScan, Neighb
 use super::{Precision, ScanMode, PARALLEL_CUTOFF};
 use crate::collection::ShardedCollection;
 use crate::distance::{Distance, WeightedEuclidean};
+use crate::VecdbError;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One scatter worker's shard assignment: `(shard index, result slot)`
 /// pairs it fills in round-robin order.
 type WorkerSlots<'s> = Vec<(usize, &'s mut Option<Vec<ShardPartial>>)>;
+
+/// One atomic early-abandon seed per query, shared by the one-shot
+/// scatter workers (f64 bits in an `AtomicU64`, monotonically tightened
+/// via compare-exchange — the same cell discipline as the server's
+/// per-gather seed).
+struct SeedSet {
+    seeds: Vec<AtomicU64>,
+}
+
+impl SeedSet {
+    fn new(n: usize) -> Self {
+        SeedSet {
+            seeds: (0..n)
+                .map(|_| AtomicU64::new(f64::INFINITY.to_bits()))
+                .collect(),
+        }
+    }
+
+    /// Current per-query caps (`+∞` until a shard delivers `k` rows).
+    fn snapshot(&self) -> Vec<f64> {
+        self.seeds
+            .iter()
+            .map(|s| f64::from_bits(s.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Tighten query `q`'s seed to `bound` if it improves it.
+    fn offer(&self, q: usize, bound: f64) {
+        let cell = &self.seeds[q];
+        let mut cur = cell.load(Ordering::Relaxed);
+        while bound < f64::from_bits(cur) {
+            match cell.compare_exchange_weak(
+                cur,
+                bound.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
 
 /// One query's k-best over one shard, still in selection space: `(key,
 /// global index)` entries ascending by `(key, index)`, plus whether the
@@ -59,6 +104,40 @@ pub struct ShardPartial {
 }
 
 impl ShardPartial {
+    /// Reconstruct a partial from its raw parts — the inverse of
+    /// [`Self::entries`]/[`Self::is_finished`], for transporting
+    /// partials across process boundaries (the router tier decodes
+    /// them off the wire). Entries must ascend by `(key, index)` and
+    /// hold finite keys; both are validated because wire input is
+    /// untrusted — a forged partial that violated the ordering would
+    /// silently corrupt [`merge_partials`]' early-break merge.
+    pub fn from_entries(entries: Vec<(f64, u32)>, finished: bool) -> crate::Result<Self> {
+        for pair in entries.windows(2) {
+            if (pair[1].0, pair[1].1) <= (pair[0].0, pair[0].1) {
+                return Err(VecdbError::BadParameters(
+                    "partial entries must strictly ascend by (key, index)".into(),
+                ));
+            }
+        }
+        if entries.iter().any(|&(key, _)| key.is_nan()) {
+            return Err(VecdbError::BadParameters(
+                "partial entries must hold non-NaN keys".into(),
+            ));
+        }
+        Ok(ShardPartial { entries, finished })
+    }
+
+    /// The `(key, global index)` entries, ascending by `(key, index)`.
+    pub fn entries(&self) -> &[(f64, u32)] {
+        &self.entries
+    }
+
+    /// Whether the keys are already finished distances (a Scalar-mode
+    /// pass) rather than surrogate selection keys.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
     /// This shard's `k`-th best value, when the partial holds at least
     /// `k` entries — a **sound pruning seed** for other shards: the
     /// k-th best within any subset of rows can only be ≥ the global
@@ -117,6 +196,147 @@ pub fn merge_partials<'p>(
         }
     }
     finish_entries(kb.into_sorted_entries(), finished.unwrap_or(true), dist)
+}
+
+/// Fold several partials covering disjoint row sets into one partial
+/// covering their union, **without** finishing the keys: the same
+/// k-best fold as [`merge_partials`], but the result stays in selection
+/// space so it can keep riding a hierarchical gather (a shard server
+/// that is itself sharded internally folds its sub-shard partials into
+/// the one partial it reports upstream).
+///
+/// # Panics
+///
+/// Panics when partials mix Scalar and kernel-mode passes, exactly like
+/// [`merge_partials`].
+pub fn combine_partials<'p>(
+    partials: impl IntoIterator<Item = &'p ShardPartial>,
+    k: usize,
+) -> ShardPartial {
+    let mut kb = KBest::new(k);
+    let mut finished: Option<bool> = None;
+    for part in partials {
+        if part.entries.is_empty() {
+            continue;
+        }
+        match finished {
+            None => finished = Some(part.finished),
+            Some(f) => assert_eq!(
+                f, part.finished,
+                "cannot combine Scalar and kernel-mode partials"
+            ),
+        }
+        for &(key, index) in &part.entries {
+            if key > kb.threshold() {
+                break;
+            }
+            kb.push(index, key);
+        }
+    }
+    ShardPartial {
+        entries: kb.into_sorted_entries(),
+        finished: finished.unwrap_or(true),
+    }
+}
+
+/// What a gather does when some shards failed to deliver a partial —
+/// the serving tier's documented partial-failure contract (see
+/// `ARCHITECTURE.md`, "router tier").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// Any missing shard fails the whole gather with a typed
+    /// [`GatherError`] — never a silently narrowed answer.
+    Strict,
+    /// Merge whatever survived, as long as at least `min_shards`
+    /// partials arrived; the answer is then exactly the flat scan over
+    /// the surviving shards' rows, labelled degraded with the missing
+    /// shard list. Below the floor the gather fails like `Strict`.
+    Degraded {
+        /// Minimum surviving shards for a degraded answer.
+        min_shards: usize,
+    },
+}
+
+/// A gather refused by the [`FailurePolicy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatherError {
+    /// Shard slots that delivered no partial.
+    pub missing_shards: Vec<u32>,
+    /// Shard slots that did deliver.
+    pub survivors: usize,
+    /// Surviving-shard floor the policy demanded.
+    pub required: usize,
+}
+
+impl std::fmt::Display for GatherError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "gather refused: shards {:?} unavailable ({} survivors, {} required)",
+            self.missing_shards, self.survivors, self.required
+        )
+    }
+}
+
+impl std::error::Error for GatherError {}
+
+/// A policy-approved gather over the shards that answered.
+#[derive(Debug, Clone)]
+pub struct DegradedGather {
+    /// Merged neighbors — the exact flat-scan answer over the surviving
+    /// shards' rows.
+    pub neighbors: Vec<Neighbor>,
+    /// Shard slots missing from the merge (empty ⇒ the answer is the
+    /// full, undegraded gather).
+    pub missing_shards: Vec<u32>,
+}
+
+impl DegradedGather {
+    /// Whether any shard was missing from the merge.
+    pub fn is_degraded(&self) -> bool {
+        !self.missing_shards.is_empty()
+    }
+}
+
+/// [`merge_partials`] under a [`FailurePolicy`]: `partials[i]` is shard
+/// `i`'s delivery (`None` ⇒ that shard timed out, errored, or was
+/// dropped). The policy decides between a merged (possibly degraded)
+/// answer and a typed refusal — the two documented outcomes of a
+/// partial failure; there is no third, silent one.
+///
+/// When every partial is present this is exactly [`merge_partials`]
+/// (and `missing_shards` is empty); when a subset survives, the merged
+/// neighbors equal the flat scan over the surviving shards' rows,
+/// because shards cover disjoint rows and the k-best fold never looks
+/// at rows it was not given.
+pub fn merge_partials_policy(
+    partials: &[Option<ShardPartial>],
+    k: usize,
+    dist: &dyn Distance,
+    policy: FailurePolicy,
+) -> std::result::Result<DegradedGather, GatherError> {
+    let missing_shards: Vec<u32> = partials
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.is_none())
+        .map(|(i, _)| i as u32)
+        .collect();
+    let survivors = partials.len() - missing_shards.len();
+    let required = match policy {
+        FailurePolicy::Strict => partials.len(),
+        FailurePolicy::Degraded { min_shards } => min_shards.min(partials.len()),
+    };
+    if survivors < required {
+        return Err(GatherError {
+            missing_shards,
+            survivors,
+            required,
+        });
+    }
+    Ok(DegradedGather {
+        neighbors: merge_partials(partials.iter().flatten(), k, dist),
+        missing_shards,
+    })
 }
 
 /// Scatter/gather k-NN engine borrowing a [`ShardedCollection`].
@@ -300,11 +520,53 @@ impl<'a> ShardedScan<'a> {
         ks: &[usize],
         caps: Option<&[f64]>,
     ) -> Vec<ShardPartial> {
+        let refs: Vec<&WeightedEuclidean> = metrics.iter().collect();
+        self.scan_shard_weighted_refs(shard, queries, &refs, ks, caps)
+    }
+
+    /// [`Self::scan_shard_weighted`] taking the metrics by reference —
+    /// for schedulers that built each request's metric **once** at
+    /// admission and share it across all `S` shard passes (the server
+    /// dispatchers), instead of cloning `S` owned copies per request.
+    pub fn scan_shard_weighted_refs(
+        &self,
+        shard: usize,
+        queries: &[&[f64]],
+        metrics: &[&WeightedEuclidean],
+        ks: &[usize],
+        caps: Option<&[f64]>,
+    ) -> Vec<ShardPartial> {
         let mode = self.effective_mode(queries.len());
         let keyed = self
             .shard_scan(shard, mode)
             .knn_weighted_per_query_k_keyed(queries, metrics, ks, caps);
         self.globalize(shard, keyed)
+    }
+
+    /// Run `scan_shard` for every shard with **cross-shard bound
+    /// seeding**, like the server dispatcher path: workers share one
+    /// atomic seed cell per query, snapshot the seeds into early-abandon
+    /// caps before each shard pass, and offer every delivered partial's
+    /// [`ShardPartial::bound_key`] back. A seed is the k-th best of a
+    /// row subset, hence a sound upper bound on the global k-th — caps
+    /// only make passes cheaper, never different (the consistency suite
+    /// pins the one-shot answers bit-identical to the flat scan).
+    fn scatter_seeded(
+        &self,
+        ks: &[usize],
+        scan_shard: &(dyn Fn(usize, &[f64]) -> Vec<ShardPartial> + Sync),
+    ) -> Vec<Vec<ShardPartial>> {
+        let seeds = SeedSet::new(ks.len());
+        self.scatter(&|shard| {
+            let caps = seeds.snapshot();
+            let parts = scan_shard(shard, &caps);
+            for (q, part) in parts.iter().enumerate() {
+                if let Some(bound) = part.bound_key(ks[q]) {
+                    seeds.offer(q, bound);
+                }
+            }
+            parts
+        })
     }
 
     /// Run `scan_shard` for every shard — `min(shards, budget)` scoped
@@ -377,7 +639,9 @@ impl<'a> ShardedScan<'a> {
         if queries.is_empty() {
             return Vec::new();
         }
-        let parts = self.scatter(&|shard| self.scan_shard_multi(shard, queries, ks, dist, None));
+        let parts = self.scatter_seeded(ks, &|shard, caps| {
+            self.scan_shard_multi(shard, queries, ks, dist, Some(caps))
+        });
         self.gather(parts, ks, |_| dist)
     }
 
@@ -394,8 +658,9 @@ impl<'a> ShardedScan<'a> {
         if queries.is_empty() {
             return Vec::new();
         }
-        let parts =
-            self.scatter(&|shard| self.scan_shard_per_query(shard, queries, dists, ks, None));
+        let parts = self.scatter_seeded(ks, &|shard, caps| {
+            self.scan_shard_per_query(shard, queries, dists, ks, Some(caps))
+        });
         self.gather(parts, ks, |q| dists[q])
     }
 
@@ -411,8 +676,10 @@ impl<'a> ShardedScan<'a> {
         if queries.is_empty() {
             return Vec::new();
         }
-        let parts =
-            self.scatter(&|shard| self.scan_shard_weighted(shard, queries, metrics, ks, None));
+        let refs: Vec<&WeightedEuclidean> = metrics.iter().collect();
+        let parts = self.scatter_seeded(ks, &|shard, caps| {
+            self.scan_shard_weighted_refs(shard, queries, &refs, ks, Some(caps))
+        });
         self.gather(parts, ks, |q| &metrics[q])
     }
 

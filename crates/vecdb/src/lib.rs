@@ -49,7 +49,8 @@ pub use distance::{
     Distance, Euclidean, HierarchicalDistance, Lp, Manhattan, QuadraticDistance, WeightedEuclidean,
 };
 pub use knn::{
-    merge_partials, KnnEngine, LinearScan, MTree, MultiQueryScan, Neighbor, Precision, ScanMode,
+    combine_partials, merge_partials, merge_partials_policy, DegradedGather, FailurePolicy,
+    GatherError, KnnEngine, LinearScan, MTree, MultiQueryScan, Neighbor, Precision, ScanMode,
     ShardPartial, ShardedScan, VpTree,
 };
 pub use result::ResultList;

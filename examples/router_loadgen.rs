@@ -1,0 +1,314 @@
+//! The router tier end to end: three shard servers on loopback, a
+//! router scattering to them, and the closed-loop load generator
+//! driving full interactive feedback sessions through the stack —
+//! first healthy, then under an injected partial failure.
+//!
+//! Three phases, each an executable claim from the partial-failure
+//! policy (`ARCHITECTURE.md`, "router tier"):
+//!
+//! 1. **healthy** — the router answers bit-identically to a flat
+//!    in-process scan (probe spot-check) and serves the whole burst
+//!    with zero degraded replies;
+//! 2. **faulted burst** — with one shard black-holing half its calls
+//!    under `FailurePolicy::Degraded`, every request still resolves:
+//!    hedges overtake stragglers, timeouts convert to surviving-subset
+//!    answers, and the robustness counters record all of it;
+//! 3. **deterministic degradation** — with the same shard black-holed
+//!    on every call, a probe reply carries the degraded flag, names the
+//!    missing shard, and equals the surviving-shard oracle exactly.
+//!
+//! Run with: `cargo run --release --example router_loadgen`
+//! (`FBP_BENCH_FAST=1` for the short CI smoke burst.)
+
+use fbp_server::{
+    route, run_loadgen, serve, Client, FailurePolicy, FaultMode, FaultPlan, FaultRule,
+    LoadgenOptions, LoadgenReport, RouterConfig, RouterHandle, ServerConfig, ServerHandle,
+};
+use fbp_vecdb::{
+    CategoryId, Collection, CollectionBuilder, KnnEngine, LinearScan, Neighbor, ScanMode,
+    WeightedEuclidean,
+};
+use feedbackbypass::{BypassConfig, FeedbackBypass, FeedbackConfig, SharedBypass};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+const DIM: usize = 32;
+const K: u32 = 20;
+const SHARDS: usize = 3;
+const CLUSTERS: usize = 12;
+
+fn fast() -> bool {
+    std::env::var("FBP_BENCH_FAST").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+}
+
+/// Clustered, labelled collection in `[0,1]^32` with the f32 mirror the
+/// serving scans stream (cluster = category = the relevance oracle).
+fn collection(n: usize) -> Collection {
+    let mut state = 0x5DEE_CE66_D154_21C5u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut b = CollectionBuilder::new().with_f32_mirror();
+    let cats: Vec<CategoryId> = (0..CLUSTERS)
+        .map(|c| b.category(&format!("cluster-{c}")))
+        .collect();
+    for i in 0..n {
+        let center = i % CLUSTERS;
+        let v: Vec<f64> = (0..DIM)
+            .map(|d| {
+                let base = (((center * 31 + d * 7) % 97) as f64) / 97.0;
+                (base + (next() - 0.5) * 0.16).clamp(0.0, 1.0)
+            })
+            .collect();
+        b.push(&v, cats[center]).unwrap();
+    }
+    b.build()
+}
+
+fn shared_module() -> SharedBypass {
+    SharedBypass::new(FeedbackBypass::for_unit_cube(DIM, BypassConfig::default()).unwrap())
+}
+
+/// Row range shard `i` serves — the `ShardedCollection::split` formula,
+/// so the router-fronted deployment partitions exactly like in-process
+/// sharded serving.
+fn shard_range(len: usize, i: usize) -> (usize, usize) {
+    (i * len / SHARDS, (i + 1) * len / SHARDS)
+}
+
+/// One shard server per contiguous slice, each knowing its global
+/// `row_offset` so its partials report global row ids.
+fn start_shards(coll: &Arc<Collection>) -> (Vec<ServerHandle>, Vec<SocketAddr>) {
+    let mut handles = Vec::new();
+    let mut addrs = Vec::new();
+    for i in 0..SHARDS {
+        let (start, end) = shard_range(coll.len(), i);
+        let slice = Arc::new(coll.slice_rows(start, end));
+        let cfg = ServerConfig {
+            row_offset: start,
+            ..Default::default()
+        };
+        let handle = serve("127.0.0.1:0", slice, shared_module(), cfg).expect("bind shard");
+        addrs.push(handle.local_addr());
+        handles.push(handle);
+    }
+    (handles, addrs)
+}
+
+fn start_router(
+    addrs: &[SocketAddr],
+    coll: &Arc<Collection>,
+    policy: FailurePolicy,
+    faults: Option<FaultPlan>,
+) -> RouterHandle {
+    let cfg = RouterConfig {
+        shard_timeout: Duration::from_millis(150),
+        conns_per_downstream: 4,
+        policy,
+        feedback: FeedbackConfig {
+            k: K as usize,
+            ..Default::default()
+        },
+        faults: faults.map(Arc::new),
+        ..Default::default()
+    };
+    route("127.0.0.1:0", addrs, Arc::clone(coll), shared_module(), cfg).expect("bind router")
+}
+
+/// An out-of-domain probe query (components > 1 sit outside the
+/// unit-cube module, so the router searches it as-is under the uniform
+/// metric — exactly what the oracles below compute).
+fn probe_query() -> Vec<f64> {
+    (0..DIM)
+        .map(|d| 1.5 + ((d * 13) as f64 * 0.31).sin().abs())
+        .collect()
+}
+
+/// Exact k-NN over the union of the surviving shards' rows, with
+/// globally-offset indices — the answer a degraded reply must equal.
+fn surviving_oracle(coll: &Collection, surviving: &[usize], q: &[f64], k: usize) -> Vec<Neighbor> {
+    let metric = WeightedEuclidean::uniform(DIM);
+    let mut merged: Vec<Neighbor> = Vec::new();
+    for &s in surviving {
+        let (start, end) = shard_range(coll.len(), s);
+        let slice = coll.slice_rows(start, end);
+        for n in LinearScan::with_mode(&slice, ScanMode::Batched).knn(q, k, &metric) {
+            merged.push(Neighbor {
+                index: n.index + start as u32,
+                dist: n.dist,
+            });
+        }
+    }
+    merged.sort_by(|a, b| {
+        a.dist
+            .partial_cmp(&b.dist)
+            .unwrap()
+            .then(a.index.cmp(&b.index))
+    });
+    merged.truncate(k);
+    merged
+}
+
+fn run_burst(addr: SocketAddr, coll: &Arc<Collection>, queries: &[Vec<f64>]) -> LoadgenReport {
+    let opts = LoadgenOptions {
+        sessions: 8,
+        queries_per_session: if fast() { 2 } else { 6 },
+        k: K,
+        think_time: Duration::from_millis(2),
+        max_rounds: 32,
+    };
+    let coll_ref = Arc::clone(coll);
+    let judge = move |qi: usize, ids: &[u32]| -> Vec<u32> {
+        let cat = coll_ref.label(qi);
+        ids.iter()
+            .copied()
+            .filter(|&id| coll_ref.label(id as usize) == cat)
+            .collect()
+    };
+    run_loadgen(addr, queries, Some(&judge), &opts).expect("loadgen run")
+}
+
+fn print_report(name: &str, r: &LoadgenReport) {
+    println!(
+        "{name:<16} {:>9} {:>9} {:>9} {:>9.0} {:>9.0} {:>9} {:>9} {:>9}",
+        r.searches,
+        r.queries,
+        r.degraded,
+        r.latency_p50_us,
+        r.latency_p99_us,
+        r.server.downstream_timeouts,
+        r.server.hedges_fired,
+        r.server.hedges_won,
+    );
+}
+
+fn main() {
+    let n = if fast() { 1_500 } else { 6_000 };
+    eprintln!("building {n} × {DIM}-d labelled collection (+f32 mirror)...");
+    let coll = Arc::new(collection(n));
+    let (shard_handles, addrs) = start_shards(&coll);
+    let queries: Vec<Vec<f64>> = (0..8 * 6).map(|i| coll.vector(i).to_vec()).collect();
+
+    println!("fbp-server router loadgen: {n} × {DIM}-d over {SHARDS} loopback shards, k = {K}\n");
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "phase", "searches", "queries", "degraded", "p50 µs", "p99 µs", "timeouts", "hedged", "won"
+    );
+
+    // Phase 1 — healthy router: full burst, zero degradation, and a
+    // probe bit-identical to the flat in-process scan.
+    let healthy = start_router(&addrs, &coll, FailurePolicy::Strict, None);
+    let r1 = run_burst(healthy.local_addr(), &coll, &queries);
+    print_report("healthy", &r1);
+    assert_eq!(
+        r1.server.requests, r1.searches,
+        "dropped or phantom requests"
+    );
+    assert_eq!(r1.degraded, 0, "healthy shards must never degrade");
+    assert_eq!(r1.server.degraded_replies, 0);
+    assert_eq!(r1.server.protocol_errors, 0, "clean traffic only");
+    assert_eq!(r1.server.sessions_open, 0, "sessions must be closed");
+    assert_eq!(r1.server.shards, SHARDS as u64);
+    {
+        let mut probe = Client::connect(healthy.local_addr()).expect("probe client");
+        let (session, dim) = probe.open_session().expect("open session");
+        assert_eq!(dim as usize, DIM);
+        let q = probe_query();
+        let reply = probe.knn(session, 10, &q).expect("probe knn");
+        assert!(!reply.degraded);
+        let expect = LinearScan::with_mode(&coll, ScanMode::Batched).knn(
+            &q,
+            10,
+            &WeightedEuclidean::uniform(DIM),
+        );
+        assert_eq!(reply.neighbors, expect, "router diverged from flat scan");
+        probe.close_session(session).expect("close probe session");
+    }
+    healthy.shutdown();
+
+    // Phase 2 — faulted burst: shard 1 black-holes half its calls, yet
+    // under `Degraded { min_shards: 2 }` every search resolves — hedged
+    // or degraded, never hung — and the counters account for it.
+    let plan = FaultPlan::new(0xFA117).rule(FaultRule {
+        shard: Some(1),
+        after_calls: 0,
+        call_limit: None,
+        probability: 0.5,
+        mode: FaultMode::BlackHole,
+    });
+    let faulted = start_router(
+        &addrs,
+        &coll,
+        FailurePolicy::Degraded { min_shards: 2 },
+        Some(plan),
+    );
+    let r2 = run_burst(faulted.local_addr(), &coll, &queries);
+    print_report("shard 1 flaky", &r2);
+    faulted.shutdown();
+    assert_eq!(r2.server.requests, r2.searches, "every request resolved");
+    assert!(
+        r2.degraded > 0,
+        "a 50% black-hole must degrade some replies"
+    );
+    assert_eq!(r2.server.degraded_replies, r2.degraded);
+    assert!(
+        r2.server.downstream_timeouts > 0,
+        "black-holes must time out"
+    );
+    assert!(r2.server.hedges_fired > 0, "stragglers must draw hedges");
+    assert_eq!(r2.server.sessions_open, 0, "sessions must be closed");
+    // Bounded tail: one shard-timeout budget (plus scheduling slack),
+    // never an unbounded hang.
+    assert!(
+        r2.latency_p99_us < 1_000_000.0,
+        "p99 {}µs breaches the bounded-failure contract",
+        r2.latency_p99_us
+    );
+
+    // Phase 3 — deterministic degradation: shard 1 black-holed on every
+    // call; the reply must name it and equal the surviving-shard oracle.
+    let always = FaultPlan::new(1).rule(FaultRule::always(1, FaultMode::BlackHole));
+    let dead = start_router(
+        &addrs,
+        &coll,
+        FailurePolicy::Degraded { min_shards: 2 },
+        Some(always),
+    );
+    {
+        let mut probe = Client::connect(dead.local_addr()).expect("probe client");
+        let (session, _) = probe.open_session().expect("open session");
+        let q = probe_query();
+        let reply = probe.knn(session, 10, &q).expect("degraded knn");
+        assert!(reply.degraded, "a dead shard must flag the reply degraded");
+        assert_eq!(reply.missing_shards, vec![1], "the missing shard is named");
+        let oracle = surviving_oracle(&coll, &[0, 2], &q, 10);
+        assert_eq!(
+            reply.neighbors, oracle,
+            "degraded answer diverged from the surviving-shard oracle"
+        );
+        probe.close_session(session).expect("close probe session");
+    }
+    let dead_stats = dead.stats();
+    assert!(dead_stats.downstream_timeouts > 0);
+    assert_eq!(dead_stats.degraded_replies, 1);
+    dead.shutdown();
+
+    for h in shard_handles {
+        h.shutdown(); // joins every thread — returning IS the clean-shutdown proof
+    }
+    println!(
+        "\nfaulted burst: {}/{} replies degraded, {} hedges fired ({} won), \
+         {} downstream timeouts, {} retries — all sessions completed, all servers \
+         shut down cleanly.",
+        r2.degraded,
+        r2.searches,
+        r2.server.hedges_fired,
+        r2.server.hedges_won,
+        r2.server.downstream_timeouts,
+        r2.server.downstream_retries,
+    );
+}

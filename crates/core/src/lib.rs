@@ -60,12 +60,14 @@
 #![warn(missing_docs)]
 
 pub mod bypass;
+pub mod query;
 pub mod reduction;
 pub mod session;
 pub mod sharded;
 pub mod shared;
 
 pub use bypass::{BypassConfig, FeedbackBypass, PredictedParams};
+pub use query::{LoweredQuery, QuerySpec, QuerySpecBuilder, RequestError, RocchioWeights};
 pub use reduction::{PcaReducer, ReducedBypass};
 pub use session::{BypassSystem, QueryOutcome};
 pub use sharded::{GatherVerdict, ShardedBypass};
@@ -91,6 +93,13 @@ pub enum BypassError {
     Tree(fbp_simplex_tree::TreeError),
     /// Feedback engine failure.
     Feedback(fbp_feedback::FeedbackError),
+    /// Typed request/spec validation failure (see [`RequestError`]).
+    /// Dimensionality failures keep surfacing as
+    /// [`BypassError::DimMismatch`] — the `From<RequestError>` impl
+    /// folds that variant over — so this arm carries the rest: bad
+    /// weights, non-finite components, empty example sets, precision
+    /// conflicts.
+    Request(RequestError),
 }
 
 impl std::fmt::Display for BypassError {
@@ -102,6 +111,7 @@ impl std::fmt::Display for BypassError {
             }
             BypassError::Tree(e) => write!(f, "simplex tree: {e}"),
             BypassError::Feedback(e) => write!(f, "feedback: {e}"),
+            BypassError::Request(e) => write!(f, "bad request: {e}"),
         }
     }
 }
@@ -117,6 +127,20 @@ impl From<fbp_simplex_tree::TreeError> for BypassError {
 impl From<fbp_feedback::FeedbackError> for BypassError {
     fn from(e: fbp_feedback::FeedbackError) -> Self {
         BypassError::Feedback(e)
+    }
+}
+
+impl From<RequestError> for BypassError {
+    fn from(e: RequestError) -> Self {
+        match e {
+            // Keep the long-standing dimension-error shape: callers
+            // (and tests) match on `BypassError::DimMismatch` no matter
+            // which layer caught it.
+            RequestError::DimMismatch { expected, got } => {
+                BypassError::DimMismatch { expected, got }
+            }
+            other => BypassError::Request(other),
+        }
     }
 }
 

@@ -24,6 +24,7 @@
 //! shared by every shard's sessions.
 
 use crate::bypass::{FeedbackBypass, PredictedParams};
+use crate::query::QuerySpec;
 use crate::shared::{prepare_requests, resolve_precision, KnnRequest, SharedBypass};
 use crate::Result;
 use fbp_simplex_tree::InsertOutcome;
@@ -86,14 +87,31 @@ impl ShardedBypass {
         )
     }
 
-    /// Serve the pending sessions' k-NN requests with one scatter/gather
-    /// round over `scan`'s shards, returning each request's neighbors in
-    /// request order — bit-identical to [`SharedBypass::knn_batch`] over
-    /// the unsharded collection (and therefore to per-request
-    /// single-query scans). `k`, per-request [`KnnRequest::k`], the
-    /// shared-metric fast path, and the precision rule all behave
-    /// exactly as in the flat front-end.
+    /// Serve a batch of [`QuerySpec`]s with one scatter/gather round:
+    /// lower every spec ([`QuerySpec::lower`]) and hand the lowered
+    /// batch to [`Self::knn_batch_lowered`] — bit-identical to
+    /// [`SharedBypass::knn_batch`] over the unsharded collection, and
+    /// therefore to a flat `LinearScan` against each spec's derived
+    /// anchor.
     pub fn knn_batch(
+        &self,
+        scan: &ShardedScan<'_>,
+        specs: &[QuerySpec],
+        k: usize,
+    ) -> Result<Vec<Vec<Neighbor>>> {
+        let lowered: Vec<KnnRequest> = specs.iter().map(|s| s.lower().into_request()).collect();
+        self.knn_batch_lowered(scan, &lowered, k)
+    }
+
+    /// Serve pre-lowered k-NN requests with one scatter/gather round
+    /// over `scan`'s shards, returning each request's neighbors in
+    /// request order — bit-identical to
+    /// [`SharedBypass::knn_batch_lowered`] over the unsharded
+    /// collection (and therefore to per-request single-query scans).
+    /// `k`, per-request [`KnnRequest::k`], the shared-metric fast path,
+    /// and the precision rule all behave exactly as in the flat
+    /// front-end.
+    pub fn knn_batch_lowered(
         &self,
         scan: &ShardedScan<'_>,
         requests: &[KnnRequest],
@@ -308,12 +326,12 @@ mod tests {
         let flat_scan = MultiQueryScan::with_mode(&coll, ScanMode::Batched);
         let flat =
             SharedBypass::new(FeedbackBypass::for_histograms(3, BypassConfig::default()).unwrap())
-                .knn_batch(&flat_scan, &reqs, 7)
+                .knn_batch_lowered(&flat_scan, &reqs, 7)
                 .unwrap();
         for s in [1usize, 3, 400] {
             let sc = ShardedCollection::split(&coll, s);
             let scan = ShardedScan::with_mode(&sc, ScanMode::Batched);
-            let batch = sharded().knn_batch(&scan, &reqs, 7).unwrap();
+            let batch = sharded().knn_batch_lowered(&scan, &reqs, 7).unwrap();
             assert_eq!(batch, flat, "S={s}");
         }
         // And both match per-request LinearScans (the ground truth).
@@ -331,7 +349,7 @@ mod tests {
         let sc = ShardedCollection::split(&coll, 3);
         let scan = ShardedScan::with_mode(&sc, ScanMode::Batched);
         let by = sharded();
-        let one_shot = by.knn_batch(&scan, &reqs, 7).unwrap();
+        let one_shot = by.knn_batch_lowered(&scan, &reqs, 7).unwrap();
         // Per-shard batches grouped differently per shard: shard 0 sees
         // the whole batch at once, shard 1 serves the requests as three
         // singleton passes, shard 2 as a pair plus a singleton — the
@@ -366,11 +384,11 @@ mod tests {
             KnnRequest::uniform(vec![0.1, 0.5, 0.3]).with_precision(Precision::F64),
             KnnRequest::uniform(vec![0.4, 0.2, 0.8]).with_precision(Precision::F32Rescore),
         ];
-        assert!(sharded().knn_batch(&scan, &mixed, 5).is_err());
+        assert!(sharded().knn_batch_lowered(&scan, &mixed, 5).is_err());
         // Dim mismatches error instead of panicking.
         let short = vec![KnnRequest::uniform(vec![0.1, 0.2])];
         assert!(matches!(
-            sharded().knn_batch(&scan, &short, 5),
+            sharded().knn_batch_lowered(&scan, &short, 5),
             Err(crate::BypassError::DimMismatch {
                 expected: 3,
                 got: 2
@@ -383,13 +401,16 @@ mod tests {
             k: None,
             precision: None,
         }];
-        assert!(sharded().knn_batch(&scan, &bad, 5).is_err());
+        assert!(sharded().knn_batch_lowered(&scan, &bad, 5).is_err());
         // Empty batches and empty collections serve trivially.
-        assert!(sharded().knn_batch(&scan, &[], 5).unwrap().is_empty());
+        assert!(sharded()
+            .knn_batch_lowered(&scan, &[], 5)
+            .unwrap()
+            .is_empty());
         let empty = ShardedCollection::split(&CollectionBuilder::new().build(), 3);
         let escan = ShardedScan::new(&empty);
         assert_eq!(
-            sharded().knn_batch(&escan, &reqs, 5).unwrap(),
+            sharded().knn_batch_lowered(&escan, &reqs, 5).unwrap(),
             vec![Vec::new()]
         );
     }

@@ -19,15 +19,24 @@
 //! [`LinearScan`](fbp_vecdb::LinearScan).
 
 use crate::bypass::{FeedbackBypass, PredictedParams};
+use crate::query::{validate_weights, QuerySpec, RequestError};
 use crate::{BypassError, Result};
 use fbp_simplex_tree::InsertOutcome;
 use fbp_vecdb::{Collection, MultiQueryScan, Neighbor, Precision, WeightedEuclidean};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
-/// One session's pending k-NN request: its current query point and
-/// per-component distance weights (the parameters its feedback loop —
-/// or a [`SharedBypass::predict`] — last produced).
+/// One session's pending k-NN request **in lowered form**: its current
+/// query point and per-component distance weights (the parameters its
+/// feedback loop — or a [`SharedBypass::predict`] — last produced).
+///
+/// This is the shape [`QuerySpec::lower`] canonicalizes every query
+/// into, and the only shape the scan/shard/router layers see. Prefer
+/// building queries through [`QuerySpec::builder`](crate::QuerySpec::builder)
+/// — it validates once and lowers infallibly; constructing `KnnRequest`
+/// by poking fields is the deprecated legacy path kept for the
+/// post-lowering plumbing (batchers, session stores) that already holds
+/// validated `(point, weights)` pairs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KnnRequest {
     /// Query point in feature space.
@@ -107,8 +116,8 @@ impl KnnRequest {
 }
 
 /// Validated, kernel-ready form of one request batch — the common
-/// front half of the flat ([`SharedBypass::knn_batch`]) and sharded
-/// ([`crate::ShardedBypass::knn_batch`]) serving paths.
+/// front half of the flat ([`SharedBypass::knn_batch_lowered`]) and
+/// sharded ([`crate::ShardedBypass::knn_batch_lowered`]) serving paths.
 pub(crate) struct PreparedBatch {
     /// One weighted-Euclidean metric per request.
     pub metrics: Vec<WeightedEuclidean>,
@@ -141,6 +150,7 @@ pub(crate) fn prepare_requests(
                 got: r.weights.len(),
             });
         }
+        validate_weights(&r.weights)?;
     }
     let metrics: Vec<WeightedEuclidean> = requests
         .iter()
@@ -174,9 +184,7 @@ pub(crate) fn resolve_precision(
     for pin in pins.into_iter().flatten() {
         match pinned {
             Some(q) if q != pin => {
-                return Err(BypassError::BadQuery(
-                    "requests pin conflicting scan precisions for one pass".into(),
-                ));
+                return Err(RequestError::PrecisionConflict.into());
             }
             _ => pinned = Some(pin),
         }
@@ -260,8 +268,26 @@ impl SharedBypass {
         )
     }
 
-    /// Serve the pending sessions' k-NN requests in **one** multi-query
-    /// block pass over `scan`'s collection, returning each request's
+    /// Serve a batch of [`QuerySpec`]s in **one** multi-query block
+    /// pass: lower every spec through the single canonicalization step
+    /// ([`QuerySpec::lower`] — Rocchio-derive the anchor from its
+    /// example sets, default the metric) and hand the lowered batch to
+    /// [`Self::knn_batch_lowered`]. Because lowering happens *before*
+    /// the scan, a multi-example spec answers bit-identical to a flat
+    /// [`LinearScan`](fbp_vecdb::LinearScan) against its derived anchor
+    /// — the same invariant the plain-anchor path always had.
+    pub fn knn_batch(
+        &self,
+        scan: &MultiQueryScan<'_>,
+        specs: &[QuerySpec],
+        k: usize,
+    ) -> Result<Vec<Vec<Neighbor>>> {
+        let lowered: Vec<KnnRequest> = specs.iter().map(|s| s.lower().into_request()).collect();
+        self.knn_batch_lowered(scan, &lowered, k)
+    }
+
+    /// Serve pre-lowered k-NN requests in **one** multi-query block
+    /// pass over `scan`'s collection, returning each request's
     /// neighbors in request order (bit-identical to serving each request
     /// with its own single-query scan). `k` is the batch-wide default
     /// result count; a request carrying its own [`KnnRequest::k`]
@@ -276,7 +302,7 @@ impl SharedBypass {
     /// ([`MultiQueryScan::knn_multi_k`], one kernel call per block);
     /// otherwise each request keeps its own learned metric and shares
     /// the block reads ([`MultiQueryScan::knn_per_query_k`]).
-    pub fn knn_batch(
+    pub fn knn_batch_lowered(
         &self,
         scan: &MultiQueryScan<'_>,
         requests: &[KnnRequest],
@@ -443,7 +469,7 @@ mod tests {
             let requests: Vec<KnnRequest> = (0..4)
                 .map(|i| KnnRequest::uniform(vec![0.1 * i as f64, 0.5, 0.3]))
                 .collect();
-            let batch = shared().knn_batch(&scan, &requests, 10).unwrap();
+            let batch = shared().knn_batch_lowered(&scan, &requests, 10).unwrap();
             let single = LinearScan::with_mode(&coll, ScanMode::Batched);
             for (req, res) in requests.iter().zip(batch.iter()) {
                 let w = WeightedEuclidean::new(req.weights.clone()).unwrap();
@@ -469,7 +495,7 @@ mod tests {
                     precision: None,
                 },
             ];
-            let batch = shared().knn_batch(&scan, &requests, 7).unwrap();
+            let batch = shared().knn_batch_lowered(&scan, &requests, 7).unwrap();
             let single = LinearScan::with_mode(&coll, ScanMode::Batched);
             for (req, res) in requests.iter().zip(batch.iter()) {
                 let w = WeightedEuclidean::new(req.weights.clone()).unwrap();
@@ -487,7 +513,7 @@ mod tests {
                 k: None,
                 precision: None,
             }];
-            assert!(shared().knn_batch(&scan, &requests, 5).is_err());
+            assert!(shared().knn_batch_lowered(&scan, &requests, 5).is_err());
         }
 
         #[test]
@@ -496,7 +522,7 @@ mod tests {
             let scan = MultiQueryScan::new(&coll);
             let short_point = vec![KnnRequest::uniform(vec![0.1, 0.2])];
             assert!(matches!(
-                shared().knn_batch(&scan, &short_point, 5),
+                shared().knn_batch_lowered(&scan, &short_point, 5),
                 Err(crate::BypassError::DimMismatch {
                     expected: 3,
                     got: 2
@@ -509,7 +535,7 @@ mod tests {
                 precision: None,
             }];
             assert!(matches!(
-                shared().knn_batch(&scan, &short_weights, 5),
+                shared().knn_batch_lowered(&scan, &short_weights, 5),
                 Err(crate::BypassError::DimMismatch {
                     expected: 3,
                     got: 2
@@ -530,7 +556,7 @@ mod tests {
                 KnnRequest::uniform(vec![0.9, 0.6, 0.1]).with_k(50),
                 KnnRequest::uniform(vec![0.3, 0.3, 0.3]),
             ];
-            let batch = shared().knn_batch(&scan, &requests, 7).unwrap();
+            let batch = shared().knn_batch_lowered(&scan, &requests, 7).unwrap();
             let expected_k = [1usize, 10, 50, 7];
             for ((req, res), &k) in requests.iter().zip(batch.iter()).zip(expected_k.iter()) {
                 assert_eq!(res.len(), k, "per-request k not honored");
@@ -552,7 +578,7 @@ mod tests {
                     precision: None,
                 },
             ];
-            let batch = shared().knn_batch(&scan, &requests, 7).unwrap();
+            let batch = shared().knn_batch_lowered(&scan, &requests, 7).unwrap();
             for (req, res) in requests.iter().zip(batch.iter()) {
                 let k = req.k.unwrap();
                 assert_eq!(res.len(), k);
@@ -566,7 +592,7 @@ mod tests {
             let empty = CollectionBuilder::new().build();
             let scan = MultiQueryScan::new(&empty);
             let requests = vec![KnnRequest::uniform(vec![0.1, 0.2, 0.3])];
-            let res = shared().knn_batch(&scan, &requests, 5).unwrap();
+            let res = shared().knn_batch_lowered(&scan, &requests, 5).unwrap();
             assert_eq!(res, vec![Vec::new()]);
         }
 
@@ -585,12 +611,12 @@ mod tests {
             // Without a mirror the serving scan is exactly the f64 scan.
             let baseline = {
                 let scan = MultiQueryScan::with_mode(&coll, ScanMode::Batched);
-                shared().knn_batch(&scan, &requests, 10).unwrap()
+                shared().knn_batch_lowered(&scan, &requests, 10).unwrap()
             };
             coll.ensure_f32_mirror();
             let scan = SharedBypass::serving_scan(&coll);
             assert_eq!(scan.precision(), fbp_vecdb::Precision::F32Rescore);
-            let served = shared().knn_batch(&scan, &requests, 10).unwrap();
+            let served = shared().knn_batch_lowered(&scan, &requests, 10).unwrap();
             assert_eq!(served, baseline);
         }
 
@@ -627,11 +653,11 @@ mod tests {
                 KnnRequest::uniform(vec![0.4, 0.2, 0.8]).with_precision(Precision::F32Rescore),
             ];
             assert!(SharedBypass::effective_precision(&scan, &mixed).is_err());
-            assert!(shared().knn_batch(&scan, &mixed, 5).is_err());
+            assert!(shared().knn_batch_lowered(&scan, &mixed, 5).is_err());
             // The upgraded pass answers bit-identically to the pinned
             // f64 pass (precision is a bandwidth knob, not a result knob).
-            let upgraded = shared().knn_batch(&scan, &reqs, 10).unwrap();
-            let forced_f64 = shared().knn_batch(&scan, &pinned, 10).unwrap();
+            let upgraded = shared().knn_batch_lowered(&scan, &reqs, 10).unwrap();
+            let forced_f64 = shared().knn_batch_lowered(&scan, &pinned, 10).unwrap();
             assert_eq!(upgraded, forced_f64);
         }
 
@@ -639,7 +665,10 @@ mod tests {
         fn empty_request_batch() {
             let coll = collection();
             let scan = MultiQueryScan::new(&coll);
-            assert!(shared().knn_batch(&scan, &[], 5).unwrap().is_empty());
+            assert!(shared()
+                .knn_batch_lowered(&scan, &[], 5)
+                .unwrap()
+                .is_empty());
         }
     }
 }

@@ -40,6 +40,7 @@ pub mod ksweep;
 pub mod metrics;
 pub mod per_category;
 pub mod report;
+pub mod rocchio;
 pub mod scenario;
 pub mod sessions;
 pub mod stream;
@@ -99,6 +100,7 @@ pub(crate) fn sweep_round_robin<T: Send>(
         .collect()
 }
 pub use report::Series;
+pub use rocchio::{run_rocchio, RocchioOptions, RocchioRecord, RocchioResult};
 pub use scenario::evaluate_params;
 pub use sessions::{run_sessions, ServingMode, SessionsOptions, SessionsResult};
 pub use stream::{run_stream, QueryRecord, StreamOptions};

@@ -253,7 +253,7 @@ pub fn run_sessions(ds: &SyntheticDataset, opts: &SessionsOptions) -> SessionsRe
                 opts.precision,
                 &|reqs| {
                     sharded
-                        .knn_batch(&scan, reqs, feedback.k)
+                        .knn_batch_lowered(&scan, reqs, feedback.k)
                         .expect("validated requests")
                 },
             )
@@ -268,7 +268,7 @@ pub fn run_sessions(ds: &SyntheticDataset, opts: &SessionsOptions) -> SessionsRe
                 opts.precision,
                 &|reqs| {
                     shared
-                        .knn_batch(&scan, reqs, feedback.k)
+                        .knn_batch_lowered(&scan, reqs, feedback.k)
                         .expect("validated requests")
                 },
             )

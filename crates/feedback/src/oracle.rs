@@ -54,17 +54,61 @@ impl RelevanceOracle for CategoryOracle<'_> {
     }
 }
 
-/// Oracle driven by an explicit good-set (tests and custom protocols).
-#[derive(Debug, Clone, Default)]
+/// Oracle driven by explicit judgment sets (tests, custom protocols,
+/// and the wire feedback path).
+///
+/// Two judgment regimes, picked by the constructor:
+///
+/// * [`SetOracle::new`] — the historical closed-world rule: listed ids
+///   are [`Relevance::Good`], **everything else** is
+///   [`Relevance::Bad`]. This is what a category-style protocol means
+///   when the user only marks the good rows.
+/// * [`SetOracle::with_negatives`] — three-valued: explicitly listed
+///   positives are `Good`, explicitly listed negatives are `Bad`, and
+///   everything unlisted is [`Relevance::Neutral`] — judged neither way,
+///   so it feeds neither the β nor the γ term of a Rocchio movement.
+///   This is the shape interactive sessions hand back when the user
+///   marks a few results each way and skips the rest.
+#[derive(Debug, Clone)]
 pub struct SetOracle {
     good: std::collections::HashSet<u32>,
+    bad: std::collections::HashSet<u32>,
+    /// Closed world: unlisted ids are Bad (the `new` regime); open
+    /// world: unlisted ids are Neutral (`with_negatives`).
+    unlisted_is_bad: bool,
+}
+
+impl Default for SetOracle {
+    /// Same as `SetOracle::new([])`: the historical closed-world empty
+    /// oracle that judges everything a bad match.
+    fn default() -> Self {
+        SetOracle::new([])
+    }
 }
 
 impl SetOracle {
-    /// Oracle marking exactly `good` as relevant.
+    /// Oracle marking exactly `good` as relevant and everything else as
+    /// a bad match (closed-world judgments).
     pub fn new(good: impl IntoIterator<Item = u32>) -> Self {
         SetOracle {
             good: good.into_iter().collect(),
+            bad: std::collections::HashSet::new(),
+            unlisted_is_bad: true,
+        }
+    }
+
+    /// Oracle with explicit positive **and** negative judgments;
+    /// everything unlisted is [`Relevance::Neutral`]. An id listed both
+    /// ways counts as `Good` (the positive set wins — marking something
+    /// relevant is the stronger signal).
+    pub fn with_negatives(
+        good: impl IntoIterator<Item = u32>,
+        bad: impl IntoIterator<Item = u32>,
+    ) -> Self {
+        SetOracle {
+            good: good.into_iter().collect(),
+            bad: bad.into_iter().collect(),
+            unlisted_is_bad: false,
         }
     }
 }
@@ -73,8 +117,10 @@ impl RelevanceOracle for SetOracle {
     fn judge(&self, index: u32) -> Relevance {
         if self.good.contains(&index) {
             Relevance::Good
-        } else {
+        } else if self.unlisted_is_bad || self.bad.contains(&index) {
             Relevance::Bad
+        } else {
+            Relevance::Neutral
         }
     }
 }
@@ -108,5 +154,20 @@ mod tests {
         assert_eq!(o.judge(4), Relevance::Bad);
         let empty = SetOracle::default();
         assert_eq!(empty.judge(0), Relevance::Bad);
+    }
+
+    #[test]
+    fn set_oracle_with_negatives_is_three_valued() {
+        let o = SetOracle::with_negatives([1, 2], [7, 8]);
+        assert_eq!(o.judge(1), Relevance::Good);
+        assert_eq!(o.judge(7), Relevance::Bad);
+        assert_eq!(o.judge(42), Relevance::Neutral);
+        // Conflicting judgments resolve in favor of the positive set.
+        let both = SetOracle::with_negatives([5], [5]);
+        assert_eq!(both.judge(5), Relevance::Good);
+        // Empty negative set behaves like "nothing is bad", not like
+        // the closed-world `new` rule.
+        let open = SetOracle::with_negatives([1], []);
+        assert_eq!(open.judge(2), Relevance::Neutral);
     }
 }

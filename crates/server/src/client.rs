@@ -4,9 +4,10 @@
 
 use crate::protocol::{
     read_frame, write_frame, ErrorCode, FrameError, Request, Response, StatsSnapshot,
-    DEFAULT_MAX_FRAME_LEN, KNN_CONVERGED, KNN_DEGRADED, KNN_DONE,
+    DEFAULT_MAX_FRAME_LEN, KNN_CONVERGED, KNN_DEGRADED, KNN_DONE, PROTOCOL_VERSION,
 };
 use fbp_vecdb::Neighbor;
+use feedbackbypass::QuerySpec;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -160,6 +161,27 @@ impl Client {
         Ok(resp)
     }
 
+    /// Negotiate the protocol version (see the `Protocol v2` section of
+    /// [`crate::protocol`]): offer [`PROTOCOL_VERSION`], return what the
+    /// server settled on. A v1 server that predates the handshake
+    /// answers `UnknownOpcode` — that downgrade is folded into `Ok(1)`,
+    /// so callers just check the returned version before using v2-only
+    /// requests like [`Self::knn_spec`]. Any time before the first
+    /// versioned request is fine; without it the connection speaks v1.
+    pub fn hello(&mut self) -> Result<u8, ClientError> {
+        match self.call(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        }) {
+            Ok(Response::HelloAck { version }) => Ok(version),
+            Ok(other) => Err(unexpected("HelloAck", &other)),
+            Err(ClientError::Server {
+                code: ErrorCode::UnknownOpcode,
+                ..
+            }) => Ok(1),
+            Err(e) => Err(e),
+        }
+    }
+
     /// Open a session; returns `(session id, collection dim)`.
     pub fn open_session(&mut self) -> Result<(u64, u32), ClientError> {
         match self.call(&Request::OpenSession)? {
@@ -174,6 +196,51 @@ impl Client {
             session,
             k,
             query: query.to_vec(),
+        };
+        match self.call(&req)? {
+            Response::KnnResult {
+                flags,
+                cycles,
+                missing_shards,
+                neighbors,
+            } => Ok(KnnReply {
+                neighbors,
+                done: flags & KNN_DONE != 0,
+                converged: flags & KNN_CONVERGED != 0,
+                degraded: flags & KNN_DEGRADED != 0,
+                missing_shards,
+                cycles,
+            }),
+            other => Err(unexpected("KnnResult", &other)),
+        }
+    }
+
+    /// One multi-example k-NN round: ship a [`QuerySpec`]'s anchor,
+    /// example sets, and Rocchio coefficients as a `KnnV2` frame; the
+    /// server lowers it to the derived anchor before admission, so the
+    /// reply is bit-identical to [`Self::knn`] with that anchor.
+    /// Requires a prior [`Self::hello`] that negotiated version ≥ 2 —
+    /// otherwise the server refuses with `BadRequest`. The spec's
+    /// per-spec `k`, when set, overrides the `k` argument; its weights
+    /// and precision pin do not travel on this frame (sessions own the
+    /// learned weights, and serving precision is a server-side policy).
+    pub fn knn_spec(
+        &mut self,
+        session: u64,
+        k: u32,
+        spec: &QuerySpec,
+    ) -> Result<KnnReply, ClientError> {
+        let rocchio = spec.rocchio();
+        let req = Request::KnnV2 {
+            session,
+            k: spec.k().map(|n| n as u32).unwrap_or(k),
+            alpha: rocchio.alpha,
+            beta: rocchio.beta,
+            gamma: rocchio.gamma,
+            clamp: spec.clamps_to_zero(),
+            anchor: spec.anchor().to_vec(),
+            positives: spec.positives().to_vec(),
+            negatives: spec.negatives().to_vec(),
         };
         match self.call(&req)? {
             Response::KnnResult {

@@ -79,6 +79,13 @@
 //!   fill, queue-wait percentiles);
 //! * `Close { session }` → drops the session.
 //!
+//! Protocol **v2** adds an optional `Hello`/`HelloAck` version
+//! handshake and the multi-example `KnnV2` frame (anchor + positive and
+//! negative example sets + Rocchio coefficients), which both front-ends
+//! lower to a plain derived-anchor query before admission — see the
+//! *Protocol v2* section of [`protocol`]. Connections that skip the
+//! handshake speak v1 byte-for-byte.
+//!
 //! Malformed frames answer coded errors (and drop the connection only
 //! when the stream can no longer be trusted); a disconnected client's
 //! queued requests resolve harmlessly — the batcher cannot be wedged by
@@ -134,6 +141,6 @@ pub use client::{Client, ClientError, FeedbackReply, KnnReply};
 pub use faults::{FaultMode, FaultPlan, FaultRule};
 pub use fbp_vecdb::FailurePolicy;
 pub use loadgen::{run_loadgen, LoadgenOptions, LoadgenReport, Relevance};
-pub use protocol::{ErrorCode, StatsSnapshot};
+pub use protocol::{error_code_for, ErrorCode, StatsSnapshot, PROTOCOL_VERSION};
 pub use router::{route, HedgeConfig, RouterConfig, RouterHandle};
 pub use server::{serve, ServerConfig, ServerHandle};

@@ -33,6 +33,8 @@
 //! | `0x07` | `ShardInfo`    | —                                             |
 //! | `0x08` | `SnapshotModule`| —                                            |
 //! | `0x09` | `RestoreModule`| `u32 len`, `len` bytes (serialized module)    |
+//! | `0x0A` | `Hello`        | `u8 version` (v2+)                            |
+//! | `0x0B` | `KnnV2`        | see *Protocol v2* below (v2+)                 |
 //!
 //! Opcodes `0x06`–`0x09` are the **router tier's downstream surface**
 //! (router → shard server), spoken on the same framed connections as
@@ -61,6 +63,7 @@
 //! | `0x87` | `ShardInfoResult`| `u64 rows`, `u64 offset`, `u32 dim`               |
 //! | `0x88` | `ModuleImage`   | `u32 len`, `len` bytes (serialized module)         |
 //! | `0x89` | `ModuleRestored`| —                                                  |
+//! | `0x8A` | `HelloAck`      | `u8 version` (v2+)                                 |
 //! | `0xEE` | `Error`         | `u8 code`, `u32 len`, UTF-8 message                |
 //!
 //! The degraded-flag encoding in `0x82` is **normative**: bit 2 of
@@ -98,6 +101,61 @@
 //! The six `downstream_*`/`hedges_*`/`degraded_replies` fields are the
 //! router tier's fault counters, aggregated across its downstreams; a
 //! plain shard server reports them as zero.
+//!
+//! # Protocol v2: version negotiation and multi-example queries
+//!
+//! The original protocol (everything above) is **version 1** and has no
+//! handshake: a connection starts in v1 and every v1 frame keeps its
+//! exact layout forever. Version 2 adds two opcodes, both **opt-in**:
+//!
+//! **Hello / HelloAck** — a v2-aware client *may* send `0x0A Hello
+//! { u8 version }` (its highest supported version, currently
+//! [`PROTOCOL_VERSION`] = 2) as any request; the server replies `0x8A
+//! HelloAck { u8 version }` carrying `min(client, server)`, and the
+//! connection is **negotiated** to that version from then on. The
+//! handshake is normatively optional and idempotent: a connection that
+//! never sends `Hello` stays at version 1 and behaves byte-for-byte
+//! like an old server/client pair — which is why pre-v2 clients pass
+//! the wire-identity suite against a v2 server unmodified. A v2 client
+//! talking to a v1 server receives `0xEE Error { UnknownOpcode }` for
+//! its `Hello` and must treat the connection as version 1 (the
+//! connection stays healthy; `UnknownOpcode` does not drop it).
+//! `Hello { version: 0 }` is malformed ([`ErrorCode::BadRequest`]).
+//!
+//! **KnnV2** — the multi-example search frame, valid **only after** the
+//! connection negotiated version ≥ 2 (otherwise
+//! [`ErrorCode::BadRequest`]). Body layout:
+//!
+//! | field       | type            | meaning                                   |
+//! |-------------|-----------------|-------------------------------------------|
+//! | `session`   | `u64`           | session id (same ownership rules as `Knn`)|
+//! | `k`         | `u32`           | result count                              |
+//! | `alpha`     | `f64`           | Rocchio anchor coefficient                |
+//! | `beta`      | `f64`           | Rocchio positive-centroid coefficient     |
+//! | `gamma`     | `f64`           | Rocchio negative-centroid coefficient     |
+//! | `flags`     | `u8`            | bit 0 = clamp derived components to ≥ 0   |
+//! | `n`         | `u32`           | dimensionality of every vector below      |
+//! | `anchor`    | `n × f64`       | anchor point                              |
+//! | `p`         | `u32`           | positive-example count                    |
+//! | `positives` | `p × (n × f64)` | positive examples, back to back           |
+//! | `m`         | `u32`           | negative-example count                    |
+//! | `negatives` | `m × (n × f64)` | negative examples, back to back           |
+//!
+//! The reply is an ordinary `0x82 KnnResult`. Semantics are
+//! **lower-then-serve**: the server derives the Rocchio anchor
+//! `q' = α·anchor + β·mean(positives) − γ·mean(negatives)` (empty sets
+//! drop their term; the clamp flag floors each component at zero) once
+//! at admission, then proceeds exactly as `Knn` with `q'` — session
+//! anchoring, module prediction, batching, sharding, and the router's
+//! scatter (`ShardKnn` carries only the derived anchor, so shard
+//! servers never see examples and need no v2). The results are
+//! therefore **bit-identical** to a v1 `Knn` carrying the derived
+//! anchor, and to a flat scan against it. A `KnnV2` with `α = 0` and no
+//! examples is refused with [`ErrorCode::EmptyExampleSet`]; non-finite
+//! vector components or coefficients with
+//! [`ErrorCode::NonFiniteComponent`]; mismatched example lengths are a
+//! [`DecodeError`]-level [`ErrorCode::BadFrame`] (the layout fixes one
+//! `n` for every vector).
 //!
 //! # Conversation rules
 //!
@@ -141,14 +199,34 @@
 //! | 6    | `Busy`           | admission queue full — well-formed backpressure, retry after a pause |
 //! | 7    | `Internal`       | server-side failure (shutdown race, scan error)           |
 //! | 8    | `ShardUnavailable` | a downstream shard failed and the failure policy refused a degraded answer; retry after the shard recovers |
+//! | 9    | `BadWeight`      | a distance weight is non-finite or not strictly positive  |
+//! | 10   | `NonFiniteComponent` | a query/example component or Rocchio coefficient is NaN or infinite |
+//! | 11   | `EmptyExampleSet`| a `KnnV2` with `α = 0` and no examples — nothing to derive an anchor from |
+//! | 12   | `PrecisionConflict` | requests pin conflicting scan precisions for one pass  |
+//!
+//! Codes 9–12 are the typed request-validation errors introduced with
+//! protocol v2; they mirror the in-process `RequestError` variants
+//! one-to-one, so a client can branch on the failure without parsing
+//! message strings. A v2 server may answer them to v1 frames too (e.g.
+//! bad `ShardKnn` weights), which is compatible: v1 defined the error
+//! *frame*, not a closed code set, and unknown codes decode as
+//! [`DecodeError`]-level failures only in clients older than the code —
+//! v1 traffic that was valid before never draws them.
 
 use fbp_vecdb::Neighbor;
+use feedbackbypass::RequestError;
 use std::io::{self, Read, Write};
 
 /// Largest frame either side accepts by default (1 MiB — a 16k-d f64
 /// query is ~128 KiB, so this is generous without letting a bad length
 /// prefix allocate gigabytes).
 pub const DEFAULT_MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// Highest protocol version this build speaks. Version 1 is the
+/// handshake-free original; version 2 adds [`Request::Hello`] /
+/// [`Response::HelloAck`] negotiation and the multi-example
+/// [`Request::KnnV2`] frame (see the module docs, *Protocol v2*).
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// [`Response::KnnResult`] flag: the session's query finished.
 pub const KNN_DONE: u8 = 0b01;
@@ -183,6 +261,16 @@ pub enum ErrorCode {
     /// A downstream shard failed and the failure policy refused to
     /// answer degraded (router tier only).
     ShardUnavailable = 8,
+    /// A distance weight is non-finite or not strictly positive (v2).
+    BadWeight = 9,
+    /// A query/example component or Rocchio coefficient is NaN or
+    /// infinite (v2).
+    NonFiniteComponent = 10,
+    /// A `KnnV2` with `α = 0` and no examples: nothing to derive an
+    /// anchor from (v2).
+    EmptyExampleSet = 11,
+    /// Requests pin conflicting scan precisions for one pass (v2).
+    PrecisionConflict = 12,
 }
 
 impl ErrorCode {
@@ -196,8 +284,26 @@ impl ErrorCode {
             6 => ErrorCode::Busy,
             7 => ErrorCode::Internal,
             8 => ErrorCode::ShardUnavailable,
+            9 => ErrorCode::BadWeight,
+            10 => ErrorCode::NonFiniteComponent,
+            11 => ErrorCode::EmptyExampleSet,
+            12 => ErrorCode::PrecisionConflict,
             _ => return None,
         })
+    }
+}
+
+/// The wire error code a typed [`RequestError`] surfaces as — the same
+/// mapping both the shard server and the router apply when a `KnnV2`
+/// spec fails validation, so in-process and over-the-wire callers see
+/// the same category for the same defect.
+pub fn error_code_for(e: &RequestError) -> ErrorCode {
+    match e {
+        RequestError::DimMismatch { .. } => ErrorCode::DimMismatch,
+        RequestError::BadWeight { .. } => ErrorCode::BadWeight,
+        RequestError::NonFiniteComponent { .. } => ErrorCode::NonFiniteComponent,
+        RequestError::EmptyExampleSet => ErrorCode::EmptyExampleSet,
+        RequestError::PrecisionConflict => ErrorCode::PrecisionConflict,
     }
 }
 
@@ -212,6 +318,10 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::Busy => "busy",
             ErrorCode::Internal => "internal",
             ErrorCode::ShardUnavailable => "shard-unavailable",
+            ErrorCode::BadWeight => "bad-weight",
+            ErrorCode::NonFiniteComponent => "non-finite-component",
+            ErrorCode::EmptyExampleSet => "empty-example-set",
+            ErrorCode::PrecisionConflict => "precision-conflict",
         };
         f.write_str(name)
     }
@@ -269,6 +379,40 @@ pub enum Request {
         /// The `simplex-tree` persistence image
         /// (`FeedbackBypass::to_bytes`).
         image: Vec<u8>,
+    },
+    /// Version negotiation (v2+): announce the client's highest
+    /// supported protocol version; the [`Response::HelloAck`] carries
+    /// the negotiated `min(client, server)`. Optional — a connection
+    /// that never says hello stays at version 1.
+    Hello {
+        /// Highest protocol version the client speaks (≥ 1).
+        version: u8,
+    },
+    /// Multi-example search (v2+, after negotiation): the server
+    /// Rocchio-derives the anchor from the example sets once at
+    /// admission, then serves exactly like [`Request::Knn`] with the
+    /// derived anchor — replies with an ordinary
+    /// [`Response::KnnResult`], bit-identical to a v1 `Knn` carrying
+    /// the derived anchor.
+    KnnV2 {
+        /// Session id from [`Response::SessionOpened`].
+        session: u64,
+        /// Result count.
+        k: u32,
+        /// Rocchio anchor coefficient `α`.
+        alpha: f64,
+        /// Rocchio positive-centroid coefficient `β`.
+        beta: f64,
+        /// Rocchio negative-centroid coefficient `γ`.
+        gamma: f64,
+        /// Clamp every derived component to `max(0, ·)`.
+        clamp: bool,
+        /// Anchor point (dimensionality of every vector in the frame).
+        anchor: Vec<f64>,
+        /// Positive examples, each `anchor.len()` long.
+        positives: Vec<Vec<f64>>,
+        /// Negative examples, each `anchor.len()` long.
+        negatives: Vec<Vec<f64>>,
     },
 }
 
@@ -333,6 +477,13 @@ pub enum Response {
     },
     /// Reply to [`Request::RestoreModule`].
     ModuleRestored,
+    /// Reply to [`Request::Hello`] (v2+): the negotiated connection
+    /// version, `min(client, server)`.
+    HelloAck {
+        /// Version every subsequent frame on this connection is
+        /// interpreted under.
+        version: u8,
+    },
     /// Any request can fail with a coded error instead of its reply.
     Error {
         /// Category.
@@ -520,6 +671,42 @@ impl Request {
                 out.extend_from_slice(&(image.len() as u32).to_le_bytes());
                 out.extend_from_slice(image);
             }
+            Request::Hello { version } => {
+                out.push(0x0A);
+                out.push(*version);
+            }
+            Request::KnnV2 {
+                session,
+                k,
+                alpha,
+                beta,
+                gamma,
+                clamp,
+                anchor,
+                positives,
+                negatives,
+            } => {
+                out.push(0x0B);
+                out.extend_from_slice(&session.to_le_bytes());
+                out.extend_from_slice(&k.to_le_bytes());
+                out.extend_from_slice(&alpha.to_le_bytes());
+                out.extend_from_slice(&beta.to_le_bytes());
+                out.extend_from_slice(&gamma.to_le_bytes());
+                out.push(u8::from(*clamp));
+                out.extend_from_slice(&(anchor.len() as u32).to_le_bytes());
+                for v in anchor {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                for set in [positives, negatives] {
+                    out.extend_from_slice(&(set.len() as u32).to_le_bytes());
+                    for ex in set {
+                        debug_assert_eq!(ex.len(), anchor.len(), "examples share the anchor dim");
+                        for v in ex {
+                            out.extend_from_slice(&v.to_le_bytes());
+                        }
+                    }
+                }
+            }
         }
         out
     }
@@ -577,6 +764,48 @@ impl Request {
                 let n = r.counted(1)?;
                 Request::RestoreModule {
                     image: r.take(n)?.to_vec(),
+                }
+            }
+            0x0A => Request::Hello { version: r.u8()? },
+            0x0B => {
+                let session = r.u64()?;
+                let k = r.u32()?;
+                let alpha = r.f64()?;
+                let beta = r.f64()?;
+                let gamma = r.f64()?;
+                let clamp = r.u8()? != 0;
+                let n = r.counted(8)?;
+                let mut anchor = Vec::with_capacity(n);
+                for _ in 0..n {
+                    anchor.push(r.f64()?);
+                }
+                // Each example is n × f64; `per` is floored at 1 byte
+                // so a zero-dim frame cannot smuggle a huge count past
+                // the budget check.
+                let read_set = |r: &mut Reader| -> Result<Vec<Vec<f64>>, DecodeError> {
+                    let count = r.counted((n * 8).max(1))?;
+                    let mut set = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        let mut ex = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            ex.push(r.f64()?);
+                        }
+                        set.push(ex);
+                    }
+                    Ok(set)
+                };
+                let positives = read_set(&mut r)?;
+                let negatives = read_set(&mut r)?;
+                Request::KnnV2 {
+                    session,
+                    k,
+                    alpha,
+                    beta,
+                    gamma,
+                    clamp,
+                    anchor,
+                    positives,
+                    negatives,
                 }
             }
             op => return Err(DecodeError::UnknownOpcode(op)),
@@ -671,6 +900,10 @@ impl Response {
                 out.extend_from_slice(image);
             }
             Response::ModuleRestored => out.push(0x89),
+            Response::HelloAck { version } => {
+                out.push(0x8A);
+                out.push(*version);
+            }
             Response::Error { code, message } => {
                 out.push(0xEE);
                 out.push(*code as u8);
@@ -759,6 +992,7 @@ impl Response {
                 }
             }
             0x89 => Response::ModuleRestored,
+            0x8A => Response::HelloAck { version: r.u8()? },
             0xEE => {
                 let code = ErrorCode::from_u8(r.u8()?).ok_or(DecodeError::Truncated)?;
                 let n = r.counted(1)?;
@@ -931,6 +1165,56 @@ mod tests {
         roundtrip_req(Request::RestoreModule {
             image: vec![0xAB; 37],
         });
+        roundtrip_req(Request::Hello {
+            version: PROTOCOL_VERSION,
+        });
+        roundtrip_req(Request::KnnV2 {
+            session: 11,
+            k: 25,
+            alpha: 1.0,
+            beta: 0.75,
+            gamma: 0.25,
+            clamp: true,
+            anchor: vec![0.5, 0.25, -1.0],
+            positives: vec![vec![0.1, 0.2, 0.3], vec![0.4, 0.5, 0.6]],
+            negatives: vec![vec![0.9, 0.8, 0.7]],
+        });
+        // Both example sets empty: the trivial one-anchor query in v2
+        // clothing.
+        roundtrip_req(Request::KnnV2 {
+            session: 1,
+            k: 5,
+            alpha: 1.0,
+            beta: 0.75,
+            gamma: 0.25,
+            clamp: false,
+            anchor: vec![2.0, 3.0],
+            positives: vec![],
+            negatives: vec![],
+        });
+    }
+
+    #[test]
+    fn knn_v2_forged_example_count_is_rejected() {
+        // A KnnV2 frame claiming more examples than its bytes carry
+        // must fail the count-budget check, not allocate.
+        let mut forged = Request::KnnV2 {
+            session: 1,
+            k: 5,
+            alpha: 1.0,
+            beta: 0.75,
+            gamma: 0.25,
+            clamp: false,
+            anchor: vec![0.5, 0.5],
+            positives: vec![],
+            negatives: vec![],
+        }
+        .encode();
+        // Overwrite the positive count (4 bytes right after the anchor)
+        // with a huge value.
+        let pos_count_at = forged.len() - 8;
+        forged[pos_count_at..pos_count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Request::decode(&forged), Err(DecodeError::BadLength));
     }
 
     #[test]
@@ -1007,6 +1291,20 @@ mod tests {
             code: ErrorCode::ShardUnavailable,
             message: "shards [1] unavailable".into(),
         });
+        roundtrip_resp(Response::HelloAck {
+            version: PROTOCOL_VERSION,
+        });
+        for code in [
+            ErrorCode::BadWeight,
+            ErrorCode::NonFiniteComponent,
+            ErrorCode::EmptyExampleSet,
+            ErrorCode::PrecisionConflict,
+        ] {
+            roundtrip_resp(Response::Error {
+                code,
+                message: format!("{code}"),
+            });
+        }
     }
 
     #[test]

@@ -41,15 +41,17 @@
 use crate::metrics::Metrics;
 use crate::pool::{control_call, Downstream, Job, PoolConfig};
 use crate::protocol::{
-    read_frame, write_frame, DecodeError, ErrorCode, FrameError, Request, Response,
-    DEFAULT_MAX_FRAME_LEN, KNN_DEGRADED,
+    error_code_for, read_frame, write_frame, DecodeError, ErrorCode, FrameError, Request, Response,
+    DEFAULT_MAX_FRAME_LEN, KNN_DEGRADED, PROTOCOL_VERSION,
 };
-use crate::sessions::{err, SessionStore};
+use crate::sessions::{err, ExampleSets, SessionStore};
 use fbp_vecdb::{
     merge_partials_policy, Collection, DegradedGather, FailurePolicy, ShardPartial,
     WeightedEuclidean,
 };
-use feedbackbypass::{FeedbackBypass, FeedbackConfig, KnnRequest, SharedBypass};
+use feedbackbypass::{
+    FeedbackBypass, FeedbackConfig, KnnRequest, QuerySpec, RocchioWeights, SharedBypass,
+};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -695,13 +697,24 @@ fn handle_connection(stream: TcpStream, shared: &Arc<RouterShared>) {
     };
     let mut reader = io::BufReader::with_capacity(16 * 1024, stream);
     let mut owned_sessions: Vec<u64> = Vec::new();
+    // Same negotiation state as the flat server: v1 until a `Hello`
+    // raises it, so v2-only opcodes are refused on un-negotiated
+    // connections and v1 traffic stays byte-for-byte unchanged.
+    let mut version: u8 = 1;
     loop {
         let mut keep_waiting = || !shared.shutdown.load(Ordering::SeqCst);
         match read_frame(&mut reader, shared.cfg.max_frame_len, &mut keep_waiting) {
             Ok(None) => break,
             Ok(Some(payload)) => {
                 let response = match Request::decode(&payload) {
-                    Ok(req) => handle_request(req, shared, &writer, conn_id, &mut owned_sessions),
+                    Ok(req) => handle_request(
+                        req,
+                        shared,
+                        &writer,
+                        conn_id,
+                        &mut owned_sessions,
+                        &mut version,
+                    ),
                     Err(e) => {
                         shared.metrics.record_protocol_error();
                         let code = match e {
@@ -754,8 +767,16 @@ fn handle_request(
     writer: &Arc<Mutex<TcpStream>>,
     conn_id: u64,
     owned: &mut Vec<u64>,
+    version: &mut u8,
 ) -> Option<Response> {
     match req {
+        Request::Hello { version: client } => Some(if client == 0 {
+            shared.metrics.record_protocol_error();
+            err(ErrorCode::BadRequest, "protocol version 0 is not valid")
+        } else {
+            *version = client.min(PROTOCOL_VERSION);
+            Response::HelloAck { version: *version }
+        }),
         Request::OpenSession => {
             let id = shared.store.open(conn_id);
             owned.push(id);
@@ -764,8 +785,56 @@ fn handle_request(
                 dim: shared.store.coll().dim() as u32,
             })
         }
-        Request::Knn { session, k, query } => {
-            handle_router_knn(shared, writer, conn_id, session, k, query)
+        Request::Knn { session, k, query } => handle_router_knn(
+            shared,
+            writer,
+            conn_id,
+            session,
+            k,
+            query,
+            ExampleSets::default(),
+        ),
+        Request::KnnV2 {
+            session,
+            k,
+            alpha,
+            beta,
+            gamma,
+            clamp,
+            anchor,
+            positives,
+            negatives,
+        } => {
+            if *version < 2 {
+                shared.metrics.record_protocol_error();
+                return Some(err(
+                    ErrorCode::BadRequest,
+                    "KnnV2 requires a negotiated protocol version >= 2 (send Hello first)",
+                ));
+            }
+            let spec = match QuerySpec::builder(anchor)
+                .positives(positives)
+                .negatives(negatives)
+                .rocchio(RocchioWeights::new(alpha, beta, gamma))
+                .clamp_to_zero(clamp)
+                .build()
+            {
+                Ok(spec) => spec,
+                Err(e) => {
+                    shared.metrics.record_protocol_error();
+                    return Some(err(error_code_for(&e), e.to_string()));
+                }
+            };
+            // Lower once at the router: the scatter below carries the
+            // derived anchor in plain `ShardKnn` frames, so downstream
+            // shard servers need zero changes for multi-example
+            // queries.
+            let examples = ExampleSets {
+                positives: spec.positives().to_vec(),
+                negatives: spec.negatives().to_vec(),
+            };
+            let derived = spec.lower().into_request().point;
+            handle_router_knn(shared, writer, conn_id, session, k, derived, examples)
         }
         Request::Feedback { session, relevant } => {
             Some(shared.store.feedback(conn_id, session, relevant))
@@ -801,10 +870,13 @@ fn handle_request(
     }
 }
 
-/// `Knn` upstream: resolve the session's learned parameters, admit,
-/// and scatter one `ShardKnn` job into every downstream pool; the last
-/// delivered slot merges under the failure policy and writes the reply
-/// (degraded answers flagged with their missing shards).
+/// `Knn` (and lowered `KnnV2`) upstream: resolve the session's learned
+/// parameters, admit, and scatter one `ShardKnn` job into every
+/// downstream pool; the last delivered slot merges under the failure
+/// policy and writes the reply (degraded answers flagged with their
+/// missing shards). `query` is the (possibly derived) anchor point and
+/// `examples` the spec's example sets (empty for v1).
+#[allow(clippy::too_many_arguments)]
 fn handle_router_knn(
     shared: &Arc<RouterShared>,
     writer: &Arc<Mutex<TcpStream>>,
@@ -812,6 +884,7 @@ fn handle_router_knn(
     session: u64,
     k: u32,
     query: Vec<f64>,
+    examples: ExampleSets,
 ) -> Option<Response> {
     let dim = shared.store.coll().dim();
     if query.len() != dim {
@@ -822,7 +895,7 @@ fn handle_router_knn(
         ));
     }
     let k = (k as usize).min(shared.total_rows);
-    let (point, weights) = match shared.store.resolve_knn(conn_id, session, query) {
+    let (point, weights) = match shared.store.resolve_knn(conn_id, session, query, examples) {
         Ok(params) => params,
         Err(resp) => return Some(resp),
     };

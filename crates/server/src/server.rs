@@ -23,15 +23,18 @@
 use crate::batcher::{run_shard_dispatcher, Batcher, EnqueueError, Gather};
 use crate::metrics::Metrics;
 use crate::protocol::{
-    read_frame, write_frame, DecodeError, ErrorCode, FrameError, Request, Response,
-    DEFAULT_MAX_FRAME_LEN,
+    error_code_for, read_frame, write_frame, DecodeError, ErrorCode, FrameError, Request, Response,
+    DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
-use crate::sessions::{err, SessionStore};
+use crate::sessions::{err, ExampleSets, SessionStore};
 use fbp_vecdb::{
     combine_partials, Collection, Neighbor, ScanMode, ShardPartial, ShardedCollection, ShardedScan,
     WeightedEuclidean,
 };
-use feedbackbypass::{FeedbackBypass, FeedbackConfig, KnnRequest, ShardedBypass, SharedBypass};
+use feedbackbypass::{
+    FeedbackBypass, FeedbackConfig, KnnRequest, QuerySpec, RocchioWeights, ShardedBypass,
+    SharedBypass,
+};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -355,13 +358,25 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     // so one syscall serves both.
     let mut reader = io::BufReader::with_capacity(16 * 1024, stream);
     let mut owned_sessions: Vec<u64> = Vec::new();
+    // Every connection starts at protocol v1; a `Hello` exchange can
+    // raise it (to at most [`PROTOCOL_VERSION`]) for the connection's
+    // remaining lifetime. v2-only opcodes are refused below the
+    // negotiated version, so v1 traffic stays byte-for-byte unchanged.
+    let mut version: u8 = 1;
     loop {
         let mut keep_waiting = || !shared.shutdown.load(Ordering::SeqCst);
         match read_frame(&mut reader, shared.cfg.max_frame_len, &mut keep_waiting) {
             Ok(None) => break, // clean close or shutdown
             Ok(Some(payload)) => {
                 let response = match Request::decode(&payload) {
-                    Ok(req) => handle_request(req, shared, &writer, conn_id, &mut owned_sessions),
+                    Ok(req) => handle_request(
+                        req,
+                        shared,
+                        &writer,
+                        conn_id,
+                        &mut owned_sessions,
+                        &mut version,
+                    ),
                     Err(e) => {
                         // The length prefix framed this payload, so the
                         // stream is still in sync: answer and continue.
@@ -421,8 +436,16 @@ fn handle_request(
     writer: &Arc<Mutex<TcpStream>>,
     conn_id: u64,
     owned: &mut Vec<u64>,
+    version: &mut u8,
 ) -> Option<Response> {
     match req {
+        Request::Hello { version: client } => Some(if client == 0 {
+            shared.metrics.record_protocol_error();
+            err(ErrorCode::BadRequest, "protocol version 0 is not valid")
+        } else {
+            *version = client.min(PROTOCOL_VERSION);
+            Response::HelloAck { version: *version }
+        }),
         Request::OpenSession => {
             let id = shared.store.open(conn_id);
             owned.push(id);
@@ -431,8 +454,56 @@ fn handle_request(
                 dim: shared.store.coll().dim() as u32,
             })
         }
-        Request::Knn { session, k, query } => {
-            handle_knn(shared, writer, conn_id, session, k, query)
+        Request::Knn { session, k, query } => handle_knn(
+            shared,
+            writer,
+            conn_id,
+            session,
+            k,
+            query,
+            ExampleSets::default(),
+        ),
+        Request::KnnV2 {
+            session,
+            k,
+            alpha,
+            beta,
+            gamma,
+            clamp,
+            anchor,
+            positives,
+            negatives,
+        } => {
+            if *version < 2 {
+                shared.metrics.record_protocol_error();
+                return Some(err(
+                    ErrorCode::BadRequest,
+                    "KnnV2 requires a negotiated protocol version >= 2 (send Hello first)",
+                ));
+            }
+            let spec = match QuerySpec::builder(anchor)
+                .positives(positives)
+                .negatives(negatives)
+                .rocchio(RocchioWeights::new(alpha, beta, gamma))
+                .clamp_to_zero(clamp)
+                .build()
+            {
+                Ok(spec) => spec,
+                Err(e) => {
+                    shared.metrics.record_protocol_error();
+                    return Some(err(error_code_for(&e), e.to_string()));
+                }
+            };
+            // Lower once, before admission: everything downstream — the
+            // session registry, the micro-batchers, the shard scatter —
+            // sees a plain point query on the derived anchor, exactly
+            // as if the client had sent v1 `Knn` with that point.
+            let examples = ExampleSets {
+                positives: spec.positives().to_vec(),
+                negatives: spec.negatives().to_vec(),
+            };
+            let derived = spec.lower().into_request().point;
+            handle_knn(shared, writer, conn_id, session, k, derived, examples)
         }
         Request::Feedback { session, relevant } => {
             Some(shared.store.feedback(conn_id, session, relevant))
@@ -467,11 +538,15 @@ fn handle_request(
     }
 }
 
-/// `Knn`: resolve the session's search parameters, admit the request,
-/// and scatter a gather cell into every shard's micro-batcher; the
-/// shard dispatcher delivering the last partial merges and finishes the
-/// reply (post-pass bookkeeping + the socket write). Returns `None`
-/// when the reply was deferred that way, `Some(error)` otherwise.
+/// `Knn` (and lowered `KnnV2`): resolve the session's search
+/// parameters, admit the request, and scatter a gather cell into every
+/// shard's micro-batcher; the shard dispatcher delivering the last
+/// partial merges and finishes the reply (post-pass bookkeeping + the
+/// socket write). `query` is the (possibly derived) anchor point and
+/// `examples` the spec's example sets (empty for v1). Returns `None`
+/// when the reply was deferred to the dispatcher, `Some(error)`
+/// otherwise.
+#[allow(clippy::too_many_arguments)]
 fn handle_knn(
     shared: &Arc<Shared>,
     writer: &Arc<Mutex<TcpStream>>,
@@ -479,6 +554,7 @@ fn handle_knn(
     session: u64,
     k: u32,
     query: Vec<f64>,
+    examples: ExampleSets,
 ) -> Option<Response> {
     let dim = shared.store.coll().dim();
     if query.len() != dim {
@@ -492,7 +568,7 @@ fn handle_knn(
     // forged request size a gigantic k-best heap.
     let k = (k as usize).min(shared.store.coll().len());
 
-    let (point, weights) = match shared.store.resolve_knn(conn_id, session, query) {
+    let (point, weights) = match shared.store.resolve_knn(conn_id, session, query, examples) {
         Ok(params) => params,
         Err(resp) => return Some(resp),
     };

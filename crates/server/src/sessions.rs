@@ -27,10 +27,28 @@ pub(crate) fn err(code: ErrorCode, message: impl Into<String>) -> Response {
     }
 }
 
+/// The example sets a [`crate::protocol::Request::KnnV2`] spec anchored
+/// a query with — both empty for a plain v1 `Knn`. They are part of the
+/// query's **identity**: a repeated request continues the session only
+/// when it resends the same spec, not merely one that happens to derive
+/// the same anchor, so swapping the example sets re-anchors cleanly.
+#[derive(Debug, Default, PartialEq)]
+pub(crate) struct ExampleSets {
+    /// Positive (relevant) example vectors — the Rocchio β term.
+    pub(crate) positives: Vec<Vec<f64>>,
+    /// Negative (non-relevant) example vectors — the Rocchio γ term.
+    pub(crate) negatives: Vec<Vec<f64>>,
+}
+
 /// One session's in-flight interactive query.
 struct ActiveQuery {
-    /// The anchor query point (the module insert key).
+    /// The anchor query point (the module insert key). For a
+    /// multi-example spec this is the **derived** Rocchio anchor — the
+    /// lowering happened before admission, so everything downstream
+    /// (stepper, module commit) sees a plain point query.
     anchor: Vec<f64>,
+    /// The example sets the anchoring request carried.
+    examples: ExampleSets,
     /// Current search point.
     point: Vec<f64>,
     /// Current search weights.
@@ -133,17 +151,20 @@ impl SessionStore {
     }
 
     /// Resolve a `Knn` request's search parameters: a repeat of the
-    /// session's current anchor searches under its learned parameters;
-    /// a fresh anchor starts from the shared module's prediction
-    /// (out-of-domain queries search as-is under the uniform metric —
-    /// the same fallback the in-process loop driver applies). Degenerate
-    /// predicted weights fall back to uniform. `Err` carries the
-    /// ready-to-send error response.
+    /// session's current anchor **and example sets** searches under its
+    /// learned parameters; a fresh spec starts from the shared module's
+    /// prediction (out-of-domain queries search as-is under the uniform
+    /// metric — the same fallback the in-process loop driver applies).
+    /// `query` is already lowered — for `KnnV2` it is the derived
+    /// Rocchio anchor, so this path is identical for both opcodes.
+    /// Degenerate predicted weights fall back to uniform. `Err` carries
+    /// the ready-to-send error response.
     pub(crate) fn resolve_knn(
         &self,
         conn_id: u64,
         session: u64,
         query: Vec<f64>,
+        examples: ExampleSets,
     ) -> Result<(Vec<f64>, Vec<f64>), Response> {
         let dim = self.coll.dim();
         // Resolve parameters, keeping predict() off the registry lock
@@ -158,7 +179,9 @@ impl SessionStore {
                 return Err(err(ErrorCode::UnknownSession, format!("session {session}")));
             };
             match &sess.active {
-                Some(aq) if aq.anchor == query => Some((aq.point.clone(), aq.weights.clone())),
+                Some(aq) if aq.anchor == query && aq.examples == examples => {
+                    Some((aq.point.clone(), aq.weights.clone()))
+                }
                 _ => None,
             }
         };
@@ -177,6 +200,7 @@ impl SessionStore {
                 };
                 sess.active = Some(ActiveQuery {
                     anchor: query,
+                    examples,
                     point: point.clone(),
                     weights: weights.clone(),
                     prev: None,

@@ -1,0 +1,176 @@
+//! A multi-example interactive session, end to end: probe a query,
+//! mark a handful of result rows relevant and a handful non-relevant,
+//! ship the judged rows as a Rocchio [`QuerySpec`] — and verify the
+//! refined round is **bit-identical** to a flat scan against the
+//! manually derived anchor, both in-process and over a real socket.
+//!
+//! Two acts:
+//!
+//! 1. **In-process** — the `fbp-eval` Rocchio scenario: N queries
+//!    probed, judged three-valued (`Good`/`Bad`/`Neutral`) by the
+//!    category oracle with a capped "user patience", refined in one
+//!    coalesced [`SharedBypass::knn_batch`] pass over the specs.
+//! 2. **Over the wire** — the same conversation against a live server:
+//!    `Hello` negotiates protocol v2, the probe rides plain v1 `Knn`,
+//!    the judged spec rides `KnnV2` (the server lowers it once, before
+//!    admission), and the refinement loop finishes with ordinary
+//!    `Feedback` rounds.
+//!
+//! Run with: `cargo run --release --example rocchio_session`
+
+use fbp_eval::{run_rocchio, RocchioOptions};
+use fbp_feedback::{CategoryOracle, RelevanceOracle, SetOracle};
+use fbp_imagegen::{DatasetConfig, SyntheticDataset};
+use fbp_server::{serve, Client, ServerConfig, PROTOCOL_VERSION};
+use fbp_vecdb::{KnnEngine, LinearScan, ScanMode, WeightedEuclidean};
+use feedbackbypass::{BypassConfig, FeedbackBypass, QuerySpec, RocchioWeights, SharedBypass};
+use std::sync::Arc;
+
+const K: usize = 20;
+const MAX_EXAMPLES: usize = 4;
+
+fn main() {
+    // ---- Act 1: the in-process scenario -------------------------------
+    let ds = SyntheticDataset::generate(DatasetConfig::small());
+    let opts = RocchioOptions {
+        n_queries: 16,
+        k: K,
+        max_examples: MAX_EXAMPLES,
+        ..Default::default()
+    };
+    let result = run_rocchio(&ds, &opts);
+    let judged_pos: usize = result.records.iter().map(|r| r.positives).sum();
+    let judged_neg: usize = result.records.iter().map(|r| r.negatives).sum();
+    println!(
+        "in-process: {} queries, k = {K}: probe precision {:.3} -> refined {:.3} \
+         ({judged_pos} positive / {judged_neg} negative judgments)",
+        result.records.len(),
+        result.mean_probe_precision(),
+        result.mean_refined_precision(),
+    );
+    assert!(
+        result.all_bit_identical(),
+        "every refined round must equal the flat derived-anchor scan"
+    );
+
+    // ---- Act 2: the same conversation over a socket -------------------
+    let coll = Arc::new(ds.collection.clone());
+    let module = SharedBypass::new(
+        FeedbackBypass::for_histograms(coll.dim(), BypassConfig::default()).expect("module"),
+    );
+    let handle = serve(
+        "127.0.0.1:0",
+        Arc::clone(&coll),
+        module,
+        ServerConfig::default(),
+    )
+    .expect("bind server");
+
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    let version = client.hello().expect("hello");
+    assert_eq!(version, PROTOCOL_VERSION, "server must speak v2");
+    let (session, dim) = client.open_session().expect("open session");
+    assert_eq!(dim as usize, coll.dim());
+
+    // Probe round: plain v1 Knn on the raw anchor.
+    let qidx = ds.labelled[0];
+    let anchor = coll.vector(qidx).to_vec();
+    let truth = CategoryOracle::new(&coll, coll.label(qidx));
+    let probe = client.knn(session, K as u32, &anchor).expect("probe");
+
+    // The "user" marks at most MAX_EXAMPLES rows each way; the rest of
+    // the round stays unjudged.
+    let mut good: Vec<u32> = Vec::new();
+    let mut bad: Vec<u32> = Vec::new();
+    for n in &probe.neighbors {
+        if truth.judge(n.index).is_good() {
+            if good.len() < MAX_EXAMPLES {
+                good.push(n.index);
+            }
+        } else if bad.len() < MAX_EXAMPLES {
+            bad.push(n.index);
+        }
+    }
+    let judged = SetOracle::with_negatives(good.clone(), bad.clone());
+    let positives: Vec<Vec<f64>> = probe
+        .neighbors
+        .iter()
+        .filter(|n| judged.judge(n.index).is_good())
+        .map(|n| coll.vector(n.index as usize).to_vec())
+        .collect();
+    let negatives: Vec<Vec<f64>> = probe
+        .neighbors
+        .iter()
+        .filter(|n| judged.judge(n.index).is_bad())
+        .map(|n| coll.vector(n.index as usize).to_vec())
+        .collect();
+    let spec = QuerySpec::builder(anchor)
+        .positives(positives)
+        .negatives(negatives)
+        .rocchio(RocchioWeights::default())
+        .clamp_to_zero(true) // histogram domain: floor at zero
+        .build()
+        .expect("judged rows build a valid spec");
+
+    // Refined round: the spec rides one KnnV2 frame; the server lowers
+    // it to the derived anchor before admission, so the reply equals a
+    // flat scan against that anchor bit-for-bit.
+    let refined = client
+        .knn_spec(session, K as u32, &spec)
+        .expect("refined round");
+    let flat = LinearScan::with_mode(&coll, ScanMode::Batched).knn(
+        spec.lower().point(),
+        K,
+        &WeightedEuclidean::new(vec![1.0; coll.dim()]).expect("uniform"),
+    );
+    assert_eq!(
+        refined.neighbors, flat,
+        "wire spec round diverged from the flat derived-anchor scan"
+    );
+
+    let precision_of = |neighbors: &[fbp_vecdb::Neighbor]| {
+        neighbors
+            .iter()
+            .filter(|n| truth.judge(n.index).is_good())
+            .count() as f64
+            / K as f64
+    };
+    println!(
+        "over the wire: probe precision {:.3} -> refined {:.3} \
+         ({} positives, {} negatives shipped; reply bit-identical to the flat scan)",
+        precision_of(&probe.neighbors),
+        precision_of(&refined.neighbors),
+        spec.positives().len(),
+        spec.negatives().len(),
+    );
+
+    // Finish the session like any interactive loop: judge the refined
+    // rounds until the stepper reports done.
+    let mut rounds = 0usize;
+    let mut reply = refined;
+    while !reply.done {
+        let relevant: Vec<u32> = reply
+            .neighbors
+            .iter()
+            .map(|n| n.index)
+            .filter(|&id| truth.judge(id).is_good())
+            .collect();
+        let ack = client.feedback(session, &relevant).expect("feedback");
+        rounds += 1;
+        if ack.done {
+            println!(
+                "feedback loop finished after {rounds} judged rounds \
+                 (converged: {}, cycles: {})",
+                ack.converged, ack.cycles
+            );
+            break;
+        }
+        reply = client
+            .knn_spec(session, K as u32, &spec)
+            .expect("next round");
+    }
+
+    client.close_session(session).expect("close session");
+    handle.shutdown();
+    println!("session closed, server shut down cleanly.");
+}

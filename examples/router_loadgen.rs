@@ -23,12 +23,15 @@
 use fbp_server::{
     route, run_loadgen, serve, Client, FailurePolicy, FaultMode, FaultPlan, FaultRule,
     LoadgenOptions, LoadgenReport, RouterConfig, RouterHandle, ServerConfig, ServerHandle,
+    PROTOCOL_VERSION,
 };
 use fbp_vecdb::{
     CategoryId, Collection, CollectionBuilder, KnnEngine, LinearScan, Neighbor, ScanMode,
     WeightedEuclidean,
 };
-use feedbackbypass::{BypassConfig, FeedbackBypass, FeedbackConfig, SharedBypass};
+use feedbackbypass::{
+    BypassConfig, FeedbackBypass, FeedbackConfig, QuerySpec, RocchioWeights, SharedBypass,
+};
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
@@ -227,6 +230,62 @@ fn main() {
         );
         assert_eq!(reply.neighbors, expect, "router diverged from flat scan");
         probe.close_session(session).expect("close probe session");
+    }
+
+    // Phase 1b — multi-example burst: a v2 session negotiates Hello and
+    // ships Rocchio specs (anchor + positive/negative example rows).
+    // The router lowers each spec once and scatters the derived anchor,
+    // so every reply must equal the flat in-process scan against
+    // `spec.lower().point()` — the same bit-identity the plain probe
+    // pins, extended to the richest query shape the wire carries.
+    {
+        let mut client = Client::connect(healthy.local_addr()).expect("spec client");
+        assert_eq!(
+            client.hello().expect("hello"),
+            PROTOCOL_VERSION,
+            "router must speak v2"
+        );
+        let (session, _) = client.open_session().expect("open spec session");
+        let single = LinearScan::with_mode(&coll, ScanMode::Batched);
+        let rounds = if fast() { 4 } else { 16 };
+        for i in 0..rounds {
+            // Out-of-domain anchors (components > 1) keep the served
+            // metric at the documented uniform fallback, whatever the
+            // burst above taught the module.
+            let anchor: Vec<f64> = (0..DIM)
+                .map(|d| 1.5 + (((i * 13 + d * 7) as f64) * 0.29).sin().abs())
+                .collect();
+            let spec = QuerySpec::builder(anchor)
+                .positives(
+                    (0..3)
+                        .map(|j| coll.vector((i * 17 + j * 5) % coll.len()).to_vec())
+                        .collect(),
+                )
+                .negatives(
+                    (0..2)
+                        .map(|j| coll.vector((i * 23 + j * 9 + 1) % coll.len()).to_vec())
+                        .collect(),
+                )
+                .rocchio(RocchioWeights::new(1.0, 0.75, 0.25))
+                .build()
+                .expect("valid spec");
+            let reply = client.knn_spec(session, K, &spec).expect("spec knn");
+            assert!(!reply.degraded);
+            let expect = single.knn(
+                spec.lower().point(),
+                K as usize,
+                &WeightedEuclidean::uniform(DIM),
+            );
+            assert_eq!(
+                reply.neighbors, expect,
+                "spec round {i} diverged from the derived-anchor flat scan"
+            );
+        }
+        client.close_session(session).expect("close spec session");
+        println!(
+            "{:<16} {rounds} multi-example rounds, all bit-identical to the derived-anchor scan",
+            "spec burst"
+        );
     }
     healthy.shutdown();
 

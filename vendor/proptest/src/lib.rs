@@ -128,6 +128,35 @@ pub trait Strategy {
     }
 }
 
+/// Types drawable unconstrained via [`any()`], mirroring
+/// `proptest::arbitrary::Arbitrary` for the types the workspace needs.
+pub trait Arbitrary {
+    /// Draw one unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// See [`any()`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the unconstrained strategy for `T`, mirroring
+/// `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
 /// Always produces a clone of one value.
 #[derive(Debug, Clone)]
 pub struct Just<T: Clone>(pub T);
@@ -308,13 +337,40 @@ pub mod prop {
             }
         }
     }
+
+    /// Option strategies.
+    pub mod option {
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy for `Option<S::Value>`: `Some` with probability 1/2
+        /// (upstream's default probability), `None` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        /// See [`of()`].
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.next_u64() & 1 == 1 {
+                    Some(self.inner.generate(rng))
+                } else {
+                    None
+                }
+            }
+        }
+    }
 }
 
 /// The common imports, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
-        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
-        Strategy, TestCaseError,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError,
     };
 }
 

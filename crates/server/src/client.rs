@@ -355,10 +355,14 @@ impl Client {
         }
     }
 
-    /// Fetch the server's metrics snapshot.
+    /// Fetch the server's metrics snapshot. Against a router the
+    /// snapshot also carries one [`StatsSnapshot::health`] row per
+    /// downstream shard — breaker state plus ejection/re-admission/
+    /// probe-failure/fast-degrade counters; a flat shard server reports
+    /// no rows.
     pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
         match self.call(&Request::SnapshotStats)? {
-            Response::Stats(s) => Ok(s),
+            Response::Stats(s) => Ok(*s),
             other => Err(unexpected("Stats", &other)),
         }
     }

@@ -10,9 +10,14 @@
 //! Decisions are **deterministic**: whether rule `r` fires for call
 //! `c` on shard `s` depends only on `(plan seed, s, c)` via a
 //! splitmix64 hash, so a failing run replays exactly from its seed.
-//! Faults apply to scatter (`ShardKnn`) calls only — startup probes and
-//! module-replication control calls bypass the plan, since they model
-//! operator actions, not serving traffic.
+//! Wire-damage faults apply to scatter (`ShardKnn`) calls only —
+//! startup probes and module-replication control calls bypass the
+//! plan, since they model operator actions, not serving traffic. The
+//! one exception is a scripted [`FaultMode::Down`] outage: a dead host
+//! refuses **every** call class, so plans containing one are consulted
+//! for the router's control-plane calls too (sharing the per-shard
+//! call counter), which makes the outage → ejection → restart →
+//! re-admission lifecycle scriptable end to end.
 
 use std::time::Duration;
 
@@ -36,6 +41,19 @@ pub enum FaultMode {
     /// Neither write nor read; hold the call until its deadline — the
     /// pure-timeout failure mode.
     BlackHole,
+    /// The downstream host is **gone** (crashed, restarting): every
+    /// connection attempt is refused for the next `calls` calls counted
+    /// from the rule's `after_calls`, after which the "restarted"
+    /// server answers normally. Unlike every other mode, an outage also
+    /// applies to the router's **control-plane** calls on that shard
+    /// (re-admission probes, module pushes) — a dead host refuses all
+    /// call classes alike — which is what lets the full
+    /// outage → ejection → restart → re-admission lifecycle be scripted
+    /// deterministically in call-space.
+    Down {
+        /// Outage length, in per-shard calls (scatter + control).
+        calls: u64,
+    },
 }
 
 /// One scripted fault: where it applies, when, how often, what it does.
@@ -106,6 +124,13 @@ impl FaultPlan {
             if call < rule.after_calls {
                 continue;
             }
+            if let FaultMode::Down { calls } = rule.mode {
+                // An outage bounds itself in call-space: past it the
+                // host has "restarted" and the rule goes quiet.
+                if call - rule.after_calls >= calls {
+                    continue;
+                }
+            }
             if let Some(limit) = rule.call_limit {
                 if call - rule.after_calls >= limit {
                     continue;
@@ -128,6 +153,16 @@ impl FaultPlan {
             return Some(rule.mode);
         }
         None
+    }
+
+    /// Whether any rule scripts a [`FaultMode::Down`] outage. Only such
+    /// plans are consulted for control-plane calls (probes, module
+    /// pushes), so wire-damage scripts keep their exact scatter call
+    /// indices.
+    pub fn has_down(&self) -> bool {
+        self.rules
+            .iter()
+            .any(|r| matches!(r.mode, FaultMode::Down { .. }))
     }
 }
 
@@ -191,6 +226,23 @@ mod tests {
             (0..1000).map(|c| plan.decide(0, c)).collect::<Vec<_>>(),
             (0..1000).map(|c| plan.decide(1, c)).collect::<Vec<_>>(),
         );
+    }
+
+    #[test]
+    fn down_outage_bounds_itself_in_call_space() {
+        let plan = FaultPlan::new(13).rule(FaultRule {
+            shard: Some(1),
+            after_calls: 2,
+            call_limit: None,
+            probability: 1.0,
+            mode: FaultMode::Down { calls: 3 },
+        });
+        let fired: Vec<u64> = (0..10).filter(|&c| plan.decide(1, c).is_some()).collect();
+        assert_eq!(fired, vec![2, 3, 4], "outage is exactly `calls` long");
+        assert!(plan.has_down());
+        assert!(!FaultPlan::new(0)
+            .rule(FaultRule::always(0, FaultMode::BlackHole))
+            .has_down());
     }
 
     #[test]

@@ -60,6 +60,17 @@
 //! deterministically for tests and smoke drills. See `ARCHITECTURE.md`,
 //! "router tier", for the full partial-failure policy.
 //!
+//! On top of the per-call machinery sits per-downstream **health
+//! tracking** ([`HealthConfig`], [`health`]): a circuit breaker ejects
+//! a persistently failing shard from the scatter set so requests stop
+//! paying its `shard_timeout` (`Degraded` merges the survivors
+//! instantly, `Strict` refuses fast), a background prober re-checks
+//! ejected shards at backed-off intervals, and re-admission requires a
+//! run of probe successes plus a tiling re-validation and a fresh
+//! module push. The learned module is also re-replicated to healthy
+//! shards automatically whenever a session commit updates it. Per-shard
+//! health appears in [`StatsSnapshot::health`] and on the wire.
+//!
 //! ## Protocol
 //!
 //! Frames are `u32` little-endian length + payload; the payload is an
@@ -134,13 +145,17 @@ mod sessions;
 
 pub mod client;
 pub mod faults;
+pub mod health;
 pub mod loadgen;
 pub mod protocol;
 
 pub use client::{Client, ClientError, FeedbackReply, KnnReply};
 pub use faults::{FaultMode, FaultPlan, FaultRule};
 pub use fbp_vecdb::FailurePolicy;
+pub use health::HealthConfig;
 pub use loadgen::{run_loadgen, LoadgenOptions, LoadgenReport, Relevance};
-pub use protocol::{error_code_for, ErrorCode, StatsSnapshot, PROTOCOL_VERSION};
+pub use protocol::{
+    error_code_for, DownstreamHealth, ErrorCode, HealthState, StatsSnapshot, PROTOCOL_VERSION,
+};
 pub use router::{route, HedgeConfig, RouterConfig, RouterHandle};
 pub use server::{serve, ServerConfig, ServerHandle};

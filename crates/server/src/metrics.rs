@@ -122,6 +122,11 @@ impl Metrics {
 /// pooled connection worker talking to that shard server. The router's
 /// stats snapshot sums these across downstreams into the six router
 /// fields of [`StatsSnapshot`]; the fault tests assert them non-zero.
+/// These count per-*call* outcomes only — the circuit-breaker
+/// lifecycle counters (ejections, re-admissions, probe failures, fast
+/// degrades) live in each downstream's
+/// [`HealthTracker`](crate::health::HealthTracker) and surface as the
+/// per-shard [`StatsSnapshot::health`] rows.
 #[derive(Default)]
 pub(crate) struct DownstreamStats {
     /// Calls abandoned because the shard deadline passed.

@@ -9,17 +9,27 @@
 //!
 //! * **connect failure** → backoff (`base · 2^fails`, clamped), retry
 //!   until the deadline; successful re-establishment after the worker's
-//!   first connect counts one reconnect;
-//! * **I/O failure mid-call** (reset, truncated reply, poisoned
-//!   stream) → the connection is discarded (a late reply must never
-//!   desync a reused stream), one retry is counted, and the call
-//!   re-runs on a fresh connection;
+//!   first connect counts one reconnect. The failure run resets only on
+//!   a successful **call** (a decoded reply frame), never on a bare
+//!   connect — an accept-then-die peer must keep backing off;
+//! * **I/O failure mid-call** (reset, truncated reply, a peer that
+//!   closes under an outstanding call, poisoned stream) → the
+//!   connection is discarded (a late reply must never desync a reused
+//!   stream), one retry is counted, and the call re-runs on a fresh
+//!   connection;
 //! * **deadline passed** → one timeout is counted and the shard's slot
 //!   is delivered as failed — the gather's failure policy decides
 //!   whether the reply degrades or errors;
 //! * **downstream protocol error** (a coded `Error` reply, a malformed
 //!   partial) → delivered as a failure immediately, no retry — the
 //!   shard answered, it just answered wrong.
+//!
+//! Every terminal outcome also feeds the downstream's
+//! [`HealthTracker`]: timeouts, refused outages, and malformed partials
+//! count as failures, delivered partials (and typed refusals — the host
+//! is alive) as successes. The router reads the tracker to eject
+//! persistently dead shards from the scatter set up front; see
+//! [`crate::health`].
 //!
 //! Injected faults (see [`crate::faults`]) are applied here, at the
 //! call edge, and fire **once per decided call**: the retry that
@@ -28,6 +38,7 @@
 //! bounds.
 
 use crate::faults::{FaultMode, FaultPlan};
+use crate::health::{HealthConfig, HealthTracker};
 use crate::metrics::DownstreamStats;
 use crate::protocol::{read_frame, write_frame, Request, Response};
 use crate::router::RouterGather;
@@ -66,6 +77,17 @@ pub(crate) struct PoolConfig {
     pub(crate) workers: usize,
 }
 
+/// One worker's connection state across jobs: the pooled connection,
+/// whether it ever connected (reconnect accounting), and the
+/// consecutive-failure count driving exponential backoff — reset only
+/// by a successful call, never by a bare connect.
+#[derive(Default)]
+pub(crate) struct WorkerState {
+    conn: Option<TcpStream>,
+    connected_before: bool,
+    consecutive_failures: u32,
+}
+
 /// One scatter call: deliver `gather`'s slot for this pool's shard.
 pub(crate) struct Job {
     /// The request's gather cell.
@@ -89,10 +111,19 @@ pub(crate) struct Downstream {
     cv: Condvar,
     shutdown: AtomicBool,
     /// Scatter calls issued to this downstream (the fault plan's call
-    /// index).
+    /// index; plans scripting a `Down` outage also count control
+    /// calls here — see [`Downstream::control_fault`]).
     calls: AtomicU64,
     /// Robustness counters + the latency ring behind the hedge delay.
     pub(crate) stats: Arc<DownstreamStats>,
+    /// This downstream's circuit breaker, fed by every call outcome
+    /// here and read by the router's scatter filter and prober.
+    pub(crate) health: HealthTracker,
+    /// The `(rows, offset, dim)` the startup probe validated — a
+    /// re-admission probe must re-validate against exactly this tiling
+    /// (a restarted shard serving different rows would break the
+    /// key-space merge).
+    pub(crate) expected: (u64, u64, u32),
 }
 
 impl Downstream {
@@ -101,6 +132,8 @@ impl Downstream {
         addr: SocketAddr,
         cfg: PoolConfig,
         faults: Option<Arc<FaultPlan>>,
+        health: HealthConfig,
+        expected: (u64, u64, u32),
     ) -> Arc<Self> {
         Arc::new(Downstream {
             shard,
@@ -112,7 +145,27 @@ impl Downstream {
             shutdown: AtomicBool::new(false),
             calls: AtomicU64::new(0),
             stats: Arc::new(DownstreamStats::default()),
+            health: HealthTracker::new(health),
+            expected,
         })
+    }
+
+    /// The scripted fate of the router's next **control-plane** call to
+    /// this downstream (re-admission probe, module push). Only plans
+    /// containing a [`FaultMode::Down`] outage are consulted — a dead
+    /// host refuses every call class — and only then does the control
+    /// call consume a per-shard call index; wire-damage plans keep
+    /// their exact scatter indices and control calls stay fault-free.
+    pub(crate) fn control_fault(&self) -> Option<FaultMode> {
+        let plan = self.faults.as_ref()?;
+        if !plan.has_down() {
+            return None;
+        }
+        let call = self.calls.fetch_add(1, Ordering::Relaxed);
+        match plan.decide(self.shard, call) {
+            down @ Some(FaultMode::Down { .. }) => down,
+            _ => None,
+        }
     }
 
     /// Start this downstream's worker threads.
@@ -167,16 +220,9 @@ impl Downstream {
     }
 
     fn worker_loop(self: Arc<Self>) {
-        let mut conn: Option<TcpStream> = None;
-        let mut connected_before = false;
-        let mut consecutive_failures: u32 = 0;
+        let mut state = WorkerState::default();
         while let Some(job) = self.next_job() {
-            self.execute(
-                &mut conn,
-                &mut connected_before,
-                &mut consecutive_failures,
-                &job,
-            );
+            self.execute(&mut state, &job);
         }
     }
 
@@ -184,16 +230,26 @@ impl Downstream {
     /// then write/read with retries until success, deadline, or
     /// shutdown. Exactly one `complete_shard` delivery happens unless
     /// another leg (hedge or primary) already resolved the slot.
-    fn execute(
-        &self,
-        conn: &mut Option<TcpStream>,
-        connected_before: &mut bool,
-        consecutive_failures: &mut u32,
-        job: &Job,
-    ) {
+    fn execute(&self, state: &mut WorkerState, job: &Job) {
+        let WorkerState {
+            conn,
+            connected_before,
+            consecutive_failures,
+        } = state;
         let gather = &job.gather;
         if gather.shard_resolved(self.shard) {
             return; // the other leg already delivered
+        }
+        if !self.health.admits_scatter() {
+            // The shard was ejected after this job (typically a hedge)
+            // was queued: fail the slot instantly rather than paying
+            // the deadline — and record nothing, the breaker already
+            // tripped.
+            gather.complete_shard(
+                self.shard,
+                Err(format!("shard {} ejected from the scatter set", self.shard)),
+            );
+            return;
         }
         let deadline = gather.deadline();
         let call = self.calls.fetch_add(1, Ordering::Relaxed);
@@ -203,19 +259,25 @@ impl Downstream {
             .and_then(|p| p.decide(self.shard, call));
         let started = Instant::now();
 
-        if fault == Some(FaultMode::BlackHole) {
-            // Never touch the wire; hold the call to its deadline.
+        if matches!(
+            fault,
+            Some(FaultMode::BlackHole) | Some(FaultMode::Down { .. })
+        ) {
+            // Never touch the wire; hold the call to its deadline. A
+            // black hole models silence, a `Down` outage a host whose
+            // every connect is refused — from this side both are a
+            // call that cannot succeed before its deadline.
             while Instant::now() < deadline && !self.shutting_down() {
                 std::thread::sleep(SLICE.min(deadline.saturating_duration_since(Instant::now())));
             }
             self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
-            gather.complete_shard(
-                self.shard,
-                Err(format!(
-                    "shard {} black-holed past its deadline",
-                    self.shard
-                )),
-            );
+            self.health.record_failure(Instant::now());
+            let what = if fault == Some(FaultMode::BlackHole) {
+                "black-holed past its deadline"
+            } else {
+                "down: every connect refused until the deadline"
+            };
+            gather.complete_shard(self.shard, Err(format!("shard {} {what}", self.shard)));
             return;
         }
         if let Some(FaultMode::Delay(d)) = fault {
@@ -239,6 +301,7 @@ impl Downstream {
             let now = Instant::now();
             if now >= deadline {
                 self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                self.health.record_failure(now);
                 gather.complete_shard(self.shard, Err(format!("shard {} timed out", self.shard)));
                 return;
             }
@@ -270,7 +333,13 @@ impl Downstream {
                             self.stats.reconnects.fetch_add(1, Ordering::Relaxed);
                         }
                         *connected_before = true;
-                        *consecutive_failures = 0;
+                        // Deliberately NOT resetting the backoff counter
+                        // here: only a *successful call* proves the peer
+                        // is serving. An accept-then-die loop (a host
+                        // whose listener is up but whose process keeps
+                        // crashing) used to reset the counter on every
+                        // connect, defeating exponential backoff
+                        // entirely.
                         *conn = Some(s);
                     }
                     Err(_) => {
@@ -339,42 +408,75 @@ impl Downstream {
                         continue;
                     }
                     match Response::decode(&payload) {
-                        Ok(Response::ShardPartial { finished, entries }) => {
-                            // Receivers MUST validate partial ordering
-                            // (protocol rule): a malformed partial is a
-                            // shard failure, not a panic in the merge.
-                            match ShardPartial::from_entries(entries, finished) {
-                                Ok(partial) => {
-                                    self.stats.record_latency(started.elapsed());
-                                    let first = gather.complete_shard(self.shard, Ok(partial));
-                                    if first && job.hedge {
-                                        self.stats.hedges_won.fetch_add(1, Ordering::Relaxed);
+                        Ok(decoded) => {
+                            // A decoded reply proves the peer is
+                            // serving: the reconnect backoff restarts
+                            // from its base. (This is the successful-
+                            // call reset; a successful *connect* alone
+                            // no longer resets — see above.)
+                            *consecutive_failures = 0;
+                            match decoded {
+                                Response::ShardPartial { finished, entries } => {
+                                    // Receivers MUST validate partial
+                                    // ordering (protocol rule): a
+                                    // malformed partial is a shard
+                                    // failure, not a panic in the merge.
+                                    match ShardPartial::from_entries(entries, finished) {
+                                        Ok(partial) => {
+                                            self.stats.record_latency(started.elapsed());
+                                            self.health.record_success();
+                                            let first =
+                                                gather.complete_shard(self.shard, Ok(partial));
+                                            if first && job.hedge {
+                                                self.stats
+                                                    .hedges_won
+                                                    .fetch_add(1, Ordering::Relaxed);
+                                            }
+                                        }
+                                        Err(e) => {
+                                            // The host is up but serving
+                                            // garbage: a data-plane
+                                            // failure the breaker must
+                                            // see.
+                                            self.health.record_failure(Instant::now());
+                                            gather.complete_shard(
+                                                self.shard,
+                                                Err(format!(
+                                                    "shard {} malformed partial: {e}",
+                                                    self.shard
+                                                )),
+                                            );
+                                        }
                                     }
+                                    return;
                                 }
-                                Err(e) => {
+                                Response::Error { code, message } => {
+                                    // The shard answered with a typed
+                                    // refusal; retrying the same request
+                                    // cannot help. The host is alive —
+                                    // liveness-wise this is a success.
+                                    self.health.record_success();
                                     gather.complete_shard(
                                         self.shard,
-                                        Err(format!("shard {} malformed partial: {e}", self.shard)),
+                                        Err(format!(
+                                            "shard {} error [{code}]: {message}",
+                                            self.shard
+                                        )),
                                     );
+                                    return;
+                                }
+                                other => {
+                                    self.health.record_failure(Instant::now());
+                                    gather.complete_shard(
+                                        self.shard,
+                                        Err(format!(
+                                            "shard {} unexpected reply: {other:?}",
+                                            self.shard
+                                        )),
+                                    );
+                                    return;
                                 }
                             }
-                            return;
-                        }
-                        Ok(Response::Error { code, message }) => {
-                            // The shard answered with a typed refusal;
-                            // retrying the same request cannot help.
-                            gather.complete_shard(
-                                self.shard,
-                                Err(format!("shard {} error [{code}]: {message}", self.shard)),
-                            );
-                            return;
-                        }
-                        Ok(other) => {
-                            gather.complete_shard(
-                                self.shard,
-                                Err(format!("shard {} unexpected reply: {other:?}", self.shard)),
-                            );
-                            return;
                         }
                         Err(_) => {
                             // Undecodable frame: the stream can no
@@ -388,11 +490,20 @@ impl Downstream {
                     }
                 }
                 Ok(None) => {
-                    // Deadline (or shutdown) expired at the frame
-                    // boundary with the reply still in flight: the
-                    // stream would desync if reused, so poison it and
-                    // let the loop head classify the exit.
+                    // The stream ended at a frame boundary with the
+                    // reply still outstanding. Two distinct causes: the
+                    // deadline/shutdown poll stopped the wait (let the
+                    // loop head classify the exit), or the peer closed
+                    // the connection under our call — a real failure
+                    // that must feed the backoff, or an accept-then-
+                    // close peer would be hammered in a hot reconnect
+                    // loop.
                     *conn = None;
+                    if Instant::now() < deadline && !self.shutting_down() {
+                        *consecutive_failures += 1;
+                        self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                        attempt += 1;
+                    }
                     continue;
                 }
                 Err(_) => {
@@ -432,5 +543,144 @@ pub(crate) fn control_call(
             "control call timed out",
         )),
         Err(e) => Err(io::Error::other(format!("control call frame: {e}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::RouterGather;
+    use fbp_vecdb::{FailurePolicy, WeightedEuclidean};
+    use std::io::Read as _;
+    use std::net::TcpListener;
+    use std::sync::mpsc;
+
+    fn test_cfg() -> PoolConfig {
+        PoolConfig {
+            connect_timeout: Duration::from_millis(200),
+            read_slice: Duration::from_millis(5),
+            write_timeout: Duration::from_millis(200),
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(20),
+            max_frame_len: 1 << 20,
+            workers: 1,
+        }
+    }
+
+    /// A shard-server stand-in whose first connections misbehave:
+    /// connections `0..drops` accept and immediately close (an
+    /// accept-then-die host), connection `drops` accepts the request
+    /// and stalls without replying, every later connection serves empty
+    /// `ShardPartial` replies.
+    fn misbehaving_server(drops: usize) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for (i, stream) in listener.incoming().enumerate() {
+                let Ok(mut stream) = stream else { continue };
+                if i < drops {
+                    continue; // dropped on the floor: accept-then-die
+                }
+                std::thread::spawn(move || {
+                    if i == drops {
+                        // Swallow the request, never answer.
+                        let mut buf = [0u8; 4096];
+                        let _ = stream.read(&mut buf);
+                        std::thread::sleep(Duration::from_millis(500));
+                        return;
+                    }
+                    loop {
+                        let mut keep = || true;
+                        match read_frame(&mut stream, 1 << 20, &mut keep) {
+                            Ok(Some(_)) => {
+                                let reply = Response::ShardPartial {
+                                    finished: false,
+                                    entries: Vec::new(),
+                                }
+                                .encode();
+                                if write_frame(&mut stream, &reply).is_err() {
+                                    return;
+                                }
+                            }
+                            _ => return,
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    /// A single-shard gather whose reply reports success/failure on a
+    /// channel.
+    fn gather_for(deadline: Duration) -> (Arc<RouterGather>, mpsc::Receiver<bool>) {
+        let (tx, rx) = mpsc::channel();
+        let gather = RouterGather::new(
+            1,
+            WeightedEuclidean::new(vec![1.0, 1.0]).unwrap(),
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            1,
+            deadline,
+            FailurePolicy::Strict,
+            Box::new(move |outcome| {
+                let _ = tx.send(outcome.is_ok());
+            }),
+        );
+        (gather, rx)
+    }
+
+    /// Backoff-reset regression: the exponential-backoff run must
+    /// survive successful connects to a dead peer (accept-then-die used
+    /// to reset it on every connect, defeating backoff entirely) and
+    /// reset on the first successful *call* — so a single transient
+    /// fault never leaves the downstream paying `backoff_max` forever.
+    #[test]
+    fn backoff_resets_on_successful_call_not_on_connect() {
+        let addr = misbehaving_server(2);
+        let ds = Downstream::new(
+            0,
+            addr,
+            test_cfg(),
+            None,
+            HealthConfig::default(),
+            (0, 0, 2),
+        );
+        let mut state = WorkerState::default();
+
+        // Job 1: two accept-then-die connects, then a stalled reply —
+        // the call times out with the failure run intact.
+        let (g1, rx1) = gather_for(Duration::from_millis(150));
+        ds.execute(
+            &mut state,
+            &Job {
+                gather: g1,
+                hedge: false,
+            },
+        );
+        assert!(!rx1.recv().unwrap(), "job 1 must fail by timeout");
+        assert!(
+            state.consecutive_failures >= 2,
+            "successful connects to a dead peer must not reset the backoff run, got {}",
+            state.consecutive_failures
+        );
+
+        // Job 2: the server answers now — the successful call resets
+        // the counter, so the next transient fault restarts backoff
+        // from its base instead of near `backoff_max`.
+        let (g2, rx2) = gather_for(Duration::from_secs(2));
+        ds.execute(
+            &mut state,
+            &Job {
+                gather: g2,
+                hedge: false,
+            },
+        );
+        assert!(rx2.recv().unwrap(), "job 2 must succeed");
+        assert_eq!(
+            state.consecutive_failures, 0,
+            "a successful call resets the backoff counter"
+        );
+        ds.shutdown();
     }
 }

@@ -97,10 +97,33 @@
 //! | `hedges_fired`         | `u64` |
 //! | `hedges_won`           | `u64` |
 //! | `degraded_replies`     | `u64` |
+//! | `health_rows`          | `u32` |
+//! | `health_rows × row`    | see below |
 //!
 //! The six `downstream_*`/`hedges_*`/`degraded_replies` fields are the
 //! router tier's fault counters, aggregated across its downstreams; a
 //! plain shard server reports them as zero.
+//!
+//! The trailing `health_rows` block is **normative**: one row per
+//! router downstream (zero rows on a plain shard server), each row laid
+//! out as
+//!
+//! | field            | type  | meaning                                      |
+//! |------------------|-------|----------------------------------------------|
+//! | `shard`          | `u32` | downstream shard index                       |
+//! | `state`          | `u8`  | [`HealthState`] (0 healthy, 1 suspect, 2 ejected, 3 probing); other values are malformed |
+//! | `ejections`      | `u64` | times the shard was ejected from the scatter |
+//! | `readmissions`   | `u64` | times it was probed back to `Healthy`        |
+//! | `probe_failures` | `u64` | re-admission probes that failed              |
+//! | `fast_degrades`  | `u64` | scatters that skipped it while ejected (no `shard_timeout` paid) |
+//!
+//! An `Ejected` downstream is removed from the scatter set **before**
+//! the fan-out: under `Degraded` policy the reply merges the survivors
+//! immediately (the shard appears in `missing_shards` without its
+//! timeout being paid — that is one `fast_degrades` tick), under
+//! `Strict` the request refuses fast with `ShardUnavailable`. Only a
+//! successful re-admission probe sequence (slice tiling re-validated,
+//! module snapshot re-pushed) returns the shard to traffic.
 //!
 //! # Protocol v2: version negotiation and multi-example queries
 //!
@@ -447,8 +470,10 @@ pub enum Response {
         /// Feedback cycles run so far.
         cycles: u32,
     },
-    /// Reply to [`Request::SnapshotStats`].
-    Stats(StatsSnapshot),
+    /// Reply to [`Request::SnapshotStats`]. Boxed: the snapshot (with
+    /// its per-downstream health rows) dwarfs every other variant, and
+    /// stats replies are far too rare to pay for inline.
+    Stats(Box<StatsSnapshot>),
     /// Reply to [`Request::Close`].
     Closed,
     /// Reply to [`Request::ShardKnn`]: the shard's exact local k-best,
@@ -493,8 +518,74 @@ pub enum Response {
     },
 }
 
-/// Serving metrics at one instant (the `0x84` body, fields in order).
+/// One downstream's circuit-breaker position in the router's health
+/// state machine (`Healthy → Suspect → Ejected → Probing → Healthy`),
+/// as carried in the `0x84` stats body. The numeric values are the
+/// normative wire encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u8)]
+pub enum HealthState {
+    /// Taking traffic; no recent consecutive failures.
+    #[default]
+    Healthy = 0,
+    /// Taking traffic, but at least one consecutive failure is on the
+    /// books — the state between the first failure and the trip.
+    Suspect = 1,
+    /// Removed from the scatter set; requests fast-degrade (or
+    /// fast-refuse under `Strict`) instead of paying `shard_timeout`.
+    Ejected = 2,
+    /// A re-admission probe is in flight; still out of the scatter set.
+    Probing = 3,
+}
+
+impl HealthState {
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            0 => HealthState::Healthy,
+            1 => HealthState::Suspect,
+            2 => HealthState::Ejected,
+            3 => HealthState::Probing,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HealthState::Healthy => write!(f, "healthy"),
+            HealthState::Suspect => write!(f, "suspect"),
+            HealthState::Ejected => write!(f, "ejected"),
+            HealthState::Probing => write!(f, "probing"),
+        }
+    }
+}
+
+/// Per-downstream health counters, one row of the `0x84` stats body's
+/// trailing health block (see the module docs for the normative
+/// layout). A plain shard server reports zero rows.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DownstreamHealth {
+    /// Downstream shard index.
+    pub shard: u32,
+    /// Current circuit-breaker state.
+    pub state: HealthState,
+    /// Times this downstream tripped from taking traffic to `Ejected`.
+    pub ejections: u64,
+    /// Times a probe sequence returned it to `Healthy` (tiling
+    /// re-validated, module re-pushed).
+    pub readmissions: u64,
+    /// Re-admission probes that failed (including tiling mismatches and
+    /// failed module pushes).
+    pub probe_failures: u64,
+    /// Scatters that skipped this downstream while it was ejected —
+    /// each one is a request that did **not** pay `shard_timeout` for
+    /// a dead shard.
+    pub fast_degrades: u64,
+}
+
+/// Serving metrics at one instant (the `0x84` body, fields in order).
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct StatsSnapshot {
     /// Client k-NN requests admitted to the scatter stage (each rides
     /// one pass per shard).
@@ -528,6 +619,32 @@ pub struct StatsSnapshot {
     pub hedges_won: u64,
     /// Degraded (surviving-subset) answers served.
     pub degraded_replies: u64,
+    /// Per-downstream health rows (router tier; empty on a shard
+    /// server) — state plus ejection/re-admission counters.
+    pub health: Vec<DownstreamHealth>,
+}
+
+impl StatsSnapshot {
+    /// Total scatter-set ejections across the downstreams.
+    pub fn ejections(&self) -> u64 {
+        self.health.iter().map(|h| h.ejections).sum()
+    }
+
+    /// Total probed re-admissions across the downstreams.
+    pub fn readmissions(&self) -> u64 {
+        self.health.iter().map(|h| h.readmissions).sum()
+    }
+
+    /// Total failed re-admission probes across the downstreams.
+    pub fn probe_failures(&self) -> u64 {
+        self.health.iter().map(|h| h.probe_failures).sum()
+    }
+
+    /// Total scatters that skipped an ejected downstream instead of
+    /// paying its `shard_timeout`.
+    pub fn fast_degrades(&self) -> u64 {
+        self.health.iter().map(|h| h.fast_degrades).sum()
+    }
 }
 
 /// Decode failure for a well-framed payload.
@@ -877,6 +994,15 @@ impl Response {
                 out.extend_from_slice(&s.hedges_fired.to_le_bytes());
                 out.extend_from_slice(&s.hedges_won.to_le_bytes());
                 out.extend_from_slice(&s.degraded_replies.to_le_bytes());
+                out.extend_from_slice(&(s.health.len() as u32).to_le_bytes());
+                for h in &s.health {
+                    out.extend_from_slice(&h.shard.to_le_bytes());
+                    out.push(h.state as u8);
+                    out.extend_from_slice(&h.ejections.to_le_bytes());
+                    out.extend_from_slice(&h.readmissions.to_le_bytes());
+                    out.extend_from_slice(&h.probe_failures.to_le_bytes());
+                    out.extend_from_slice(&h.fast_degrades.to_le_bytes());
+                }
             }
             Response::Closed => out.push(0x85),
             Response::ShardPartial { finished, entries } => {
@@ -954,22 +1080,38 @@ impl Response {
                 converged: r.u8()? != 0,
                 cycles: r.u32()?,
             },
-            0x84 => Response::Stats(StatsSnapshot {
-                requests: r.u64()?,
-                passes: r.u64()?,
-                shards: r.u64()?,
-                mean_batch_fill: r.f64()?,
-                queue_wait_p50_us: r.f64()?,
-                queue_wait_p99_us: r.f64()?,
-                sessions_open: r.u64()?,
-                protocol_errors: r.u64()?,
-                downstream_timeouts: r.u64()?,
-                downstream_retries: r.u64()?,
-                downstream_reconnects: r.u64()?,
-                hedges_fired: r.u64()?,
-                hedges_won: r.u64()?,
-                degraded_replies: r.u64()?,
-            }),
+            0x84 => {
+                let mut s = StatsSnapshot {
+                    requests: r.u64()?,
+                    passes: r.u64()?,
+                    shards: r.u64()?,
+                    mean_batch_fill: r.f64()?,
+                    queue_wait_p50_us: r.f64()?,
+                    queue_wait_p99_us: r.f64()?,
+                    sessions_open: r.u64()?,
+                    protocol_errors: r.u64()?,
+                    downstream_timeouts: r.u64()?,
+                    downstream_retries: r.u64()?,
+                    downstream_reconnects: r.u64()?,
+                    hedges_fired: r.u64()?,
+                    hedges_won: r.u64()?,
+                    degraded_replies: r.u64()?,
+                    health: Vec::new(),
+                };
+                let n = r.counted(37)?;
+                s.health.reserve(n);
+                for _ in 0..n {
+                    s.health.push(DownstreamHealth {
+                        shard: r.u32()?,
+                        state: HealthState::from_u8(r.u8()?).ok_or(DecodeError::Truncated)?,
+                        ejections: r.u64()?,
+                        readmissions: r.u64()?,
+                        probe_failures: r.u64()?,
+                        fast_degrades: r.u64()?,
+                    });
+                }
+                Response::Stats(Box::new(s))
+            }
             0x85 => Response::Closed,
             0x86 => {
                 let finished = r.u8()? != 0;
@@ -1253,7 +1395,7 @@ mod tests {
             converged: false,
             cycles: 20,
         });
-        roundtrip_resp(Response::Stats(StatsSnapshot {
+        roundtrip_resp(Response::Stats(Box::new(StatsSnapshot {
             requests: 100,
             passes: 12,
             shards: 4,
@@ -1268,7 +1410,42 @@ mod tests {
             hedges_fired: 7,
             hedges_won: 4,
             degraded_replies: 6,
-        }));
+            health: Vec::new(),
+        })));
+        // Router stats carry per-downstream health rows; every state
+        // must survive the trip.
+        roundtrip_resp(Response::Stats(Box::new(StatsSnapshot {
+            requests: 9,
+            shards: 4,
+            health: vec![
+                DownstreamHealth {
+                    shard: 0,
+                    state: HealthState::Healthy,
+                    ..Default::default()
+                },
+                DownstreamHealth {
+                    shard: 1,
+                    state: HealthState::Suspect,
+                    ejections: 1,
+                    readmissions: 1,
+                    probe_failures: 2,
+                    fast_degrades: 17,
+                },
+                DownstreamHealth {
+                    shard: 2,
+                    state: HealthState::Ejected,
+                    ejections: 3,
+                    ..Default::default()
+                },
+                DownstreamHealth {
+                    shard: 3,
+                    state: HealthState::Probing,
+                    probe_failures: 9,
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        })));
         roundtrip_resp(Response::Closed);
         roundtrip_resp(Response::ShardPartial {
             finished: false,

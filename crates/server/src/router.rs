@@ -37,12 +37,29 @@
 //! the first answer wins and the loser is suppressed. Hedging spends
 //! bounded extra downstream work to cut tail latency — it never
 //! changes an answer, only when it arrives.
+//!
+//! ## Downstream health tracking
+//!
+//! Every downstream carries a circuit breaker (see [`crate::health`]):
+//! call failures trip it `Healthy → Suspect → Ejected`, and an
+//! **ejected** shard leaves the scatter set up front — `Degraded`
+//! merges the survivors immediately with the shard in
+//! `missing_shards`, `Strict` refuses fast with `ShardUnavailable`;
+//! either way no request pays the shard's `shard_timeout` again. A
+//! background prober re-checks ejected shards with `ShardInfo` at
+//! exponentially backed-off intervals, and re-admission is earned:
+//! [`crate::HealthConfig::readmit_successes`] consecutive probe
+//! successes, a tiling re-validation against what startup accepted,
+//! and a fresh push of the learned module — only then does the shard
+//! take traffic again. The same prober also re-replicates the module
+//! to the healthy shards whenever a session commit updates it.
 
+use crate::health::HealthConfig;
 use crate::metrics::Metrics;
 use crate::pool::{control_call, Downstream, Job, PoolConfig};
 use crate::protocol::{
-    error_code_for, read_frame, write_frame, DecodeError, ErrorCode, FrameError, Request, Response,
-    DEFAULT_MAX_FRAME_LEN, KNN_DEGRADED, PROTOCOL_VERSION,
+    error_code_for, read_frame, write_frame, DecodeError, DownstreamHealth, ErrorCode, FrameError,
+    Request, Response, DEFAULT_MAX_FRAME_LEN, KNN_DEGRADED, PROTOCOL_VERSION,
 };
 use crate::sessions::{err, ExampleSets, SessionStore};
 use fbp_vecdb::{
@@ -59,7 +76,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::faults::FaultPlan;
+use crate::faults::{FaultMode, FaultPlan};
 
 /// Hedged-retry tuning: the hedge delay is the downstream's observed
 /// p99 call latency, clamped into `[min_delay, max_delay]` (and
@@ -119,6 +136,10 @@ pub struct RouterConfig {
     /// Scripted downstream faults for tests and smoke drills (`None` in
     /// production). See [`crate::faults`].
     pub faults: Option<Arc<FaultPlan>>,
+    /// Circuit-breaker tuning for the per-downstream health trackers:
+    /// ejection thresholds, probe cadence, re-admission quorum. See
+    /// [`crate::health`].
+    pub health: HealthConfig,
 }
 
 impl Default for RouterConfig {
@@ -137,13 +158,14 @@ impl Default for RouterConfig {
             write_timeout: Duration::from_secs(1),
             feedback: FeedbackConfig::default(),
             faults: None,
+            health: HealthConfig::default(),
         }
     }
 }
 
 /// Reply sink for one gathered request: either the policy-approved
 /// (possibly degraded) merge, or a ready-to-send error response.
-type GatherReply = Box<dyn FnOnce(Result<DegradedGather, Response>) + Send>;
+pub(crate) type GatherReply = Box<dyn FnOnce(Result<DegradedGather, Response>) + Send>;
 
 struct GatherState {
     /// Slot per downstream; `None` after delivery means the shard
@@ -179,7 +201,7 @@ pub(crate) struct RouterGather {
 
 impl RouterGather {
     #[allow(clippy::too_many_arguments)] // construction site is singular; a params struct would only rename the eight fields
-    fn new(
+    pub(crate) fn new(
         k: usize,
         metric: WeightedEuclidean,
         point: Vec<f64>,
@@ -329,6 +351,12 @@ struct RouterShared {
     gathers: Mutex<Vec<Arc<RouterGather>>>,
     next_conn: AtomicU64,
     shutdown: AtomicBool,
+    /// Module epoch, bumped by the session store's commit hook on every
+    /// successful learned-module insert.
+    module_epoch: Arc<AtomicU64>,
+    /// Last module epoch the prober finished replicating downstream;
+    /// trailing [`RouterShared::module_epoch`] means a fan-out is due.
+    replicated_epoch: AtomicU64,
 }
 
 impl RouterShared {
@@ -344,6 +372,18 @@ impl RouterShared {
             snap.hedges_won += ds.stats.hedges_won.load(Ordering::Relaxed);
         }
         snap.degraded_replies = self.degraded_replies.load(Ordering::Relaxed);
+        snap.health = self
+            .downstreams
+            .iter()
+            .map(|ds| DownstreamHealth {
+                shard: ds.shard as u32,
+                state: ds.health.state(),
+                ejections: ds.health.ejections.load(Ordering::Relaxed),
+                readmissions: ds.health.readmissions.load(Ordering::Relaxed),
+                probe_failures: ds.health.probe_failures.load(Ordering::Relaxed),
+                fast_degrades: ds.health.fast_degrades.load(Ordering::Relaxed),
+            })
+            .collect();
         snap
     }
 }
@@ -356,6 +396,7 @@ pub struct RouterHandle {
     shared: Arc<RouterShared>,
     accept: Option<JoinHandle<()>>,
     sweeper: Option<JoinHandle<()>>,
+    prober: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
@@ -439,12 +480,15 @@ impl RouterHandle {
         if let Some(h) = self.sweeper.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.prober.take() {
+            let _ = h.join();
+        }
     }
 }
 
 impl Drop for RouterHandle {
     fn drop(&mut self) {
-        if self.accept.is_some() || self.sweeper.is_some() {
+        if self.accept.is_some() || self.sweeper.is_some() || self.prober.is_some() {
             self.shutdown_inner();
         }
     }
@@ -476,6 +520,9 @@ pub fn route(
     // precondition of healthy-path bit-identity with in-process
     // sharding.
     let mut expected_offset: u64 = 0;
+    // The validated per-shard tiling, kept so re-admission probes can
+    // re-check a restarted shard against exactly what startup accepted.
+    let mut tilings: Vec<(u64, u64, u32)> = Vec::with_capacity(downstreams.len());
     for (shard, ds_addr) in downstreams.iter().enumerate() {
         let resp = control_call(
             ds_addr,
@@ -493,6 +540,7 @@ pub fn route(
                 )));
             }
         };
+        tilings.push((rows, offset, dim));
         if dim as usize != coll.dim() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
@@ -535,7 +583,14 @@ pub fn route(
         .iter()
         .enumerate()
         .map(|(shard, ds_addr)| {
-            Downstream::new(shard, *ds_addr, pool_cfg.clone(), cfg.faults.clone())
+            Downstream::new(
+                shard,
+                *ds_addr,
+                pool_cfg.clone(),
+                cfg.faults.clone(),
+                cfg.health.clone(),
+                tilings[shard],
+            )
         })
         .collect();
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
@@ -544,13 +599,23 @@ pub fn route(
     }
 
     let metrics = Arc::new(Metrics::new(pools.len() as u64));
+    let store = SessionStore::new(
+        Arc::clone(&coll),
+        bypass,
+        cfg.feedback.clone(),
+        Arc::clone(&metrics),
+    );
+    // Session commits dirty the module epoch; the prober thread fans
+    // the new module out to the healthy shards when it trails.
+    let module_epoch = Arc::new(AtomicU64::new(0));
+    store.set_commit_hook(Box::new({
+        let epoch = Arc::clone(&module_epoch);
+        move || {
+            epoch.fetch_add(1, Ordering::Release);
+        }
+    }));
     let shared = Arc::new(RouterShared {
-        store: SessionStore::new(
-            Arc::clone(&coll),
-            bypass,
-            cfg.feedback.clone(),
-            Arc::clone(&metrics),
-        ),
+        store,
         total_rows: coll.len(),
         cfg,
         downstreams: pools,
@@ -560,11 +625,17 @@ pub fn route(
         gathers: Mutex::new(Vec::new()),
         next_conn: AtomicU64::new(1),
         shutdown: AtomicBool::new(false),
+        module_epoch,
+        replicated_epoch: AtomicU64::new(0),
     });
 
     let sweeper = std::thread::spawn({
         let shared = Arc::clone(&shared);
         move || run_sweeper(&shared)
+    });
+    let prober = std::thread::spawn({
+        let shared = Arc::clone(&shared);
+        move || run_prober(&shared)
     });
 
     let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -597,6 +668,7 @@ pub fn route(
         shared,
         accept: Some(accept),
         sweeper: Some(sweeper),
+        prober: Some(prober),
         workers,
         conns,
     })
@@ -651,6 +723,123 @@ fn run_sweeper(shared: &Arc<RouterShared>) {
     }
 }
 
+/// Prober tick interval: how often ejected downstreams are checked for
+/// a due re-admission probe and a dirty module epoch for replication.
+const PROBE_TICK: Duration = Duration::from_millis(2);
+
+/// Background health maintenance: replicate a dirtied learned module to
+/// the healthy downstreams, and re-probe ejected ones at their
+/// backed-off schedule — the only path back into the scatter set.
+fn run_prober(shared: &Arc<RouterShared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(PROBE_TICK);
+        replicate_if_dirty(shared);
+        let now = Instant::now();
+        for ds in &shared.downstreams {
+            if ds.health.take_due_probe(now) {
+                probe_one(shared, ds);
+            }
+        }
+    }
+}
+
+/// One re-admission probe against an ejected downstream (the tracker
+/// just moved it `Ejected → Probing`): `ShardInfo` must answer **and**
+/// report exactly the tiling startup validated — a restarted shard
+/// serving different rows would silently break the key-space merge.
+/// When the success completes the re-admission quorum, the current
+/// learned module is re-pushed before the shard takes traffic; only
+/// then does it return to `Healthy`.
+fn probe_one(shared: &Arc<RouterShared>, ds: &Arc<Downstream>) {
+    let now = Instant::now();
+    // A scripted outage refuses control calls too (a dead host refuses
+    // every call class).
+    if matches!(ds.control_fault(), Some(FaultMode::Down { .. })) {
+        ds.health.probe_failed(now);
+        return;
+    }
+    let cfg = &shared.cfg;
+    let resp = control_call(
+        &ds.addr,
+        &Request::ShardInfo,
+        cfg.connect_timeout,
+        cfg.shard_timeout.max(Duration::from_millis(100)),
+        cfg.max_frame_len,
+    );
+    let tiling_ok = matches!(
+        resp,
+        Ok(Response::ShardInfoResult { rows, offset, dim }) if (rows, offset, dim) == ds.expected
+    );
+    if !tiling_ok {
+        ds.health.probe_failed(Instant::now());
+        return;
+    }
+    if !ds.health.probe_succeeded(Instant::now()) {
+        return; // below the re-admission quorum; the next probe continues the run
+    }
+    // Quorum reached: the restarted shard may hold a stale (or empty)
+    // module — push the router's current snapshot before any traffic.
+    let pushed = if matches!(ds.control_fault(), Some(FaultMode::Down { .. })) {
+        false
+    } else {
+        matches!(
+            control_call(
+                &ds.addr,
+                &Request::RestoreModule {
+                    image: shared.store.bypass().to_bytes(),
+                },
+                cfg.connect_timeout,
+                cfg.shard_timeout,
+                cfg.max_frame_len,
+            ),
+            Ok(Response::ModuleRestored)
+        )
+    };
+    if pushed {
+        ds.health.readmit();
+    } else {
+        ds.health.probe_failed(Instant::now());
+    }
+}
+
+/// Re-replicate the learned module to the healthy downstreams when a
+/// session commit has dirtied the epoch since the last fan-out. Shards
+/// out of the scatter set are skipped — re-admission pushes the module
+/// anyway — and a failed push feeds the shard's health tracker instead
+/// of being dropped.
+fn replicate_if_dirty(shared: &Arc<RouterShared>) {
+    let epoch = shared.module_epoch.load(Ordering::Acquire);
+    if epoch == shared.replicated_epoch.load(Ordering::Acquire) {
+        return;
+    }
+    let cfg = &shared.cfg;
+    let image = shared.store.bypass().to_bytes();
+    for ds in &shared.downstreams {
+        if !ds.health.admits_scatter() {
+            continue;
+        }
+        if matches!(ds.control_fault(), Some(FaultMode::Down { .. })) {
+            ds.health.record_failure(Instant::now());
+            continue;
+        }
+        let outcome = control_call(
+            &ds.addr,
+            &Request::RestoreModule {
+                image: image.clone(),
+            },
+            cfg.connect_timeout,
+            cfg.shard_timeout,
+            cfg.max_frame_len,
+        );
+        if !matches!(outcome, Ok(Response::ModuleRestored)) {
+            ds.health.record_failure(Instant::now());
+        }
+    }
+    // Commits that landed mid-fan-out leave the epoch ahead of what was
+    // read here, so the next tick replicates again.
+    shared.replicated_epoch.store(epoch, Ordering::Release);
+}
+
 /// Enqueue a hedge for every shard of `gather` that is past its
 /// downstream's hedge delay and still silent (at most once per shard).
 fn fire_due_hedges(
@@ -662,6 +851,11 @@ fn fire_due_hedges(
     for ds in &shared.downstreams {
         let shard = ds.shard;
         if gather.hedged[shard].load(Ordering::Relaxed) || gather.shard_resolved(shard) {
+            continue;
+        }
+        if !ds.health.admits_scatter() {
+            // An ejected shard's slot was (or will be) failed instantly;
+            // a hedge would only queue a job that bails.
             continue;
         }
         let delay = ds
@@ -839,7 +1033,7 @@ fn handle_request(
         Request::Feedback { session, relevant } => {
             Some(shared.store.feedback(conn_id, session, relevant))
         }
-        Request::SnapshotStats => Some(Response::Stats(shared.stats())),
+        Request::SnapshotStats => Some(Response::Stats(Box::new(shared.stats()))),
         Request::Close { session } => {
             let removed = shared.store.close(session, conn_id);
             owned.retain(|&id| id != session);
@@ -916,6 +1110,29 @@ fn handle_router_knn(
         }
     };
 
+    // Ejected shards are out of the scatter set up front (the
+    // fast-degrade rule): under `Strict` the request is refused here —
+    // no downstream work, no `shard_timeout` paid — and under
+    // `Degraded` their slots fail instantly below so the survivors
+    // merge immediately.
+    let ejected: Vec<usize> = shared
+        .downstreams
+        .iter()
+        .filter(|ds| !ds.health.admits_scatter())
+        .map(|ds| ds.shard)
+        .collect();
+    if !ejected.is_empty() && shared.cfg.policy == FailurePolicy::Strict {
+        for ds in &shared.downstreams {
+            if !ds.health.admits_scatter() {
+                ds.health.note_fast_degrade();
+            }
+        }
+        return Some(err(
+            ErrorCode::ShardUnavailable,
+            format!("shards {ejected:?} ejected from the scatter set"),
+        ));
+    }
+
     if shared.inflight.fetch_add(1, Ordering::AcqRel) >= shared.cfg.queue_capacity {
         shared.inflight.fetch_sub(1, Ordering::AcqRel);
         return Some(err(ErrorCode::Busy, "router queue full"));
@@ -966,10 +1183,23 @@ fn handle_router_knn(
         .expect("gathers lock")
         .push(Arc::clone(&gather));
     for ds in &shared.downstreams {
-        ds.enqueue(Job {
-            gather: Arc::clone(&gather),
-            hedge: false,
-        });
+        if ds.health.admits_scatter() {
+            ds.enqueue(Job {
+                gather: Arc::clone(&gather),
+                hedge: false,
+            });
+        } else {
+            // Fast degrade: the ejected shard's slot fails instantly —
+            // the survivors merge as soon as they answer, with the
+            // shard reported in `missing_shards`, instead of every
+            // request paying the full `shard_timeout` for a shard known
+            // to be dead.
+            ds.health.note_fast_degrade();
+            gather.complete_shard(
+                ds.shard,
+                Err(format!("shard {} ejected from the scatter set", ds.shard)),
+            );
+        }
     }
     None
 }

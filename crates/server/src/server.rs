@@ -508,9 +508,9 @@ fn handle_request(
         Request::Feedback { session, relevant } => {
             Some(shared.store.feedback(conn_id, session, relevant))
         }
-        Request::SnapshotStats => Some(Response::Stats(
+        Request::SnapshotStats => Some(Response::Stats(Box::new(
             shared.metrics.snapshot(shared.store.count()),
-        )),
+        ))),
         Request::Close { session } => {
             let removed = shared.store.close(session, conn_id);
             owned.retain(|&id| id != session);

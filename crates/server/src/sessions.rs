@@ -81,6 +81,11 @@ pub(crate) struct SessionStore {
     metrics: Arc<Metrics>,
     sessions: Mutex<HashMap<u64, Session>>,
     next_session: AtomicU64,
+    /// Fired after every successful module commit (insert) — the router
+    /// hangs its replication trigger here so the downstream shards learn
+    /// what the session tier learned without an explicit
+    /// `replicate_module` call.
+    commit_hook: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
 }
 
 impl SessionStore {
@@ -97,7 +102,14 @@ impl SessionStore {
             metrics,
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
+            commit_hook: Mutex::new(None),
         }
+    }
+
+    /// Install the post-commit hook (at most one; the router sets it
+    /// once at startup, before serving).
+    pub(crate) fn set_commit_hook(&self, hook: Box<dyn Fn() + Send + Sync>) {
+        *self.commit_hook.lock().expect("hook lock") = Some(hook);
     }
 
     /// The served collection.
@@ -353,8 +365,15 @@ impl SessionStore {
     /// nothing new), and best-effort: an out-of-domain anchor cannot be
     /// learned, but serving it was still correct.
     fn commit_parameters(&self, aq: &ActiveQuery) {
-        if aq.cycles > 0 {
-            let _ = self.bypass.insert(&aq.anchor, &aq.point, &aq.weights);
+        if aq.cycles > 0
+            && self
+                .bypass
+                .insert(&aq.anchor, &aq.point, &aq.weights)
+                .is_ok()
+        {
+            if let Some(hook) = self.commit_hook.lock().expect("hook lock").as_ref() {
+                hook();
+            }
         }
     }
 }

@@ -13,7 +13,7 @@
 
 use fbp_server::{
     route, serve, Client, ClientError, ErrorCode, FailurePolicy, FaultMode, FaultPlan, FaultRule,
-    HedgeConfig, RouterConfig, RouterHandle, ServerConfig, ServerHandle,
+    HealthConfig, HealthState, HedgeConfig, RouterConfig, RouterHandle, ServerConfig, ServerHandle,
 };
 use fbp_vecdb::{
     Collection, CollectionBuilder, KnnEngine, LinearScan, Neighbor, ScanMode, WeightedEuclidean,
@@ -88,6 +88,25 @@ fn start_router(
         ..Default::default()
     };
     route("127.0.0.1:0", addrs, Arc::clone(coll), bypass, cfg).unwrap()
+}
+
+/// Poll `cond` against the router's stats until it holds or `budget`
+/// runs out; returns whether it held.
+fn wait_for(
+    router: &RouterHandle,
+    budget: Duration,
+    cond: impl Fn(&fbp_server::StatsSnapshot) -> bool,
+) -> bool {
+    let deadline = Instant::now() + budget;
+    loop {
+        if cond(&router.stats()) {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
 }
 
 fn query(i: usize) -> Vec<f64> {
@@ -443,6 +462,360 @@ fn module_replication_reaches_every_shard() {
             installed,
             "wire restore did not replicate to {addr}"
         );
+    }
+    router.shutdown();
+}
+
+/// The acceptance pin for circuit-breaking ejection: with one shard
+/// black-holed under `Degraded { min_shards: 1 }`, the first couple of
+/// requests pay the shard timeout, the breaker trips, and steady-state
+/// latency drops back within 2× the healthy-cluster worst case — every
+/// post-ejection reply still degraded, naming the shard, and equal to
+/// the surviving-shard oracle.
+#[test]
+fn ejection_restores_near_healthy_latency_under_a_black_holed_shard() {
+    let coll = Arc::new(collection());
+    let (_shards, addrs) = start_shards(&coll);
+    let timeout = Duration::from_millis(200);
+    const WARMUP: u64 = 8;
+    let plan = FaultPlan::new(17).rule(FaultRule {
+        shard: Some(1),
+        after_calls: WARMUP,
+        call_limit: None,
+        probability: 1.0,
+        mode: FaultMode::BlackHole,
+    });
+    let cfg = RouterConfig {
+        shard_timeout: timeout,
+        policy: FailurePolicy::Degraded { min_shards: 1 },
+        // No hedging: hedge legs would consume fault-plan call indices
+        // and blur the scripted healthy/black-holed boundary.
+        hedge: None,
+        faults: Some(Arc::new(plan)),
+        health: HealthConfig {
+            consecutive_failures: 2,
+            // Keep the shard out for the whole test: a probe would
+            // succeed (the host is alive, only its scatter calls are
+            // black-holed) and re-admit it into the next black hole.
+            probe_interval: Duration::from_secs(60),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let router = route(
+        "127.0.0.1:0",
+        &addrs,
+        Arc::clone(&coll),
+        shared_module(),
+        cfg,
+    )
+    .unwrap();
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    let (session, _) = client.open_session().unwrap();
+
+    // Phase 1 — healthy cluster: measure the worst healthy latency.
+    let mut healthy_max = Duration::ZERO;
+    for i in 0..WARMUP as usize {
+        let started = Instant::now();
+        let reply = client.knn(session, 10, &query(i)).unwrap();
+        healthy_max = healthy_max.max(started.elapsed());
+        assert!(!reply.degraded, "warm-up request {i} must be healthy");
+    }
+
+    // Phase 2 — the black hole starts: exactly two requests pay the
+    // shard timeout before the consecutive-failure trip ejects shard 1.
+    for i in 0..2 {
+        let reply = client.knn(session, 10, &query(100 + i)).unwrap();
+        assert!(reply.degraded, "black-holed request {i} degrades");
+        assert_eq!(reply.missing_shards, vec![1]);
+    }
+    assert!(
+        wait_for(&router, Duration::from_secs(2), |s| s.ejections() >= 1),
+        "the breaker never tripped: {:?}",
+        router.stats()
+    );
+
+    // Phase 3 — steady state: no request pays the shard timeout again.
+    // The 2× bound is the acceptance criterion; the floor keeps a
+    // microsecond-fast healthy baseline from turning scheduler noise
+    // into flakes.
+    let budget = 2 * healthy_max.max(Duration::from_millis(25));
+    for i in 0..10 {
+        let q = query(200 + i);
+        let started = Instant::now();
+        let reply = client.knn(session, 10, &q).unwrap();
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < budget,
+            "post-ejection request {i} took {elapsed:?}, budget {budget:?} \
+             (healthy max {healthy_max:?})"
+        );
+        assert!(reply.degraded, "ejected shard still reported");
+        assert_eq!(reply.missing_shards, vec![1]);
+        let oracle = surviving_oracle(&coll, &[0, 2], &q, 10);
+        assert_neighbors_identical(&reply.neighbors, &oracle, &format!("fast-degrade {i}"));
+    }
+
+    let stats = router.stats();
+    assert_eq!(stats.ejections(), 1, "exactly one trip: {stats:?}");
+    assert!(stats.fast_degrades() >= 10, "fast degrades: {stats:?}");
+    let row = stats.health.iter().find(|h| h.shard == 1).unwrap();
+    assert_eq!(row.state, HealthState::Ejected);
+    assert!(
+        stats
+            .health
+            .iter()
+            .filter(|h| h.shard != 1)
+            .all(|h| h.state == HealthState::Healthy),
+        "survivors stay healthy: {stats:?}"
+    );
+    router.shutdown();
+}
+
+/// `Strict` under ejection: once the breaker trips, requests are
+/// refused **up front** with the typed `ShardUnavailable` error — no
+/// downstream work, no shard timeout paid.
+#[test]
+fn strict_refuses_fast_once_ejected() {
+    let coll = Arc::new(collection());
+    let (_shards, addrs) = start_shards(&coll);
+    let timeout = Duration::from_millis(200);
+    let plan = FaultPlan::new(29).rule(FaultRule::always(2, FaultMode::BlackHole));
+    let cfg = RouterConfig {
+        shard_timeout: timeout,
+        policy: FailurePolicy::Strict,
+        hedge: None,
+        faults: Some(Arc::new(plan)),
+        health: HealthConfig {
+            consecutive_failures: 1,
+            probe_interval: Duration::from_secs(60),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let router = route(
+        "127.0.0.1:0",
+        &addrs,
+        Arc::clone(&coll),
+        shared_module(),
+        cfg,
+    )
+    .unwrap();
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    let (session, _) = client.open_session().unwrap();
+
+    // First request pays the timeout and trips the breaker.
+    match client.knn(session, 10, &query(0)) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::ShardUnavailable),
+        other => panic!("expected ShardUnavailable, got {other:?}"),
+    }
+    assert!(
+        wait_for(&router, Duration::from_secs(2), |s| s.ejections() >= 1),
+        "breaker never tripped: {:?}",
+        router.stats()
+    );
+
+    // Every later request is refused up front, far under the timeout.
+    for i in 0..5 {
+        let started = Instant::now();
+        let outcome = client.knn(session, 10, &query(1 + i));
+        let elapsed = started.elapsed();
+        match outcome {
+            Err(ClientError::Server { code, message }) => {
+                assert_eq!(code, ErrorCode::ShardUnavailable);
+                assert!(message.contains("[2]"), "error names the shard: {message}");
+                assert!(message.contains("ejected"), "fast path message: {message}");
+            }
+            other => panic!("expected fast ShardUnavailable, got {other:?}"),
+        }
+        assert!(
+            elapsed < timeout / 2,
+            "fast refusal {i} took {elapsed:?} against a {timeout:?} timeout"
+        );
+    }
+    assert!(router.stats().fast_degrades() >= 5);
+    router.shutdown();
+}
+
+/// The full scripted lifecycle the `Down` fault mode exists for:
+/// outage → ejection → backed-off probing (refused while down) →
+/// restart → probe quorum → module re-push → re-admission — ending with
+/// replies bit-identical to the healthy all-shards oracle and the
+/// re-admitted shard serving the router's current module snapshot.
+#[test]
+fn outage_ejection_restart_readmission_round_trip() {
+    let coll = Arc::new(collection());
+    let (_shards, addrs) = start_shards(&coll);
+    let bypass = shared_module();
+    let timeout = Duration::from_millis(100);
+    // Calls 0-1 healthy; calls 2-7 refused (the outage); calls 8+ serve
+    // again (the "restart"). Scatter and control calls share the
+    // counter, so the ejection's probes burn through the outage window
+    // deterministically.
+    let plan = FaultPlan::new(23).rule(FaultRule {
+        shard: Some(1),
+        after_calls: 2,
+        call_limit: None,
+        probability: 1.0,
+        mode: FaultMode::Down { calls: 6 },
+    });
+    let cfg = RouterConfig {
+        shard_timeout: timeout,
+        policy: FailurePolicy::Degraded { min_shards: 1 },
+        hedge: None,
+        faults: Some(Arc::new(plan)),
+        health: HealthConfig {
+            consecutive_failures: 2,
+            // Disable the rate trip so ejection happens on exactly the
+            // scripted consecutive run.
+            failure_rate: 1.1,
+            probe_interval: Duration::from_millis(20),
+            probe_backoff_max: Duration::from_millis(100),
+            readmit_successes: 2,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let router = route(
+        "127.0.0.1:0",
+        &addrs,
+        Arc::clone(&coll),
+        bypass.clone(),
+        cfg,
+    )
+    .unwrap();
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    let (session, _) = client.open_session().unwrap();
+
+    // Healthy prelude (shard-1 calls 0 and 1).
+    for i in 0..2 {
+        let reply = client.knn(session, 10, &query(i)).unwrap();
+        assert!(!reply.degraded, "prelude request {i}");
+    }
+    // Teach the router's module something while shard 1 is about to
+    // die: re-admission must deliver exactly this snapshot.
+    bypass.insert(&hist(1), &hist(2), &[1.0; DIM]).unwrap();
+
+    // Outage: two refused calls trip the breaker.
+    for i in 0..2 {
+        let reply = client.knn(session, 10, &query(50 + i)).unwrap();
+        assert!(reply.degraded, "outage request {i} degrades");
+        assert_eq!(reply.missing_shards, vec![1]);
+    }
+
+    // The prober now burns through the outage window (each refused
+    // probe backs off and counts), sees the restarted shard, earns the
+    // quorum, re-validates tiling, re-pushes the module, and re-admits.
+    assert!(
+        wait_for(&router, Duration::from_secs(15), |s| {
+            s.health
+                .iter()
+                .any(|h| h.shard == 1 && h.readmissions >= 1 && h.state == HealthState::Healthy)
+        }),
+        "shard 1 never re-admitted: {:?}",
+        router.stats()
+    );
+
+    // Post-restart: replies are full and bit-identical to the healthy
+    // all-shards oracle again.
+    for i in 0..3 {
+        let q = query(80 + i);
+        let reply = client.knn(session, 10, &q).unwrap();
+        assert!(!reply.degraded, "post-readmission request {i}");
+        assert!(reply.missing_shards.is_empty());
+        let oracle = surviving_oracle(&coll, &[0, 1, 2], &q, 10);
+        assert_neighbors_identical(&reply.neighbors, &oracle, &format!("post-readmission {i}"));
+    }
+
+    // The re-admitted shard serves the router's current module
+    // snapshot — a restarted (possibly wiped) shard must never serve
+    // stale learned state.
+    let router_image = Client::connect(router.local_addr())
+        .unwrap()
+        .snapshot_module()
+        .unwrap();
+    let shard_image = Client::connect(addrs[1])
+        .unwrap()
+        .snapshot_module()
+        .unwrap();
+    assert_eq!(
+        shard_image, router_image,
+        "re-admission must re-push the learned module"
+    );
+
+    let stats = router.stats();
+    assert!(stats.ejections() >= 1, "ejections: {stats:?}");
+    assert!(stats.readmissions() >= 1, "readmissions: {stats:?}");
+    assert!(
+        stats.probe_failures() >= 1,
+        "refused probes must be counted: {stats:?}"
+    );
+    router.shutdown();
+}
+
+/// Satellite: the learned module now replicates on session commit — a
+/// feedback loop that converges at the router reaches every shard
+/// without an explicit `replicate_module` call.
+#[test]
+fn session_commit_replicates_module_automatically() {
+    let coll = Arc::new(collection());
+    let (_shards, addrs) = start_shards(&coll);
+    let router = start_router(
+        &addrs,
+        &coll,
+        shared_module(),
+        FailurePolicy::Strict,
+        Duration::from_secs(2),
+        None,
+    );
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    let initial_image = client.snapshot_module().unwrap();
+    let (session, _) = client.open_session().unwrap();
+
+    // Drive one interactive query to completion. The anchor is a
+    // normalized histogram, so the commit's module insert is in-domain.
+    let q = hist(5);
+    let mut committed = false;
+    for _ in 0..20 {
+        let reply = client.knn(session, 10, &q).unwrap();
+        if reply.done {
+            committed = reply.cycles > 0;
+            break;
+        }
+        let relevant: Vec<u32> = reply
+            .neighbors
+            .iter()
+            .filter(|n| n.index % 3 == 0)
+            .map(|n| n.index)
+            .collect();
+        let fa = client.feedback(session, &relevant).unwrap();
+        if fa.done {
+            committed = fa.cycles > 0;
+            break;
+        }
+    }
+    assert!(committed, "the query must finish with feedback cycles run");
+
+    let router_image = client.snapshot_module().unwrap();
+    assert_ne!(
+        router_image, initial_image,
+        "the commit must have changed the router's module"
+    );
+    // No replicate_module call: the commit hook + prober fan the new
+    // module out on their own.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    for addr in &addrs {
+        let mut shard_client = Client::connect(*addr).unwrap();
+        loop {
+            if shard_client.snapshot_module().unwrap() == router_image {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "shard at {addr} never received the committed module"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
     }
     router.shutdown();
 }

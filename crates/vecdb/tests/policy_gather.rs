@@ -165,6 +165,62 @@ proptest! {
         }
     }
 
+    // Ejection at the router models a dead shard as a slot failed
+    // *instantly* — at this layer, exactly a `None` partial. For any
+    // ejected subset and any `min_shards` floor: enough survivors must
+    // merge bit-identically to the surviving-shard oracle with the
+    // ejected shards reported, too few must refuse with a typed error
+    // naming them — across all four distance classes × both precisions.
+    #[test]
+    fn ejected_shards_degrade_to_oracle_or_refuse_at_the_floor(
+        points in points_strategy(),
+        q in prop::collection::vec(0.0..1.0f64, DIM),
+        shards in 2usize..5,
+        mask_seed in 0u32..(1 << 4),
+        min_shards in 1usize..5,
+        k in 1usize..12,
+    ) {
+        let coll = build_collection(&points);
+        let sharded = ShardedCollection::split(&coll, shards);
+        let min_shards = 1 + (min_shards - 1) % shards;
+        let mask: Vec<bool> = (0..shards).map(|s| mask_seed & (1 << s) != 0).collect();
+        let survivors = mask.iter().filter(|&&a| a).count();
+        let rows = surviving_rows(coll.len(), shards, &mask);
+        let ejected: Vec<u32> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| !a)
+            .map(|(s, _)| s as u32)
+            .collect();
+        for dist in distance_classes() {
+            for precision in [Precision::F64, Precision::F32Rescore] {
+                let partials =
+                    scatter_with_failures(&sharded, &q, k, dist.as_ref(), precision, &mask);
+                let outcome = merge_partials_policy(
+                    &partials,
+                    k,
+                    dist.as_ref(),
+                    FailurePolicy::Degraded { min_shards },
+                );
+                if survivors >= min_shards {
+                    let gathered = outcome.expect("survivors meet the floor");
+                    prop_assert_eq!(&gathered.missing_shards, &ejected);
+                    prop_assert_eq!(gathered.is_degraded(), !ejected.is_empty());
+                    let oracle = flat_oracle(&coll, &rows, &q, k, dist.as_ref(), precision);
+                    prop_assert_eq!(
+                        &gathered.neighbors, &oracle,
+                        "{} at {:?}: ejection merge diverged from the surviving oracle",
+                        dist.name(), precision
+                    );
+                } else {
+                    let refused = outcome.expect_err("too few survivors for the floor");
+                    prop_assert_eq!(&refused.missing_shards, &ejected);
+                    prop_assert_eq!(refused.survivors, survivors);
+                }
+            }
+        }
+    }
+
     // Strict gathers with any missing shard always refuse, and the
     // error names exactly the missing shards; with every shard present
     // Strict merges like the plain gather.

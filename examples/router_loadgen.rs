@@ -3,7 +3,7 @@
 //! driving full interactive feedback sessions through the stack —
 //! first healthy, then under an injected partial failure.
 //!
-//! Three phases, each an executable claim from the partial-failure
+//! Four phases, each an executable claim from the partial-failure
 //! policy (`ARCHITECTURE.md`, "router tier"):
 //!
 //! 1. **healthy** — the router answers bit-identically to a flat
@@ -15,15 +15,21 @@
 //!    answers, and the robustness counters record all of it;
 //! 3. **deterministic degradation** — with the same shard black-holed
 //!    on every call, a probe reply carries the degraded flag, names the
-//!    missing shard, and equals the surviving-shard oracle exactly.
+//!    missing shard, and equals the surviving-shard oracle exactly;
+//! 4. **crash and restart** — one shard *server* is killed for real
+//!    mid-burst (a process outage, not an injected fault): every
+//!    in-flight request still resolves, the circuit breaker ejects the
+//!    dead shard so later requests stop paying its timeout, and once
+//!    the server rebinds on the same address the background prober
+//!    re-admits it — restoring answers bit-identical to the flat scan.
 //!
 //! Run with: `cargo run --release --example router_loadgen`
 //! (`FBP_BENCH_FAST=1` for the short CI smoke burst.)
 
 use fbp_server::{
     route, run_loadgen, serve, Client, FailurePolicy, FaultMode, FaultPlan, FaultRule,
-    LoadgenOptions, LoadgenReport, RouterConfig, RouterHandle, ServerConfig, ServerHandle,
-    PROTOCOL_VERSION,
+    HealthConfig, HealthState, LoadgenOptions, LoadgenReport, RouterConfig, RouterHandle,
+    ServerConfig, ServerHandle, PROTOCOL_VERSION,
 };
 use fbp_vecdb::{
     CategoryId, Collection, CollectionBuilder, KnnEngine, LinearScan, Neighbor, ScanMode,
@@ -34,7 +40,8 @@ use feedbackbypass::{
 };
 use std::net::SocketAddr;
 use std::sync::Arc;
-use std::time::Duration;
+use std::thread;
+use std::time::{Duration, Instant};
 
 const DIM: usize = 32;
 const K: u32 = 20;
@@ -107,6 +114,7 @@ fn start_router(
     coll: &Arc<Collection>,
     policy: FailurePolicy,
     faults: Option<FaultPlan>,
+    health: HealthConfig,
 ) -> RouterHandle {
     let cfg = RouterConfig {
         shard_timeout: Duration::from_millis(150),
@@ -117,6 +125,7 @@ fn start_router(
             ..Default::default()
         },
         faults: faults.map(Arc::new),
+        health,
         ..Default::default()
     };
     route("127.0.0.1:0", addrs, Arc::clone(coll), shared_module(), cfg).expect("bind router")
@@ -157,13 +166,26 @@ fn surviving_oracle(coll: &Collection, surviving: &[usize], q: &[f64], k: usize)
 }
 
 fn run_burst(addr: SocketAddr, coll: &Arc<Collection>, queries: &[Vec<f64>]) -> LoadgenReport {
-    let opts = LoadgenOptions {
-        sessions: 8,
-        queries_per_session: if fast() { 2 } else { 6 },
-        k: K,
-        think_time: Duration::from_millis(2),
-        max_rounds: 32,
-    };
+    run_burst_with(
+        addr,
+        coll,
+        queries,
+        LoadgenOptions {
+            sessions: 8,
+            queries_per_session: if fast() { 2 } else { 6 },
+            k: K,
+            think_time: Duration::from_millis(2),
+            max_rounds: 32,
+        },
+    )
+}
+
+fn run_burst_with(
+    addr: SocketAddr,
+    coll: &Arc<Collection>,
+    queries: &[Vec<f64>],
+    opts: LoadgenOptions,
+) -> LoadgenReport {
     let coll_ref = Arc::clone(coll);
     let judge = move |qi: usize, ids: &[u32]| -> Vec<u32> {
         let cat = coll_ref.label(qi);
@@ -193,7 +215,7 @@ fn main() {
     let n = if fast() { 1_500 } else { 6_000 };
     eprintln!("building {n} × {DIM}-d labelled collection (+f32 mirror)...");
     let coll = Arc::new(collection(n));
-    let (shard_handles, addrs) = start_shards(&coll);
+    let (mut shard_handles, addrs) = start_shards(&coll);
     let queries: Vec<Vec<f64>> = (0..8 * 6).map(|i| coll.vector(i).to_vec()).collect();
 
     println!("fbp-server router loadgen: {n} × {DIM}-d over {SHARDS} loopback shards, k = {K}\n");
@@ -204,7 +226,13 @@ fn main() {
 
     // Phase 1 — healthy router: full burst, zero degradation, and a
     // probe bit-identical to the flat in-process scan.
-    let healthy = start_router(&addrs, &coll, FailurePolicy::Strict, None);
+    let healthy = start_router(
+        &addrs,
+        &coll,
+        FailurePolicy::Strict,
+        None,
+        HealthConfig::default(),
+    );
     let r1 = run_burst(healthy.local_addr(), &coll, &queries);
     print_report("healthy", &r1);
     assert_eq!(
@@ -304,6 +332,7 @@ fn main() {
         &coll,
         FailurePolicy::Degraded { min_shards: 2 },
         Some(plan),
+        HealthConfig::default(),
     );
     let r2 = run_burst(faulted.local_addr(), &coll, &queries);
     print_report("shard 1 flaky", &r2);
@@ -336,6 +365,7 @@ fn main() {
         &coll,
         FailurePolicy::Degraded { min_shards: 2 },
         Some(always),
+        HealthConfig::default(),
     );
     {
         let mut probe = Client::connect(dead.local_addr()).expect("probe client");
@@ -355,6 +385,171 @@ fn main() {
     assert!(dead_stats.downstream_timeouts > 0);
     assert_eq!(dead_stats.degraded_replies, 1);
     dead.shutdown();
+
+    // Phase 4 — crash and restart: kill shard 1's *server* mid-burst (a
+    // real process outage — connections die, the port goes dark), then
+    // bring it back on the same address. The breaker must eject it so
+    // requests stop paying its timeout, and the prober must re-admit
+    // the restarted server after its tiling re-validates.
+    let health = HealthConfig {
+        consecutive_failures: 2,
+        probe_interval: Duration::from_millis(25),
+        probe_backoff_max: Duration::from_millis(200),
+        readmit_successes: 2,
+        ..Default::default()
+    };
+    let crash = start_router(
+        &addrs,
+        &coll,
+        FailurePolicy::Degraded { min_shards: 2 },
+        None,
+        health,
+    );
+    let crash_addr = crash.local_addr();
+    // A slower, longer burst than the other phases: it must comfortably
+    // outlive the kill *and* the victim's connection-drain window, so
+    // the outage provably overlaps in-flight traffic.
+    let burst = {
+        let coll = Arc::clone(&coll);
+        let opts = LoadgenOptions {
+            sessions: 8,
+            queries_per_session: if fast() { 4 } else { 12 },
+            k: K,
+            think_time: Duration::from_millis(10),
+            max_rounds: 32,
+        };
+        let pool: Vec<Vec<f64>> = (0..opts.sessions * opts.queries_per_session)
+            .map(|i| coll.vector(i).to_vec())
+            .collect();
+        thread::spawn(move || run_burst_with(crash_addr, &coll, &pool, opts))
+    };
+    thread::sleep(Duration::from_millis(30));
+    let victim = shard_handles.remove(1);
+    victim.shutdown(); // the outage: shard 1 is gone mid-burst
+    let r4 = burst.join().expect("burst thread");
+    print_report("shard 1 killed", &r4);
+    assert_eq!(
+        r4.server.requests, r4.searches,
+        "an in-flight request hung or vanished across the crash"
+    );
+    assert!(
+        r4.degraded > 0,
+        "the kill must land mid-burst and degrade in-flight traffic"
+    );
+
+    // Keep traffic flowing until the breaker trips (the burst may have
+    // drained before enough post-crash failures accumulated), then pin
+    // the fast-degrade path: no request pays the dead shard's timeout.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while crash.stats().ejections() == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "breaker never ejected the killed shard"
+        );
+        let mut trip = Client::connect(crash_addr).expect("tripper client");
+        let (s, _) = trip.open_session().expect("open tripper session");
+        let _ = trip.knn(s, 5, &probe_query());
+        trip.close_session(s).expect("close tripper session");
+    }
+    let shard_budget = Duration::from_millis(150); // the timeout ejection stops charging
+    {
+        let mut probe = Client::connect(crash_addr).expect("probe client");
+        let (session, _) = probe.open_session().expect("open session");
+        let q = probe_query();
+        for _ in 0..10 {
+            let t0 = Instant::now();
+            let reply = probe.knn(session, 10, &q).expect("post-ejection knn");
+            let took = t0.elapsed();
+            assert!(
+                took < shard_budget,
+                "post-ejection request took {took:?} — the dead shard is still being waited on"
+            );
+            assert!(reply.degraded, "the ejected shard must flag the reply");
+            assert_eq!(reply.missing_shards, vec![1]);
+            assert_eq!(
+                reply.neighbors,
+                surviving_oracle(&coll, &[0, 2], &q, 10),
+                "post-ejection answer diverged from the surviving-shard oracle"
+            );
+        }
+        probe.close_session(session).expect("close probe session");
+    }
+
+    // The restart: rebind shard 1 on its old address (retry briefly —
+    // the freed port can linger a moment after shutdown) and wait for
+    // the prober to re-validate its tiling and re-admit it.
+    let (start, _) = shard_range(coll.len(), 1);
+    let restarted = {
+        let slice = Arc::new(coll.slice_rows(start, shard_range(coll.len(), 1).1));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let cfg = ServerConfig {
+                row_offset: start,
+                ..Default::default()
+            };
+            match serve(addrs[1], Arc::clone(&slice), shared_module(), cfg) {
+                Ok(h) => break h,
+                Err(e) => {
+                    assert!(Instant::now() < deadline, "could not rebind shard 1: {e}");
+                    thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    };
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let s = crash.stats();
+        let row = s
+            .health
+            .iter()
+            .find(|h| h.shard == 1)
+            .expect("shard 1 health row");
+        if row.readmissions > 0 && row.state == HealthState::Healthy {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "prober never re-admitted the restarted shard (state {:?})",
+            row.state
+        );
+        thread::sleep(Duration::from_millis(10));
+    }
+    {
+        let mut probe = Client::connect(crash_addr).expect("probe client");
+        let (session, _) = probe.open_session().expect("open session");
+        let q = probe_query();
+        let reply = probe.knn(session, 10, &q).expect("post-restart knn");
+        assert!(
+            !reply.degraded,
+            "a re-admitted shard must restore full answers"
+        );
+        assert!(reply.missing_shards.is_empty());
+        let expect = LinearScan::with_mode(&coll, ScanMode::Batched).knn(
+            &q,
+            10,
+            &WeightedEuclidean::uniform(DIM),
+        );
+        assert_eq!(
+            reply.neighbors, expect,
+            "post-restart answer diverged from the flat scan"
+        );
+        probe.close_session(session).expect("close probe session");
+    }
+    let crash_stats = crash.stats();
+    assert!(crash_stats.ejections() >= 1);
+    assert!(crash_stats.readmissions() >= 1);
+    assert!(crash_stats.fast_degrades() >= 10);
+    crash.shutdown();
+    shard_handles.insert(1, restarted);
+    println!(
+        "{:<16} crash survived: {} ejection(s), {} probe failure(s), {} fast degrade(s), \
+         {} re-admission(s); post-restart answers bit-identical to flat",
+        "kill + restart",
+        crash_stats.ejections(),
+        crash_stats.probe_failures(),
+        crash_stats.fast_degrades(),
+        crash_stats.readmissions(),
+    );
 
     for h in shard_handles {
         h.shutdown(); // joins every thread — returning IS the clean-shutdown proof

@@ -105,6 +105,7 @@ fn run_config(
     queries: &[Vec<f64>],
     max_batch: usize,
     shards: usize,
+    trace: bool,
 ) -> (LoadgenReport, u64) {
     // Fresh module per configuration: both runs do identical learning
     // work starting from the same blank state.
@@ -131,6 +132,7 @@ fn run_config(
         k: K as u32,
         think_time: THINK,
         max_rounds: 64,
+        trace,
     };
     let coll_ref = Arc::clone(coll);
     let judge = move |qi: usize, ids: &[u32]| -> Vec<u32> {
@@ -174,8 +176,8 @@ fn main() {
     let mut batched_runs: Vec<(LoadgenReport, u64)> = Vec::new();
     let mut no_batch_runs: Vec<(LoadgenReport, u64)> = Vec::new();
     for _ in 0..reps {
-        batched_runs.push(run_config(&coll, &queries, max_batch(), 1));
-        no_batch_runs.push(run_config(&coll, &queries, 1, 1));
+        batched_runs.push(run_config(&coll, &queries, max_batch(), 1, false));
+        no_batch_runs.push(run_config(&coll, &queries, 1, 1, false));
     }
     let median = |runs: &mut Vec<(LoadgenReport, u64)>| -> (LoadgenReport, u64) {
         runs.sort_by(|a, b| a.0.searches_per_sec().total_cmp(&b.0.searches_per_sec()));
@@ -271,7 +273,7 @@ fn main() {
         shard_counts.iter().map(|_| Vec::new()).collect();
     for _ in 0..reps {
         for (slot, &s) in shard_runs.iter_mut().zip(shard_counts.iter()) {
-            slot.push(run_config(&coll, &queries, max_batch(), s));
+            slot.push(run_config(&coll, &queries, max_batch(), s, false));
         }
     }
     println!("\nshard sweep (adaptive micro-batching, same workload):");
@@ -337,4 +339,113 @@ fn main() {
          target ~1.1 at S=2 on this 1-vCPU box, where S dispatcher wakeups serialize \
          on the one core; multi-core hosts convert S dispatchers into wall-clock wins)"
     );
+
+    // ---- Stage attribution: traced vs untraced, same workload ----
+    // Traced rounds ask for the protocol-v3 trailer and split each
+    // round trip into queue / scan / merge; untraced rounds are the
+    // baseline. The p50 ratio between them bounds the tracing tax from
+    // above (it includes the spec-framed request and the trailer), so
+    // asserting it stays inside the noise band pins the untraced hot
+    // path: the instrumentation is opt-in per request, and a request
+    // that doesn't opt in cannot pay more than this.
+    let mut traced_runs: Vec<(LoadgenReport, u64)> = Vec::new();
+    let mut plain_runs: Vec<(LoadgenReport, u64)> = Vec::new();
+    for _ in 0..reps {
+        traced_runs.push(run_config(&coll, &queries, max_batch(), 1, true));
+        plain_runs.push(run_config(&coll, &queries, max_batch(), 1, false));
+    }
+    let (traced, _) = median(&mut traced_runs);
+    let (plain, _) = median(&mut plain_runs);
+    println!("\ntrace attribution (protocol v3 trailers, adaptive batching, S = 1):");
+    println!(
+        "  round trip p50 {:.0} µs = queue-dominated gather (p50 {:.0} µs, \
+         shard queue p99 {:.0} µs, shard busy p99 {:.0} µs) + merge (p50 {:.0} µs)",
+        traced.latency_p50_us,
+        traced.stage_gather_p50_us,
+        traced.stage_queue_p99_us,
+        traced.stage_busy_p99_us,
+        traced.stage_merge_p50_us,
+    );
+    println!(
+        "  spans hedged {}, hedge-won {}, fast-degraded {}, failed {} \
+         (all zero on a healthy flat server)",
+        traced.hedged_spans,
+        traced.hedge_won_spans,
+        traced.fast_degraded_spans,
+        traced.failed_spans,
+    );
+    let scan = &plain.server;
+    println!(
+        "  scan path: {} rows streamed, {} blocks early-abandoned, \
+         {} candidates f32-filtered, {} rescored, {} seeded passes",
+        scan.scan_rows_visited,
+        scan.scan_blocks_abandoned,
+        scan.scan_candidates_filtered,
+        scan.scan_candidates_rescored,
+        scan.scan_seed_prunes,
+    );
+    let overhead = traced.latency_p50_us / plain.latency_p50_us.max(1.0);
+    println!(
+        "  traced/untraced p50 ratio {overhead:.3} \
+         (acceptance: within noise — hard ceiling 2.0 on the shared box)"
+    );
+    assert!(
+        traced.stage_gather_p50_us > 0.0,
+        "traced run must attribute its stages"
+    );
+    assert!(
+        scan.scan_rows_visited > 0,
+        "the serving scan must report its row traffic"
+    );
+    assert!(
+        overhead < 2.0,
+        "tracing overhead escaped the noise band: {overhead:.3}"
+    );
+    write_bench_json(&format!(
+        concat!(
+            "{{\"bench\":\"serving_trace\",",
+            "\"workload\":{{\"n\":{},\"dim\":{},\"k\":{},\"sessions\":{},",
+            "\"think_ms\":{},\"max_batch\":{}}},",
+            "\"mode\":\"{}\",",
+            "\"traced\":{{\"searches_per_sec\":{:.1},\"latency_p50_us\":{:.1},",
+            "\"latency_p99_us\":{:.1},",
+            "\"stage_gather_p50_us\":{:.1},\"stage_gather_p99_us\":{:.1},",
+            "\"stage_merge_p50_us\":{:.1},\"stage_merge_p99_us\":{:.1},",
+            "\"stage_queue_p99_us\":{:.1},\"stage_busy_p99_us\":{:.1},",
+            "\"hedged_spans\":{},\"fast_degraded_spans\":{}}},",
+            "\"untraced\":{{\"searches_per_sec\":{:.1},\"latency_p50_us\":{:.1},",
+            "\"latency_p99_us\":{:.1}}},",
+            "\"scan\":{{\"rows_visited\":{},\"blocks_abandoned\":{},",
+            "\"candidates_filtered\":{},\"candidates_rescored\":{},",
+            "\"seed_prunes\":{}}},",
+            "\"trace_overhead_p50_ratio\":{:.3}}}\n"
+        ),
+        N,
+        DIM,
+        K,
+        SESSIONS,
+        THINK.as_millis(),
+        max_batch(),
+        if is_fast() { "fast" } else { "full" },
+        traced.searches_per_sec(),
+        traced.latency_p50_us,
+        traced.latency_p99_us,
+        traced.stage_gather_p50_us,
+        traced.stage_gather_p99_us,
+        traced.stage_merge_p50_us,
+        traced.stage_merge_p99_us,
+        traced.stage_queue_p99_us,
+        traced.stage_busy_p99_us,
+        traced.hedged_spans,
+        traced.fast_degraded_spans,
+        plain.searches_per_sec(),
+        plain.latency_p50_us,
+        plain.latency_p99_us,
+        scan.scan_rows_visited,
+        scan.scan_blocks_abandoned,
+        scan.scan_candidates_filtered,
+        scan.scan_candidates_rescored,
+        scan.scan_seed_prunes,
+        overhead,
+    ));
 }

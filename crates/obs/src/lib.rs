@@ -1,0 +1,366 @@
+//! Observability primitives for the serving tier.
+//!
+//! The one export that matters is [`LogHistogram`]: a fixed-memory,
+//! lock-free, mergeable latency histogram in the HdrHistogram family.
+//! It replaces the mutex-guarded sample rings the server and the load
+//! generator used to keep — a ring answers "p99 of the last N samples"
+//! by cloning and sorting N values under a lock, which is both a hot-
+//! path contention point and a recency filter nobody asked for. The
+//! histogram answers the same question over *every* sample recorded,
+//! with one relaxed `fetch_add` per record and no lock anywhere.
+//!
+//! # Bucketing scheme
+//!
+//! Values (nanoseconds, but the histogram is unit-agnostic) map to
+//! buckets log-linearly: [`SUB_BUCKETS`] = 2^[`SUB_BITS`] linear
+//! sub-buckets per power-of-two octave.
+//!
+//! - Values below [`SUB_BUCKETS`] get an exact bucket each (`v → v`).
+//! - A value with most-significant bit `m ≥` [`SUB_BITS`] lands in
+//!   octave `m − SUB_BITS + 1`, sub-bucket `(v >> (m − SUB_BITS)) −
+//!   SUB_BUCKETS` — i.e. the octave `[2^m, 2^{m+1})` is split into
+//!   `SUB_BUCKETS` equal slices.
+//!
+//! Every `u64` value has a bucket; the whole table is [`BUCKETS`]
+//! (= 7424) `AtomicU64`s, about 58 KiB per histogram, allocated once.
+//!
+//! # Error bound
+//!
+//! A bucket in octave `m` spans `2^{m-SUB_BITS}` values starting at
+//! `≥ 2^m`, so reporting any fixed point of a bucket mis-states a
+//! member value by at most `width / lower_edge = 1 /` [`SUB_BUCKETS`].
+//! Quantile queries report the bucket's **upper edge** (never under-
+//! reports a latency), giving the documented bound
+//! [`RELATIVE_ERROR_BOUND`] `= 1/128 < 0.8%` relative to the exact
+//! nearest-rank sample. Values below [`SUB_BUCKETS`] are exact. The
+//! proptest suite pins this bound against a literal sort.
+//!
+//! # Concurrency
+//!
+//! All mutation is `fetch_add`/`fetch_max` with `Ordering::Relaxed`:
+//! recorders never synchronize with each other or with readers. A
+//! reader scanning buckets concurrently with writers sees *some*
+//! interleaving — counts it sums are each individually consistent, the
+//! total may lag `count()` by in-flight records. That is the right
+//! trade for a stats path: quantiles over millions of samples do not
+//! care about a handful of stragglers, and the hot path pays nothing.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// log2 of the linear sub-bucket count per octave.
+pub const SUB_BITS: u32 = 7;
+
+/// Linear sub-buckets per power-of-two octave (`2^SUB_BITS`).
+pub const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+
+/// Total bucket count: one exact bucket per value below [`SUB_BUCKETS`],
+/// then [`SUB_BUCKETS`] per octave for the remaining `64 −` [`SUB_BITS`]
+/// octaves of `u64` range.
+pub const BUCKETS: usize = ((64 - SUB_BITS as u64 + 1) * SUB_BUCKETS) as usize;
+
+/// Guaranteed bound on the relative error of [`LogHistogram::quantile`]
+/// versus the exact nearest-rank sample: the reported value `r` and the
+/// exact value `e` always satisfy `e ≤ r ≤ e × (1 + RELATIVE_ERROR_BOUND)`.
+pub const RELATIVE_ERROR_BOUND: f64 = 1.0 / SUB_BUCKETS as f64;
+
+/// Bucket index for a value. Total and monotone: `a ≤ b` implies
+/// `bucket_index(a) ≤ bucket_index(b)` (pinned by proptest).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - SUB_BITS;
+        ((shift as u64 + 1) * SUB_BUCKETS + ((v >> shift) - SUB_BUCKETS)) as usize
+    }
+}
+
+/// Inclusive `[lower, upper]` value range of bucket `i`.
+///
+/// Bucket ranges partition `u64`: bucket `i+1`'s lower edge is bucket
+/// `i`'s upper edge plus one, bucket 0 starts at 0, and the last bucket
+/// ends at `u64::MAX`.
+#[inline]
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    let i = i as u64;
+    if i < SUB_BUCKETS {
+        (i, i)
+    } else {
+        let shift = (i / SUB_BUCKETS - 1) as u32;
+        let lower = (SUB_BUCKETS + i % SUB_BUCKETS) << shift;
+        // Parenthesized so the top bucket's `lower + 2^shift` cannot
+        // overflow before the −1 lands (its upper edge is u64::MAX).
+        (lower, lower + ((1u64 << shift) - 1))
+    }
+}
+
+/// Lock-free log-linear histogram: fixed memory, relaxed-atomic
+/// buckets, mergeable, quantile error ≤ [`RELATIVE_ERROR_BOUND`].
+/// See the module docs for the scheme and its guarantees.
+pub struct LogHistogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Empty histogram. Allocates the full bucket table ([`BUCKETS`]
+    /// `AtomicU64`s, ~58 KiB) up front so recording never allocates.
+    pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(BUCKETS);
+        buckets.resize_with(BUCKETS, || AtomicU64::new(0));
+        LogHistogram {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value (one `fetch_add` per aggregate, all relaxed —
+    /// safe from any thread, never blocks).
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration as whole nanoseconds (saturating at `u64::MAX`
+    /// — ~584 years, a latency nobody is waiting out).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Largest value recorded (0 when empty). Exact, not bucketed.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values (`None` when empty). Exact up to the
+    /// `u64` sum wrapping, which at nanosecond scale needs ~584 years
+    /// of cumulative recorded latency.
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum.load(Ordering::Relaxed) as f64 / n as f64)
+    }
+
+    /// Nearest-rank `q`-quantile (`0.0 ≤ q ≤ 1.0`) of everything
+    /// recorded, or `None` when empty. Reports the containing bucket's
+    /// upper edge, so the result never understates the exact sample and
+    /// overstates it by at most [`RELATIVE_ERROR_BOUND`]. The rank is
+    /// `round((count − 1) × q)` — the same nearest-rank definition the
+    /// pre-histogram sorted-ring percentile used, so reports stayed
+    /// comparable across the switch.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((total - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen > rank {
+                return Some(bucket_bounds(i).1.min(self.max()));
+            }
+        }
+        // Writers may have bumped `count` before their bucket increment
+        // landed; the highest non-empty bucket is the right answer.
+        Some(self.max())
+    }
+
+    /// [`quantile`](Self::quantile) in microseconds, 0.0 when empty —
+    /// the shape every stats report uses.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        self.quantile(q).map_or(0.0, |ns| ns as f64 / 1_000.0)
+    }
+
+    /// Fold another histogram into this one bucket-wise. Merging is
+    /// associative and commutative (pinned by proptest): a merged
+    /// histogram answers quantiles exactly as if every constituent
+    /// sample had been recorded here directly.
+    pub fn merge_from(&self, other: &LogHistogram) {
+        for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = src.load(Ordering::Relaxed);
+            if n > 0 {
+                dst.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Per-bucket counts (index ↔ [`bucket_bounds`]); test/merge
+    /// support, not a hot path.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count())
+            .field("max", &self.max())
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = LogHistogram::new();
+        for v in [0u64, 1, 2, 17, 127] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(0.5), Some(2));
+        assert_eq!(h.quantile(1.0), Some(127));
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 127);
+    }
+
+    #[test]
+    fn empty_histogram_reports_none() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile_us(0.99), 0.0);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_u64() {
+        assert_eq!(bucket_bounds(0), (0, 0));
+        let mut prev_upper = bucket_bounds(0).1;
+        for i in 1..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, prev_upper + 1, "bucket {i} lower edge");
+            assert!(hi >= lo);
+            prev_upper = hi;
+            if hi == u64::MAX {
+                assert_eq!(i, BUCKETS - 1);
+                break;
+            }
+        }
+        assert_eq!(bucket_bounds(BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn index_and_bounds_agree() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            129,
+            255,
+            256,
+            1_000,
+            65_535,
+            1_000_000,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v <= hi, "v={v} bucket={i} [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn quantile_matches_ring_percentile_within_bound() {
+        // The exact distribution the old metrics test used: 3×100µs +
+        // 1×900µs queue waits.
+        let h = LogHistogram::new();
+        for _ in 0..3 {
+            h.record_duration(Duration::from_micros(100));
+        }
+        h.record_duration(Duration::from_micros(900));
+        let p50 = h.quantile_us(0.50);
+        let p99 = h.quantile_us(0.99);
+        assert!((p50 - 100.0).abs() / 100.0 <= RELATIVE_ERROR_BOUND);
+        assert!((p99 - 900.0).abs() / 900.0 <= RELATIVE_ERROR_BOUND);
+        assert!(p50 >= 100.0 && p99 >= 900.0, "upper-edge: never under");
+    }
+
+    #[test]
+    fn merge_equals_direct_recording() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        let direct = LogHistogram::new();
+        for v in 0..1000u64 {
+            let v = v * v;
+            if v % 3 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            direct.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), direct.count());
+        assert_eq!(a.max(), direct.max());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), direct.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let h = Arc::new(LogHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 40_000);
+        assert_eq!(h.max(), 39_999);
+    }
+}

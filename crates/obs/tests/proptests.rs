@@ -1,0 +1,117 @@
+//! Property-based pins for the histogram's three contracts: merge
+//! associativity (bucket-wise and observable), bucket-bound
+//! monotonicity/partitioning, and the documented quantile error bound
+//! versus an exact sort.
+
+use fbp_obs::{bucket_bounds, bucket_index, LogHistogram, BUCKETS, RELATIVE_ERROR_BOUND};
+use proptest::prelude::*;
+
+fn hist_of(samples: &[u64]) -> LogHistogram {
+    let h = LogHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+/// Exact nearest-rank quantile by literal sort — the oracle.
+fn exact_quantile(samples: &[u64], q: f64) -> u64 {
+    let mut s = samples.to_vec();
+    s.sort_unstable();
+    let idx = ((s.len() - 1) as f64 * q).round() as usize;
+    s[idx]
+}
+
+fn samples_strategy() -> impl Strategy<Value = Vec<u64>> {
+    // Mix scales: exact small values, microsecond-ish, and huge —
+    // latencies in nanoseconds span all of these.
+    (
+        prop::collection::vec(0u64..4096, 1..80),
+        prop::collection::vec(1_000u64..10_000_000, 0..80),
+        prop::collection::vec(0u64..u64::MAX, 0..40),
+    )
+        .prop_map(|(a, b, c)| a.into_iter().chain(b).chain(c).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bucket_index_is_monotone_and_consistent(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+        // Each value lies inside its own bucket's bounds.
+        for v in [lo, hi] {
+            let i = bucket_index(v);
+            prop_assert!(i < BUCKETS);
+            let (bl, bu) = bucket_bounds(i);
+            prop_assert!(bl <= v && v <= bu, "v={} bucket={} [{},{}]", v, i, bl, bu);
+        }
+    }
+
+    #[test]
+    fn bucket_width_respects_error_bound(v in 256u64..u64::MAX) {
+        // Above the exact region, every bucket's width/lower ratio is
+        // within the documented relative error bound.
+        let (lo, hi) = bucket_bounds(bucket_index(v));
+        prop_assert!(lo > 0);
+        prop_assert!((hi - lo) as f64 / lo as f64 <= RELATIVE_ERROR_BOUND);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        xs in samples_strategy(),
+        ys in samples_strategy(),
+        zs in samples_strategy(),
+    ) {
+        // (x ⊔ y) ⊔ z  ==  x ⊔ (y ⊔ z)  ==  record-everything-directly,
+        // compared bucket-wise (the strongest observable equality).
+        let left = hist_of(&xs);
+        left.merge_from(&hist_of(&ys));
+        left.merge_from(&hist_of(&zs));
+
+        let yz = hist_of(&ys);
+        yz.merge_from(&hist_of(&zs));
+        let right = hist_of(&xs);
+        right.merge_from(&yz);
+
+        let all: Vec<u64> = xs.iter().chain(&ys).chain(&zs).copied().collect();
+        let direct = hist_of(&all);
+
+        prop_assert_eq!(left.bucket_counts(), right.bucket_counts());
+        prop_assert_eq!(left.bucket_counts(), direct.bucket_counts());
+        prop_assert_eq!(left.count(), direct.count());
+        prop_assert_eq!(left.max(), direct.max());
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            prop_assert_eq!(left.quantile(q), direct.quantile(q));
+        }
+    }
+
+    #[test]
+    fn quantile_error_within_documented_bound(
+        samples in samples_strategy(),
+        q in 0.0..=1.0f64,
+    ) {
+        let h = hist_of(&samples);
+        let got = h.quantile(q).expect("non-empty");
+        let exact = exact_quantile(&samples, q);
+        // Upper-edge reporting: never under, over by ≤ the bound.
+        prop_assert!(got >= exact, "got {} < exact {}", got, exact);
+        let err = (got - exact) as f64;
+        prop_assert!(
+            err <= exact as f64 * RELATIVE_ERROR_BOUND,
+            "q={}: got {}, exact {}, rel err {} > bound {}",
+            q, got, exact,
+            if exact > 0 { err / exact as f64 } else { err },
+            RELATIVE_ERROR_BOUND
+        );
+    }
+
+    #[test]
+    fn count_and_extremes_are_exact(samples in samples_strategy()) {
+        let h = hist_of(&samples);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
+        prop_assert_eq!(h.quantile(1.0), Some(*samples.iter().max().unwrap()));
+    }
+}

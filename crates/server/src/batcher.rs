@@ -40,6 +40,8 @@
 //! thread, so every admitted request resolves exactly once.
 
 use crate::metrics::Metrics;
+use crate::protocol::ShardSpan;
+use crate::trace::RequestTrace;
 use fbp_vecdb::{
     merge_partials, Neighbor, ScanMode, ShardPartial, ShardedCollection, ShardedScan,
     WeightedEuclidean,
@@ -78,6 +80,10 @@ pub(crate) struct Gather {
     /// the flat pass's early-abandon power, and it can never change
     /// the merged answer (the bound is provably ≥ the global k-th).
     seed: AtomicU64,
+    /// Span collector for a traced request (`None` on the untraced hot
+    /// path — dispatchers pay one branch per stage). The trace can
+    /// never change the merged answer: it only observes timestamps.
+    pub trace: Option<Arc<RequestTrace>>,
     state: Mutex<GatherState>,
 }
 
@@ -102,6 +108,7 @@ impl Gather {
         metric: WeightedEuclidean,
         k: usize,
         shards: usize,
+        trace: Option<Arc<RequestTrace>>,
         reply: KnnCompletion,
     ) -> Arc<Self> {
         Arc::new(Gather {
@@ -109,6 +116,7 @@ impl Gather {
             k,
             metric,
             seed: AtomicU64::new(f64::INFINITY.to_bits()),
+            trace,
             state: Mutex::new(GatherState {
                 partials: (0..shards).map(|_| None).collect(),
                 delivered: vec![false; shards],
@@ -177,6 +185,11 @@ impl Gather {
             }
         };
         if let Some((reply, error, partials)) = fire {
+            // The last slot just resolved: everything from here (merge,
+            // session bookkeeping, reply encode + write) is merge time.
+            if let Some(trace) = &self.trace {
+                trace.note_gathered();
+            }
             let outcome = match error {
                 Some(e) => Err(e),
                 // The merge reuses the admission-built metric — no
@@ -327,7 +340,7 @@ pub(crate) fn run_shard_dispatcher(
     scan_mode: ScanMode,
     metrics: Arc<Metrics>,
 ) {
-    let trace = std::env::var("FBP_SERVE_TRACE").is_ok();
+    let log_timing = std::env::var("FBP_SERVE_TRACE").is_ok();
     let (mut t_scan, mut t_complete, mut t_idle, mut n_req) = (0u128, 0u128, 0u128, 0u64);
     let mut last_done = Instant::now();
     while let Some(batch) = batcher.next_batch() {
@@ -352,20 +365,34 @@ pub(crate) fn run_shard_dispatcher(
         // whenever every shard carries one, and the per-shard thread
         // budget is an even share of the machine so S concurrent shard
         // dispatchers cannot oversubscribe the host.
-        let scan = ShardedScan::with_mode(&coll, scan_mode);
+        let scan = ShardedScan::with_mode(&coll, scan_mode).with_scan_stats(metrics.scan_stats());
         let partials =
             bypass.scan_shard_prepared(&scan, shard, &points, &pass_metrics, &ks, Some(&seeds));
         let scanned = Instant::now();
         t_scan += scanned.duration_since(dispatched).as_nanos();
         n_req += waits.len() as u64;
         metrics.record_pass(&waits);
+        // Traced requests get their span stamped *before* delivery, so
+        // the delivery that completes the gather already sees it.
+        let fill = gathers.len() as u32;
+        for gather in &gathers {
+            if let Some(trace) = &gather.trace {
+                trace.add_span(ShardSpan {
+                    shard: shard as u32,
+                    queue_ns: dispatched.saturating_duration_since(trace.t0()).as_nanos() as u64,
+                    busy_ns: scanned.saturating_duration_since(dispatched).as_nanos() as u64,
+                    batch_fill: fill,
+                    flags: 0,
+                });
+            }
+        }
         for (gather, partial) in gathers.iter().zip(partials) {
             gather.complete_shard(shard, Ok(partial));
         }
         t_complete += scanned.elapsed().as_nanos();
         last_done = Instant::now();
     }
-    if trace && n_req > 0 {
+    if log_timing && n_req > 0 {
         eprintln!(
             "[dispatcher shard {}] {} req: scan {:.0}us/req, complete {:.0}us/req, idle {:.1}ms total",
             shard,
@@ -430,6 +457,7 @@ mod tests {
             req_metric,
             5,
             3,
+            None,
             Box::new({
                 let fired = Arc::clone(&fired);
                 let got = Arc::clone(&got);
@@ -478,6 +506,7 @@ mod tests {
             req_metric,
             5,
             2,
+            None,
             Box::new({
                 let got = Arc::clone(&got);
                 move |outcome| *got.lock().unwrap() = Some(outcome)

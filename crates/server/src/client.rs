@@ -3,7 +3,7 @@
 //! implementing the protocol in other languages.
 
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, FrameError, Request, Response, StatsSnapshot,
+    read_frame, write_frame, ErrorCode, FrameError, Request, Response, StatsSnapshot, TraceReport,
     DEFAULT_MAX_FRAME_LEN, KNN_CONVERGED, KNN_DEGRADED, KNN_DONE, PROTOCOL_VERSION,
 };
 use fbp_vecdb::Neighbor;
@@ -75,6 +75,11 @@ pub struct KnnReply {
     pub missing_shards: Vec<u32>,
     /// Feedback cycles the query has run.
     pub cycles: u32,
+    /// Stage-level timing report, present iff the request asked for a
+    /// trace over a v3+ negotiation (see [`Client::knn_spec_traced`]).
+    /// Tracing never changes the answer: everything else in the reply
+    /// is bit-identical to the untraced one.
+    pub trace: Option<Box<TraceReport>>,
 }
 
 /// A `Feedback` acknowledgment.
@@ -198,19 +203,7 @@ impl Client {
             query: query.to_vec(),
         };
         match self.call(&req)? {
-            Response::KnnResult {
-                flags,
-                cycles,
-                missing_shards,
-                neighbors,
-            } => Ok(KnnReply {
-                neighbors,
-                done: flags & KNN_DONE != 0,
-                converged: flags & KNN_CONVERGED != 0,
-                degraded: flags & KNN_DEGRADED != 0,
-                missing_shards,
-                cycles,
-            }),
+            resp @ Response::KnnResult { .. } => Ok(knn_reply(resp)),
             other => Err(unexpected("KnnResult", &other)),
         }
     }
@@ -230,6 +223,32 @@ impl Client {
         k: u32,
         spec: &QuerySpec,
     ) -> Result<KnnReply, ClientError> {
+        self.knn_spec_inner(session, k, spec, false)
+    }
+
+    /// [`Self::knn_spec`] with the v3 trace bit set: the reply carries
+    /// a stage-level [`TraceReport`] in [`KnnReply::trace`] — queue and
+    /// scan (or downstream round-trip) time per shard, batch fill,
+    /// hedge and fast-degrade attribution, and the gather/merge split.
+    /// Requires a prior [`Self::hello`] that negotiated version ≥ 3; on
+    /// an older negotiation the server ignores the bit and the reply
+    /// comes back untraced (`trace: None`), answer unchanged.
+    pub fn knn_spec_traced(
+        &mut self,
+        session: u64,
+        k: u32,
+        spec: &QuerySpec,
+    ) -> Result<KnnReply, ClientError> {
+        self.knn_spec_inner(session, k, spec, true)
+    }
+
+    fn knn_spec_inner(
+        &mut self,
+        session: u64,
+        k: u32,
+        spec: &QuerySpec,
+        trace: bool,
+    ) -> Result<KnnReply, ClientError> {
         let rocchio = spec.rocchio();
         let req = Request::KnnV2 {
             session,
@@ -238,25 +257,25 @@ impl Client {
             beta: rocchio.beta,
             gamma: rocchio.gamma,
             clamp: spec.clamps_to_zero(),
+            trace,
             anchor: spec.anchor().to_vec(),
             positives: spec.positives().to_vec(),
             negatives: spec.negatives().to_vec(),
         };
         match self.call(&req)? {
-            Response::KnnResult {
-                flags,
-                cycles,
-                missing_shards,
-                neighbors,
-            } => Ok(KnnReply {
-                neighbors,
-                done: flags & KNN_DONE != 0,
-                converged: flags & KNN_CONVERGED != 0,
-                degraded: flags & KNN_DEGRADED != 0,
-                missing_shards,
-                cycles,
-            }),
+            resp @ Response::KnnResult { .. } => Ok(knn_reply(resp)),
             other => Err(unexpected("KnnResult", &other)),
+        }
+    }
+
+    /// Drain up to `max` reports (`0` = all) from the server's
+    /// slow-query trace ring, oldest first. The drain is destructive:
+    /// consecutive calls return disjoint traces. Requires a negotiated
+    /// version ≥ 3 (send [`Self::hello`] first).
+    pub fn get_traces(&mut self, max: u32) -> Result<Vec<TraceReport>, ClientError> {
+        match self.call(&Request::GetTraces { max })? {
+            Response::TraceList { traces } => Ok(traces),
+            other => Err(unexpected("TraceList", &other)),
         }
     }
 
@@ -373,6 +392,34 @@ impl Client {
             Response::Closed => Ok(()),
             other => Err(unexpected("Closed", &other)),
         }
+    }
+}
+
+/// Fold a `KnnResult` into the client-facing reply (the one place the
+/// flag bits are interpreted).
+///
+/// # Panics
+///
+/// Panics if `resp` is not a `KnnResult`; callers match first.
+fn knn_reply(resp: Response) -> KnnReply {
+    let Response::KnnResult {
+        flags,
+        cycles,
+        missing_shards,
+        trace,
+        neighbors,
+    } = resp
+    else {
+        unreachable!("knn_reply called on a non-KnnResult");
+    };
+    KnnReply {
+        neighbors,
+        done: flags & KNN_DONE != 0,
+        converged: flags & KNN_CONVERGED != 0,
+        degraded: flags & KNN_DEGRADED != 0,
+        missing_shards,
+        cycles,
+        trace,
     }
 }
 

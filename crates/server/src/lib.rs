@@ -97,6 +97,15 @@
 //! *Protocol v2* section of [`protocol`]. Connections that skip the
 //! handshake speak v1 byte-for-byte.
 //!
+//! Protocol **v3** adds opt-in **request tracing**: a `KnnV2` frame may
+//! ask for a stage-level timing trailer on its reply (queue wait, scan
+//! or downstream round trip, batch fill, hedge/fast-degrade
+//! attribution per shard, plus the gather/merge split), and both
+//! front-ends keep a bounded ring of recent slow traces drained by
+//! `GetTraces`. Tracing never changes an answer — a traced reply is
+//! bit-identical to the untraced one apart from the trailer — see the
+//! *Protocol v3* section of [`protocol`] for the normative layout.
+//!
 //! Malformed frames answer coded errors (and drop the connection only
 //! when the stream can no longer be trusted); a disconnected client's
 //! queued requests resolve harmlessly — the batcher cannot be wedged by
@@ -142,6 +151,7 @@ mod pool;
 mod router;
 mod server;
 mod sessions;
+mod trace;
 
 pub mod client;
 pub mod faults;
@@ -155,7 +165,9 @@ pub use fbp_vecdb::FailurePolicy;
 pub use health::HealthConfig;
 pub use loadgen::{run_loadgen, LoadgenOptions, LoadgenReport, Relevance};
 pub use protocol::{
-    error_code_for, DownstreamHealth, ErrorCode, HealthState, StatsSnapshot, PROTOCOL_VERSION,
+    error_code_for, DownstreamHealth, ErrorCode, HealthState, ShardSpan, StatsSnapshot,
+    TraceReport, KNN_TRACED, PROTOCOL_VERSION, SPAN_FAILED, SPAN_FAST_DEGRADED, SPAN_HEDGE_FIRED,
+    SPAN_HEDGE_WON, TRACE_VERSION,
 };
 pub use router::{route, HedgeConfig, RouterConfig, RouterHandle};
 pub use server::{serve, ServerConfig, ServerHandle};

@@ -11,6 +11,9 @@
 
 use crate::client::{Client, ClientError};
 use crate::protocol::StatsSnapshot;
+use crate::protocol::{SPAN_FAILED, SPAN_FAST_DEGRADED, SPAN_HEDGE_FIRED, SPAN_HEDGE_WON};
+use fbp_obs::LogHistogram;
+use feedbackbypass::QuerySpec;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
@@ -43,6 +46,10 @@ pub struct LoadgenOptions {
     /// Client-side cap on rounds per query, a safety net over the
     /// server's own cycle cap.
     pub max_rounds: usize,
+    /// Request per-request trace trailers (protocol v3) and attribute
+    /// every search's latency to its stages: the report's `stage_*`
+    /// columns and hedge/degrade counters populate only in this mode.
+    pub trace: bool,
 }
 
 impl Default for LoadgenOptions {
@@ -53,6 +60,7 @@ impl Default for LoadgenOptions {
             k: 50,
             think_time: Duration::from_millis(5),
             max_rounds: 64,
+            trace: false,
         }
     }
 }
@@ -75,6 +83,30 @@ pub struct LoadgenReport {
     pub latency_p50_us: f64,
     /// 99th-percentile `Knn` round-trip latency, microseconds.
     pub latency_p99_us: f64,
+    /// Per-stage latency attribution from the trace trailers (all zero
+    /// unless [`LoadgenOptions::trace`]): scatter/gather stage,
+    /// microseconds.
+    pub stage_gather_p50_us: f64,
+    /// Gather stage p99, microseconds.
+    pub stage_gather_p99_us: f64,
+    /// Merge + reply-encode stage p50, microseconds.
+    pub stage_merge_p50_us: f64,
+    /// Merge + reply-encode stage p99, microseconds.
+    pub stage_merge_p99_us: f64,
+    /// Per-shard queue wait (admission → dispatch) p99 across all
+    /// spans, microseconds.
+    pub stage_queue_p99_us: f64,
+    /// Per-shard busy time (dispatch → partial) p99 across all spans,
+    /// microseconds.
+    pub stage_busy_p99_us: f64,
+    /// Spans flagged `HEDGE_FIRED` across all traced searches.
+    pub hedged_spans: u64,
+    /// Spans flagged `HEDGE_WON`.
+    pub hedge_won_spans: u64,
+    /// Spans flagged `FAST_DEGRADED` (skipped: shard was ejected).
+    pub fast_degraded_spans: u64,
+    /// Spans flagged `FAILED`.
+    pub failed_spans: u64,
     /// Server metrics snapshot taken right after the run.
     pub server: StatsSnapshot,
 }
@@ -127,16 +159,42 @@ pub fn run_loadgen(
     let mut queries_done = 0u64;
     let mut converged = 0u64;
     let mut degraded = 0u64;
-    let mut latencies: Vec<u64> = Vec::new();
+    // One histogram type on both sides of a report: the same
+    // `LogHistogram` the server's metrics use, so "p99" means the same
+    // nearest-rank-with-bounded-error quantity in the client and server
+    // columns.
+    let latencies = LogHistogram::new();
+    let gather = LogHistogram::new();
+    let merge = LogHistogram::new();
+    let queue = LogHistogram::new();
+    let busy = LogHistogram::new();
+    let mut flags = FlagTally::default();
     for tally in per_session {
         let tally = tally?;
         searches += tally.searches;
         queries_done += tally.queries;
         converged += tally.converged;
         degraded += tally.degraded;
-        latencies.extend(tally.latencies_ns);
+        for ns in tally.latencies_ns {
+            latencies.record(ns);
+        }
+        for ns in tally.gather_ns {
+            gather.record(ns);
+        }
+        for ns in tally.merge_ns {
+            merge.record(ns);
+        }
+        for ns in tally.queue_ns {
+            queue.record(ns);
+        }
+        for ns in tally.busy_ns {
+            busy.record(ns);
+        }
+        flags.hedged += tally.flags.hedged;
+        flags.hedge_won += tally.flags.hedge_won;
+        flags.fast_degraded += tally.flags.fast_degraded;
+        flags.failed += tally.flags.failed;
     }
-    latencies.sort_unstable();
 
     let server = Client::connect(addr)?.stats()?;
     Ok(LoadgenReport {
@@ -145,10 +203,29 @@ pub fn run_loadgen(
         converged,
         degraded,
         elapsed,
-        latency_p50_us: crate::metrics::percentile_us(&latencies, 0.50),
-        latency_p99_us: crate::metrics::percentile_us(&latencies, 0.99),
+        latency_p50_us: latencies.quantile_us(0.50),
+        latency_p99_us: latencies.quantile_us(0.99),
+        stage_gather_p50_us: gather.quantile_us(0.50),
+        stage_gather_p99_us: gather.quantile_us(0.99),
+        stage_merge_p50_us: merge.quantile_us(0.50),
+        stage_merge_p99_us: merge.quantile_us(0.99),
+        stage_queue_p99_us: queue.quantile_us(0.99),
+        stage_busy_p99_us: busy.quantile_us(0.99),
+        hedged_spans: flags.hedged,
+        hedge_won_spans: flags.hedge_won,
+        fast_degraded_spans: flags.fast_degraded,
+        failed_spans: flags.failed,
         server,
     })
+}
+
+/// Span-flag attribution counts from one run's trace trailers.
+#[derive(Default)]
+struct FlagTally {
+    hedged: u64,
+    hedge_won: u64,
+    fast_degraded: u64,
+    failed: u64,
 }
 
 struct SessionTally {
@@ -157,6 +234,11 @@ struct SessionTally {
     converged: u64,
     degraded: u64,
     latencies_ns: Vec<u64>,
+    gather_ns: Vec<u64>,
+    merge_ns: Vec<u64>,
+    queue_ns: Vec<u64>,
+    busy_ns: Vec<u64>,
+    flags: FlagTally,
 }
 
 fn run_session(
@@ -167,6 +249,13 @@ fn run_session(
     opts: &LoadgenOptions,
 ) -> Result<SessionTally, ClientError> {
     let mut client = Client::connect(addr)?;
+    if opts.trace {
+        let version = client.hello()?;
+        assert!(
+            version >= 3,
+            "trace attribution needs protocol v3, server speaks v{version}"
+        );
+    }
     let (session, _dim) = client.open_session()?;
     let mut tally = SessionTally {
         searches: 0,
@@ -174,6 +263,11 @@ fn run_session(
         converged: 0,
         degraded: 0,
         latencies_ns: Vec::new(),
+        gather_ns: Vec::new(),
+        merge_ns: Vec::new(),
+        queue_ns: Vec::new(),
+        busy_ns: Vec::new(),
+        flags: FlagTally::default(),
     };
     for qi in 0..opts.queries_per_session {
         let pool_index = qi * opts.sessions + slot;
@@ -195,10 +289,32 @@ fn run_session(
                 }
             }
             let t0 = Instant::now();
-            let reply = client.knn(session, opts.k, query)?;
+            let reply = if opts.trace {
+                // The traced path rides `KnnV2` with the trace bit; a
+                // bare spec (anchor only, default Rocchio) asks the
+                // same question as the plain `Knn` opcode.
+                let spec = QuerySpec::builder(query.clone())
+                    .build()
+                    .expect("loadgen pool query must form a valid spec");
+                client.knn_spec_traced(session, opts.k, &spec)?
+            } else {
+                client.knn(session, opts.k, query)?
+            };
             tally.latencies_ns.push(t0.elapsed().as_nanos() as u64);
             tally.searches += 1;
             tally.degraded += u64::from(reply.degraded);
+            if let Some(trace) = &reply.trace {
+                tally.gather_ns.push(trace.gather_ns);
+                tally.merge_ns.push(trace.merge_ns);
+                for span in &trace.spans {
+                    tally.queue_ns.push(span.queue_ns);
+                    tally.busy_ns.push(span.busy_ns);
+                    tally.flags.hedged += u64::from(span.flags & SPAN_HEDGE_FIRED != 0);
+                    tally.flags.hedge_won += u64::from(span.flags & SPAN_HEDGE_WON != 0);
+                    tally.flags.fast_degraded += u64::from(span.flags & SPAN_FAST_DEGRADED != 0);
+                    tally.flags.failed += u64::from(span.flags & SPAN_FAILED != 0);
+                }
+            }
             if reply.done {
                 tally.converged += u64::from(reply.converged);
                 break;

@@ -1,5 +1,6 @@
-//! Serving metrics: cheap atomic counters on the hot path, a bounded
-//! wait-time ring for queue-delay percentiles, snapshots on demand.
+//! Serving metrics: cheap atomic counters on the hot path, lock-free
+//! log-linear histograms ([`fbp_obs::LogHistogram`]) for every latency
+//! distribution, snapshots on demand.
 //!
 //! Sharded accounting: a client request is counted **once**
 //! ([`Metrics::record_request`], at admission), while passes are
@@ -8,28 +9,21 @@
 //! `requests × shards / passes`, the per-shard-pass fill the batching
 //! policy actually controls. Queue waits are sampled per (request,
 //! shard pass) pair: the delay from admission to that shard's dispatch.
+//!
+//! The histograms replaced bounded mutex-guarded sample rings. The
+//! trade: quantiles now cover *all* samples (no sliding window) with a
+//! documented relative error ≤ [`fbp_obs::RELATIVE_ERROR_BOUND`]
+//! (< 0.8%), and recording is a handful of relaxed `fetch_add`s — no
+//! lock on the dispatch path, and [`DownstreamStats::p99`] (read by the
+//! router's hedge sweeper every millisecond, per live gather, per
+//! downstream) no longer clones and sorts a 1024-entry ring under a
+//! lock per read.
 
 use crate::protocol::StatsSnapshot;
+use fbp_obs::LogHistogram;
+use feedbackbypass::ScanStatsSink;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
-
-/// Queue-wait samples retained for percentile estimation. A ring this
-/// size covers the last ~16k dispatches — recent enough to reflect the
-/// current load, small enough that a snapshot sort is trivial.
-const WAIT_RING: usize = 16 * 1024;
-
-/// Nearest-rank percentile of ascending-sorted nanosecond samples, in
-/// microseconds (0 when empty). One definition shared by the server's
-/// queue-wait stats and the load generator's latency stats, so the two
-/// sides of a report always mean the same thing by "p50"/"p99".
-pub(crate) fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
-    if sorted_ns.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
-    sorted_ns[idx] as f64 / 1_000.0
-}
 
 /// Shared metrics sink.
 pub(crate) struct Metrics {
@@ -42,13 +36,13 @@ pub(crate) struct Metrics {
     passes: AtomicU64,
     /// Protocol errors answered / connections dropped for framing.
     protocol_errors: AtomicU64,
-    /// Ring of recent queue waits in nanoseconds.
-    waits: Mutex<WaitRing>,
-}
-
-struct WaitRing {
-    buf: Vec<u64>,
-    next: usize,
+    /// Queue-wait distribution in nanoseconds (admission → dispatch).
+    waits: LogHistogram,
+    /// Scan-path work counters, flushed by every shard pass (the shard
+    /// dispatchers attach this sink to their `ShardedScan`; a router
+    /// never scans, so its sink — and the five `scan_*` wire fields —
+    /// stay zero there).
+    scan: ScanStatsSink,
 }
 
 impl Metrics {
@@ -58,11 +52,14 @@ impl Metrics {
             requests: AtomicU64::new(0),
             passes: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
-            waits: Mutex::new(WaitRing {
-                buf: Vec::new(),
-                next: 0,
-            }),
+            waits: LogHistogram::new(),
+            scan: ScanStatsSink::new(),
         }
+    }
+
+    /// The scan-path counter sink the shard dispatchers flush into.
+    pub(crate) fn scan_stats(&self) -> &ScanStatsSink {
+        &self.scan
     }
 
     /// Count one admitted client request (once, regardless of shards).
@@ -74,16 +71,8 @@ impl Metrics {
     /// with each request's admission→dispatch delay on this shard.
     pub(crate) fn record_pass(&self, waits: &[Duration]) {
         self.passes.fetch_add(1, Ordering::Relaxed);
-        let mut ring = self.waits.lock().expect("metrics lock");
         for w in waits {
-            let ns = w.as_nanos().min(u64::MAX as u128) as u64;
-            if ring.buf.len() < WAIT_RING {
-                ring.buf.push(ns);
-            } else {
-                let slot = ring.next;
-                ring.buf[slot] = ns;
-            }
-            ring.next = (ring.next + 1) % WAIT_RING;
+            self.waits.record_duration(*w);
         }
     }
 
@@ -96,8 +85,7 @@ impl Metrics {
     pub(crate) fn snapshot(&self, sessions_open: u64) -> StatsSnapshot {
         let requests = self.requests.load(Ordering::Relaxed);
         let passes = self.passes.load(Ordering::Relaxed);
-        let mut waits = self.waits.lock().expect("metrics lock").buf.clone();
-        waits.sort_unstable();
+        let scan = self.scan.snapshot();
         StatsSnapshot {
             requests,
             passes,
@@ -107,10 +95,15 @@ impl Metrics {
             } else {
                 0.0
             },
-            queue_wait_p50_us: percentile_us(&waits, 0.50),
-            queue_wait_p99_us: percentile_us(&waits, 0.99),
+            queue_wait_p50_us: self.waits.quantile_us(0.50),
+            queue_wait_p99_us: self.waits.quantile_us(0.99),
             sessions_open,
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            scan_rows_visited: scan.rows_visited,
+            scan_blocks_abandoned: scan.blocks_abandoned,
+            scan_candidates_filtered: scan.candidates_filtered,
+            scan_candidates_rescored: scan.candidates_rescored,
+            scan_seed_prunes: scan.seed_prunes,
             // Router-tier counters stay zero on a plain shard server;
             // the router overwrites them from its downstream pools.
             ..Default::default()
@@ -140,51 +133,34 @@ pub(crate) struct DownstreamStats {
     pub(crate) hedges_fired: AtomicU64,
     /// Hedge requests whose answer beat the primary's.
     pub(crate) hedges_won: AtomicU64,
-    /// Ring of recent successful-call latencies (nanoseconds), the
-    /// p99 source for the hedge delay.
-    lat: Mutex<LatRing>,
+    /// Successful-call latency distribution (nanoseconds), the p99
+    /// source for the hedge delay.
+    lat: LogHistogram,
 }
-
-#[derive(Default)]
-struct LatRing {
-    buf: Vec<u64>,
-    next: usize,
-}
-
-/// Latency samples kept per downstream — enough for a stable p99 at
-/// serving rates, cheap to sort on each hedge-delay refresh.
-const LAT_RING: usize = 1024;
 
 impl DownstreamStats {
     /// Record one successful call's request→reply latency.
     pub(crate) fn record_latency(&self, lat: Duration) {
-        let ns = lat.as_nanos().min(u64::MAX as u128) as u64;
-        let mut ring = self.lat.lock().expect("latency lock");
-        if ring.buf.len() < LAT_RING {
-            ring.buf.push(ns);
-        } else {
-            let slot = ring.next;
-            ring.buf[slot] = ns;
-        }
-        ring.next = (ring.next + 1) % LAT_RING;
+        self.lat.record_duration(lat);
     }
 
-    /// 99th-percentile call latency over the ring (`None` until a
-    /// sample exists).
+    /// 99th-percentile call latency (`None` until a sample exists).
+    ///
+    /// A lock-free histogram walk: the hedge sweeper calls this every
+    /// tick for every straggling shard of every live gather, and the
+    /// previous implementation cloned and sorted the whole sample ring
+    /// under the recording lock each time — contending with the pool
+    /// workers recording completions. Now neither side blocks the
+    /// other, at the cost of the histogram's < 0.8% relative error.
     pub(crate) fn p99(&self) -> Option<Duration> {
-        let mut samples = self.lat.lock().expect("latency lock").buf.clone();
-        if samples.is_empty() {
-            return None;
-        }
-        samples.sort_unstable();
-        let idx = ((samples.len() - 1) as f64 * 0.99).round() as usize;
-        Some(Duration::from_nanos(samples[idx]))
+        self.lat.quantile(0.99).map(Duration::from_nanos)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fbp_obs::RELATIVE_ERROR_BOUND;
 
     #[test]
     fn snapshot_reports_fill_and_percentiles() {
@@ -200,8 +176,13 @@ mod tests {
         assert_eq!(s.passes, 2);
         assert_eq!(s.shards, 1);
         assert!((s.mean_batch_fill - 2.0).abs() < 1e-12);
-        assert!((s.queue_wait_p50_us - 100.0).abs() < 1.0);
-        assert!((s.queue_wait_p99_us - 900.0).abs() < 1.0);
+        // Histogram quantiles report the containing bucket's upper
+        // edge: never below the exact value, above it by at most the
+        // documented relative-error bound.
+        assert!(s.queue_wait_p50_us >= 100.0);
+        assert!(s.queue_wait_p50_us <= 100.0 * (1.0 + RELATIVE_ERROR_BOUND));
+        assert!(s.queue_wait_p99_us >= 900.0);
+        assert!(s.queue_wait_p99_us <= 900.0 * (1.0 + RELATIVE_ERROR_BOUND));
         assert_eq!(s.sessions_open, 2);
         assert_eq!(s.protocol_errors, 1);
     }
@@ -230,5 +211,23 @@ mod tests {
         assert_eq!(s.requests, 0);
         assert_eq!(s.mean_batch_fill, 0.0);
         assert_eq!(s.queue_wait_p50_us, 0.0);
+    }
+
+    #[test]
+    fn downstream_p99_tracks_latencies_within_bound() {
+        let d = DownstreamStats::default();
+        assert_eq!(d.p99(), None);
+        // 100 fast + 10 slow: nearest rank round(109 × 0.99) = 108
+        // lands inside the slow tail, so p99 must report ≈ 5 ms.
+        for _ in 0..100 {
+            d.record_latency(Duration::from_micros(200));
+        }
+        for _ in 0..10 {
+            d.record_latency(Duration::from_millis(5));
+        }
+        let p99 = d.p99().expect("samples recorded").as_nanos() as f64;
+        let exact = Duration::from_millis(5).as_nanos() as f64;
+        assert!(p99 >= exact);
+        assert!(p99 <= exact * (1.0 + RELATIVE_ERROR_BOUND));
     }
 }

@@ -40,7 +40,9 @@
 use crate::faults::{FaultMode, FaultPlan};
 use crate::health::{HealthConfig, HealthTracker};
 use crate::metrics::DownstreamStats;
-use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::protocol::{
+    read_frame, write_frame, Request, Response, SPAN_FAILED, SPAN_FAST_DEGRADED, SPAN_HEDGE_WON,
+};
 use crate::router::RouterGather;
 use fbp_vecdb::ShardPartial;
 use std::collections::VecDeque;
@@ -245,6 +247,7 @@ impl Downstream {
             // was queued: fail the slot instantly rather than paying
             // the deadline — and record nothing, the breaker already
             // tripped.
+            gather.trace_span(self.shard, None, SPAN_FAST_DEGRADED | SPAN_FAILED);
             gather.complete_shard(
                 self.shard,
                 Err(format!("shard {} ejected from the scatter set", self.shard)),
@@ -277,6 +280,7 @@ impl Downstream {
             } else {
                 "down: every connect refused until the deadline"
             };
+            gather.trace_span(self.shard, Some(started), SPAN_FAILED);
             gather.complete_shard(self.shard, Err(format!("shard {} {what}", self.shard)));
             return;
         }
@@ -292,6 +296,7 @@ impl Downstream {
         let mut attempt: u64 = 0;
         loop {
             if self.shutting_down() {
+                gather.trace_span(self.shard, Some(started), SPAN_FAILED);
                 gather.complete_shard(self.shard, Err("router shutting down".into()));
                 return;
             }
@@ -302,6 +307,7 @@ impl Downstream {
             if now >= deadline {
                 self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
                 self.health.record_failure(now);
+                gather.trace_span(self.shard, Some(started), SPAN_FAILED);
                 gather.complete_shard(self.shard, Err(format!("shard {} timed out", self.shard)));
                 return;
             }
@@ -425,6 +431,15 @@ impl Downstream {
                                         Ok(partial) => {
                                             self.stats.record_latency(started.elapsed());
                                             self.health.record_success();
+                                            // A hedge leg that records
+                                            // the span is the leg that
+                                            // resolved the shard — its
+                                            // answer won.
+                                            gather.trace_span(
+                                                self.shard,
+                                                Some(started),
+                                                if job.hedge { SPAN_HEDGE_WON } else { 0 },
+                                            );
                                             let first =
                                                 gather.complete_shard(self.shard, Ok(partial));
                                             if first && job.hedge {
@@ -439,6 +454,11 @@ impl Downstream {
                                             // failure the breaker must
                                             // see.
                                             self.health.record_failure(Instant::now());
+                                            gather.trace_span(
+                                                self.shard,
+                                                Some(started),
+                                                SPAN_FAILED,
+                                            );
                                             gather.complete_shard(
                                                 self.shard,
                                                 Err(format!(
@@ -456,6 +476,7 @@ impl Downstream {
                                     // cannot help. The host is alive —
                                     // liveness-wise this is a success.
                                     self.health.record_success();
+                                    gather.trace_span(self.shard, Some(started), SPAN_FAILED);
                                     gather.complete_shard(
                                         self.shard,
                                         Err(format!(
@@ -467,6 +488,7 @@ impl Downstream {
                                 }
                                 other => {
                                     self.health.record_failure(Instant::now());
+                                    gather.trace_span(self.shard, Some(started), SPAN_FAILED);
                                     gather.complete_shard(
                                         self.shard,
                                         Err(format!(
@@ -623,6 +645,7 @@ mod tests {
             1,
             deadline,
             FailurePolicy::Strict,
+            None,
             Box::new(move |outcome| {
                 let _ = tx.send(outcome.is_ok());
             }),

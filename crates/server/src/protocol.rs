@@ -35,6 +35,7 @@
 //! | `0x09` | `RestoreModule`| `u32 len`, `len` bytes (serialized module)    |
 //! | `0x0A` | `Hello`        | `u8 version` (v2+)                            |
 //! | `0x0B` | `KnnV2`        | see *Protocol v2* below (v2+)                 |
+//! | `0x0C` | `GetTraces`    | `u32 max` (v3+; see *Protocol v3* below)      |
 //!
 //! Opcodes `0x06`–`0x09` are the **router tier's downstream surface**
 //! (router → shard server), spoken on the same framed connections as
@@ -55,7 +56,7 @@
 //! | op     | message         | body                                               |
 //! |--------|-----------------|----------------------------------------------------|
 //! | `0x81` | `SessionOpened` | `u64 session`, `u32 dim`                           |
-//! | `0x82` | `KnnResult`     | `u8 flags`, `u32 cycles`, \[`u32 m`, `m × u32` missing shards — iff `flags & KNN_DEGRADED`\], `u32 n`, `n × (u32, f64)` |
+//! | `0x82` | `KnnResult`     | `u8 flags`, `u32 cycles`, \[`u32 m`, `m × u32` missing shards — iff `flags & KNN_DEGRADED`\], \[trace trailer — iff `flags & KNN_TRACED`, see *Protocol v3*\], `u32 n`, `n × (u32, f64)` |
 //! | `0x83` | `FeedbackAck`   | `u8 done`, `u8 converged`, `u32 cycles`            |
 //! | `0x84` | `Stats`         | see below                                          |
 //! | `0x85` | `Closed`        | —                                                  |
@@ -64,6 +65,7 @@
 //! | `0x88` | `ModuleImage`   | `u32 len`, `len` bytes (serialized module)         |
 //! | `0x89` | `ModuleRestored`| —                                                  |
 //! | `0x8A` | `HelloAck`      | `u8 version` (v2+)                                 |
+//! | `0x8B` | `TraceList`     | `u32 n`, `n ×` trace report (v3+; see *Protocol v3*) |
 //! | `0xEE` | `Error`         | `u8 code`, `u32 len`, UTF-8 message                |
 //!
 //! The degraded-flag encoding in `0x82` is **normative**: bit 2 of
@@ -97,12 +99,23 @@
 //! | `hedges_fired`         | `u64` |
 //! | `hedges_won`           | `u64` |
 //! | `degraded_replies`     | `u64` |
+//! | `scan_rows_visited`    | `u64` |
+//! | `scan_blocks_abandoned`| `u64` |
+//! | `scan_candidates_filtered` | `u64` |
+//! | `scan_candidates_rescored` | `u64` |
+//! | `scan_seed_prunes`     | `u64` |
 //! | `health_rows`          | `u32` |
 //! | `health_rows × row`    | see below |
 //!
 //! The six `downstream_*`/`hedges_*`/`degraded_replies` fields are the
 //! router tier's fault counters, aggregated across its downstreams; a
-//! plain shard server reports them as zero.
+//! plain shard server reports them as zero. The five `scan_*` fields
+//! are the served collection's cumulative scan-path counters (see
+//! *Protocol v3* below); a router, which scans nothing itself, reports
+//! them as zero. Like the health block when it was introduced, the
+//! `scan_*` fields extend the `0x84` body unconditionally: `Stats` is
+//! an operator surface whose layout tracks the build, not part of the
+//! frozen query surface — both sides of this repository move together.
 //!
 //! The trailing `health_rows` block is **normative**: one row per
 //! router downstream (zero rows on a plain shard server), each row laid
@@ -133,7 +146,7 @@
 //!
 //! **Hello / HelloAck** — a v2-aware client *may* send `0x0A Hello
 //! { u8 version }` (its highest supported version, currently
-//! [`PROTOCOL_VERSION`] = 2) as any request; the server replies `0x8A
+//! [`PROTOCOL_VERSION`] = 3) as any request; the server replies `0x8A
 //! HelloAck { u8 version }` carrying `min(client, server)`, and the
 //! connection is **negotiated** to that version from then on. The
 //! handshake is normatively optional and idempotent: a connection that
@@ -156,7 +169,7 @@
 //! | `alpha`     | `f64`           | Rocchio anchor coefficient                |
 //! | `beta`      | `f64`           | Rocchio positive-centroid coefficient     |
 //! | `gamma`     | `f64`           | Rocchio negative-centroid coefficient     |
-//! | `flags`     | `u8`            | bit 0 = clamp derived components to ≥ 0   |
+//! | `flags`     | `u8`            | bit 0 = clamp derived components to ≥ 0; bit 1 = request a trace trailer (v3+, see *Protocol v3*; ignored below v3) |
 //! | `n`         | `u32`           | dimensionality of every vector below      |
 //! | `anchor`    | `n × f64`       | anchor point                              |
 //! | `p`         | `u32`           | positive-example count                    |
@@ -179,6 +192,61 @@
 //! [`ErrorCode::NonFiniteComponent`]; mismatched example lengths are a
 //! [`DecodeError`]-level [`ErrorCode::BadFrame`] (the layout fixes one
 //! `n` for every vector).
+//!
+//! # Protocol v3: request tracing
+//!
+//! Version 3 adds **end-to-end request tracing**: a client that
+//! negotiated version ≥ 3 may set bit 1 of the `KnnV2` `flags` byte to
+//! ask the server to record stage-level timings for that request and
+//! return them on the reply. Tracing is observational only —
+//! **normative invariant**: a traced reply's flags (other than
+//! [`KNN_TRACED`]), cycles, missing shards, and neighbors are
+//! bit-identical to the untraced reply the same request would have
+//! drawn. Servers below v3, and connections negotiated below v3,
+//! ignore the bit entirely (it was reserved-zero in v2).
+//!
+//! **Trace trailer** — when (and only when) [`KNN_TRACED`] (bit 3) is
+//! set in a `0x82 KnnResult`, the body carries a trace trailer between
+//! the (optional) missing-shard block and the neighbor count:
+//!
+//! | field       | type       | meaning                                   |
+//! |-------------|------------|-------------------------------------------|
+//! | `version`   | `u8`       | trailer layout version, currently [`TRACE_VERSION`] = 1; other values are malformed |
+//! | `trace_id`  | `u64`      | server-assigned id, unique per traced request per server |
+//! | `wall_ns`   | `u64`      | admission → reply encode, nanoseconds     |
+//! | `gather_ns` | `u64`      | admission → last shard slot resolved      |
+//! | `merge_ns`  | `u64`      | last shard slot resolved → reply encode   |
+//! | `s`         | `u32`      | span count (one per shard the request touched) |
+//! | `spans`     | `s ×` span | per-shard spans, layout below             |
+//!
+//! Each 25-byte **shard span**:
+//!
+//! | field        | type  | meaning                                        |
+//! |--------------|-------|------------------------------------------------|
+//! | `shard`      | `u32` | shard index                                    |
+//! | `queue_ns`   | `u64` | admission → this shard's work began (batch dispatch, or a pool worker picking the call up) |
+//! | `busy_ns`    | `u64` | work began → slot resolved (the coalesced scan pass, or the downstream round trip) |
+//! | `batch_fill` | `u32` | requests in the coalesced pass that served this shard (0 = not batched: a router leg) |
+//! | `flags`      | `u8`  | [`SPAN_HEDGE_FIRED`] \| [`SPAN_HEDGE_WON`] \| [`SPAN_FAST_DEGRADED`] \| [`SPAN_FAILED`]; other bits reserved-zero |
+//!
+//! All times come from one monotonic clock per server, measured as
+//! offsets from the request's admission instant, so the decomposition
+//! is **self-consistent by construction**:
+//! `wall_ns = gather_ns + merge_ns`, and for every span
+//! `queue_ns + busy_ns ≤ gather_ns` (a hedged span reports the winning
+//! leg; a failed span reports the failing leg with [`SPAN_FAILED`]).
+//!
+//! **GetTraces / TraceList** — servers keep a bounded ring of recent
+//! **slow** traces (every traced reply whose `wall_ns` exceeds the
+//! configured slow-query threshold is recorded; the ring evicts
+//! oldest-first). `0x0C GetTraces { u32 max }` (valid only after
+//! negotiating ≥ 3, [`ErrorCode::BadRequest`] otherwise) **drains** up
+//! to `max` of them, oldest first (`max = 0` drains all); the `0x8B
+//! TraceList` reply carries `u32 n` followed by `n` trace reports, each
+//! laid out exactly like the trailer above *without* the leading
+//! version byte (the list is versioned as a whole by the negotiated
+//! protocol version). Draining is destructive: two consecutive
+//! `GetTraces` calls return disjoint traces.
 //!
 //! # Conversation rules
 //!
@@ -248,8 +316,11 @@ pub const DEFAULT_MAX_FRAME_LEN: u32 = 1 << 20;
 /// Highest protocol version this build speaks. Version 1 is the
 /// handshake-free original; version 2 adds [`Request::Hello`] /
 /// [`Response::HelloAck`] negotiation and the multi-example
-/// [`Request::KnnV2`] frame (see the module docs, *Protocol v2*).
-pub const PROTOCOL_VERSION: u8 = 2;
+/// [`Request::KnnV2`] frame (see the module docs, *Protocol v2*);
+/// version 3 adds request tracing — the `KnnV2` trace flag, the
+/// [`KNN_TRACED`] reply trailer, and [`Request::GetTraces`] /
+/// [`Response::TraceList`] (see *Protocol v3*).
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// [`Response::KnnResult`] flag: the session's query finished.
 pub const KNN_DONE: u8 = 0b01;
@@ -260,6 +331,28 @@ pub const KNN_CONVERGED: u8 = 0b10;
 /// carries the missing-shard id list and the neighbors are exactly the
 /// flat scan over the surviving shards' rows.
 pub const KNN_DEGRADED: u8 = 0b100;
+/// [`Response::KnnResult`] flag (v3): the body carries a trace trailer
+/// between the (optional) missing-shard block and the neighbor count —
+/// the stage-level timing report the request opted into. Everything
+/// else about the reply is bit-identical to the untraced answer.
+pub const KNN_TRACED: u8 = 0b1000;
+
+/// Trace trailer layout version (the trailer's leading byte). Decoders
+/// must refuse other values as malformed.
+pub const TRACE_VERSION: u8 = 1;
+
+/// [`ShardSpan`] flag: a hedge (duplicate) call was fired at this shard
+/// while its primary leg straggled.
+pub const SPAN_HEDGE_FIRED: u8 = 0b0001;
+/// [`ShardSpan`] flag: the hedge leg's answer beat the primary's — the
+/// span's timings describe the winning (hedge) leg.
+pub const SPAN_HEDGE_WON: u8 = 0b0010;
+/// [`ShardSpan`] flag: the shard was ejected from the scatter set at
+/// admission and skipped without paying its timeout (a fast degrade).
+pub const SPAN_FAST_DEGRADED: u8 = 0b0100;
+/// [`ShardSpan`] flag: the shard's slot resolved as a failure; the
+/// span's timings describe the failing leg.
+pub const SPAN_FAILED: u8 = 0b1000;
 
 /// Protocol error categories carried by [`Response::Error`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -350,6 +443,47 @@ impl std::fmt::Display for ErrorCode {
     }
 }
 
+/// One shard's contribution to a traced request (see the module docs,
+/// *Protocol v3*, for the normative 25-byte wire layout). All times are
+/// nanosecond offsets measured from the request's admission on one
+/// monotonic clock, so `queue_ns + busy_ns ≤` the report's `gather_ns`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardSpan {
+    /// Shard index.
+    pub shard: u32,
+    /// Admission → this shard's work began (batch dispatch on a shard
+    /// server; a pool worker picking the call up on the router).
+    pub queue_ns: u64,
+    /// Work began → the shard's slot resolved (the coalesced scan pass,
+    /// or the downstream round trip).
+    pub busy_ns: u64,
+    /// Requests in the coalesced pass that served this shard; 0 when
+    /// the leg was not batched (a router downstream call).
+    pub batch_fill: u32,
+    /// [`SPAN_HEDGE_FIRED`] | [`SPAN_HEDGE_WON`] | [`SPAN_FAST_DEGRADED`]
+    /// | [`SPAN_FAILED`]; other bits reserved-zero.
+    pub flags: u8,
+}
+
+/// Stage-level timing report for one traced request — the [`KNN_TRACED`]
+/// trailer's payload and the unit [`Response::TraceList`] carries (see
+/// the module docs, *Protocol v3*). Self-consistent by construction:
+/// `wall_ns = gather_ns + merge_ns`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceReport {
+    /// Server-assigned id, unique per traced request per server.
+    pub trace_id: u64,
+    /// Admission → reply encode.
+    pub wall_ns: u64,
+    /// Admission → last shard slot resolved (the scatter-gather
+    /// critical path, covering every span's queue and busy time).
+    pub gather_ns: u64,
+    /// Last shard slot resolved → reply encode.
+    pub merge_ns: u64,
+    /// One span per shard the request touched.
+    pub spans: Vec<ShardSpan>,
+}
+
 /// One client → server message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -430,12 +564,23 @@ pub enum Request {
         gamma: f64,
         /// Clamp every derived component to `max(0, ·)`.
         clamp: bool,
+        /// Request a trace trailer on the reply (v3; flags-byte bit 1).
+        /// Honored only on connections negotiated to version ≥ 3 —
+        /// otherwise the bit is ignored and the reply is untraced.
+        trace: bool,
         /// Anchor point (dimensionality of every vector in the frame).
         anchor: Vec<f64>,
         /// Positive examples, each `anchor.len()` long.
         positives: Vec<Vec<f64>>,
         /// Negative examples, each `anchor.len()` long.
         negatives: Vec<Vec<f64>>,
+    },
+    /// Drain up to `max` reports from the server's slow-query trace
+    /// ring (v3+, after negotiation; `max = 0` drains all). Draining is
+    /// destructive — consecutive calls return disjoint traces.
+    GetTraces {
+        /// Upper bound on reports returned; 0 = no bound.
+        max: u32,
     },
 }
 
@@ -458,6 +603,11 @@ pub enum Response {
         /// Shard ids missing from a degraded merge. On the wire only
         /// when `flags & KNN_DEGRADED`; must be empty otherwise.
         missing_shards: Vec<u32>,
+        /// Stage-level timing report. On the wire (as the v3 trace
+        /// trailer) only when `flags & KNN_TRACED`; must be `None`
+        /// otherwise. Boxed: traced replies are the rare case and the
+        /// report dwarfs the rest of the variant.
+        trace: Option<Box<TraceReport>>,
         /// Neighbors, ascending `(dist, index)`.
         neighbors: Vec<Neighbor>,
     },
@@ -508,6 +658,13 @@ pub enum Response {
         /// Version every subsequent frame on this connection is
         /// interpreted under.
         version: u8,
+    },
+    /// Reply to [`Request::GetTraces`] (v3+): the drained slow-query
+    /// trace reports, oldest first.
+    TraceList {
+        /// Drained reports (each the trailer layout without its leading
+        /// version byte).
+        traces: Vec<TraceReport>,
     },
     /// Any request can fail with a coded error instead of its reply.
     Error {
@@ -619,6 +776,18 @@ pub struct StatsSnapshot {
     pub hedges_won: u64,
     /// Degraded (surviving-subset) answers served.
     pub degraded_replies: u64,
+    /// Rows the scan path visited (shard server; zero on a router —
+    /// likewise for the four fields below).
+    pub scan_rows_visited: u64,
+    /// Row blocks the scan early-abandoned partway through.
+    pub scan_blocks_abandoned: u64,
+    /// Candidates the f32 pre-filter discarded before rescoring.
+    pub scan_candidates_filtered: u64,
+    /// Candidates rescored at full f64 precision.
+    pub scan_candidates_rescored: u64,
+    /// Scan passes whose selection bound started from a cross-request
+    /// or cross-shard seed instead of `+∞`.
+    pub scan_seed_prunes: u64,
     /// Per-downstream health rows (router tier; empty on a shard
     /// server) — state plus ejection/re-admission counters.
     pub health: Vec<DownstreamHealth>,
@@ -735,6 +904,51 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Append one trace report (without a leading version byte) — the
+/// shared body of the [`KNN_TRACED`] trailer and of each
+/// [`Response::TraceList`] element.
+fn write_trace(out: &mut Vec<u8>, t: &TraceReport) {
+    out.extend_from_slice(&t.trace_id.to_le_bytes());
+    out.extend_from_slice(&t.wall_ns.to_le_bytes());
+    out.extend_from_slice(&t.gather_ns.to_le_bytes());
+    out.extend_from_slice(&t.merge_ns.to_le_bytes());
+    out.extend_from_slice(&(t.spans.len() as u32).to_le_bytes());
+    for s in &t.spans {
+        out.extend_from_slice(&s.shard.to_le_bytes());
+        out.extend_from_slice(&s.queue_ns.to_le_bytes());
+        out.extend_from_slice(&s.busy_ns.to_le_bytes());
+        out.extend_from_slice(&s.batch_fill.to_le_bytes());
+        out.push(s.flags);
+    }
+}
+
+/// Parse one trace report (the [`write_trace`] layout; span counts are
+/// budget-checked against the remaining bytes like every other count).
+fn read_trace(r: &mut Reader) -> Result<TraceReport, DecodeError> {
+    let trace_id = r.u64()?;
+    let wall_ns = r.u64()?;
+    let gather_ns = r.u64()?;
+    let merge_ns = r.u64()?;
+    let n = r.counted(25)?;
+    let mut spans = Vec::with_capacity(n);
+    for _ in 0..n {
+        spans.push(ShardSpan {
+            shard: r.u32()?,
+            queue_ns: r.u64()?,
+            busy_ns: r.u64()?,
+            batch_fill: r.u32()?,
+            flags: r.u8()?,
+        });
+    }
+    Ok(TraceReport {
+        trace_id,
+        wall_ns,
+        gather_ns,
+        merge_ns,
+        spans,
+    })
+}
+
 impl Request {
     /// Serialize into a frame payload (opcode + body).
     pub fn encode(&self) -> Vec<u8> {
@@ -799,6 +1013,7 @@ impl Request {
                 beta,
                 gamma,
                 clamp,
+                trace,
                 anchor,
                 positives,
                 negatives,
@@ -809,7 +1024,7 @@ impl Request {
                 out.extend_from_slice(&alpha.to_le_bytes());
                 out.extend_from_slice(&beta.to_le_bytes());
                 out.extend_from_slice(&gamma.to_le_bytes());
-                out.push(u8::from(*clamp));
+                out.push(u8::from(*clamp) | (u8::from(*trace) << 1));
                 out.extend_from_slice(&(anchor.len() as u32).to_le_bytes());
                 for v in anchor {
                     out.extend_from_slice(&v.to_le_bytes());
@@ -823,6 +1038,10 @@ impl Request {
                         }
                     }
                 }
+            }
+            Request::GetTraces { max } => {
+                out.push(0x0C);
+                out.extend_from_slice(&max.to_le_bytes());
             }
         }
         out
@@ -890,7 +1109,9 @@ impl Request {
                 let alpha = r.f64()?;
                 let beta = r.f64()?;
                 let gamma = r.f64()?;
-                let clamp = r.u8()? != 0;
+                let flags = r.u8()?;
+                let clamp = flags & 0b01 != 0;
+                let trace = flags & 0b10 != 0;
                 let n = r.counted(8)?;
                 let mut anchor = Vec::with_capacity(n);
                 for _ in 0..n {
@@ -920,11 +1141,13 @@ impl Request {
                     beta,
                     gamma,
                     clamp,
+                    trace,
                     anchor,
                     positives,
                     negatives,
                 }
             }
+            0x0C => Request::GetTraces { max: r.u32()? },
             op => return Err(DecodeError::UnknownOpcode(op)),
         };
         r.finish()?;
@@ -946,6 +1169,7 @@ impl Response {
                 flags,
                 cycles,
                 missing_shards,
+                trace,
                 neighbors,
             } => {
                 out.push(0x82);
@@ -961,6 +1185,13 @@ impl Response {
                         missing_shards.is_empty(),
                         "missing_shards require KNN_DEGRADED"
                     );
+                }
+                if flags & KNN_TRACED != 0 {
+                    let t = trace.as_ref().expect("KNN_TRACED requires a trace");
+                    out.push(TRACE_VERSION);
+                    write_trace(&mut out, t);
+                } else {
+                    debug_assert!(trace.is_none(), "a trace requires KNN_TRACED");
                 }
                 out.extend_from_slice(&(neighbors.len() as u32).to_le_bytes());
                 for n in neighbors {
@@ -994,6 +1225,11 @@ impl Response {
                 out.extend_from_slice(&s.hedges_fired.to_le_bytes());
                 out.extend_from_slice(&s.hedges_won.to_le_bytes());
                 out.extend_from_slice(&s.degraded_replies.to_le_bytes());
+                out.extend_from_slice(&s.scan_rows_visited.to_le_bytes());
+                out.extend_from_slice(&s.scan_blocks_abandoned.to_le_bytes());
+                out.extend_from_slice(&s.scan_candidates_filtered.to_le_bytes());
+                out.extend_from_slice(&s.scan_candidates_rescored.to_le_bytes());
+                out.extend_from_slice(&s.scan_seed_prunes.to_le_bytes());
                 out.extend_from_slice(&(s.health.len() as u32).to_le_bytes());
                 for h in &s.health {
                     out.extend_from_slice(&h.shard.to_le_bytes());
@@ -1030,6 +1266,13 @@ impl Response {
                 out.push(0x8A);
                 out.push(*version);
             }
+            Response::TraceList { traces } => {
+                out.push(0x8B);
+                out.extend_from_slice(&(traces.len() as u32).to_le_bytes());
+                for t in traces {
+                    write_trace(&mut out, t);
+                }
+            }
             Response::Error { code, message } => {
                 out.push(0xEE);
                 out.push(*code as u8);
@@ -1060,6 +1303,17 @@ impl Response {
                         missing_shards.push(r.u32()?);
                     }
                 }
+                let trace = if flags & KNN_TRACED != 0 {
+                    // An unknown trailer version cannot be skipped (the
+                    // trailer carries no byte length), so it is
+                    // malformed — same handling as an unknown enum byte.
+                    if r.u8()? != TRACE_VERSION {
+                        return Err(DecodeError::Truncated);
+                    }
+                    Some(Box::new(read_trace(&mut r)?))
+                } else {
+                    None
+                };
                 let n = r.counted(12)?;
                 let mut neighbors = Vec::with_capacity(n);
                 for _ in 0..n {
@@ -1072,6 +1326,7 @@ impl Response {
                     flags,
                     cycles,
                     missing_shards,
+                    trace,
                     neighbors,
                 }
             }
@@ -1096,6 +1351,11 @@ impl Response {
                     hedges_fired: r.u64()?,
                     hedges_won: r.u64()?,
                     degraded_replies: r.u64()?,
+                    scan_rows_visited: r.u64()?,
+                    scan_blocks_abandoned: r.u64()?,
+                    scan_candidates_filtered: r.u64()?,
+                    scan_candidates_rescored: r.u64()?,
+                    scan_seed_prunes: r.u64()?,
                     health: Vec::new(),
                 };
                 let n = r.counted(37)?;
@@ -1135,6 +1395,16 @@ impl Response {
             }
             0x89 => Response::ModuleRestored,
             0x8A => Response::HelloAck { version: r.u8()? },
+            0x8B => {
+                // Every report is at least 36 bytes (four u64s + span
+                // count), the budget unit for the forged-count check.
+                let n = r.counted(36)?;
+                let mut traces = Vec::with_capacity(n);
+                for _ in 0..n {
+                    traces.push(read_trace(&mut r)?);
+                }
+                Response::TraceList { traces }
+            }
             0xEE => {
                 let code = ErrorCode::from_u8(r.u8()?).ok_or(DecodeError::Truncated)?;
                 let n = r.counted(1)?;
@@ -1317,12 +1587,13 @@ mod tests {
             beta: 0.75,
             gamma: 0.25,
             clamp: true,
+            trace: false,
             anchor: vec![0.5, 0.25, -1.0],
             positives: vec![vec![0.1, 0.2, 0.3], vec![0.4, 0.5, 0.6]],
             negatives: vec![vec![0.9, 0.8, 0.7]],
         });
         // Both example sets empty: the trivial one-anchor query in v2
-        // clothing.
+        // clothing — and a traced one, exercising flags-byte bit 1.
         roundtrip_req(Request::KnnV2 {
             session: 1,
             k: 5,
@@ -1330,10 +1601,42 @@ mod tests {
             beta: 0.75,
             gamma: 0.25,
             clamp: false,
+            trace: true,
             anchor: vec![2.0, 3.0],
             positives: vec![],
             negatives: vec![],
         });
+        roundtrip_req(Request::GetTraces { max: 0 });
+        roundtrip_req(Request::GetTraces { max: 16 });
+    }
+
+    #[test]
+    fn knn_v2_trace_flag_is_bit_1_of_the_flags_byte() {
+        // The clamp and trace bits share one byte; every combination
+        // must encode to exactly that bit pattern (old v2 encoders only
+        // ever wrote 0 or 1 here).
+        for (clamp, trace) in [(false, false), (true, false), (false, true), (true, true)] {
+            let frame = Request::KnnV2 {
+                session: 1,
+                k: 5,
+                alpha: 1.0,
+                beta: 0.0,
+                gamma: 0.0,
+                clamp,
+                trace,
+                anchor: vec![1.0],
+                positives: vec![],
+                negatives: vec![],
+            }
+            .encode();
+            // opcode + session + k + 3 coefficients = 1 + 8 + 4 + 24.
+            let flags_at = 1 + 8 + 4 + 24;
+            assert_eq!(
+                frame[flags_at],
+                u8::from(clamp) | (u8::from(trace) << 1),
+                "clamp={clamp} trace={trace}"
+            );
+        }
     }
 
     #[test]
@@ -1347,6 +1650,7 @@ mod tests {
             beta: 0.75,
             gamma: 0.25,
             clamp: false,
+            trace: false,
             anchor: vec![0.5, 0.5],
             positives: vec![],
             negatives: vec![],
@@ -1369,6 +1673,7 @@ mod tests {
             flags: KNN_DONE | KNN_CONVERGED,
             cycles: 4,
             missing_shards: vec![],
+            trace: None,
             neighbors: vec![
                 Neighbor {
                     index: 2,
@@ -1385,10 +1690,63 @@ mod tests {
             flags: KNN_DEGRADED,
             cycles: 1,
             missing_shards: vec![1, 2],
+            trace: None,
             neighbors: vec![Neighbor {
                 index: 4,
                 dist: 0.5,
             }],
+        });
+        // Traced replies carry the trailer; a degraded *and* traced
+        // reply carries both blocks in order.
+        let report = TraceReport {
+            trace_id: 42,
+            wall_ns: 1_500_000,
+            gather_ns: 1_200_000,
+            merge_ns: 300_000,
+            spans: vec![
+                ShardSpan {
+                    shard: 0,
+                    queue_ns: 200_000,
+                    busy_ns: 900_000,
+                    batch_fill: 3,
+                    flags: 0,
+                },
+                ShardSpan {
+                    shard: 1,
+                    queue_ns: 150_000,
+                    busy_ns: 1_000_000,
+                    batch_fill: 0,
+                    flags: SPAN_HEDGE_FIRED | SPAN_HEDGE_WON,
+                },
+            ],
+        };
+        roundtrip_resp(Response::KnnResult {
+            flags: KNN_TRACED,
+            cycles: 2,
+            missing_shards: vec![],
+            trace: Some(Box::new(report.clone())),
+            neighbors: vec![Neighbor {
+                index: 7,
+                dist: 0.25,
+            }],
+        });
+        roundtrip_resp(Response::KnnResult {
+            flags: KNN_DEGRADED | KNN_TRACED,
+            cycles: 0,
+            missing_shards: vec![2],
+            trace: Some(Box::new(TraceReport {
+                spans: vec![ShardSpan {
+                    shard: 2,
+                    flags: SPAN_FAST_DEGRADED | SPAN_FAILED,
+                    ..Default::default()
+                }],
+                ..report.clone()
+            })),
+            neighbors: vec![],
+        });
+        roundtrip_resp(Response::TraceList { traces: vec![] });
+        roundtrip_resp(Response::TraceList {
+            traces: vec![report.clone(), TraceReport::default()],
         });
         roundtrip_resp(Response::FeedbackAck {
             done: true,
@@ -1410,6 +1768,11 @@ mod tests {
             hedges_fired: 7,
             hedges_won: 4,
             degraded_replies: 6,
+            scan_rows_visited: 120_000,
+            scan_blocks_abandoned: 310,
+            scan_candidates_filtered: 4_096,
+            scan_candidates_rescored: 512,
+            scan_seed_prunes: 9,
             health: Vec::new(),
         })));
         // Router stats carry per-downstream health rows; every state
@@ -1514,6 +1877,42 @@ mod tests {
         forged.extend_from_slice(&1u64.to_le_bytes());
         forged.extend_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(Request::decode(&forged), Err(DecodeError::BadLength));
+    }
+
+    #[test]
+    fn malformed_trace_trailers_are_rejected() {
+        let traced = Response::KnnResult {
+            flags: KNN_TRACED,
+            cycles: 0,
+            missing_shards: vec![],
+            trace: Some(Box::new(TraceReport {
+                trace_id: 1,
+                wall_ns: 10,
+                gather_ns: 8,
+                merge_ns: 2,
+                spans: vec![ShardSpan::default()],
+            })),
+            neighbors: vec![],
+        };
+        // An unknown trailer version cannot be skipped: malformed.
+        let mut wrong_version = traced.encode();
+        // The version byte sits right after opcode + flags + cycles.
+        assert_eq!(wrong_version[1 + 1 + 4], TRACE_VERSION);
+        wrong_version[1 + 1 + 4] = TRACE_VERSION + 1;
+        assert!(Response::decode(&wrong_version).is_err());
+        // A forged span count larger than the body must fail the
+        // budget check, not allocate.
+        let mut forged = traced.encode();
+        let span_count_at = 1 + 1 + 4 + 1 + 32;
+        forged[span_count_at..span_count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Response::decode(&forged), Err(DecodeError::BadLength));
+        // Same for a forged TraceList report count.
+        let mut list = Response::TraceList {
+            traces: vec![TraceReport::default()],
+        }
+        .encode();
+        list[1..5].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Response::decode(&list), Err(DecodeError::BadLength));
     }
 
     #[test]

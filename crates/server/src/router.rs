@@ -59,9 +59,11 @@ use crate::metrics::Metrics;
 use crate::pool::{control_call, Downstream, Job, PoolConfig};
 use crate::protocol::{
     error_code_for, read_frame, write_frame, DecodeError, DownstreamHealth, ErrorCode, FrameError,
-    Request, Response, DEFAULT_MAX_FRAME_LEN, KNN_DEGRADED, PROTOCOL_VERSION,
+    Request, Response, ShardSpan, DEFAULT_MAX_FRAME_LEN, KNN_DEGRADED, KNN_TRACED,
+    PROTOCOL_VERSION, SPAN_FAILED, SPAN_FAST_DEGRADED, SPAN_HEDGE_FIRED,
 };
 use crate::sessions::{err, ExampleSets, SessionStore};
+use crate::trace::{RequestTrace, TraceRing};
 use fbp_vecdb::{
     merge_partials_policy, Collection, DegradedGather, FailurePolicy, ShardPartial,
     WeightedEuclidean,
@@ -140,7 +142,15 @@ pub struct RouterConfig {
     /// ejection thresholds, probe cadence, re-admission quorum. See
     /// [`crate::health`].
     pub health: HealthConfig,
+    /// Traced replies at or above this wall time are kept in the
+    /// bounded slow-query ring `GetTraces` drains (zero keeps every
+    /// traced reply). Untraced requests record nothing.
+    pub slow_trace_threshold: Duration,
 }
+
+/// Capacity of the router's slow-query trace ring (reports, oldest
+/// evicted first).
+const TRACE_RING_CAP: usize = 64;
 
 impl Default for RouterConfig {
     fn default() -> Self {
@@ -159,6 +169,7 @@ impl Default for RouterConfig {
             feedback: FeedbackConfig::default(),
             faults: None,
             health: HealthConfig::default(),
+            slow_trace_threshold: Duration::from_millis(5),
         }
     }
 }
@@ -196,11 +207,14 @@ pub(crate) struct RouterGather {
     hedged: Vec<AtomicBool>,
     done: AtomicBool,
     policy: FailurePolicy,
+    /// Span collector for a traced request (`None` on the untraced hot
+    /// path). Observes timestamps only; it can never change an answer.
+    pub(crate) trace: Option<Arc<RequestTrace>>,
     state: Mutex<GatherState>,
 }
 
 impl RouterGather {
-    #[allow(clippy::too_many_arguments)] // construction site is singular; a params struct would only rename the eight fields
+    #[allow(clippy::too_many_arguments)] // construction site is singular; a params struct would only rename the nine fields
     pub(crate) fn new(
         k: usize,
         metric: WeightedEuclidean,
@@ -209,6 +223,7 @@ impl RouterGather {
         shards: usize,
         deadline_in: Duration,
         policy: FailurePolicy,
+        trace: Option<Arc<RequestTrace>>,
         reply: GatherReply,
     ) -> Arc<Self> {
         let created = Instant::now();
@@ -223,6 +238,7 @@ impl RouterGather {
             hedged: (0..shards).map(|_| AtomicBool::new(false)).collect(),
             done: AtomicBool::new(false),
             policy,
+            trace,
             state: Mutex::new(GatherState {
                 partials: (0..shards).map(|_| None).collect(),
                 delivered: vec![false; shards],
@@ -288,9 +304,41 @@ impl RouterGather {
             }
         };
         if let Some((reply, partials)) = fire {
+            // The last slot just resolved: everything from here (the
+            // policy merge, session bookkeeping, reply encode + write)
+            // is merge time.
+            if let Some(trace) = &self.trace {
+                trace.note_gathered();
+            }
             reply(self.merge(&partials));
         }
         true
+    }
+
+    /// Record `shard`'s span on a traced gather (no-op otherwise):
+    /// `started` is when the leg's wire work began (`None` for legs
+    /// that never touched the wire — fast degrades, backstops — which
+    /// report zero times). Call **before** the matching
+    /// [`Self::complete_shard`] so the delivery that fires the reply
+    /// already sees the span; duplicate recordings for a shard (a
+    /// losing leg racing the winner) are dropped by the collector.
+    pub(crate) fn trace_span(&self, shard: usize, started: Option<Instant>, flags: u8) {
+        if let Some(trace) = &self.trace {
+            let (queue_ns, busy_ns) = match started {
+                Some(s) => (
+                    s.saturating_duration_since(trace.t0()).as_nanos() as u64,
+                    s.elapsed().as_nanos() as u64,
+                ),
+                None => (0, 0),
+            };
+            trace.add_span(ShardSpan {
+                shard: shard as u32,
+                queue_ns,
+                busy_ns,
+                batch_fill: 0,
+                flags,
+            });
+        }
     }
 
     /// CAS-tighten the shared early-abandon bound.
@@ -350,6 +398,10 @@ struct RouterShared {
     /// Live gathers, swept for hedges and backstop delivery.
     gathers: Mutex<Vec<Arc<RouterGather>>>,
     next_conn: AtomicU64,
+    /// Trace-id source for traced requests (per-router unique).
+    next_trace: AtomicU64,
+    /// Slow-query trace ring, drained by `GetTraces`.
+    traces: TraceRing,
     shutdown: AtomicBool,
     /// Module epoch, bumped by the session store's commit hook on every
     /// successful learned-module insert.
@@ -614,6 +666,7 @@ pub fn route(
             epoch.fetch_add(1, Ordering::Release);
         }
     }));
+    let cfg_trace_threshold = cfg.slow_trace_threshold;
     let shared = Arc::new(RouterShared {
         store,
         total_rows: coll.len(),
@@ -624,6 +677,8 @@ pub fn route(
         degraded_replies: AtomicU64::new(0),
         gathers: Mutex::new(Vec::new()),
         next_conn: AtomicU64::new(1),
+        next_trace: AtomicU64::new(1),
+        traces: TraceRing::new(TRACE_RING_CAP, cfg_trace_threshold),
         shutdown: AtomicBool::new(false),
         module_epoch,
         replicated_epoch: AtomicU64::new(0),
@@ -698,6 +753,7 @@ fn run_sweeper(shared: &Arc<RouterShared>) {
             if now >= gather.deadline() + grace {
                 for shard in 0..shared.downstreams.len() {
                     if !gather.shard_resolved(shard) {
+                        gather.trace_span(shard, None, SPAN_FAILED);
                         gather.complete_shard(
                             shard,
                             Err(format!(
@@ -870,6 +926,11 @@ fn fire_due_hedges(
             continue; // another tick raced us
         }
         ds.stats.hedges_fired.fetch_add(1, Ordering::Relaxed);
+        // The hedge-fired bit lands on whichever leg's span ultimately
+        // resolves the shard (stashed until the span arrives).
+        if let Some(trace) = &gather.trace {
+            trace.flag_shard(shard as u32, SPAN_HEDGE_FIRED);
+        }
         ds.enqueue(Job {
             gather: Arc::clone(gather),
             hedge: true,
@@ -987,6 +1048,7 @@ fn handle_request(
             k,
             query,
             ExampleSets::default(),
+            false,
         ),
         Request::KnnV2 {
             session,
@@ -995,6 +1057,7 @@ fn handle_request(
             beta,
             gamma,
             clamp,
+            trace,
             anchor,
             positives,
             negatives,
@@ -1028,12 +1091,29 @@ fn handle_request(
                 negatives: spec.negatives().to_vec(),
             };
             let derived = spec.lower().into_request().point;
-            handle_router_knn(shared, writer, conn_id, session, k, derived, examples)
+            // Same rule as the flat server: the trace bit is honored
+            // only at a negotiated v3+, ignored otherwise.
+            let traced = trace && *version >= 3;
+            handle_router_knn(
+                shared, writer, conn_id, session, k, derived, examples, traced,
+            )
         }
         Request::Feedback { session, relevant } => {
             Some(shared.store.feedback(conn_id, session, relevant))
         }
         Request::SnapshotStats => Some(Response::Stats(Box::new(shared.stats()))),
+        Request::GetTraces { max } => {
+            if *version < 3 {
+                shared.metrics.record_protocol_error();
+                return Some(err(
+                    ErrorCode::BadRequest,
+                    "GetTraces requires a negotiated protocol version >= 3 (send Hello first)",
+                ));
+            }
+            Some(Response::TraceList {
+                traces: shared.traces.drain(max),
+            })
+        }
         Request::Close { session } => {
             let removed = shared.store.close(session, conn_id);
             owned.retain(|&id| id != session);
@@ -1069,7 +1149,10 @@ fn handle_request(
 /// downstream pool; the last delivered slot merges under the failure
 /// policy and writes the reply (degraded answers flagged with their
 /// missing shards). `query` is the (possibly derived) anchor point and
-/// `examples` the spec's example sets (empty for v1).
+/// `examples` the spec's example sets (empty for v1). With `traced`
+/// set, a [`RequestTrace`] rides the gather — per-downstream RTT spans,
+/// hedge and fast-degrade attribution — and the reply carries the
+/// stage-timing trailer; everything else is bit-identical.
 #[allow(clippy::too_many_arguments)]
 fn handle_router_knn(
     shared: &Arc<RouterShared>,
@@ -1079,6 +1162,7 @@ fn handle_router_knn(
     k: u32,
     query: Vec<f64>,
     examples: ExampleSets,
+    traced: bool,
 ) -> Option<Response> {
     let dim = shared.store.coll().dim();
     if query.len() != dim {
@@ -1139,9 +1223,15 @@ fn handle_router_knn(
     }
     shared.metrics.record_request();
 
+    // Admission is t0: every downstream span and the gather/merge split
+    // measure offsets from this one monotonic clock.
+    let req_trace =
+        traced.then(|| RequestTrace::new(shared.next_trace.fetch_add(1, Ordering::Relaxed)));
+
     let reply: GatherReply = {
         let shared = Arc::clone(shared);
         let writer = Arc::clone(writer);
+        let req_trace = req_trace.clone();
         Box::new(move |outcome: Result<DegradedGather, Response>| {
             shared.inflight.fetch_sub(1, Ordering::AcqRel);
             let response = match outcome {
@@ -1151,10 +1241,21 @@ fn handle_router_knn(
                         flags |= KNN_DEGRADED;
                         shared.degraded_replies.fetch_add(1, Ordering::Relaxed);
                     }
+                    // Fold the trace last, right before encode; error
+                    // replies (including Strict refusals) carry none.
+                    let trace = req_trace.as_ref().map(|t| {
+                        let report = t.finish();
+                        shared.traces.record(&report);
+                        Box::new(report)
+                    });
+                    if trace.is_some() {
+                        flags |= KNN_TRACED;
+                    }
                     Response::KnnResult {
                         flags,
                         cycles,
                         missing_shards: gathered.missing_shards,
+                        trace,
                         neighbors: gathered.neighbors,
                     }
                 }
@@ -1175,6 +1276,7 @@ fn handle_router_knn(
         shared.downstreams.len(),
         shared.cfg.shard_timeout,
         shared.cfg.policy,
+        req_trace,
         reply,
     );
     shared
@@ -1195,6 +1297,7 @@ fn handle_router_knn(
             // request paying the full `shard_timeout` for a shard known
             // to be dead.
             ds.health.note_fast_degrade();
+            gather.trace_span(ds.shard, None, SPAN_FAST_DEGRADED | SPAN_FAILED);
             gather.complete_shard(
                 ds.shard,
                 Err(format!("shard {} ejected from the scatter set", ds.shard)),

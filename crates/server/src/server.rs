@@ -24,9 +24,10 @@ use crate::batcher::{run_shard_dispatcher, Batcher, EnqueueError, Gather};
 use crate::metrics::Metrics;
 use crate::protocol::{
     error_code_for, read_frame, write_frame, DecodeError, ErrorCode, FrameError, Request, Response,
-    DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
+    DEFAULT_MAX_FRAME_LEN, KNN_TRACED, PROTOCOL_VERSION,
 };
 use crate::sessions::{err, ExampleSets, SessionStore};
+use crate::trace::{RequestTrace, TraceRing};
 use fbp_vecdb::{
     combine_partials, Collection, Neighbor, ScanMode, ShardPartial, ShardedCollection, ShardedScan,
     WeightedEuclidean,
@@ -103,7 +104,18 @@ pub struct ServerConfig {
     /// reply fails, the offending connection is shut down, and serving
     /// continues.
     pub write_timeout: Duration,
+    /// Traced replies at or above this wall time are kept in the
+    /// bounded slow-query ring `GetTraces` drains (zero keeps every
+    /// traced reply — handy in tests and drills). Only requests that
+    /// *asked* for a trace are candidates; the untraced path records
+    /// nothing.
+    pub slow_trace_threshold: Duration,
 }
+
+/// Capacity of the slow-query trace ring (reports, oldest evicted
+/// first). Bounded so an undrained server holds a fixed few KiB of
+/// trace state no matter how long it runs.
+const TRACE_RING_CAP: usize = 64;
 
 impl Default for ServerConfig {
     fn default() -> Self {
@@ -120,6 +132,7 @@ impl Default for ServerConfig {
             feedback: FeedbackConfig::default(),
             read_timeout: Duration::from_millis(20),
             write_timeout: Duration::from_secs(1),
+            slow_trace_threshold: Duration::from_millis(5),
         }
     }
 }
@@ -141,6 +154,11 @@ struct Shared {
     inflight: AtomicUsize,
     metrics: Arc<Metrics>,
     next_conn: AtomicU64,
+    /// Trace-id source for traced requests (ids are per-server unique,
+    /// never reused).
+    next_trace: AtomicU64,
+    /// Slow-query trace ring, drained by `GetTraces`.
+    traces: TraceRing,
     shutdown: AtomicBool,
 }
 
@@ -274,6 +292,8 @@ pub fn serve(
         inflight: AtomicUsize::new(0),
         metrics: Arc::clone(&metrics),
         next_conn: AtomicU64::new(1),
+        next_trace: AtomicU64::new(1),
+        traces: TraceRing::new(TRACE_RING_CAP, cfg.slow_trace_threshold),
         shutdown: AtomicBool::new(false),
     });
 
@@ -462,6 +482,7 @@ fn handle_request(
             k,
             query,
             ExampleSets::default(),
+            false,
         ),
         Request::KnnV2 {
             session,
@@ -470,6 +491,7 @@ fn handle_request(
             beta,
             gamma,
             clamp,
+            trace,
             anchor,
             positives,
             negatives,
@@ -503,7 +525,14 @@ fn handle_request(
                 negatives: spec.negatives().to_vec(),
             };
             let derived = spec.lower().into_request().point;
-            handle_knn(shared, writer, conn_id, session, k, derived, examples)
+            // The trace bit is honored only at a negotiated v3+; on an
+            // older negotiation it is ignored (not an error), so a v3
+            // encoder talking through a v2 negotiation degrades to an
+            // ordinary untraced reply.
+            let traced = trace && *version >= 3;
+            handle_knn(
+                shared, writer, conn_id, session, k, derived, examples, traced,
+            )
         }
         Request::Feedback { session, relevant } => {
             Some(shared.store.feedback(conn_id, session, relevant))
@@ -511,6 +540,18 @@ fn handle_request(
         Request::SnapshotStats => Some(Response::Stats(Box::new(
             shared.metrics.snapshot(shared.store.count()),
         ))),
+        Request::GetTraces { max } => {
+            if *version < 3 {
+                shared.metrics.record_protocol_error();
+                return Some(err(
+                    ErrorCode::BadRequest,
+                    "GetTraces requires a negotiated protocol version >= 3 (send Hello first)",
+                ));
+            }
+            Some(Response::TraceList {
+                traces: shared.traces.drain(max),
+            })
+        }
         Request::Close { session } => {
             let removed = shared.store.close(session, conn_id);
             owned.retain(|&id| id != session);
@@ -543,9 +584,11 @@ fn handle_request(
 /// shard's micro-batcher; the shard dispatcher delivering the last
 /// partial merges and finishes the reply (post-pass bookkeeping + the
 /// socket write). `query` is the (possibly derived) anchor point and
-/// `examples` the spec's example sets (empty for v1). Returns `None`
-/// when the reply was deferred to the dispatcher, `Some(error)`
-/// otherwise.
+/// `examples` the spec's example sets (empty for v1). With `traced`
+/// set, a [`RequestTrace`] rides the gather and the reply carries the
+/// stage-timing trailer — everything else about the reply is
+/// bit-identical to the untraced answer. Returns `None` when the reply
+/// was deferred to the dispatcher, `Some(error)` otherwise.
 #[allow(clippy::too_many_arguments)]
 fn handle_knn(
     shared: &Arc<Shared>,
@@ -555,6 +598,7 @@ fn handle_knn(
     k: u32,
     query: Vec<f64>,
     examples: ExampleSets,
+    traced: bool,
 ) -> Option<Response> {
     let dim = shared.store.coll().dim();
     if query.len() != dim {
@@ -598,18 +642,36 @@ fn handle_knn(
     }
     shared.metrics.record_request();
 
+    // Admission is t0: the trace's clock starts the moment the request
+    // enters the scatter path, so every stage offset shares one origin.
+    let req_trace =
+        traced.then(|| RequestTrace::new(shared.next_trace.fetch_add(1, Ordering::Relaxed)));
+
     let completion = {
         let shared = Arc::clone(shared);
         let writer = Arc::clone(writer);
+        let req_trace = req_trace.clone();
         Box::new(move |outcome: Result<Vec<Neighbor>, String>| {
             shared.inflight.fetch_sub(1, Ordering::AcqRel);
             let response = match outcome {
                 Ok(neighbors) => {
-                    let (flags, cycles) = shared.store.finish_knn(session, &neighbors);
+                    let (mut flags, cycles) = shared.store.finish_knn(session, &neighbors);
+                    // Fold the trace last, right before encode, so the
+                    // merge window covers the session bookkeeping too.
+                    // Error replies never carry a trailer.
+                    let trace = req_trace.as_ref().map(|t| {
+                        let report = t.finish();
+                        shared.traces.record(&report);
+                        Box::new(report)
+                    });
+                    if trace.is_some() {
+                        flags |= KNN_TRACED;
+                    }
                     Response::KnnResult {
                         flags,
                         cycles,
                         missing_shards: Vec::new(),
+                        trace,
                         neighbors,
                     }
                 }
@@ -625,7 +687,7 @@ fn handle_knn(
             }
         })
     };
-    let gather = Gather::new(req, metric, k, shared.batchers.len(), completion);
+    let gather = Gather::new(req, metric, k, shared.batchers.len(), req_trace, completion);
     for (shard, batcher) in shared.batchers.iter().enumerate() {
         if let Err(EnqueueError::ShuttingDown) = batcher.enqueue(Arc::clone(&gather)) {
             // Shutdown raced the scatter: deliver this shard's slot as
@@ -685,7 +747,8 @@ fn handle_shard_knn(
     // A NaN seed would poison every key comparison; treat it as
     // unseeded.
     let mut cap = if seed.is_nan() { f64::INFINITY } else { seed };
-    let scan = ShardedScan::with_mode(&shared.sharded_coll, shared.cfg.scan_mode);
+    let scan = ShardedScan::with_mode(&shared.sharded_coll, shared.cfg.scan_mode)
+        .with_scan_stats(shared.metrics.scan_stats());
     let mut parts: Vec<ShardPartial> = Vec::with_capacity(shared.sharded_coll.shards().len());
     for s in 0..shared.sharded_coll.shards().len() {
         let part = shared

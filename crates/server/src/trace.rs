@@ -1,0 +1,255 @@
+//! Server-side request tracing: the per-request span collector behind
+//! the protocol-v3 [`KNN_TRACED`](crate::protocol::KNN_TRACED) trailer,
+//! and the bounded slow-query ring `GetTraces` drains.
+//!
+//! A traced request carries one [`RequestTrace`] from admission to
+//! reply encode. Every stage records **offsets from one monotonic
+//! clock** (the trace's `t0`, stamped at admission), which is what
+//! makes the report self-consistent by construction: the gather time is
+//! stamped when the last shard slot resolves, the wall time when the
+//! report is finished, and the merge time is their difference — so
+//! `wall_ns = gather_ns + merge_ns` holds exactly, and every span's
+//! `queue_ns + busy_ns` is clamped into the gather window.
+//!
+//! The collector is built for a cold path that must not perturb the hot
+//! one: untraced requests carry a `None` and pay a single branch per
+//! stage; traced requests pay one short mutex lock per shard span (the
+//! lock is per-request, so it is effectively uncontended — only the
+//! hedge sweeper can race a delivering worker).
+
+use crate::protocol::{ShardSpan, TraceReport};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Spans and flag bits collected for one traced request.
+struct TraceInner {
+    spans: Vec<ShardSpan>,
+    /// Flag bits raised for a shard whose span has not landed yet (the
+    /// hedge sweeper flags a straggler *before* its winning leg records
+    /// the span); merged into the span on arrival.
+    pending: Vec<(u32, u8)>,
+}
+
+/// One traced request's collector: admission clock, per-shard spans,
+/// and the gather timestamp, folded into a
+/// [`TraceReport`] by [`RequestTrace::finish`].
+pub(crate) struct RequestTrace {
+    id: u64,
+    t0: Instant,
+    /// Admission → last shard slot resolved, in nanoseconds; 0 until
+    /// [`RequestTrace::note_gathered`] stamps it.
+    gathered_ns: AtomicU64,
+    inner: Mutex<TraceInner>,
+}
+
+impl RequestTrace {
+    /// Start tracing a request admitted **now**.
+    pub(crate) fn new(id: u64) -> Arc<Self> {
+        Arc::new(RequestTrace {
+            id,
+            t0: Instant::now(),
+            gathered_ns: AtomicU64::new(0),
+            inner: Mutex::new(TraceInner {
+                spans: Vec::new(),
+                pending: Vec::new(),
+            }),
+        })
+    }
+
+    /// The admission instant every stage offset is measured from.
+    pub(crate) fn t0(&self) -> Instant {
+        self.t0
+    }
+
+    /// Record one shard's span, merging any flag bits raised for the
+    /// shard before the span landed. First span per shard wins:
+    /// duplicate recordings (a hedge loser's timeout racing the
+    /// winner's delivery, a backstop racing a worker) are dropped, so a
+    /// report never carries two spans for one shard.
+    pub(crate) fn add_span(&self, mut span: ShardSpan) {
+        let mut g = self.inner.lock().expect("trace lock");
+        if g.spans.iter().any(|sp| sp.shard == span.shard) {
+            return;
+        }
+        if let Some(pos) = g.pending.iter().position(|(s, _)| *s == span.shard) {
+            span.flags |= g.pending.remove(pos).1;
+        }
+        g.spans.push(span);
+    }
+
+    /// OR `flags` into `shard`'s span — or stash them if the span has
+    /// not landed yet (the sweeper marking a hedge fired races the
+    /// winning leg's delivery).
+    pub(crate) fn flag_shard(&self, shard: u32, flags: u8) {
+        let mut g = self.inner.lock().expect("trace lock");
+        if let Some(sp) = g.spans.iter_mut().find(|sp| sp.shard == shard) {
+            sp.flags |= flags;
+        } else if let Some(p) = g.pending.iter_mut().find(|(s, _)| *s == shard) {
+            p.1 |= flags;
+        } else {
+            g.pending.push((shard, flags));
+        }
+    }
+
+    /// Stamp the gather point: the last shard slot just resolved.
+    pub(crate) fn note_gathered(&self) {
+        self.gathered_ns
+            .store(self.t0.elapsed().as_nanos() as u64, Ordering::Release);
+    }
+
+    /// Fold the collected spans into the wire report, called at reply
+    /// encode. `wall_ns = gather_ns + merge_ns` holds exactly (both
+    /// terms derive from one reading of the clock), and every span is
+    /// clamped into the gather window so `queue_ns + busy_ns ≤
+    /// gather_ns` survives clock granularity.
+    pub(crate) fn finish(&self) -> TraceReport {
+        let wall_ns = self.t0.elapsed().as_nanos() as u64;
+        let gather_ns = self.gathered_ns.load(Ordering::Acquire).min(wall_ns);
+        let merge_ns = wall_ns - gather_ns;
+        let mut g = self.inner.lock().expect("trace lock");
+        let mut spans = std::mem::take(&mut g.spans);
+        for sp in &mut spans {
+            sp.queue_ns = sp.queue_ns.min(gather_ns);
+            sp.busy_ns = sp.busy_ns.min(gather_ns - sp.queue_ns);
+        }
+        spans.sort_by_key(|sp| sp.shard);
+        TraceReport {
+            trace_id: self.id,
+            wall_ns,
+            gather_ns,
+            merge_ns,
+            spans,
+        }
+    }
+}
+
+/// Bounded ring of recent **slow** traces — the server-side buffer
+/// `GetTraces` drains (destructively, oldest first). Only traced
+/// replies whose wall time reaches the threshold are kept; a threshold
+/// of zero keeps every traced reply (useful in tests and drills).
+pub(crate) struct TraceRing {
+    cap: usize,
+    threshold_ns: u64,
+    ring: Mutex<VecDeque<TraceReport>>,
+}
+
+impl TraceRing {
+    /// Ring keeping at most `cap` reports at or above `threshold`.
+    pub(crate) fn new(cap: usize, threshold: Duration) -> Self {
+        TraceRing {
+            cap: cap.max(1),
+            threshold_ns: threshold.as_nanos() as u64,
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Offer one finished report; kept only if it meets the slow
+    /// threshold, evicting the oldest once the ring is full.
+    pub(crate) fn record(&self, report: &TraceReport) {
+        if report.wall_ns < self.threshold_ns {
+            return;
+        }
+        let mut g = self.ring.lock().expect("trace ring lock");
+        if g.len() == self.cap {
+            g.pop_front();
+        }
+        g.push_back(report.clone());
+    }
+
+    /// Drain up to `max` reports, oldest first (`0` = all).
+    pub(crate) fn drain(&self, max: u32) -> Vec<TraceReport> {
+        let mut g = self.ring.lock().expect("trace ring lock");
+        let take = if max == 0 {
+            g.len()
+        } else {
+            g.len().min(max as usize)
+        };
+        g.drain(..take).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{SPAN_HEDGE_FIRED, SPAN_HEDGE_WON};
+
+    #[test]
+    fn finish_is_self_consistent_by_construction() {
+        let t = RequestTrace::new(7);
+        t.add_span(ShardSpan {
+            shard: 1,
+            queue_ns: 10,
+            busy_ns: u64::MAX, // absurd: must be clamped into the window
+            batch_fill: 3,
+            flags: 0,
+        });
+        t.add_span(ShardSpan {
+            shard: 0,
+            queue_ns: 5,
+            busy_ns: 20,
+            batch_fill: 3,
+            flags: 0,
+        });
+        std::thread::sleep(Duration::from_millis(1));
+        t.note_gathered();
+        let r = t.finish();
+        assert_eq!(r.trace_id, 7);
+        assert_eq!(r.wall_ns, r.gather_ns + r.merge_ns);
+        assert!(r.gather_ns > 0);
+        assert_eq!(r.spans.len(), 2);
+        assert_eq!(r.spans[0].shard, 0, "spans sorted by shard");
+        for sp in &r.spans {
+            assert!(sp.queue_ns + sp.busy_ns <= r.gather_ns);
+        }
+    }
+
+    #[test]
+    fn flags_raised_before_the_span_merge_into_it() {
+        let t = RequestTrace::new(1);
+        // The sweeper fires a hedge before any leg delivered the span.
+        t.flag_shard(2, SPAN_HEDGE_FIRED);
+        t.add_span(ShardSpan {
+            shard: 2,
+            queue_ns: 1,
+            busy_ns: 1,
+            batch_fill: 0,
+            flags: SPAN_HEDGE_WON,
+        });
+        // And flags raised after the span land directly on it.
+        t.flag_shard(2, 0b1000);
+        t.note_gathered();
+        let r = t.finish();
+        assert_eq!(r.spans.len(), 1);
+        assert_eq!(r.spans[0].flags, SPAN_HEDGE_FIRED | SPAN_HEDGE_WON | 0b1000);
+    }
+
+    #[test]
+    fn ring_keeps_only_slow_reports_bounded_and_drains_oldest_first() {
+        let ring = TraceRing::new(2, Duration::from_nanos(100));
+        let fast = TraceReport {
+            trace_id: 0,
+            wall_ns: 50,
+            ..Default::default()
+        };
+        ring.record(&fast);
+        assert!(ring.drain(0).is_empty(), "below-threshold report dropped");
+        for id in 1..=3u64 {
+            ring.record(&TraceReport {
+                trace_id: id,
+                wall_ns: 200,
+                ..Default::default()
+            });
+        }
+        // Cap 2: report 1 was evicted; drain is destructive and
+        // oldest-first.
+        let drained = ring.drain(1);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].trace_id, 2);
+        let rest = ring.drain(0);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].trace_id, 3);
+        assert!(ring.drain(0).is_empty());
+    }
+}

@@ -209,6 +209,7 @@ fn knn_v2_validation_errors_carry_distinct_codes() {
         beta: 0.75,
         gamma: 0.25,
         clamp: false,
+        trace: false,
         anchor,
         positives: Vec::new(),
         negatives: Vec::new(),

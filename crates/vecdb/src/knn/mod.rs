@@ -22,6 +22,7 @@ mod mtree;
 mod multi;
 mod scan;
 mod sharded;
+mod stats;
 mod vptree;
 
 pub use mtree::{MTree, MTreeConfig};
@@ -31,6 +32,7 @@ pub use sharded::{
     combine_partials, merge_partials, merge_partials_policy, DegradedGather, FailurePolicy,
     GatherError, ShardPartial, ShardedScan,
 };
+pub use stats::{ScanStats, ScanStatsSink};
 pub use vptree::VpTree;
 
 use crate::collection::Collection;

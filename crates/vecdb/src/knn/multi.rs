@@ -43,6 +43,7 @@
 //! so results remain bit-identical to the pure-f64 scan while the bulk
 //! of the pass moves half the bytes.
 
+use super::stats::{ScanStats, ScanStatsSink};
 use super::{
     f32_bound_up, finish_entries, rescore_f64_keyed, scan_threads, KBest, Neighbor, Precision,
     ScanMode, SearchStats, BLOCK_ROWS, PARALLEL_CUTOFF,
@@ -75,6 +76,7 @@ pub struct MultiQueryScan<'a> {
     mode: ScanMode,
     precision: Precision,
     thread_budget: Option<usize>,
+    stats: Option<&'a ScanStatsSink>,
 }
 
 impl<'a> MultiQueryScan<'a> {
@@ -85,6 +87,7 @@ impl<'a> MultiQueryScan<'a> {
             mode: ScanMode::Auto,
             precision: Precision::F64,
             thread_budget: None,
+            stats: None,
         }
     }
 
@@ -95,6 +98,7 @@ impl<'a> MultiQueryScan<'a> {
             mode,
             precision: Precision::F64,
             thread_budget: None,
+            stats: None,
         }
     }
 
@@ -113,6 +117,34 @@ impl<'a> MultiQueryScan<'a> {
     pub fn with_thread_budget(mut self, threads: usize) -> Self {
         self.thread_budget = Some(threads.max(1));
         self
+    }
+
+    /// Flush this scan's work counters into `sink` (see [`ScanStats`]):
+    /// passes accumulate plain local tallies and record them with a few
+    /// relaxed `fetch_add`s at pass end, so attaching a sink never
+    /// perturbs the per-row hot loops — and never changes an answer.
+    pub fn with_scan_stats(mut self, sink: &'a ScanStatsSink) -> Self {
+        self.stats = Some(sink);
+        self
+    }
+
+    /// Flush one pass's tallies, when a sink is attached.
+    fn record_stats(&self, tally: ScanStats) {
+        if let Some(sink) = self.stats {
+            sink.record(&tally);
+        }
+    }
+
+    /// Count one seeded pass: the caller handed finite cross-request /
+    /// cross-shard caps, so this pass pruned against a bound tighter
+    /// than `+∞` from row one.
+    fn record_seeded_pass(&self, caps: Option<&[f64]>) {
+        if self.stats.is_some() && caps.is_some_and(|c| c.iter().any(|v| v.is_finite())) {
+            self.record_stats(ScanStats {
+                seed_prunes: 1,
+                ..Default::default()
+            });
+        }
     }
 
     /// The underlying collection.
@@ -227,6 +259,7 @@ impl<'a> MultiQueryScan<'a> {
         for q in queries {
             assert_eq!(q.len(), dim, "query dimensionality mismatch");
         }
+        self.record_seeded_pass(caps);
         let mode = self.effective_mode(queries.len());
         if mode != ScanMode::Scalar {
             if let Some(slack) = self.f32_slack(dist, queries) {
@@ -245,6 +278,10 @@ impl<'a> MultiQueryScan<'a> {
                         }
                     }
                 }
+                self.record_stats(ScanStats {
+                    rows_visited: self.coll.len() as u64,
+                    ..Default::default()
+                });
                 // Scalar pushes true distances; finish is the identity.
                 (kbs, true)
             }
@@ -297,7 +334,7 @@ impl<'a> MultiQueryScan<'a> {
                     &mut cands,
                     caps,
                 );
-                filter_candidates(&kbs, &slacks, cands, caps)
+                filter_candidates(&kbs, &slacks, cands, caps, self.stats)
             }
             ScanMode::Parallel => {
                 self.parallel_candidates(ks, &slacks, caps, &|range, kbs, cands| {
@@ -395,6 +432,7 @@ impl<'a> MultiQueryScan<'a> {
         for q in queries {
             assert_eq!(q.len(), dim, "query dimensionality mismatch");
         }
+        self.record_seeded_pass(caps);
         let mode = self.effective_mode(queries.len());
         if mode != ScanMode::Scalar {
             // All-or-nothing: the f32 pass engages only when *every*
@@ -423,6 +461,10 @@ impl<'a> MultiQueryScan<'a> {
                         }
                     }
                 }
+                self.record_stats(ScanStats {
+                    rows_visited: self.coll.len() as u64,
+                    ..Default::default()
+                });
                 (kbs, true)
             }
             ScanMode::Batched => {
@@ -499,9 +541,11 @@ impl<'a> MultiQueryScan<'a> {
         let mode = self.effective_mode(queries.len());
         if mode == ScanMode::Scalar {
             // The scalar reference has no kernel layout to specialize.
+            // (It records the seeded pass itself — don't double-count.)
             let dists: Vec<&dyn Distance> = metrics.iter().map(|&m| m as &dyn Distance).collect();
             return self.knn_per_query_k_keyed(queries, &dists, ks, caps);
         }
+        self.record_seeded_pass(caps);
         // All-or-nothing f32 eligibility, exactly like the generic path.
         let slacks: Option<Vec<f64>> = metrics
             .iter()
@@ -520,9 +564,11 @@ impl<'a> MultiQueryScan<'a> {
                     let mut bounds64 = vec![f64::INFINITY; nq];
                     let mut bounds32 = vec![f32::INFINITY; nq];
                     let mut start = rows.start;
+                    let mut tally = ScanStats::default();
                     while start < rows.end {
                         let end = (start + BLOCK_ROWS).min(rows.end);
                         let n = end - start;
+                        tally.rows_visited += n as u64;
                         let block = self
                             .coll
                             .block_f32(start, end)
@@ -549,23 +595,28 @@ impl<'a> MultiQueryScan<'a> {
                             &bounds32,
                             &mut keys[..nq * n],
                         );
+                        let mut block_abandoned = false;
                         for (q, (kb, cand)) in kbs.iter_mut().zip(cands.iter_mut()).enumerate() {
                             for (offset, &key) in keys[q * n..(q + 1) * n].iter().enumerate() {
                                 if (key as f64) <= bounds64[q] {
                                     cand.push(((start + offset) as u32, key));
                                     kb.push((start + offset) as u32, key as f64);
+                                } else {
+                                    block_abandoned = true;
                                 }
                             }
                         }
+                        tally.blocks_abandoned += block_abandoned as u64;
                         start = end;
                     }
+                    self.record_stats(tally);
                 };
             let cands = match mode {
                 ScanMode::Batched => {
                     let mut kbs: Vec<KBest> = ks.iter().map(|&k| KBest::new(k)).collect();
                     let mut cands: Vec<Vec<(u32, f32)>> = vec![Vec::new(); nq];
                     scan_chunk(0..self.coll.len(), &mut kbs, &mut cands);
-                    filter_candidates(&kbs, &slacks, cands, caps)
+                    filter_candidates(&kbs, &slacks, cands, caps, self.stats)
                 }
                 ScanMode::Parallel => self.parallel_candidates(ks, &slacks, caps, &scan_chunk),
                 _ => unreachable!("f32 path only runs in kernel modes"),
@@ -590,9 +641,11 @@ impl<'a> MultiQueryScan<'a> {
             let mut keys = vec![0.0f64; nq * BLOCK_ROWS];
             let mut bounds = vec![f64::INFINITY; nq];
             let mut start = rows.start;
+            let mut tally = ScanStats::default();
             while start < rows.end {
                 let end = (start + BLOCK_ROWS).min(rows.end);
                 let n = end - start;
+                tally.rows_visited += n as u64;
                 let block = self.coll.block(start, end);
                 for (q, (b, kb)) in bounds.iter_mut().zip(kbs.iter()).enumerate() {
                     *b = kb.threshold().min(cap_of(caps, q));
@@ -606,6 +659,7 @@ impl<'a> MultiQueryScan<'a> {
                     &bounds,
                     &mut keys[..nq * n],
                 );
+                let mut block_abandoned = false;
                 for (q, kb) in kbs.iter_mut().enumerate() {
                     for (offset, &key) in keys[q * n..(q + 1) * n].iter().enumerate() {
                         // Capped pruning can abandon rows before the
@@ -613,11 +667,15 @@ impl<'a> MultiQueryScan<'a> {
                         // partial-sum keys (> bound) out of the heap.
                         if key <= bounds[q] {
                             kb.push((start + offset) as u32, key);
+                        } else {
+                            block_abandoned = true;
                         }
                     }
                 }
+                tally.blocks_abandoned += block_abandoned as u64;
                 start = end;
             }
+            self.record_stats(tally);
         };
         let kbs = match mode {
             ScanMode::Batched => {
@@ -663,7 +721,7 @@ impl<'a> MultiQueryScan<'a> {
                     &mut cands,
                     caps,
                 );
-                filter_candidates(&kbs, slacks, cands, caps)
+                filter_candidates(&kbs, slacks, cands, caps, self.stats)
             }
             ScanMode::Parallel => {
                 self.parallel_candidates(ks, slacks, caps, &|range, kbs, cands| {
@@ -701,14 +759,17 @@ impl<'a> MultiQueryScan<'a> {
         let mut keys = vec![0.0f64; nq * BLOCK_ROWS];
         let mut bounds = vec![f64::INFINITY; nq];
         let mut start = rows.start;
+        let mut tally = ScanStats::default();
         while start < rows.end {
             let end = (start + BLOCK_ROWS).min(rows.end);
             let n = end - start;
+            tally.rows_visited += n as u64;
             let block = self.coll.block(start, end);
             for (q, (b, kb)) in bounds.iter_mut().zip(kbs.iter()).enumerate() {
                 *b = kb.threshold().min(cap_of(caps, q));
             }
             dist.eval_key_multi(flat_queries, block, dim, &bounds, &mut keys[..nq * n]);
+            let mut block_abandoned = false;
             for (q, kb) in kbs.iter_mut().enumerate() {
                 for (offset, &key) in keys[q * n..(q + 1) * n].iter().enumerate() {
                     // Capped pruning can abandon rows before the k-best
@@ -716,11 +777,15 @@ impl<'a> MultiQueryScan<'a> {
                     // out of the heap.
                     if key <= bounds[q] {
                         kb.push((start + offset) as u32, key);
+                    } else {
+                        block_abandoned = true;
                     }
                 }
             }
+            tally.blocks_abandoned += block_abandoned as u64;
             start = end;
         }
+        self.record_stats(tally);
     }
 
     /// Shared-metric f32 phase-1 over one contiguous index range of the
@@ -761,9 +826,11 @@ impl<'a> MultiQueryScan<'a> {
         let mut bounds64 = vec![f64::INFINITY; nq];
         let mut bounds32 = vec![f32::INFINITY; nq];
         let mut start = rows.start;
+        let mut tally = ScanStats::default();
         while start < rows.end {
             let end = (start + BLOCK_ROWS).min(rows.end);
             let n = end - start;
+            tally.rows_visited += n as u64;
             let block = self
                 .coll
                 .block_f32(start, end)
@@ -785,16 +852,21 @@ impl<'a> MultiQueryScan<'a> {
                 *b32 = f32_bound_up(*b64);
             }
             dist.eval_key_multi_f32(flat_q32, block, dim, &bounds32, &mut keys[..nq * n]);
+            let mut block_abandoned = false;
             for (q, (kb, cand)) in kbs.iter_mut().zip(cands.iter_mut()).enumerate() {
                 for (offset, &key) in keys[q * n..(q + 1) * n].iter().enumerate() {
                     if (key as f64) <= bounds64[q] {
                         cand.push(((start + offset) as u32, key));
                         kb.push((start + offset) as u32, key as f64);
+                    } else {
+                        block_abandoned = true;
                     }
                 }
             }
+            tally.blocks_abandoned += block_abandoned as u64;
             start = end;
         }
+        self.record_stats(tally);
     }
 
     /// Per-query-metric f32 phase-1: one shared mirror-block read, one
@@ -816,13 +888,16 @@ impl<'a> MultiQueryScan<'a> {
         let dim = self.coll.dim();
         let mut keys = [0.0f32; BLOCK_ROWS];
         let mut start = rows.start;
+        let mut tally = ScanStats::default();
         while start < rows.end {
             let end = (start + BLOCK_ROWS).min(rows.end);
             let n = end - start;
+            tally.rows_visited += n as u64;
             let block = self
                 .coll
                 .block_f32(start, end)
                 .expect("f32 path requires the mirror");
+            let mut block_abandoned = false;
             for (q, ((q32, d), (kb, cand))) in q32s
                 .iter()
                 .zip(dists.iter())
@@ -839,11 +914,15 @@ impl<'a> MultiQueryScan<'a> {
                     if (key as f64) <= bound64 {
                         cand.push(((start + offset) as u32, key));
                         kb.push((start + offset) as u32, key as f64);
+                    } else {
+                        block_abandoned = true;
                     }
                 }
             }
+            tally.blocks_abandoned += block_abandoned as u64;
             start = end;
         }
+        self.record_stats(tally);
     }
 
     /// Per-query-metric blocked pass: one shared block read, one
@@ -860,10 +939,13 @@ impl<'a> MultiQueryScan<'a> {
         let dim = self.coll.dim();
         let mut keys = [0.0f64; BLOCK_ROWS];
         let mut start = rows.start;
+        let mut tally = ScanStats::default();
         while start < rows.end {
             let end = (start + BLOCK_ROWS).min(rows.end);
             let n = end - start;
+            tally.rows_visited += n as u64;
             let block = self.coll.block(start, end);
+            let mut block_abandoned = false;
             for (qi, ((q, d), kb)) in queries
                 .iter()
                 .zip(dists.iter())
@@ -875,11 +957,15 @@ impl<'a> MultiQueryScan<'a> {
                 for (offset, &key) in keys[..n].iter().enumerate() {
                     if key <= bound {
                         kb.push((start + offset) as u32, key);
+                    } else {
+                        block_abandoned = true;
                     }
                 }
             }
+            tally.blocks_abandoned += block_abandoned as u64;
             start = end;
         }
+        self.record_stats(tally);
     }
 
     /// Parallel driver shared by both entry points: fan contiguous row
@@ -963,7 +1049,7 @@ impl<'a> MultiQueryScan<'a> {
             let mut kbs: Vec<KBest> = ks.iter().map(|&k| KBest::new(k)).collect();
             let mut cands: Vec<Vec<(u32, f32)>> = vec![Vec::new(); nq];
             scan_chunk(0..len, &mut kbs, &mut cands);
-            return filter_candidates(&kbs, slacks, cands, caps);
+            return filter_candidates(&kbs, slacks, cands, caps, self.stats);
         }
         let chunk = len.div_ceil(threads);
         let mut merged: Vec<Vec<u32>> = vec![Vec::new(); nq];
@@ -976,7 +1062,7 @@ impl<'a> MultiQueryScan<'a> {
                         let mut kbs: Vec<KBest> = ks.iter().map(|&k| KBest::new(k)).collect();
                         let mut cands: Vec<Vec<(u32, f32)>> = vec![Vec::new(); nq];
                         scan_chunk(lo..hi, &mut kbs, &mut cands);
-                        filter_candidates(&kbs, slacks, cands, caps)
+                        filter_candidates(&kbs, slacks, cands, caps, self.stats)
                     })
                 })
                 .collect();
@@ -1010,19 +1096,31 @@ fn filter_candidates(
     slacks: &[f64],
     cands: Vec<Vec<(u32, f32)>>,
     caps: Option<&[f64]>,
+    stats: Option<&ScanStatsSink>,
 ) -> Vec<Vec<u32>> {
-    kbs.iter()
+    let mut tally = ScanStats::default();
+    let kept: Vec<Vec<u32>> = kbs
+        .iter()
         .zip(slacks.iter())
         .zip(cands)
         .enumerate()
         .map(|(q, ((kb, &slack), cand))| {
             let bound = kb.threshold().min(cap_of(caps, q)) + 2.0 * slack;
-            cand.into_iter()
+            let pool = cand.len() as u64;
+            let survivors: Vec<u32> = cand
+                .into_iter()
                 .filter(|&(_, key)| (key as f64) <= bound)
                 .map(|(i, _)| i)
-                .collect()
+                .collect();
+            tally.candidates_rescored += survivors.len() as u64;
+            tally.candidates_filtered += pool - survivors.len() as u64;
+            survivors
         })
-        .collect()
+        .collect();
+    if let Some(sink) = stats {
+        sink.record(&tally);
+    }
+    kept
 }
 
 /// Query `q`'s pruning cap: a caller-guaranteed upper bound on the

@@ -36,6 +36,7 @@
 //! up to one row per shard.
 
 use super::multi::KeyedResults;
+use super::stats::ScanStatsSink;
 use super::{finish_entries, KBest, KnnEngine, LinearScan, MultiQueryScan, Neighbor};
 use super::{Precision, ScanMode, PARALLEL_CUTOFF};
 use crate::collection::ShardedCollection;
@@ -354,6 +355,7 @@ pub struct ShardedScan<'a> {
     mode: ScanMode,
     precision: Precision,
     thread_budget: Option<usize>,
+    stats: Option<&'a ScanStatsSink>,
 }
 
 impl<'a> ShardedScan<'a> {
@@ -364,6 +366,7 @@ impl<'a> ShardedScan<'a> {
             mode: ScanMode::Auto,
             precision: Precision::F64,
             thread_budget: None,
+            stats: None,
         }
     }
 
@@ -374,6 +377,7 @@ impl<'a> ShardedScan<'a> {
             mode,
             precision: Precision::F64,
             thread_budget: None,
+            stats: None,
         }
     }
 
@@ -388,6 +392,15 @@ impl<'a> ShardedScan<'a> {
     /// Cap the **total** worker threads across all shards (at least 1).
     pub fn with_thread_budget(mut self, threads: usize) -> Self {
         self.thread_budget = Some(threads.max(1));
+        self
+    }
+
+    /// Flush every shard pass's work counters into `sink` (see
+    /// [`ScanStats`](super::ScanStats)): the sink is lock-free, so all
+    /// shard workers share it without serializing, and attaching it
+    /// never changes an answer.
+    pub fn with_scan_stats(mut self, sink: &'a ScanStatsSink) -> Self {
+        self.stats = Some(sink);
         self
     }
 
@@ -427,9 +440,13 @@ impl<'a> ShardedScan<'a> {
     /// The per-shard scan for shard `i`, carrying this engine's resolved
     /// mode/precision and an even share of the thread budget.
     fn shard_scan(&self, shard: usize, mode: ScanMode) -> MultiQueryScan<'a> {
-        MultiQueryScan::with_mode(self.coll.shard(shard), mode)
+        let scan = MultiQueryScan::with_mode(self.coll.shard(shard), mode)
             .with_precision(self.precision)
-            .with_thread_budget(self.per_shard_budget())
+            .with_thread_budget(self.per_shard_budget());
+        match self.stats {
+            Some(sink) => scan.with_scan_stats(sink),
+            None => scan,
+        }
     }
 
     /// Total worker budget (explicit, or the machine's parallelism).

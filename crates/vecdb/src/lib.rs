@@ -51,7 +51,7 @@ pub use distance::{
 pub use knn::{
     combine_partials, merge_partials, merge_partials_policy, DegradedGather, FailurePolicy,
     GatherError, KnnEngine, LinearScan, MTree, MultiQueryScan, Neighbor, Precision, ScanMode,
-    ShardPartial, ShardedScan, VpTree,
+    ScanStats, ScanStatsSink, ShardPartial, ShardedScan, VpTree,
 };
 pub use result::ResultList;
 

@@ -1,0 +1,174 @@
+//! Scan-path counter suite: attaching a [`ScanStatsSink`] to a
+//! [`MultiQueryScan`] / [`ShardedScan`] must populate the work counters
+//! (rows streamed, blocks abandoned, f32 filter/rescore volumes, seeded
+//! passes) while leaving every answer **bit-identical** to the
+//! uninstrumented scan — observability is a read-only tap, never a
+//! result knob.
+
+use fbp_vecdb::{
+    CollectionBuilder, MultiQueryScan, Precision, ScanMode, ScanStatsSink, ShardedCollection,
+    ShardedScan, WeightedEuclidean,
+};
+
+const DIM: usize = 24;
+const N: usize = 900;
+
+fn collection(n: usize) -> fbp_vecdb::Collection {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut b = CollectionBuilder::new().with_f32_mirror();
+    for _ in 0..n {
+        let v: Vec<f64> = (0..DIM).map(|_| next()).collect();
+        b.push_unlabelled(&v).unwrap();
+    }
+    b.build()
+}
+
+fn queries(nq: usize) -> Vec<Vec<f64>> {
+    (0..nq)
+        .map(|q| {
+            (0..DIM)
+                .map(|i| ((q * 31 + i * 11) as f64 * 0.43).sin().abs())
+                .collect()
+        })
+        .collect()
+}
+
+fn metric() -> WeightedEuclidean {
+    WeightedEuclidean::new((0..DIM).map(|i| 0.4 + (i % 6) as f64).collect()).unwrap()
+}
+
+#[test]
+fn counters_populate_without_changing_answers() {
+    let coll = collection(N);
+    let qs = queries(3);
+    let refs: Vec<&[f64]> = qs.iter().map(Vec::as_slice).collect();
+    let w = metric();
+    let k = 10;
+    for mode in [ScanMode::Scalar, ScanMode::Batched, ScanMode::Parallel] {
+        for precision in [Precision::F64, Precision::F32Rescore] {
+            let plain = MultiQueryScan::with_mode(&coll, mode)
+                .with_precision(precision)
+                .knn_multi(&refs, k, &w);
+            let sink = ScanStatsSink::new();
+            let traced = MultiQueryScan::with_mode(&coll, mode)
+                .with_precision(precision)
+                .with_scan_stats(&sink)
+                .knn_multi(&refs, k, &w);
+            assert_eq!(plain, traced, "mode {mode:?} precision {precision:?}");
+            let s = sink.snapshot();
+            assert_eq!(
+                s.rows_visited, N as u64,
+                "one pass streams every row (mode {mode:?} precision {precision:?})"
+            );
+            assert_eq!(s.seed_prunes, 0, "no caps were passed");
+            if mode == ScanMode::Batched {
+                // 900 rows = 4 blocks; after the first block fills the
+                // k-bests, later blocks always drop something.
+                assert!(s.blocks_abandoned > 0, "precision {precision:?}");
+            }
+            if mode != ScanMode::Scalar && precision == Precision::F32Rescore {
+                // The true top-k per query always survive phase 1.
+                assert!(
+                    s.candidates_rescored >= (k * refs.len()) as u64,
+                    "mode {mode:?}: rescored {}",
+                    s.candidates_rescored
+                );
+            } else {
+                assert_eq!(s.candidates_rescored, 0, "pure-f64 path has no rescore");
+                assert_eq!(s.candidates_filtered, 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn weighted_per_query_counters_match_generic_behaviour() {
+    let coll = collection(N);
+    let qs = queries(3);
+    let refs: Vec<&[f64]> = qs.iter().map(Vec::as_slice).collect();
+    let metrics: Vec<WeightedEuclidean> = (0..3)
+        .map(|q| {
+            WeightedEuclidean::new((0..DIM).map(|i| 0.3 + ((q + i) % 4) as f64).collect()).unwrap()
+        })
+        .collect();
+    let ks = [3usize, 10, 7];
+    for mode in [ScanMode::Scalar, ScanMode::Batched, ScanMode::Parallel] {
+        for precision in [Precision::F64, Precision::F32Rescore] {
+            let plain = MultiQueryScan::with_mode(&coll, mode)
+                .with_precision(precision)
+                .knn_weighted_per_query_k(&refs, &metrics, &ks);
+            let sink = ScanStatsSink::new();
+            let traced = MultiQueryScan::with_mode(&coll, mode)
+                .with_precision(precision)
+                .with_scan_stats(&sink)
+                .knn_weighted_per_query_k(&refs, &metrics, &ks);
+            assert_eq!(plain, traced, "mode {mode:?} precision {precision:?}");
+            let s = sink.snapshot();
+            assert_eq!(
+                s.rows_visited, N as u64,
+                "mode {mode:?} precision {precision:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_scan_attributes_every_shard_pass() {
+    let coll = collection(N);
+    let qs = queries(2);
+    let refs: Vec<&[f64]> = qs.iter().map(Vec::as_slice).collect();
+    let w = metric();
+    let sharded = ShardedCollection::split(&coll, 3);
+    let plain = ShardedScan::new(&sharded).knn_multi(&refs, 10, &w);
+    let sink = ScanStatsSink::new();
+    let traced = ShardedScan::new(&sharded)
+        .with_scan_stats(&sink)
+        .knn_multi(&refs, 10, &w);
+    assert_eq!(plain, traced);
+    // Every shard pass flushes into the one shared sink: the three
+    // disjoint shard passes stream the whole collection exactly once.
+    assert_eq!(sink.snapshot().rows_visited, N as u64);
+}
+
+#[test]
+fn seeded_shard_pass_counts_a_seed_prune_and_keeps_the_answer() {
+    let coll = collection(N);
+    let qs = queries(1);
+    let refs: Vec<&[f64]> = qs.iter().map(Vec::as_slice).collect();
+    let w = metric();
+    let k = 10usize;
+    let sharded = ShardedCollection::split(&coll, 3);
+    let scan = ShardedScan::new(&sharded);
+    // Unseeded shard-0 pass: its k-th key upper-bounds the global k-th,
+    // so it is a sound cap for a re-run of the same pass.
+    let unseeded = scan.scan_shard_multi(0, &refs, &[k], &w, None);
+    let cap = unseeded[0].bound_key(k).expect("shard 0 holds >= k rows");
+    for weighted in [false, true] {
+        let sink = ScanStatsSink::new();
+        let traced = scan.with_scan_stats(&sink);
+        let seeded = if weighted {
+            traced.scan_shard_weighted_refs(0, &refs, &[&w], &[k], Some(&[cap]))
+        } else {
+            traced.scan_shard_multi(0, &refs, &[k], &w, Some(&[cap]))
+        };
+        assert_eq!(
+            seeded[0].entries()[..k],
+            unseeded[0].entries()[..k],
+            "a sound cap never changes the kept top-k (weighted={weighted})"
+        );
+        let s = sink.snapshot();
+        assert_eq!(s.seed_prunes, 1, "weighted={weighted}");
+        assert_eq!(s.rows_visited, sharded.shard(0).len() as u64);
+        // An infinite cap is a no-op and must not count as seeding.
+        let seeded_inf =
+            traced.scan_shard_multi(0, &refs, &[k], &w, Some(&[f64::INFINITY]))[0].clone();
+        assert_eq!(seeded_inf.entries(), unseeded[0].entries());
+        assert_eq!(sink.snapshot().seed_prunes, 1, "INFINITY cap not counted");
+    }
+}

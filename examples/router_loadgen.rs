@@ -176,6 +176,7 @@ fn run_burst(addr: SocketAddr, coll: &Arc<Collection>, queries: &[Vec<f64>]) -> 
             k: K,
             think_time: Duration::from_millis(2),
             max_rounds: 32,
+            trace: false,
         },
     )
 }
@@ -317,6 +318,131 @@ fn main() {
     }
     healthy.shutdown();
 
+    // Phase 1c — trace drill: the same healthy burst, but every request
+    // opts into the protocol-v3 trace trailer, through a router whose
+    // slow-query threshold is zero so *every* traced reply lands in the
+    // ring. Asserts the trailer's self-consistency contract on every
+    // drained report (`wall = gather + merge` exactly; every span's
+    // queue + busy inside the gather window; one span per shard), then
+    // dumps the drained ring as JSON lines to `$FBP_TRACE_DUMP` — the
+    // artifact CI uploads from the router-smoke job.
+    {
+        let cfg = RouterConfig {
+            shard_timeout: Duration::from_millis(150),
+            conns_per_downstream: 4,
+            policy: FailurePolicy::Strict,
+            feedback: FeedbackConfig {
+                k: K as usize,
+                ..Default::default()
+            },
+            slow_trace_threshold: Duration::ZERO,
+            ..Default::default()
+        };
+        let traced_router = route(
+            "127.0.0.1:0",
+            &addrs,
+            Arc::clone(&coll),
+            shared_module(),
+            cfg,
+        )
+        .expect("bind traced router");
+        let rt = run_burst_with(
+            traced_router.local_addr(),
+            &coll,
+            &queries,
+            LoadgenOptions {
+                sessions: 8,
+                queries_per_session: if fast() { 2 } else { 6 },
+                k: K,
+                think_time: Duration::from_millis(2),
+                max_rounds: 32,
+                trace: true,
+            },
+        );
+        print_report("traced burst", &rt);
+        assert!(
+            rt.stage_gather_p50_us > 0.0,
+            "traced replies must attribute the gather stage"
+        );
+        assert_eq!(rt.failed_spans, 0, "healthy shards must not fail spans");
+        let mut drain = Client::connect(traced_router.local_addr()).expect("drain client");
+        assert!(drain.hello().expect("hello") >= 3, "GetTraces needs v3");
+        let reports = drain.get_traces(0).expect("drain trace ring");
+        assert!(
+            !reports.is_empty(),
+            "a zero-threshold ring must capture the traced burst"
+        );
+        for t in &reports {
+            assert_eq!(
+                t.wall_ns,
+                t.gather_ns + t.merge_ns,
+                "trace {} breaks wall = gather + merge",
+                t.trace_id
+            );
+            assert_eq!(
+                t.spans.len(),
+                SHARDS,
+                "trace {} must carry one span per shard",
+                t.trace_id
+            );
+            for sp in &t.spans {
+                assert!(
+                    sp.queue_ns + sp.busy_ns <= t.gather_ns,
+                    "trace {} shard {} span escapes the gather window",
+                    t.trace_id,
+                    sp.shard
+                );
+            }
+        }
+        assert!(
+            drain.get_traces(0).expect("second drain").is_empty(),
+            "the drain must be destructive"
+        );
+        if let Ok(path) = std::env::var("FBP_TRACE_DUMP") {
+            use std::fmt::Write as _;
+            let mut out = String::new();
+            for t in &reports {
+                let mut spans = String::new();
+                for (i, sp) in t.spans.iter().enumerate() {
+                    if i > 0 {
+                        spans.push(',');
+                    }
+                    write!(
+                        spans,
+                        "{{\"shard\":{},\"queue_ns\":{},\"busy_ns\":{},\
+                         \"batch_fill\":{},\"flags\":{}}}",
+                        sp.shard, sp.queue_ns, sp.busy_ns, sp.batch_fill, sp.flags
+                    )
+                    .expect("format span");
+                }
+                writeln!(
+                    out,
+                    "{{\"trace_id\":{},\"wall_ns\":{},\"gather_ns\":{},\
+                     \"merge_ns\":{},\"spans\":[{spans}]}}",
+                    t.trace_id, t.wall_ns, t.gather_ns, t.merge_ns
+                )
+                .expect("format trace");
+            }
+            std::fs::write(&path, out).expect("write trace dump");
+            println!(
+                "{:<16} drained {} slow-query traces to {path}",
+                "trace dump",
+                reports.len()
+            );
+        }
+        println!(
+            "{:<16} {} traces drained, all self-consistent: gather p50 {:.0} µs, \
+             merge p50 {:.0} µs, shard queue p99 {:.0} µs, busy p99 {:.0} µs",
+            "trace drill",
+            reports.len(),
+            rt.stage_gather_p50_us,
+            rt.stage_merge_p50_us,
+            rt.stage_queue_p99_us,
+            rt.stage_busy_p99_us,
+        );
+        traced_router.shutdown();
+    }
+
     // Phase 2 — faulted burst: shard 1 black-holes half its calls, yet
     // under `Degraded { min_shards: 2 }` every search resolves — hedged
     // or degraded, never hung — and the counters account for it.
@@ -417,6 +543,7 @@ fn main() {
             k: K,
             think_time: Duration::from_millis(10),
             max_rounds: 32,
+            trace: false,
         };
         let pool: Vec<Vec<f64>> = (0..opts.sessions * opts.queries_per_session)
             .map(|i| coll.vector(i).to_vec())

@@ -81,6 +81,7 @@ fn run_config(
         k: K,
         think_time: Duration::from_millis(5),
         max_rounds: 64,
+        trace: false,
     };
     let coll_ref = Arc::clone(coll);
     let judge = move |qi: usize, ids: &[u32]| -> Vec<u32> {

@@ -22,7 +22,10 @@ use crate::bypass::{FeedbackBypass, PredictedParams};
 use crate::query::{validate_weights, QuerySpec, RequestError};
 use crate::{BypassError, Result};
 use fbp_simplex_tree::InsertOutcome;
-use fbp_vecdb::{Collection, MultiQueryScan, Neighbor, Precision, WeightedEuclidean};
+use fbp_vecdb::{
+    Collection, MultiQueryScan, Neighbor, PartitionedCollection, PartitionedScan, Precision,
+    WeightedEuclidean,
+};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -226,6 +229,18 @@ impl SharedBypass {
         MultiQueryScan::new(coll).with_precision(Precision::F32Rescore)
     }
 
+    /// The partition-pruning counterpart of [`Self::serving_scan`]: the
+    /// scan a front-end hands to [`Self::knn_batch_partitioned`] after
+    /// opting into a [`PartitionConfig`](fbp_vecdb::PartitionConfig)
+    /// and building the layout once at load time
+    /// ([`fbp_vecdb::PartitionedCollection::build`]). Same mode-Auto,
+    /// f32-rescore-opt-in configuration; answers stay bit-identical to
+    /// [`Self::serving_scan`] over the source collection — partition
+    /// pruning only skips rows it can prove irrelevant.
+    pub fn serving_scan_partitioned(part: &PartitionedCollection) -> PartitionedScan<'_> {
+        PartitionedScan::new(part).with_precision(Precision::F32Rescore)
+    }
+
     /// Predict under a read lock (concurrent with other predictions).
     pub fn predict(&self, q: &[f64]) -> Result<PredictedParams> {
         self.inner.read().predict(q)
@@ -327,6 +342,56 @@ impl SharedBypass {
             // per-query-weight multi kernels (one register-blocked
             // kernel call per block instead of one per query) — results
             // identical to the generic per-query path.
+            Ok(scan.knn_weighted_per_query_k(&points, &prep.metrics, &prep.ks))
+        }
+    }
+
+    /// [`Self::knn_batch`] through a partition-pruning scan: lower the
+    /// specs once, then serve the batch with
+    /// [`Self::knn_batch_lowered_partitioned`]. Bit-identical to
+    /// [`Self::knn_batch`] over the layout's source collection.
+    pub fn knn_batch_partitioned(
+        &self,
+        scan: &PartitionedScan<'_>,
+        specs: &[QuerySpec],
+        k: usize,
+    ) -> Result<Vec<Vec<Neighbor>>> {
+        let lowered: Vec<KnnRequest> = specs.iter().map(|s| s.lower().into_request()).collect();
+        self.knn_batch_lowered_partitioned(scan, &lowered, k)
+    }
+
+    /// [`Self::knn_batch_lowered`] through a partition-pruning scan:
+    /// identical validation, precision resolution (the shared fallback
+    /// rule, against the **inner** collection's mirror), shared-metric
+    /// fast path and per-query dispatch — only
+    /// the executor differs, and partition pruning is
+    /// answer-transparent, so the results are bit-identical to the flat
+    /// entry over the layout's source collection.
+    pub fn knn_batch_lowered_partitioned(
+        &self,
+        scan: &PartitionedScan<'_>,
+        requests: &[KnnRequest],
+        k: usize,
+    ) -> Result<Vec<Vec<Neighbor>>> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let part = scan.partitions();
+        if part.is_empty() {
+            return Ok(vec![Vec::new(); requests.len()]);
+        }
+        let refs: Vec<&KnnRequest> = requests.iter().collect();
+        let prep = prepare_requests(part.dim(), &refs, k)?;
+        let precision = resolve_precision(
+            scan.precision(),
+            part.has_f32_mirror(),
+            requests.iter().map(|r| r.precision),
+        )?;
+        let scan = scan.with_precision(precision);
+        let points: Vec<&[f64]> = requests.iter().map(|r| r.point.as_slice()).collect();
+        if prep.shared_metric {
+            Ok(scan.knn_multi_k(&points, &prep.ks, &prep.metrics[0]))
+        } else {
             Ok(scan.knn_weighted_per_query_k(&points, &prep.metrics, &prep.ks))
         }
     }

@@ -43,8 +43,8 @@ use crate::metrics::Metrics;
 use crate::protocol::ShardSpan;
 use crate::trace::RequestTrace;
 use fbp_vecdb::{
-    merge_partials, Neighbor, ScanMode, ShardPartial, ShardedCollection, ShardedScan,
-    WeightedEuclidean,
+    merge_partials, Neighbor, PartitionedCollection, ScanMode, ShardPartial, ShardedCollection,
+    ShardedScan, WeightedEuclidean,
 };
 use feedbackbypass::{KnnRequest, ShardedBypass};
 use std::collections::VecDeque;
@@ -336,6 +336,7 @@ pub(crate) fn run_shard_dispatcher(
     shard: usize,
     batcher: Arc<Batcher<Arc<Gather>>>,
     coll: Arc<ShardedCollection>,
+    partitions: Option<Arc<Vec<PartitionedCollection>>>,
     bypass: ShardedBypass,
     scan_mode: ScanMode,
     metrics: Arc<Metrics>,
@@ -366,6 +367,13 @@ pub(crate) fn run_shard_dispatcher(
         // budget is an even share of the machine so S concurrent shard
         // dispatchers cannot oversubscribe the host.
         let scan = ShardedScan::with_mode(&coll, scan_mode).with_scan_stats(metrics.scan_stats());
+        // Partition layouts (when the server opted in) redirect every
+        // shard pass through the pruning scan; the delivered partials —
+        // and therefore the gathered replies — are bit-identical.
+        let scan = match &partitions {
+            Some(parts) => scan.with_partitions(parts),
+            None => scan,
+        };
         let partials =
             bypass.scan_shard_prepared(&scan, shard, &points, &pass_metrics, &ks, Some(&seeds));
         let scanned = Instant::now();

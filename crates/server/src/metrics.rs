@@ -40,7 +40,7 @@ pub(crate) struct Metrics {
     waits: LogHistogram,
     /// Scan-path work counters, flushed by every shard pass (the shard
     /// dispatchers attach this sink to their `ShardedScan`; a router
-    /// never scans, so its sink — and the five `scan_*` wire fields —
+    /// never scans, so its sink — and the six `scan_*` wire fields —
     /// stay zero there).
     scan: ScanStatsSink,
 }
@@ -104,6 +104,7 @@ impl Metrics {
             scan_candidates_filtered: scan.candidates_filtered,
             scan_candidates_rescored: scan.candidates_rescored,
             scan_seed_prunes: scan.seed_prunes,
+            scan_partitions_pruned: scan.partitions_pruned,
             // Router-tier counters stay zero on a plain shard server;
             // the router overwrites them from its downstream pools.
             ..Default::default()

@@ -104,12 +104,13 @@
 //! | `scan_candidates_filtered` | `u64` |
 //! | `scan_candidates_rescored` | `u64` |
 //! | `scan_seed_prunes`     | `u64` |
+//! | `scan_partitions_pruned` | `u64` |
 //! | `health_rows`          | `u32` |
 //! | `health_rows × row`    | see below |
 //!
 //! The six `downstream_*`/`hedges_*`/`degraded_replies` fields are the
 //! router tier's fault counters, aggregated across its downstreams; a
-//! plain shard server reports them as zero. The five `scan_*` fields
+//! plain shard server reports them as zero. The six `scan_*` fields
 //! are the served collection's cumulative scan-path counters (see
 //! *Protocol v3* below); a router, which scans nothing itself, reports
 //! them as zero. Like the health block when it was introduced, the
@@ -788,6 +789,9 @@ pub struct StatsSnapshot {
     /// Scan passes whose selection bound started from a cross-request
     /// or cross-shard seed instead of `+∞`.
     pub scan_seed_prunes: u64,
+    /// Partitions a partition-pruning pass skipped outright (zero when
+    /// the server serves flat; the sub-linearity witness otherwise).
+    pub scan_partitions_pruned: u64,
     /// Per-downstream health rows (router tier; empty on a shard
     /// server) — state plus ejection/re-admission counters.
     pub health: Vec<DownstreamHealth>,
@@ -1230,6 +1234,7 @@ impl Response {
                 out.extend_from_slice(&s.scan_candidates_filtered.to_le_bytes());
                 out.extend_from_slice(&s.scan_candidates_rescored.to_le_bytes());
                 out.extend_from_slice(&s.scan_seed_prunes.to_le_bytes());
+                out.extend_from_slice(&s.scan_partitions_pruned.to_le_bytes());
                 out.extend_from_slice(&(s.health.len() as u32).to_le_bytes());
                 for h in &s.health {
                     out.extend_from_slice(&h.shard.to_le_bytes());
@@ -1356,6 +1361,7 @@ impl Response {
                     scan_candidates_filtered: r.u64()?,
                     scan_candidates_rescored: r.u64()?,
                     scan_seed_prunes: r.u64()?,
+                    scan_partitions_pruned: r.u64()?,
                     health: Vec::new(),
                 };
                 let n = r.counted(37)?;
@@ -1773,6 +1779,7 @@ mod tests {
             scan_candidates_filtered: 4_096,
             scan_candidates_rescored: 512,
             scan_seed_prunes: 9,
+            scan_partitions_pruned: 17,
             health: Vec::new(),
         })));
         // Router stats carry per-downstream health rows; every state

@@ -29,8 +29,8 @@ use crate::protocol::{
 use crate::sessions::{err, ExampleSets, SessionStore};
 use crate::trace::{RequestTrace, TraceRing};
 use fbp_vecdb::{
-    combine_partials, Collection, Neighbor, ScanMode, ShardPartial, ShardedCollection, ShardedScan,
-    WeightedEuclidean,
+    combine_partials, Collection, Neighbor, PartitionConfig, PartitionedCollection, ScanMode,
+    ShardPartial, ShardedCollection, ShardedScan, WeightedEuclidean,
 };
 use feedbackbypass::{
     FeedbackBypass, FeedbackConfig, KnnRequest, QuerySpec, RocchioWeights, ShardedBypass,
@@ -92,6 +92,17 @@ pub struct ServerConfig {
     /// of the full collection sets it so the router's gathered indices
     /// address the full key space.
     pub row_offset: usize,
+    /// Opt-in partition pruning: when set, every shard's rows are
+    /// clustered into a [`PartitionedCollection`] layout once at
+    /// startup ([`ShardedCollection::build_partitions`]) and all shard
+    /// passes run through the partition-pruning scan — skipping
+    /// partitions whose sound lower bound exceeds the running k-th key
+    /// and counting the skips in
+    /// [`StatsSnapshot::scan_partitions_pruned`](crate::protocol::StatsSnapshot).
+    /// Answers are bit-identical to unpartitioned serving (pruning is
+    /// answer-transparent); only the rows visited change. `None` (the
+    /// default) serves flat.
+    pub partitions: Option<PartitionConfig>,
     /// Feedback transition configuration (`k` is per-request on the
     /// wire; `max_cycles` caps each session's loop server-side).
     pub feedback: FeedbackConfig,
@@ -129,6 +140,7 @@ impl Default for ServerConfig {
             scan_mode: ScanMode::Batched,
             shards: 1,
             row_offset: 0,
+            partitions: None,
             feedback: FeedbackConfig::default(),
             read_timeout: Duration::from_millis(20),
             write_timeout: Duration::from_secs(1),
@@ -146,6 +158,10 @@ struct Shared {
     batchers: Vec<Arc<Batcher<Arc<Gather>>>>,
     /// The internal shard split (`ShardKnn` scans it inline).
     sharded_coll: Arc<ShardedCollection>,
+    /// Per-shard partition layouts, built once at startup when
+    /// [`ServerConfig::partitions`] opted in (`parts[i]` reorders shard
+    /// `i`'s rows partition-contiguously; answers stay identical).
+    partitions: Option<Arc<Vec<PartitionedCollection>>>,
     sharded_bypass: ShardedBypass,
     /// Admission bound: requests mid-scatter/gather. Enforcing the
     /// queue capacity here (instead of per batcher) keeps a request's
@@ -266,6 +282,13 @@ pub fn serve(
     // rows (and f32 mirror) into its own contiguous buffers, so the
     // per-shard dispatchers stream disjoint memory.
     let sharded_coll = Arc::new(ShardedCollection::split(&coll, shards));
+    // Partition layouts (opt-in) are likewise a startup cost: each
+    // shard's rows are clustered and reordered once, and every pass
+    // after that prunes against the same layout.
+    let partitions: Option<Arc<Vec<PartitionedCollection>>> = cfg
+        .partitions
+        .as_ref()
+        .map(|p| Arc::new(sharded_coll.build_partitions(p)));
     let sharded_bypass = ShardedBypass::from_shared(bypass.clone());
     let batchers: Vec<Arc<Batcher<Arc<Gather>>>> = (0..shards)
         .map(|_| {
@@ -288,6 +311,7 @@ pub fn serve(
         cfg: cfg.clone(),
         batchers: batchers.clone(),
         sharded_coll: Arc::clone(&sharded_coll),
+        partitions: partitions.clone(),
         sharded_bypass: sharded_bypass.clone(),
         inflight: AtomicUsize::new(0),
         metrics: Arc::clone(&metrics),
@@ -304,10 +328,15 @@ pub fn serve(
             std::thread::spawn({
                 let batcher = Arc::clone(batcher);
                 let coll = Arc::clone(&sharded_coll);
+                let partitions = partitions.clone();
                 let bypass = sharded_bypass.clone();
                 let metrics = Arc::clone(&metrics);
                 let scan_mode = cfg.scan_mode;
-                move || run_shard_dispatcher(shard, batcher, coll, bypass, scan_mode, metrics)
+                move || {
+                    run_shard_dispatcher(
+                        shard, batcher, coll, partitions, bypass, scan_mode, metrics,
+                    )
+                }
             })
         })
         .collect();
@@ -749,6 +778,10 @@ fn handle_shard_knn(
     let mut cap = if seed.is_nan() { f64::INFINITY } else { seed };
     let scan = ShardedScan::with_mode(&shared.sharded_coll, shared.cfg.scan_mode)
         .with_scan_stats(shared.metrics.scan_stats());
+    let scan = match &shared.partitions {
+        Some(parts) => scan.with_partitions(parts),
+        None => scan,
+    };
     let mut parts: Vec<ShardPartial> = Vec::with_capacity(shared.sharded_coll.shards().len());
     for s in 0..shared.sharded_coll.shards().len() {
         let part = shared

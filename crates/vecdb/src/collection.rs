@@ -328,6 +328,436 @@ impl ShardedCollection {
     pub fn memory_bytes(&self) -> usize {
         self.shards.iter().map(Collection::memory_bytes).sum()
     }
+
+    /// Build one [`PartitionedCollection`] per shard with the same
+    /// config (each shard's partitioning is local — its pruning bounds
+    /// and permutation speak shard-local row indices, which is exactly
+    /// what [`ShardedScan`](crate::knn::ShardedScan) globalizes).
+    pub fn build_partitions(&self, cfg: &PartitionConfig) -> Vec<PartitionedCollection> {
+        self.shards
+            .iter()
+            .map(|s| PartitionedCollection::build(s, cfg))
+            .collect()
+    }
+}
+
+impl Collection {
+    /// Copy rows out in an arbitrary order (`order[new] = old`) into a
+    /// standalone [`Collection`] — the partition-layout primitive.
+    /// Same guarantees as [`Self::slice_rows`]: labels preserved, member
+    /// lists rebuilt against the new numbering, f32 mirror re-derived
+    /// when the source carries one (per-value rounding is deterministic,
+    /// so each permuted mirror row is bit-identical to its source row).
+    fn permute_rows(&self, order: &[u32]) -> Collection {
+        let mut data = Vec::with_capacity(order.len() * self.dim);
+        let mut labels = Vec::with_capacity(order.len());
+        for &old in order {
+            data.extend_from_slice(self.vector(old as usize));
+            labels.push(self.labels[old as usize]);
+        }
+        let mut members_by_category = vec![Vec::new(); self.category_names.len()];
+        for (i, &label) in labels.iter().enumerate() {
+            if label != NO_CATEGORY {
+                members_by_category[label as usize].push(i);
+            }
+        }
+        let mirror = self.mirror.is_some().then(|| MirrorF32::build(&data));
+        Collection {
+            dim: self.dim,
+            data,
+            labels,
+            category_names: self.category_names.clone(),
+            members_by_category,
+            mirror,
+        }
+    }
+}
+
+/// Configuration of the **partition-pruning layer** — the opt-in that
+/// turns a flat collection into a [`PartitionedCollection`] for
+/// [`PartitionedScan`](crate::knn::PartitionedScan).
+///
+/// # Normative behavior
+///
+/// * **Answer transparency.** Partitioning never changes an answer.
+///   Every scan over the partitioned collection returns indices and
+///   distances bit-identical to the flat scan over the source
+///   collection, for every distance class, precision, scan mode and
+///   `k` — pruning only skips partitions *proven* (by each class's
+///   [`partition_lower_key`](crate::Distance::partition_lower_key)
+///   certificate) unable to contain a top-`k` row. Classes that cannot
+///   certify a sound lower bound are scanned flat, per class and
+///   explicitly — a query under such a class simply never prunes.
+/// * **Determinism.** The build is a pure function of the source
+///   collection and this config: seeding is deterministic (`seed`
+///   drives a splitmix64 stream), Lloyd iterations resolve assignment
+///   ties to the lowest partition id, and empty clusters keep their
+///   previous centroid. Two builds from identical inputs produce
+///   identical layouts.
+/// * **Degenerate shapes are legal.** `partitions` may exceed the row
+///   count (surplus partitions come out empty), partitions may hold a
+///   single row, and an empty collection partitions into `partitions`
+///   empty partitions. Consumers must tolerate all of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionConfig {
+    /// Target partition count (clamped to ≥ 1). More partitions prune
+    /// finer but pay more per-pass bound evaluations (`Q × partitions`
+    /// centroid distances); √len is a reasonable default scale.
+    pub partitions: usize,
+    /// Lloyd refinement iterations over the (sampled) training rows.
+    pub lloyd_iters: usize,
+    /// Training-sample ceiling: Lloyd runs on an evenly strided sample
+    /// of at most this many rows, then one full assignment pass places
+    /// every row. Keeps build cost `O(sample × partitions × dim)` per
+    /// iteration instead of `O(len × …)`.
+    pub max_sample: usize,
+    /// Seed of the deterministic centroid initialization.
+    pub seed: u64,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            partitions: 64,
+            lloyd_iters: 6,
+            max_sample: 32_768,
+            seed: 0xF33D_BA55,
+        }
+    }
+}
+
+impl PartitionConfig {
+    /// Config with a given partition count and the default build knobs.
+    pub fn with_partitions(partitions: usize) -> Self {
+        PartitionConfig {
+            partitions,
+            ..Default::default()
+        }
+    }
+}
+
+/// A [`Collection`] clustered into partitions for proof-based pruning.
+///
+/// Layout: the rows live in an inner [`Collection`] reordered
+/// **partition-contiguous** (partition `p` occupies rows
+/// `rows(p)`, within a partition rows keep ascending original order),
+/// so a surviving partition is one contiguous block scan for the
+/// existing batch kernels. Alongside the rows: per-partition Euclidean
+/// centroids and covering radii (`max` member distance, inflated by a
+/// one-ulp-scale factor against build rounding) from which each
+/// distance class derives its own key-space pruning certificate at
+/// query time, and the permutation `perm[new] = original` the scan
+/// applies when pushing results — answers always speak the source
+/// collection's row numbering.
+#[derive(Debug, Clone)]
+pub struct PartitionedCollection {
+    inner: Collection,
+    /// Partition `p` covers inner rows `offsets[p]..offsets[p+1]`
+    /// (`P + 1` entries, ascending, last = len).
+    offsets: Vec<usize>,
+    /// Row-major `P × dim` Euclidean centroids.
+    centroids: Vec<f64>,
+    /// Covering Euclidean radius per partition (0 for empty ones).
+    radii: Vec<f64>,
+    /// `perm[new_row] = original_row` of the source collection.
+    perm: Vec<u32>,
+}
+
+/// splitmix64 step: the deterministic seed stream of the partition
+/// build (no RNG dependency; same generator the test helpers use).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Block size of the build's assignment passes (mirrors the scan's
+/// [`BLOCK_ROWS`](crate::knn) without creating a cross-module constant
+/// dependency).
+const PART_BLOCK: usize = 256;
+
+impl PartitionedCollection {
+    /// Cluster `coll` per `cfg` (deterministic; see [`PartitionConfig`]
+    /// for the normative guarantees). The source collection is copied,
+    /// not mutated.
+    pub fn build(coll: &Collection, cfg: &PartitionConfig) -> Self {
+        let p = cfg.partitions.max(1);
+        let n = coll.len();
+        let dim = coll.dim();
+        if n == 0 || dim == 0 {
+            // Degenerate: everything (possibly nothing) in partition 0.
+            // With dim 0 every distance — including query→centroid — is
+            // 0, so a 0 radius stays sound.
+            let mut offsets = vec![n; p + 1];
+            offsets[0] = 0;
+            return PartitionedCollection {
+                inner: coll.clone(),
+                offsets,
+                centroids: vec![0.0; p * dim],
+                radii: vec![0.0; p],
+                perm: (0..n as u32).collect(),
+            };
+        }
+
+        // Deterministic initialization: p distinct rows when possible
+        // (sparse Fisher–Yates over the row range), duplicated rows —
+        // hence empty partitions — when p > n.
+        let mut state = cfg.seed;
+        let mut swapped: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        let mut centroids = Vec::with_capacity(p * dim);
+        for j in 0..p {
+            let row = if j < n {
+                let r = j + (splitmix64(&mut state) as usize) % (n - j);
+                let picked = *swapped.get(&r).unwrap_or(&r);
+                let jth = *swapped.get(&j).unwrap_or(&j);
+                swapped.insert(r, jth);
+                picked
+            } else {
+                j % n
+            };
+            centroids.extend_from_slice(coll.vector(row));
+        }
+
+        // Lloyd refinement on an evenly strided training sample.
+        let sample_n = n.min(cfg.max_sample.max(1));
+        let sample: Vec<f64> = if sample_n == n {
+            coll.block(0, n).to_vec()
+        } else {
+            let mut s = Vec::with_capacity(sample_n * dim);
+            for i in 0..sample_n {
+                s.extend_from_slice(coll.vector(i * n / sample_n));
+            }
+            s
+        };
+        let mut keys = vec![0.0f64; p * PART_BLOCK];
+        let bounds = vec![f64::INFINITY; p];
+        for _ in 0..cfg.lloyd_iters {
+            let mut sums = vec![0.0f64; p * dim];
+            let mut counts = vec![0usize; p];
+            let mut start = 0;
+            while start < sample_n {
+                let end = (start + PART_BLOCK).min(sample_n);
+                let rows = end - start;
+                crate::distance::kernels::l2_sq_multi_block(
+                    &centroids,
+                    &sample[start * dim..end * dim],
+                    dim,
+                    &bounds,
+                    &mut keys[..p * rows],
+                );
+                for r in 0..rows {
+                    let mut best = 0usize;
+                    let mut best_key = keys[r];
+                    for q in 1..p {
+                        let key = keys[q * rows + r];
+                        if key < best_key {
+                            best = q;
+                            best_key = key;
+                        }
+                    }
+                    counts[best] += 1;
+                    let row = &sample[(start + r) * dim..(start + r + 1) * dim];
+                    for (acc, &v) in sums[best * dim..(best + 1) * dim].iter_mut().zip(row) {
+                        *acc += v;
+                    }
+                }
+                start = end;
+            }
+            for q in 0..p {
+                if counts[q] > 0 {
+                    let inv = 1.0 / counts[q] as f64;
+                    for (c, s) in centroids[q * dim..(q + 1) * dim]
+                        .iter_mut()
+                        .zip(&sums[q * dim..(q + 1) * dim])
+                    {
+                        *c = s * inv;
+                    }
+                } // empty cluster: keep the previous centroid.
+            }
+        }
+
+        // One full assignment pass against the final centroids,
+        // recording each row's partition and its (squared) distance to
+        // the winning centroid — the radius source. Row-parallel when
+        // the collection is large; per-row results are independent, so
+        // threading never changes the outcome.
+        let mut assign = vec![0u32; n];
+        let mut win_sq = vec![0.0f64; n];
+        let work_blocks = n.div_ceil(PART_BLOCK);
+        let threads = if n * dim * p >= (1 << 22) {
+            crate::knn::scan_threads(None, work_blocks)
+        } else {
+            1
+        };
+        let assign_range =
+            |rows_range: std::ops::Range<usize>, assign_out: &mut [u32], win_out: &mut [f64]| {
+                let mut keys = vec![0.0f64; p * PART_BLOCK];
+                let bounds = vec![f64::INFINITY; p];
+                let base = rows_range.start;
+                let mut start = rows_range.start;
+                while start < rows_range.end {
+                    let end = (start + PART_BLOCK).min(rows_range.end);
+                    let rows = end - start;
+                    crate::distance::kernels::l2_sq_multi_block(
+                        &centroids,
+                        coll.block(start, end),
+                        dim,
+                        &bounds,
+                        &mut keys[..p * rows],
+                    );
+                    for r in 0..rows {
+                        let mut best = 0usize;
+                        let mut best_key = keys[r];
+                        for q in 1..p {
+                            let key = keys[q * rows + r];
+                            if key < best_key {
+                                best = q;
+                                best_key = key;
+                            }
+                        }
+                        assign_out[start - base + r] = best as u32;
+                        win_out[start - base + r] = best_key;
+                    }
+                    start = end;
+                }
+            };
+        if threads <= 1 {
+            assign_range(0..n, &mut assign, &mut win_sq);
+        } else {
+            let chunk = n.div_ceil(threads);
+            std::thread::scope(|scope| {
+                let mut assign_rest = assign.as_mut_slice();
+                let mut win_rest = win_sq.as_mut_slice();
+                let mut start = 0;
+                while start < n {
+                    let end = (start + chunk).min(n);
+                    let (a, ar) = assign_rest.split_at_mut(end - start);
+                    let (w, wr) = win_rest.split_at_mut(end - start);
+                    assign_rest = ar;
+                    win_rest = wr;
+                    let assign_range = &assign_range;
+                    scope.spawn(move || assign_range(start..end, a, w));
+                    start = end;
+                }
+            });
+        }
+
+        // Group rows partition-contiguous (ascending original index
+        // within each partition), derive offsets, the permutation and
+        // the covering radii. The radius is inflated by a one-ulp-scale
+        // factor so kernel rounding in the build can never understate
+        // the cover (the query-time bound adds its own margin on top).
+        let mut counts = vec![0usize; p];
+        for &a in &assign {
+            counts[a as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(p + 1);
+        let mut acc = 0usize;
+        for &c in &counts {
+            offsets.push(acc);
+            acc += c;
+        }
+        offsets.push(acc);
+        debug_assert_eq!(acc, n);
+        let mut next = offsets[..p].to_vec();
+        let mut perm = vec![0u32; n];
+        let mut radii_sq = vec![0.0f64; p];
+        for (i, &a) in assign.iter().enumerate() {
+            let q = a as usize;
+            perm[next[q]] = i as u32;
+            next[q] += 1;
+            radii_sq[q] = radii_sq[q].max(win_sq[i]);
+        }
+        let radii = radii_sq
+            .iter()
+            .map(|&sq| sq.sqrt() * (1.0 + 1e-12))
+            .collect();
+        PartitionedCollection {
+            inner: coll.permute_rows(&perm),
+            offsets,
+            centroids,
+            radii,
+            perm,
+        }
+    }
+
+    /// The reordered inner collection (partition-contiguous rows). Row
+    /// `i` here is row [`Self::original_index`]`(i)` of the source.
+    pub fn collection(&self) -> &Collection {
+        &self.inner
+    }
+
+    /// Number of partitions (≥ 1; some may be empty).
+    pub fn partition_count(&self) -> usize {
+        self.radii.len()
+    }
+
+    /// Inner row range of partition `p`.
+    pub fn rows(&self, p: usize) -> std::ops::Range<usize> {
+        self.offsets[p]..self.offsets[p + 1]
+    }
+
+    /// Euclidean centroid of partition `p`.
+    pub fn centroid(&self, p: usize) -> &[f64] {
+        let dim = self.inner.dim();
+        &self.centroids[p * dim..(p + 1) * dim]
+    }
+
+    /// Covering Euclidean radius of partition `p`: every member row
+    /// lies within this distance of the centroid (inflated against
+    /// build rounding; 0 for empty partitions).
+    pub fn radius(&self, p: usize) -> f64 {
+        self.radii[p]
+    }
+
+    /// Source-collection row index of inner row `new`.
+    #[inline]
+    pub fn original_index(&self, new: usize) -> u32 {
+        self.perm[new]
+    }
+
+    /// The full `new → original` permutation.
+    pub fn perm(&self) -> &[u32] {
+        &self.perm
+    }
+
+    /// Number of rows (same as the source collection's).
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Dimensionality of every vector.
+    pub fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    /// Build the inner collection's f32 mirror (idempotent) so
+    /// `Precision::F32Rescore` scans stream half the bytes here too.
+    pub fn ensure_f32_mirror(&mut self) {
+        self.inner.ensure_f32_mirror();
+    }
+
+    /// True when the inner collection carries its f32 mirror.
+    pub fn has_f32_mirror(&self) -> bool {
+        self.inner.has_f32_mirror()
+    }
+
+    /// Heap bytes: inner payloads plus the partition metadata
+    /// (centroids, radii, offsets, permutation).
+    pub fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes()
+            + self.centroids.len() * std::mem::size_of::<f64>()
+            + self.radii.len() * std::mem::size_of::<f64>()
+            + self.offsets.len() * std::mem::size_of::<usize>()
+            + self.perm.len() * std::mem::size_of::<u32>()
+    }
 }
 
 /// Builder for [`Collection`].

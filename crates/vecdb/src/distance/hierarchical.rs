@@ -208,6 +208,21 @@ impl Distance for HierarchicalDistance {
         Some((lo.sqrt(), hi.sqrt()))
     }
 
+    /// Two-path bound: the hierarchical form is a weighted Euclidean
+    /// norm over the flattened `uₑ·wᵢ` weights, hence a metric — the
+    /// triangle route `d(q,c) − hi·r` composes with the distortion
+    /// route exactly as for [`WeightedEuclidean`](super::WeightedEuclidean).
+    fn partition_lower_key(&self, query: &[f64], centroid: &[f64], radius_l2: f64) -> Option<f64> {
+        let (lo, hi) = self.euclidean_distortion()?;
+        if !lo.is_finite() || lo <= 0.0 {
+            return None;
+        }
+        let d2 = super::sq_dist(query, centroid).sqrt();
+        let dqc = self.eval(query, centroid);
+        let lb = super::metric_partition_lower(dqc, lo, hi, d2, radius_l2);
+        Some(self.key_of_dist(lb))
+    }
+
     /// Squared distance via the flattened `uₑ·wᵢ` weights and the
     /// unrolled kernel (ulp-level differences from `eval_sq` possible:
     /// different association order).

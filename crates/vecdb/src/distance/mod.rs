@@ -267,6 +267,80 @@ pub trait Distance: Send + Sync {
             self.eval_key_batch_f32(query, block, dim, bound, &mut out_row[..rows]);
         }
     }
+
+    /// Partition-pruning support: a sound **key-space lower bound** on
+    /// `eval_key(query, x)` over *every* vector `x` within Euclidean
+    /// distance `radius_l2` of `centroid` — or `None` when this class
+    /// cannot certify one.
+    ///
+    /// The partitioned scan prunes a whole partition when this bound
+    /// exceeds the running k-th key, so soundness is load-bearing: an
+    /// overstated bound silently drops true neighbors. The default
+    /// derivation uses the distortion route only — with
+    /// `lo·d₂(a,b) ≤ d(a,b)` ([`Self::euclidean_distortion`]) and the
+    /// Euclidean triangle inequality `d₂(q,x) ≥ d₂(q,c) − r`:
+    ///
+    /// ```text
+    /// d(q, x) ≥ lo·d₂(q, x) ≥ lo·(d₂(q, c) − radius_l2)
+    /// ```
+    ///
+    /// mapped into key space via [`Self::key_of_dist`] after the
+    /// magnitude-scaled rounding deflation of `partition_safe_lower`
+    /// (never negative, so the mapped key is always valid). Classes whose
+    /// own distance satisfies the triangle inequality override this with
+    /// the tighter two-path bound (`metric_partition_lower`); classes
+    /// with no positive `lo` (Chebyshev, generic `Lp`, quadratic forms
+    /// whose certified spectrum touches zero) return `None` and the scan
+    /// must fall back to the flat pass for them — per class and explicit,
+    /// never assumed.
+    fn partition_lower_key(&self, query: &[f64], centroid: &[f64], radius_l2: f64) -> Option<f64> {
+        let (lo, _) = self.euclidean_distortion()?;
+        if !lo.is_finite() || lo <= 0.0 {
+            return None;
+        }
+        let d2 = sq_dist(query, centroid).sqrt();
+        let lb = partition_safe_lower(lo * (d2 - radius_l2), lo * (d2 + radius_l2));
+        Some(self.key_of_dist(lb))
+    }
+}
+
+/// Deflate a computed partition lower bound `raw` against floating-point
+/// rounding: subtract a margin proportional to `scale` — the magnitude
+/// of the terms that produced `raw`, so catastrophic cancellation in
+/// `d(q,c) − r` is covered where a *relative* deflation of `raw` would
+/// not be — and clamp at 0 (a distance lower bound is never negative).
+/// The kernel evaluations this guards against carry relative error
+/// around `dim·2⁻⁵³ ≈ 1e-14`; the `1e-9` margin leaves five orders of
+/// magnitude of headroom while costing only partitions whose true
+/// separation is within one part in 10⁹ of the threshold.
+#[inline]
+pub(crate) fn partition_safe_lower(raw: f64, scale: f64) -> f64 {
+    (raw - 1e-9 * scale.abs()).max(0.0)
+}
+
+/// Two-path partition lower bound (in **distance** space) for classes
+/// whose distance is itself a metric, each path deflated by
+/// [`partition_safe_lower`]:
+///
+/// * distortion path — `lo·(d₂(q,c) − r)`, sound whenever
+///   `lo·d₂ ≤ d` (never needs `d`'s own triangle inequality);
+/// * metric path — `d(q,c) − hi·r`, sound because `d` obeys the
+///   triangle inequality and every member satisfies `d(c,x) ≤ hi·r`
+///   (from `d ≤ hi·d₂` and `d₂(c,x) ≤ r`). Skipped when `hi` is not
+///   finite (e.g. Manhattan's unknown-dimension upper factor).
+///
+/// The max of two sound lower bounds is sound; the metric path usually
+/// wins when the weights are anisotropic and the query sits far from
+/// the centroid along a heavy axis.
+#[inline]
+pub(crate) fn metric_partition_lower(dqc: f64, lo: f64, hi: f64, d2qc: f64, radius_l2: f64) -> f64 {
+    let a = partition_safe_lower(lo * (d2qc - radius_l2), lo * (d2qc + radius_l2));
+    let b = if hi.is_finite() {
+        partition_safe_lower(dqc - hi * radius_l2, dqc + hi * radius_l2)
+    } else {
+        0.0
+    };
+    a.max(b)
 }
 
 /// Half-ulp relative rounding bound of f32 round-to-nearest.
@@ -444,6 +518,112 @@ mod batch_contract_tests {
         check_batch_contract(&h, DIM);
         let m = fbp_linalg::Matrix::from_diag(&[1.0, 2.0, 0.5, 3.0, 1.5, 0.75, 2.5]);
         check_batch_contract(&super::QuadraticDistance::new(&m).unwrap(), DIM);
+    }
+}
+
+#[cfg(test)]
+mod partition_bound_tests {
+    use super::test_support::sample_points;
+    use super::{
+        Chebyshev, Distance, Euclidean, FeatureSpan, HierarchicalDistance, Lp, Manhattan,
+        QuadraticDistance, WeightedEuclidean,
+    };
+
+    /// Soundness per class: with any sample point as centroid and the
+    /// max member Euclidean distance as radius, the reported key-space
+    /// lower bound never exceeds any member's true key.
+    fn check_partition_bound_sound(d: &dyn Distance, dim: usize, expect_bound: bool) {
+        let pts = sample_points(dim);
+        for centroid in &pts {
+            let radius = pts
+                .iter()
+                .map(|p| super::sq_dist(centroid, p).sqrt())
+                .fold(0.0, f64::max);
+            for query in &pts {
+                match d.partition_lower_key(query, centroid, radius) {
+                    None => assert!(!expect_bound, "{}: expected a sound bound", d.name()),
+                    Some(lb) => {
+                        assert!(expect_bound, "{}: expected None (flat fallback)", d.name());
+                        assert!(lb >= 0.0 && lb.is_finite(), "{}: bad bound {lb}", d.name());
+                        for member in &pts {
+                            let key = d.eval_key(query, member);
+                            assert!(
+                                lb <= key,
+                                "{}: partition lower bound {lb} exceeds member key {key}",
+                                d.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_bounds_sound_or_explicitly_absent_per_class() {
+        const DIM: usize = 7;
+        check_partition_bound_sound(&Euclidean, DIM, true);
+        check_partition_bound_sound(&Manhattan, DIM, true);
+        // No positive Euclidean distortion floor ⇒ explicit flat fallback.
+        check_partition_bound_sound(&Chebyshev, DIM, false);
+        check_partition_bound_sound(&Lp::new(3.0).unwrap(), DIM, false);
+        let w: Vec<f64> = (0..DIM).map(|i| 0.5 + i as f64).collect();
+        check_partition_bound_sound(&WeightedEuclidean::new(w.clone()).unwrap(), DIM, true);
+        let h = HierarchicalDistance::new(
+            vec![FeatureSpan::new(0, 3), FeatureSpan::new(3, DIM)],
+            vec![2.0, 0.5],
+            w,
+        )
+        .unwrap();
+        check_partition_bound_sound(&h, DIM, true);
+        let m = fbp_linalg::Matrix::from_diag(&[1.0, 2.0, 0.5, 3.0, 1.5, 0.75, 2.5]);
+        check_partition_bound_sound(&QuadraticDistance::new(&m).unwrap(), DIM, true);
+    }
+
+    #[test]
+    fn quadratic_without_positive_spectrum_reports_no_bound() {
+        // PD matrix ([[2,2],[2,3]]: det 2, λ_min ≈ 0.44) whose
+        // Gershgorin row estimate still touches zero (row 0: 2 − |2|),
+        // so the *certified* floor is 0 ⇒ no sound bound, flat
+        // fallback — explicitly, never assumed.
+        let m = fbp_linalg::Matrix::from_rows(&[&[2.0, 2.0], &[2.0, 3.0]]);
+        let q = QuadraticDistance::new(&m).unwrap();
+        assert!(q.euclidean_distortion().is_none());
+        assert!(q
+            .partition_lower_key(&[1.0, -1.0], &[0.0, 0.0], 0.5)
+            .is_none());
+    }
+
+    #[test]
+    fn zero_radius_bound_is_tight_to_margin() {
+        // radius 0 ⇒ the partition is a single point; the bound must
+        // sit within the documented 1e-9-scaled margin of the true key.
+        let q = vec![1.0, 2.0, 3.0];
+        let c = vec![-0.5, 0.25, 1.0];
+        let lb = Euclidean.partition_lower_key(&q, &c, 0.0).unwrap();
+        let key = Euclidean.eval_key(&q, &c);
+        assert!(lb <= key);
+        let dist = key.sqrt();
+        let deflated = dist - 1e-9 * dist;
+        assert!(lb >= Euclidean.key_of_dist(deflated) * (1.0 - 1e-12));
+    }
+
+    #[test]
+    fn metric_path_beats_distortion_path_on_anisotropic_weights() {
+        // Heavy axis 0, light axis 1: a query displaced along axis 0
+        // gets a much tighter bound from the triangle route than from
+        // lo·(d₂ − r).
+        let w = WeightedEuclidean::new(vec![100.0, 0.01]).unwrap();
+        let query = [10.0, 0.0];
+        let centroid = [0.0, 0.0];
+        let radius = 1.0;
+        let lb = w.partition_lower_key(&query, &centroid, radius).unwrap();
+        // Distortion route alone: lo = √0.01 = 0.1 ⇒ d ≥ 0.1·(10−1) = 0.9.
+        // Triangle route: d(q,c) = 100, hi = 10 ⇒ d ≥ 100 − 10 = 90.
+        let weak = w.key_of_dist(0.9);
+        let strong = w.key_of_dist(89.0);
+        assert!(lb > weak, "bound {lb} did not use the metric path");
+        assert!(lb > strong);
     }
 }
 

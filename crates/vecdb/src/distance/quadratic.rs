@@ -202,6 +202,22 @@ impl Distance for QuadraticDistance {
         }
     }
 
+    /// Derivable only when the certified Gershgorin spectrum stays
+    /// positive: then `d_A = ‖Lᵀ(a−b)‖` is a norm-induced metric and
+    /// both the distortion and triangle routes apply. When `eig_lo`
+    /// touches zero no sound lower bound exists (the form can collapse
+    /// an arbitrarily long Euclidean displacement to distance ~0), so
+    /// this returns `None` and the partitioned scan must take the flat
+    /// pass — the explicit per-class fallback the pruning layer
+    /// requires.
+    fn partition_lower_key(&self, query: &[f64], centroid: &[f64], radius_l2: f64) -> Option<f64> {
+        let (lo, hi) = self.euclidean_distortion()?;
+        let d2 = super::sq_dist(query, centroid).sqrt();
+        let dqc = self.eval(query, centroid);
+        let lb = super::metric_partition_lower(dqc, lo, hi, d2, radius_l2);
+        Some(self.key_of_dist(lb))
+    }
+
     #[inline]
     fn eval_key(&self, a: &[f64], b: &[f64]) -> f64 {
         self.eval_sq(a, b)

@@ -104,6 +104,18 @@ impl Distance for WeightedEuclidean {
         Some((self.min_w.sqrt(), self.max_w.sqrt()))
     }
 
+    /// Two-path bound: `d_W` is a norm-induced metric, so the triangle
+    /// route `d_W(q,c) − √w_max·r` composes with the distortion route;
+    /// the triangle route wins when the query's displacement from the
+    /// centroid lies along heavy axes.
+    fn partition_lower_key(&self, query: &[f64], centroid: &[f64], radius_l2: f64) -> Option<f64> {
+        let d2 = super::sq_dist(query, centroid).sqrt();
+        let dqc = self.eval(query, centroid);
+        let lb =
+            super::metric_partition_lower(dqc, self.min_w.sqrt(), self.max_w.sqrt(), d2, radius_l2);
+        Some(self.key_of_dist(lb))
+    }
+
     #[inline]
     fn eval_key(&self, a: &[f64], b: &[f64]) -> f64 {
         kernels::weighted_sq_row(&self.weights, a, b)

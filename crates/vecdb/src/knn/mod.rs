@@ -20,6 +20,7 @@
 
 mod mtree;
 mod multi;
+mod partitioned;
 mod scan;
 mod sharded;
 mod stats;
@@ -27,6 +28,7 @@ mod vptree;
 
 pub use mtree::{MTree, MTreeConfig};
 pub use multi::MultiQueryScan;
+pub use partitioned::PartitionedScan;
 pub use scan::{LinearScan, ScanMode};
 pub use sharded::{
     combine_partials, merge_partials, merge_partials_policy, DegradedGather, FailurePolicy,
@@ -99,12 +101,18 @@ pub(crate) fn f32_bound_up(bound: f64) -> f32 {
 /// wrappers, the sharded scan's scatter stage) can merge several
 /// partial k-bests by `(key, index)` before paying the `finish_key`
 /// root.
+/// `perm` (when given) maps each candidate index before the push while
+/// the gather still reads `coll` by the *candidate* index — the
+/// partitioned scan's contract: candidates speak the reordered inner
+/// collection's rows (contiguous gathers), results speak the source
+/// collection's rows (original-index tie-breaks).
 pub(crate) fn rescore_f64_keyed(
     coll: &Collection,
     query: &[f64],
     dist: &dyn Distance,
     cands: &[u32],
     k: usize,
+    perm: Option<&[u32]>,
 ) -> KBest {
     let dim = coll.dim();
     let mut kb = KBest::new(k);
@@ -128,7 +136,7 @@ pub(crate) fn rescore_f64_keyed(
         }
         dist.eval_key_batch(query, &rows[..n * dim], dim, kb.threshold(), &mut keys[..n]);
         for (&i, &key) in chunk.iter().zip(keys.iter()) {
-            kb.push(i, key);
+            kb.push(perm.map_or(i, |p| p[i as usize]), key);
         }
     }
     kb

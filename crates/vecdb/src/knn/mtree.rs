@@ -18,7 +18,7 @@
 //! queries stay exact through the distortion lower bound
 //! (`d ≥ lo · d₂`, see the module docs of [`crate::knn`]).
 
-use super::{lower_factor, KBest, KnnEngine, Neighbor, SearchStats};
+use super::{f32_bound_up, lower_factor, KBest, KnnEngine, Neighbor, SearchStats};
 use crate::collection::Collection;
 use crate::distance::{Distance, Euclidean};
 use std::cmp::Reverse;
@@ -354,8 +354,17 @@ impl<'a> MTree<'a> {
     /// `kb` holds surrogate keys ([`Distance::eval_key`]): leaf scans are
     /// `sqrt`-free, and leaves with several surviving entries gather their
     /// vectors into a contiguous scratch block and evaluate them through
-    /// one [`Distance::eval_key_batch`] call (single virtual dispatch,
-    /// early abandonment against the running threshold). Pruning bounds
+    /// one batch-kernel call (single virtual dispatch, early abandonment
+    /// against the running threshold). When the collection carries an f32
+    /// mirror and the class certifies a rounding bound
+    /// ([`Distance::f32_key_slack`]), the gathered block is the **f32
+    /// mirror** rows and the batch runs through
+    /// [`Distance::eval_key_batch_f32`] against the slack-inflated
+    /// threshold — half the gathered bytes — with the few survivors
+    /// rescored exactly in f64 before insertion, so answers stay
+    /// bit-identical to the pure f64 leaf path (same guarantee as the
+    /// flat scan's two-phase mode: any row with `key64 ≤ τ` has
+    /// `key32 ≤ τ + Δ` and therefore survives phase 1). Pruning bounds
     /// stay in true-distance (Euclidean) space and compare against
     /// `finish_key(kb.threshold())` — one root per node, not per
     /// candidate.
@@ -375,6 +384,22 @@ impl<'a> MTree<'a> {
         let mut gather: Vec<f64> = Vec::with_capacity(self.cfg.max_entries * dim);
         let mut gather_ids: Vec<u32> = Vec::with_capacity(self.cfg.max_entries);
         let mut keys: Vec<f64> = vec![0.0; self.cfg.max_entries + 1];
+        // f32 mirror leaf path: query rounded once, plus the certified
+        // key-space slack (None ⇔ no mirror, no f32 kernel, or an
+        // unbounded/overflowing slack — leaves then gather f64).
+        let f32_leaf: Option<(Vec<f32>, f64)> = self.coll.max_abs().and_then(|m_coll| {
+            let m = query.iter().fold(m_coll, |m, &v| m.max(v.abs()));
+            let slack = dist.f32_key_slack(dim, m)?;
+            slack
+                .is_finite()
+                .then(|| (query.iter().map(|&v| v as f32).collect(), slack))
+        });
+        let mut gather32: Vec<f32> = Vec::new();
+        let mut keys32: Vec<f32> = Vec::new();
+        if f32_leaf.is_some() {
+            gather32.reserve(self.cfg.max_entries * dim);
+            keys32.resize(self.cfg.max_entries + 1, 0.0);
+        }
         let lo = lower_factor(dist);
         // Priority queue of (Euclidean mindist bound, node, d₂(q, router)).
         #[derive(PartialEq)]
@@ -414,25 +439,62 @@ impl<'a> MTree<'a> {
                     // Triangle prefilter on the Euclidean level:
                     // d₂(q,o) ≥ |d₂(q, router) − d₂(o, router)|; survivors
                     // are gathered into one contiguous block.
-                    gather.clear();
                     gather_ids.clear();
-                    for e in entries {
-                        if lo > 0.0 && item.d2_router.is_finite() {
-                            let lb = (item.d2_router - e.dist_to_parent).abs();
-                            if lo * lb > tau {
-                                continue;
+                    if let Some((q32, slack)) = &f32_leaf {
+                        // Mirror path: gather f32 rows, filter against the
+                        // slack-inflated bound, rescore survivors exactly.
+                        gather32.clear();
+                        for e in entries {
+                            if lo > 0.0 && item.d2_router.is_finite() {
+                                let lb = (item.d2_router - e.dist_to_parent).abs();
+                                if lo * lb > tau {
+                                    continue;
+                                }
+                            }
+                            let row = e.oid as usize;
+                            gather32.extend_from_slice(
+                                self.coll
+                                    .block_f32(row, row + 1)
+                                    .expect("f32 leaf path requires the mirror"),
+                            );
+                            gather_ids.push(e.oid);
+                        }
+                        let n = gather_ids.len();
+                        let bound = kb.threshold();
+                        let bound32 = f32_bound_up(bound + slack);
+                        dist.eval_key_batch_f32(q32, &gather32, dim, bound32, &mut keys32[..n]);
+                        stats.distance_evals += n as u64;
+                        for (&oid, &key32) in gather_ids.iter().zip(keys32[..n].iter()) {
+                            if key32 <= bound32 {
+                                // Exact f64 rescore: insertion uses the
+                                // same keys the pure f64 path would.
+                                let key = dist.eval_key(query, self.coll.vector(oid as usize));
+                                stats.distance_evals += 1;
+                                if key <= bound {
+                                    kb.push(oid, key);
+                                }
                             }
                         }
-                        gather.extend_from_slice(self.coll.vector(e.oid as usize));
-                        gather_ids.push(e.oid);
-                    }
-                    let n = gather_ids.len();
-                    dist.eval_key_batch(query, &gather, dim, kb.threshold(), &mut keys[..n]);
-                    stats.distance_evals += n as u64;
-                    let bound = kb.threshold();
-                    for (&oid, &key) in gather_ids.iter().zip(keys[..n].iter()) {
-                        if key <= bound {
-                            kb.push(oid, key);
+                    } else {
+                        gather.clear();
+                        for e in entries {
+                            if lo > 0.0 && item.d2_router.is_finite() {
+                                let lb = (item.d2_router - e.dist_to_parent).abs();
+                                if lo * lb > tau {
+                                    continue;
+                                }
+                            }
+                            gather.extend_from_slice(self.coll.vector(e.oid as usize));
+                            gather_ids.push(e.oid);
+                        }
+                        let n = gather_ids.len();
+                        dist.eval_key_batch(query, &gather, dim, kb.threshold(), &mut keys[..n]);
+                        stats.distance_evals += n as u64;
+                        let bound = kb.threshold();
+                        for (&oid, &key) in gather_ids.iter().zip(keys[..n].iter()) {
+                            if key <= bound {
+                                kb.push(oid, key);
+                            }
                         }
                     }
                 }
@@ -613,6 +675,50 @@ mod tests {
             b.push_unlabelled(&v).unwrap();
         }
         b.build()
+    }
+
+    /// The mirrored leaf path (f32 gather + slack filter + exact
+    /// rescore) answers bit-identically to the flat f64 oracle — and to
+    /// the same tree without a mirror.
+    #[test]
+    fn mirrored_leaves_bit_identical() {
+        let mut c = random_collection(400, 6, 91);
+        let plain = c.clone();
+        c.ensure_f32_mirror();
+        let mirrored = MTree::with_defaults(&c);
+        let bare = MTree::with_defaults(&plain);
+        let scan = LinearScan::new(&plain);
+        let w = WeightedEuclidean::new(vec![3.0, 0.1, 1.0, 8.0, 0.5, 2.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..25 {
+            let q: Vec<f64> = (0..6).map(|_| rng.gen_range(0.0..1.0)).collect();
+            for k in [1, 7, 25] {
+                let m_e = mirrored.knn(&q, k, &Euclidean);
+                assert_eq!(m_e, scan.knn(&q, k, &Euclidean));
+                assert_eq!(m_e, bare.knn(&q, k, &Euclidean));
+                let m_w = mirrored.knn(&q, k, &w);
+                assert_eq!(m_w, scan.knn(&q, k, &w));
+                assert_eq!(m_w, bare.knn(&q, k, &w));
+            }
+        }
+    }
+
+    /// The mirror halves the gathered leaf bytes but must not change
+    /// which nodes the best-first descent visits (the pruning bounds are
+    /// all f64): same nodes, phase-1 evals plus a few rescores.
+    #[test]
+    fn mirrored_leaves_visit_same_nodes() {
+        let mut c = random_collection(600, 5, 93);
+        let plain = c.clone();
+        c.ensure_f32_mirror();
+        let mirrored = MTree::with_defaults(&c);
+        let bare = MTree::with_defaults(&plain);
+        let q = [0.4, 0.6, 0.5, 0.3, 0.7];
+        let (rm, sm) = mirrored.knn_with_stats(&q, 5, &Euclidean);
+        let (rb, sb) = bare.knn_with_stats(&q, 5, &Euclidean);
+        assert_eq!(rm, rb);
+        assert_eq!(sm.nodes_visited, sb.nodes_visited);
+        assert!(sm.distance_evals >= sb.distance_evals);
     }
 
     #[test]

@@ -166,7 +166,7 @@ impl<'a> MultiQueryScan<'a> {
     /// every precondition for the two-phase scan holds: `F32Rescore`
     /// requested, mirror present, class exposes an f32 kernel with a
     /// finite bound for this data/query magnitude.
-    fn f32_slack(&self, dist: &dyn Distance, queries: &[&[f64]]) -> Option<f64> {
+    pub(crate) fn f32_slack(&self, dist: &dyn Distance, queries: &[&[f64]]) -> Option<f64> {
         if self.precision != Precision::F32Rescore {
             return None;
         }
@@ -288,13 +288,13 @@ impl<'a> MultiQueryScan<'a> {
             ScanMode::Batched => {
                 let flat = flatten(queries);
                 let mut kbs: Vec<KBest> = ks.iter().map(|&k| KBest::new(k)).collect();
-                self.scan_range_shared(&flat, dist, 0..self.coll.len(), &mut kbs, caps);
+                self.scan_range_shared(&flat, dist, 0..self.coll.len(), &mut kbs, caps, None);
                 (kbs, false)
             }
             ScanMode::Parallel => {
                 let flat = flatten(queries);
                 let kbs = self.parallel_merge(ks, &|range, kbs| {
-                    self.scan_range_shared(&flat, dist, range, kbs, caps)
+                    self.scan_range_shared(&flat, dist, range, kbs, caps, None)
                 });
                 (kbs, false)
             }
@@ -349,7 +349,7 @@ impl<'a> MultiQueryScan<'a> {
                 .zip(ks.iter())
                 .zip(cands.iter())
                 .map(|((q, &k), c)| {
-                    rescore_f64_keyed(self.coll, q, dist, c, k).into_sorted_entries()
+                    rescore_f64_keyed(self.coll, q, dist, c, k, None).into_sorted_entries()
                 })
                 .collect(),
             finished: false,
@@ -469,12 +469,12 @@ impl<'a> MultiQueryScan<'a> {
             }
             ScanMode::Batched => {
                 let mut kbs: Vec<KBest> = ks.iter().map(|&k| KBest::new(k)).collect();
-                self.scan_range_per_query(queries, dists, 0..self.coll.len(), &mut kbs, caps);
+                self.scan_range_per_query(queries, dists, 0..self.coll.len(), &mut kbs, caps, None);
                 (kbs, false)
             }
             ScanMode::Parallel => {
                 let kbs = self.parallel_merge(ks, &|range, kbs| {
-                    self.scan_range_per_query(queries, dists, range, kbs, caps)
+                    self.scan_range_per_query(queries, dists, range, kbs, caps, None)
                 });
                 (kbs, false)
             }
@@ -627,7 +627,7 @@ impl<'a> MultiQueryScan<'a> {
                     .zip(metrics.iter().zip(ks.iter()))
                     .zip(cands.iter())
                     .map(|((q, (m, &k)), c)| {
-                        rescore_f64_keyed(self.coll, q, *m, c, k).into_sorted_entries()
+                        rescore_f64_keyed(self.coll, q, *m, c, k, None).into_sorted_entries()
                     })
                     .collect(),
                 finished: false,
@@ -736,7 +736,7 @@ impl<'a> MultiQueryScan<'a> {
                 .zip(dists.iter().zip(ks.iter()))
                 .zip(cands.iter())
                 .map(|((q, (d, &k)), c)| {
-                    rescore_f64_keyed(self.coll, q, *d, c, k).into_sorted_entries()
+                    rescore_f64_keyed(self.coll, q, *d, c, k, None).into_sorted_entries()
                 })
                 .collect(),
             finished: false,
@@ -745,14 +745,19 @@ impl<'a> MultiQueryScan<'a> {
 
     /// Shared-metric blocked pass over one contiguous index range:
     /// refresh every query's bound per block, evaluate the block against
-    /// all queries in one kernel call, push surrogate keys.
-    fn scan_range_shared(
+    /// all queries in one kernel call, push surrogate keys. `perm`
+    /// (when given) maps each scanned row index before the push — the
+    /// partitioned scan's reorder-transparency: selection tie-breaks
+    /// then happen in the *original* index space, which is what pins
+    /// partitioned answers bit-identical to flat ones.
+    pub(crate) fn scan_range_shared(
         &self,
         flat_queries: &[f64],
         dist: &dyn Distance,
         rows: std::ops::Range<usize>,
         kbs: &mut [KBest],
         caps: Option<&[f64]>,
+        perm: Option<&[u32]>,
     ) {
         let dim = self.coll.dim();
         let nq = kbs.len();
@@ -776,7 +781,8 @@ impl<'a> MultiQueryScan<'a> {
                     // is full; keep their partial-sum keys (> bound)
                     // out of the heap.
                     if key <= bounds[q] {
-                        kb.push((start + offset) as u32, key);
+                        let idx = start + offset;
+                        kb.push(perm.map_or(idx as u32, |p| p[idx]), key);
                     } else {
                         block_abandoned = true;
                     }
@@ -809,7 +815,7 @@ impl<'a> MultiQueryScan<'a> {
     /// re-apply the same test against the *final* — tightest — threshold
     /// before the rescore pays any scattered f64 reads).
     #[allow(clippy::too_many_arguments)]
-    fn scan_range_shared_f32(
+    pub(crate) fn scan_range_shared_f32(
         &self,
         flat_q32: &[f32],
         dist: &dyn Distance,
@@ -874,7 +880,7 @@ impl<'a> MultiQueryScan<'a> {
     /// its own `2·slack`-inflated bound (same containment argument as
     /// [`Self::scan_range_shared_f32`], per query).
     #[allow(clippy::too_many_arguments)]
-    fn scan_range_per_query_f32(
+    pub(crate) fn scan_range_per_query_f32(
         &self,
         q32s: &[Vec<f32>],
         dists: &[&dyn Distance],
@@ -927,14 +933,15 @@ impl<'a> MultiQueryScan<'a> {
 
     /// Per-query-metric blocked pass: one shared block read, one
     /// single-query batch kernel call per (query, block) on the hot
-    /// block.
-    fn scan_range_per_query(
+    /// block. `perm` as on [`Self::scan_range_shared`].
+    pub(crate) fn scan_range_per_query(
         &self,
         queries: &[&[f64]],
         dists: &[&dyn Distance],
         rows: std::ops::Range<usize>,
         kbs: &mut [KBest],
         caps: Option<&[f64]>,
+        perm: Option<&[u32]>,
     ) {
         let dim = self.coll.dim();
         let mut keys = [0.0f64; BLOCK_ROWS];
@@ -956,7 +963,8 @@ impl<'a> MultiQueryScan<'a> {
                 d.eval_key_batch(q, block, dim, bound, &mut keys[..n]);
                 for (offset, &key) in keys[..n].iter().enumerate() {
                     if key <= bound {
-                        kb.push((start + offset) as u32, key);
+                        let idx = start + offset;
+                        kb.push(perm.map_or(idx as u32, |p| p[idx]), key);
                     } else {
                         block_abandoned = true;
                     }
@@ -1091,7 +1099,7 @@ impl<'a> MultiQueryScan<'a> {
 /// [`MultiQueryScan::scan_range_shared_f32`] applies verbatim and the
 /// filtered pool still contains the true f64 top-k — while the rescore
 /// now gathers ~k scattered rows instead of hundreds.
-fn filter_candidates(
+pub(crate) fn filter_candidates(
     kbs: &[KBest],
     slacks: &[f64],
     cands: Vec<Vec<(u32, f32)>>,
@@ -1129,13 +1137,13 @@ fn filter_candidates(
 /// drop rows that cannot appear in the merged global top-k, which is
 /// the entire soundness argument for cross-shard bound propagation.
 #[inline]
-fn cap_of(caps: Option<&[f64]>, q: usize) -> f64 {
+pub(crate) fn cap_of(caps: Option<&[f64]>, q: usize) -> f64 {
     caps.map_or(f64::INFINITY, |c| c[q])
 }
 
 /// Concatenate query slices into the row-major layout the multi-query
 /// kernels consume.
-fn flatten(queries: &[&[f64]]) -> Vec<f64> {
+pub(crate) fn flatten(queries: &[&[f64]]) -> Vec<f64> {
     let mut flat = Vec::with_capacity(queries.len() * queries.first().map_or(0, |q| q.len()));
     for q in queries {
         flat.extend_from_slice(q);
@@ -1144,7 +1152,7 @@ fn flatten(queries: &[&[f64]]) -> Vec<f64> {
 }
 
 /// Same, rounded once to the f32 layout the mirror kernels consume.
-fn flatten_f32(queries: &[&[f64]]) -> Vec<f32> {
+pub(crate) fn flatten_f32(queries: &[&[f64]]) -> Vec<f32> {
     let mut flat = Vec::with_capacity(queries.len() * queries.first().map_or(0, |q| q.len()));
     for q in queries {
         flat.extend(q.iter().map(|&v| v as f32));

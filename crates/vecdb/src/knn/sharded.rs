@@ -38,8 +38,8 @@
 use super::multi::KeyedResults;
 use super::stats::ScanStatsSink;
 use super::{finish_entries, KBest, KnnEngine, LinearScan, MultiQueryScan, Neighbor};
-use super::{Precision, ScanMode, PARALLEL_CUTOFF};
-use crate::collection::ShardedCollection;
+use super::{PartitionedScan, Precision, ScanMode, PARALLEL_CUTOFF};
+use crate::collection::{PartitionedCollection, ShardedCollection};
 use crate::distance::{Distance, WeightedEuclidean};
 use crate::VecdbError;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -352,6 +352,7 @@ pub fn merge_partials_policy(
 #[derive(Debug, Clone, Copy)]
 pub struct ShardedScan<'a> {
     coll: &'a ShardedCollection,
+    parts: Option<&'a [PartitionedCollection]>,
     mode: ScanMode,
     precision: Precision,
     thread_budget: Option<usize>,
@@ -363,6 +364,7 @@ impl<'a> ShardedScan<'a> {
     pub fn new(coll: &'a ShardedCollection) -> Self {
         ShardedScan {
             coll,
+            parts: None,
             mode: ScanMode::Auto,
             precision: Precision::F64,
             thread_budget: None,
@@ -373,12 +375,40 @@ impl<'a> ShardedScan<'a> {
     /// New engine with an explicit execution mode.
     pub fn with_mode(coll: &'a ShardedCollection, mode: ScanMode) -> Self {
         ShardedScan {
-            coll,
             mode,
-            precision: Precision::F64,
-            thread_budget: None,
-            stats: None,
+            ..Self::new(coll)
         }
+    }
+
+    /// Attach per-shard partition layouts
+    /// ([`ShardedCollection::build_partitions`]): every shard pass then
+    /// runs through a [`PartitionedScan`] instead of the flat
+    /// [`MultiQueryScan`], pruning partitions against the same caps the
+    /// cross-shard seeding delivers — so a partial delivered by one
+    /// shard tightens the partition bounds of every later shard pass.
+    /// Answers stay bit-identical to the unpartitioned scatter/gather
+    /// (partition pruning is answer-transparent; the bit-identity suite
+    /// pins the composition). `parts[i]` must be built from shard `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `parts.len()` differs from the shard count or a
+    /// layout's row count disagrees with its shard.
+    pub fn with_partitions(mut self, parts: &'a [PartitionedCollection]) -> Self {
+        assert_eq!(
+            parts.len(),
+            self.coll.shard_count(),
+            "one partition layout per shard"
+        );
+        for (i, p) in parts.iter().enumerate() {
+            assert_eq!(
+                p.len(),
+                self.coll.shard(i).len(),
+                "partition layout row count must match its shard"
+            );
+        }
+        self.parts = Some(parts);
+        self
     }
 
     /// Select the scan precision ([`Precision::F32Rescore`] degrades to
@@ -449,6 +479,23 @@ impl<'a> ShardedScan<'a> {
         }
     }
 
+    /// The partition-pruning per-shard scan for shard `shard`, when a
+    /// layout is attached — same resolved mode/precision/budget/stats
+    /// as the flat per-shard scan it replaces.
+    fn shard_part_scan(
+        &self,
+        part: &'a PartitionedCollection,
+        mode: ScanMode,
+    ) -> PartitionedScan<'a> {
+        let scan = PartitionedScan::with_mode(part, mode)
+            .with_precision(self.precision)
+            .with_thread_budget(self.per_shard_budget());
+        match self.stats {
+            Some(sink) => scan.with_scan_stats(sink),
+            None => scan,
+        }
+    }
+
     /// Total worker budget (explicit, or the machine's parallelism).
     fn total_budget(&self) -> usize {
         self.thread_budget
@@ -503,9 +550,14 @@ impl<'a> ShardedScan<'a> {
         caps: Option<&[f64]>,
     ) -> Vec<ShardPartial> {
         let mode = self.effective_mode(queries.len());
-        let keyed = self
-            .shard_scan(shard, mode)
-            .knn_multi_k_keyed(queries, ks, dist, caps);
+        let keyed = match self.parts {
+            Some(parts) => self
+                .shard_part_scan(&parts[shard], mode)
+                .knn_multi_k_keyed(queries, ks, dist, caps),
+            None => self
+                .shard_scan(shard, mode)
+                .knn_multi_k_keyed(queries, ks, dist, caps),
+        };
         self.globalize(shard, keyed)
     }
 
@@ -520,9 +572,14 @@ impl<'a> ShardedScan<'a> {
         caps: Option<&[f64]>,
     ) -> Vec<ShardPartial> {
         let mode = self.effective_mode(queries.len());
-        let keyed = self
-            .shard_scan(shard, mode)
-            .knn_per_query_k_keyed(queries, dists, ks, caps);
+        let keyed = match self.parts {
+            Some(parts) => self
+                .shard_part_scan(&parts[shard], mode)
+                .knn_per_query_k_keyed(queries, dists, ks, caps),
+            None => self
+                .shard_scan(shard, mode)
+                .knn_per_query_k_keyed(queries, dists, ks, caps),
+        };
         self.globalize(shard, keyed)
     }
 
@@ -554,9 +611,14 @@ impl<'a> ShardedScan<'a> {
         caps: Option<&[f64]>,
     ) -> Vec<ShardPartial> {
         let mode = self.effective_mode(queries.len());
-        let keyed = self
-            .shard_scan(shard, mode)
-            .knn_weighted_per_query_k_keyed(queries, metrics, ks, caps);
+        let keyed = match self.parts {
+            Some(parts) => self
+                .shard_part_scan(&parts[shard], mode)
+                .knn_weighted_per_query_k_keyed(queries, metrics, ks, caps),
+            None => self
+                .shard_scan(shard, mode)
+                .knn_weighted_per_query_k_keyed(queries, metrics, ks, caps),
+        };
         self.globalize(shard, keyed)
     }
 

@@ -33,6 +33,10 @@ pub struct ScanStats {
     /// Passes whose selection bound was seeded by a finite
     /// cross-request / cross-shard cap instead of starting at `+∞`.
     pub seed_prunes: u64,
+    /// Partitions skipped outright by a partitioned pass because every
+    /// query's sound lower bound exceeded its running selection bound
+    /// (the sub-linear win; rows inside never count in `rows_visited`).
+    pub partitions_pruned: u64,
 }
 
 impl ScanStats {
@@ -52,6 +56,7 @@ pub struct ScanStatsSink {
     candidates_filtered: AtomicU64,
     candidates_rescored: AtomicU64,
     seed_prunes: AtomicU64,
+    partitions_pruned: AtomicU64,
 }
 
 impl ScanStatsSink {
@@ -83,6 +88,10 @@ impl ScanStatsSink {
             self.seed_prunes
                 .fetch_add(tally.seed_prunes, Ordering::Relaxed);
         }
+        if tally.partitions_pruned > 0 {
+            self.partitions_pruned
+                .fetch_add(tally.partitions_pruned, Ordering::Relaxed);
+        }
     }
 
     /// Current cumulative counters.
@@ -93,6 +102,7 @@ impl ScanStatsSink {
             candidates_filtered: self.candidates_filtered.load(Ordering::Relaxed),
             candidates_rescored: self.candidates_rescored.load(Ordering::Relaxed),
             seed_prunes: self.seed_prunes.load(Ordering::Relaxed),
+            partitions_pruned: self.partitions_pruned.load(Ordering::Relaxed),
         }
     }
 }
@@ -111,6 +121,7 @@ mod tests {
             candidates_filtered: 30,
             candidates_rescored: 10,
             seed_prunes: 1,
+            partitions_pruned: 4,
         });
         sink.record(&ScanStats {
             rows_visited: 50,
@@ -122,6 +133,7 @@ mod tests {
         assert_eq!(s.candidates_filtered, 30);
         assert_eq!(s.candidates_rescored, 10);
         assert_eq!(s.seed_prunes, 1);
+        assert_eq!(s.partitions_pruned, 4);
         assert!(!s.is_empty());
     }
 }

@@ -6,6 +6,13 @@
 //! distortion lower bound `lo` prune a branch when `lo · B > τ`, where `B`
 //! is the branch's Euclidean lower bound and `τ` the current pruning
 //! threshold — exact for re-weighted feedback queries.
+//!
+//! Unlike the [`MTree`](super::MTree) — whose leaves gather multi-row
+//! blocks and therefore route through the f32 mirror when one is present
+//! — the VP-tree evaluates exactly one pivot per visited node, so there
+//! is no batch for a mirror to halve; it stays a pure-f64 reference
+//! engine (`Precision` does not apply), kept for the engine-comparison
+//! benches and as the simplest tree oracle in the test suite.
 
 use super::{lower_factor, KBest, KnnEngine, Neighbor, SearchStats};
 use crate::collection::Collection;

@@ -44,14 +44,17 @@ pub mod distance;
 pub mod knn;
 pub mod result;
 
-pub use collection::{CategoryId, Collection, CollectionBuilder, ShardedCollection};
+pub use collection::{
+    CategoryId, Collection, CollectionBuilder, PartitionConfig, PartitionedCollection,
+    ShardedCollection,
+};
 pub use distance::{
     Distance, Euclidean, HierarchicalDistance, Lp, Manhattan, QuadraticDistance, WeightedEuclidean,
 };
 pub use knn::{
     combine_partials, merge_partials, merge_partials_policy, DegradedGather, FailurePolicy,
-    GatherError, KnnEngine, LinearScan, MTree, MultiQueryScan, Neighbor, Precision, ScanMode,
-    ScanStats, ScanStatsSink, ShardPartial, ShardedScan, VpTree,
+    GatherError, KnnEngine, LinearScan, MTree, MultiQueryScan, Neighbor, PartitionedScan,
+    Precision, ScanMode, ScanStats, ScanStatsSink, ShardPartial, ShardedScan, VpTree,
 };
 pub use result::ResultList;
 

@@ -1,0 +1,369 @@
+//! Partition-pruning bit-identity suite: [`PartitionedScan`] over a
+//! [`PartitionedCollection`] must return **bit-identical** neighbor
+//! indices and f64 distances to the flat [`LinearScan`] /
+//! [`MultiQueryScan`] — across all distance classes (including ones
+//! with no sound partition bound, which must fall back to the flat
+//! pass), both precisions, Scalar/Batched/Parallel, per-query metrics
+//! and ks, through [`ShardedScan`], and across the degenerate layout
+//! edges (empty partitions, one-row partitions, more partitions than
+//! rows, k > len, k = 0 "prunes everything"). Partition pruning is a
+//! rows-visited knob, never a result knob.
+
+use fbp_linalg::Matrix;
+use fbp_vecdb::distance::{Chebyshev, FeatureSpan, HierarchicalDistance};
+use fbp_vecdb::{
+    Collection, CollectionBuilder, Distance, Euclidean, KnnEngine, LinearScan, MultiQueryScan,
+    PartitionConfig, PartitionedCollection, PartitionedScan, Precision, QuadraticDistance,
+    ScanMode, ScanStatsSink, ShardedCollection, ShardedScan, WeightedEuclidean,
+};
+
+const DIM: usize = 24;
+const N: usize = 900;
+
+/// Clustered rows (so pruning actually engages) with deterministic
+/// noise: `clusters` well-separated centers, rows scattered tightly
+/// around them.
+fn clustered_collection(n: usize, clusters: usize, mirror: bool) -> Collection {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut b = CollectionBuilder::new();
+    if mirror {
+        b = b.with_f32_mirror();
+    }
+    for r in 0..n {
+        let c = r % clusters.max(1);
+        let v: Vec<f64> = (0..DIM)
+            .map(|i| ((c * 37 + i * 11) as f64 * 0.73).sin() * 10.0 + (next() - 0.5) * 0.5)
+            .collect();
+        b.push_unlabelled(&v).unwrap();
+    }
+    b.build()
+}
+
+fn queries(nq: usize) -> Vec<Vec<f64>> {
+    // Anchor queries near cluster centroids (pruning-friendly) with a
+    // couple of off-cloud outliers mixed in.
+    (0..nq)
+        .map(|q| {
+            (0..DIM)
+                .map(|i| {
+                    if q % 5 == 4 {
+                        ((q * 29 + i * 13) as f64 * 0.41).sin() * 25.0
+                    } else {
+                        ((q * 37 + i * 11) as f64 * 0.73).sin() * 10.0 + 0.1
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The distance classes, including `Chebyshev` — which certifies no
+/// partition bound and must transparently run the flat pass.
+fn distance_classes() -> Vec<Box<dyn Distance>> {
+    let w: Vec<f64> = (0..DIM).map(|i| 0.4 + (i % 6) as f64).collect();
+    let spans = vec![FeatureSpan::new(0, 8), FeatureSpan::new(8, DIM)];
+    let h = HierarchicalDistance::new(spans, vec![1.5, 0.75], w.clone()).unwrap();
+    let mut m = Matrix::identity(DIM);
+    for i in 0..DIM {
+        m[(i, i)] = 0.5 + (i % 4) as f64;
+        if i + 1 < DIM {
+            m[(i, i + 1)] = 0.1;
+            m[(i + 1, i)] = 0.1;
+        }
+    }
+    vec![
+        Box::new(Euclidean),
+        Box::new(WeightedEuclidean::new(w).unwrap()),
+        Box::new(QuadraticDistance::new(&m).unwrap()),
+        Box::new(h),
+        Box::new(Chebyshev),
+    ]
+}
+
+fn layout(coll: &Collection, partitions: usize) -> PartitionedCollection {
+    PartitionedCollection::build(coll, &PartitionConfig::with_partitions(partitions))
+}
+
+#[test]
+fn partitioned_knn_bit_identical_all_classes_both_precisions() {
+    let coll = clustered_collection(N, 12, true);
+    for &nq in &[1usize, 16] {
+        let qs = queries(nq);
+        let refs: Vec<&[f64]> = qs.iter().map(Vec::as_slice).collect();
+        for dist in distance_classes() {
+            for &p in &[4usize, 32] {
+                let part = layout(&coll, p);
+                for precision in [Precision::F64, Precision::F32Rescore] {
+                    for mode in [ScanMode::Batched, ScanMode::Parallel] {
+                        let pruned =
+                            PartitionedScan::with_mode(&part, mode).with_precision(precision);
+                        let flat = MultiQueryScan::with_mode(&coll, mode).with_precision(precision);
+                        for k in [1usize, 10, 50] {
+                            assert_eq!(
+                                pruned.knn_multi(&refs, k, &*dist),
+                                flat.knn_multi(&refs, k, &*dist),
+                                "P={p} Q={nq} k={k} mode={mode:?} precision={precision:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn scalar_reference_matches_flat_scalar() {
+    // The Scalar baseline never prunes and pushes true distances; it
+    // must equal the flat Scalar scan (and transitively LinearScan).
+    let coll = clustered_collection(300, 8, false);
+    let part = layout(&coll, 16);
+    let qs = queries(3);
+    let refs: Vec<&[f64]> = qs.iter().map(Vec::as_slice).collect();
+    let pruned = PartitionedScan::with_mode(&part, ScanMode::Scalar);
+    let flat = LinearScan::with_mode(&coll, ScanMode::Scalar);
+    for dist in distance_classes() {
+        for (q, res) in refs.iter().zip(pruned.knn_multi(&refs, 7, &*dist)) {
+            assert_eq!(res, flat.knn(q, 7, &*dist));
+        }
+    }
+}
+
+#[test]
+fn per_query_metrics_and_ks_bit_identical() {
+    let coll = clustered_collection(N, 12, true);
+    let part = layout(&coll, 24);
+    let qs = queries(6);
+    let refs: Vec<&[f64]> = qs.iter().map(Vec::as_slice).collect();
+    let classes = distance_classes();
+    // Cycle the classes across queries — mixed bound/no-bound in one
+    // pass — and vary k per query, with a k = 0 and a k > len edge in.
+    let dists: Vec<&dyn Distance> = (0..refs.len())
+        .map(|q| &*classes[q % classes.len()])
+        .collect();
+    let ks: Vec<usize> = vec![1, 10, 0, 50, N + 7, 3];
+    for precision in [Precision::F64, Precision::F32Rescore] {
+        for mode in [ScanMode::Batched, ScanMode::Parallel, ScanMode::Scalar] {
+            let pruned = PartitionedScan::with_mode(&part, mode).with_precision(precision);
+            let flat = MultiQueryScan::with_mode(&coll, mode).with_precision(precision);
+            assert_eq!(
+                pruned.knn_per_query_k(&refs, &dists, &ks),
+                flat.knn_per_query_k(&refs, &dists, &ks),
+                "mode={mode:?} precision={precision:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn weighted_per_query_bit_identical() {
+    let coll = clustered_collection(N, 12, true);
+    let part = layout(&coll, 24);
+    let qs = queries(5);
+    let refs: Vec<&[f64]> = qs.iter().map(Vec::as_slice).collect();
+    let metrics: Vec<WeightedEuclidean> = (0..refs.len())
+        .map(|q| {
+            let w: Vec<f64> = (0..DIM).map(|i| 0.3 + ((q * 7 + i) % 5) as f64).collect();
+            WeightedEuclidean::new(w).unwrap()
+        })
+        .collect();
+    let ks = vec![5usize; refs.len()];
+    for precision in [Precision::F64, Precision::F32Rescore] {
+        for mode in [ScanMode::Batched, ScanMode::Parallel] {
+            let pruned = PartitionedScan::with_mode(&part, mode).with_precision(precision);
+            let flat = MultiQueryScan::with_mode(&coll, mode).with_precision(precision);
+            assert_eq!(
+                pruned.knn_weighted_per_query_k(&refs, &metrics, &ks),
+                flat.knn_weighted_per_query_k(&refs, &metrics, &ks),
+                "mode={mode:?} precision={precision:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn degenerate_layouts_bit_identical() {
+    // More partitions than rows (⇒ empty partitions), one-row
+    // partitions, a single partition, and k > len — all legal, all
+    // answer-identical.
+    let coll = clustered_collection(10, 3, true);
+    let qs = queries(2);
+    let refs: Vec<&[f64]> = qs.iter().map(Vec::as_slice).collect();
+    for &p in &[1usize, 10, 64] {
+        let part = layout(&coll, p);
+        assert_eq!(part.partition_count(), p);
+        assert_eq!(part.len(), coll.len());
+        for dist in distance_classes() {
+            for precision in [Precision::F64, Precision::F32Rescore] {
+                let pruned =
+                    PartitionedScan::with_mode(&part, ScanMode::Batched).with_precision(precision);
+                let flat =
+                    MultiQueryScan::with_mode(&coll, ScanMode::Batched).with_precision(precision);
+                for k in [1usize, 10, 25] {
+                    assert_eq!(
+                        pruned.knn_multi(&refs, k, &*dist),
+                        flat.knn_multi(&refs, k, &*dist),
+                        "P={p} k={k} precision={precision:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_collection_and_k_zero() {
+    let empty = CollectionBuilder::new().build();
+    let part = layout(&empty, 8);
+    let pruned = PartitionedScan::new(&part);
+    let q = vec![0.0; 0];
+    assert_eq!(pruned.knn_multi(&[&q], 3, &Euclidean), vec![Vec::new()]);
+
+    // k = 0 queries need nothing: every partition counts as prunable
+    // for them, and the answer is empty — same as the flat scan.
+    let coll = clustered_collection(200, 4, false);
+    let part = layout(&coll, 8);
+    let qs = queries(2);
+    let refs: Vec<&[f64]> = qs.iter().map(Vec::as_slice).collect();
+    let sink = ScanStatsSink::new();
+    let pruned = PartitionedScan::with_mode(&part, ScanMode::Batched).with_scan_stats(&sink);
+    let flat = MultiQueryScan::with_mode(&coll, ScanMode::Batched);
+    assert_eq!(
+        pruned.knn_multi(&refs, 0, &Euclidean),
+        flat.knn_multi(&refs, 0, &Euclidean)
+    );
+    // All-zero k prunes every partition outright: nothing scanned.
+    let stats = sink.snapshot();
+    assert_eq!(stats.rows_visited, 0, "k = 0 must scan nothing");
+    assert_eq!(
+        stats.partitions_pruned,
+        part.partition_count() as u64,
+        "k = 0 prunes every (non-empty) partition"
+    );
+}
+
+#[test]
+fn pruning_engages_and_stays_sublinear_on_clustered_data() {
+    // The tentpole's point: on clustered data with a query pinned to
+    // one cluster, most partitions must actually be skipped — and the
+    // answers still match the flat scan bit for bit.
+    let coll = clustered_collection(N, 12, true);
+    let part = layout(&coll, 24);
+    let qs = queries(4);
+    let refs: Vec<&[f64]> = qs.iter().map(Vec::as_slice).collect();
+    for precision in [Precision::F64, Precision::F32Rescore] {
+        let sink = ScanStatsSink::new();
+        let pruned = PartitionedScan::with_mode(&part, ScanMode::Batched)
+            .with_precision(precision)
+            .with_scan_stats(&sink);
+        let flat = MultiQueryScan::with_mode(&coll, ScanMode::Batched).with_precision(precision);
+        assert_eq!(
+            pruned.knn_multi(&refs, 10, &Euclidean),
+            flat.knn_multi(&refs, 10, &Euclidean)
+        );
+        let stats = sink.snapshot();
+        assert!(
+            stats.partitions_pruned > 0,
+            "clustered data must prune partitions ({precision:?}: {stats:?})"
+        );
+        assert!(
+            stats.rows_visited < N as u64,
+            "pruned pass must visit fewer rows than the collection holds \
+             ({precision:?}: {} of {N})",
+            stats.rows_visited
+        );
+    }
+}
+
+#[test]
+fn sharded_partitioned_bit_identical() {
+    // The full composition: sharded scatter/gather where every shard
+    // pass runs the partition-pruning scan, cross-shard seeds included
+    // — against the unpartitioned sharded scan and the flat scan.
+    let coll = clustered_collection(N, 12, true);
+    let qs = queries(4);
+    let refs: Vec<&[f64]> = qs.iter().map(Vec::as_slice).collect();
+    for &s in &[1usize, 3] {
+        let sharded = ShardedCollection::split(&coll, s);
+        let parts = sharded.build_partitions(&PartitionConfig::with_partitions(16));
+        for dist in distance_classes() {
+            for precision in [Precision::F64, Precision::F32Rescore] {
+                for mode in [ScanMode::Batched, ScanMode::Parallel] {
+                    let plain = ShardedScan::with_mode(&sharded, mode).with_precision(precision);
+                    let pruned = plain.with_partitions(&parts);
+                    let flat = MultiQueryScan::with_mode(&coll, mode).with_precision(precision);
+                    for k in [1usize, 10, 50] {
+                        let got = pruned.knn_multi(&refs, k, &*dist);
+                        assert_eq!(
+                            got,
+                            plain.knn_multi(&refs, k, &*dist),
+                            "S={s} k={k} mode={mode:?} precision={precision:?} (vs sharded)"
+                        );
+                        assert_eq!(
+                            got,
+                            flat.knn_multi(&refs, k, &*dist),
+                            "S={s} k={k} mode={mode:?} precision={precision:?} (vs flat)"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_partitioned_per_query_and_weighted() {
+    let coll = clustered_collection(N, 12, true);
+    let sharded = ShardedCollection::split(&coll, 3);
+    let parts = sharded.build_partitions(&PartitionConfig::with_partitions(16));
+    let qs = queries(5);
+    let refs: Vec<&[f64]> = qs.iter().map(Vec::as_slice).collect();
+    let classes = distance_classes();
+    let dists: Vec<&dyn Distance> = (0..refs.len())
+        .map(|q| &*classes[q % classes.len()])
+        .collect();
+    let ks: Vec<usize> = vec![1, 7, 0, 50, 3];
+    let metrics: Vec<WeightedEuclidean> = (0..refs.len())
+        .map(|q| {
+            let w: Vec<f64> = (0..DIM).map(|i| 0.3 + ((q * 7 + i) % 5) as f64).collect();
+            WeightedEuclidean::new(w).unwrap()
+        })
+        .collect();
+    for precision in [Precision::F64, Precision::F32Rescore] {
+        let plain = ShardedScan::with_mode(&sharded, ScanMode::Batched).with_precision(precision);
+        let pruned = plain.with_partitions(&parts);
+        assert_eq!(
+            pruned.knn_per_query_k(&refs, &dists, &ks),
+            plain.knn_per_query_k(&refs, &dists, &ks),
+            "per-query precision={precision:?}"
+        );
+        assert_eq!(
+            pruned.knn_weighted_per_query_k(&refs, &metrics, &ks),
+            plain.knn_weighted_per_query_k(&refs, &metrics, &ks),
+            "weighted precision={precision:?}"
+        );
+    }
+}
+
+#[test]
+fn partition_layout_is_deterministic() {
+    // Same collection + config ⇒ the same layout, bit for bit: the
+    // permutation, offsets, centroids and radii are all pure functions
+    // of the input (no ambient randomness, no thread-count dependence).
+    let coll = clustered_collection(400, 8, false);
+    let a = layout(&coll, 16);
+    let b = layout(&coll, 16);
+    assert_eq!(a.perm(), b.perm());
+    assert_eq!(a.partition_count(), b.partition_count());
+    for p in 0..a.partition_count() {
+        assert_eq!(a.rows(p), b.rows(p));
+        assert_eq!(a.centroid(p), b.centroid(p));
+        assert!(a.radius(p) == b.radius(p), "radius mismatch at {p}");
+    }
+}
